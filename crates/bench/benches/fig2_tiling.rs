@@ -1,0 +1,119 @@
+//! E1 / Fig. 2: cutout testing vs whole-program testing on the matmul
+//! chain with the off-by-one tiling bug.
+//!
+//! The paper's argument: "executing the application would expose this
+//! problem, but if the multiplication is part of a larger application,
+//! that becomes costly. Instead, the transformation can also be verified
+//! ... by only extracting the second matrix-matrix multiplication." This
+//! bench measures the per-trial cost of both strategies and the speedup
+//! factor of the cutout approach.
+
+use criterion::{BenchmarkId, Criterion};
+use fuzzyflow::prelude::*;
+use fuzzyflow_bench::{prepare_pair, row, time_per_iter};
+use fuzzyflow_fuzz::{sample_state, ValueProfile, Xoshiro256};
+use fuzzyflow_interp::run;
+
+fn main() {
+    println!("== Fig. 2: off-by-one tiled matmul in a matrix chain ==");
+    let program = fuzzyflow::workloads::matmul_chain();
+    let bindings = fuzzyflow::workloads::matmul_chain::default_bindings();
+    let n = bindings.get("N").expect("N bound");
+
+    let tiling = MapTilingOffByOne::new(4);
+    let matches = tiling.find_matches(&program);
+    assert_eq!(matches.len(), 3);
+    // The second multiplication, as in the paper.
+    let (cutout, transformed, constraints) =
+        prepare_pair(&program, &tiling, &matches[1], false, &bindings);
+    row("cutout nodes / program nodes", format!(
+        "{} / {}",
+        cutout.stats.nodes,
+        program
+            .states
+            .node_ids()
+            .map(|s| program.state(s).df.deep_node_count())
+            .sum::<usize>()
+    ));
+    row("cutout inputs", format!("{:?}", cutout.input_config));
+    row("cutout system state", format!("{:?}", cutout.system_state));
+
+    // Fault detection through the pipeline.
+    let report = fuzzyflow::verify_instance(
+        &program,
+        &tiling,
+        &matches[1],
+        &VerifyConfig {
+            trials: 100,
+            concretization: Some(bindings.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("pipeline");
+    row("verdict", report.verdict.label());
+    row(
+        "trials to detection",
+        format!("{:?}", report.trials_to_detection),
+    );
+
+    // Per-trial cost: whole-program differential trial vs cutout trial.
+    let whole_tiled = apply_to_clone(&program, &tiling, &matches[1]).expect("applies").0;
+    let mut rng = Xoshiro256::seed_from(7);
+    let profile = ValueProfile::default();
+    let sample = sample_state(&cutout, &constraints, &profile, &mut rng).expect("samples");
+
+    let whole_trial = || {
+        // Fill the whole program's inputs at the paper's fixed size.
+        let mut st = ExecState::new();
+        st.bind("N", n);
+        for m in ["A", "B", "C", "D"] {
+            st.set_array(
+                m,
+                ArrayValue::from_f64(vec![n, n], &vec![0.5; (n * n) as usize]),
+            );
+        }
+        let mut st2 = st.clone();
+        run(&program, &mut st).unwrap();
+        run(&whole_tiled, &mut st2).unwrap();
+        st.compare_on(&st2, &["R".to_string()], 1e-5)
+    };
+    let cutout_trial = || {
+        let mut a = sample.clone();
+        let mut b = sample.clone();
+        run(&cutout.sdfg, &mut a).unwrap();
+        let _ = run(&transformed, &mut b);
+        a.compare_on(&b, &cutout.system_state, 1e-5)
+    };
+
+    let t_whole = time_per_iter(20, || {
+        let _ = whole_trial();
+    });
+    let t_cut = time_per_iter(20, || {
+        let _ = cutout_trial();
+    });
+    row("whole-program trial (us)", format!("{t_whole:.1}"));
+    row("cutout trial (us)", format!("{t_cut:.1}"));
+    row(
+        "cutout speedup (paper: large; up to 528x for Sec. 6.1)",
+        format!("{:.1}x", t_whole / t_cut),
+    );
+
+    // Criterion timing for the record.
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    let mut group = c.benchmark_group("fig2_tiling");
+    group.bench_function(BenchmarkId::new("whole_program_trial", n), |b| {
+        b.iter(|| {
+            let _ = whole_trial();
+        })
+    });
+    group.bench_function(BenchmarkId::new("cutout_trial", n), |b| {
+        b.iter(|| {
+            let _ = cutout_trial();
+        })
+    });
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,127 @@
+//! E5 / Fig. 6 and Sec. 6.2: distributed vanilla attention.
+//!
+//! Whole-program testing needs every simulated rank and the collective
+//! runtime; a cutout of the SDDMM kernel contains no communication and
+//! tests the same optimization on a single rank, with gathered data
+//! exposed as a plain input.
+
+use criterion::Criterion;
+use fuzzyflow::dist::{has_communication, run_distributed};
+use fuzzyflow::prelude::*;
+use fuzzyflow_bench::{prepare_pair, row, time_per_iter};
+use fuzzyflow_fuzz::{sample_state, ValueProfile, Xoshiro256};
+use fuzzyflow_interp::run;
+
+fn main() {
+    println!("== Fig. 6 / Sec. 6.2: SDDMM cutout on a single rank ==");
+    let program = fuzzyflow::workloads::vanilla_attention();
+    let bindings = fuzzyflow::workloads::attention::default_bindings();
+    let nranks = bindings.get("nranks").unwrap_or(4) as usize;
+    row("program contains communication", has_communication(&program));
+
+    // Whole-program differential trial: all ranks, both versions.
+    let tiling = MapTilingNoRemainder::new(4); // the size-dependent bug
+    let matches = tiling.find_matches(&program);
+    let sddmm = &matches[0];
+    let whole_t = apply_to_clone(&program, &tiling, sddmm).expect("applies").0;
+    let (nloc, f) = (
+        bindings.get("NLOC").unwrap_or(8),
+        bindings.get("F").unwrap_or(6),
+    );
+    let ntot = nloc * nranks as i64;
+    let mk_ranks = || -> Vec<ExecState> {
+        (0..nranks)
+            .map(|r| {
+                let mut st = ExecState::new();
+                st.bind("NLOC", nloc).bind("NTOT", ntot).bind("F", f);
+                let feats: Vec<f64> =
+                    (0..nloc * f).map(|i| 0.01 * (i as f64 + r as f64)).collect();
+                st.set_array("H", ArrayValue::from_f64(vec![nloc, f], &feats));
+                st.set_array(
+                    "M",
+                    ArrayValue::from_f64(vec![nloc, ntot], &vec![1.0; (nloc * ntot) as usize]),
+                );
+                st
+            })
+            .collect()
+    };
+    let whole_trial = || {
+        let a = run_distributed(&program, mk_ranks(), &Default::default()).unwrap();
+        let b = run_distributed(&whole_t, mk_ranks(), &Default::default());
+        (a, b.is_err())
+    };
+
+    // Cutout trial: single rank, no communication.
+    let (cutout, transformed, constraints) =
+        prepare_pair(&program, &tiling, sddmm, true, &bindings);
+    row("cutout contains communication", has_communication(&cutout.sdfg));
+    row("cutout inputs (gathered data is plain input)", format!("{:?}", cutout.input_config));
+    assert!(!has_communication(&cutout.sdfg));
+
+    let profile = ValueProfile {
+        size_max: 8,
+        ..Default::default()
+    };
+    let mut rng = Xoshiro256::seed_from(5);
+    let sample = sample_state(&cutout, &constraints, &profile, &mut rng).expect("samples");
+    let cut_trial = || {
+        let mut a = sample.clone();
+        let mut b = sample.clone();
+        run(&cutout.sdfg, &mut a).unwrap();
+        let failed = run(&transformed, &mut b).is_err();
+        (a.compare_on(&b, &cutout.system_state, 1e-5), failed)
+    };
+
+    let t_whole = time_per_iter(5, || {
+        let _ = whole_trial();
+    });
+    let t_cut = time_per_iter(20, || {
+        let _ = cut_trial();
+    });
+    row(
+        format!("whole-program trial, {nranks} ranks (us)").as_str(),
+        format!("{t_whole:.1}"),
+    );
+    row("single-rank cutout trial (us)", format!("{t_cut:.1}"));
+    row("single-node speedup", format!("{:.1}x", t_whole / t_cut));
+
+    // The bug is found on a single node.
+    let report = fuzzyflow::verify_instance(
+        &program,
+        &tiling,
+        sddmm,
+        &VerifyConfig {
+            trials: 100,
+            size_max: 10,
+            concretization: Some(bindings.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("pipeline");
+    row(
+        "single-node verdict for no-remainder tiling on SDDMM",
+        format!(
+            "{} (trials to detection: {:?})",
+            report.verdict.label(),
+            report.trials_to_detection
+        ),
+    );
+
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    let mut group = c.benchmark_group("fig6_sddmm");
+    group.bench_function("whole_program_all_ranks", |b| {
+        b.iter(|| {
+            let _ = whole_trial();
+        })
+    });
+    group.bench_function("cutout_single_rank", |b| {
+        b.iter(|| {
+            let _ = cut_trial();
+        })
+    });
+    group.finish();
+    c.final_summary();
+}

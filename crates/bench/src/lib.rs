@@ -1,0 +1,47 @@
+//! Shared helpers for the benchmark harnesses.
+//!
+//! Each bench target regenerates one table or figure of the paper's
+//! evaluation (Sec. 6); see DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results.
+
+use fuzzyflow::prelude::*;
+use fuzzyflow_fuzz::{derive_constraints, Constraints};
+
+/// Builds `(cutout, transformed-cutout, constraints)` for one
+/// transformation instance — the unit every bench drives.
+pub fn prepare_pair(
+    program: &fuzzyflow::ir::Sdfg,
+    t: &dyn Transformation,
+    m: &fuzzyflow::transforms::TransformationMatch,
+    minimize: bool,
+    bindings: &fuzzyflow::ir::Bindings,
+) -> (Cutout, fuzzyflow::ir::Sdfg, Constraints) {
+    let (_, changes) = apply_to_clone(program, t, m).expect("applies");
+    let ctx = SideEffectContext::with_size_symbols(&program.free_symbols(), 1 << 20);
+    let mut cutout = extract_cutout(program, &changes, &ctx).expect("extracts");
+    if minimize {
+        let (min_c, _) =
+            fuzzyflow::cutout::minimize_input_configuration(program, cutout, &ctx, bindings);
+        cutout = min_c;
+    }
+    let translated = fuzzyflow::cutout::refind_match(&cutout, t, m).expect("translates");
+    let mut transformed = cutout.sdfg.clone();
+    t.apply(&mut transformed, &translated).expect("replays");
+    let constraints = derive_constraints(&cutout, program);
+    (cutout, transformed, constraints)
+}
+
+/// Simple wall-clock measurement of repeated runs, reporting
+/// per-iteration time in microseconds.
+pub fn time_per_iter(iters: usize, mut f: impl FnMut()) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// Prints a labeled measurement row.
+pub fn row(label: &str, value: impl std::fmt::Display) {
+    println!("    {label:<58} {value}");
+}

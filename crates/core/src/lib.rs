@@ -1,0 +1,73 @@
+//! # FuzzyFlow
+//!
+//! A Rust reproduction of *"FuzzyFlow: Leveraging Dataflow To Find and
+//! Squash Program Optimization Bugs"* (Schaad et al., SC 2023): a fault
+//! localization and test-case extraction framework for program
+//! optimizations built on a parametric dataflow IR.
+//!
+//! Given a program and a transformation instance, [`verify_instance`]
+//! runs the paper's full workflow (Fig. 1):
+//!
+//! 1. apply the transformation to a clone and obtain its white-box
+//!    **change set** ΔT,
+//! 2. extract a minimal, standalone **cutout** capturing ΔT, all direct
+//!    data dependencies, the **input configuration** and the **system
+//!    state** (side-effect analyses of Sec. 3),
+//! 3. optionally shrink the input configuration with the **minimum
+//!    input-flow cut** (Sec. 4),
+//! 4. **differentially fuzz** the cutout against its transformed
+//!    counterpart with gray-box constraint-derived sampling (Sec. 5),
+//! 5. report a verdict; failures come with a bit-exact, replayable
+//!    [`TestCase`].
+//!
+//! ```
+//! use fuzzyflow::prelude::*;
+//!
+//! let program = fuzzyflow_workloads::matmul_chain();
+//! let tiling = MapTilingOffByOne::new(4); // the Fig. 2 bug
+//! let matches = tiling.find_matches(&program);
+//! let report = verify_instance(
+//!     &program,
+//!     &tiling,
+//!     &matches[1], // the second multiplication, as in the paper
+//!     &VerifyConfig {
+//!         trials: 40,
+//!         concretization: Some(fuzzyflow_workloads::matmul_chain::default_bindings()),
+//!         ..VerifyConfig::default()
+//!     },
+//! )
+//! .unwrap();
+//! assert!(report.verdict.is_fault());
+//! ```
+
+pub mod sweep;
+pub mod verify;
+
+pub use sweep::{format_sweep_table, sweep, InstanceResult, SweepConfig, SweepRow};
+pub use verify::{verify_instance, VerificationReport, VerifyConfig, VerifyError};
+
+// Re-export the component crates under stable names.
+pub use fuzzyflow_cutout as cutout;
+pub use fuzzyflow_dist as dist;
+pub use fuzzyflow_fuzz as fuzz;
+pub use fuzzyflow_graph as graph;
+pub use fuzzyflow_interp as interp;
+pub use fuzzyflow_ir as ir;
+pub use fuzzyflow_lang as lang;
+pub use fuzzyflow_sym as symbolic;
+pub use fuzzyflow_transforms as transforms;
+pub use fuzzyflow_workloads as workloads;
+
+/// Common imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::verify::{verify_instance, VerificationReport, VerifyConfig};
+    pub use fuzzyflow_cutout::{extract_cutout, Cutout, SideEffectContext};
+    pub use fuzzyflow_fuzz::{CoverageFuzzer, DiffTester, TestCase, Verdict};
+    pub use fuzzyflow_interp::{run, ArrayValue, ExecState};
+    pub use fuzzyflow_ir::{validate, Bindings, DType, Sdfg, SdfgBuilder};
+    pub use fuzzyflow_transforms::{
+        apply_to_clone, builtin_suite, cloudsc_suite, BufferTiling, GpuKernelExtraction,
+        LoopUnrolling, MapTiling, MapTilingNoRemainder, MapTilingOffByOne, TaskletFusion,
+        Transformation, Vectorization, WriteElimination,
+    };
+}

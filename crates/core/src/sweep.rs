@@ -1,0 +1,297 @@
+//! Sweep driver: verify every instance of every transformation over a set
+//! of workloads, in parallel — the machinery behind the paper's NPBench
+//! sweep (Sec. 6.3, Table 2) and the CLOUDSC case study (Sec. 6.4).
+
+use crate::verify::{verify_instance, VerificationReport, VerifyConfig, VerifyError};
+use fuzzyflow_fuzz::Verdict;
+use fuzzyflow_ir::{Bindings, Sdfg};
+use fuzzyflow_transforms::Transformation;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Sweep configuration.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    pub verify: VerifyConfig,
+    /// Worker threads (sweeps are embarrassingly parallel across
+    /// instances). `0` = one thread per available core.
+    pub threads: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            verify: VerifyConfig::default(),
+            threads: 0,
+        }
+    }
+}
+
+/// Outcome of one transformation instance.
+#[derive(Clone, Debug)]
+pub struct InstanceResult {
+    pub workload: String,
+    pub transformation: String,
+    pub match_description: String,
+    pub report: Option<VerificationReport>,
+    /// Pipeline error, if the instance could not be verified.
+    pub error: Option<String>,
+}
+
+impl InstanceResult {
+    /// Table-2 style classification label.
+    pub fn label(&self) -> &'static str {
+        match &self.report {
+            Some(r) => r.verdict.label(),
+            None => "pipeline error",
+        }
+    }
+
+    /// True if the instance was proven faulty.
+    pub fn is_fault(&self) -> bool {
+        self.report
+            .as_ref()
+            .map(|r| r.verdict.is_fault())
+            .unwrap_or(false)
+    }
+}
+
+/// Per-transformation summary row (Table 2 shape).
+#[derive(Clone, Debug, Default)]
+pub struct SweepRow {
+    pub transformation: String,
+    pub instances: usize,
+    pub passed: usize,
+    pub faults: usize,
+    pub errors: usize,
+    /// Faults by verdict class ("semantic change", "crash", …).
+    pub by_class: BTreeMap<String, usize>,
+    /// Mean 1-based trial index at which faults surfaced.
+    pub mean_trials_to_detect: f64,
+}
+
+/// Verifies every instance of every transformation on every workload.
+/// Returns per-instance results plus per-transformation summary rows.
+pub fn sweep(
+    workloads: &[(String, Sdfg, Bindings)],
+    transformations: &[Box<dyn Transformation>],
+    cfg: &SweepConfig,
+) -> (Vec<InstanceResult>, Vec<SweepRow>) {
+    // Enumerate all instances up front.
+    struct Job<'a> {
+        workload: &'a str,
+        sdfg: &'a Sdfg,
+        bindings: &'a Bindings,
+        t: &'a dyn Transformation,
+        m: fuzzyflow_transforms::TransformationMatch,
+    }
+    let mut jobs: Vec<Job> = Vec::new();
+    for (name, sdfg, bindings) in workloads {
+        for t in transformations {
+            for m in t.find_matches(sdfg) {
+                jobs.push(Job {
+                    workload: name,
+                    sdfg,
+                    bindings,
+                    t: t.as_ref(),
+                    m,
+                });
+            }
+        }
+    }
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        cfg.threads
+    };
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<InstanceResult>>> = Mutex::new(vec![None; jobs.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len().max(1)) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[idx];
+                let mut vcfg = cfg.verify.clone();
+                if vcfg.concretization.is_none() {
+                    vcfg.concretization = Some(job.bindings.clone());
+                }
+                let outcome = verify_instance(job.sdfg, job.t, &job.m, &vcfg);
+                let result = match outcome {
+                    Ok(report) => InstanceResult {
+                        workload: job.workload.to_string(),
+                        transformation: job.t.name().to_string(),
+                        match_description: job.m.description.clone(),
+                        report: Some(report),
+                        error: None,
+                    },
+                    Err(e) => InstanceResult {
+                        workload: job.workload.to_string(),
+                        transformation: job.t.name().to_string(),
+                        match_description: job.m.description.clone(),
+                        report: None,
+                        error: Some(match e {
+                            VerifyError::Apply(x) => format!("apply: {x}"),
+                            VerifyError::Extract(x) => format!("extract: {x}"),
+                            VerifyError::Replay(x) => format!("replay: {x}"),
+                        }),
+                    },
+                };
+                results.lock().expect("results poisoned")[idx] = Some(result);
+            });
+        }
+    });
+
+    let results: Vec<InstanceResult> = results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|r| r.expect("all jobs completed"))
+        .collect();
+
+    // Summaries.
+    let mut rows: BTreeMap<String, SweepRow> = BTreeMap::new();
+    let mut detect_sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    for t in transformations {
+        rows.insert(
+            t.name().to_string(),
+            SweepRow {
+                transformation: t.name().to_string(),
+                ..Default::default()
+            },
+        );
+    }
+    for r in &results {
+        let row = rows.entry(r.transformation.clone()).or_default();
+        row.transformation = r.transformation.clone();
+        row.instances += 1;
+        match &r.report {
+            None => row.errors += 1,
+            Some(rep) => match &rep.verdict {
+                Verdict::Equivalent { .. } => row.passed += 1,
+                Verdict::Inconclusive { .. } => row.errors += 1,
+                v => {
+                    row.faults += 1;
+                    *row.by_class.entry(v.label().to_string()).or_insert(0) += 1;
+                    if let Some(t) = rep.trials_to_detection {
+                        let e = detect_sums.entry(r.transformation.clone()).or_insert((0.0, 0));
+                        e.0 += t as f64;
+                        e.1 += 1;
+                    }
+                }
+            },
+        }
+    }
+    for (name, (sum, count)) in detect_sums {
+        if let Some(row) = rows.get_mut(&name) {
+            row.mean_trials_to_detect = sum / count.max(1) as f64;
+        }
+    }
+    (results, rows.into_values().collect())
+}
+
+/// Formats summary rows as a Table-2 style text table.
+pub fn format_sweep_table(rows: &[SweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:>9} {:>7} {:>7} {:>7}  {:<30} {:>10}\n",
+        "Transformation", "instances", "pass", "fault", "error", "failure classes", "avg trials"
+    ));
+    out.push_str(&"-".repeat(104));
+    out.push('\n');
+    for r in rows {
+        let classes: Vec<String> = r
+            .by_class
+            .iter()
+            .map(|(k, v)| format!("{k}×{v}"))
+            .collect();
+        out.push_str(&format!(
+            "{:<26} {:>9} {:>7} {:>7} {:>7}  {:<30} {:>10}\n",
+            r.transformation,
+            r.instances,
+            r.passed,
+            r.faults,
+            r.errors,
+            classes.join(", "),
+            if r.faults > 0 {
+                format!("{:.1}", r.mean_trials_to_detect)
+            } else {
+                "-".to_string()
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyflow_transforms::{MapTiling, MapTilingOffByOne};
+
+    fn small_workload() -> (String, Sdfg, Bindings) {
+        (
+            "matmul_chain".to_string(),
+            fuzzyflow_workloads::matmul_chain(),
+            fuzzyflow_workloads::matmul_chain::default_bindings(),
+        )
+    }
+
+    #[test]
+    fn sweep_classifies_correct_and_buggy_passes() {
+        let workloads = vec![small_workload()];
+        let transformations: Vec<Box<dyn Transformation>> = vec![
+            Box::new(MapTiling::new(4)),
+            Box::new(MapTilingOffByOne::new(4)),
+        ];
+        let cfg = SweepConfig {
+            verify: VerifyConfig {
+                trials: 30,
+                size_max: 10,
+                ..Default::default()
+            },
+            threads: 2,
+        };
+        let (results, rows) = sweep(&workloads, &transformations, &cfg);
+        assert_eq!(results.len(), 6); // 3 GEMMs × 2 passes
+        let good = rows
+            .iter()
+            .find(|r| r.transformation == "MapTiling")
+            .unwrap();
+        assert_eq!(good.faults, 0);
+        assert_eq!(good.passed, 3);
+        let bad = rows
+            .iter()
+            .find(|r| r.transformation == "MapTilingOffByOne")
+            .unwrap();
+        assert_eq!(bad.faults, 3, "{bad:?}");
+        // Table renders.
+        let table = format_sweep_table(&rows);
+        assert!(table.contains("MapTilingOffByOne"));
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let workloads = vec![small_workload()];
+        let transformations: Vec<Box<dyn Transformation>> =
+            vec![Box::new(MapTilingOffByOne::new(4))];
+        let cfg = SweepConfig {
+            verify: VerifyConfig {
+                trials: 20,
+                ..Default::default()
+            },
+            threads: 3,
+        };
+        let (r1, _) = sweep(&workloads, &transformations, &cfg);
+        let (r2, _) = sweep(&workloads, &transformations, &cfg);
+        let labels1: Vec<&str> = r1.iter().map(|r| r.label()).collect();
+        let labels2: Vec<&str> = r2.iter().map(|r| r.label()).collect();
+        assert_eq!(labels1, labels2);
+    }
+}

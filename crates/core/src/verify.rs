@@ -1,0 +1,349 @@
+//! The end-to-end verification pipeline (paper Fig. 1).
+
+use fuzzyflow_cutout::{
+    extract_cutout, minimize_input_configuration, refind_match, CutoutStats, MinCutOutcome,
+    SideEffectContext,
+};
+use fuzzyflow_fuzz::{derive_constraints, DiffTester, Verdict};
+use fuzzyflow_ir::{Bindings, Sdfg};
+use fuzzyflow_transforms::{apply_to_clone, TransformError, Transformation, TransformationMatch};
+use std::fmt;
+
+/// Configuration for one verification run.
+#[derive(Clone, Debug)]
+pub struct VerifyConfig {
+    /// Fuzzing trials per instance (paper uses 100 for CLOUDSC).
+    pub trials: usize,
+    /// Numerical threshold `t_Δ` (paper: 1e-5; `0.0` = bit-exact).
+    pub tolerance: f64,
+    /// PRNG seed — reports replay exactly.
+    pub seed: u64,
+    /// Maximum sampled size for size symbols.
+    pub size_max: i64,
+    /// Run the minimum input-flow cut (Sec. 4) before fuzzing.
+    pub minimize: bool,
+    /// Symbol values used to concretize min-cut capacities (Sec. 4.2:
+    /// "we concretize the symbol values ... with constant values that may
+    /// be provided by the user"). Falls back to `size_max` per symbol.
+    pub concretization: Option<Bindings>,
+    /// Extra engineer-provided sampling constraints `(symbol, lo, hi)`.
+    pub custom_constraints: Vec<(String, i64, i64)>,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            trials: 100,
+            tolerance: 1e-5,
+            seed: 0x5EED_F00D,
+            size_max: 16,
+            minimize: true,
+            concretization: None,
+            custom_constraints: Vec::new(),
+        }
+    }
+}
+
+/// Pipeline failure (before any verdict could be produced).
+#[derive(Clone, Debug)]
+pub enum VerifyError {
+    /// The transformation failed to apply to the full program.
+    Apply(TransformError),
+    /// Cutout extraction failed.
+    Extract(String),
+    /// The transformation could not be replayed on the cutout — per the
+    /// paper (Sec. 3 step 2) this exposes a transformation that changes
+    /// elements outside its reported change set.
+    Replay(TransformError),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Apply(e) => write!(f, "transformation failed to apply: {e}"),
+            VerifyError::Extract(e) => write!(f, "cutout extraction failed: {e}"),
+            VerifyError::Replay(e) => write!(f, "cutout replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Result of verifying one transformation instance.
+#[derive(Clone, Debug)]
+pub struct VerificationReport {
+    pub transformation: String,
+    pub match_description: String,
+    pub verdict: Verdict,
+    /// Size of the extracted cutout.
+    pub cutout_stats: CutoutStats,
+    /// Deep node count of the whole program, for `c ≪ p` comparisons.
+    pub program_nodes: usize,
+    /// Input-space minimization outcome (when enabled and applicable).
+    pub mincut: Option<MinCutOutcome>,
+    /// Trials executed by the differential tester.
+    pub trials_run: usize,
+    /// 1-based trial at which the fault surfaced.
+    pub trials_to_detection: Option<usize>,
+    /// Containers compared as the system state.
+    pub system_state: Vec<String>,
+    /// Containers sampled as the input configuration.
+    pub input_config: Vec<String>,
+}
+
+/// Verifies a single transformation instance end to end.
+pub fn verify_instance(
+    program: &Sdfg,
+    t: &dyn Transformation,
+    m: &TransformationMatch,
+    cfg: &VerifyConfig,
+) -> Result<VerificationReport, VerifyError> {
+    // 1. Apply to a clone; learn the change set.
+    let (_, changes) = apply_to_clone(program, t, m).map_err(VerifyError::Apply)?;
+
+    // 2. Extract the cutout.
+    let size_syms: Vec<String> = program.free_symbols();
+    let ctx = SideEffectContext::with_size_symbols(&size_syms, cfg.size_max.max(1));
+    let mut cutout =
+        extract_cutout(program, &changes, &ctx).map_err(|e| VerifyError::Extract(e.to_string()))?;
+
+    // 3. Minimize the input configuration (Sec. 4).
+    let mut mincut = None;
+    if cfg.minimize {
+        let bindings = cfg.concretization.clone().unwrap_or_else(|| {
+            Bindings::from_pairs(
+                cutout
+                    .input_symbols
+                    .iter()
+                    .map(|s| (s.clone(), cfg.size_max.max(1))),
+            )
+        });
+        let (min_c, outcome) = minimize_input_configuration(program, cutout, &ctx, &bindings);
+        cutout = min_c;
+        mincut = Some(outcome);
+    }
+
+    // 4. Replay the transformation on the cutout to obtain T(c).
+    let translated = refind_match(&cutout, t, m).map_err(VerifyError::Replay)?;
+    let mut transformed = cutout.sdfg.clone();
+    t.apply(&mut transformed, &translated)
+        .map_err(VerifyError::Replay)?;
+
+    // 5. Differential fuzzing with derived constraints.
+    let mut constraints = derive_constraints(&cutout, program);
+    for (s, lo, hi) in &cfg.custom_constraints {
+        constraints.constrain(s.clone(), *lo, *hi);
+    }
+    let tester = DiffTester {
+        trials: cfg.trials,
+        tolerance: cfg.tolerance,
+        seed: cfg.seed,
+        profile: fuzzyflow_fuzz::ValueProfile {
+            size_max: cfg.size_max,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let diff = tester.test(&cutout, &transformed, &constraints);
+
+    let program_nodes = program
+        .states
+        .node_ids()
+        .map(|s| program.state(s).df.deep_node_count())
+        .sum();
+
+    Ok(VerificationReport {
+        transformation: t.name().to_string(),
+        match_description: m.description.clone(),
+        verdict: diff.verdict,
+        cutout_stats: cutout.stats.clone(),
+        program_nodes,
+        mincut,
+        trials_run: diff.trials_run,
+        trials_to_detection: diff.trials_to_detection,
+        system_state: cutout.system_state.clone(),
+        input_config: cutout.input_config.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyflow_transforms::{
+        GpuKernelExtraction, LoopUnrolling, MapTiling, MapTilingOffByOne, TaskletFusion,
+        Transformation, WriteElimination,
+    };
+    use fuzzyflow_workloads as wl;
+
+    fn cfg(trials: usize) -> VerifyConfig {
+        VerifyConfig {
+            trials,
+            size_max: 12,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fig2_off_by_one_tiling_found_on_matmul_chain() {
+        let p = wl::matmul_chain();
+        let t = MapTilingOffByOne::new(4);
+        let matches = t.find_matches(&p);
+        assert_eq!(matches.len(), 3, "three GEMMs to tile");
+        // Second multiplication, as in Fig. 2.
+        let report = verify_instance(&p, &t, &matches[1], &cfg(60)).unwrap();
+        assert!(
+            matches!(report.verdict, Verdict::SemanticChange { .. }),
+            "{:?}",
+            report.verdict
+        );
+        // Cutout is much smaller than the program.
+        assert!(report.cutout_stats.nodes < report.program_nodes);
+        // System state is the second temporary V (read by the third GEMM).
+        assert!(report.system_state.contains(&"V".to_string()));
+    }
+
+    #[test]
+    fn correct_tiling_passes_on_matmul_chain() {
+        let p = wl::matmul_chain();
+        let t = MapTiling::new(4);
+        let matches = t.find_matches(&p);
+        let report = verify_instance(&p, &t, &matches[1], &cfg(25)).unwrap();
+        assert!(
+            matches!(report.verdict, Verdict::Equivalent { .. }),
+            "{:?}",
+            report.verdict
+        );
+    }
+
+    #[test]
+    fn gpu_extraction_found_on_cloudsc() {
+        let p = wl::cloudsc_like();
+        let t = GpuKernelExtraction;
+        let matches = t.find_matches(&p);
+        assert!(matches.len() >= 13, "{} instances", matches.len());
+        // A partial-write instance (the condensation adjustment).
+        let faulty = matches
+            .iter()
+            .map(|m| verify_instance(&p, &t, m, &cfg(20)).unwrap())
+            .filter(|r| r.verdict.is_fault())
+            .count();
+        let ratio = faulty as f64 / matches.len() as f64;
+        assert!(
+            ratio > 0.6 && ratio < 0.95,
+            "faulty ratio {ratio} (paper: 48/62 ≈ 0.77)"
+        );
+    }
+
+    #[test]
+    fn loop_unrolling_negative_step_found_on_cloudsc() {
+        let p = wl::cloudsc_like();
+        let t = LoopUnrolling::default();
+        let matches = t.find_matches(&p);
+        assert!(matches.len() >= 4, "{} loops", matches.len());
+        let mut faulty = 0;
+        for m in &matches {
+            let r = verify_instance(&p, &t, m, &cfg(20)).unwrap();
+            if r.verdict.is_fault() {
+                faulty += 1;
+            }
+        }
+        assert_eq!(faulty, 1, "exactly the negative-step loop fails");
+    }
+
+    #[test]
+    fn write_elimination_one_of_many_found_on_cloudsc() {
+        let p = wl::cloudsc_like();
+        let t = WriteElimination;
+        let matches = t.find_matches(&p);
+        assert!(matches.len() >= 6, "{} chains", matches.len());
+        let mut faulty = 0;
+        for m in &matches {
+            let r = verify_instance(&p, &t, m, &cfg(20)).unwrap();
+            if r.verdict.is_fault() {
+                faulty += 1;
+            }
+        }
+        assert_eq!(faulty, 1, "exactly the live temporary fails");
+    }
+
+    #[test]
+    fn mincut_reduces_mha_input_space_by_75_percent() {
+        let p = wl::mha_encoder();
+        let t = fuzzyflow_transforms::Vectorization::new(4);
+        let matches = t.find_matches(&p);
+        assert_eq!(matches.len(), 1, "the scale loop nest");
+        let config = VerifyConfig {
+            trials: 5,
+            concretization: Some(wl::mha::default_bindings()),
+            // Keep sampled sizes small but let the ratio hold.
+            size_max: 16,
+            ..Default::default()
+        };
+        let report = verify_instance(&p, &t, &matches[0], &config).unwrap();
+        let mc = report.mincut.expect("mincut ran");
+        assert!(
+            (mc.reduction() - 0.75).abs() < 0.05,
+            "input-space reduction {} (paper: 75%)",
+            mc.reduction()
+        );
+        assert!(!mc.added_nodes.is_empty(), "batched matmul absorbed");
+    }
+
+    #[test]
+    fn tasklet_fusion_instance_classified() {
+        // Build the Fig. 4 pattern with a later reader: fusion must flag.
+        let p = {
+            use fuzzyflow_ir::{Memlet, ScalarExpr, SdfgBuilder, Subset, Tasklet};
+            let mut b = SdfgBuilder::new("fig4");
+            b.scalar("y", fuzzyflow_ir::DType::F64);
+            b.scalar("z", fuzzyflow_ir::DType::F64);
+            b.transient_scalar("tmp", fuzzyflow_ir::DType::F64);
+            b.scalar("out", fuzzyflow_ir::DType::F64);
+            b.scalar("out2", fuzzyflow_ir::DType::F64);
+            let st = b.start();
+            b.in_state(st, |df| {
+                let z = df.access("z");
+                let y = df.access("y");
+                let tmp = df.access("tmp");
+                let out = df.access("out");
+                let t1 = df.tasklet(Tasklet::simple(
+                    "twice",
+                    vec!["a"],
+                    "r",
+                    ScalarExpr::r("a").mul(ScalarExpr::f64(2.0)),
+                ));
+                let t2 = df.tasklet(Tasklet::simple(
+                    "h",
+                    vec!["b", "c"],
+                    "r",
+                    ScalarExpr::r("b").add(ScalarExpr::r("c")),
+                ));
+                df.read(z, t1, Memlet::new("z", Subset::new(vec![])).to_conn("a"));
+                df.write(t1, tmp, Memlet::new("tmp", Subset::new(vec![])).from_conn("r"));
+                df.read(y, t2, Memlet::new("y", Subset::new(vec![])).to_conn("b"));
+                df.read(tmp, t2, Memlet::new("tmp", Subset::new(vec![])).to_conn("c"));
+                df.write(t2, out, Memlet::new("out", Subset::new(vec![])).from_conn("r"));
+            });
+            let st2 = b.add_state_after(st, "later");
+            b.in_state(st2, |df| {
+                let tmp = df.access("tmp");
+                let out2 = df.access("out2");
+                let t = df.tasklet(Tasklet::simple("cp", vec!["a"], "r", ScalarExpr::r("a")));
+                df.read(tmp, t, Memlet::new("tmp", Subset::new(vec![])).to_conn("a"));
+                df.write(t, out2, Memlet::new("out2", Subset::new(vec![])).from_conn("r"));
+            });
+            b.build()
+        };
+        let t = TaskletFusion;
+        let matches = t.find_matches(&p);
+        assert_eq!(matches.len(), 1);
+        let report = verify_instance(&p, &t, &matches[0], &cfg(20)).unwrap();
+        assert!(
+            matches!(report.verdict, Verdict::SemanticChange { .. }),
+            "{:?}",
+            report.verdict
+        );
+        // The system state analysis placed tmp in the cutout's outputs.
+        assert!(report.system_state.contains(&"tmp".to_string()));
+    }
+}

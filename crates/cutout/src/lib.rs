@@ -1,0 +1,31 @@
+//! Test case extraction — the primary contribution of the FuzzyFlow paper
+//! (Secs. 3 and 4).
+//!
+//! Given a program `p` and the change set ΔT reported by a white-box
+//! transformation, this crate:
+//!
+//! 1. extracts a **cutout** `c ⊆ p`: the modified dataflow subgraph plus
+//!    all direct data dependencies, as a standalone executable program
+//!    ([`extract`]);
+//! 2. determines the cutout's **system state** (everything written that can
+//!    influence the rest of `p`) and **input configuration** (everything
+//!    that may hold data when `c` starts) with an *external data analysis*
+//!    and a *program flow analysis* each ([`side_effects`]);
+//! 3. optionally **minimizes the input configuration** by expanding the
+//!    cutout along a minimum s-t cut over data-movement volumes, trading
+//!    recomputation for input space ([`mincut`]).
+//!
+//! Because the system state captures everything that can affect the
+//! remainder of the program, `c ≅ T(c)  ⟹  p ≅ T(p)` — differential
+//! testing of the small cutout substitutes for testing the whole program
+//! (paper Sec. 2).
+
+pub mod extract;
+pub mod mincut;
+pub mod side_effects;
+pub mod translate;
+
+pub use extract::{extract_cutout, Cutout, CutoutError, CutoutStats};
+pub use mincut::{minimize_input_configuration, MinCutOutcome};
+pub use side_effects::{input_configuration, system_state, SideEffectContext};
+pub use translate::{refind_match, translate_match};

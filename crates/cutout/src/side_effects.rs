@@ -1,0 +1,448 @@
+//! The two side-effect analyses of paper Secs. 3.1 and 3.2.
+//!
+//! **System state**: any container (or sub-region) written inside the
+//! cutout that may be read again after the cutout executes, were the cutout
+//! placed back into the original program. Determined by an *external data
+//! analysis* (non-transient containers persist) plus a *program flow
+//! analysis* (BFS from the cutout through the program, checking read
+//! subsets against the cutout's written subsets).
+//!
+//! **Input configuration**: any container that may already hold data when
+//! the cutout starts. External data analysis (non-transient reads) plus a
+//! reversed BFS checking upstream writes against the cutout's read subsets.
+
+use fuzzyflow_graph::{reachable_from, reverse_reachable_from, NodeId};
+use fuzzyflow_ir::analysis::{graph_access_sets, node_access_sets, AccessSets};
+use fuzzyflow_ir::{Sdfg, StateId, SymBounds};
+
+/// Context for subset-overlap decisions: bounds for size symbols etc.
+/// Undecidable comparisons are treated as overlapping (sound).
+#[derive(Clone, Debug, Default)]
+pub struct SideEffectContext {
+    pub bounds: SymBounds,
+}
+
+impl SideEffectContext {
+    /// Context asserting that every listed symbol is a size in
+    /// `[1, max_size]` — mirrors the paper's "a data container can never
+    /// have a size of <= 0".
+    pub fn with_size_symbols(symbols: &[String], max_size: i64) -> Self {
+        let mut bounds = SymBounds::new();
+        for s in symbols {
+            bounds.set(s.clone(), 1, max_size);
+        }
+        SideEffectContext { bounds }
+    }
+}
+
+/// Where a cutout was taken from, in original-program coordinates.
+#[derive(Clone, Debug)]
+pub enum CutoutLocation {
+    /// A set of top-level dataflow nodes within one state.
+    Nodes { state: StateId, nodes: Vec<NodeId> },
+    /// Whole states.
+    States(Vec<StateId>),
+}
+
+/// True if `reads` contains a read of `data` overlapping `write_subset`.
+fn any_overlapping_read(
+    sets: &AccessSets,
+    cutout_writes: &AccessSets,
+    ctx: &SideEffectContext,
+) -> Vec<String> {
+    let mut hits = Vec::new();
+    for r in &sets.reads {
+        for w in &cutout_writes.writes {
+            if r.data == w.data && r.subset.overlaps(&w.subset, &ctx.bounds).may() {
+                if !hits.contains(&r.data) {
+                    hits.push(r.data.clone());
+                }
+            }
+        }
+    }
+    hits
+}
+
+fn any_overlapping_write(
+    sets: &AccessSets,
+    cutout_reads: &AccessSets,
+    ctx: &SideEffectContext,
+) -> Vec<String> {
+    let mut hits = Vec::new();
+    for w in &sets.writes {
+        for r in &cutout_reads.reads {
+            if w.data == r.data && w.subset.overlaps(&r.subset, &ctx.bounds).may() {
+                if !hits.contains(&w.data) {
+                    hits.push(w.data.clone());
+                }
+            }
+        }
+    }
+    hits
+}
+
+/// States reachable from `starts` following inter-state edges (exclusive
+/// of `starts` unless re-reachable through a cycle).
+fn reachable_states(sdfg: &Sdfg, starts: &[StateId]) -> Vec<StateId> {
+    let mut succ: Vec<StateId> = Vec::new();
+    for &s in starts {
+        for t in sdfg.states.successors(s) {
+            if !succ.contains(&t) {
+                succ.push(t);
+            }
+        }
+    }
+    reachable_from(&sdfg.states, &succ)
+}
+
+/// States that can reach `starts` (exclusive unless on a cycle).
+fn co_reachable_states(sdfg: &Sdfg, starts: &[StateId]) -> Vec<StateId> {
+    let mut pred: Vec<StateId> = Vec::new();
+    for &s in starts {
+        for t in sdfg.states.predecessors(s) {
+            if !pred.contains(&t) {
+                pred.push(t);
+            }
+        }
+    }
+    reverse_reachable_from(&sdfg.states, &pred)
+}
+
+/// Computes the cutout's **system state** (paper Sec. 3.1): the containers
+/// whose contents after the cutout's execution can influence the rest of
+/// the program.
+pub fn system_state(
+    sdfg: &Sdfg,
+    cutout_sets: &AccessSets,
+    location: &CutoutLocation,
+    ctx: &SideEffectContext,
+) -> Vec<String> {
+    let mut state_set: Vec<String> = Vec::new();
+
+    // External data analysis: every write to a non-transient container is
+    // observable after the program exits.
+    for w in cutout_sets.written_containers() {
+        let external = sdfg.array(&w).map(|d| !d.transient).unwrap_or(true);
+        if external && !state_set.contains(&w) {
+            state_set.push(w);
+        }
+    }
+
+    // Program flow analysis: BFS from the cutout looking for overlapping
+    // reads.
+    let mut scan = |sets: &AccessSets| {
+        for hit in any_overlapping_read(sets, cutout_sets, ctx) {
+            if !state_set.contains(&hit) {
+                state_set.push(hit);
+            }
+        }
+    };
+
+    match location {
+        CutoutLocation::Nodes { state, nodes } => {
+            let df = &sdfg.state(*state).df;
+            // Downstream within the state.
+            let downstream = reachable_from(&df.graph, nodes);
+            for n in downstream {
+                if nodes.contains(&n) {
+                    continue;
+                }
+                scan(&node_access_sets(df, n));
+            }
+            // Downstream states (and the own state again, if on a cycle).
+            let reach = reachable_states(sdfg, &[*state]);
+            for s in reach {
+                if s == *state {
+                    // Loop around: every read in the state may re-execute.
+                    scan(&graph_access_sets(df));
+                } else {
+                    scan(&graph_access_sets(&sdfg.state(s).df));
+                }
+            }
+        }
+        CutoutLocation::States(states) => {
+            let reach = reachable_states(sdfg, states);
+            for s in reach {
+                if states.contains(&s) {
+                    continue;
+                }
+                scan(&graph_access_sets(&sdfg.state(s).df));
+            }
+        }
+    }
+
+    state_set.sort();
+    state_set
+}
+
+/// Computes the cutout's **input configuration** (paper Sec. 3.2): the
+/// containers that may already contain data before the cutout executes.
+pub fn input_configuration(
+    sdfg: &Sdfg,
+    cutout_sets: &AccessSets,
+    location: &CutoutLocation,
+    ctx: &SideEffectContext,
+) -> Vec<String> {
+    let mut inputs: Vec<String> = Vec::new();
+
+    // External data analysis: non-transient containers may carry data from
+    // outside the program.
+    for r in cutout_sets.read_containers() {
+        let external = sdfg.array(&r).map(|d| !d.transient).unwrap_or(true);
+        if external && !inputs.contains(&r) {
+            inputs.push(r);
+        }
+    }
+
+    let mut scan = |sets: &AccessSets| {
+        for hit in any_overlapping_write(sets, cutout_sets, ctx) {
+            if !inputs.contains(&hit) {
+                inputs.push(hit);
+            }
+        }
+    };
+
+    match location {
+        CutoutLocation::Nodes { state, nodes } => {
+            let df = &sdfg.state(*state).df;
+            let upstream = reverse_reachable_from(&df.graph, nodes);
+            for n in upstream {
+                if nodes.contains(&n) {
+                    continue;
+                }
+                scan(&node_access_sets(df, n));
+            }
+            let co = co_reachable_states(sdfg, &[*state]);
+            for s in co {
+                if s == *state {
+                    scan(&graph_access_sets(df));
+                } else {
+                    scan(&graph_access_sets(&sdfg.state(s).df));
+                }
+            }
+        }
+        CutoutLocation::States(states) => {
+            let co = co_reachable_states(sdfg, states);
+            for s in co {
+                if states.contains(&s) {
+                    continue;
+                }
+                scan(&graph_access_sets(&sdfg.state(s).df));
+            }
+        }
+    }
+
+    inputs.sort();
+    inputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyflow_ir::{
+        sym, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymExpr, SymRange, Tasklet,
+    };
+
+    /// state0: tmp[i] = A[i]+1 (map M1); V[i] = tmp[i]*2 (map M2)
+    /// state1: R[i] = V[i] + tmp[0]
+    /// Cutout = {M2}: system state must include V (read downstream) and
+    /// input config must include tmp (written upstream).
+    fn program() -> (Sdfg, StateId, NodeId) {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.transient("tmp", DType::F64, &["N"]);
+        b.transient("V", DType::F64, &["N"]);
+        b.array("R", DType::F64, &["N"]);
+        let st0 = b.start();
+        let mut m2_id = None;
+        b.in_state(st0, |df| {
+            let a = df.access("A");
+            let tmp = df.access("tmp");
+            let v = df.access("V");
+            let m1 = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let a = body.access("A");
+                    let t = body.access("tmp");
+                    let k = body.tasklet(Tasklet::simple(
+                        "inc",
+                        vec!["x"],
+                        "y",
+                        ScalarExpr::r("x").add(ScalarExpr::f64(1.0)),
+                    ));
+                    body.read(a, k, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.write(k, t, Memlet::new("tmp", Subset::at(vec![sym("i")])).from_conn("y"));
+                },
+            );
+            let m2 = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let t = body.access("tmp");
+                    let v = body.access("V");
+                    let k = body.tasklet(Tasklet::simple(
+                        "dbl",
+                        vec!["x"],
+                        "y",
+                        ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
+                    ));
+                    body.read(t, k, Memlet::new("tmp", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.write(k, v, Memlet::new("V", Subset::at(vec![sym("i")])).from_conn("y"));
+                },
+            );
+            df.auto_wire(m1, &[a], &[tmp]);
+            df.auto_wire(m2, &[tmp], &[v]);
+            m2_id = Some(m2);
+        });
+        let st1 = b.add_state_after(st0, "consume");
+        b.in_state(st1, |df| {
+            let v = df.access("V");
+            let tmp = df.access("tmp");
+            let r = df.access("R");
+            let m = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let v = body.access("V");
+                    let t = body.access("tmp");
+                    let r = body.access("R");
+                    let k = body.tasklet(Tasklet::simple(
+                        "add",
+                        vec!["a", "b"],
+                        "y",
+                        ScalarExpr::r("a").add(ScalarExpr::r("b")),
+                    ));
+                    body.read(v, k, Memlet::new("V", Subset::at(vec![sym("i")])).to_conn("a"));
+                    body.read(
+                        t,
+                        k,
+                        Memlet::new("tmp", Subset::at(vec![SymExpr::Int(0)])).to_conn("b"),
+                    );
+                    body.write(k, r, Memlet::new("R", Subset::at(vec![sym("i")])).from_conn("y"));
+                },
+            );
+            df.auto_wire(m, &[v, tmp], &[r]);
+        });
+        let sdfg = b.build();
+        (sdfg, st0, m2_id.expect("m2 built"))
+    }
+
+    fn ctx() -> SideEffectContext {
+        SideEffectContext::with_size_symbols(&["N".to_string()], 1 << 20)
+    }
+
+    #[test]
+    fn system_state_includes_downstream_read() {
+        let (p, st, m2) = program();
+        let df = &p.state(st).df;
+        let sets = node_access_sets(df, m2);
+        let loc = CutoutLocation::Nodes {
+            state: st,
+            nodes: vec![m2],
+        };
+        let ss = system_state(&p, &sets, &loc, &ctx());
+        assert!(ss.contains(&"V".to_string()), "V read in next state: {ss:?}");
+        // tmp is only *read* by the cutout; not part of the system state.
+        assert!(!ss.contains(&"tmp".to_string()));
+    }
+
+    #[test]
+    fn input_config_includes_upstream_write() {
+        let (p, st, m2) = program();
+        let df = &p.state(st).df;
+        let sets = node_access_sets(df, m2);
+        let loc = CutoutLocation::Nodes {
+            state: st,
+            nodes: vec![m2],
+        };
+        let ic = input_configuration(&p, &sets, &loc, &ctx());
+        assert!(ic.contains(&"tmp".to_string()), "tmp written upstream: {ic:?}");
+        assert!(!ic.contains(&"A".to_string()), "A not read by cutout: {ic:?}");
+        // V is written (not read) by the cutout -> not an input.
+        assert!(!ic.contains(&"V".to_string()));
+    }
+
+    #[test]
+    fn external_containers_always_counted() {
+        let (p, st, _) = program();
+        let df = &p.state(st).df;
+        // Cutout = M1 (reads non-transient A, writes transient tmp).
+        let m1 = df.computation_nodes()[0];
+        let sets = node_access_sets(df, m1);
+        let loc = CutoutLocation::Nodes {
+            state: st,
+            nodes: vec![m1],
+        };
+        let ic = input_configuration(&p, &sets, &loc, &ctx());
+        assert!(ic.contains(&"A".to_string()));
+        let ss = system_state(&p, &sets, &loc, &ctx());
+        // tmp is read downstream (both M2 and next state).
+        assert!(ss.contains(&"tmp".to_string()));
+    }
+
+    #[test]
+    fn disjoint_subsets_not_flagged() {
+        // Writer touches A[0:4], downstream reads A[4:8]: no side effect.
+        let mut b = SdfgBuilder::new("d");
+        b.array("A", DType::F64, &["8"]);
+        b.transient("B", DType::F64, &["8"]);
+        b.scalar("x", DType::F64);
+        let st = b.start();
+        let mut writer = None;
+        b.in_state(st, |df| {
+            let xa = df.access("x");
+            let a = df.access("B");
+            let t = df.tasklet(Tasklet::simple("w", vec!["v"], "y", ScalarExpr::r("v")));
+            df.read(xa, t, Memlet::new("x", Subset::new(vec![])).to_conn("v"));
+            df.write(
+                t,
+                a,
+                Memlet::new(
+                    "B",
+                    Subset::new(vec![SymRange::span(SymExpr::Int(0), SymExpr::Int(4))]),
+                )
+                .from_conn("y"),
+            );
+            writer = Some(t);
+        });
+        let st1 = b.add_state_after(st, "next");
+        b.in_state(st1, |df| {
+            let a = df.access("B");
+            let o = df.access("A");
+            let t = df.tasklet(Tasklet::simple("r", vec!["v"], "y", ScalarExpr::r("v")));
+            df.read(
+                a,
+                t,
+                Memlet::new(
+                    "B",
+                    Subset::new(vec![SymRange::span(SymExpr::Int(4), SymExpr::Int(8))]),
+                )
+                .to_conn("v"),
+            );
+            df.write(
+                t,
+                o,
+                Memlet::new("A", Subset::at(vec![SymExpr::Int(0)])).from_conn("y"),
+            );
+        });
+        let p = b.build();
+        let df = &p.state(st).df;
+        let sets = node_access_sets(df, writer.expect("writer"));
+        let loc = CutoutLocation::Nodes {
+            state: st,
+            nodes: vec![writer.unwrap()],
+        };
+        let ss = system_state(&p, &sets, &loc, &SideEffectContext::default());
+        assert!(
+            !ss.contains(&"B".to_string()),
+            "disjoint sub-regions must not alias: {ss:?}"
+        );
+    }
+
+    use fuzzyflow_graph::NodeId;
+}

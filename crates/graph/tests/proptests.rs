@@ -1,0 +1,103 @@
+//! Property-based tests for graph algorithms.
+
+use fuzzyflow_graph::{max_flow_min_cut, topological_sort, DiGraph, NodeId};
+use proptest::prelude::*;
+
+/// Builds a random DAG with `n` nodes: edges only go from lower to higher
+/// index, so the graph is acyclic by construction.
+fn arb_dag() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..12).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..30).prop_map(move |pairs| {
+            pairs
+                .into_iter()
+                .filter(|(a, b)| a < b)
+                .collect::<Vec<_>>()
+        });
+        (Just(n), edges)
+    })
+}
+
+/// Random flow network: random edges with small positive capacities.
+fn arb_network() -> impl Strategy<Value = (usize, Vec<(usize, usize, u8)>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, 1u8..16), 1..40).prop_map(
+            move |pairs| {
+                pairs
+                    .into_iter()
+                    .filter(|(a, b, _)| a != b)
+                    .collect::<Vec<_>>()
+            },
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    /// Topological sort of a DAG orders every edge source before its target.
+    #[test]
+    fn topo_order_respects_edges((n, edges) in arb_dag()) {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for &(a, b) in &edges {
+            g.add_edge(ids[a], ids[b], ());
+        }
+        let order = topological_sort(&g).unwrap();
+        prop_assert_eq!(order.len(), n);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; n];
+            for (i, node) in order.iter().enumerate() {
+                p[node.index()] = i;
+            }
+            p
+        };
+        for &(a, b) in &edges {
+            prop_assert!(pos[a] < pos[b]);
+        }
+    }
+
+    /// Max-flow equals the capacity of the returned cut, and the cut
+    /// separates s from t (no residual path crosses back).
+    #[test]
+    fn maxflow_equals_cut_capacity((n, edges) in arb_network()) {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for &(a, b, c) in &edges {
+            g.add_edge(ids[a], ids[b], c as f64);
+        }
+        let s = ids[0];
+        let t = ids[n - 1];
+        let r = max_flow_min_cut(&g, s, t, |_, &c| c);
+        // Cut capacity == flow value.
+        let cut_cap: f64 = r.cut_edges.iter().map(|&e| *g.edge(e)).sum();
+        prop_assert!((cut_cap - r.max_flow).abs() < 1e-9,
+            "cut {} != flow {}", cut_cap, r.max_flow);
+        // Partition covers all nodes exactly once.
+        prop_assert_eq!(r.source_side.len() + r.sink_side.len(), n);
+        prop_assert!(r.source_side.contains(&s));
+        prop_assert!(r.sink_side.contains(&t));
+        // Removing cut edges must disconnect s from t.
+        let mut g2 = g.clone();
+        for e in &r.cut_edges {
+            g2.remove_edge(*e);
+        }
+        let reach = fuzzyflow_graph::reachable_from(&g2, &[s]);
+        prop_assert!(!reach.contains(&t), "cut does not separate s from t");
+    }
+
+    /// Flow value is invariant under edge insertion order.
+    #[test]
+    fn maxflow_order_invariant((n, mut edges) in arb_network()) {
+        let build = |edges: &[(usize, usize, u8)]| {
+            let mut g: DiGraph<(), f64> = DiGraph::new();
+            let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+            for &(a, b, c) in edges {
+                g.add_edge(ids[a], ids[b], c as f64);
+            }
+            max_flow_min_cut(&g, ids[0], ids[n - 1], |_, &c| c).max_flow
+        };
+        let f1 = build(&edges);
+        edges.reverse();
+        let f2 = build(&edges);
+        prop_assert_eq!(f1, f2);
+    }
+}

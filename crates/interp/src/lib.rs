@@ -1,0 +1,28 @@
+//! Deterministic reference interpreter for the FuzzyFlow dataflow IR.
+//!
+//! The interpreter plays the role of DaCe's C++ code generation plus native
+//! execution in the paper's tool chain: it is the engine differential
+//! testing drives (paper Sec. 5). Design goals, in order:
+//!
+//! 1. **Observability** — every failure mode the paper's fuzzer looks for is
+//!    a first-class error: out-of-bounds accesses and integer division by
+//!    zero surface as [`ExecError`] ("crashes"), a configurable step limit
+//!    catches non-termination ("hangs"), and structurally broken programs
+//!    are rejected up front ("generates invalid code").
+//! 2. **Determinism** — identical inputs produce bit-identical outputs;
+//!    parallel maps execute in canonical iteration order, reductions in a
+//!    fixed combine order. Differential comparisons are exact by default.
+//! 3. **Coverage feedback** — an AFL-style edge-coverage map
+//!    ([`CoverageMap`]) records state transitions, node executions and
+//!    branch outcomes, enabling the coverage-guided fuzzing mode of
+//!    Sec. 5.1 without external tooling.
+
+pub mod coverage;
+pub mod error;
+pub mod exec;
+pub mod value;
+
+pub use coverage::CoverageMap;
+pub use error::ExecError;
+pub use exec::{run, run_with, CommHandler, ExecOptions, ExecState, StateMismatch};
+pub use value::ArrayValue;

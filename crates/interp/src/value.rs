@@ -1,0 +1,224 @@
+//! Runtime array values.
+
+use fuzzyflow_ir::{DType, Scalar};
+
+/// Sentinel bit pattern used to fill "uninitialized" device allocations.
+/// Models the garbage contents of freshly allocated GPU memory that the
+/// CLOUDSC GPU-kernel-extraction bug copies back to the host (paper
+/// Sec. 6.4, Fig. 7). Deterministic so test failures reproduce exactly.
+pub const GARBAGE_BITS: u64 = 0xDEAD_BEEF_DEAD_BEEF;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Data {
+    F64(Vec<f64>),
+    F32(Vec<f32>),
+    I64(Vec<i64>),
+    I32(Vec<i32>),
+    Bool(Vec<bool>),
+}
+
+/// A typed, shaped, row-major array value. Scalars are rank-0 arrays with
+/// a single element.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayValue {
+    dtype: DType,
+    shape: Vec<i64>,
+    data: Data,
+}
+
+impl ArrayValue {
+    /// A zero-filled array.
+    pub fn zeros(dtype: DType, shape: Vec<i64>) -> Self {
+        let n = shape.iter().product::<i64>().max(0) as usize;
+        let n = if shape.is_empty() { 1 } else { n };
+        let data = match dtype {
+            DType::F64 => Data::F64(vec![0.0; n]),
+            DType::F32 => Data::F32(vec![0.0; n]),
+            DType::I64 => Data::I64(vec![0; n]),
+            DType::I32 => Data::I32(vec![0; n]),
+            DType::Bool => Data::Bool(vec![false; n]),
+        };
+        ArrayValue { dtype, shape, data }
+    }
+
+    /// An array filled with a deterministic "uninitialized memory" pattern.
+    pub fn garbage(dtype: DType, shape: Vec<i64>) -> Self {
+        let mut v = Self::zeros(dtype, shape);
+        let g = match dtype {
+            DType::F64 => Scalar::F64(f64::from_bits(GARBAGE_BITS)),
+            DType::F32 => Scalar::F32(f32::from_bits(GARBAGE_BITS as u32)),
+            DType::I64 => Scalar::I64(GARBAGE_BITS as i64),
+            DType::I32 => Scalar::I32(GARBAGE_BITS as i32),
+            DType::Bool => Scalar::Bool(true),
+        };
+        for i in 0..v.len() {
+            v.set(i, g);
+        }
+        v
+    }
+
+    /// An array filled with one value.
+    pub fn filled(dtype: DType, shape: Vec<i64>, value: Scalar) -> Self {
+        let mut v = Self::zeros(dtype, shape);
+        let value = value.cast(dtype);
+        for i in 0..v.len() {
+            v.set(i, value);
+        }
+        v
+    }
+
+    /// A rank-0 scalar value.
+    pub fn scalar(value: Scalar) -> Self {
+        let mut v = Self::zeros(value.dtype(), Vec::new());
+        v.set(0, value);
+        v
+    }
+
+    /// Builds an `f64` array from a slice (convenience for tests/examples).
+    pub fn from_f64(shape: Vec<i64>, values: &[f64]) -> Self {
+        assert_eq!(
+            shape.iter().product::<i64>().max(if shape.is_empty() { 1 } else { 0 }),
+            values.len() as i64,
+            "value count must match shape"
+        );
+        ArrayValue {
+            dtype: DType::F64,
+            shape,
+            data: Data::F64(values.to_vec()),
+        }
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Concrete shape.
+    pub fn shape(&self) -> &[i64] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            Data::F64(v) => v.len(),
+            Data::F32(v) => v.len(),
+            Data::I64(v) => v.len(),
+            Data::I32(v) => v.len(),
+            Data::Bool(v) => v.len(),
+        }
+    }
+
+    /// True if the array has no elements (zero-sized dimension).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads the element at a linear offset.
+    pub fn get(&self, idx: usize) -> Scalar {
+        match &self.data {
+            Data::F64(v) => Scalar::F64(v[idx]),
+            Data::F32(v) => Scalar::F32(v[idx]),
+            Data::I64(v) => Scalar::I64(v[idx]),
+            Data::I32(v) => Scalar::I32(v[idx]),
+            Data::Bool(v) => Scalar::Bool(v[idx]),
+        }
+    }
+
+    /// Writes the element at a linear offset (casting to the array dtype).
+    pub fn set(&mut self, idx: usize, value: Scalar) {
+        match &mut self.data {
+            Data::F64(v) => v[idx] = value.as_f64(),
+            Data::F32(v) => v[idx] = value.as_f64() as f32,
+            Data::I64(v) => v[idx] = value.as_i64(),
+            Data::I32(v) => v[idx] = value.as_i64() as i32,
+            Data::Bool(v) => v[idx] = value.as_bool(),
+        }
+    }
+
+    /// View as `f64` values (copying). Convenience for assertions.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.get(i).as_f64()).collect()
+    }
+
+    /// First differing linear index between two arrays under bit-exact
+    /// comparison (`tol == 0`) or tolerance comparison. `None` means equal.
+    /// Arrays of different dtype/shape differ at index 0 by convention.
+    pub fn first_mismatch(&self, other: &ArrayValue, tol: f64) -> Option<usize> {
+        if self.dtype != other.dtype || self.shape != other.shape {
+            return Some(0);
+        }
+        (0..self.len()).find(|&i| {
+            let (a, b) = (self.get(i), other.get(i));
+            if tol == 0.0 {
+                !a.bits_eq(b)
+            } else {
+                !a.approx_eq(b, tol)
+            }
+        })
+    }
+
+    /// Total size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.len() * self.dtype.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let a = ArrayValue::zeros(DType::F32, vec![2, 3]);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.get(5), Scalar::F32(0.0));
+        assert_eq!(a.byte_size(), 24);
+    }
+
+    #[test]
+    fn scalar_is_rank0() {
+        let s = ArrayValue::scalar(Scalar::I64(42));
+        assert_eq!(s.shape(), &[] as &[i64]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0), Scalar::I64(42));
+    }
+
+    #[test]
+    fn set_casts_to_dtype() {
+        let mut a = ArrayValue::zeros(DType::I32, vec![2]);
+        a.set(0, Scalar::F64(3.9));
+        assert_eq!(a.get(0), Scalar::I32(3));
+    }
+
+    #[test]
+    fn garbage_is_deterministic_and_nonzero() {
+        let a = ArrayValue::garbage(DType::F64, vec![4]);
+        let b = ArrayValue::garbage(DType::F64, vec![4]);
+        assert_eq!(a, b);
+        assert_ne!(a.get(0).as_f64(), 0.0);
+    }
+
+    #[test]
+    fn first_mismatch_exact_and_tolerant() {
+        let a = ArrayValue::from_f64(vec![3], &[1.0, 2.0, 3.0]);
+        let mut b = a.clone();
+        assert_eq!(a.first_mismatch(&b, 0.0), None);
+        b.set(1, Scalar::F64(2.0 + 1e-9));
+        assert_eq!(a.first_mismatch(&b, 0.0), Some(1));
+        assert_eq!(a.first_mismatch(&b, 1e-5), None);
+    }
+
+    #[test]
+    fn shape_mismatch_is_mismatch() {
+        let a = ArrayValue::zeros(DType::F64, vec![2]);
+        let b = ArrayValue::zeros(DType::F64, vec![3]);
+        assert_eq!(a.first_mismatch(&b, 0.0), Some(0));
+    }
+
+    #[test]
+    fn zero_sized_dimension() {
+        let a = ArrayValue::zeros(DType::F64, vec![0, 4]);
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,482 @@
+//! Behavioral tests for the interpreter on small programs.
+
+use fuzzyflow_interp::{run, run_with, ArrayValue, CoverageMap, ExecError, ExecOptions, ExecState};
+use fuzzyflow_ir::{
+    sym, BinOp, CondExpr, DType, InterstateEdge, Memlet, Scalar, ScalarExpr, Schedule, SdfgBuilder,
+    Subset, SymCmpOp, SymExpr, SymRange, Tasklet, Wcr,
+};
+
+/// `B[i] = 2*A[i]` for i in [0,N).
+fn scale_program() -> fuzzyflow_ir::Sdfg {
+    let mut b = SdfgBuilder::new("scale");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &["N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let m = df.map(
+            &["i"],
+            vec![SymRange::full(sym("N"))],
+            Schedule::Parallel,
+            |body| {
+                let a = body.access("A");
+                let o = body.access("B");
+                let t = body.tasklet(Tasklet::simple(
+                    "scale",
+                    vec!["x"],
+                    "y",
+                    ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
+                ));
+                body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+            },
+        );
+        df.auto_wire(m, &[a], &[o]);
+    });
+    b.build()
+}
+
+#[test]
+fn elementwise_map_scales() {
+    let p = scale_program();
+    let mut st = ExecState::new();
+    st.bind("N", 4);
+    st.set_array("A", ArrayValue::from_f64(vec![4], &[1.0, 2.0, 3.0, 4.0]));
+    run(&p, &mut st).unwrap();
+    assert_eq!(st.array("B").unwrap().to_f64_vec(), vec![2.0, 4.0, 6.0, 8.0]);
+}
+
+#[test]
+fn missing_outputs_are_zero_allocated() {
+    let p = scale_program();
+    let mut st = ExecState::new();
+    st.bind("N", 2);
+    st.set_array("A", ArrayValue::from_f64(vec![2], &[5.0, 7.0]));
+    run(&p, &mut st).unwrap();
+    assert_eq!(st.array("B").unwrap().shape(), &[2]);
+}
+
+#[test]
+fn oob_access_is_detected() {
+    // Tasklet reads A[N] (one past the end).
+    let mut b = SdfgBuilder::new("oob");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &["N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let t = df.tasklet(Tasklet::simple("bad", vec!["x"], "y", ScalarExpr::r("x")));
+        df.read(a, t, Memlet::new("A", Subset::at(vec![sym("N")])).to_conn("x"));
+        df.write(
+            t,
+            o,
+            Memlet::new("B", Subset::at(vec![SymExpr::Int(0)])).from_conn("y"),
+        );
+    });
+    let p = b.build();
+    let mut st = ExecState::new();
+    st.bind("N", 3);
+    let err = run(&p, &mut st).unwrap_err();
+    assert!(matches!(err, ExecError::OutOfBounds { ref data, .. } if data == "A"));
+    assert!(err.is_crash());
+}
+
+#[test]
+fn state_machine_loop_accumulates() {
+    // sum = 0; for i in 0..=N-1 { sum += i }  via state machine loop.
+    let mut b = SdfgBuilder::new("loop");
+    b.symbol("N");
+    b.scalar("sum", DType::I64);
+    let lh = b.for_loop(
+        b.start(),
+        "i",
+        SymExpr::Int(0),
+        sym("N") - SymExpr::Int(1),
+        1,
+        "l",
+    );
+    b.in_state(lh.body, |df| {
+        let sin = df.access("sum");
+        let sout = df.access("sum");
+        let t = df.tasklet(Tasklet::simple(
+            "acc",
+            vec!["s"],
+            "o",
+            ScalarExpr::r("s").add(ScalarExpr::r("i")),
+        ));
+        df.read(sin, t, Memlet::new("sum", Subset::new(vec![])).to_conn("s"));
+        df.write(t, sout, Memlet::new("sum", Subset::new(vec![])).from_conn("o"));
+    });
+    let p = b.build();
+    let mut st = ExecState::new();
+    st.bind("N", 10);
+    run(&p, &mut st).unwrap();
+    assert_eq!(st.array("sum").unwrap().get(0), Scalar::I64(45));
+}
+
+#[test]
+fn negative_step_loop_runs_all_iterations() {
+    let mut b = SdfgBuilder::new("down");
+    b.scalar("count", DType::I64);
+    let lh = b.for_loop(b.start(), "i", SymExpr::Int(4), SymExpr::Int(1), -1, "l");
+    b.in_state(lh.body, |df| {
+        let cin = df.access("count");
+        let cout = df.access("count");
+        let t = df.tasklet(Tasklet::simple(
+            "inc",
+            vec!["c"],
+            "o",
+            ScalarExpr::r("c").add(ScalarExpr::i64(1)),
+        ));
+        df.read(cin, t, Memlet::new("count", Subset::new(vec![])).to_conn("c"));
+        df.write(t, cout, Memlet::new("count", Subset::new(vec![])).from_conn("o"));
+    });
+    let p = b.build();
+    let mut st = ExecState::new();
+    run(&p, &mut st).unwrap();
+    assert_eq!(st.array("count").unwrap().get(0), Scalar::I64(4));
+}
+
+#[test]
+fn infinite_loop_is_reported_as_hang() {
+    let mut b = SdfgBuilder::new("hang");
+    let s2 = b.add_state("spin");
+    b.edge(b.start(), s2, InterstateEdge::always());
+    b.edge(s2, s2, InterstateEdge::always());
+    let p = b.build();
+    let mut st = ExecState::new();
+    let opts = ExecOptions { max_steps: 1000 };
+    let err = run_with(&p, &mut st, &opts, None, None).unwrap_err();
+    assert!(err.is_hang());
+}
+
+#[test]
+fn wcr_sum_accumulates() {
+    // C[0] += A[i] over map.
+    let mut b = SdfgBuilder::new("wcr");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.array("C", DType::F64, &["1"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let c = df.access("C");
+        let m = df.map(
+            &["i"],
+            vec![SymRange::full(sym("N"))],
+            Schedule::Parallel,
+            |body| {
+                let a = body.access("A");
+                let c = body.access("C");
+                let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
+                body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                body.write(
+                    t,
+                    c,
+                    Memlet::new("C", Subset::at(vec![SymExpr::Int(0)]))
+                        .from_conn("y")
+                        .with_wcr(Wcr::Sum),
+                );
+            },
+        );
+        df.auto_wire(m, &[a], &[c]);
+    });
+    let p = b.build();
+    let mut st = ExecState::new();
+    st.bind("N", 4);
+    st.set_array("A", ArrayValue::from_f64(vec![4], &[1.0, 2.0, 3.0, 4.0]));
+    run(&p, &mut st).unwrap();
+    assert_eq!(st.array("C").unwrap().get(0).as_f64(), 10.0);
+}
+
+#[test]
+fn matmul_library_node() {
+    let mut b = SdfgBuilder::new("mm");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N", "N"]);
+    b.array("B", DType::F64, &["N", "N"]);
+    b.array("C", DType::F64, &["N", "N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let bb = df.access("B");
+        let c = df.access("C");
+        let mm = df.library("gemm", fuzzyflow_ir::LibraryOp::MatMul);
+        let full = || Subset::full(&[sym("N"), sym("N")]);
+        df.read(a, mm, Memlet::new("A", full()).to_conn("A"));
+        df.read(bb, mm, Memlet::new("B", full()).to_conn("B"));
+        df.write(mm, c, Memlet::new("C", full()).from_conn("C"));
+    });
+    let p = b.build();
+    let mut st = ExecState::new();
+    st.bind("N", 2);
+    st.set_array("A", ArrayValue::from_f64(vec![2, 2], &[1.0, 2.0, 3.0, 4.0]));
+    st.set_array("B", ArrayValue::from_f64(vec![2, 2], &[5.0, 6.0, 7.0, 8.0]));
+    run(&p, &mut st).unwrap();
+    assert_eq!(
+        st.array("C").unwrap().to_f64_vec(),
+        vec![19.0, 22.0, 43.0, 50.0]
+    );
+}
+
+#[test]
+fn conditional_branch_in_state_machine() {
+    // if N > 5 -> writes 1 else writes 2
+    let mut b = SdfgBuilder::new("cond");
+    b.symbol("N");
+    b.scalar("out", DType::I64);
+    let big = b.add_state("big");
+    let small = b.add_state("small");
+    b.edge(
+        b.start(),
+        big,
+        InterstateEdge::when(CondExpr::cmp(SymCmpOp::Gt, sym("N"), SymExpr::Int(5))),
+    );
+    b.edge(
+        b.start(),
+        small,
+        InterstateEdge::when(CondExpr::cmp(SymCmpOp::Le, sym("N"), SymExpr::Int(5))),
+    );
+    for (state, val) in [(big, 1i64), (small, 2i64)] {
+        b.in_state(state, |df| {
+            let o = df.access("out");
+            let t = df.tasklet(Tasklet::simple("w", vec![], "y", ScalarExpr::i64(val)));
+            df.write(t, o, Memlet::new("out", Subset::new(vec![])).from_conn("y"));
+        });
+    }
+    let p = b.build();
+    for (n, expect) in [(10, 1), (3, 2)] {
+        let mut st = ExecState::new();
+        st.bind("N", n);
+        run(&p, &mut st).unwrap();
+        assert_eq!(st.array("out").unwrap().get(0), Scalar::I64(expect));
+    }
+}
+
+#[test]
+fn vector_tasklet_lanes() {
+    // Vectorized copy with 4 lanes: B[i:i+4] = A[i:i+4] * 2, N divisible.
+    let mut b = SdfgBuilder::new("vec");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &["N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let m = df.map(
+            &["i"],
+            vec![SymRange::strided(
+                SymExpr::Int(0),
+                sym("N"),
+                SymExpr::Int(4),
+            )],
+            Schedule::Parallel,
+            |body| {
+                let a = body.access("A");
+                let o = body.access("B");
+                let mut t = Tasklet::simple(
+                    "vscale",
+                    vec!["x"],
+                    "y",
+                    ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
+                );
+                t.lanes = 4;
+                let t = body.tasklet(t);
+                let vec_subset = || {
+                    Subset::new(vec![SymRange::span(
+                        sym("i"),
+                        sym("i") + SymExpr::Int(4),
+                    )])
+                };
+                body.read(a, t, Memlet::new("A", vec_subset()).to_conn("x"));
+                body.write(t, o, Memlet::new("B", vec_subset()).from_conn("y"));
+            },
+        );
+        df.auto_wire(m, &[a], &[o]);
+    });
+    let p = b.build();
+    let mut st = ExecState::new();
+    st.bind("N", 8);
+    st.set_array(
+        "A",
+        ArrayValue::from_f64(vec![8], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]),
+    );
+    run(&p, &mut st).unwrap();
+    assert_eq!(
+        st.array("B").unwrap().to_f64_vec(),
+        vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]
+    );
+
+    // With N = 6 (not divisible by 4) the same program goes out of bounds:
+    // this is precisely the paper's input-size-dependent vectorization bug.
+    let mut st = ExecState::new();
+    st.bind("N", 6);
+    st.set_array("A", ArrayValue::zeros(DType::F64, vec![6]));
+    let err = run(&p, &mut st).unwrap_err();
+    assert!(matches!(err, ExecError::OutOfBounds { .. }));
+}
+
+#[test]
+fn comm_node_without_handler_errors() {
+    let mut b = SdfgBuilder::new("comm");
+    b.symbol("N");
+    b.array("X", DType::F64, &["N"]);
+    b.array("Y", DType::F64, &["N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let x = df.access("X");
+        let y = df.access("Y");
+        let c = df.library(
+            "ar",
+            fuzzyflow_ir::LibraryOp::Comm(fuzzyflow_ir::CommOp::AllReduce(Wcr::Sum)),
+        );
+        df.read(x, c, Memlet::new("X", Subset::full(&[sym("N")])).to_conn("in"));
+        df.write(c, y, Memlet::new("Y", Subset::full(&[sym("N")])).from_conn("out"));
+    });
+    let p = b.build();
+    let mut st = ExecState::new();
+    st.bind("N", 2);
+    let err = run(&p, &mut st).unwrap_err();
+    assert!(matches!(err, ExecError::NoCommHandler { .. }));
+}
+
+#[test]
+fn coverage_map_differs_with_trip_count() {
+    let p = scale_program();
+    let run_cov = |n: i64| {
+        let mut st = ExecState::new();
+        st.bind("N", n);
+        st.set_array("A", ArrayValue::zeros(DType::F64, vec![n]));
+        let mut cov = CoverageMap::new();
+        run_with(&p, &mut st, &ExecOptions::default(), None, Some(&mut cov)).unwrap();
+        cov
+    };
+    let c2 = run_cov(2);
+    let mut virgin = [0u8; fuzzyflow_interp::coverage::MAP_SIZE];
+    assert!(c2.merge_into(&mut virgin));
+    // Different trip count lands in a different hit bucket -> new coverage.
+    let c9 = run_cov(9);
+    assert!(c9.merge_into(&mut virgin));
+    // Same trip count again -> nothing new.
+    let c9b = run_cov(9);
+    assert!(!c9b.merge_into(&mut virgin));
+}
+
+#[test]
+fn determinism_bitwise() {
+    let p = scale_program();
+    let exec = || {
+        let mut st = ExecState::new();
+        st.bind("N", 16);
+        let vals: Vec<f64> = (0..16).map(|i| (i as f64) * 0.1).collect();
+        st.set_array("A", ArrayValue::from_f64(vec![16], &vals));
+        run(&p, &mut st).unwrap();
+        st.array("B").unwrap().clone()
+    };
+    let a = exec();
+    let b = exec();
+    assert_eq!(a.first_mismatch(&b, 0.0), None);
+}
+
+#[test]
+fn reduce_library_node_axis0() {
+    let mut b = SdfgBuilder::new("red");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N", "N"]);
+    b.array("S", DType::F64, &["N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let s = df.access("S");
+        let r = df.library(
+            "sum0",
+            fuzzyflow_ir::LibraryOp::Reduce {
+                op: Wcr::Sum,
+                axis: 0,
+            },
+        );
+        df.read(
+            a,
+            r,
+            Memlet::new("A", Subset::full(&[sym("N"), sym("N")])).to_conn("in"),
+        );
+        df.write(r, s, Memlet::new("S", Subset::full(&[sym("N")])).from_conn("out"));
+    });
+    let p = b.build();
+    let mut st = ExecState::new();
+    st.bind("N", 2);
+    st.set_array("A", ArrayValue::from_f64(vec![2, 2], &[1.0, 2.0, 3.0, 4.0]));
+    run(&p, &mut st).unwrap();
+    assert_eq!(st.array("S").unwrap().to_f64_vec(), vec![4.0, 6.0]);
+}
+
+#[test]
+fn triangular_map_ranges() {
+    // for i in 0..N: for j in 0..=i: C[0] += 1  => N*(N+1)/2 iterations.
+    let mut b = SdfgBuilder::new("tri");
+    b.symbol("N");
+    b.array("C", DType::I64, &["1"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let c = df.access("C");
+        let m = df.map(
+            &["i", "j"],
+            vec![
+                SymRange::full(sym("N")),
+                SymRange::span(SymExpr::Int(0), sym("i") + SymExpr::Int(1)),
+            ],
+            Schedule::Sequential,
+            |body| {
+                let c = body.access("C");
+                let t = body.tasklet(Tasklet::simple("one", vec![], "y", ScalarExpr::i64(1)));
+                body.write(
+                    t,
+                    c,
+                    Memlet::new("C", Subset::at(vec![SymExpr::Int(0)]))
+                        .from_conn("y")
+                        .with_wcr(Wcr::Sum),
+                );
+            },
+        );
+        df.auto_wire(m, &[], &[c]);
+    });
+    let p = b.build();
+    let mut st = ExecState::new();
+    st.bind("N", 5);
+    run(&p, &mut st).unwrap();
+    assert_eq!(st.array("C").unwrap().get(0), Scalar::I64(15));
+}
+
+#[test]
+fn integer_division_by_zero_is_crash() {
+    let mut b = SdfgBuilder::new("div");
+    b.scalar("out", DType::I64);
+    b.scalar("d", DType::I64);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let din = df.access("d");
+        let o = df.access("out");
+        let t = df.tasklet(Tasklet::simple(
+            "div",
+            vec!["x"],
+            "y",
+            ScalarExpr::Bin(
+                BinOp::Div,
+                Box::new(ScalarExpr::i64(10)),
+                Box::new(ScalarExpr::r("x")),
+            ),
+        ));
+        df.read(din, t, Memlet::new("d", Subset::new(vec![])).to_conn("x"));
+        df.write(t, o, Memlet::new("out", Subset::new(vec![])).from_conn("y"));
+    });
+    let p = b.build();
+    let mut st = ExecState::new();
+    st.set_array("d", ArrayValue::scalar(Scalar::I64(0)));
+    let err = run(&p, &mut st).unwrap_err();
+    assert_eq!(err, ExecError::IntegerDivisionByZero);
+}

@@ -1,0 +1,395 @@
+//! Ergonomic builders for SDFGs and dataflow graphs.
+//!
+//! The builders keep workload definitions (crate `fuzzyflow-workloads`)
+//! compact: containers declared with textual symbolic shapes, map scopes
+//! built with closures, and summary memlets to/from map nodes derived
+//! automatically from the body's access sets.
+
+use crate::analysis::node_access_sets;
+use crate::data::DataDesc;
+use crate::dataflow::Dataflow;
+use crate::dtype::DType;
+use crate::loops::LoopHandle;
+use crate::memlet::Memlet;
+use crate::node::{DfNode, LibraryNode, LibraryOp, MapScope, Schedule};
+use crate::sdfg::{CmpOp, CondExpr, InterstateEdge, Sdfg, StateId};
+use crate::tasklet::Tasklet;
+use fuzzyflow_graph::NodeId;
+use fuzzyflow_sym::{sym, SymExpr, SymRange};
+
+/// Builder for a whole SDFG.
+pub struct SdfgBuilder {
+    sdfg: Sdfg,
+}
+
+impl SdfgBuilder {
+    /// Starts a program with one (empty) start state.
+    pub fn new(name: impl Into<String>) -> Self {
+        SdfgBuilder {
+            sdfg: Sdfg::new(name),
+        }
+    }
+
+    /// Declares an integer program parameter.
+    pub fn symbol(&mut self, name: &str) -> &mut Self {
+        self.sdfg.symbols.insert(name.to_string(), DType::I64);
+        self
+    }
+
+    /// Declares a non-transient array with a textual symbolic shape, e.g.
+    /// `b.array("A", DType::F64, &["N", "N"])`.
+    pub fn array(&mut self, name: &str, dtype: DType, shape: &[&str]) -> &mut Self {
+        let shape = shape.iter().map(|s| sym(s)).collect();
+        self.sdfg
+            .arrays
+            .insert(name.to_string(), DataDesc::array(dtype, shape));
+        self
+    }
+
+    /// Declares a transient (program-managed) array.
+    pub fn transient(&mut self, name: &str, dtype: DType, shape: &[&str]) -> &mut Self {
+        let shape = shape.iter().map(|s| sym(s)).collect();
+        self.sdfg
+            .arrays
+            .insert(name.to_string(), DataDesc::array(dtype, shape).transient());
+        self
+    }
+
+    /// Declares a non-transient scalar container.
+    pub fn scalar(&mut self, name: &str, dtype: DType) -> &mut Self {
+        self.sdfg
+            .arrays
+            .insert(name.to_string(), DataDesc::scalar(dtype));
+        self
+    }
+
+    /// Declares a transient scalar container.
+    pub fn transient_scalar(&mut self, name: &str, dtype: DType) -> &mut Self {
+        self.sdfg
+            .arrays
+            .insert(name.to_string(), DataDesc::scalar(dtype).transient());
+        self
+    }
+
+    /// Declares an array with an explicit descriptor.
+    pub fn array_desc(&mut self, name: &str, desc: DataDesc) -> &mut Self {
+        self.sdfg.arrays.insert(name.to_string(), desc);
+        self
+    }
+
+    /// The entry state.
+    pub fn start(&self) -> StateId {
+        self.sdfg.start
+    }
+
+    /// Adds a detached state.
+    pub fn add_state(&mut self, label: &str) -> StateId {
+        self.sdfg.add_state(label)
+    }
+
+    /// Adds a state connected after `prev` with an unconditional edge.
+    pub fn add_state_after(&mut self, prev: StateId, label: &str) -> StateId {
+        let st = self.sdfg.add_state(label);
+        self.sdfg
+            .add_interstate_edge(prev, st, InterstateEdge::always());
+        st
+    }
+
+    /// Adds an inter-state edge.
+    pub fn edge(&mut self, from: StateId, to: StateId, edge: InterstateEdge) -> &mut Self {
+        self.sdfg.add_interstate_edge(from, to, edge);
+        self
+    }
+
+    /// Builds dataflow inside a state via a closure.
+    pub fn in_state(&mut self, st: StateId, f: impl FnOnce(&mut DataflowBuilder)) -> &mut Self {
+        let mut b = DataflowBuilder {
+            df: &mut self.sdfg.state_mut(st).df,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Builds the canonical state-machine `for` loop used by the frontends
+    /// and matched by the loop transformations (paper Sec. 6.4 loop
+    /// unrolling operates on exactly this pattern):
+    ///
+    /// ```text
+    /// prev --[var = start]--> guard --[cond]--> body ... --[var += step]--> guard
+    ///                           '--[!cond]--> exit
+    /// ```
+    ///
+    /// `end` is the *inclusive* bound; `step` may be negative (the guard
+    /// condition flips to `var >= end`). Returns a [`LoopHandle`] with the
+    /// body and exit states; callers fill the body state (or chain more
+    /// states between body and the guard using the handle).
+    pub fn for_loop(
+        &mut self,
+        prev: StateId,
+        var: &str,
+        start: SymExpr,
+        end_inclusive: SymExpr,
+        step: i64,
+        label: &str,
+    ) -> LoopHandle {
+        assert!(step != 0, "loop step must be non-zero");
+        let guard = self.sdfg.add_state(format!("{label}_guard"));
+        let body = self.sdfg.add_state(format!("{label}_body"));
+        let exit = self.sdfg.add_state(format!("{label}_exit"));
+        let cond_op = if step > 0 { CmpOp::Le } else { CmpOp::Ge };
+        let cond = CondExpr::cmp(cond_op, sym(var), end_inclusive.clone());
+        let init_edge = self.sdfg.add_interstate_edge(
+            prev,
+            guard,
+            InterstateEdge::always().assign(var, start.clone()),
+        );
+        let enter_edge = self
+            .sdfg
+            .add_interstate_edge(guard, body, InterstateEdge::when(cond.clone()));
+        let back_edge = self.sdfg.add_interstate_edge(
+            body,
+            guard,
+            InterstateEdge::always().assign(var, sym(var) + SymExpr::Int(step)),
+        );
+        let exit_edge =
+            self.sdfg
+                .add_interstate_edge(guard, exit, InterstateEdge::when(cond.negate()));
+        LoopHandle {
+            guard,
+            body,
+            exit,
+            var: var.to_string(),
+            init_edge,
+            enter_edge,
+            back_edge,
+            exit_edge,
+        }
+    }
+
+    /// Finalizes the program.
+    pub fn build(self) -> Sdfg {
+        self.sdfg
+    }
+
+    /// Access to the partially built SDFG.
+    pub fn sdfg_mut(&mut self) -> &mut Sdfg {
+        &mut self.sdfg
+    }
+}
+
+/// Builder for one dataflow graph (a state body or a map body).
+pub struct DataflowBuilder<'a> {
+    df: &'a mut Dataflow,
+}
+
+impl<'a> DataflowBuilder<'a> {
+    /// Wraps an existing dataflow graph.
+    pub fn on(df: &'a mut Dataflow) -> Self {
+        DataflowBuilder { df }
+    }
+
+    /// Adds an access node.
+    pub fn access(&mut self, name: &str) -> NodeId {
+        self.df.add_access(name)
+    }
+
+    /// Adds a tasklet node.
+    pub fn tasklet(&mut self, t: Tasklet) -> NodeId {
+        self.df.add_node(DfNode::Tasklet(t))
+    }
+
+    /// Adds a library node.
+    pub fn library(&mut self, name: &str, op: LibraryOp) -> NodeId {
+        self.df.add_node(DfNode::Library(LibraryNode {
+            name: name.to_string(),
+            op,
+        }))
+    }
+
+    /// Adds a map scope whose body is built by the closure.
+    pub fn map(
+        &mut self,
+        params: &[&str],
+        ranges: Vec<SymRange>,
+        schedule: Schedule,
+        f: impl FnOnce(&mut DataflowBuilder),
+    ) -> NodeId {
+        let mut body = Dataflow::new();
+        {
+            let mut b = DataflowBuilder { df: &mut body };
+            f(&mut b);
+        }
+        self.df.add_node(DfNode::Map(MapScope {
+            params: params.iter().map(|s| s.to_string()).collect(),
+            ranges,
+            schedule,
+            body,
+        }))
+    }
+
+    /// Connects with an explicit memlet.
+    pub fn connect(&mut self, src: NodeId, dst: NodeId, m: Memlet) -> fuzzyflow_graph::EdgeId {
+        self.df.connect(src, dst, m)
+    }
+
+    /// Connects an access node into a computation node (a read).
+    pub fn read(&mut self, access: NodeId, node: NodeId, m: Memlet) {
+        self.df.connect(access, node, m);
+    }
+
+    /// Connects a computation node to an access node (a write).
+    pub fn write(&mut self, node: NodeId, access: NodeId, m: Memlet) {
+        self.df.connect(node, access, m);
+    }
+
+    /// Derives and adds summary memlets between the given access nodes and
+    /// a computation node, using the node's (recursively computed) access
+    /// sets. Each access node must name a container the node actually
+    /// reads (for `inputs`) or writes (for `outputs`).
+    pub fn auto_wire(&mut self, node: NodeId, inputs: &[NodeId], outputs: &[NodeId]) {
+        let sets = node_access_sets(self.df, node);
+        for &acc in inputs {
+            let name = self
+                .df
+                .graph
+                .node(acc)
+                .as_access()
+                .expect("auto_wire inputs must be access nodes")
+                .to_string();
+            let subset = sets
+                .union_read_subset(&name)
+                .unwrap_or_else(|| panic!("node does not read container '{name}'"));
+            self.df.connect(acc, node, Memlet::new(name, subset));
+        }
+        for &acc in outputs {
+            let name = self
+                .df
+                .graph
+                .node(acc)
+                .as_access()
+                .expect("auto_wire outputs must be access nodes")
+                .to_string();
+            let subset = sets
+                .union_write_subset(&name)
+                .unwrap_or_else(|| panic!("node does not write container '{name}'"));
+            self.df.connect(node, acc, Memlet::new(name, subset));
+        }
+    }
+
+    /// The underlying graph (for assertions in tests).
+    pub fn df(&mut self) -> &mut Dataflow {
+        self.df
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasklet::ScalarExpr;
+    use fuzzyflow_sym::{Bindings, Subset};
+
+    #[test]
+    fn build_simple_program() {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let out = df.access("B");
+            let m = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let a = body.access("A");
+                    let o = body.access("B");
+                    let t = body.tasklet(Tasklet::simple(
+                        "id",
+                        vec!["x"],
+                        "y",
+                        ScalarExpr::r("x"),
+                    ));
+                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                },
+            );
+            df.auto_wire(m, &[a], &[out]);
+        });
+        let s = b.build();
+        assert_eq!(s.state(s.start).df.graph.node_count(), 3);
+        assert_eq!(s.state(s.start).df.graph.edge_count(), 2);
+        // Summary memlet covers the whole range.
+        let st = s.state(s.start);
+        let m = st.df.computation_nodes()[0];
+        let (_, memlet) = st.df.in_memlets(m)[0];
+        let bind = Bindings::from_pairs([("N", 6)]);
+        assert_eq!(memlet.subset.concrete(&bind).unwrap().dims[0].end, 6);
+    }
+
+    #[test]
+    fn for_loop_shape() {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        let lh = b.for_loop(
+            b.start(),
+            "i",
+            SymExpr::Int(0),
+            sym("N") - SymExpr::Int(1),
+            1,
+            "l0",
+        );
+        let s = b.build();
+        // guard has 2 out-edges (enter, exit), body 1 (back edge).
+        assert_eq!(s.states.out_degree(lh.guard), 2);
+        assert_eq!(s.states.out_degree(lh.body), 1);
+        assert_eq!(s.states.in_degree(lh.guard), 2);
+        let enter = s.states.edge(lh.enter_edge);
+        assert!(matches!(enter.condition, CondExpr::Cmp(CmpOp::Le, ..)));
+    }
+
+    #[test]
+    fn negative_step_loop_uses_ge() {
+        let mut b = SdfgBuilder::new("p");
+        let lh = b.for_loop(
+            b.start(),
+            "i",
+            SymExpr::Int(4),
+            SymExpr::Int(1),
+            -1,
+            "down",
+        );
+        let s = b.build();
+        let enter = s.states.edge(lh.enter_edge);
+        assert!(matches!(enter.condition, CondExpr::Cmp(CmpOp::Ge, ..)));
+        let back = s.states.edge(lh.back_edge);
+        assert_eq!(back.assignments.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not read")]
+    fn auto_wire_rejects_wrong_container() {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("Z", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let z = df.access("Z");
+            let m = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let a = body.access("A");
+                    let o = body.access("A");
+                    let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
+                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.write(t, o, Memlet::new("A", Subset::at(vec![sym("i")])).from_conn("y"));
+                },
+            );
+            df.auto_wire(m, &[z], &[]);
+        });
+    }
+}

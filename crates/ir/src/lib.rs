@@ -1,0 +1,48 @@
+//! A parametric stateful-dataflow program IR, modeled after DaCe's Stateful
+//! Dataflow Multigraphs (SDFGs, Ben-Nun et al. SC'19), which the FuzzyFlow
+//! paper uses as its reference representation (Sec. 2.3).
+//!
+//! The representation satisfies all requirements of paper Table 1:
+//!
+//! * **Scalar & memory side-effect visibility** — every data access flows
+//!   through an explicit [`Memlet`] edge attached to an [`AccessNode`]:
+//!   there is no aliasing, the true read/write set of every operation is a
+//!   graph property.
+//! * **Sub-region analysis** — memlets carry the *exact* accessed
+//!   [`Subset`](fuzzyflow_sym::Subset) (per-dimension symbolic ranges).
+//! * **Input & size generalization** — container shapes are symbolic
+//!   expressions over program parameters ([`DataDesc::shape`]), so the
+//!   relationship between a size parameter `N` and an `N*N` container is
+//!   never lost.
+//!
+//! Structure (paper Fig. 3): a program ([`Sdfg`]) is a state machine whose
+//! nodes are [`State`]s; each state holds an acyclic dataflow graph whose
+//! nodes are data accesses, tasklets (pure scalar computations), *map
+//! scopes* (parametric parallel loops whose body is a nested dataflow
+//! graph) and library nodes (BLAS-like ops and communication collectives).
+
+pub mod analysis;
+pub mod builder;
+pub mod data;
+pub mod dataflow;
+pub mod dtype;
+pub mod loops;
+pub mod memlet;
+pub mod node;
+pub mod sdfg;
+pub mod tasklet;
+pub mod validate;
+
+pub use builder::{DataflowBuilder, SdfgBuilder};
+pub use data::DataDesc;
+pub use dataflow::Dataflow;
+pub use dtype::{DType, Scalar};
+pub use loops::{detect_loop, LoopInfo};
+pub use memlet::{Memlet, Wcr};
+pub use node::{CommOp, DfNode, LibraryNode, LibraryOp, MapScope, Schedule, Storage};
+pub use sdfg::{CmpOp as SymCmpOp, CondExpr, InterstateEdge, NodeRef, Sdfg, State, StateId};
+pub use tasklet::{BinOp, CmpOp, ScalarExpr, Tasklet, TaskletStmt, UnOp};
+pub use validate::{validate, ValidationError};
+
+pub use fuzzyflow_graph::{DiGraph, EdgeId, NodeId};
+pub use fuzzyflow_sym::{sym, Bindings, Subset, SymBounds, SymExpr, SymRange};

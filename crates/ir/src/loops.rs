@@ -1,0 +1,312 @@
+//! Canonical state-machine loop construction handles and detection.
+//!
+//! The builder emits loops in a canonical guard/body/exit pattern (see
+//! [`crate::builder::SdfgBuilder::for_loop`]); transformations that operate
+//! on loops (loop unrolling, Sec. 6.4) detect that pattern here.
+
+use crate::sdfg::{CmpOp, CondExpr, InterstateEdge, Sdfg, StateId};
+use fuzzyflow_graph::EdgeId;
+use fuzzyflow_sym::{Bindings, SymExpr};
+
+/// Handle returned when building a loop: the states and edges involved.
+#[derive(Clone, Debug)]
+pub struct LoopHandle {
+    pub guard: StateId,
+    pub body: StateId,
+    pub exit: StateId,
+    pub var: String,
+    pub init_edge: EdgeId,
+    pub enter_edge: EdgeId,
+    pub back_edge: EdgeId,
+    pub exit_edge: EdgeId,
+}
+
+/// A detected canonical loop.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    pub guard: StateId,
+    /// Body states in control-flow order (entry first).
+    pub body: Vec<StateId>,
+    pub exit: StateId,
+    /// Iteration variable.
+    pub var: String,
+    /// Initial value assigned on the init edge.
+    pub start: SymExpr,
+    /// Bound used in the guard condition.
+    pub end: SymExpr,
+    /// Comparison of the enter condition (`var <op> end`).
+    pub cmp: CmpOp,
+    /// Increment applied on the back edge (may be negative).
+    pub step: SymExpr,
+    pub init_edge: EdgeId,
+    pub enter_edge: EdgeId,
+    pub back_edge: EdgeId,
+    pub exit_edge: EdgeId,
+}
+
+impl LoopInfo {
+    /// The exact number of iterations under concrete bindings (correct for
+    /// inclusive `<=`/`>=` bounds with positive or negative step), or
+    /// `None` when the loop does not terminate / bindings are missing.
+    pub fn trip_count(&self, b: &Bindings) -> Option<i64> {
+        let start = self.start.eval(b).ok()?;
+        let end = self.end.eval(b).ok()?;
+        let step = self.step.eval(b).ok()?;
+        if step == 0 {
+            return None;
+        }
+        let span = match self.cmp {
+            CmpOp::Le => end - start,
+            CmpOp::Ge => end - start,
+            CmpOp::Lt => end - start - 1,
+            CmpOp::Gt => end - start + 1,
+            _ => return None,
+        };
+        // Number of taken iterations: floor(span / step) + 1, clamped at 0.
+        if (step > 0 && span < 0) || (step < 0 && span > 0) {
+            return Some(0);
+        }
+        Some(span.div_euclid(step) + 1)
+    }
+}
+
+/// Extracts `(var, start)` from an init-style edge with one assignment.
+fn single_assignment(e: &InterstateEdge) -> Option<(&str, &SymExpr)> {
+    match e.assignments.as_slice() {
+        [(var, value)] => Some((var.as_str(), value)),
+        _ => None,
+    }
+}
+
+/// Tries to detect the canonical loop pattern with `guard` as loop guard.
+///
+/// Pattern requirements:
+/// * `guard` has exactly two outgoing edges: an *enter* edge with condition
+///   `var <cmp> end` and an *exit* edge with the negated condition;
+/// * the body is a linear chain of states leading back to `guard` via a
+///   *back edge* assigning `var = var + step`;
+/// * `guard` has exactly one other incoming edge (the *init* edge)
+///   assigning `var = start`.
+pub fn detect_loop(sdfg: &Sdfg, guard: StateId) -> Option<LoopInfo> {
+    let out: Vec<EdgeId> = sdfg.states.out_edge_ids(guard).to_vec();
+    if out.len() != 2 {
+        return None;
+    }
+    // Identify enter edge: condition Cmp(var, end) where negation matches
+    // the other edge.
+    let (enter_edge, exit_edge) = {
+        let classify = |e: EdgeId| -> Option<(String, CmpOp, SymExpr)> {
+            let edge = sdfg.states.edge(e);
+            if !edge.assignments.is_empty() {
+                return None;
+            }
+            if let CondExpr::Cmp(op, lhs, rhs) = &edge.condition {
+                if matches!(op, CmpOp::Le | CmpOp::Lt | CmpOp::Ge | CmpOp::Gt) {
+                    if let Some(var) = lhs.as_sym() {
+                        return Some((var.to_string(), *op, rhs.clone()));
+                    }
+                }
+            }
+            None
+        };
+        match (classify(out[0]), classify(out[1])) {
+            (Some((v0, op0, _)), Some((v1, op1, _))) if v0 == v1 => {
+                // The edge whose op is "continue" style (Le/Lt for ascending,
+                // Ge/Gt for descending) paired with its negation. Pick the
+                // one whose negation equals the other's op.
+                let neg_matches = |a: CmpOp, b: CmpOp| {
+                    matches!(
+                        (a, b),
+                        (CmpOp::Le, CmpOp::Gt)
+                            | (CmpOp::Lt, CmpOp::Ge)
+                            | (CmpOp::Ge, CmpOp::Lt)
+                            | (CmpOp::Gt, CmpOp::Le)
+                    )
+                };
+                if neg_matches(op0, op1) {
+                    // Heuristic: the enter edge is the one leading into the
+                    // body chain that comes back to the guard. Try out[0]
+                    // first; fall back to out[1].
+                    if trace_body(sdfg, guard, sdfg.states.dst(out[0])).is_some() {
+                        (out[0], out[1])
+                    } else {
+                        (out[1], out[0])
+                    }
+                } else {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    };
+
+    let (var, cmp, end) = {
+        let edge = sdfg.states.edge(enter_edge);
+        match &edge.condition {
+            CondExpr::Cmp(op, lhs, rhs) => (lhs.as_sym()?.to_string(), *op, rhs.clone()),
+            _ => return None,
+        }
+    };
+
+    let body = trace_body(sdfg, guard, sdfg.states.dst(enter_edge))?;
+    let tail = *body.last()?;
+    let back_edge = *sdfg
+        .states
+        .out_edge_ids(tail)
+        .iter()
+        .find(|&&e| sdfg.states.dst(e) == guard)?;
+    let (bvar, bval) = single_assignment(sdfg.states.edge(back_edge))?;
+    if bvar != var {
+        return None;
+    }
+    // Increment must be var + step.
+    let step = (bval.clone() - SymExpr::sym(&var)).simplify();
+    if step.references(&var) {
+        return None;
+    }
+
+    // Init edge: the only other incoming edge of the guard.
+    let init_edge = *sdfg
+        .states
+        .in_edge_ids(guard)
+        .iter()
+        .find(|&&e| e != back_edge)?;
+    if sdfg.states.in_edge_ids(guard).len() != 2 {
+        return None;
+    }
+    let (ivar, start) = single_assignment(sdfg.states.edge(init_edge))?;
+    if ivar != var {
+        return None;
+    }
+
+    Some(LoopInfo {
+        guard,
+        body,
+        exit: sdfg.states.dst(exit_edge),
+        var,
+        start: start.clone(),
+        end,
+        cmp,
+        step,
+        init_edge,
+        enter_edge,
+        back_edge,
+        exit_edge,
+    })
+}
+
+/// Follows the linear chain of states from `entry` until an edge returns to
+/// `guard`. Returns the chain, or `None` if the walk branches or escapes.
+fn trace_body(sdfg: &Sdfg, guard: StateId, entry: StateId) -> Option<Vec<StateId>> {
+    let mut chain = vec![entry];
+    let mut current = entry;
+    for _ in 0..sdfg.states.node_count() + 1 {
+        let out = sdfg.states.out_edge_ids(current);
+        if out.len() != 1 {
+            return None;
+        }
+        let next = sdfg.states.dst(out[0]);
+        if next == guard {
+            return Some(chain);
+        }
+        chain.push(next);
+        current = next;
+    }
+    None
+}
+
+/// Detects every canonical loop in the program.
+pub fn detect_all_loops(sdfg: &Sdfg) -> Vec<LoopInfo> {
+    sdfg.states
+        .node_ids()
+        .filter_map(|st| detect_loop(sdfg, st))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SdfgBuilder;
+    use fuzzyflow_sym::sym;
+
+    #[test]
+    fn detects_builder_loop() {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        let lh = b.for_loop(
+            b.start(),
+            "i",
+            SymExpr::Int(0),
+            sym("N") - SymExpr::Int(1),
+            1,
+            "l",
+        );
+        let s = b.build();
+        let info = detect_loop(&s, lh.guard).expect("loop detected");
+        assert_eq!(info.var, "i");
+        assert_eq!(info.step.as_int(), Some(1));
+        assert_eq!(info.body, vec![lh.body]);
+        assert_eq!(info.exit, lh.exit);
+        let bind = Bindings::from_pairs([("N", 10)]);
+        assert_eq!(info.trip_count(&bind), Some(10));
+    }
+
+    #[test]
+    fn detects_negative_step_loop() {
+        let mut b = SdfgBuilder::new("p");
+        let lh = b.for_loop(b.start(), "i", SymExpr::Int(4), SymExpr::Int(1), -1, "down");
+        let s = b.build();
+        let info = detect_loop(&s, lh.guard).expect("loop detected");
+        assert_eq!(info.step.as_int(), Some(-1));
+        assert_eq!(info.cmp, CmpOp::Ge);
+        assert_eq!(info.trip_count(&Bindings::new()), Some(4));
+    }
+
+    #[test]
+    fn trip_count_zero_iterations() {
+        let mut b = SdfgBuilder::new("p");
+        let lh = b.for_loop(b.start(), "i", SymExpr::Int(5), SymExpr::Int(1), 1, "l");
+        let s = b.build();
+        let info = detect_loop(&s, lh.guard).unwrap();
+        assert_eq!(info.trip_count(&Bindings::new()), Some(0));
+    }
+
+    #[test]
+    fn non_loop_states_do_not_match() {
+        let mut b = SdfgBuilder::new("p");
+        let st = b.add_state_after(b.start(), "next");
+        let s = b.build();
+        assert!(detect_loop(&s, s.start).is_none());
+        assert!(detect_loop(&s, st).is_none());
+    }
+
+    #[test]
+    fn detect_all_finds_nested_sequence() {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        let l1 = b.for_loop(b.start(), "i", SymExpr::Int(0), sym("N"), 1, "a");
+        let _l2 = b.for_loop(l1.exit, "j", SymExpr::Int(0), sym("N"), 1, "b");
+        let s = b.build();
+        let loops = detect_all_loops(&s);
+        assert_eq!(loops.len(), 2);
+    }
+
+    #[test]
+    fn multi_state_body_chain() {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        let lh = b.for_loop(b.start(), "i", SymExpr::Int(0), sym("N"), 1, "l");
+        // Splice an extra state into the body: body -> extra -> guard.
+        let sdfg = b.sdfg_mut();
+        let extra = sdfg.add_state("extra");
+        // Redirect the back edge: body -> extra, extra -> guard with the
+        // original assignment.
+        let back = sdfg.states.edge(lh.back_edge).clone();
+        sdfg.states.remove_edge(lh.back_edge);
+        sdfg.add_interstate_edge(lh.body, extra, InterstateEdge::always());
+        sdfg.add_interstate_edge(extra, lh.guard, back);
+        let s = b.build();
+        let info = detect_loop(&s, lh.guard).expect("loop detected");
+        assert_eq!(info.body.len(), 2);
+    }
+}

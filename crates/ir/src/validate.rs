@@ -1,0 +1,615 @@
+//! Structural validation of SDFGs.
+//!
+//! Validation failures correspond to the paper's "generates invalid code"
+//! failure class (Table 2): a transformation that leaves the IR in a state
+//! that cannot be lowered/executed. The differential tester runs validation
+//! on the transformed cutout and reports `InvalidCode` when it fails.
+
+use crate::dataflow::Dataflow;
+use crate::node::{DfNode, LibraryOp, Schedule, Storage};
+use crate::sdfg::{Sdfg, StateId};
+use fuzzyflow_graph::NodeId;
+use std::fmt;
+
+/// A structural validation error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValidationError {
+    /// A memlet or access node references an undeclared container.
+    UnknownContainer { state: StateId, data: String },
+    /// Memlet subset rank differs from the container rank.
+    RankMismatch {
+        state: StateId,
+        data: String,
+        subset_rank: usize,
+        container_rank: usize,
+    },
+    /// A tasklet/library input connector has no incoming memlet.
+    DanglingInputConnector {
+        state: StateId,
+        node: String,
+        connector: String,
+    },
+    /// An edge targets a connector the node does not declare.
+    UnknownConnector {
+        state: StateId,
+        node: String,
+        connector: String,
+    },
+    /// A tasklet/library output connector has no outgoing memlet.
+    UnusedOutputConnector {
+        state: StateId,
+        node: String,
+        connector: String,
+    },
+    /// The dataflow graph of a state contains a cycle.
+    CyclicDataflow { state: StateId },
+    /// An expression references a symbol that is neither declared nor
+    /// assigned anywhere.
+    UnknownSymbol { context: String, symbol: String },
+    /// An edge connects two access nodes or two computation nodes.
+    MalformedEdge { state: StateId, detail: String },
+    /// A map scope has mismatched params/ranges.
+    MalformedMap { state: StateId, detail: String },
+    /// Device-storage container accessed outside a GPU kernel/copy, or
+    /// host container accessed inside a GPU kernel.
+    StorageViolation {
+        state: StateId,
+        data: String,
+        detail: String,
+    },
+    /// The state machine start node was removed.
+    MissingStartState,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UnknownContainer { state, data } => {
+                write!(f, "state {state}: unknown container '{data}'")
+            }
+            ValidationError::RankMismatch {
+                state,
+                data,
+                subset_rank,
+                container_rank,
+            } => write!(
+                f,
+                "state {state}: memlet for '{data}' has rank {subset_rank}, container has rank {container_rank}"
+            ),
+            ValidationError::DanglingInputConnector {
+                state,
+                node,
+                connector,
+            } => write!(
+                f,
+                "state {state}: input connector '{connector}' of {node} has no incoming memlet"
+            ),
+            ValidationError::UnknownConnector {
+                state,
+                node,
+                connector,
+            } => write!(
+                f,
+                "state {state}: {node} has no connector '{connector}'"
+            ),
+            ValidationError::UnusedOutputConnector {
+                state,
+                node,
+                connector,
+            } => write!(
+                f,
+                "state {state}: output connector '{connector}' of {node} has no outgoing memlet"
+            ),
+            ValidationError::CyclicDataflow { state } => {
+                write!(f, "state {state}: dataflow graph contains a cycle")
+            }
+            ValidationError::UnknownSymbol { context, symbol } => {
+                write!(f, "{context}: unknown symbol '{symbol}'")
+            }
+            ValidationError::MalformedEdge { state, detail } => {
+                write!(f, "state {state}: malformed edge: {detail}")
+            }
+            ValidationError::MalformedMap { state, detail } => {
+                write!(f, "state {state}: malformed map: {detail}")
+            }
+            ValidationError::StorageViolation {
+                state,
+                data,
+                detail,
+            } => write!(f, "state {state}: storage violation on '{data}': {detail}"),
+            ValidationError::MissingStartState => write!(f, "start state missing"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates an SDFG, returning all errors found.
+pub fn validate(sdfg: &Sdfg) -> Result<(), Vec<ValidationError>> {
+    let mut errors = Vec::new();
+
+    if !sdfg.states.contains_node(sdfg.start) {
+        errors.push(ValidationError::MissingStartState);
+    }
+
+    // Symbols that may legally appear: declared parameters + symbols
+    // assigned on inter-state edges.
+    let mut known_syms: Vec<String> = sdfg.symbols.keys().cloned().collect();
+    for s in sdfg.assigned_symbols() {
+        if !known_syms.contains(&s) {
+            known_syms.push(s);
+        }
+    }
+
+    // Array shapes.
+    for (name, desc) in &sdfg.arrays {
+        for s in desc.shape_symbols() {
+            if !known_syms.contains(&s) {
+                errors.push(ValidationError::UnknownSymbol {
+                    context: format!("shape of '{name}'"),
+                    symbol: s,
+                });
+            }
+        }
+    }
+
+    // Inter-state edges.
+    for e in sdfg.states.edge_ids() {
+        let edge = sdfg.states.edge(e);
+        for s in edge.condition.free_symbols() {
+            if !known_syms.contains(&s) {
+                errors.push(ValidationError::UnknownSymbol {
+                    context: format!("condition of inter-state edge {e}"),
+                    symbol: s,
+                });
+            }
+        }
+        for (_, v) in &edge.assignments {
+            for s in v.free_symbols() {
+                if !known_syms.contains(&s) {
+                    errors.push(ValidationError::UnknownSymbol {
+                        context: format!("assignment on inter-state edge {e}"),
+                        symbol: s,
+                    });
+                }
+            }
+        }
+    }
+
+    // Per-state dataflow.
+    for st in sdfg.states.node_ids() {
+        let df = &sdfg.states.node(st).df;
+        validate_dataflow(sdfg, st, df, &known_syms, false, &mut errors);
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn validate_dataflow(
+    sdfg: &Sdfg,
+    state: StateId,
+    df: &Dataflow,
+    scope_syms: &[String],
+    in_gpu_kernel: bool,
+    errors: &mut Vec<ValidationError>,
+) {
+    // Acyclicity.
+    if fuzzyflow_graph::topological_sort(&df.graph).is_err() {
+        errors.push(ValidationError::CyclicDataflow { state });
+    }
+
+    // Edges.
+    for e in df.graph.edge_ids() {
+        let m = df.graph.edge(e);
+        let (u, v) = df.graph.endpoints(e);
+        let (un, vn) = (df.graph.node(u), df.graph.node(v));
+
+        // Exactly one endpoint must be an access node matching the memlet.
+        match (un.as_access(), vn.as_access()) {
+            (Some(_), Some(_)) => errors.push(ValidationError::MalformedEdge {
+                state,
+                detail: format!(
+                    "edge {e} connects two access nodes; use a Copy library node"
+                ),
+            }),
+            (None, None) => errors.push(ValidationError::MalformedEdge {
+                state,
+                detail: format!("edge {e} connects two computation nodes"),
+            }),
+            (Some(a), None) | (None, Some(a)) => {
+                if a != m.data {
+                    errors.push(ValidationError::MalformedEdge {
+                        state,
+                        detail: format!(
+                            "edge {e} memlet names '{}' but access node is '{a}'",
+                            m.data
+                        ),
+                    });
+                }
+            }
+        }
+
+        match sdfg.array(&m.data) {
+            None => errors.push(ValidationError::UnknownContainer {
+                state,
+                data: m.data.clone(),
+            }),
+            Some(desc) => {
+                if m.subset.rank() != desc.rank() {
+                    errors.push(ValidationError::RankMismatch {
+                        state,
+                        data: m.data.clone(),
+                        subset_rank: m.subset.rank(),
+                        container_rank: desc.rank(),
+                    });
+                }
+                // Storage discipline.
+                let other_is_copy = matches!(
+                    (un.as_library(), vn.as_library()),
+                    (Some(l), _) | (_, Some(l)) if matches!(l.op, LibraryOp::Copy)
+                );
+                let other_is_gpu_map = matches!(
+                    (un.as_map(), vn.as_map()),
+                    (Some(m), _) | (_, Some(m)) if m.schedule == Schedule::GpuKernel
+                );
+                match desc.storage {
+                    Storage::Device => {
+                        if !in_gpu_kernel && !other_is_copy && !other_is_gpu_map {
+                            errors.push(ValidationError::StorageViolation {
+                                state,
+                                data: m.data.clone(),
+                                detail: "device container accessed outside a GPU kernel or copy"
+                                    .into(),
+                            });
+                        }
+                    }
+                    Storage::Host => {
+                        if in_gpu_kernel {
+                            errors.push(ValidationError::StorageViolation {
+                                state,
+                                data: m.data.clone(),
+                                detail: "host container accessed inside a GPU kernel".into(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Symbols in subsets.
+        for s in m.subset.free_symbols() {
+            if !scope_syms.iter().any(|k| *k == s) {
+                errors.push(ValidationError::UnknownSymbol {
+                    context: format!("memlet {e} in state {state}"),
+                    symbol: s,
+                });
+            }
+        }
+    }
+
+    // Nodes.
+    for n in df.graph.node_ids() {
+        match df.graph.node(n) {
+            DfNode::Access(name) => {
+                if sdfg.array(name).is_none() {
+                    errors.push(ValidationError::UnknownContainer {
+                        state,
+                        data: name.clone(),
+                    });
+                }
+            }
+            DfNode::Tasklet(t) => {
+                check_connectors(
+                    state,
+                    df,
+                    n,
+                    &t.name,
+                    &t.inputs.iter().map(String::as_str).collect::<Vec<_>>(),
+                    &t.outputs.iter().map(String::as_str).collect::<Vec<_>>(),
+                    errors,
+                );
+            }
+            DfNode::Library(l) => {
+                check_connectors(
+                    state,
+                    df,
+                    n,
+                    &l.name,
+                    &l.op.input_conns(),
+                    &l.op.output_conns(),
+                    errors,
+                );
+            }
+            DfNode::Map(map) => {
+                if map.params.is_empty() || map.params.len() != map.ranges.len() {
+                    errors.push(ValidationError::MalformedMap {
+                        state,
+                        detail: format!(
+                            "{} params but {} ranges",
+                            map.params.len(),
+                            map.ranges.len()
+                        ),
+                    });
+                }
+                for (d, r) in map.ranges.iter().enumerate() {
+                    // A range may reference the map's *earlier* parameters
+                    // (triangular iteration spaces) plus enclosing scope.
+                    let earlier = &map.params[..d.min(map.params.len())];
+                    for s in r.free_symbols() {
+                        if !scope_syms.iter().any(|k| *k == s)
+                            && !earlier.iter().any(|k| *k == s)
+                        {
+                            errors.push(ValidationError::UnknownSymbol {
+                                context: format!("map range in state {state}"),
+                                symbol: s,
+                            });
+                        }
+                    }
+                }
+                let mut inner_syms = scope_syms.to_vec();
+                inner_syms.extend(map.params.iter().cloned());
+                let gpu = in_gpu_kernel || map.schedule == Schedule::GpuKernel;
+                validate_dataflow(sdfg, state, &map.body, &inner_syms, gpu, errors);
+            }
+        }
+    }
+}
+
+fn check_connectors(
+    state: StateId,
+    df: &Dataflow,
+    n: NodeId,
+    name: &str,
+    inputs: &[&str],
+    outputs: &[&str],
+    errors: &mut Vec<ValidationError>,
+) {
+    let in_conns: Vec<Option<&str>> = df
+        .in_memlets(n)
+        .iter()
+        .map(|(_, m)| m.dst_conn.as_deref())
+        .collect();
+    for conn in inputs {
+        if !in_conns.iter().any(|c| *c == Some(conn)) {
+            errors.push(ValidationError::DanglingInputConnector {
+                state,
+                node: name.to_string(),
+                connector: conn.to_string(),
+            });
+        }
+    }
+    for c in in_conns.into_iter().flatten() {
+        if !inputs.contains(&c) {
+            errors.push(ValidationError::UnknownConnector {
+                state,
+                node: name.to_string(),
+                connector: c.to_string(),
+            });
+        }
+    }
+    let out_conns: Vec<Option<&str>> = df
+        .out_memlets(n)
+        .iter()
+        .map(|(_, m)| m.src_conn.as_deref())
+        .collect();
+    for conn in outputs {
+        if !out_conns.iter().any(|c| *c == Some(conn)) {
+            errors.push(ValidationError::UnusedOutputConnector {
+                state,
+                node: name.to_string(),
+                connector: conn.to_string(),
+            });
+        }
+    }
+    for c in out_conns.into_iter().flatten() {
+        if !outputs.contains(&c) {
+            errors.push(ValidationError::UnknownConnector {
+                state,
+                node: name.to_string(),
+                connector: c.to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SdfgBuilder;
+    use crate::dtype::DType;
+    use crate::memlet::Memlet;
+    use crate::tasklet::{ScalarExpr, Tasklet};
+    use fuzzyflow_sym::{sym, Subset, SymRange};
+
+    fn valid_program() -> Sdfg {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let o = df.access("B");
+            let m = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                crate::node::Schedule::Parallel,
+                |body| {
+                    let a = body.access("A");
+                    let o = body.access("B");
+                    let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
+                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                },
+            );
+            df.auto_wire(m, &[a], &[o]);
+        });
+        b.build()
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        assert!(validate(&valid_program()).is_ok());
+    }
+
+    #[test]
+    fn unknown_container_detected() {
+        let mut s = valid_program();
+        let st = s.start;
+        s.state_mut(st).df.add_access("NOPE");
+        let errs = validate(&s).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnknownContainer { data, .. } if data == "NOPE")));
+    }
+
+    #[test]
+    fn dangling_connector_detected() {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let o = df.access("B");
+            // Tasklet with input "x" but no incoming edge.
+            let t = df.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
+            df.write(
+                t,
+                o,
+                Memlet::new("B", Subset::at(vec![SymExpr::Int(0)])).from_conn("y"),
+            );
+        });
+        let errs = validate(&b.build()).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::DanglingInputConnector { connector, .. } if connector == "x")));
+    }
+    use fuzzyflow_sym::SymExpr;
+
+    #[test]
+    fn rank_mismatch_detected() {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N", "N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let o = df.access("B");
+            let t = df.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
+            // 1-D subset into 2-D container.
+            df.read(
+                a,
+                t,
+                Memlet::new("A", Subset::at(vec![SymExpr::Int(0)])).to_conn("x"),
+            );
+            df.write(
+                t,
+                o,
+                Memlet::new("B", Subset::at(vec![SymExpr::Int(0)])).from_conn("y"),
+            );
+        });
+        let errs = validate(&b.build()).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::RankMismatch { data, .. } if data == "A")));
+    }
+
+    #[test]
+    fn unknown_symbol_in_memlet_detected() {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let o = df.access("B");
+            let t = df.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
+            df.read(a, t, Memlet::new("A", Subset::at(vec![sym("q")])).to_conn("x"));
+            df.write(
+                t,
+                o,
+                Memlet::new("B", Subset::at(vec![SymExpr::Int(0)])).from_conn("y"),
+            );
+        });
+        let errs = validate(&b.build()).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnknownSymbol { symbol, .. } if symbol == "q")));
+    }
+
+    #[test]
+    fn access_to_access_edge_rejected() {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let o = df.access("B");
+            df.connect(a, o, Memlet::new("A", Subset::full(&[sym("N")])));
+        });
+        let errs = validate(&b.build()).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::MalformedEdge { .. })));
+    }
+
+    #[test]
+    fn gpu_kernel_cannot_touch_host_memory() {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]); // host
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let o = df.access("B");
+            let m = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                crate::node::Schedule::GpuKernel,
+                |body| {
+                    let a = body.access("A");
+                    let o = body.access("B");
+                    let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
+                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                },
+            );
+            df.auto_wire(m, &[a], &[o]);
+        });
+        let errs = validate(&b.build()).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::StorageViolation { .. })));
+    }
+
+    #[test]
+    fn cyclic_dataflow_detected() {
+        let mut b = SdfgBuilder::new("p");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let t = df.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
+            df.read(a, t, Memlet::new("A", Subset::at(vec![SymExpr::Int(0)])).to_conn("x"));
+            df.write(
+                t,
+                a,
+                Memlet::new("A", Subset::at(vec![SymExpr::Int(0)])).from_conn("y"),
+            );
+        });
+        let errs = validate(&b.build()).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::CyclicDataflow { .. })));
+    }
+}

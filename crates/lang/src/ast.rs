@@ -1,0 +1,126 @@
+//! Abstract syntax tree of the mini language.
+
+/// Arithmetic expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal (usable in indices and sizes).
+    Int(i64),
+    /// Float literal (values only).
+    Float(f64),
+    /// Identifier: parameter, loop variable, scalar or array name.
+    Ident(String),
+    /// Array element access `name[idx, ...]`.
+    Index(String, Vec<Expr>),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+    Mod(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+    Min(Box<Expr>, Box<Expr>),
+    Max(Box<Expr>, Box<Expr>),
+    Sqrt(Box<Expr>),
+    Exp(Box<Expr>),
+}
+
+impl Expr {
+    /// Collects array reads `(name, indices)` in evaluation order.
+    pub fn collect_reads(&self, out: &mut Vec<(String, Vec<Expr>)>) {
+        match self {
+            Expr::Int(_) | Expr::Float(_) | Expr::Ident(_) => {}
+            Expr::Index(name, idx) => {
+                if !out.iter().any(|(n, i)| n == name && i == idx) {
+                    out.push((name.clone(), idx.clone()));
+                }
+                for e in idx {
+                    e.collect_reads(out);
+                }
+            }
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Mod(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            Expr::Neg(a) | Expr::Sqrt(a) | Expr::Exp(a) => a.collect_reads(out),
+        }
+    }
+
+    /// Collects bare identifiers (parameters / loop variables / scalars).
+    pub fn collect_idents(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Int(_) | Expr::Float(_) => {}
+            Expr::Ident(n) => {
+                if !out.contains(n) {
+                    out.push(n.clone());
+                }
+            }
+            Expr::Index(_, idx) => {
+                for e in idx {
+                    e.collect_idents(out);
+                }
+            }
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Mod(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => {
+                a.collect_idents(out);
+                b.collect_idents(out);
+            }
+            Expr::Neg(a) | Expr::Sqrt(a) | Expr::Exp(a) => a.collect_idents(out),
+        }
+    }
+}
+
+/// Assignment target.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LValue {
+    pub name: String,
+    /// Empty for scalar targets.
+    pub indices: Vec<Expr>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `lhs = rhs;`
+    Assign { lhs: LValue, rhs: Expr },
+    /// `lhs += rhs;` (lowered to a WCR sum memlet)
+    Accumulate { lhs: LValue, rhs: Expr },
+    /// `for v = lo .. hi { body }` — half-open, step 1.
+    For {
+        var: String,
+        lo: Expr,
+        hi: Expr,
+        body: Vec<Stmt>,
+    },
+}
+
+/// A top-level item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// `param N;` — integer program parameter.
+    Param(String),
+    /// `array A[N, M];` (optionally `transient`).
+    Array {
+        name: String,
+        shape: Vec<Expr>,
+        transient: bool,
+    },
+    /// `scalar x;` (optionally `transient`).
+    Scalar { name: String, transient: bool },
+    Stmt(Stmt),
+}
+
+/// A parsed program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    pub items: Vec<Item>,
+}

@@ -1,0 +1,275 @@
+//! Tokenizer for the mini language.
+
+use crate::CompileError;
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    // Keywords.
+    Param,
+    Array,
+    Scalar,
+    Transient,
+    For,
+    // Punctuation.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    DotDot,
+}
+
+/// A token with its source line (for diagnostics).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// Tokenizes source text. `#` starts a line comment.
+pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '+' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(SpannedTok {
+                        tok: Tok::PlusAssign,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    out.push(SpannedTok {
+                        tok: Tok::Plus,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            '-' => {
+                out.push(SpannedTok {
+                    tok: Tok::Minus,
+                    line,
+                });
+                i += 1;
+            }
+            '*' => {
+                out.push(SpannedTok { tok: Tok::Star, line });
+                i += 1;
+            }
+            '/' => {
+                out.push(SpannedTok {
+                    tok: Tok::Slash,
+                    line,
+                });
+                i += 1;
+            }
+            '%' => {
+                out.push(SpannedTok {
+                    tok: Tok::Percent,
+                    line,
+                });
+                i += 1;
+            }
+            '=' => {
+                out.push(SpannedTok {
+                    tok: Tok::Assign,
+                    line,
+                });
+                i += 1;
+            }
+            '(' => {
+                out.push(SpannedTok {
+                    tok: Tok::LParen,
+                    line,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(SpannedTok {
+                    tok: Tok::RParen,
+                    line,
+                });
+                i += 1;
+            }
+            '{' => {
+                out.push(SpannedTok {
+                    tok: Tok::LBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '}' => {
+                out.push(SpannedTok {
+                    tok: Tok::RBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '[' => {
+                out.push(SpannedTok {
+                    tok: Tok::LBracket,
+                    line,
+                });
+                i += 1;
+            }
+            ']' => {
+                out.push(SpannedTok {
+                    tok: Tok::RBracket,
+                    line,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(SpannedTok {
+                    tok: Tok::Comma,
+                    line,
+                });
+                i += 1;
+            }
+            ';' => {
+                out.push(SpannedTok { tok: Tok::Semi, line });
+                i += 1;
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    out.push(SpannedTok {
+                        tok: Tok::DotDot,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    return Err(CompileError::new("unexpected '.'", Some(line)));
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // Float literal (but not the `..` range operator).
+                let is_float = bytes.get(i) == Some(&b'.') && bytes.get(i + 1) != Some(&b'.');
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &source[start..i];
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|e| CompileError::new(format!("bad float '{text}': {e}"), Some(line)))?;
+                    out.push(SpannedTok {
+                        tok: Tok::Float(v),
+                        line,
+                    });
+                } else {
+                    let text = &source[start..i];
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|e| CompileError::new(format!("bad integer '{text}': {e}"), Some(line)))?;
+                    out.push(SpannedTok {
+                        tok: Tok::Int(v),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let tok = match text {
+                    "param" => Tok::Param,
+                    "array" => Tok::Array,
+                    "scalar" => Tok::Scalar,
+                    "transient" => Tok::Transient,
+                    "for" => Tok::For,
+                    _ => Tok::Ident(text.to_string()),
+                };
+                out.push(SpannedTok { tok, line });
+            }
+            other => {
+                return Err(CompileError::new(
+                    format!("unexpected character '{other}'"),
+                    Some(line),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_declarations_and_loops() {
+        let toks = lex("param N; for i = 0 .. N { A[i] = 1.5; }").unwrap();
+        assert_eq!(toks[0].tok, Tok::Param);
+        assert!(toks.iter().any(|t| t.tok == Tok::DotDot));
+        assert!(toks.iter().any(|t| matches!(t.tok, Tok::Float(v) if v == 1.5)));
+    }
+
+    #[test]
+    fn distinguishes_float_from_range() {
+        let toks = lex("0 .. 3").unwrap();
+        assert_eq!(toks[0].tok, Tok::Int(0));
+        assert_eq!(toks[1].tok, Tok::DotDot);
+        let toks = lex("0.5").unwrap();
+        assert_eq!(toks[0].tok, Tok::Float(0.5));
+        let toks = lex("0..5").unwrap();
+        assert_eq!(
+            toks.iter().map(|t| t.tok.clone()).collect::<Vec<_>>(),
+            vec![Tok::Int(0), Tok::DotDot, Tok::Int(5)]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_tracked() {
+        let toks = lex("# header\nparam N;\n# tail\nscalar x;").unwrap();
+        assert_eq!(toks[0].line, 2);
+        assert!(toks.iter().any(|t| t.tok == Tok::Scalar && t.line == 4));
+    }
+
+    #[test]
+    fn plus_assign() {
+        let toks = lex("x += 1;").unwrap();
+        assert!(toks.iter().any(|t| t.tok == Tok::PlusAssign));
+    }
+
+    #[test]
+    fn rejects_unknown_chars() {
+        assert!(lex("a @ b").is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! A small imperative language that lowers onto the FuzzyFlow dataflow IR
+//! — the stand-in for DaCe's high-level-language frontends (paper
+//! Sec. 2.3: "the ability to express arbitrary programs from Python, C,
+//! or Fortran").
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     param N;
+//!     array A[N];
+//!     array B[N];
+//!     for i = 0 .. N {
+//!         B[i] = 2.0 * A[i] + 1.0;
+//!     }
+//! "#;
+//! let sdfg = fuzzyflow_lang::compile("scale", src).unwrap();
+//! assert!(fuzzyflow_ir::validate(&sdfg).is_ok());
+//! ```
+//!
+//! Statements lower onto the canonical IR constructs: `for` loops become
+//! guard/body/exit state-machine loops (so the loop transformations match
+//! them), assignments become tasklet states with explicit memlets, and
+//! `+=` becomes a write-conflict-resolution memlet.
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{Expr, Item, Program, Stmt};
+pub use lower::lower;
+pub use parser::parse;
+
+/// Compiles source text into an SDFG.
+pub fn compile(name: &str, source: &str) -> Result<fuzzyflow_ir::Sdfg, CompileError> {
+    let program = parse(source)?;
+    lower(name, &program)
+}
+
+/// Frontend errors (lexing, parsing or lowering).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileError {
+    pub message: String,
+    /// 1-based line number, when known.
+    pub line: Option<usize>,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line {
+            Some(l) => write!(f, "line {l}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl CompileError {
+    pub fn new(message: impl Into<String>, line: Option<usize>) -> Self {
+        CompileError {
+            message: message.into(),
+            line,
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Lowering from the AST to the dataflow IR.
+//!
+//! Every assignment becomes its own state holding one tasklet with
+//! explicit memlets; `for` loops become canonical guard/body/exit
+//! state-machine loops (so `detect_loop` and the loop transformations
+//! match frontend output directly). Statement order is preserved by the
+//! state machine, which keeps the lowering simple and obviously correct.
+
+use crate::ast::{Expr, Item, LValue, Program, Stmt};
+use crate::CompileError;
+use fuzzyflow_ir::{
+    DType, Memlet, ScalarExpr, Sdfg, SdfgBuilder, StateId, Subset, SymExpr, Tasklet,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+struct LowerCtx {
+    params: BTreeSet<String>,
+    arrays: BTreeSet<String>,
+    scalars: BTreeSet<String>,
+    loop_vars: Vec<String>,
+    state_counter: usize,
+}
+
+impl LowerCtx {
+    fn is_symbolic(&self, name: &str) -> bool {
+        self.params.contains(name) || self.loop_vars.iter().any(|v| v == name)
+    }
+}
+
+/// Lowers a parsed program into an SDFG named `name`.
+pub fn lower(name: &str, program: &Program) -> Result<Sdfg, CompileError> {
+    let mut b = SdfgBuilder::new(name);
+    let mut ctx = LowerCtx {
+        params: BTreeSet::new(),
+        arrays: BTreeSet::new(),
+        scalars: BTreeSet::new(),
+        loop_vars: Vec::new(),
+        state_counter: 0,
+    };
+
+    // Declarations first (they may appear anywhere at the top level).
+    for item in &program.items {
+        match item {
+            Item::Param(n) => {
+                b.symbol(n);
+                ctx.params.insert(n.clone());
+            }
+            Item::Array {
+                name,
+                shape,
+                transient,
+            } => {
+                let dims = shape
+                    .iter()
+                    .map(|e| lower_index(e, &ctx))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let desc = fuzzyflow_ir::DataDesc {
+                    dtype: DType::F64,
+                    shape: dims,
+                    transient: *transient,
+                    storage: fuzzyflow_ir::Storage::Host,
+                };
+                b.array_desc(name, desc);
+                ctx.arrays.insert(name.clone());
+            }
+            Item::Scalar { name, transient } => {
+                if *transient {
+                    b.transient_scalar(name, DType::F64);
+                } else {
+                    b.scalar(name, DType::F64);
+                }
+                ctx.scalars.insert(name.clone());
+            }
+            Item::Stmt(_) => {}
+        }
+    }
+
+    // Statements in order.
+    let mut current = b.start();
+    for item in &program.items {
+        if let Item::Stmt(s) = item {
+            current = lower_stmt(&mut b, current, s, &mut ctx)?;
+        }
+    }
+    Ok(b.build())
+}
+
+fn lower_stmt(
+    b: &mut SdfgBuilder,
+    current: StateId,
+    stmt: &Stmt,
+    ctx: &mut LowerCtx,
+) -> Result<StateId, CompileError> {
+    match stmt {
+        Stmt::Assign { lhs, rhs } => lower_assignment(b, current, lhs, rhs, false, ctx),
+        Stmt::Accumulate { lhs, rhs } => lower_assignment(b, current, lhs, rhs, true, ctx),
+        Stmt::For { var, lo, hi, body } => {
+            let lo_e = lower_index(lo, ctx)?;
+            let hi_e = lower_index(hi, ctx)?;
+            ctx.state_counter += 1;
+            let label = format!("for_{}_{}", var, ctx.state_counter);
+            // Half-open `lo .. hi` becomes the inclusive bound `hi - 1`.
+            let lh = b.for_loop(current, var, lo_e, hi_e - SymExpr::Int(1), 1, &label);
+            ctx.loop_vars.push(var.clone());
+            let mut tail = lh.body;
+            let mut first = true;
+            for s in body {
+                if first {
+                    // The first statement fills the loop-body state itself.
+                    tail = lower_stmt_in_place(b, lh.body, s, ctx)?;
+                    first = false;
+                } else {
+                    tail = lower_stmt(b, tail, s, ctx)?;
+                }
+            }
+            ctx.loop_vars.pop();
+            // Re-route the back edge if the body grew past its first state.
+            if tail != lh.body {
+                let back = b.sdfg_mut().states.edge(lh.back_edge).clone();
+                b.sdfg_mut().states.remove_edge(lh.back_edge);
+                b.sdfg_mut().states.add_edge(tail, lh.guard, back);
+            }
+            Ok(lh.exit)
+        }
+    }
+}
+
+/// Lowers a statement whose target state already exists (used for the
+/// first statement of a loop body). Non-assignment statements fall back to
+/// appending states after `state`.
+fn lower_stmt_in_place(
+    b: &mut SdfgBuilder,
+    state: StateId,
+    stmt: &Stmt,
+    ctx: &mut LowerCtx,
+) -> Result<StateId, CompileError> {
+    match stmt {
+        Stmt::Assign { lhs, rhs } => {
+            build_assignment(b, state, lhs, rhs, false, ctx)?;
+            Ok(state)
+        }
+        Stmt::Accumulate { lhs, rhs } => {
+            build_assignment(b, state, lhs, rhs, true, ctx)?;
+            Ok(state)
+        }
+        Stmt::For { .. } => lower_stmt(b, state, stmt, ctx),
+    }
+}
+
+fn lower_assignment(
+    b: &mut SdfgBuilder,
+    current: StateId,
+    lhs: &LValue,
+    rhs: &Expr,
+    accumulate: bool,
+    ctx: &mut LowerCtx,
+) -> Result<StateId, CompileError> {
+    ctx.state_counter += 1;
+    let label = format!("assign_{}_{}", lhs.name, ctx.state_counter);
+    let st = b.add_state_after(current, &label);
+    build_assignment(b, st, lhs, rhs, accumulate, ctx)?;
+    Ok(st)
+}
+
+fn build_assignment(
+    b: &mut SdfgBuilder,
+    st: StateId,
+    lhs: &LValue,
+    rhs: &Expr,
+    accumulate: bool,
+    ctx: &LowerCtx,
+) -> Result<(), CompileError> {
+    // Validate the target.
+    let target_is_array = ctx.arrays.contains(&lhs.name);
+    let target_is_scalar = ctx.scalars.contains(&lhs.name);
+    if !target_is_array && !target_is_scalar {
+        return Err(CompileError::new(
+            format!("assignment to undeclared container '{}'", lhs.name),
+            None,
+        ));
+    }
+    if target_is_scalar && !lhs.indices.is_empty() {
+        return Err(CompileError::new(
+            format!("scalar '{}' cannot be indexed", lhs.name),
+            None,
+        ));
+    }
+    let out_subset = if target_is_scalar {
+        Subset::new(vec![])
+    } else {
+        Subset::at(
+            lhs.indices
+                .iter()
+                .map(|e| lower_index(e, ctx))
+                .collect::<Result<Vec<_>, _>>()?,
+        )
+    };
+
+    // Gather reads.
+    let mut array_reads: Vec<(String, Vec<Expr>)> = Vec::new();
+    rhs.collect_reads(&mut array_reads);
+    for (name, _) in &array_reads {
+        if !ctx.arrays.contains(name) {
+            return Err(CompileError::new(
+                format!("read of undeclared array '{name}'"),
+                None,
+            ));
+        }
+    }
+    let mut scalar_reads: Vec<String> = Vec::new();
+    let mut idents = Vec::new();
+    rhs.collect_idents(&mut idents);
+    for id in idents {
+        if ctx.scalars.contains(&id) {
+            scalar_reads.push(id);
+        } else if !ctx.is_symbolic(&id) && !ctx.arrays.contains(&id) {
+            return Err(CompileError::new(
+                format!("reference to undeclared name '{id}'"),
+                None,
+            ));
+        }
+    }
+
+    // Connector assignment.
+    let mut conn_of_array: BTreeMap<usize, String> = BTreeMap::new();
+    let mut inputs: Vec<String> = Vec::new();
+    for (k, _) in array_reads.iter().enumerate() {
+        let conn = format!("in{k}");
+        conn_of_array.insert(k, conn.clone());
+        inputs.push(conn);
+    }
+    let mut conn_of_scalar: BTreeMap<String, String> = BTreeMap::new();
+    for (k, s) in scalar_reads.iter().enumerate() {
+        let conn = format!("sc{k}");
+        conn_of_scalar.insert(s.clone(), conn.clone());
+        inputs.push(conn);
+    }
+
+    let code = lower_value(rhs, ctx, &array_reads, &conn_of_array, &conn_of_scalar)?;
+
+    b.in_state(st, |df| {
+        let t = df.tasklet(Tasklet {
+            name: format!("{}_kernel", lhs.name),
+            inputs: inputs.clone(),
+            outputs: vec!["o".to_string()],
+            code: vec![fuzzyflow_ir::TaskletStmt {
+                dst: "o".to_string(),
+                value: code.clone(),
+            }],
+            lanes: 1,
+        });
+        for (k, (name, indices)) in array_reads.iter().enumerate() {
+            let acc = df.access(name);
+            let subset = Subset::at(
+                indices
+                    .iter()
+                    .map(|e| lower_index(e, ctx).expect("validated above"))
+                    .collect(),
+            );
+            df.read(acc, t, Memlet::new(name.clone(), subset).to_conn(&conn_of_array[&k]));
+        }
+        for s in &scalar_reads {
+            let acc = df.access(s);
+            df.read(
+                acc,
+                t,
+                Memlet::new(s.clone(), Subset::new(vec![])).to_conn(&conn_of_scalar[s]),
+            );
+        }
+        let out = df.access(&lhs.name);
+        let mut m = Memlet::new(lhs.name.clone(), out_subset.clone()).from_conn("o");
+        if accumulate {
+            m = m.with_wcr(fuzzyflow_ir::Wcr::Sum);
+        }
+        df.write(t, out, m);
+    });
+    Ok(())
+}
+
+/// Lowers an index/size expression to a symbolic integer expression.
+fn lower_index(e: &Expr, ctx: &LowerCtx) -> Result<SymExpr, CompileError> {
+    Ok(match e {
+        Expr::Int(v) => SymExpr::Int(*v),
+        Expr::Ident(n) => {
+            if ctx.arrays.contains(n) || ctx.scalars.contains(n) {
+                return Err(CompileError::new(
+                    format!("container '{n}' cannot appear in an index or size expression"),
+                    None,
+                ));
+            }
+            SymExpr::sym(n)
+        }
+        Expr::Add(a, b) => lower_index(a, ctx)? + lower_index(b, ctx)?,
+        Expr::Sub(a, b) => lower_index(a, ctx)? - lower_index(b, ctx)?,
+        Expr::Mul(a, b) => lower_index(a, ctx)? * lower_index(b, ctx)?,
+        Expr::Div(a, b) => lower_index(a, ctx)?.div(lower_index(b, ctx)?),
+        Expr::Mod(a, b) => lower_index(a, ctx)?.rem(lower_index(b, ctx)?),
+        Expr::Neg(a) => -lower_index(a, ctx)?,
+        Expr::Min(a, b) => lower_index(a, ctx)?.min(lower_index(b, ctx)?),
+        Expr::Max(a, b) => lower_index(a, ctx)?.max(lower_index(b, ctx)?),
+        Expr::Float(v) => {
+            return Err(CompileError::new(
+                format!("float literal {v} cannot appear in an index expression"),
+                None,
+            ))
+        }
+        Expr::Index(..) | Expr::Sqrt(_) | Expr::Exp(_) => {
+            return Err(CompileError::new(
+                "array reads and math functions cannot appear in index expressions",
+                None,
+            ))
+        }
+    })
+}
+
+/// Lowers a value expression to tasklet code, substituting connectors for
+/// array/scalar reads.
+fn lower_value(
+    e: &Expr,
+    ctx: &LowerCtx,
+    array_reads: &[(String, Vec<Expr>)],
+    conn_of_array: &BTreeMap<usize, String>,
+    conn_of_scalar: &BTreeMap<String, String>,
+) -> Result<ScalarExpr, CompileError> {
+    let rec = |x: &Expr| lower_value(x, ctx, array_reads, conn_of_array, conn_of_scalar);
+    Ok(match e {
+        Expr::Int(v) => ScalarExpr::i64(*v),
+        Expr::Float(v) => ScalarExpr::f64(*v),
+        Expr::Ident(n) => {
+            if let Some(conn) = conn_of_scalar.get(n) {
+                ScalarExpr::r(conn)
+            } else if ctx.is_symbolic(n) {
+                ScalarExpr::r(n)
+            } else {
+                return Err(CompileError::new(
+                    format!("cannot read array '{n}' without indices"),
+                    None,
+                ));
+            }
+        }
+        Expr::Index(name, idx) => {
+            let k = array_reads
+                .iter()
+                .position(|(n, i)| n == name && i == idx)
+                .ok_or_else(|| CompileError::new("internal: unregistered read", None))?;
+            ScalarExpr::r(&conn_of_array[&k])
+        }
+        Expr::Add(a, b) => rec(a)?.add(rec(b)?),
+        Expr::Sub(a, b) => rec(a)?.sub(rec(b)?),
+        Expr::Mul(a, b) => rec(a)?.mul(rec(b)?),
+        Expr::Div(a, b) => rec(a)?.div(rec(b)?),
+        Expr::Mod(a, b) => ScalarExpr::Bin(
+            fuzzyflow_ir::BinOp::Mod,
+            Box::new(rec(a)?),
+            Box::new(rec(b)?),
+        ),
+        Expr::Neg(a) => rec(a)?.neg(),
+        Expr::Min(a, b) => rec(a)?.min(rec(b)?),
+        Expr::Max(a, b) => rec(a)?.max(rec(b)?),
+        Expr::Sqrt(a) => rec(a)?.sqrt(),
+        Expr::Exp(a) => rec(a)?.exp(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use fuzzyflow_interp::{run, ArrayValue, ExecState};
+
+    fn compile(src: &str) -> Sdfg {
+        let p = parse(src).unwrap();
+        let sdfg = lower("test", &p).unwrap();
+        assert!(
+            fuzzyflow_ir::validate(&sdfg).is_ok(),
+            "{:?}",
+            fuzzyflow_ir::validate(&sdfg)
+        );
+        sdfg
+    }
+
+    #[test]
+    fn lowers_elementwise_loop() {
+        let sdfg = compile(
+            "param N; array A[N]; array B[N];\
+             for i = 0 .. N { B[i] = 2.0 * A[i] + 1.0; }",
+        );
+        let mut st = ExecState::new();
+        st.bind("N", 3);
+        st.set_array("A", ArrayValue::from_f64(vec![3], &[1.0, 2.0, 3.0]));
+        run(&sdfg, &mut st).unwrap();
+        assert_eq!(st.array("B").unwrap().to_f64_vec(), vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn lowers_accumulation() {
+        let sdfg = compile(
+            "param N; array A[N]; scalar s;\
+             for i = 0 .. N { s += A[i]; }",
+        );
+        let mut st = ExecState::new();
+        st.bind("N", 4);
+        st.set_array("A", ArrayValue::from_f64(vec![4], &[1.0, 2.0, 3.0, 4.0]));
+        run(&sdfg, &mut st).unwrap();
+        assert_eq!(st.array("s").unwrap().get(0).as_f64(), 10.0);
+    }
+
+    #[test]
+    fn lowers_nested_matmul() {
+        let sdfg = compile(
+            "param N; array A[N,N]; array B[N,N]; array C[N,N];\
+             for i = 0 .. N { for j = 0 .. N { for k = 0 .. N {\
+                 C[i,j] += A[i,k] * B[k,j];\
+             } } }",
+        );
+        let mut st = ExecState::new();
+        st.bind("N", 2);
+        st.set_array("A", ArrayValue::from_f64(vec![2, 2], &[1.0, 2.0, 3.0, 4.0]));
+        st.set_array("B", ArrayValue::from_f64(vec![2, 2], &[5.0, 6.0, 7.0, 8.0]));
+        run(&sdfg, &mut st).unwrap();
+        assert_eq!(
+            st.array("C").unwrap().to_f64_vec(),
+            vec![19.0, 22.0, 43.0, 50.0]
+        );
+    }
+
+    #[test]
+    fn lowers_multi_statement_body() {
+        let sdfg = compile(
+            "param N; array A[N]; array B[N]; scalar s;\
+             for i = 0 .. N { B[i] = A[i] * A[i]; s += B[i]; }",
+        );
+        let mut st = ExecState::new();
+        st.bind("N", 3);
+        st.set_array("A", ArrayValue::from_f64(vec![3], &[1.0, 2.0, 3.0]));
+        run(&sdfg, &mut st).unwrap();
+        assert_eq!(st.array("s").unwrap().get(0).as_f64(), 14.0);
+        assert_eq!(st.array("B").unwrap().to_f64_vec(), vec![1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn loop_is_canonical_for_transformations() {
+        let sdfg = compile("param N; array A[N]; for i = 0 .. N { A[i] = 1.0; }");
+        let loops = fuzzyflow_ir::loops::detect_all_loops(&sdfg);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].var, "i");
+    }
+
+    #[test]
+    fn symbols_usable_in_values() {
+        // Loop variable used as a value (cast to float on write).
+        let sdfg = compile("param N; array A[N]; for i = 0 .. N { A[i] = i * i; }");
+        let mut st = ExecState::new();
+        st.bind("N", 4);
+        run(&sdfg, &mut st).unwrap();
+        assert_eq!(
+            st.array("A").unwrap().to_f64_vec(),
+            vec![0.0, 1.0, 4.0, 9.0]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_programs() {
+        let p = parse("array A[2]; A[0] = B[1];").unwrap();
+        assert!(lower("bad", &p).is_err());
+        let p = parse("scalar x; x[0] = 1.0;").unwrap();
+        assert!(lower("bad", &p).is_err());
+        let p = parse("param N; array A[N]; A[1.5] = 1.0;").unwrap();
+        assert!(lower("bad", &p).is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! Recursive-descent parser for the mini language.
+
+use crate::ast::{Expr, Item, LValue, Program, Stmt};
+use crate::lexer::{lex, SpannedTok, Tok};
+use crate::CompileError;
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn line(&self) -> Option<usize> {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), CompileError> {
+        let line = self.line();
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            Some(t) => Err(CompileError::new(
+                format!("expected {tok:?}, found {t:?}"),
+                line,
+            )),
+            None => Err(CompileError::new(
+                format!("expected {tok:?}, found end of input"),
+                line,
+            )),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Ident(n)) => Ok(n),
+            other => Err(CompileError::new(
+                format!("expected identifier, found {other:?}"),
+                line,
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut items = Vec::new();
+        while self.peek().is_some() {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        match self.peek() {
+            Some(Tok::Param) => {
+                self.next();
+                let name = self.ident()?;
+                self.expect(Tok::Semi)?;
+                Ok(Item::Param(name))
+            }
+            Some(Tok::Array) => {
+                self.next();
+                let name = self.ident()?;
+                self.expect(Tok::LBracket)?;
+                let mut shape = vec![self.expr()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.next();
+                    shape.push(self.expr()?);
+                }
+                self.expect(Tok::RBracket)?;
+                let transient = if self.peek() == Some(&Tok::Transient) {
+                    self.next();
+                    true
+                } else {
+                    false
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Item::Array {
+                    name,
+                    shape,
+                    transient,
+                })
+            }
+            Some(Tok::Scalar) => {
+                self.next();
+                let name = self.ident()?;
+                let transient = if self.peek() == Some(&Tok::Transient) {
+                    self.next();
+                    true
+                } else {
+                    false
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Item::Scalar { name, transient })
+            }
+            _ => Ok(Item::Stmt(self.stmt()?)),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        if self.peek() == Some(&Tok::For) {
+            self.next();
+            let var = self.ident()?;
+            self.expect(Tok::Assign)?;
+            let lo = self.expr()?;
+            self.expect(Tok::DotDot)?;
+            let hi = self.expr()?;
+            self.expect(Tok::LBrace)?;
+            let mut body = Vec::new();
+            while self.peek() != Some(&Tok::RBrace) {
+                if self.peek().is_none() {
+                    return Err(CompileError::new("unterminated for-body", self.line()));
+                }
+                body.push(self.stmt()?);
+            }
+            self.expect(Tok::RBrace)?;
+            return Ok(Stmt::For { var, lo, hi, body });
+        }
+        // Assignment.
+        let name = self.ident()?;
+        let indices = if self.peek() == Some(&Tok::LBracket) {
+            self.next();
+            let mut idx = vec![self.expr()?];
+            while self.peek() == Some(&Tok::Comma) {
+                self.next();
+                idx.push(self.expr()?);
+            }
+            self.expect(Tok::RBracket)?;
+            idx
+        } else {
+            Vec::new()
+        };
+        let lhs = LValue { name, indices };
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Assign) => {
+                let rhs = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Assign { lhs, rhs })
+            }
+            Some(Tok::PlusAssign) => {
+                let rhs = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Accumulate { lhs, rhs })
+            }
+            other => Err(CompileError::new(
+                format!("expected '=' or '+=', found {other:?}"),
+                line,
+            )),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.next();
+                    lhs = Expr::Add(Box::new(lhs), Box::new(self.term()?));
+                }
+                Some(Tok::Minus) => {
+                    self.next();
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(self.term()?));
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.factor()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.next();
+                    lhs = Expr::Mul(Box::new(lhs), Box::new(self.factor()?));
+                }
+                Some(Tok::Slash) => {
+                    self.next();
+                    lhs = Expr::Div(Box::new(lhs), Box::new(self.factor()?));
+                }
+                Some(Tok::Percent) => {
+                    self.next();
+                    lhs = Expr::Mod(Box::new(lhs), Box::new(self.factor()?));
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Expr::Int(v)),
+            Some(Tok::Float(v)) => Ok(Expr::Float(v)),
+            Some(Tok::Minus) => Ok(Expr::Neg(Box::new(self.factor()?))),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    // Builtin function call.
+                    self.next();
+                    let a = self.expr()?;
+                    match name.as_str() {
+                        "sqrt" | "exp" => {
+                            self.expect(Tok::RParen)?;
+                            Ok(match name.as_str() {
+                                "sqrt" => Expr::Sqrt(Box::new(a)),
+                                _ => Expr::Exp(Box::new(a)),
+                            })
+                        }
+                        "min" | "max" => {
+                            self.expect(Tok::Comma)?;
+                            let b = self.expr()?;
+                            self.expect(Tok::RParen)?;
+                            Ok(if name == "min" {
+                                Expr::Min(Box::new(a), Box::new(b))
+                            } else {
+                                Expr::Max(Box::new(a), Box::new(b))
+                            })
+                        }
+                        other => Err(CompileError::new(
+                            format!("unknown function '{other}'"),
+                            line,
+                        )),
+                    }
+                } else if self.peek() == Some(&Tok::LBracket) {
+                    self.next();
+                    let mut idx = vec![self.expr()?];
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.next();
+                        idx.push(self.expr()?);
+                    }
+                    self.expect(Tok::RBracket)?;
+                    Ok(Expr::Index(name, idx))
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            other => Err(CompileError::new(
+                format!("unexpected token {other:?}"),
+                line,
+            )),
+        }
+    }
+}
+
+/// Parses a full program.
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations() {
+        let p = parse("param N; array A[N, N]; array tmp[N] transient; scalar s;").unwrap();
+        assert_eq!(p.items.len(), 4);
+        assert!(matches!(&p.items[0], Item::Param(n) if n == "N"));
+        assert!(matches!(&p.items[2], Item::Array { transient: true, .. }));
+    }
+
+    #[test]
+    fn parses_nested_loops() {
+        let p = parse(
+            "param N; array A[N,N];\
+             for i = 0 .. N { for j = 0 .. N { A[i, j] = 0.0; } }",
+        )
+        .unwrap();
+        let Item::Stmt(Stmt::For { body, .. }) = &p.items[2] else {
+            panic!("expected for");
+        };
+        assert!(matches!(&body[0], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_accumulate() {
+        let p = parse("param N; array A[N]; scalar s; for i = 0 .. N { s += A[i]; }").unwrap();
+        let Item::Stmt(Stmt::For { body, .. }) = &p.items[3] else {
+            panic!();
+        };
+        assert!(matches!(&body[0], Stmt::Accumulate { .. }));
+    }
+
+    #[test]
+    fn parse_errors_have_lines() {
+        let err = parse("param N;\nfor i = 0 .. N {").unwrap_err();
+        assert!(err.line.is_some());
+    }
+
+    #[test]
+    fn parses_functions_and_precedence() {
+        let p = parse("scalar x; x = max(1.0, 2.0) + 3.0 * sqrt(4.0);").unwrap();
+        let Item::Stmt(Stmt::Assign { rhs, .. }) = &p.items[1] else {
+            panic!();
+        };
+        assert!(matches!(rhs, Expr::Add(..)));
+    }
+}

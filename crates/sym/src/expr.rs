@@ -1,0 +1,340 @@
+//! The symbolic expression AST and its constructors.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A symbolic integer expression over named program parameters.
+///
+/// Division is floor division and `Mod` follows Euclidean semantics
+/// (result is always non-negative for a positive divisor), matching how
+/// index arithmetic behaves in the dataflow IR.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SymExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Named symbol (program parameter such as `N`).
+    Sym(String),
+    Add(Box<SymExpr>, Box<SymExpr>),
+    Sub(Box<SymExpr>, Box<SymExpr>),
+    Mul(Box<SymExpr>, Box<SymExpr>),
+    /// Floor division.
+    Div(Box<SymExpr>, Box<SymExpr>),
+    /// Euclidean remainder.
+    Mod(Box<SymExpr>, Box<SymExpr>),
+    Min(Box<SymExpr>, Box<SymExpr>),
+    Max(Box<SymExpr>, Box<SymExpr>),
+    Neg(Box<SymExpr>),
+}
+
+impl SymExpr {
+    /// A named symbol.
+    pub fn sym(name: impl Into<String>) -> Self {
+        SymExpr::Sym(name.into())
+    }
+
+    /// An integer constant.
+    pub fn int(v: i64) -> Self {
+        SymExpr::Int(v)
+    }
+
+    /// `min(self, other)`.
+    pub fn min(self, other: SymExpr) -> Self {
+        SymExpr::Min(Box::new(self), Box::new(other))
+    }
+
+    /// `max(self, other)`.
+    pub fn max(self, other: SymExpr) -> Self {
+        SymExpr::Max(Box::new(self), Box::new(other))
+    }
+
+    /// Floor division `self / other`.
+    pub fn div(self, other: SymExpr) -> Self {
+        SymExpr::Div(Box::new(self), Box::new(other))
+    }
+
+    /// Euclidean remainder `self % other`.
+    pub fn rem(self, other: SymExpr) -> Self {
+        SymExpr::Mod(Box::new(self), Box::new(other))
+    }
+
+    /// Ceiling division `ceil(self / other)`, built from floor division:
+    /// `(a + b - 1) / b`. Only meaningful for positive divisors.
+    pub fn ceil_div(self, other: SymExpr) -> Self {
+        (self + other.clone() - SymExpr::Int(1)).div(other)
+    }
+
+    /// Returns the constant value if this expression is a literal.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            SymExpr::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the symbol name if this expression is a bare symbol.
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            SymExpr::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if the expression contains no symbols.
+    pub fn is_constant(&self) -> bool {
+        match self {
+            SymExpr::Int(_) => true,
+            SymExpr::Sym(_) => false,
+            SymExpr::Add(a, b)
+            | SymExpr::Sub(a, b)
+            | SymExpr::Mul(a, b)
+            | SymExpr::Div(a, b)
+            | SymExpr::Mod(a, b)
+            | SymExpr::Min(a, b)
+            | SymExpr::Max(a, b) => a.is_constant() && b.is_constant(),
+            SymExpr::Neg(a) => a.is_constant(),
+        }
+    }
+
+    /// Collects the free symbols of the expression into `out` (deduplicated
+    /// by the set semantics of the output vector: a symbol is pushed only if
+    /// not already present).
+    pub fn collect_symbols(&self, out: &mut Vec<String>) {
+        match self {
+            SymExpr::Int(_) => {}
+            SymExpr::Sym(s) => {
+                if !out.iter().any(|x| x == s) {
+                    out.push(s.clone());
+                }
+            }
+            SymExpr::Add(a, b)
+            | SymExpr::Sub(a, b)
+            | SymExpr::Mul(a, b)
+            | SymExpr::Div(a, b)
+            | SymExpr::Mod(a, b)
+            | SymExpr::Min(a, b)
+            | SymExpr::Max(a, b) => {
+                a.collect_symbols(out);
+                b.collect_symbols(out);
+            }
+            SymExpr::Neg(a) => a.collect_symbols(out),
+        }
+    }
+
+    /// The free symbols of the expression, in first-occurrence order.
+    pub fn free_symbols(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        self.collect_symbols(&mut v);
+        v
+    }
+
+    /// True if `name` occurs free in the expression.
+    pub fn references(&self, name: &str) -> bool {
+        match self {
+            SymExpr::Int(_) => false,
+            SymExpr::Sym(s) => s == name,
+            SymExpr::Add(a, b)
+            | SymExpr::Sub(a, b)
+            | SymExpr::Mul(a, b)
+            | SymExpr::Div(a, b)
+            | SymExpr::Mod(a, b)
+            | SymExpr::Min(a, b)
+            | SymExpr::Max(a, b) => a.references(name) || b.references(name),
+            SymExpr::Neg(a) => a.references(name),
+        }
+    }
+
+    /// Substitutes every occurrence of symbol `name` with `value`.
+    pub fn substitute(&self, name: &str, value: &SymExpr) -> SymExpr {
+        match self {
+            SymExpr::Int(v) => SymExpr::Int(*v),
+            SymExpr::Sym(s) => {
+                if s == name {
+                    value.clone()
+                } else {
+                    SymExpr::Sym(s.clone())
+                }
+            }
+            SymExpr::Add(a, b) => SymExpr::Add(
+                Box::new(a.substitute(name, value)),
+                Box::new(b.substitute(name, value)),
+            ),
+            SymExpr::Sub(a, b) => SymExpr::Sub(
+                Box::new(a.substitute(name, value)),
+                Box::new(b.substitute(name, value)),
+            ),
+            SymExpr::Mul(a, b) => SymExpr::Mul(
+                Box::new(a.substitute(name, value)),
+                Box::new(b.substitute(name, value)),
+            ),
+            SymExpr::Div(a, b) => SymExpr::Div(
+                Box::new(a.substitute(name, value)),
+                Box::new(b.substitute(name, value)),
+            ),
+            SymExpr::Mod(a, b) => SymExpr::Mod(
+                Box::new(a.substitute(name, value)),
+                Box::new(b.substitute(name, value)),
+            ),
+            SymExpr::Min(a, b) => SymExpr::Min(
+                Box::new(a.substitute(name, value)),
+                Box::new(b.substitute(name, value)),
+            ),
+            SymExpr::Max(a, b) => SymExpr::Max(
+                Box::new(a.substitute(name, value)),
+                Box::new(b.substitute(name, value)),
+            ),
+            SymExpr::Neg(a) => SymExpr::Neg(Box::new(a.substitute(name, value))),
+        }
+    }
+
+    /// Renames symbol `from` to `to` everywhere.
+    pub fn rename(&self, from: &str, to: &str) -> SymExpr {
+        self.substitute(from, &SymExpr::sym(to))
+    }
+}
+
+impl From<i64> for SymExpr {
+    fn from(v: i64) -> Self {
+        SymExpr::Int(v)
+    }
+}
+
+impl From<&str> for SymExpr {
+    fn from(s: &str) -> Self {
+        SymExpr::Sym(s.to_string())
+    }
+}
+
+impl Add for SymExpr {
+    type Output = SymExpr;
+    fn add(self, rhs: SymExpr) -> SymExpr {
+        SymExpr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Sub for SymExpr {
+    type Output = SymExpr;
+    fn sub(self, rhs: SymExpr) -> SymExpr {
+        SymExpr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Mul for SymExpr {
+    type Output = SymExpr;
+    fn mul(self, rhs: SymExpr) -> SymExpr {
+        SymExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Neg for SymExpr {
+    type Output = SymExpr;
+    fn neg(self) -> SymExpr {
+        SymExpr::Neg(Box::new(self))
+    }
+}
+
+/// Precedence level used for parenthesization when printing.
+fn precedence(e: &SymExpr) -> u8 {
+    match e {
+        SymExpr::Int(_) | SymExpr::Sym(_) | SymExpr::Min(..) | SymExpr::Max(..) => 3,
+        SymExpr::Mul(..) | SymExpr::Div(..) | SymExpr::Mod(..) => 2,
+        SymExpr::Add(..) | SymExpr::Sub(..) => 1,
+        SymExpr::Neg(_) => 2,
+    }
+}
+
+fn fmt_child(f: &mut fmt::Formatter<'_>, child: &SymExpr, parent_prec: u8) -> fmt::Result {
+    if precedence(child) < parent_prec {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymExpr::Int(v) => write!(f, "{v}"),
+            SymExpr::Sym(s) => write!(f, "{s}"),
+            SymExpr::Add(a, b) => {
+                fmt_child(f, a, 1)?;
+                write!(f, " + ")?;
+                fmt_child(f, b, 1)
+            }
+            SymExpr::Sub(a, b) => {
+                fmt_child(f, a, 1)?;
+                write!(f, " - ")?;
+                fmt_child(f, b, 2)
+            }
+            SymExpr::Mul(a, b) => {
+                fmt_child(f, a, 2)?;
+                write!(f, "*")?;
+                fmt_child(f, b, 2)
+            }
+            SymExpr::Div(a, b) => {
+                fmt_child(f, a, 2)?;
+                write!(f, "/")?;
+                fmt_child(f, b, 3)
+            }
+            SymExpr::Mod(a, b) => {
+                fmt_child(f, a, 2)?;
+                write!(f, "%")?;
+                fmt_child(f, b, 3)
+            }
+            SymExpr::Min(a, b) => write!(f, "min({a}, {b})"),
+            SymExpr::Max(a, b) => write!(f, "max({a}, {b})"),
+            SymExpr::Neg(a) => {
+                write!(f, "-")?;
+                fmt_child(f, a, 3)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_displays() {
+        let e = (SymExpr::sym("N") + SymExpr::int(1)) * SymExpr::sym("M");
+        assert_eq!(e.to_string(), "(N + 1)*M");
+    }
+
+    #[test]
+    fn display_nested_sub() {
+        let e = SymExpr::sym("a") - (SymExpr::sym("b") - SymExpr::sym("c"));
+        assert_eq!(e.to_string(), "a - (b - c)");
+    }
+
+    #[test]
+    fn free_symbols_dedup_and_order() {
+        let e = SymExpr::sym("N") * SymExpr::sym("M") + SymExpr::sym("N");
+        assert_eq!(e.free_symbols(), vec!["N".to_string(), "M".to_string()]);
+    }
+
+    #[test]
+    fn substitute_replaces_all_occurrences() {
+        let e = SymExpr::sym("N") + SymExpr::sym("N") * SymExpr::sym("M");
+        let s = e.substitute("N", &SymExpr::int(3));
+        assert!(!s.references("N"));
+        assert!(s.references("M"));
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert!((SymExpr::int(2) * SymExpr::int(3)).is_constant());
+        assert!(!(SymExpr::int(2) * SymExpr::sym("x")).is_constant());
+    }
+
+    #[test]
+    fn min_max_display() {
+        let e = SymExpr::sym("a").min(SymExpr::int(4));
+        assert_eq!(e.to_string(), "min(a, 4)");
+    }
+
+    #[test]
+    fn rename_symbol() {
+        let e = SymExpr::sym("i") + SymExpr::sym("j");
+        assert_eq!(e.rename("i", "k").to_string(), "k + j");
+    }
+}

@@ -1,0 +1,287 @@
+//! Interval (bounds) analysis over symbolic expressions.
+//!
+//! Used by the gray-box fuzzer (paper Sec. 5.1) to derive sampling
+//! constraints, and by the subset-overlap analysis to decide range
+//! comparisons that pure structural simplification cannot.
+
+use crate::expr::SymExpr;
+use std::collections::BTreeMap;
+
+/// Known `[min, max]` bounds (inclusive) for program symbols.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SymBounds {
+    map: BTreeMap<String, (i64, i64)>,
+}
+
+impl SymBounds {
+    /// Creates empty bounds (every symbol unconstrained).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the inclusive `[lo, hi]` bound for a symbol. Panics if `lo > hi`.
+    pub fn set(&mut self, name: impl Into<String>, lo: i64, hi: i64) -> &mut Self {
+        assert!(lo <= hi, "invalid bounds [{lo}, {hi}]");
+        self.map.insert(name.into(), (lo, hi));
+        self
+    }
+
+    /// Narrows the existing bound of `name` by intersecting with `[lo, hi]`.
+    /// If the intersection is empty the tighter constraint wins on each end
+    /// and the interval collapses to the crossing point.
+    pub fn narrow(&mut self, name: &str, lo: i64, hi: i64) {
+        let (clo, chi) = self.map.get(name).copied().unwrap_or((i64::MIN, i64::MAX));
+        let nlo = clo.max(lo);
+        let nhi = chi.min(hi);
+        if nlo <= nhi {
+            self.map.insert(name.to_string(), (nlo, nhi));
+        } else {
+            self.map.insert(name.to_string(), (nlo, nlo));
+        }
+    }
+
+    /// Looks up the bound of a symbol.
+    pub fn get(&self, name: &str) -> Option<(i64, i64)> {
+        self.map.get(name).copied()
+    }
+
+    /// Iterates over `(name, (lo, hi))` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, (i64, i64))> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of bounded symbols.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no symbol is bounded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Saturating interval helpers. Saturation keeps the analysis sound: a
+/// saturated endpoint only ever *widens* the interval.
+fn sat_add(a: i64, b: i64) -> i64 {
+    a.saturating_add(b)
+}
+fn sat_sub(a: i64, b: i64) -> i64 {
+    a.saturating_sub(b)
+}
+fn sat_mul(a: i64, b: i64) -> i64 {
+    a.saturating_mul(b)
+}
+
+impl SymExpr {
+    /// Computes inclusive `[lo, hi]` bounds of the expression value given
+    /// symbol bounds. Returns `None` when a symbol is unbounded or the
+    /// operation cannot be bounded (e.g. division by an interval containing
+    /// zero).
+    pub fn bounds(&self, ctx: &SymBounds) -> Option<(i64, i64)> {
+        match self {
+            SymExpr::Int(v) => Some((*v, *v)),
+            SymExpr::Sym(s) => ctx.get(s),
+            SymExpr::Add(a, b) => {
+                let (al, ah) = a.bounds(ctx)?;
+                let (bl, bh) = b.bounds(ctx)?;
+                Some((sat_add(al, bl), sat_add(ah, bh)))
+            }
+            SymExpr::Sub(a, b) => {
+                let (al, ah) = a.bounds(ctx)?;
+                let (bl, bh) = b.bounds(ctx)?;
+                Some((sat_sub(al, bh), sat_sub(ah, bl)))
+            }
+            SymExpr::Mul(a, b) => {
+                let (al, ah) = a.bounds(ctx)?;
+                let (bl, bh) = b.bounds(ctx)?;
+                let cands = [
+                    sat_mul(al, bl),
+                    sat_mul(al, bh),
+                    sat_mul(ah, bl),
+                    sat_mul(ah, bh),
+                ];
+                Some((
+                    *cands.iter().min().expect("non-empty"),
+                    *cands.iter().max().expect("non-empty"),
+                ))
+            }
+            SymExpr::Div(a, b) => {
+                let (al, ah) = a.bounds(ctx)?;
+                let (bl, bh) = b.bounds(ctx)?;
+                // Only handle divisors of uniform sign excluding zero.
+                if bl <= 0 && bh >= 0 {
+                    return None;
+                }
+                let cands = [
+                    al.div_euclid(bl),
+                    al.div_euclid(bh),
+                    ah.div_euclid(bl),
+                    ah.div_euclid(bh),
+                ];
+                Some((
+                    *cands.iter().min().expect("non-empty"),
+                    *cands.iter().max().expect("non-empty"),
+                ))
+            }
+            SymExpr::Mod(_, b) => {
+                let (bl, bh) = b.bounds(ctx)?;
+                if bl <= 0 {
+                    // Euclidean remainder for negative/zero divisors is
+                    // bounded by |divisor|, but zero in range is undefined.
+                    if bl == 0 || bh >= 0 {
+                        return None;
+                    }
+                    return Some((0, sat_sub(bl.saturating_abs(), 1)));
+                }
+                Some((0, sat_sub(bh, 1)))
+            }
+            SymExpr::Min(a, b) => {
+                let (al, ah) = a.bounds(ctx)?;
+                let (bl, bh) = b.bounds(ctx)?;
+                Some((al.min(bl), ah.min(bh)))
+            }
+            SymExpr::Max(a, b) => {
+                let (al, ah) = a.bounds(ctx)?;
+                let (bl, bh) = b.bounds(ctx)?;
+                Some((al.max(bl), ah.max(bh)))
+            }
+            SymExpr::Neg(a) => {
+                let (al, ah) = a.bounds(ctx)?;
+                Some((ah.checked_neg().unwrap_or(i64::MAX), al.checked_neg().unwrap_or(i64::MAX)))
+            }
+        }
+    }
+
+    /// Attempts to prove `self < other` (`Some(true)`), `self >= other`
+    /// (`Some(false)`), or gives up (`None`).
+    pub fn try_lt(&self, other: &SymExpr, ctx: &SymBounds) -> Option<bool> {
+        let diff = (self.clone() - other.clone()).simplify();
+        if let Some(v) = diff.as_int() {
+            return Some(v < 0);
+        }
+        let (lo, hi) = diff.bounds(ctx)?;
+        if hi < 0 {
+            Some(true)
+        } else if lo >= 0 {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Attempts to prove `self <= other` / `self > other`.
+    pub fn try_le(&self, other: &SymExpr, ctx: &SymBounds) -> Option<bool> {
+        let diff = (self.clone() - other.clone()).simplify();
+        if let Some(v) = diff.as_int() {
+            return Some(v <= 0);
+        }
+        let (lo, hi) = diff.bounds(ctx)?;
+        if hi <= 0 {
+            Some(true)
+        } else if lo > 0 {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos_n() -> SymBounds {
+        let mut b = SymBounds::new();
+        b.set("N", 1, 1024);
+        b
+    }
+
+    #[test]
+    fn constant_bounds() {
+        assert_eq!(SymExpr::int(5).bounds(&SymBounds::new()), Some((5, 5)));
+    }
+
+    #[test]
+    fn unbounded_symbol_is_none() {
+        assert_eq!(SymExpr::sym("Q").bounds(&SymBounds::new()), None);
+    }
+
+    #[test]
+    fn add_mul_bounds() {
+        let ctx = pos_n();
+        let e = SymExpr::sym("N") * SymExpr::int(2) + SymExpr::int(1);
+        assert_eq!(e.bounds(&ctx), Some((3, 2049)));
+    }
+
+    #[test]
+    fn mul_with_negative_range() {
+        let mut ctx = SymBounds::new();
+        ctx.set("x", -3, 2);
+        let e = SymExpr::sym("x") * SymExpr::sym("x");
+        // Interval analysis is conservative: [-6, 9] covers the true range.
+        let (lo, hi) = e.bounds(&ctx).unwrap();
+        assert!(lo <= 0 && hi >= 9);
+    }
+
+    #[test]
+    fn mod_bounds_positive_divisor() {
+        let ctx = pos_n();
+        let e = SymExpr::sym("N").rem(SymExpr::int(32));
+        assert_eq!(e.bounds(&ctx), Some((0, 31)));
+    }
+
+    #[test]
+    fn div_interval_containing_zero_gives_up() {
+        let mut ctx = SymBounds::new();
+        ctx.set("d", -1, 1);
+        let e = SymExpr::int(10).div(SymExpr::sym("d"));
+        assert_eq!(e.bounds(&ctx), None);
+    }
+
+    #[test]
+    fn try_lt_proves() {
+        let ctx = pos_n();
+        // N - 1 < N  for all N
+        let a = SymExpr::sym("N") - SymExpr::int(1);
+        let b = SymExpr::sym("N");
+        assert_eq!(a.try_lt(&b, &ctx), Some(true));
+        // N < N - 1 is false
+        assert_eq!(b.try_lt(&a, &ctx), Some(false));
+        // N < M unknown without bounds on M
+        assert_eq!(
+            SymExpr::sym("N").try_lt(&SymExpr::sym("M"), &ctx),
+            None
+        );
+    }
+
+    #[test]
+    fn try_le_with_bounds() {
+        let mut ctx = SymBounds::new();
+        ctx.set("i", 0, 9);
+        // i <= 9 provable
+        assert_eq!(
+            SymExpr::sym("i").try_le(&SymExpr::int(9), &ctx),
+            Some(true)
+        );
+        // i <= 4 unknown
+        assert_eq!(SymExpr::sym("i").try_le(&SymExpr::int(4), &ctx), None);
+    }
+
+    #[test]
+    fn narrow_intersects() {
+        let mut b = SymBounds::new();
+        b.set("N", 0, 100);
+        b.narrow("N", 10, 200);
+        assert_eq!(b.get("N"), Some((10, 100)));
+    }
+
+    #[test]
+    fn saturating_does_not_panic() {
+        let mut ctx = SymBounds::new();
+        ctx.set("x", i64::MIN, i64::MAX);
+        let e = SymExpr::sym("x") * SymExpr::sym("x") + SymExpr::sym("x");
+        // Must not panic; result is a (very wide) sound interval.
+        let _ = e.bounds(&ctx);
+    }
+}

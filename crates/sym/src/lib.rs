@@ -1,0 +1,59 @@
+//! Symbolic integer expressions, ranges and multi-dimensional data subsets.
+//!
+//! This crate is the foundation of FuzzyFlow's *parametric* dataflow IR
+//! (paper Sec. 2.1): data containers are never opaque pointers — their shapes
+//! are symbolic expressions such as `N*N`, which keeps the relationship
+//! between program parameters and data sizes intact. That relationship is
+//! what enables
+//!
+//! * generalizing extracted test cases to different input *sizes*,
+//! * sub-region side-effect analysis (overlap of written/read index ranges),
+//! * deriving fuzzing constraints (a symbol used as an index into a dimension
+//!   of size `N` must lie in `[0, N)`).
+//!
+//! # Quick example
+//!
+//! ```
+//! use fuzzyflow_sym::{SymExpr, Bindings, Subset, SymRange};
+//!
+//! let n = SymExpr::sym("N");
+//! let size = n.clone() * n.clone(); // N*N elements
+//! let mut b = Bindings::new();
+//! b.set("N", 8);
+//! assert_eq!(size.eval(&b).unwrap(), 64);
+//!
+//! // The sub-region A[0:N, 2:4] of an N-by-N array:
+//! let sub = Subset::new(vec![
+//!     SymRange::span(SymExpr::from(0), n.clone()),
+//!     SymRange::span(SymExpr::from(2), SymExpr::from(4)),
+//! ]);
+//! assert_eq!(sub.volume().eval(&b).unwrap(), 16);
+//! ```
+
+pub mod expr;
+pub mod eval;
+pub mod simplify;
+pub mod interval;
+pub mod parse;
+pub mod range;
+
+pub use eval::{Bindings, SymError};
+pub use expr::SymExpr;
+pub use interval::SymBounds;
+pub use parse::parse_expr;
+pub use range::{ConcreteRange, ConcreteSubset, Subset, SymRange, Tri};
+
+/// Convenience constructor: parse an expression from a string, panicking on
+/// malformed input. Intended for building IR in tests, examples and workload
+/// definitions where the expression text is a literal.
+///
+/// ```
+/// use fuzzyflow_sym::{sym, Bindings};
+/// let e = sym("2*N + 1");
+/// let mut b = Bindings::new();
+/// b.set("N", 10);
+/// assert_eq!(e.eval(&b).unwrap(), 21);
+/// ```
+pub fn sym(text: &str) -> SymExpr {
+    parse_expr(text).unwrap_or_else(|e| panic!("invalid symbolic expression {text:?}: {e}"))
+}

@@ -1,0 +1,280 @@
+//! A small recursive-descent parser for symbolic expressions.
+//!
+//! Grammar (standard precedence):
+//! ```text
+//! expr    := term (('+' | '-') term)*
+//! term    := unary (('*' | '/' | '%') unary)*
+//! unary   := '-' unary | atom
+//! atom    := INT | IDENT | IDENT '(' expr ',' expr ')' | '(' expr ')'
+//! ```
+//! The only recognized functions are `min` and `max`.
+
+use crate::eval::SymError;
+use crate::expr::SymExpr;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Int(i64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>, SymError> {
+    let mut toks = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                toks.push(Tok::Slash);
+                i += 1;
+            }
+            '%' => {
+                toks.push(Tok::Percent);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let s = &text[start..i];
+                let v = s
+                    .parse::<i64>()
+                    .map_err(|_| SymError::Parse(format!("integer literal too large: {s}")))?;
+                toks.push(Tok::Int(v));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(text[start..i].to_string()));
+            }
+            other => {
+                return Err(SymError::Parse(format!(
+                    "unexpected character '{other}' at offset {i}"
+                )))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), SymError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            Some(t) => Err(SymError::Parse(format!("expected {tok:?}, found {t:?}"))),
+            None => Err(SymError::Parse(format!("expected {tok:?}, found end of input"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<SymExpr, SymError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.next();
+                    let rhs = self.term()?;
+                    lhs = lhs + rhs;
+                }
+                Some(Tok::Minus) => {
+                    self.next();
+                    let rhs = self.term()?;
+                    lhs = lhs - rhs;
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<SymExpr, SymError> {
+        let mut lhs = self.unary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.next();
+                    let rhs = self.unary()?;
+                    lhs = lhs * rhs;
+                }
+                Some(Tok::Slash) => {
+                    self.next();
+                    let rhs = self.unary()?;
+                    lhs = lhs.div(rhs);
+                }
+                Some(Tok::Percent) => {
+                    self.next();
+                    let rhs = self.unary()?;
+                    lhs = lhs.rem(rhs);
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<SymExpr, SymError> {
+        if matches!(self.peek(), Some(Tok::Minus)) {
+            self.next();
+            let inner = self.unary()?;
+            return Ok(-inner);
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<SymExpr, SymError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(SymExpr::Int(v)),
+            Some(Tok::Ident(name)) => {
+                if matches!(self.peek(), Some(Tok::LParen)) {
+                    self.next();
+                    let a = self.expr()?;
+                    self.expect(Tok::Comma)?;
+                    let b = self.expr()?;
+                    self.expect(Tok::RParen)?;
+                    match name.as_str() {
+                        "min" => Ok(a.min(b)),
+                        "max" => Ok(a.max(b)),
+                        other => Err(SymError::Parse(format!("unknown function '{other}'"))),
+                    }
+                } else {
+                    Ok(SymExpr::Sym(name))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Some(t) => Err(SymError::Parse(format!("unexpected token {t:?}"))),
+            None => Err(SymError::Parse("unexpected end of input".into())),
+        }
+    }
+}
+
+/// Parses a symbolic expression from text.
+pub fn parse_expr(text: &str) -> Result<SymExpr, SymError> {
+    let toks = lex(text)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(SymError::Parse(format!(
+            "trailing input after expression at token {}",
+            p.pos
+        )));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Bindings;
+
+    fn ev(text: &str, pairs: &[(&str, i64)]) -> i64 {
+        let b = Bindings::from_pairs(pairs.iter().map(|&(k, v)| (k, v)));
+        parse_expr(text).unwrap().eval(&b).unwrap()
+    }
+
+    #[test]
+    fn parses_precedence() {
+        assert_eq!(ev("2 + 3 * 4", &[]), 14);
+        assert_eq!(ev("(2 + 3) * 4", &[]), 20);
+    }
+
+    #[test]
+    fn parses_symbols() {
+        assert_eq!(ev("N*N + 2*N + 1", &[("N", 3)]), 16);
+    }
+
+    #[test]
+    fn parses_unary_minus() {
+        assert_eq!(ev("-N + 10", &[("N", 4)]), 6);
+        assert_eq!(ev("--5", &[]), 5);
+    }
+
+    #[test]
+    fn parses_div_mod() {
+        assert_eq!(ev("7 / 2", &[]), 3);
+        assert_eq!(ev("7 % 2", &[]), 1);
+    }
+
+    #[test]
+    fn parses_min_max() {
+        assert_eq!(ev("min(N, 32)", &[("N", 100)]), 32);
+        assert_eq!(ev("max(N, 32)", &[("N", 100)]), 100);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_expr("2 +").is_err());
+        assert!(parse_expr("foo(1, 2)").is_err());
+        assert!(parse_expr("2 $ 3").is_err());
+        assert!(parse_expr("(2").is_err());
+        assert!(parse_expr("2 3").is_err());
+    }
+
+    #[test]
+    fn roundtrips_display() {
+        for text in ["N*N", "N + M - 2", "min(N, M)", "(N + 1)*(M - 1)", "N % 32"] {
+            let e = parse_expr(text).unwrap();
+            let reparsed = parse_expr(&e.to_string()).unwrap();
+            let b = Bindings::from_pairs([("N", 17), ("M", 5)]);
+            assert_eq!(e.eval(&b).unwrap(), reparsed.eval(&b).unwrap());
+        }
+    }
+}

@@ -1,0 +1,624 @@
+//! Symbolic ranges and multi-dimensional data subsets.
+//!
+//! A [`Subset`] is the "exact data subset being accessed" annotation carried
+//! by every data-movement edge (memlet) in the dataflow IR (paper Sec. 2.3).
+//! Overlap queries between subsets drive the side-effect analyses of
+//! Sec. 3.1/3.2; volumes drive the min input-flow cut capacities of Sec. 4.
+
+use crate::eval::{Bindings, SymError};
+use crate::expr::SymExpr;
+use crate::interval::SymBounds;
+use std::fmt;
+
+/// Three-valued logic for symbolic comparisons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tri {
+    True,
+    False,
+    Unknown,
+}
+
+impl Tri {
+    /// Conservative interpretation: could this be true?
+    pub fn may(self) -> bool {
+        !matches!(self, Tri::False)
+    }
+
+    /// Strict interpretation: definitely true?
+    pub fn must(self) -> bool {
+        matches!(self, Tri::True)
+    }
+
+    /// Logical AND in three-valued logic.
+    pub fn and(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::False, _) | (_, Tri::False) => Tri::False,
+            (Tri::True, Tri::True) => Tri::True,
+            _ => Tri::Unknown,
+        }
+    }
+
+    /// Logical OR in three-valued logic.
+    pub fn or(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::True, _) | (_, Tri::True) => Tri::True,
+            (Tri::False, Tri::False) => Tri::False,
+            _ => Tri::Unknown,
+        }
+    }
+}
+
+impl From<bool> for Tri {
+    fn from(b: bool) -> Tri {
+        if b {
+            Tri::True
+        } else {
+            Tri::False
+        }
+    }
+}
+
+/// A half-open symbolic index range `[start, end)` with positive `step`.
+///
+/// A single index `i` is represented as `[i, i+1)` (see [`SymRange::index`]).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SymRange {
+    pub start: SymExpr,
+    pub end: SymExpr,
+    pub step: SymExpr,
+}
+
+impl SymRange {
+    /// Range `[start, end)` with step 1.
+    pub fn span(start: SymExpr, end: SymExpr) -> Self {
+        SymRange {
+            start,
+            end,
+            step: SymExpr::Int(1),
+        }
+    }
+
+    /// Strided range `[start, end)` with the given step.
+    pub fn strided(start: SymExpr, end: SymExpr, step: SymExpr) -> Self {
+        SymRange { start, end, step }
+    }
+
+    /// The single index `idx`, i.e. `[idx, idx+1)`.
+    pub fn index(idx: SymExpr) -> Self {
+        let end = idx.clone() + SymExpr::Int(1);
+        SymRange::span(idx, end)
+    }
+
+    /// The full dimension `[0, size)`.
+    pub fn full(size: SymExpr) -> Self {
+        SymRange::span(SymExpr::Int(0), size)
+    }
+
+    /// True if this range covers a single element (structurally).
+    pub fn is_index(&self) -> bool {
+        (self.end.clone() - self.start.clone())
+            .simplify()
+            .as_int()
+            == Some(1)
+    }
+
+    /// Number of elements covered: `ceil((end - start) / step)`, clamped at 0.
+    pub fn num_elements(&self) -> SymExpr {
+        let extent = self.end.clone() - self.start.clone();
+        let n = extent.ceil_div(self.step.clone());
+        n.max(SymExpr::Int(0)).simplify()
+    }
+
+    /// Free symbols referenced anywhere in the range.
+    pub fn free_symbols(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        self.start.collect_symbols(&mut v);
+        self.end.collect_symbols(&mut v);
+        self.step.collect_symbols(&mut v);
+        v
+    }
+
+    /// Substitutes a symbol in all three components.
+    pub fn substitute(&self, name: &str, value: &SymExpr) -> SymRange {
+        SymRange {
+            start: self.start.substitute(name, value),
+            end: self.end.substitute(name, value),
+            step: self.step.substitute(name, value),
+        }
+    }
+
+    /// Concretizes the range under bindings.
+    pub fn concrete(&self, b: &Bindings) -> Result<ConcreteRange, SymError> {
+        let start = self.start.eval(b)?;
+        let end = self.end.eval(b)?;
+        let step = self.step.eval(b)?;
+        if step <= 0 {
+            return Err(SymError::InvalidStep(step));
+        }
+        Ok(ConcreteRange { start, end, step })
+    }
+
+    /// Does this range *possibly* overlap `other`?
+    ///
+    /// Two half-open ranges `[a, b)` and `[c, d)` (ignoring strides, which is
+    /// conservative) overlap iff `a < d && c < b`. Comparisons that cannot be
+    /// decided symbolically yield `Unknown`, which callers must treat as
+    /// "may overlap" to stay sound.
+    pub fn overlaps(&self, other: &SymRange, ctx: &SymBounds) -> Tri {
+        // Empty ranges never overlap.
+        if self.is_provably_empty(ctx).must() || other.is_provably_empty(ctx).must() {
+            return Tri::False;
+        }
+        let a_lt_d = cmp_lt(&self.start, &other.end, ctx);
+        let c_lt_b = cmp_lt(&other.start, &self.end, ctx);
+        a_lt_d.and(c_lt_b)
+    }
+
+    /// Is this range provably empty (`end <= start`)?
+    pub fn is_provably_empty(&self, ctx: &SymBounds) -> Tri {
+        match self.end.try_le(&self.start, ctx) {
+            Some(true) => Tri::True,
+            Some(false) => Tri::False,
+            None => Tri::Unknown,
+        }
+    }
+
+    /// Does this range certainly contain `other` (`start <= other.start` and
+    /// `other.end <= end`)?
+    pub fn covers(&self, other: &SymRange, ctx: &SymBounds) -> Tri {
+        let lo = cmp_le(&self.start, &other.start, ctx);
+        let hi = cmp_le(&other.end, &self.end, ctx);
+        lo.and(hi)
+    }
+
+    /// The smallest span covering both ranges (stride information is dropped;
+    /// this is a sound over-approximation used when unioning access sets).
+    pub fn hull(&self, other: &SymRange) -> SymRange {
+        SymRange::span(
+            self.start.clone().min(other.start.clone()).simplify(),
+            self.end.clone().max(other.end.clone()).simplify(),
+        )
+    }
+}
+
+fn cmp_lt(a: &SymExpr, b: &SymExpr, ctx: &SymBounds) -> Tri {
+    match a.try_lt(b, ctx) {
+        Some(true) => Tri::True,
+        Some(false) => Tri::False,
+        None => Tri::Unknown,
+    }
+}
+
+fn cmp_le(a: &SymExpr, b: &SymExpr, ctx: &SymBounds) -> Tri {
+    match a.try_le(b, ctx) {
+        Some(true) => Tri::True,
+        Some(false) => Tri::False,
+        None => Tri::Unknown,
+    }
+}
+
+impl fmt::Display for SymRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_index() {
+            write!(f, "{}", self.start)
+        } else if self.step.as_int() == Some(1) {
+            write!(f, "{}:{}", self.start, self.end)
+        } else {
+            write!(f, "{}:{}:{}", self.start, self.end, self.step)
+        }
+    }
+}
+
+/// A multi-dimensional symbolic subset: one [`SymRange`] per dimension.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Subset {
+    dims: Vec<SymRange>,
+}
+
+impl Subset {
+    /// Builds a subset from per-dimension ranges.
+    pub fn new(dims: Vec<SymRange>) -> Self {
+        Subset { dims }
+    }
+
+    /// The full container of the given shape.
+    pub fn full(shape: &[SymExpr]) -> Self {
+        Subset {
+            dims: shape.iter().cloned().map(SymRange::full).collect(),
+        }
+    }
+
+    /// Single element at the given (symbolic) indices.
+    pub fn at(indices: Vec<SymExpr>) -> Self {
+        Subset {
+            dims: indices.into_iter().map(SymRange::index).collect(),
+        }
+    }
+
+    /// Per-dimension ranges.
+    pub fn dims(&self) -> &[SymRange] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements covered (product of per-dim counts).
+    pub fn volume(&self) -> SymExpr {
+        let mut v = SymExpr::Int(1);
+        for d in &self.dims {
+            v = v * d.num_elements();
+        }
+        v.simplify()
+    }
+
+    /// Free symbols referenced in any dimension.
+    pub fn free_symbols(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for d in &self.dims {
+            for s in d.free_symbols() {
+                if !v.contains(&s) {
+                    v.push(s);
+                }
+            }
+        }
+        v
+    }
+
+    /// Substitutes a symbol in every dimension.
+    pub fn substitute(&self, name: &str, value: &SymExpr) -> Subset {
+        Subset {
+            dims: self.dims.iter().map(|d| d.substitute(name, value)).collect(),
+        }
+    }
+
+    /// May this subset overlap `other`? Subsets of different rank are
+    /// conservatively reported as overlapping (shape mismatch means we
+    /// cannot reason about them; soundness requires assuming interference).
+    pub fn overlaps(&self, other: &Subset, ctx: &SymBounds) -> Tri {
+        if self.dims.len() != other.dims.len() {
+            return Tri::Unknown;
+        }
+        let mut acc = Tri::True;
+        for (a, b) in self.dims.iter().zip(&other.dims) {
+            acc = acc.and(a.overlaps(b, ctx));
+            if acc == Tri::False {
+                return Tri::False;
+            }
+        }
+        acc
+    }
+
+    /// Does this subset certainly cover `other` in every dimension?
+    pub fn covers(&self, other: &Subset, ctx: &SymBounds) -> Tri {
+        if self.dims.len() != other.dims.len() {
+            return Tri::Unknown;
+        }
+        let mut acc = Tri::True;
+        for (a, b) in self.dims.iter().zip(&other.dims) {
+            acc = acc.and(a.covers(b, ctx));
+            if acc == Tri::False {
+                return Tri::False;
+            }
+        }
+        acc
+    }
+
+    /// Smallest bounding box covering both subsets. Panics if ranks differ.
+    pub fn hull(&self, other: &Subset) -> Subset {
+        assert_eq!(
+            self.dims.len(),
+            other.dims.len(),
+            "cannot union subsets of different rank"
+        );
+        Subset {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.hull(b))
+                .collect(),
+        }
+    }
+
+    /// Concretizes every dimension under bindings.
+    pub fn concrete(&self, b: &Bindings) -> Result<ConcreteSubset, SymError> {
+        Ok(ConcreteSubset {
+            dims: self
+                .dims
+                .iter()
+                .map(|d| d.concrete(b))
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+impl fmt::Display for Subset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A concrete half-open range `[start, end)` with positive step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConcreteRange {
+    pub start: i64,
+    pub end: i64,
+    pub step: i64,
+}
+
+impl ConcreteRange {
+    /// Number of covered indices.
+    pub fn len(&self) -> usize {
+        if self.end <= self.start {
+            0
+        } else {
+            (((self.end - self.start) + self.step - 1) / self.step) as usize
+        }
+    }
+
+    /// True if the range covers no indices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over covered indices.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        let (start, end, step) = (self.start, self.end, self.step);
+        (0..self.len() as i64).map(move |k| {
+            debug_assert!(start + k * step < end);
+            start + k * step
+        })
+    }
+
+    /// True if `idx` is covered by this range.
+    pub fn contains(&self, idx: i64) -> bool {
+        idx >= self.start && idx < self.end && (idx - self.start) % self.step == 0
+    }
+}
+
+/// A concrete multi-dimensional subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConcreteSubset {
+    pub dims: Vec<ConcreteRange>,
+}
+
+impl ConcreteSubset {
+    /// Total number of covered elements.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().map(|d| d.len()).product()
+    }
+
+    /// Iterates over all covered multi-indices in row-major order.
+    pub fn iter_points(&self) -> ConcretePointIter<'_> {
+        ConcretePointIter {
+            subset: self,
+            current: self.dims.iter().map(|d| d.start).collect(),
+            done: self.dims.iter().any(|d| d.is_empty()),
+        }
+    }
+
+    /// True if the multi-index is covered.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        point.len() == self.dims.len()
+            && point.iter().zip(&self.dims).all(|(&p, d)| d.contains(p))
+    }
+}
+
+/// Row-major iterator over the points of a [`ConcreteSubset`].
+pub struct ConcretePointIter<'a> {
+    subset: &'a ConcreteSubset,
+    current: Vec<i64>,
+    done: bool,
+}
+
+impl Iterator for ConcretePointIter<'_> {
+    type Item = Vec<i64>;
+
+    fn next(&mut self) -> Option<Vec<i64>> {
+        if self.done {
+            return None;
+        }
+        let out = self.current.clone();
+        // Advance odometer from the last dimension.
+        let dims = &self.subset.dims;
+        let mut d = dims.len();
+        loop {
+            if d == 0 {
+                self.done = true;
+                break;
+            }
+            d -= 1;
+            self.current[d] += dims[d].step;
+            if self.current[d] < dims[d].end {
+                break;
+            }
+            self.current[d] = dims[d].start;
+        }
+        if dims.is_empty() {
+            self.done = true;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym;
+
+    fn nb() -> SymBounds {
+        let mut b = SymBounds::new();
+        b.set("N", 1, 1 << 20);
+        b
+    }
+
+    #[test]
+    fn num_elements_span() {
+        let r = SymRange::span(SymExpr::int(2), SymExpr::int(10));
+        assert_eq!(r.num_elements().as_int(), Some(8));
+    }
+
+    #[test]
+    fn num_elements_strided() {
+        let r = SymRange::strided(SymExpr::int(0), SymExpr::int(10), SymExpr::int(3));
+        assert_eq!(r.num_elements().as_int(), Some(4)); // 0,3,6,9
+    }
+
+    #[test]
+    fn num_elements_clamped_at_zero() {
+        let r = SymRange::span(SymExpr::int(5), SymExpr::int(2));
+        assert_eq!(r.num_elements().as_int(), Some(0));
+    }
+
+    #[test]
+    fn subset_volume_symbolic() {
+        let s = Subset::full(&[sym("N"), sym("N")]);
+        let b = Bindings::from_pairs([("N", 7)]);
+        assert_eq!(s.volume().eval(&b).unwrap(), 49);
+    }
+
+    #[test]
+    fn overlap_disjoint_constant() {
+        let a = SymRange::span(SymExpr::int(0), SymExpr::int(5));
+        let b = SymRange::span(SymExpr::int(5), SymExpr::int(10));
+        assert_eq!(a.overlaps(&b, &nb()), Tri::False);
+    }
+
+    #[test]
+    fn overlap_adjacent_symbolic() {
+        // [0, N) vs [N, 2N) never overlap.
+        let a = SymRange::span(SymExpr::int(0), sym("N"));
+        let b = SymRange::span(sym("N"), sym("2*N"));
+        assert_eq!(a.overlaps(&b, &nb()), Tri::False);
+    }
+
+    #[test]
+    fn overlap_contained_symbolic() {
+        // [0, N) vs [0, 10) overlaps when N >= 1 (bounds say N>=1).
+        let a = SymRange::span(SymExpr::int(0), sym("N"));
+        let b = SymRange::span(SymExpr::int(0), SymExpr::int(10));
+        assert_eq!(a.overlaps(&b, &nb()), Tri::True);
+    }
+
+    #[test]
+    fn overlap_unknown_is_conservative() {
+        let a = SymRange::index(sym("i"));
+        let b = SymRange::index(sym("j"));
+        let t = a.overlaps(&b, &SymBounds::new());
+        assert_eq!(t, Tri::Unknown);
+        assert!(t.may());
+    }
+
+    #[test]
+    fn covers_full_dimension() {
+        let full = SymRange::full(sym("N"));
+        let part = SymRange::span(SymExpr::int(0), SymExpr::int(1));
+        assert_eq!(full.covers(&part, &nb()), Tri::True);
+        assert_eq!(part.covers(&full, &nb()), Tri::Unknown); // N could be 1
+    }
+
+    #[test]
+    fn subset_overlap_multi_dim_requires_all_dims() {
+        let ctx = nb();
+        // Rows 0..5 cols 0..5 vs rows 5..10 cols 0..5: disjoint via rows.
+        let a = Subset::new(vec![
+            SymRange::span(SymExpr::int(0), SymExpr::int(5)),
+            SymRange::span(SymExpr::int(0), SymExpr::int(5)),
+        ]);
+        let b = Subset::new(vec![
+            SymRange::span(SymExpr::int(5), SymExpr::int(10)),
+            SymRange::span(SymExpr::int(0), SymExpr::int(5)),
+        ]);
+        assert_eq!(a.overlaps(&b, &ctx), Tri::False);
+    }
+
+    #[test]
+    fn rank_mismatch_is_unknown() {
+        let a = Subset::full(&[sym("N")]);
+        let b = Subset::full(&[sym("N"), sym("N")]);
+        assert_eq!(a.overlaps(&b, &nb()), Tri::Unknown);
+    }
+
+    #[test]
+    fn concrete_iteration_row_major() {
+        let s = Subset::new(vec![
+            SymRange::span(SymExpr::int(0), SymExpr::int(2)),
+            SymRange::span(SymExpr::int(1), SymExpr::int(3)),
+        ]);
+        let c = s.concrete(&Bindings::new()).unwrap();
+        let pts: Vec<Vec<i64>> = c.iter_points().collect();
+        assert_eq!(
+            pts,
+            vec![vec![0, 1], vec![0, 2], vec![1, 1], vec![1, 2]]
+        );
+        assert_eq!(c.volume(), 4);
+    }
+
+    #[test]
+    fn concrete_strided_contains() {
+        let r = ConcreteRange {
+            start: 0,
+            end: 10,
+            step: 3,
+        };
+        assert!(r.contains(0));
+        assert!(r.contains(9));
+        assert!(!r.contains(2));
+        assert!(!r.contains(10));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn invalid_step_rejected() {
+        let r = SymRange::strided(SymExpr::int(0), SymExpr::int(4), SymExpr::int(0));
+        assert!(matches!(
+            r.concrete(&Bindings::new()),
+            Err(SymError::InvalidStep(0))
+        ));
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let a = SymRange::span(SymExpr::int(0), SymExpr::int(4));
+        let b = SymRange::span(SymExpr::int(8), SymExpr::int(12));
+        let h = a.hull(&b);
+        assert_eq!(h.start.as_int(), Some(0));
+        assert_eq!(h.end.as_int(), Some(12));
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Subset::new(vec![
+            SymRange::index(sym("i")),
+            SymRange::span(SymExpr::int(0), sym("N")),
+            SymRange::strided(SymExpr::int(0), sym("N"), SymExpr::int(2)),
+        ]);
+        assert_eq!(s.to_string(), "[i, 0:N, 0:N:2]");
+    }
+
+    #[test]
+    fn empty_subset_iterates_nothing() {
+        let s = Subset::new(vec![SymRange::span(SymExpr::int(3), SymExpr::int(3))]);
+        let c = s.concrete(&Bindings::new()).unwrap();
+        assert_eq!(c.iter_points().count(), 0);
+    }
+
+    #[test]
+    fn zero_rank_subset_single_point() {
+        let s = Subset::new(vec![]);
+        let c = s.concrete(&Bindings::new()).unwrap();
+        let pts: Vec<Vec<i64>> = c.iter_points().collect();
+        assert_eq!(pts, vec![Vec::<i64>::new()]);
+        assert_eq!(s.volume().as_int(), Some(1));
+    }
+}

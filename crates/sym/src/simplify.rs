@@ -1,0 +1,399 @@
+//! Algebraic simplification of symbolic expressions.
+//!
+//! The simplifier is deliberately conservative: it applies local rewrite
+//! rules that are valid for all integer values of the free symbols. It is
+//! used to keep memlet volumes and flow capacities readable and to enable
+//! cheap structural-equality checks during subset analysis; correctness of
+//! the analyses never depends on the simplifier being complete (anything
+//! undecided falls back to interval reasoning or a conservative answer).
+
+use crate::expr::SymExpr;
+
+impl SymExpr {
+    /// Returns an equivalent, usually smaller, expression.
+    pub fn simplify(&self) -> SymExpr {
+        let e = match self {
+            SymExpr::Int(_) | SymExpr::Sym(_) => self.clone(),
+            SymExpr::Add(a, b) => simplify_add(a.simplify(), b.simplify()),
+            SymExpr::Sub(a, b) => simplify_sub(a.simplify(), b.simplify()),
+            SymExpr::Mul(a, b) => simplify_mul(a.simplify(), b.simplify()),
+            SymExpr::Div(a, b) => simplify_div(a.simplify(), b.simplify()),
+            SymExpr::Mod(a, b) => simplify_mod(a.simplify(), b.simplify()),
+            SymExpr::Min(a, b) => simplify_min(a.simplify(), b.simplify()),
+            SymExpr::Max(a, b) => simplify_max(a.simplify(), b.simplify()),
+            SymExpr::Neg(a) => simplify_neg(a.simplify()),
+        };
+        // Additive trees get a second pass: flatten into a linear
+        // combination, merge like terms, and rebuild canonically. This is
+        // what lets differences such as `(N - 1) - N` collapse to `-1`,
+        // which the range-comparison analyses depend on.
+        if matches!(e, SymExpr::Add(..) | SymExpr::Sub(..) | SymExpr::Neg(_)) {
+            if let Some(lin) = normalize_linear(&e) {
+                return lin;
+            }
+        }
+        e
+    }
+
+    /// Structural equality after simplification. A `true` result guarantees
+    /// the expressions are equivalent; `false` is inconclusive.
+    pub fn equivalent(&self, other: &SymExpr) -> bool {
+        if self.simplify() == other.simplify() {
+            return true;
+        }
+        // Second chance: difference simplifies to zero.
+        matches!(
+            (self.clone() - other.clone()).simplify(),
+            SymExpr::Int(0)
+        )
+    }
+}
+
+/// Decomposes an expression into `sum(coeff_i * term_i) + constant`, where
+/// each `term_i` is a non-additive sub-expression. Returns `None` on
+/// arithmetic overflow (caller keeps the unnormalized form).
+fn decompose_linear(
+    e: &SymExpr,
+    sign: i64,
+    terms: &mut Vec<(SymExpr, i64)>,
+    konst: &mut i64,
+) -> Option<()> {
+    match e {
+        SymExpr::Int(v) => {
+            *konst = konst.checked_add(sign.checked_mul(*v)?)?;
+        }
+        SymExpr::Add(a, b) => {
+            decompose_linear(a, sign, terms, konst)?;
+            decompose_linear(b, sign, terms, konst)?;
+        }
+        SymExpr::Sub(a, b) => {
+            decompose_linear(a, sign, terms, konst)?;
+            decompose_linear(b, sign.checked_neg()?, terms, konst)?;
+        }
+        SymExpr::Neg(a) => {
+            decompose_linear(a, sign.checked_neg()?, terms, konst)?;
+        }
+        SymExpr::Mul(a, b) => match (a.as_int(), b.as_int()) {
+            (Some(c), None) => decompose_linear(b, sign.checked_mul(c)?, terms, konst)?,
+            (None, Some(c)) => decompose_linear(a, sign.checked_mul(c)?, terms, konst)?,
+            _ => push_term(terms, e.clone(), sign)?,
+        },
+        other => push_term(terms, other.clone(), sign)?,
+    }
+    Some(())
+}
+
+fn push_term(terms: &mut Vec<(SymExpr, i64)>, term: SymExpr, coeff: i64) -> Option<()> {
+    for (t, c) in terms.iter_mut() {
+        if *t == term {
+            *c = c.checked_add(coeff)?;
+            return Some(());
+        }
+    }
+    terms.push((term, coeff));
+    Some(())
+}
+
+/// Rebuilds a canonical expression from a linear decomposition of `e`.
+fn normalize_linear(e: &SymExpr) -> Option<SymExpr> {
+    let mut terms = Vec::new();
+    let mut konst = 0i64;
+    decompose_linear(e, 1, &mut terms, &mut konst)?;
+    terms.retain(|(_, c)| *c != 0);
+    // Canonical term order for stable output and structural equality.
+    terms.sort_by(|(a, _), (b, _)| a.cmp(b));
+    let mut acc: Option<SymExpr> = None;
+    for (term, coeff) in terms {
+        let magnitude = coeff.unsigned_abs() as i64;
+        let piece = if magnitude == 1 {
+            term
+        } else {
+            SymExpr::Int(magnitude) * term
+        };
+        acc = Some(match acc {
+            None => {
+                if coeff < 0 {
+                    -piece
+                } else {
+                    piece
+                }
+            }
+            Some(prev) => {
+                if coeff < 0 {
+                    prev - piece
+                } else {
+                    prev + piece
+                }
+            }
+        });
+    }
+    Some(match (acc, konst) {
+        (None, k) => SymExpr::Int(k),
+        (Some(a), 0) => a,
+        (Some(a), k) if k < 0 => a - SymExpr::Int(k.checked_neg()?),
+        (Some(a), k) => a + SymExpr::Int(k),
+    })
+}
+
+fn fold2(a: &SymExpr, b: &SymExpr, f: impl Fn(i64, i64) -> Option<i64>) -> Option<SymExpr> {
+    match (a, b) {
+        (SymExpr::Int(x), SymExpr::Int(y)) => f(*x, *y).map(SymExpr::Int),
+        _ => None,
+    }
+}
+
+fn simplify_add(a: SymExpr, b: SymExpr) -> SymExpr {
+    if let Some(e) = fold2(&a, &b, |x, y| x.checked_add(y)) {
+        return e;
+    }
+    if a == SymExpr::Int(0) {
+        return b;
+    }
+    if b == SymExpr::Int(0) {
+        return a;
+    }
+    // x + (-y) => x - y
+    if let SymExpr::Neg(inner) = &b {
+        return simplify_sub(a, (**inner).clone());
+    }
+    // (x - c1) + c2 folding: gather trailing constants.
+    if let (SymExpr::Add(x, c1), SymExpr::Int(c2)) = (&a, &b) {
+        if let SymExpr::Int(c1v) = **c1 {
+            if let Some(c) = c1v.checked_add(*c2) {
+                return simplify_add((**x).clone(), SymExpr::Int(c));
+            }
+        }
+    }
+    if let (SymExpr::Sub(x, c1), SymExpr::Int(c2)) = (&a, &b) {
+        if let SymExpr::Int(c1v) = **c1 {
+            if let Some(c) = c2.checked_sub(c1v) {
+                return simplify_add((**x).clone(), SymExpr::Int(c));
+            }
+        }
+    }
+    // Constant to the right for canonical form.
+    if matches!(a, SymExpr::Int(_)) && !matches!(b, SymExpr::Int(_)) {
+        return simplify_add(b, a);
+    }
+    SymExpr::Add(Box::new(a), Box::new(b))
+}
+
+fn simplify_sub(a: SymExpr, b: SymExpr) -> SymExpr {
+    if let Some(e) = fold2(&a, &b, |x, y| x.checked_sub(y)) {
+        return e;
+    }
+    if b == SymExpr::Int(0) {
+        return a;
+    }
+    if a == b {
+        return SymExpr::Int(0);
+    }
+    // (x + c1) - c2 => x + (c1 - c2)
+    if let (SymExpr::Add(x, c1), SymExpr::Int(c2)) = (&a, &b) {
+        if let SymExpr::Int(c1v) = **c1 {
+            if let Some(c) = c1v.checked_sub(*c2) {
+                return simplify_add((**x).clone(), SymExpr::Int(c));
+            }
+        }
+    }
+    // (x + y) - y => x ; (x + y) - x => y
+    if let SymExpr::Add(x, y) = &a {
+        if **y == b {
+            return (**x).clone();
+        }
+        if **x == b {
+            return (**y).clone();
+        }
+    }
+    // x - (-y) => x + y
+    if let SymExpr::Neg(inner) = &b {
+        return simplify_add(a, (**inner).clone());
+    }
+    SymExpr::Sub(Box::new(a), Box::new(b))
+}
+
+fn simplify_mul(a: SymExpr, b: SymExpr) -> SymExpr {
+    if let Some(e) = fold2(&a, &b, |x, y| x.checked_mul(y)) {
+        return e;
+    }
+    if a == SymExpr::Int(0) || b == SymExpr::Int(0) {
+        return SymExpr::Int(0);
+    }
+    if a == SymExpr::Int(1) {
+        return b;
+    }
+    if b == SymExpr::Int(1) {
+        return a;
+    }
+    // Canonical form: constant on the left.
+    if matches!(b, SymExpr::Int(_)) && !matches!(a, SymExpr::Int(_)) {
+        return simplify_mul(b, a);
+    }
+    SymExpr::Mul(Box::new(a), Box::new(b))
+}
+
+fn simplify_div(a: SymExpr, b: SymExpr) -> SymExpr {
+    if let Some(e) = fold2(&a, &b, |x, y| {
+        if y == 0 {
+            None
+        } else {
+            x.checked_div_euclid(y)
+        }
+    }) {
+        return e;
+    }
+    if b == SymExpr::Int(1) {
+        return a;
+    }
+    if a == SymExpr::Int(0) {
+        return SymExpr::Int(0);
+    }
+    if a == b {
+        // x / x is 1 only when x != 0; sizes/capacities are positive in this
+        // IR, but to stay sound for all integers we keep the expression
+        // unless one side is a known non-zero constant (handled by fold2).
+        return SymExpr::Div(Box::new(a), Box::new(b));
+    }
+    SymExpr::Div(Box::new(a), Box::new(b))
+}
+
+fn simplify_mod(a: SymExpr, b: SymExpr) -> SymExpr {
+    if let Some(e) = fold2(&a, &b, |x, y| {
+        if y == 0 {
+            None
+        } else {
+            x.checked_rem_euclid(y)
+        }
+    }) {
+        return e;
+    }
+    if b == SymExpr::Int(1) {
+        return SymExpr::Int(0);
+    }
+    if a == SymExpr::Int(0) {
+        return SymExpr::Int(0);
+    }
+    SymExpr::Mod(Box::new(a), Box::new(b))
+}
+
+fn simplify_min(a: SymExpr, b: SymExpr) -> SymExpr {
+    if let Some(e) = fold2(&a, &b, |x, y| Some(x.min(y))) {
+        return e;
+    }
+    if a == b {
+        return a;
+    }
+    SymExpr::Min(Box::new(a), Box::new(b))
+}
+
+fn simplify_max(a: SymExpr, b: SymExpr) -> SymExpr {
+    if let Some(e) = fold2(&a, &b, |x, y| Some(x.max(y))) {
+        return e;
+    }
+    if a == b {
+        return a;
+    }
+    SymExpr::Max(Box::new(a), Box::new(b))
+}
+
+fn simplify_neg(a: SymExpr) -> SymExpr {
+    match a {
+        SymExpr::Int(v) => match v.checked_neg() {
+            Some(n) => SymExpr::Int(n),
+            None => SymExpr::Neg(Box::new(SymExpr::Int(v))),
+        },
+        SymExpr::Neg(inner) => *inner,
+        other => SymExpr::Neg(Box::new(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Bindings;
+
+    #[test]
+    fn folds_constants() {
+        let e = (SymExpr::int(2) + SymExpr::int(3)) * SymExpr::int(4);
+        assert_eq!(e.simplify(), SymExpr::Int(20));
+    }
+
+    #[test]
+    fn add_zero_identity() {
+        let e = SymExpr::sym("N") + SymExpr::int(0);
+        assert_eq!(e.simplify(), SymExpr::sym("N"));
+    }
+
+    #[test]
+    fn mul_identities() {
+        assert_eq!(
+            (SymExpr::sym("N") * SymExpr::int(1)).simplify(),
+            SymExpr::sym("N")
+        );
+        assert_eq!(
+            (SymExpr::sym("N") * SymExpr::int(0)).simplify(),
+            SymExpr::Int(0)
+        );
+    }
+
+    #[test]
+    fn sub_self_is_zero() {
+        let e = SymExpr::sym("N") - SymExpr::sym("N");
+        assert_eq!(e.simplify(), SymExpr::Int(0));
+    }
+
+    #[test]
+    fn gathers_trailing_constants() {
+        // (N + 1) + 2 => N + 3
+        let e = (SymExpr::sym("N") + SymExpr::int(1)) + SymExpr::int(2);
+        assert_eq!(e.simplify().to_string(), "N + 3");
+        // (N + 5) - 2 => N + 3
+        let e = (SymExpr::sym("N") + SymExpr::int(5)) - SymExpr::int(2);
+        assert_eq!(e.simplify().to_string(), "N + 3");
+    }
+
+    #[test]
+    fn add_y_sub_y_cancels() {
+        let e = (SymExpr::sym("x") + SymExpr::sym("y")) - SymExpr::sym("y");
+        assert_eq!(e.simplify(), SymExpr::sym("x"));
+    }
+
+    #[test]
+    fn double_negation() {
+        let e = -(-SymExpr::sym("N"));
+        assert_eq!(e.simplify(), SymExpr::sym("N"));
+    }
+
+    #[test]
+    fn equivalent_detects_equal_forms() {
+        let a = SymExpr::sym("N") + SymExpr::int(2);
+        let b = (SymExpr::sym("N") + SymExpr::int(1)) + SymExpr::int(1);
+        assert!(a.equivalent(&b));
+    }
+
+    #[test]
+    fn simplify_preserves_value_on_samples() {
+        let e = ((SymExpr::sym("N") + SymExpr::int(0)) * SymExpr::int(1)
+            - SymExpr::sym("M") * SymExpr::int(0))
+            + SymExpr::int(3);
+        let s = e.simplify();
+        for n in [-5i64, 0, 7, 100] {
+            for m in [-2i64, 0, 9] {
+                let b = Bindings::from_pairs([("N", n), ("M", m)]);
+                assert_eq!(e.eval(&b).unwrap(), s.eval(&b).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_fold() {
+        assert_eq!(
+            SymExpr::int(3).min(SymExpr::int(5)).simplify(),
+            SymExpr::Int(3)
+        );
+        assert_eq!(
+            SymExpr::int(3).max(SymExpr::int(5)).simplify(),
+            SymExpr::Int(5)
+        );
+    }
+}

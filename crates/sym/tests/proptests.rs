@@ -1,0 +1,111 @@
+//! Property-based tests for the symbolic expression engine.
+
+use fuzzyflow_sym::{Bindings, SymBounds, SymExpr, Subset, SymRange, Tri};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary expressions over symbols {N, M, i}.
+fn arb_expr() -> impl Strategy<Value = SymExpr> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(SymExpr::Int),
+        prop_oneof![Just("N"), Just("M"), Just("i")].prop_map(SymExpr::sym),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.min(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.max(b)),
+            inner.clone().prop_map(|a| -a),
+        ]
+    })
+}
+
+fn bindings(n: i64, m: i64, i: i64) -> Bindings {
+    Bindings::from_pairs([("N", n), ("M", m), ("i", i)])
+}
+
+proptest! {
+    /// simplify() never changes the value of an expression.
+    #[test]
+    fn simplify_is_sound(e in arb_expr(), n in -20i64..20, m in -20i64..20, i in -20i64..20) {
+        let b = bindings(n, m, i);
+        let orig = e.eval(&b);
+        let simp = e.simplify().eval(&b);
+        prop_assert_eq!(orig, simp);
+    }
+
+    /// Display -> parse round-trips preserve value.
+    #[test]
+    fn display_parse_roundtrip(e in arb_expr(), n in -20i64..20, m in -20i64..20, i in -20i64..20) {
+        let b = bindings(n, m, i);
+        let text = e.to_string();
+        let reparsed = fuzzyflow_sym::parse_expr(&text).unwrap();
+        prop_assert_eq!(e.eval(&b), reparsed.eval(&b));
+    }
+
+    /// Interval bounds always contain the concrete value.
+    #[test]
+    fn bounds_contain_value(e in arb_expr(), n in 1i64..20, m in 1i64..20, i in 0i64..20) {
+        let mut ctx = SymBounds::new();
+        ctx.set("N", 1, 19);
+        ctx.set("M", 1, 19);
+        ctx.set("i", 0, 19);
+        let b = bindings(n, m, i);
+        if let (Some((lo, hi)), Ok(v)) = (e.bounds(&ctx), e.eval(&b)) {
+            prop_assert!(lo <= v && v <= hi, "value {} outside [{}, {}] for {}", v, lo, hi, e);
+        }
+    }
+
+    /// Symbolic overlap never reports False when concrete ranges do overlap.
+    #[test]
+    fn overlap_is_conservative(
+        a0 in 0i64..16, alen in 0i64..8,
+        b0 in 0i64..16, blen in 0i64..8,
+    ) {
+        let ra = SymRange::span(SymExpr::Int(a0), SymExpr::Int(a0 + alen));
+        let rb = SymRange::span(SymExpr::Int(b0), SymExpr::Int(b0 + blen));
+        let sym_result = ra.overlaps(&rb, &SymBounds::new());
+        let concrete_overlap = a0 < b0 + blen && b0 < a0 + alen && alen > 0 && blen > 0;
+        if concrete_overlap {
+            prop_assert!(sym_result.may(), "claimed disjoint but ranges overlap");
+        } else {
+            prop_assert!(sym_result != Tri::True || !concrete_overlap == false,
+                "claimed certain overlap for disjoint ranges");
+        }
+    }
+
+    /// Subset volume equals point-iteration count.
+    #[test]
+    fn volume_matches_iteration(
+        d0 in 0i64..5, l0 in 0i64..5,
+        d1 in 0i64..5, l1 in 0i64..5,
+        step in 1i64..3,
+    ) {
+        let s = Subset::new(vec![
+            SymRange::span(SymExpr::Int(d0), SymExpr::Int(d0 + l0)),
+            SymRange::strided(SymExpr::Int(d1), SymExpr::Int(d1 + l1), SymExpr::Int(step)),
+        ]);
+        let c = s.concrete(&Bindings::new()).unwrap();
+        prop_assert_eq!(c.volume(), c.iter_points().count());
+        let b = Bindings::new();
+        prop_assert_eq!(s.volume().eval(&b).unwrap() as usize, c.volume());
+    }
+
+    /// covers() implies every concrete point of the inner is inside the outer.
+    #[test]
+    fn covers_sound(
+        a0 in 0i64..8, alen in 1i64..8,
+        b0 in 0i64..8, blen in 1i64..8,
+    ) {
+        let ra = SymRange::span(SymExpr::Int(a0), SymExpr::Int(a0 + alen));
+        let rb = SymRange::span(SymExpr::Int(b0), SymExpr::Int(b0 + blen));
+        if ra.covers(&rb, &SymBounds::new()).must() {
+            let ca = ra.concrete(&Bindings::new()).unwrap();
+            let cb = rb.concrete(&Bindings::new()).unwrap();
+            for p in cb.iter() {
+                prop_assert!(ca.contains(p));
+            }
+        }
+    }
+}

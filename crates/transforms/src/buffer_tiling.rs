@@ -1,0 +1,268 @@
+//! Buffer tiling (buggy, Table 2: change in semantics).
+
+use crate::framework::{ChangeSet, MatchSite, TransformError, Transformation, TransformationMatch};
+use fuzzyflow_ir::{Dataflow, DfNode, Sdfg, StateId, Subset, SymExpr};
+use fuzzyflow_graph::NodeId;
+
+/// Buffer tiling: shrinks a transient buffer exchanged between two maps to
+/// a fixed tile size, rewriting accesses modulo the tile ("tiles buffers
+/// between loops" — Table 2).
+///
+/// **Seeded bug (✗ change in semantics):** the pass shrinks the buffer and
+/// rewrites the indices, but does *not* fuse or tile the two loops
+/// accordingly. The first map completes entirely before the second starts,
+/// so after shrinking, the buffer only retains the final tile's values;
+/// the consumer reads stale data for every earlier tile. Results change
+/// whenever the buffer is larger than one tile.
+#[derive(Clone, Debug)]
+pub struct BufferTiling {
+    pub tile: i64,
+}
+
+impl Default for BufferTiling {
+    fn default() -> Self {
+        BufferTiling { tile: 8 }
+    }
+}
+
+impl BufferTiling {
+    pub fn new(tile: i64) -> Self {
+        assert!(tile > 0);
+        BufferTiling { tile }
+    }
+}
+
+/// Finds `map -> access(1-D transient buf) -> map` chains.
+fn find_buffers(sdfg: &Sdfg) -> Vec<(StateId, NodeId, NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for st in sdfg.states.node_ids() {
+        let df = &sdfg.states.node(st).df;
+        for acc in df.graph.node_ids() {
+            let name = match df.graph.node(acc).as_access() {
+                Some(n) => n,
+                None => continue,
+            };
+            let desc = match sdfg.array(name) {
+                Some(d) => d,
+                None => continue,
+            };
+            if !desc.transient || desc.rank() != 1 {
+                continue;
+            }
+            if df.graph.in_degree(acc) != 1 || df.graph.out_degree(acc) != 1 {
+                continue;
+            }
+            let producer = df.graph.src(df.graph.in_edge_ids(acc)[0]);
+            let consumer = df.graph.dst(df.graph.out_edge_ids(acc)[0]);
+            if df.graph.node(producer).as_map().is_some()
+                && df.graph.node(consumer).as_map().is_some()
+            {
+                out.push((st, producer, acc, consumer));
+            }
+        }
+    }
+    out
+}
+
+/// Rewrites every subset of container `buf` in a dataflow graph (recursing
+/// into maps) so that dimension 0 indices become `index % tile`.
+fn rewrite_mod(df: &mut Dataflow, buf: &str, tile: i64) {
+    let edges: Vec<fuzzyflow_graph::EdgeId> = df.graph.edge_ids().collect();
+    for e in edges {
+        let m = df.graph.edge_mut(e);
+        if m.data == buf && m.subset.rank() == 1 {
+            let r = &m.subset.dims()[0];
+            if r.is_index() {
+                let idx = r.start.clone().rem(SymExpr::Int(tile));
+                m.subset = Subset::at(vec![idx]);
+            } else {
+                m.subset = Subset::full(&[SymExpr::Int(tile)]);
+            }
+        }
+    }
+    let nodes: Vec<NodeId> = df.graph.node_ids().collect();
+    for n in nodes {
+        if let DfNode::Map(map) = df.graph.node_mut(n) {
+            rewrite_mod(&mut map.body, buf, tile);
+        }
+    }
+}
+
+impl Transformation for BufferTiling {
+    fn name(&self) -> &'static str {
+        "BufferTiling"
+    }
+    fn description(&self) -> &'static str {
+        "Tiles buffers between loops (Table 2: change in semantics)"
+    }
+
+    fn find_matches(&self, sdfg: &Sdfg) -> Vec<TransformationMatch> {
+        find_buffers(sdfg)
+            .into_iter()
+            .map(|(state, producer, acc, consumer)| TransformationMatch {
+                site: MatchSite::Nodes {
+                    state,
+                    nodes: vec![producer, acc, consumer],
+                },
+                description: format!(
+                    "tile buffer {acc} between maps {producer} and {consumer} in state {state}"
+                ),
+            })
+            .collect()
+    }
+
+    fn apply(
+        &self,
+        sdfg: &mut Sdfg,
+        m: &TransformationMatch,
+    ) -> Result<ChangeSet, TransformError> {
+        let (state, producer, acc, consumer) = match &m.site {
+            MatchSite::Nodes { state, nodes } if nodes.len() == 3 => {
+                (*state, nodes[0], nodes[1], nodes[2])
+            }
+            other => {
+                return Err(TransformError::MatchInvalid(format!(
+                    "expected 3-node site, got {other:?}"
+                )))
+            }
+        };
+        let buf = {
+            let df = &sdfg
+                .states
+                .try_node(state)
+                .ok_or_else(|| TransformError::MatchInvalid(format!("state {state} missing")))?
+                .df;
+            for n in [producer, acc, consumer] {
+                if !df.graph.contains_node(n) {
+                    return Err(TransformError::MatchInvalid(format!(
+                        "node {n} not in state {state}"
+                    )));
+                }
+            }
+            df.graph
+                .node(acc)
+                .as_access()
+                .ok_or_else(|| TransformError::MatchInvalid("middle node not an access".into()))?
+                .to_string()
+        };
+
+        // Shrink the buffer to one tile.
+        let desc = sdfg
+            .arrays
+            .get_mut(&buf)
+            .ok_or_else(|| TransformError::MatchInvalid(format!("unknown buffer '{buf}'")))?;
+        desc.shape = vec![SymExpr::Int(self.tile)];
+
+        // Rewrite all accesses modulo the tile size — including the
+        // top-level summary memlets. BUG (seeded): the surrounding loops
+        // are left untouched, so the producer finishes all tiles before
+        // the consumer reads any.
+        let tile = self.tile;
+        let df = &mut sdfg.states.node_mut(state).df;
+        rewrite_mod(df, &buf, tile);
+
+        Ok(ChangeSet::nodes_in_state(state, [producer, acc, consumer]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::apply_to_clone;
+    use fuzzyflow_interp::{run, ArrayValue, ExecState};
+    use fuzzyflow_ir::{
+        sym, validate, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, SymRange, Tasklet,
+    };
+
+    /// buf[i] = A[i] + 1; B[i] = buf[i] * 2.
+    fn program() -> Sdfg {
+        let mut b = SdfgBuilder::new("bt");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.transient("buf", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let buf = df.access("buf");
+            let out = df.access("B");
+            let m1 = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let a = body.access("A");
+                    let t = body.access("buf");
+                    let k = body.tasklet(Tasklet::simple(
+                        "inc",
+                        vec!["x"],
+                        "y",
+                        ScalarExpr::r("x").add(ScalarExpr::f64(1.0)),
+                    ));
+                    body.read(a, k, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.write(k, t, Memlet::new("buf", Subset::at(vec![sym("i")])).from_conn("y"));
+                },
+            );
+            let m2 = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let t = body.access("buf");
+                    let o = body.access("B");
+                    let k = body.tasklet(Tasklet::simple(
+                        "dbl",
+                        vec!["x"],
+                        "y",
+                        ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
+                    ));
+                    body.read(t, k, Memlet::new("buf", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.write(k, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                },
+            );
+            df.auto_wire(m1, &[a], &[buf]);
+            df.auto_wire(m2, &[buf], &[out]);
+        });
+        b.build()
+    }
+
+    fn exec(p: &Sdfg, n: i64) -> Vec<f64> {
+        let mut st = ExecState::new();
+        st.bind("N", n);
+        let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        st.set_array("A", ArrayValue::from_f64(vec![n], &vals));
+        run(p, &mut st).unwrap();
+        st.array("B").unwrap().to_f64_vec()
+    }
+
+    #[test]
+    fn matches_buffer_between_maps() {
+        let p = program();
+        assert_eq!(BufferTiling::default().find_matches(&p).len(), 1);
+    }
+
+    #[test]
+    fn correct_when_buffer_fits_one_tile() {
+        let p = program();
+        let t = BufferTiling::new(8);
+        let m = &t.find_matches(&p)[0];
+        let (tp, _) = apply_to_clone(&p, &t, m).unwrap();
+        assert!(validate(&tp).is_ok(), "{:?}", validate(&tp));
+        assert_eq!(exec(&p, 8), exec(&tp, 8));
+        assert_eq!(exec(&p, 5), exec(&tp, 5));
+    }
+
+    #[test]
+    fn breaks_semantics_beyond_one_tile() {
+        let p = program();
+        let t = BufferTiling::new(4);
+        let m = &t.find_matches(&p)[0];
+        let (tp, _) = apply_to_clone(&p, &t, m).unwrap();
+        assert!(validate(&tp).is_ok());
+        let good = exec(&p, 8);
+        let bad = exec(&tp, 8);
+        assert_ne!(good, bad);
+        // The final tile is still correct (it survives in the buffer).
+        assert_eq!(good[4..], bad[4..]);
+    }
+}

@@ -1,0 +1,628 @@
+//! Tasklet fusion (buggy, Table 2) and map fusion (correct).
+
+use crate::framework::{
+    ChangeSet, MatchSite, TransformError, Transformation, TransformationMatch,
+};
+use fuzzyflow_ir::{
+    Dataflow, DfNode, Sdfg, StateId, Tasklet, TaskletStmt,
+};
+use fuzzyflow_graph::NodeId;
+use std::collections::BTreeMap;
+
+/// Copies all nodes and edges of `src` into `dst`, returning the node id
+/// remapping.
+pub fn append_graph(dst: &mut Dataflow, src: &Dataflow) -> BTreeMap<NodeId, NodeId> {
+    let mut map = BTreeMap::new();
+    for n in src.graph.node_ids() {
+        let new = dst.graph.add_node(src.graph.node(n).clone());
+        map.insert(n, new);
+    }
+    for e in src.graph.edge_ids() {
+        let (u, v) = src.graph.endpoints(e);
+        dst.graph.add_edge(map[&u], map[&v], src.graph.edge(e).clone());
+    }
+    map
+}
+
+/// Finds `producer-tasklet -> access(tmp) -> consumer-tasklet` chains at
+/// the top level of a state, where the intermediate is a transient
+/// container written and read at the same subset, with the intermediate
+/// access having exactly one writer and one reader *in this state*.
+fn find_tasklet_chains(sdfg: &Sdfg) -> Vec<(StateId, NodeId, NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for st in sdfg.states.node_ids() {
+        let df = &sdfg.states.node(st).df;
+        for acc in df.graph.node_ids() {
+            let name = match df.graph.node(acc).as_access() {
+                Some(n) => n,
+                None => continue,
+            };
+            let desc = match sdfg.array(name) {
+                Some(d) => d,
+                None => continue,
+            };
+            if !desc.transient {
+                continue;
+            }
+            if df.graph.in_degree(acc) != 1 || df.graph.out_degree(acc) != 1 {
+                continue;
+            }
+            let we = df.graph.in_edge_ids(acc)[0];
+            let re = df.graph.out_edge_ids(acc)[0];
+            let producer = df.graph.src(we);
+            let consumer = df.graph.dst(re);
+            let (pt, ct) = (
+                df.graph.node(producer).as_tasklet(),
+                df.graph.node(consumer).as_tasklet(),
+            );
+            let (pt, ct) = match (pt, ct) {
+                (Some(a), Some(b)) => (a, b),
+                _ => continue,
+            };
+            if pt.lanes != 1 || ct.lanes != 1 || pt.outputs.len() != 1 {
+                continue;
+            }
+            // Written and read subsets must agree structurally.
+            if df.graph.edge(we).subset != df.graph.edge(re).subset {
+                continue;
+            }
+            if df.graph.edge(we).wcr.is_some() {
+                continue;
+            }
+            out.push((st, producer, acc, consumer));
+        }
+    }
+    out
+}
+
+/// Tasklet fusion: subsumes a producer tasklet into its consumer, removing
+/// the temporary write between them (paper Fig. 4's `z * 2` into `h`).
+///
+/// **Seeded bug (Table 2, ✗ change in semantics):** the pass checks that
+/// the temporary has a single reader *within the state it fuses in*, but
+/// never checks whether the temporary is read again in a later state. When
+/// it is, the removed write changes program semantics — exactly the
+/// failure FuzzyFlow's system-state analysis is designed to catch
+/// (Sec. 6.4 "Write Elimination" found the same class).
+#[derive(Clone, Debug, Default)]
+pub struct TaskletFusion;
+
+impl Transformation for TaskletFusion {
+    fn name(&self) -> &'static str {
+        "TaskletFusion"
+    }
+    fn description(&self) -> &'static str {
+        "Removes temporary writes by fusing producer tasklets into consumers (Table 2: semantic change)"
+    }
+
+    fn find_matches(&self, sdfg: &Sdfg) -> Vec<TransformationMatch> {
+        find_tasklet_chains(sdfg)
+            .into_iter()
+            .map(|(state, producer, acc, consumer)| TransformationMatch {
+                site: MatchSite::Nodes {
+                    state,
+                    nodes: vec![producer, acc, consumer],
+                },
+                description: format!(
+                    "fuse tasklet {producer} into {consumer} via {acc} in state {state}"
+                ),
+            })
+            .collect()
+    }
+
+    fn apply(
+        &self,
+        sdfg: &mut Sdfg,
+        m: &TransformationMatch,
+    ) -> Result<ChangeSet, TransformError> {
+        let (state, producer, acc, consumer) = match &m.site {
+            MatchSite::Nodes { state, nodes } if nodes.len() == 3 => {
+                (*state, nodes[0], nodes[1], nodes[2])
+            }
+            other => {
+                return Err(TransformError::MatchInvalid(format!(
+                    "expected 3-node chain site, got {other:?}"
+                )))
+            }
+        };
+        let df = &mut sdfg
+            .states
+            .try_node_mut(state)
+            .ok_or_else(|| TransformError::MatchInvalid(format!("state {state} missing")))?
+            .df;
+        for n in [producer, acc, consumer] {
+            if !df.graph.contains_node(n) {
+                return Err(TransformError::MatchInvalid(format!(
+                    "node {n} not in state {state}"
+                )));
+            }
+        }
+        let pt = df
+            .graph
+            .node(producer)
+            .as_tasklet()
+            .ok_or_else(|| TransformError::MatchInvalid("producer is not a tasklet".into()))?
+            .clone();
+        let ct = df
+            .graph
+            .node(consumer)
+            .as_tasklet()
+            .ok_or_else(|| TransformError::MatchInvalid("consumer is not a tasklet".into()))?
+            .clone();
+
+        // The consumer connector fed by the temporary.
+        let read_edge = df.graph.out_edge_ids(acc)[0];
+        let fed_conn = df
+            .graph
+            .edge(read_edge)
+            .dst_conn
+            .clone()
+            .ok_or_else(|| TransformError::MatchInvalid("read memlet has no connector".into()))?;
+
+        // Build the fused tasklet: producer code (namespaced) computes a
+        // local that replaces the consumer's input connector.
+        let prefix = |n: &str| format!("__f_{n}");
+        let mut code: Vec<TaskletStmt> = Vec::new();
+        let p_names: Vec<String> = pt
+            .inputs
+            .iter()
+            .cloned()
+            .chain(pt.code.iter().map(|s| s.dst.clone()))
+            .collect();
+        for stmt in &pt.code {
+            let mut value = stmt.value.clone();
+            for n in &p_names {
+                value = value.rename(n, &prefix(n));
+            }
+            code.push(TaskletStmt {
+                dst: prefix(&stmt.dst),
+                value,
+            });
+        }
+        // Route the producer's (single) output into the consumer's input.
+        code.push(TaskletStmt {
+            dst: fed_conn.clone(),
+            value: fuzzyflow_ir::ScalarExpr::Ref(prefix(&pt.outputs[0])),
+        });
+        code.extend(ct.code.iter().cloned());
+
+        let mut inputs: Vec<String> = pt.inputs.iter().map(|n| prefix(n)).collect();
+        inputs.extend(ct.inputs.iter().filter(|c| **c != fed_conn).cloned());
+        let fused = Tasklet {
+            name: format!("{}_{}", pt.name, ct.name),
+            inputs: inputs.iter().map(String::from).collect(),
+            outputs: ct.outputs.clone(),
+            code,
+            lanes: 1,
+        };
+
+        // Rewire: producer inputs move to the fused consumer with
+        // namespaced connectors.
+        let in_edges: Vec<_> = df.graph.in_edge_ids(producer).to_vec();
+        for e in in_edges {
+            let mut memlet = df.graph.edge(e).clone();
+            if let Some(c) = &memlet.dst_conn {
+                memlet.dst_conn = Some(prefix(c));
+            }
+            let src = df.graph.src(e);
+            df.graph.remove_edge(e);
+            df.graph.add_edge(src, consumer, memlet);
+        }
+        *df.graph.node_mut(consumer) = DfNode::Tasklet(fused);
+
+        // BUG (seeded): the write to the temporary is removed without
+        // checking whether any later state reads it.
+        df.graph.remove_node(producer);
+        df.graph.remove_node(acc);
+
+        Ok(ChangeSet::nodes_in_state(state, [producer, acc, consumer]))
+    }
+}
+
+/// Map fusion (correct): fuses two consecutive maps with identical
+/// iteration spaces that communicate through a transient container,
+/// keeping the intermediate write intact.
+#[derive(Clone, Debug, Default)]
+pub struct MapFusion;
+
+/// Finds `map1 -> access(tmp) -> map2` at state top level with equal
+/// ranges and element-wise communication.
+fn find_fusable_maps(sdfg: &Sdfg) -> Vec<(StateId, NodeId, NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for st in sdfg.states.node_ids() {
+        let df = &sdfg.states.node(st).df;
+        for acc in df.graph.node_ids() {
+            let name = match df.graph.node(acc).as_access() {
+                Some(n) => n.to_string(),
+                None => continue,
+            };
+            let desc = match sdfg.array(&name) {
+                Some(d) => d.clone(),
+                None => continue,
+            };
+            if !desc.transient || df.graph.in_degree(acc) != 1 || df.graph.out_degree(acc) != 1 {
+                continue;
+            }
+            let m1 = df.graph.src(df.graph.in_edge_ids(acc)[0]);
+            let m2 = df.graph.dst(df.graph.out_edge_ids(acc)[0]);
+            let (s1, s2) = match (df.graph.node(m1).as_map(), df.graph.node(m2).as_map()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => continue,
+            };
+            if s1.params.len() != s2.params.len() {
+                continue;
+            }
+            // Ranges must agree structurally after renaming m2's params to
+            // m1's.
+            let ranges_match = s1.ranges.iter().zip(&s2.ranges).enumerate().all(
+                |(k, (r1, r2))| {
+                    let mut r2r = r2.clone();
+                    for (p2, p1) in s2.params.iter().zip(&s1.params) {
+                        r2r = r2r.substitute(p2, &fuzzyflow_ir::SymExpr::sym(p1));
+                    }
+                    let _ = k;
+                    r1.start.equivalent(&r2r.start)
+                        && r1.end.equivalent(&r2r.end)
+                        && r1.step.equivalent(&r2r.step)
+                },
+            );
+            if !ranges_match {
+                continue;
+            }
+            // Communication must be element-wise on `tmp`: per-iteration
+            // write and read subsets must agree after param renaming.
+            let sets1 = fuzzyflow_ir::analysis::graph_access_sets(&s1.body);
+            let sets2raw = fuzzyflow_ir::analysis::graph_access_sets(&s2.body);
+            let w1: Vec<_> = sets1.writes_to(&name).collect();
+            let r2: Vec<_> = sets2raw.reads_from(&name).collect();
+            if w1.len() != 1 || r2.len() != 1 || w1[0].wcr.is_some() {
+                continue;
+            }
+            let mut r2s = r2[0].subset.clone();
+            for (p2, p1) in s2.params.iter().zip(&s1.params) {
+                r2s = r2s.substitute(p2, &fuzzyflow_ir::SymExpr::sym(p1));
+            }
+            if w1[0].subset != r2s {
+                continue;
+            }
+            // No other interference between the two bodies.
+            let w1c = sets1.written_containers();
+            let shared: Vec<_> = w1c
+                .iter()
+                .filter(|c| {
+                    sets2raw.read_containers().contains(c)
+                        || sets2raw.written_containers().contains(c)
+                })
+                .collect();
+            if shared != vec![&name] && !shared.is_empty() && shared != [&name] {
+                continue;
+            }
+            if sets2raw
+                .written_containers()
+                .iter()
+                .any(|c| sets1.read_containers().contains(c) || w1c.contains(c))
+            {
+                continue;
+            }
+            out.push((st, m1, acc, m2));
+        }
+    }
+    out
+}
+
+impl Transformation for MapFusion {
+    fn name(&self) -> &'static str {
+        "MapFusion"
+    }
+    fn description(&self) -> &'static str {
+        "Fuses consecutive maps with identical iteration spaces (correct reference version)"
+    }
+
+    fn find_matches(&self, sdfg: &Sdfg) -> Vec<TransformationMatch> {
+        find_fusable_maps(sdfg)
+            .into_iter()
+            .map(|(state, m1, acc, m2)| TransformationMatch {
+                site: MatchSite::Nodes {
+                    state,
+                    nodes: vec![m1, acc, m2],
+                },
+                description: format!("fuse maps {m1} and {m2} via {acc} in state {state}"),
+            })
+            .collect()
+    }
+
+    fn apply(
+        &self,
+        sdfg: &mut Sdfg,
+        m: &TransformationMatch,
+    ) -> Result<ChangeSet, TransformError> {
+        let (state, m1, acc, m2) = match &m.site {
+            MatchSite::Nodes { state, nodes } if nodes.len() == 3 => {
+                (*state, nodes[0], nodes[1], nodes[2])
+            }
+            other => {
+                return Err(TransformError::MatchInvalid(format!(
+                    "expected 3-node site, got {other:?}"
+                )))
+            }
+        };
+        let tmp_name = {
+            let df = &sdfg
+                .states
+                .try_node(state)
+                .ok_or_else(|| TransformError::MatchInvalid(format!("state {state} missing")))?
+                .df;
+            for n in [m1, acc, m2] {
+                if !df.graph.contains_node(n) {
+                    return Err(TransformError::MatchInvalid(format!(
+                        "node {n} not in state {state}"
+                    )));
+                }
+            }
+            df.graph
+                .node(acc)
+                .as_access()
+                .ok_or_else(|| TransformError::MatchInvalid("middle node not an access".into()))?
+                .to_string()
+        };
+
+        let df = &mut sdfg.states.node_mut(state).df;
+        let scope1 = df
+            .graph
+            .node(m1)
+            .as_map()
+            .ok_or_else(|| TransformError::MatchInvalid("m1 not a map".into()))?
+            .clone();
+        let scope2 = df
+            .graph
+            .node(m2)
+            .as_map()
+            .ok_or_else(|| TransformError::MatchInvalid("m2 not a map".into()))?
+            .clone();
+
+        // Rename m2 params to m1 params in a copy of body2.
+        let mut body2 = scope2.body.clone();
+        for (p2, p1) in scope2.params.iter().zip(&scope1.params) {
+            if p2 != p1 {
+                body2.substitute_symbol(p2, &fuzzyflow_ir::SymExpr::sym(p1));
+            }
+        }
+
+        // Merge bodies.
+        let mut merged = scope1.body.clone();
+        let remap = append_graph(&mut merged, &body2);
+
+        // Unify the tmp access: body2's reading access nodes redirect to
+        // body1's written access node (keeps the write, guarantees order).
+        let written_acc = merged
+            .graph
+            .node_ids()
+            .find(|&n| {
+                merged.graph.node(n).as_access() == Some(tmp_name.as_str())
+                    && merged.graph.in_degree(n) > 0
+                    && !remap.values().any(|&v| v == n)
+            })
+            .ok_or_else(|| TransformError::MatchInvalid("no written tmp access in body1".into()))?;
+        let readers: Vec<NodeId> = remap
+            .values()
+            .copied()
+            .filter(|&n| {
+                merged.graph.contains_node(n)
+                    && merged.graph.node(n).as_access() == Some(tmp_name.as_str())
+            })
+            .collect();
+        for r in readers {
+            let out_edges: Vec<_> = merged.graph.out_edge_ids(r).to_vec();
+            for e in out_edges {
+                let dst = merged.graph.dst(e);
+                let mem = merged.graph.edge(e).clone();
+                merged.graph.remove_edge(e);
+                merged.graph.add_edge(written_acc, dst, mem);
+            }
+            if merged.graph.in_degree(r) == 0 {
+                merged.graph.remove_node(r);
+            }
+        }
+
+        // Install the fused map in place of m1.
+        let fused = fuzzyflow_ir::MapScope {
+            params: scope1.params.clone(),
+            ranges: scope1.ranges.clone(),
+            schedule: scope1.schedule,
+            body: merged,
+        };
+        *df.graph.node_mut(m1) = DfNode::Map(fused);
+
+        // Top level: m2's remaining edges move to the fused map; the edge
+        // tmp -> m2 disappears, but m1's write of tmp stays (correctness!).
+        let in2: Vec<_> = df.graph.in_edge_ids(m2).to_vec();
+        for e in in2 {
+            if df.graph.src(e) == acc {
+                df.graph.remove_edge(e);
+            } else {
+                df.graph.redirect_dst(e, m1);
+            }
+        }
+        let out2: Vec<_> = df.graph.out_edge_ids(m2).to_vec();
+        for e in out2 {
+            df.graph.redirect_src(e, m1);
+        }
+        df.graph.remove_node(m2);
+
+        Ok(ChangeSet::nodes_in_state(state, [m1, acc, m2]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::apply_to_clone;
+    use fuzzyflow_interp::{run, ArrayValue, ExecState};
+    use fuzzyflow_ir::{
+        sym, validate, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymRange,
+        Tasklet,
+    };
+
+    /// Fig. 4 shape: tmp = z*2 (t1); out = y + tmp (t2); later state reads
+    /// tmp again when `reread` is set.
+    fn fig4_program(reread: bool) -> Sdfg {
+        let mut b = SdfgBuilder::new("fig4");
+        b.scalar("y", DType::F64);
+        b.scalar("z", DType::F64);
+        b.transient_scalar("tmp", DType::F64);
+        b.scalar("out", DType::F64);
+        b.scalar("out2", DType::F64);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let z = df.access("z");
+            let y = df.access("y");
+            let tmp = df.access("tmp");
+            let out = df.access("out");
+            let t1 = df.tasklet(Tasklet::simple(
+                "twice",
+                vec!["a"],
+                "r",
+                ScalarExpr::r("a").mul(ScalarExpr::f64(2.0)),
+            ));
+            let t2 = df.tasklet(Tasklet::simple(
+                "h",
+                vec!["b", "c"],
+                "r",
+                ScalarExpr::r("b").add(ScalarExpr::r("c")),
+            ));
+            df.read(z, t1, Memlet::new("z", Subset::new(vec![])).to_conn("a"));
+            df.write(t1, tmp, Memlet::new("tmp", Subset::new(vec![])).from_conn("r"));
+            df.read(y, t2, Memlet::new("y", Subset::new(vec![])).to_conn("b"));
+            df.read(tmp, t2, Memlet::new("tmp", Subset::new(vec![])).to_conn("c"));
+            df.write(t2, out, Memlet::new("out", Subset::new(vec![])).from_conn("r"));
+        });
+        if reread {
+            let st2 = b.add_state_after(st, "later");
+            b.in_state(st2, |df| {
+                let tmp = df.access("tmp");
+                let out2 = df.access("out2");
+                let t = df.tasklet(Tasklet::simple("copy", vec!["a"], "r", ScalarExpr::r("a")));
+                df.read(tmp, t, Memlet::new("tmp", Subset::new(vec![])).to_conn("a"));
+                df.write(t, out2, Memlet::new("out2", Subset::new(vec![])).from_conn("r"));
+            });
+        }
+        b.build()
+    }
+
+    fn run_fig4(p: &Sdfg) -> (f64, f64) {
+        let mut st = ExecState::new();
+        st.set_array("y", ArrayValue::from_f64(vec![], &[10.0]));
+        st.set_array("z", ArrayValue::from_f64(vec![], &[3.0]));
+        run(p, &mut st).unwrap();
+        (
+            st.array("out").unwrap().get(0).as_f64(),
+            st.array("out2").unwrap().get(0).as_f64(),
+        )
+    }
+
+    #[test]
+    fn fusion_matches_fig4_chain() {
+        let p = fig4_program(false);
+        let f = TaskletFusion;
+        assert_eq!(f.find_matches(&p).len(), 1);
+    }
+
+    #[test]
+    fn fusion_correct_when_tmp_is_dead() {
+        let p = fig4_program(false);
+        let f = TaskletFusion;
+        let m = &f.find_matches(&p)[0];
+        let (fp, _) = apply_to_clone(&p, &f, m).unwrap();
+        assert!(validate(&fp).is_ok());
+        assert_eq!(run_fig4(&p).0, run_fig4(&fp).0);
+    }
+
+    #[test]
+    fn fusion_breaks_live_temporary() {
+        // The seeded bug: tmp is read again in a later state; fusing drops
+        // the write, so out2 becomes 0 instead of 6.
+        let p = fig4_program(true);
+        let f = TaskletFusion;
+        let m = &f.find_matches(&p)[0];
+        let (fp, _) = apply_to_clone(&p, &f, m).unwrap();
+        assert!(validate(&fp).is_ok());
+        let (out_a, out2_a) = run_fig4(&p);
+        let (out_b, out2_b) = run_fig4(&fp);
+        assert_eq!(out_a, out_b);
+        assert_ne!(out2_a, out2_b);
+    }
+
+    fn two_maps_program() -> Sdfg {
+        // tmp[i] = A[i]+1 ; B[i] = tmp[i]*3
+        let mut b = SdfgBuilder::new("maps");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.transient("tmp", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let tmp = df.access("tmp");
+            let out = df.access("B");
+            let m1 = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let a = body.access("A");
+                    let t = body.access("tmp");
+                    let k = body.tasklet(Tasklet::simple(
+                        "inc",
+                        vec!["x"],
+                        "y",
+                        ScalarExpr::r("x").add(ScalarExpr::f64(1.0)),
+                    ));
+                    body.read(a, k, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.write(k, t, Memlet::new("tmp", Subset::at(vec![sym("i")])).from_conn("y"));
+                },
+            );
+            let m2 = df.map(
+                &["j"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let t = body.access("tmp");
+                    let o = body.access("B");
+                    let k = body.tasklet(Tasklet::simple(
+                        "tri",
+                        vec!["x"],
+                        "y",
+                        ScalarExpr::r("x").mul(ScalarExpr::f64(3.0)),
+                    ));
+                    body.read(t, k, Memlet::new("tmp", Subset::at(vec![sym("j")])).to_conn("x"));
+                    body.write(k, o, Memlet::new("B", Subset::at(vec![sym("j")])).from_conn("y"));
+                },
+            );
+            df.auto_wire(m1, &[a], &[tmp]);
+            df.auto_wire(m2, &[tmp], &[out]);
+        });
+        b.build()
+    }
+
+    #[test]
+    fn map_fusion_preserves_results() {
+        let p = two_maps_program();
+        let f = MapFusion;
+        let matches = f.find_matches(&p);
+        assert_eq!(matches.len(), 1);
+        let (fp, _) = apply_to_clone(&p, &f, &matches[0]).unwrap();
+        assert!(validate(&fp).is_ok(), "{:?}", validate(&fp));
+        let exec = |p: &Sdfg| {
+            let mut st = ExecState::new();
+            st.bind("N", 6);
+            let vals: Vec<f64> = (0..6).map(|i| i as f64).collect();
+            st.set_array("A", ArrayValue::from_f64(vec![6], &vals));
+            run(p, &mut st).unwrap();
+            st.array("B").unwrap().to_f64_vec()
+        };
+        assert_eq!(exec(&p), exec(&fp));
+        // Fused program has a single top-level map.
+        let maps = crate::framework::top_level_maps(&fp);
+        assert_eq!(maps.len(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Program transformations over the FuzzyFlow IR.
+//!
+//! Mirrors DaCe's transformation framework as used by the paper: every
+//! transformation is a *white-box* pattern rewrite that reports the set of
+//! graph elements it modified (the change set ΔT of Sec. 3 step 2), which
+//! is the seed for cutout extraction.
+//!
+//! The suite deliberately contains the **buggy passes the paper reports**
+//! (Table 2 and the CLOUDSC case study, Sec. 6.4), re-implemented with the
+//! same failure mechanisms, alongside correct passes. This gives the
+//! test-case-extraction + differential-fuzzing pipeline a ground truth: a
+//! verifier must flag every seeded bug and pass every correct instance.
+
+pub mod buffer_tiling;
+pub mod expansion;
+pub mod framework;
+pub mod fusion;
+pub mod gpu;
+pub mod reduce_fusion;
+pub mod state_opts;
+pub mod suite;
+pub mod tiling;
+pub mod unroll;
+pub mod vectorization;
+pub mod write_elim;
+
+pub use framework::{
+    apply_to_clone, ChangeSet, MatchSite, TransformError, Transformation, TransformationMatch,
+};
+pub use suite::{builtin_suite, cloudsc_suite, transformation_by_name};
+
+pub use buffer_tiling::BufferTiling;
+pub use expansion::{MapCollapse, MapExpansion};
+pub use fusion::{MapFusion, TaskletFusion};
+pub use gpu::GpuKernelExtraction;
+pub use reduce_fusion::MapReduceFusion;
+pub use state_opts::{ConstantSymbolPropagation, StateAssignElimination, StateFusion, SymbolAliasPromotion};
+pub use tiling::{MapTiling, MapTilingNoRemainder, MapTilingOffByOne};
+pub use unroll::LoopUnrolling;
+pub use vectorization::Vectorization;
+pub use write_elim::WriteElimination;

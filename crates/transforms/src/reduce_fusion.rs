@@ -1,0 +1,290 @@
+//! Map-reduce fusion (buggy, Table 2: generates invalid code).
+
+use crate::framework::{ChangeSet, MatchSite, TransformError, Transformation, TransformationMatch};
+use fuzzyflow_ir::{LibraryOp, Sdfg, StateId, Subset, SymExpr};
+use fuzzyflow_graph::NodeId;
+
+/// Fuses an element-wise producer map with a following `Reduce` library
+/// node, eliminating the intermediate buffer by writing the reduction
+/// target directly with a write-conflict-resolution (WCR) memlet.
+///
+/// **Seeded bug (Table 2, ὒ8 generates invalid code):** the pass rewires
+/// the map's output and deletes the intermediate buffer, but forgets to
+/// remove the now-inputless `Reduce` node. The resulting graph has a
+/// library node with a dangling input connector and fails validation —
+/// the analogue of generated code that does not compile.
+#[derive(Clone, Debug, Default)]
+pub struct MapReduceFusion;
+
+/// Finds `map -> access(1-D transient buf) -> Reduce(axis 0) -> access(out)`.
+fn find_sites(sdfg: &Sdfg) -> Vec<(StateId, [NodeId; 4])> {
+    let mut sites = Vec::new();
+    for st in sdfg.states.node_ids() {
+        let df = &sdfg.states.node(st).df;
+        for acc in df.graph.node_ids() {
+            let name = match df.graph.node(acc).as_access() {
+                Some(n) => n,
+                None => continue,
+            };
+            let desc = match sdfg.array(name) {
+                Some(d) => d,
+                None => continue,
+            };
+            if !desc.transient
+                || desc.rank() != 1
+                || df.graph.in_degree(acc) != 1
+                || df.graph.out_degree(acc) != 1
+            {
+                continue;
+            }
+            let map_node = df.graph.src(df.graph.in_edge_ids(acc)[0]);
+            let red = df.graph.dst(df.graph.out_edge_ids(acc)[0]);
+            if df.graph.node(map_node).as_map().is_none() {
+                continue;
+            }
+            let is_axis0_reduce = df
+                .graph
+                .node(red)
+                .as_library()
+                .map(|l| matches!(l.op, LibraryOp::Reduce { axis: 0, .. }))
+                .unwrap_or(false);
+            if !is_axis0_reduce || df.graph.out_degree(red) != 1 {
+                continue;
+            }
+            let out_acc = df.graph.dst(df.graph.out_edge_ids(red)[0]);
+            if !df.graph.node(out_acc).is_access() {
+                continue;
+            }
+            sites.push((st, [map_node, acc, red, out_acc]));
+        }
+    }
+    sites
+}
+
+impl Transformation for MapReduceFusion {
+    fn name(&self) -> &'static str {
+        "MapReduceFusion"
+    }
+    fn description(&self) -> &'static str {
+        "Removes intermediate buffers for reductions (Table 2: generates invalid code)"
+    }
+
+    fn find_matches(&self, sdfg: &Sdfg) -> Vec<TransformationMatch> {
+        find_sites(sdfg)
+            .into_iter()
+            .map(|(state, [map_node, acc, red, out_acc])| TransformationMatch {
+                site: MatchSite::Nodes {
+                    state,
+                    nodes: vec![map_node, acc, red, out_acc],
+                },
+                description: format!(
+                    "fuse map {map_node} with reduction {red} over buffer {acc} in state {state}"
+                ),
+            })
+            .collect()
+    }
+
+    fn apply(
+        &self,
+        sdfg: &mut Sdfg,
+        m: &TransformationMatch,
+    ) -> Result<ChangeSet, TransformError> {
+        let (state, map_node, acc, red, out_acc) = match &m.site {
+            MatchSite::Nodes { state, nodes } if nodes.len() == 4 => {
+                (*state, nodes[0], nodes[1], nodes[2], nodes[3])
+            }
+            other => {
+                return Err(TransformError::MatchInvalid(format!(
+                    "expected 4-node site, got {other:?}"
+                )))
+            }
+        };
+        let (buf, wcr, out_name) = {
+            let df = &sdfg
+                .states
+                .try_node(state)
+                .ok_or_else(|| TransformError::MatchInvalid(format!("state {state} missing")))?
+                .df;
+            for n in [map_node, acc, red, out_acc] {
+                if !df.graph.contains_node(n) {
+                    return Err(TransformError::MatchInvalid(format!(
+                        "node {n} not in state {state}"
+                    )));
+                }
+            }
+            let buf = df
+                .graph
+                .node(acc)
+                .as_access()
+                .ok_or_else(|| TransformError::MatchInvalid("buffer node not an access".into()))?
+                .to_string();
+            let wcr = match df.graph.node(red).as_library() {
+                Some(l) => match l.op {
+                    LibraryOp::Reduce { op, .. } => op,
+                    _ => {
+                        return Err(TransformError::MatchInvalid(
+                            "node is not a reduction".into(),
+                        ))
+                    }
+                },
+                None => return Err(TransformError::MatchInvalid("not a library node".into())),
+            };
+            let out_name = df
+                .graph
+                .node(out_acc)
+                .as_access()
+                .ok_or_else(|| TransformError::MatchInvalid("output node not an access".into()))?
+                .to_string();
+            (buf, wcr, out_name)
+        };
+
+        let out_rank = sdfg
+            .array(&out_name)
+            .map(|d| d.rank())
+            .ok_or_else(|| TransformError::MatchInvalid(format!("unknown '{out_name}'")))?;
+        let reduced_subset = if out_rank == 0 {
+            Subset::new(vec![])
+        } else {
+            Subset::at(vec![SymExpr::Int(0)])
+        };
+
+        let df = &mut sdfg.states.node_mut(state).df;
+        // Retarget the map body: writes to `buf` become WCR writes to the
+        // reduction output.
+        let mut map = df
+            .graph
+            .node(map_node)
+            .as_map()
+            .ok_or_else(|| TransformError::MatchInvalid("not a map".into()))?
+            .clone();
+        retarget_writes(&mut map.body, &buf, &out_name, &reduced_subset, wcr);
+        *df.graph.node_mut(map_node) = fuzzyflow_ir::DfNode::Map(map);
+
+        // Top level: map writes the output access directly with WCR.
+        let out_edges: Vec<_> = df.graph.out_edge_ids(map_node).to_vec();
+        for e in out_edges {
+            if df.graph.edge(e).data == buf {
+                df.graph.remove_edge(e);
+            }
+        }
+        df.graph.add_edge(
+            map_node,
+            out_acc,
+            fuzzyflow_ir::Memlet::new(&out_name, reduced_subset).with_wcr(wcr),
+        );
+
+        // Delete the buffer. BUG (seeded): the Reduce node — now without
+        // any input — is left in the graph.
+        df.graph.remove_node(acc);
+
+        Ok(ChangeSet::nodes_in_state(
+            state,
+            [map_node, acc, red, out_acc],
+        ))
+    }
+}
+
+fn retarget_writes(
+    df: &mut fuzzyflow_ir::Dataflow,
+    buf: &str,
+    out: &str,
+    subset: &Subset,
+    wcr: fuzzyflow_ir::Wcr,
+) {
+    let edges: Vec<fuzzyflow_graph::EdgeId> = df.graph.edge_ids().collect();
+    for e in edges {
+        let m = df.graph.edge_mut(e);
+        if m.data == buf {
+            m.data = out.to_string();
+            m.subset = subset.clone();
+            m.wcr = Some(wcr);
+        }
+    }
+    let nodes: Vec<NodeId> = df.graph.node_ids().collect();
+    for n in nodes {
+        match df.graph.node_mut(n) {
+            fuzzyflow_ir::DfNode::Access(name) if name == buf => *name = out.to_string(),
+            fuzzyflow_ir::DfNode::Map(m) => retarget_writes(&mut m.body, buf, out, subset, wcr),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::apply_to_clone;
+    use fuzzyflow_ir::{
+        sym, validate, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, SymRange, Tasklet,
+        ValidationError, Wcr,
+    };
+
+    /// buf[i] = A[i]*A[i]; s = sum(buf).
+    fn program() -> Sdfg {
+        let mut b = SdfgBuilder::new("mrf");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.transient("buf", DType::F64, &["N"]);
+        b.array("s", DType::F64, &["1"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let buf = df.access("buf");
+            let s = df.access("s");
+            let m = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let a = body.access("A");
+                    let t = body.access("buf");
+                    let k = body.tasklet(Tasklet::simple(
+                        "sq",
+                        vec!["x"],
+                        "y",
+                        ScalarExpr::r("x").mul(ScalarExpr::r("x")),
+                    ));
+                    body.read(a, k, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.write(k, t, Memlet::new("buf", Subset::at(vec![sym("i")])).from_conn("y"));
+                },
+            );
+            df.auto_wire(m, &[a], &[buf]);
+            let red = df.library(
+                "sum",
+                LibraryOp::Reduce {
+                    op: Wcr::Sum,
+                    axis: 0,
+                },
+            );
+            df.read(buf, red, Memlet::new("buf", Subset::full(&[sym("N")])).to_conn("in"));
+            df.write(
+                red,
+                s,
+                Memlet::new("s", Subset::at(vec![SymExpr::Int(0)])).from_conn("out"),
+            );
+        });
+        b.build()
+    }
+
+    #[test]
+    fn matches_map_reduce_chain() {
+        assert_eq!(MapReduceFusion.find_matches(&program()).len(), 1);
+    }
+
+    #[test]
+    fn generates_invalid_code() {
+        let p = program();
+        assert!(validate(&p).is_ok());
+        let t = MapReduceFusion;
+        let m = &t.find_matches(&p)[0];
+        let (tp, _) = apply_to_clone(&p, &t, m).unwrap();
+        let errs = validate(&tp).unwrap_err();
+        assert!(
+            errs.iter().any(|e| matches!(
+                e,
+                ValidationError::DanglingInputConnector { connector, .. } if connector == "in"
+            )),
+            "expected dangling reduce input, got {errs:?}"
+        );
+    }
+}

@@ -1,0 +1,651 @@
+//! State-machine-level simplification passes: two buggy ones from Table 2
+//! (StateAssignElimination, SymbolAliasPromotion — both "generate invalid
+//! code") and two correct ones (StateFusion, ConstantSymbolPropagation).
+
+use crate::framework::{ChangeSet, MatchSite, TransformError, Transformation, TransformationMatch};
+use crate::fusion::append_graph;
+use fuzzyflow_ir::{analysis, Sdfg, StateId, SymExpr};
+use fuzzyflow_graph::EdgeId;
+
+/// Free symbols referenced anywhere in a state's dataflow (memlets, map
+/// ranges; map parameters shadow).
+fn state_symbols(sdfg: &Sdfg, st: StateId) -> Vec<String> {
+    fn rec(df: &fuzzyflow_ir::Dataflow, out: &mut Vec<String>, shadow: &mut Vec<String>) {
+        for e in df.graph.edge_ids() {
+            for s in df.graph.edge(e).subset.free_symbols() {
+                if !shadow.contains(&s) && !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        for n in df.graph.node_ids() {
+            match df.graph.node(n) {
+                fuzzyflow_ir::DfNode::Map(m) => {
+                    for r in &m.ranges {
+                        for s in r.free_symbols() {
+                            if !shadow.contains(&s) && !out.contains(&s) {
+                                out.push(s);
+                            }
+                        }
+                    }
+                    let added = m.params.len();
+                    shadow.extend(m.params.iter().cloned());
+                    rec(&m.body, out, shadow);
+                    shadow.truncate(shadow.len() - added);
+                }
+                fuzzyflow_ir::DfNode::Tasklet(t) => {
+                    for s in t.symbol_refs() {
+                        if !shadow.contains(&s) && !out.contains(&s) {
+                            out.push(s);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(&sdfg.state(st).df, &mut out, &mut Vec::new());
+    out
+}
+
+/// Removes "unnecessary" symbol assignments from inter-state edges.
+///
+/// **Seeded bug (Table 2, ὒ8 generates invalid code):** the pass decides an
+/// assignment is dead by inspecting only the *destination state* of the
+/// edge. A symbol used in any later state is left undefined; the program
+/// no longer validates (the lowering equivalent: generated code references
+/// an undeclared variable).
+#[derive(Clone, Debug, Default)]
+pub struct StateAssignElimination;
+
+impl Transformation for StateAssignElimination {
+    fn name(&self) -> &'static str {
+        "StateAssignElimination"
+    }
+    fn description(&self) -> &'static str {
+        "Removes dead inter-state assignments (Table 2: generates invalid code)"
+    }
+
+    fn find_matches(&self, sdfg: &Sdfg) -> Vec<TransformationMatch> {
+        let mut out = Vec::new();
+        for e in sdfg.states.edge_ids() {
+            let edge = sdfg.states.edge(e);
+            let dst = sdfg.states.dst(e);
+            for (sym, value) in &edge.assignments {
+                // Self-referential updates (i = i + 1) are loop-carried;
+                // skip them.
+                if value.references(sym) {
+                    continue;
+                }
+                // "Dead" if the destination state does not reference it.
+                if !state_symbols(sdfg, dst).contains(sym) {
+                    out.push(TransformationMatch {
+                        site: MatchSite::InterstateEdge { edge: e },
+                        description: format!("eliminate assignment of '{sym}' on edge {e}"),
+                    });
+                    break; // one match per edge
+                }
+            }
+        }
+        out
+    }
+
+    fn apply(
+        &self,
+        sdfg: &mut Sdfg,
+        m: &TransformationMatch,
+    ) -> Result<ChangeSet, TransformError> {
+        let e = match &m.site {
+            MatchSite::InterstateEdge { edge } => *edge,
+            other => {
+                return Err(TransformError::MatchInvalid(format!(
+                    "expected inter-state edge site, got {other:?}"
+                )))
+            }
+        };
+        if !sdfg.states.contains_edge(e) {
+            return Err(TransformError::MatchInvalid(format!("edge {e} missing")));
+        }
+        let (src, dst) = sdfg.states.endpoints(e);
+        let dst_syms = state_symbols(sdfg, dst);
+        let edge = sdfg.states.edge_mut(e);
+        let before = edge.assignments.len();
+        // BUG (seeded): liveness is judged on the destination state only.
+        edge.assignments
+            .retain(|(s, v)| v.references(s) || dst_syms.contains(s));
+        if edge.assignments.len() == before {
+            return Err(TransformError::MatchInvalid(
+                "no removable assignment on edge".into(),
+            ));
+        }
+        Ok(ChangeSet::of_states(vec![src, dst]))
+    }
+}
+
+/// Promotes symbol aliases: when an edge assigns `s2 = s1`, uses of `s2`
+/// are renamed to `s1` and the assignment is dropped.
+///
+/// **Seeded bug (Table 2, ὒ8 generates invalid code):** the rename is only
+/// applied to the destination state; any later state still refers to the
+/// now-undefined alias.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolAliasPromotion;
+
+impl Transformation for SymbolAliasPromotion {
+    fn name(&self) -> &'static str {
+        "SymbolAliasPromotion"
+    }
+    fn description(&self) -> &'static str {
+        "Promotes symbol aliases s2 = s1 to direct uses of s1 (Table 2: generates invalid code)"
+    }
+
+    fn find_matches(&self, sdfg: &Sdfg) -> Vec<TransformationMatch> {
+        let mut out = Vec::new();
+        for e in sdfg.states.edge_ids() {
+            let edge = sdfg.states.edge(e);
+            let multiple_assignments_to = |name: &str| {
+                sdfg.states
+                    .edge_ids()
+                    .flat_map(|ee| sdfg.states.edge(ee).assignments.iter())
+                    .filter(|(s, _)| s == name)
+                    .count()
+                    > 1
+            };
+            for (sym, value) in &edge.assignments {
+                if let Some(src_sym) = value.as_sym() {
+                    if src_sym != sym && !multiple_assignments_to(sym) {
+                        out.push(TransformationMatch {
+                            site: MatchSite::InterstateEdge { edge: e },
+                            description: format!("promote alias '{sym}' -> '{src_sym}' on edge {e}"),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn apply(
+        &self,
+        sdfg: &mut Sdfg,
+        m: &TransformationMatch,
+    ) -> Result<ChangeSet, TransformError> {
+        let e = match &m.site {
+            MatchSite::InterstateEdge { edge } => *edge,
+            other => {
+                return Err(TransformError::MatchInvalid(format!(
+                    "expected inter-state edge site, got {other:?}"
+                )))
+            }
+        };
+        if !sdfg.states.contains_edge(e) {
+            return Err(TransformError::MatchInvalid(format!("edge {e} missing")));
+        }
+        let (src, dst) = sdfg.states.endpoints(e);
+        let alias = {
+            let edge = sdfg.states.edge(e);
+            edge.assignments
+                .iter()
+                .find_map(|(s, v)| v.as_sym().filter(|x| *x != s).map(|x| (s.clone(), x.to_string())))
+                .ok_or_else(|| TransformError::MatchInvalid("no alias assignment on edge".into()))?
+        };
+        let (s2, s1) = alias;
+        // Drop the assignment.
+        sdfg.states
+            .edge_mut(e)
+            .assignments
+            .retain(|(s, _)| *s != s2);
+        // BUG (seeded): rename only within the destination state.
+        sdfg.state_mut(dst)
+            .df
+            .substitute_symbol(&s2, &SymExpr::sym(&s1));
+        Ok(ChangeSet::of_states(vec![src, dst]))
+    }
+}
+
+/// Fuses two states connected by an unconditional, assignment-free edge
+/// when their dataflows cannot interfere (disjoint container footprints).
+/// Correct reference pass.
+#[derive(Clone, Debug, Default)]
+pub struct StateFusion;
+
+impl Transformation for StateFusion {
+    fn name(&self) -> &'static str {
+        "StateFusion"
+    }
+    fn description(&self) -> &'static str {
+        "Fuses consecutive independent states (correct reference version)"
+    }
+
+    fn find_matches(&self, sdfg: &Sdfg) -> Vec<TransformationMatch> {
+        let mut out = Vec::new();
+        for e in sdfg.states.edge_ids() {
+            let edge = sdfg.states.edge(e);
+            if !matches!(edge.condition, fuzzyflow_ir::CondExpr::True)
+                || !edge.assignments.is_empty()
+            {
+                continue;
+            }
+            let (s1, s2) = sdfg.states.endpoints(e);
+            if s1 == s2 || sdfg.states.out_degree(s1) != 1 || sdfg.states.in_degree(s2) != 1 {
+                continue;
+            }
+            let a1 = analysis::graph_access_sets(&sdfg.state(s1).df);
+            let a2 = analysis::graph_access_sets(&sdfg.state(s2).df);
+            let w1 = a1.written_containers();
+            let interferes = w1.iter().any(|c| {
+                a2.read_containers().contains(c) || a2.written_containers().contains(c)
+            }) || a2
+                .written_containers()
+                .iter()
+                .any(|c| a1.read_containers().contains(c));
+            if !interferes {
+                out.push(TransformationMatch {
+                    site: MatchSite::InterstateEdge { edge: e },
+                    description: format!("fuse states {s1} and {s2}"),
+                });
+            }
+        }
+        out
+    }
+
+    fn apply(
+        &self,
+        sdfg: &mut Sdfg,
+        m: &TransformationMatch,
+    ) -> Result<ChangeSet, TransformError> {
+        let e = match &m.site {
+            MatchSite::InterstateEdge { edge } => *edge,
+            other => {
+                return Err(TransformError::MatchInvalid(format!(
+                    "expected inter-state edge site, got {other:?}"
+                )))
+            }
+        };
+        if !sdfg.states.contains_edge(e) {
+            return Err(TransformError::MatchInvalid(format!("edge {e} missing")));
+        }
+        let (s1, s2) = sdfg.states.endpoints(e);
+        let df2 = sdfg.state(s2).df.clone();
+        append_graph(&mut sdfg.state_mut(s1).df, &df2);
+        // Move s2's outgoing edges to s1, then delete s2 (and the edge).
+        let out2: Vec<EdgeId> = sdfg.states.out_edge_ids(s2).to_vec();
+        for oe in out2 {
+            let dst = sdfg.states.dst(oe);
+            let w = sdfg.states.edge(oe).clone();
+            sdfg.states.remove_edge(oe);
+            sdfg.states.add_edge(s1, dst, w);
+        }
+        sdfg.states.remove_node(s2);
+        Ok(ChangeSet::of_states(vec![s1, s2]))
+    }
+}
+
+/// Propagates symbols assigned exactly once, to a constant, on an edge out
+/// of the start state; the constant replaces every use. Correct reference
+/// pass.
+#[derive(Clone, Debug, Default)]
+pub struct ConstantSymbolPropagation;
+
+impl Transformation for ConstantSymbolPropagation {
+    fn name(&self) -> &'static str {
+        "ConstantSymbolPropagation"
+    }
+    fn description(&self) -> &'static str {
+        "Propagates single-assignment constant symbols (correct reference version)"
+    }
+
+    fn find_matches(&self, sdfg: &Sdfg) -> Vec<TransformationMatch> {
+        let mut out = Vec::new();
+        for e in sdfg.states.edge_ids() {
+            // The assignment must dominate all uses; we accept edges whose
+            // source is the start state or an empty pass-through state
+            // reached straight from it (cutout entry chains).
+            let src = sdfg.states.src(e);
+            let src_empty = sdfg.state(src).df.graph.node_count() == 0;
+            let dominates = src == sdfg.start
+                || (src_empty
+                    && sdfg
+                        .states
+                        .predecessors(src)
+                        .all(|p| p == sdfg.start)
+                    && sdfg.states.in_degree(src) <= 1);
+            if !dominates {
+                continue;
+            }
+            let edge = sdfg.states.edge(e);
+            for (sym, value) in &edge.assignments {
+                if value.as_int().is_none() {
+                    continue;
+                }
+                let assignments_elsewhere = sdfg
+                    .states
+                    .edge_ids()
+                    .filter(|&ee| ee != e)
+                    .flat_map(|ee| sdfg.states.edge(ee).assignments.iter())
+                    .any(|(s, _)| s == sym);
+                let used_in_start = state_symbols(sdfg, src).contains(sym);
+                if !assignments_elsewhere && !used_in_start {
+                    out.push(TransformationMatch {
+                        site: MatchSite::InterstateEdge { edge: e },
+                        description: format!("propagate constant '{sym}'"),
+                    });
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    fn apply(
+        &self,
+        sdfg: &mut Sdfg,
+        m: &TransformationMatch,
+    ) -> Result<ChangeSet, TransformError> {
+        let e = match &m.site {
+            MatchSite::InterstateEdge { edge } => *edge,
+            other => {
+                return Err(TransformError::MatchInvalid(format!(
+                    "expected inter-state edge site, got {other:?}"
+                )))
+            }
+        };
+        if !sdfg.states.contains_edge(e) {
+            return Err(TransformError::MatchInvalid(format!("edge {e} missing")));
+        }
+        let (sym, value) = {
+            let edge = sdfg.states.edge(e);
+            edge.assignments
+                .iter()
+                .find_map(|(s, v)| v.as_int().map(|c| (s.clone(), c)))
+                .ok_or_else(|| {
+                    TransformError::MatchInvalid("no constant assignment on edge".into())
+                })?
+        };
+        sdfg.states
+            .edge_mut(e)
+            .assignments
+            .retain(|(s, _)| *s != sym);
+        let constant = SymExpr::Int(value);
+        let states: Vec<StateId> = sdfg.states.node_ids().collect();
+        // Record which states actually referenced the symbol — they are
+        // the change set.
+        let mut changed: Vec<StateId> = states
+            .iter()
+            .copied()
+            .filter(|&st| state_symbols(sdfg, st).contains(&sym))
+            .collect();
+        for st in states.iter().copied() {
+            sdfg.state_mut(st).df.substitute_symbol(&sym, &constant);
+        }
+        // Conditions and assignments on all edges.
+        let edges: Vec<EdgeId> = sdfg.states.edge_ids().collect();
+        for ee in edges {
+            let edge = sdfg.states.edge_mut(ee);
+            edge.condition = substitute_cond(&edge.condition, &sym, &constant);
+            for (_, v) in edge.assignments.iter_mut() {
+                *v = v.substitute(&sym, &constant);
+            }
+        }
+        let (src, dst) = sdfg.states.endpoints(e);
+        for s in [src, dst] {
+            if !changed.contains(&s) {
+                changed.push(s);
+            }
+        }
+        Ok(ChangeSet::of_states(changed))
+    }
+}
+
+fn substitute_cond(
+    c: &fuzzyflow_ir::CondExpr,
+    sym: &str,
+    value: &SymExpr,
+) -> fuzzyflow_ir::CondExpr {
+    use fuzzyflow_ir::CondExpr as C;
+    match c {
+        C::True => C::True,
+        C::Cmp(op, a, b) => C::Cmp(*op, a.substitute(sym, value), b.substitute(sym, value)),
+        C::Not(x) => C::Not(Box::new(substitute_cond(x, sym, value))),
+        C::And(a, b) => C::And(
+            Box::new(substitute_cond(a, sym, value)),
+            Box::new(substitute_cond(b, sym, value)),
+        ),
+        C::Or(a, b) => C::Or(
+            Box::new(substitute_cond(a, sym, value)),
+            Box::new(substitute_cond(b, sym, value)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::apply_to_clone;
+    use fuzzyflow_interp::{run, ArrayValue, ExecState};
+    use fuzzyflow_ir::{
+        sym, validate, DType, InterstateEdge, Memlet, ScalarExpr, SdfgBuilder, Subset, Tasklet,
+        ValidationError,
+    };
+
+    /// start --[k=3]--> use_k (B[0]=A[k]) [--> later state also using k].
+    fn program(use_later: bool) -> Sdfg {
+        let mut b = SdfgBuilder::new("sae");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let mid = b.add_state("mid");
+        b.edge(
+            b.start(),
+            mid,
+            InterstateEdge::always().assign("k", SymExpr::Int(3)),
+        );
+        // `mid` does NOT use k; a later state might.
+        let last = b.add_state_after(mid, "last");
+        if use_later {
+            b.in_state(last, |df| {
+                let a = df.access("A");
+                let o = df.access("B");
+                let t = df.tasklet(Tasklet::simple("cp", vec!["x"], "y", ScalarExpr::r("x")));
+                df.read(a, t, Memlet::new("A", Subset::at(vec![sym("k")])).to_conn("x"));
+                df.write(
+                    t,
+                    o,
+                    Memlet::new("B", Subset::at(vec![SymExpr::Int(0)])).from_conn("y"),
+                );
+            });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn assign_elimination_correct_when_truly_dead() {
+        let p = program(false);
+        let t = StateAssignElimination;
+        let matches = t.find_matches(&p);
+        assert!(!matches.is_empty());
+        let (tp, _) = apply_to_clone(&p, &t, &matches[0]).unwrap();
+        assert!(validate(&tp).is_ok());
+    }
+
+    #[test]
+    fn assign_elimination_generates_invalid_code_when_used_later() {
+        let p = program(true);
+        assert!(validate(&p).is_ok());
+        let t = StateAssignElimination;
+        let matches = t.find_matches(&p);
+        assert!(!matches.is_empty());
+        let (tp, _) = apply_to_clone(&p, &t, &matches[0]).unwrap();
+        let errs = validate(&tp).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnknownSymbol { symbol, .. } if symbol == "k")));
+    }
+
+    #[test]
+    fn assign_elimination_skips_loop_increments() {
+        let mut b = SdfgBuilder::new("loop");
+        b.symbol("N");
+        let _lh = b.for_loop(b.start(), "i", SymExpr::Int(0), sym("N"), 1, "l");
+        let p = b.build();
+        let t = StateAssignElimination;
+        // The only removable-looking assignment is the init edge i=0; the
+        // guard state is empty so it matches — but never the back edge.
+        for m in t.find_matches(&p) {
+            if let MatchSite::InterstateEdge { edge } = m.site {
+                let e = p.states.edge(edge);
+                assert!(e.assignments.iter().all(|(_, v)| !v.references("i")));
+            }
+        }
+    }
+
+    /// start --[s2=s1]--> st1 (uses s2) --> st2 (uses s2 again).
+    fn alias_program(use_later: bool) -> Sdfg {
+        let mut b = SdfgBuilder::new("alias");
+        b.symbol("s1");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st1 = b.add_state("st1");
+        b.edge(
+            b.start(),
+            st1,
+            InterstateEdge::always().assign("s2", SymExpr::sym("s1")),
+        );
+        let fill = |df: &mut fuzzyflow_ir::DataflowBuilder| {
+            let a = df.access("A");
+            let o = df.access("B");
+            let t = df.tasklet(Tasklet::simple("cp", vec!["x"], "y", ScalarExpr::r("x")));
+            df.read(a, t, Memlet::new("A", Subset::at(vec![sym("s2")])).to_conn("x"));
+            df.write(
+                t,
+                o,
+                Memlet::new("B", Subset::at(vec![SymExpr::Int(0)])).from_conn("y"),
+            );
+        };
+        b.in_state(st1, fill);
+        if use_later {
+            let st2 = b.add_state_after(st1, "st2");
+            b.in_state(st2, fill);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn alias_promotion_correct_when_single_use() {
+        let p = alias_program(false);
+        let t = SymbolAliasPromotion;
+        let matches = t.find_matches(&p);
+        assert_eq!(matches.len(), 1);
+        let (tp, _) = apply_to_clone(&p, &t, &matches[0]).unwrap();
+        assert!(validate(&tp).is_ok(), "{:?}", validate(&tp));
+    }
+
+    #[test]
+    fn alias_promotion_invalid_when_used_later() {
+        let p = alias_program(true);
+        let t = SymbolAliasPromotion;
+        let matches = t.find_matches(&p);
+        let (tp, _) = apply_to_clone(&p, &t, &matches[0]).unwrap();
+        let errs = validate(&tp).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnknownSymbol { symbol, .. } if symbol == "s2")));
+    }
+
+    /// Two independent states writing different arrays.
+    fn independent_states() -> Sdfg {
+        let mut b = SdfgBuilder::new("sf");
+        b.scalar("x", DType::F64);
+        b.scalar("a", DType::F64);
+        b.scalar("b", DType::F64);
+        let s2 = b.add_state_after(b.start(), "second");
+        b.in_state(b.start(), |df| {
+            let x = df.access("x");
+            let a = df.access("a");
+            let t = df.tasklet(Tasklet::simple("w1", vec!["i"], "o", ScalarExpr::r("i")));
+            df.read(x, t, Memlet::new("x", Subset::new(vec![])).to_conn("i"));
+            df.write(t, a, Memlet::new("a", Subset::new(vec![])).from_conn("o"));
+        });
+        b.in_state(s2, |df| {
+            let x = df.access("x");
+            let o = df.access("b");
+            let t = df.tasklet(Tasklet::simple(
+                "w2",
+                vec!["i"],
+                "o",
+                ScalarExpr::r("i").mul(ScalarExpr::f64(2.0)),
+            ));
+            df.read(x, t, Memlet::new("x", Subset::new(vec![])).to_conn("i"));
+            df.write(t, o, Memlet::new("b", Subset::new(vec![])).from_conn("o"));
+        });
+        b.build()
+    }
+
+    #[test]
+    fn state_fusion_preserves_behavior() {
+        let p = independent_states();
+        let t = StateFusion;
+        let matches = t.find_matches(&p);
+        assert_eq!(matches.len(), 1);
+        let (tp, _) = apply_to_clone(&p, &t, &matches[0]).unwrap();
+        assert!(validate(&tp).is_ok());
+        let exec = |p: &Sdfg| {
+            let mut st = ExecState::new();
+            st.set_array("x", ArrayValue::from_f64(vec![], &[4.0]));
+            run(p, &mut st).unwrap();
+            (
+                st.array("a").unwrap().get(0).as_f64(),
+                st.array("b").unwrap().get(0).as_f64(),
+            )
+        };
+        assert_eq!(exec(&p), exec(&tp));
+        assert_eq!(tp.states.node_count(), p.states.node_count() - 1);
+    }
+
+    #[test]
+    fn state_fusion_refuses_interference() {
+        // Second state reads what the first writes.
+        let mut b = SdfgBuilder::new("sfx");
+        b.scalar("x", DType::F64);
+        b.scalar("a", DType::F64);
+        let s2 = b.add_state_after(b.start(), "second");
+        b.in_state(b.start(), |df| {
+            let x = df.access("x");
+            let a = df.access("a");
+            let t = df.tasklet(Tasklet::simple("w1", vec!["i"], "o", ScalarExpr::r("i")));
+            df.read(x, t, Memlet::new("x", Subset::new(vec![])).to_conn("i"));
+            df.write(t, a, Memlet::new("a", Subset::new(vec![])).from_conn("o"));
+        });
+        b.in_state(s2, |df| {
+            let a = df.access("a");
+            let x = df.access("x");
+            let t = df.tasklet(Tasklet::simple("w2", vec!["i"], "o", ScalarExpr::r("i")));
+            df.read(a, t, Memlet::new("a", Subset::new(vec![])).to_conn("i"));
+            df.write(t, x, Memlet::new("x", Subset::new(vec![])).from_conn("o"));
+        });
+        let p = b.build();
+        assert!(StateFusion.find_matches(&p).is_empty());
+    }
+
+    #[test]
+    fn constant_propagation_preserves_behavior() {
+        let p = program(true); // uses k=3 later
+        let t = ConstantSymbolPropagation;
+        let matches = t.find_matches(&p);
+        assert_eq!(matches.len(), 1);
+        let (tp, _) = apply_to_clone(&p, &t, &matches[0]).unwrap();
+        assert!(validate(&tp).is_ok(), "{:?}", validate(&tp));
+        let exec = |p: &Sdfg| {
+            let mut st = ExecState::new();
+            st.bind("N", 8);
+            let vals: Vec<f64> = (0..8).map(|i| i as f64 * 10.0).collect();
+            st.set_array("A", ArrayValue::from_f64(vec![8], &vals));
+            run(p, &mut st).unwrap();
+            st.array("B").unwrap().to_f64_vec()
+        };
+        assert_eq!(exec(&p), exec(&tp));
+    }
+}

@@ -1,0 +1,88 @@
+//! Transformation registries.
+
+use crate::framework::Transformation;
+use crate::{
+    BufferTiling, ConstantSymbolPropagation, GpuKernelExtraction, LoopUnrolling, MapCollapse,
+    MapExpansion, MapFusion, MapReduceFusion, MapTiling, MapTilingNoRemainder, MapTilingOffByOne,
+    StateAssignElimination, StateFusion, SymbolAliasPromotion, TaskletFusion, Vectorization,
+    WriteElimination,
+};
+
+/// The "built-in optimizations" swept over NPBench in paper Sec. 6.3
+/// (Table 2). Mix of correct and seeded-buggy passes, mirroring the
+/// paper's finding that most instances pass while specific passes fail.
+pub fn builtin_suite() -> Vec<Box<dyn Transformation>> {
+    vec![
+        Box::new(MapTiling::default()),
+        Box::new(MapTilingOffByOne::default()),
+        Box::new(MapTilingNoRemainder::default()),
+        Box::new(BufferTiling::default()),
+        Box::new(TaskletFusion),
+        Box::new(Vectorization::default()),
+        Box::new(MapExpansion),
+        Box::new(MapCollapse),
+        Box::new(MapFusion),
+        Box::new(MapReduceFusion),
+        Box::new(StateAssignElimination),
+        Box::new(SymbolAliasPromotion),
+        Box::new(StateFusion),
+        Box::new(ConstantSymbolPropagation),
+    ]
+}
+
+/// The custom transformations of the CLOUDSC case study (paper Sec. 6.4).
+pub fn cloudsc_suite() -> Vec<Box<dyn Transformation>> {
+    vec![
+        Box::new(GpuKernelExtraction),
+        Box::new(LoopUnrolling::default()),
+        Box::new(WriteElimination),
+    ]
+}
+
+/// Looks up a transformation by name across both suites.
+pub fn transformation_by_name(name: &str) -> Option<Box<dyn Transformation>> {
+    builtin_suite()
+        .into_iter()
+        .chain(cloudsc_suite())
+        .find(|t| t.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_unique_names() {
+        let mut names: Vec<&str> = builtin_suite()
+            .iter()
+            .map(|t| t.name())
+            .chain(cloudsc_suite().iter().map(|t| t.name()))
+            .collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(transformation_by_name("Vectorization").is_some());
+        assert!(transformation_by_name("GpuKernelExtraction").is_some());
+        assert!(transformation_by_name("NotAPass").is_none());
+    }
+
+    #[test]
+    fn table2_passes_present() {
+        // The seven Table-2 rows must all exist under their paper names.
+        for name in [
+            "BufferTiling",
+            "TaskletFusion",
+            "Vectorization",
+            "MapExpansion",
+            "StateAssignElimination",
+            "SymbolAliasPromotion",
+        ] {
+            assert!(transformation_by_name(name).is_some(), "{name} missing");
+        }
+    }
+}

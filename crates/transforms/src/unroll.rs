@@ -1,0 +1,295 @@
+//! Loop unrolling (buggy on negative-step loops — paper Sec. 6.4).
+
+use crate::framework::{ChangeSet, MatchSite, TransformError, Transformation, TransformationMatch};
+use fuzzyflow_ir::{detect_loop, InterstateEdge, Sdfg, StateId, SymExpr};
+
+/// Fully unrolls canonical state-machine loops with constant bounds.
+///
+/// **Seeded bug (Sec. 6.4, "Loop Unrolling"):** the trip count for
+/// descending loops is computed with the ascending-loop formula
+/// `(end - start) / step + 1`, whose negative result is "fixed up" with a
+/// defensive clamp. For the paper's loop — `i = 4` down to `i = 1`, step
+/// `-1`, which runs 4 times — the pass creates only **2** body instances.
+/// Ascending loops unroll correctly, matching the paper's 1-of-19 faulty
+/// instance count being confined to a negative-step loop.
+#[derive(Clone, Debug, Default)]
+pub struct LoopUnrolling {
+    /// Loops longer than this are not unrolled (keeps programs small).
+    pub max_trip: i64,
+}
+
+impl LoopUnrolling {
+    pub fn new(max_trip: i64) -> Self {
+        LoopUnrolling { max_trip }
+    }
+}
+
+fn effective_max_trip(t: &LoopUnrolling) -> i64 {
+    if t.max_trip > 0 {
+        t.max_trip
+    } else {
+        16
+    }
+}
+
+impl Transformation for LoopUnrolling {
+    fn name(&self) -> &'static str {
+        "LoopUnrolling"
+    }
+    fn description(&self) -> &'static str {
+        "Fully unrolls constant-bound loops (Sec. 6.4: wrong trip count for negative steps)"
+    }
+
+    fn find_matches(&self, sdfg: &Sdfg) -> Vec<TransformationMatch> {
+        let empty = fuzzyflow_ir::Bindings::new();
+        sdfg.states
+            .node_ids()
+            .filter_map(|st| detect_loop(sdfg, st))
+            .filter(|info| {
+                // Constant bounds only, and a body that does not itself
+                // contain loop guards (single-level unrolling).
+                let constant = info.start.simplify().as_int().is_some()
+                    && info.end.simplify().as_int().is_some()
+                    && info.step.as_int().is_some();
+                let small = info
+                    .trip_count(&empty)
+                    .map(|t| t > 0 && t <= effective_max_trip(self))
+                    .unwrap_or(false);
+                constant && small
+            })
+            .map(|info| TransformationMatch {
+                site: MatchSite::Loop { guard: info.guard },
+                description: format!(
+                    "unroll loop over '{}' at guard {}",
+                    info.var, info.guard
+                ),
+            })
+            .collect()
+    }
+
+    fn apply(
+        &self,
+        sdfg: &mut Sdfg,
+        m: &TransformationMatch,
+    ) -> Result<ChangeSet, TransformError> {
+        let guard = match &m.site {
+            MatchSite::Loop { guard } => *guard,
+            other => {
+                return Err(TransformError::MatchInvalid(format!(
+                    "expected loop site, got {other:?}"
+                )))
+            }
+        };
+        let info = detect_loop(sdfg, guard)
+            .ok_or_else(|| TransformError::MatchInvalid(format!("no loop at guard {guard}")))?;
+        let start = info
+            .start
+            .simplify()
+            .as_int()
+            .ok_or_else(|| TransformError::NotApplicable("non-constant start".into()))?;
+        let end = info
+            .end
+            .simplify()
+            .as_int()
+            .ok_or_else(|| TransformError::NotApplicable("non-constant end".into()))?;
+        let step = info
+            .step
+            .as_int()
+            .ok_or_else(|| TransformError::NotApplicable("non-constant step".into()))?;
+        if step == 0 {
+            return Err(TransformError::NotApplicable("zero step".into()));
+        }
+
+        // Trip-count computation. BUG (seeded): for descending loops the
+        // ascending formula yields a negative count, "repaired" by a
+        // defensive clamp to at least 2 — producing 2 instances for the
+        // paper's 4-iteration loop.
+        let trip = if step > 0 {
+            (end - start).div_euclid(step) + 1
+        } else {
+            let wrong = (end - start).wrapping_div(step.wrapping_neg()) + 1;
+            wrong.max(2)
+        };
+        let trip = trip.max(0) as usize;
+
+        // Build the unrolled chain: prev -> body[0](var=v0) -> body[1](var=v1)
+        // -> ... -> exit. The original body states become instance 0;
+        // further instances are cloned.
+        let body_states = info.body.clone();
+        let prev = sdfg.states.src(info.init_edge);
+        let exit = info.exit;
+
+        // Remove the loop control edges and the guard.
+        sdfg.states.remove_edge(info.enter_edge);
+        sdfg.states.remove_edge(info.exit_edge);
+        sdfg.states.remove_edge(info.back_edge);
+        sdfg.states.remove_edge(info.init_edge);
+        sdfg.states.remove_node(info.guard);
+
+        let mut changed = vec![guard];
+        changed.extend(body_states.iter().copied());
+
+        if trip == 0 {
+            sdfg.states.add_edge(prev, exit, InterstateEdge::always());
+            return Ok(ChangeSet::of_states(changed));
+        }
+
+        // Instance 0 reuses the original body states.
+        sdfg.states.add_edge(
+            prev,
+            body_states[0],
+            InterstateEdge::always().assign(&info.var, SymExpr::Int(start)),
+        );
+        let mut tail = *body_states.last().expect("non-empty body");
+
+        for k in 1..trip {
+            let value = start + (k as i64) * step;
+            // Clone the body chain.
+            let mut prev_state: Option<StateId> = None;
+            let mut first_state = None;
+            for &bs in &body_states {
+                let copy = sdfg.states.add_node(sdfg.states.node(bs).clone());
+                if let Some(p) = prev_state {
+                    sdfg.states.add_edge(p, copy, InterstateEdge::always());
+                }
+                if first_state.is_none() {
+                    first_state = Some(copy);
+                }
+                prev_state = Some(copy);
+            }
+            let first = first_state.expect("non-empty body");
+            sdfg.states.add_edge(
+                tail,
+                first,
+                InterstateEdge::always().assign(&info.var, SymExpr::Int(value)),
+            );
+            tail = prev_state.expect("non-empty body");
+        }
+        sdfg.states.add_edge(tail, exit, InterstateEdge::always());
+
+        Ok(ChangeSet::of_states(changed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::apply_to_clone;
+    use fuzzyflow_interp::{run, ExecState};
+    use fuzzyflow_ir::{
+        validate, DType, Memlet, Scalar, ScalarExpr, SdfgBuilder, Subset, Tasklet,
+    };
+
+    /// Counts loop iterations into `count`. `step` may be negative.
+    fn loop_program(start: i64, end: i64, step: i64) -> Sdfg {
+        let mut b = SdfgBuilder::new("lp");
+        b.scalar("count", DType::I64);
+        b.scalar("acc", DType::I64);
+        let lh = b.for_loop(
+            b.start(),
+            "i",
+            SymExpr::Int(start),
+            SymExpr::Int(end),
+            step,
+            "l",
+        );
+        b.in_state(lh.body, |df| {
+            let cin = df.access("count");
+            let cout = df.access("count");
+            let t = df.tasklet(Tasklet::simple(
+                "inc",
+                vec!["c"],
+                "o",
+                ScalarExpr::r("c").add(ScalarExpr::i64(1)),
+            ));
+            df.read(cin, t, Memlet::new("count", Subset::new(vec![])).to_conn("c"));
+            df.write(t, cout, Memlet::new("count", Subset::new(vec![])).from_conn("o"));
+            // Also accumulate i so iteration *values* are observable.
+            let ain = df.access("acc");
+            let aout = df.access("acc");
+            let t2 = df.tasklet(Tasklet::simple(
+                "addi",
+                vec!["a"],
+                "o",
+                ScalarExpr::r("a").add(ScalarExpr::r("i")),
+            ));
+            df.read(ain, t2, Memlet::new("acc", Subset::new(vec![])).to_conn("a"));
+            df.write(t2, aout, Memlet::new("acc", Subset::new(vec![])).from_conn("o"));
+        });
+        b.build()
+    }
+
+    fn exec(p: &Sdfg) -> (i64, i64) {
+        let mut st = ExecState::new();
+        run(p, &mut st).unwrap();
+        (
+            st.array("count").unwrap().get(0).as_i64(),
+            st.array("acc").unwrap().get(0).as_i64(),
+        )
+    }
+
+    #[test]
+    fn ascending_unroll_is_correct() {
+        let p = loop_program(0, 3, 1); // 4 iterations
+        let t = LoopUnrolling::default();
+        let matches = t.find_matches(&p);
+        assert_eq!(matches.len(), 1);
+        let (up, changes) = apply_to_clone(&p, &t, &matches[0]).unwrap();
+        assert!(validate(&up).is_ok(), "{:?}", validate(&up));
+        assert!(changes.is_state_level());
+        assert_eq!(exec(&p), exec(&up));
+        // No loop remains.
+        assert!(t.find_matches(&up).is_empty());
+    }
+
+    #[test]
+    fn ascending_unroll_with_stride() {
+        let p = loop_program(0, 8, 2); // i = 0,2,4,6,8 -> 5 iterations
+        let t = LoopUnrolling::default();
+        let m = &t.find_matches(&p)[0];
+        let (up, _) = apply_to_clone(&p, &t, m).unwrap();
+        assert_eq!(exec(&p), exec(&up));
+    }
+
+    #[test]
+    fn descending_unroll_is_buggy_two_of_four() {
+        // The paper's case: i = 4 down to 1 -> 4 iterations; the buggy
+        // pass emits only 2 instances.
+        let p = loop_program(4, 1, -1);
+        assert_eq!(exec(&p).0, 4);
+        let t = LoopUnrolling::default();
+        let m = &t.find_matches(&p)[0];
+        let (up, _) = apply_to_clone(&p, &t, m).unwrap();
+        assert!(validate(&up).is_ok());
+        let (count, acc) = exec(&up);
+        assert_eq!(count, 2, "seeded bug must produce exactly 2 instances");
+        assert_eq!(acc, 4 + 3); // first two iteration values
+    }
+
+    #[test]
+    fn does_not_match_symbolic_bounds() {
+        let mut b = SdfgBuilder::new("symloop");
+        b.symbol("N");
+        b.scalar("count", DType::I64);
+        let lh = b.for_loop(
+            b.start(),
+            "i",
+            SymExpr::Int(0),
+            fuzzyflow_ir::sym("N"),
+            1,
+            "l",
+        );
+        let _ = lh;
+        let p = b.build();
+        assert!(LoopUnrolling::default().find_matches(&p).is_empty());
+    }
+
+    #[test]
+    fn zero_iteration_loop_unrolls_to_passthrough() {
+        let p = loop_program(5, 1, 1); // never runs
+        let t = LoopUnrolling::default();
+        // trip_count is 0 -> filtered out by find_matches (t > 0).
+        assert!(t.find_matches(&p).is_empty());
+        let _ = Scalar::I64(0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Write elimination (buggy — the DaCe built-in of paper Sec. 6.4).
+
+use crate::framework::{ChangeSet, MatchSite, TransformError, Transformation, TransformationMatch};
+use fuzzyflow_ir::{ScalarExpr, Sdfg, StateId, Tasklet};
+use fuzzyflow_graph::NodeId;
+
+/// Eliminates temporary write operations between computations: a producer
+/// writing a transient container that is immediately copied into another
+/// container gets rewired to write the destination directly, dropping the
+/// temporary write and the copy.
+///
+/// **Seeded bug (Sec. 6.4, "Write Elimination"):** the pass checks the
+/// temporary's uses only within the state it rewrites. If the temporary is
+/// read again in a later state — i.e. it is part of the cutout's *system
+/// state* — removing the write changes program semantics. The paper found
+/// exactly one such instance among 136 on CLOUDSC.
+#[derive(Clone, Debug, Default)]
+pub struct WriteElimination;
+
+/// True if a tasklet is a pure copy: one input, one output, `out = in`.
+fn is_copy_tasklet(t: &Tasklet) -> bool {
+    t.inputs.len() == 1
+        && t.outputs.len() == 1
+        && t.lanes == 1
+        && t.code.len() == 1
+        && t.code[0].dst == t.outputs[0]
+        && t.code[0].value == ScalarExpr::Ref(t.inputs[0].clone())
+}
+
+/// Finds `producer -> access(tmp) -> copy-tasklet -> access(dst)` chains.
+fn find_chains(sdfg: &Sdfg) -> Vec<(StateId, [NodeId; 4])> {
+    let mut out = Vec::new();
+    for st in sdfg.states.node_ids() {
+        let df = &sdfg.states.node(st).df;
+        for acc in df.graph.node_ids() {
+            let name = match df.graph.node(acc).as_access() {
+                Some(n) => n,
+                None => continue,
+            };
+            let desc = match sdfg.array(name) {
+                Some(d) => d,
+                None => continue,
+            };
+            if !desc.transient || df.graph.in_degree(acc) != 1 || df.graph.out_degree(acc) != 1 {
+                continue;
+            }
+            let producer = df.graph.src(df.graph.in_edge_ids(acc)[0]);
+            if df.graph.node(producer).is_access() {
+                continue;
+            }
+            let copy = df.graph.dst(df.graph.out_edge_ids(acc)[0]);
+            let ct = match df.graph.node(copy).as_tasklet() {
+                Some(t) if is_copy_tasklet(t) => t,
+                _ => continue,
+            };
+            let _ = ct;
+            if df.graph.out_degree(copy) != 1 {
+                continue;
+            }
+            let dst = df.graph.dst(df.graph.out_edge_ids(copy)[0]);
+            if !df.graph.node(dst).is_access() {
+                continue;
+            }
+            // Producer's write and the copy's read must cover the same
+            // subset, so the rewrite is a pure redirection.
+            let we = df.graph.in_edge_ids(acc)[0];
+            let re = df.graph.out_edge_ids(acc)[0];
+            if df.graph.edge(we).subset != df.graph.edge(re).subset {
+                continue;
+            }
+            out.push((st, [producer, acc, copy, dst]));
+        }
+    }
+    out
+}
+
+impl Transformation for WriteElimination {
+    fn name(&self) -> &'static str {
+        "WriteElimination"
+    }
+    fn description(&self) -> &'static str {
+        "Eliminates temporary writes between computations (Sec. 6.4: drops writes still in the system state)"
+    }
+
+    fn find_matches(&self, sdfg: &Sdfg) -> Vec<TransformationMatch> {
+        find_chains(sdfg)
+            .into_iter()
+            .map(|(state, [producer, acc, copy, dst])| TransformationMatch {
+                site: MatchSite::Nodes {
+                    state,
+                    nodes: vec![producer, acc, copy, dst],
+                },
+                description: format!(
+                    "eliminate write {producer}->{acc} and copy {copy} in state {state}"
+                ),
+            })
+            .collect()
+    }
+
+    fn apply(
+        &self,
+        sdfg: &mut Sdfg,
+        m: &TransformationMatch,
+    ) -> Result<ChangeSet, TransformError> {
+        let (state, producer, acc, copy, dst) = match &m.site {
+            MatchSite::Nodes { state, nodes } if nodes.len() == 4 => {
+                (*state, nodes[0], nodes[1], nodes[2], nodes[3])
+            }
+            other => {
+                return Err(TransformError::MatchInvalid(format!(
+                    "expected 4-node site, got {other:?}"
+                )))
+            }
+        };
+        let df = &mut sdfg
+            .states
+            .try_node_mut(state)
+            .ok_or_else(|| TransformError::MatchInvalid(format!("state {state} missing")))?
+            .df;
+        for n in [producer, acc, copy, dst] {
+            if !df.graph.contains_node(n) {
+                return Err(TransformError::MatchInvalid(format!(
+                    "node {n} not in state {state}"
+                )));
+            }
+        }
+
+        // The copy's output memlet tells us where the data must land.
+        let out_edge = df.graph.out_edge_ids(copy)[0];
+        let out_memlet = df.graph.edge(out_edge).clone();
+        // The producer's connector feeding the temporary.
+        let write_edge = df.graph.in_edge_ids(acc)[0];
+        let src_conn = df.graph.edge(write_edge).src_conn.clone();
+
+        // Redirect: producer writes `dst` directly.
+        let mut direct = out_memlet.clone();
+        direct.src_conn = src_conn;
+        df.graph.add_edge(producer, dst, direct);
+
+        // BUG (seeded): remove the temporary write and the copy without
+        // checking cross-state liveness of the temporary.
+        df.graph.remove_node(acc);
+        df.graph.remove_node(copy);
+
+        Ok(ChangeSet::nodes_in_state(state, [producer, acc, copy, dst]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::apply_to_clone;
+    use fuzzyflow_interp::{run, ArrayValue, ExecState};
+    use fuzzyflow_ir::{validate, DType, Memlet, SdfgBuilder, Subset};
+
+    /// tmp = x*x (producer); out = tmp (copy); optionally later out2 = tmp.
+    fn program(reread: bool) -> Sdfg {
+        let mut b = SdfgBuilder::new("we");
+        b.scalar("x", DType::F64);
+        b.transient_scalar("tmp", DType::F64);
+        b.scalar("out", DType::F64);
+        b.scalar("out2", DType::F64);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let x = df.access("x");
+            let tmp = df.access("tmp");
+            let out = df.access("out");
+            let t1 = df.tasklet(Tasklet::simple(
+                "sq",
+                vec!["a"],
+                "r",
+                ScalarExpr::r("a").mul(ScalarExpr::r("a")),
+            ));
+            let t2 = df.tasklet(Tasklet::simple("cp", vec!["a"], "r", ScalarExpr::r("a")));
+            df.read(x, t1, Memlet::new("x", Subset::new(vec![])).to_conn("a"));
+            df.write(t1, tmp, Memlet::new("tmp", Subset::new(vec![])).from_conn("r"));
+            df.read(tmp, t2, Memlet::new("tmp", Subset::new(vec![])).to_conn("a"));
+            df.write(t2, out, Memlet::new("out", Subset::new(vec![])).from_conn("r"));
+        });
+        if reread {
+            let st2 = b.add_state_after(st, "later");
+            b.in_state(st2, |df| {
+                let tmp = df.access("tmp");
+                let out2 = df.access("out2");
+                let t = df.tasklet(Tasklet::simple("cp2", vec!["a"], "r", ScalarExpr::r("a")));
+                df.read(tmp, t, Memlet::new("tmp", Subset::new(vec![])).to_conn("a"));
+                df.write(t, out2, Memlet::new("out2", Subset::new(vec![])).from_conn("r"));
+            });
+        }
+        b.build()
+    }
+
+    fn exec(p: &Sdfg) -> (f64, f64) {
+        let mut st = ExecState::new();
+        st.set_array("x", ArrayValue::from_f64(vec![], &[5.0]));
+        run(p, &mut st).unwrap();
+        (
+            st.array("out").unwrap().get(0).as_f64(),
+            st.array("out2").unwrap().get(0).as_f64(),
+        )
+    }
+
+    #[test]
+    fn matches_copy_chain() {
+        assert_eq!(WriteElimination.find_matches(&program(false)).len(), 1);
+    }
+
+    #[test]
+    fn correct_when_temporary_is_dead() {
+        let p = program(false);
+        let t = WriteElimination;
+        let m = &t.find_matches(&p)[0];
+        let (tp, _) = apply_to_clone(&p, &t, m).unwrap();
+        assert!(validate(&tp).is_ok(), "{:?}", validate(&tp));
+        assert_eq!(exec(&p).0, exec(&tp).0);
+    }
+
+    #[test]
+    fn breaks_live_temporary() {
+        let p = program(true);
+        let t = WriteElimination;
+        let m = &t.find_matches(&p)[0];
+        let (tp, _) = apply_to_clone(&p, &t, m).unwrap();
+        assert!(validate(&tp).is_ok());
+        let (out_a, out2_a) = exec(&p);
+        let (out_b, out2_b) = exec(&tp);
+        assert_eq!(out_a, out_b);
+        assert_ne!(out2_a, out2_b, "dropped write must be observable");
+    }
+
+    use fuzzyflow_ir::{ScalarExpr, Tasklet};
+}

@@ -1,0 +1,144 @@
+//! Distributed Vanilla Attention with an SDDMM kernel (paper Sec. 6.2 /
+//! Fig. 6).
+//!
+//! SPMD layout over `nranks` ranks: each rank owns a row block
+//! `H[NLOC, F]` of the node-feature matrix. Forward propagation:
+//!
+//! 1. `AllGather` assembles the full feature matrix
+//!    `Hfull[NLOC*nranks, F]` (communication),
+//! 2. **SDDMM**: `S[i, j] = M[i, j] · Σ_k H[i, k] · Hfull[j, k]` — the
+//!    sampled dense-dense matrix multiplication every optimization effort
+//!    targets (poor data locality),
+//! 3. a row-sum normalization writes the rank-local output.
+//!
+//! The SDDMM map touches no communication node, so a FuzzyFlow cutout of
+//! it is testable on a single rank: the gathered features become a plain
+//! input container ("any data received through collectives is subsequently
+//! exposed as regular data parameters", Sec. 6.2).
+
+use crate::helpers::{at, dim, In, Out};
+use fuzzyflow_ir::{
+    sym, CommOp, DType, LibraryOp, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, Subset, Wcr,
+};
+
+/// Builds the per-rank vanilla-attention program. Symbols: `NLOC` (local
+/// rows), `NTOT` (total rows = NLOC·nranks), `F` (features), plus the
+/// runtime-bound `rank`/`nranks`.
+pub fn vanilla_attention() -> Sdfg {
+    let mut b = SdfgBuilder::new("vanilla_attention");
+    b.symbol("NLOC");
+    b.symbol("NTOT");
+    b.symbol("F");
+    b.symbol("nranks");
+    b.symbol("rank");
+    b.array("H", DType::F64, &["NLOC", "F"]);
+    b.array("M", DType::F64, &["NLOC", "NTOT"]); // adjacency mask (dense-stored)
+    b.transient("Hfull", DType::F64, &["NTOT", "F"]);
+    b.transient("S", DType::F64, &["NLOC", "NTOT"]);
+    b.array("out", DType::F64, &["NLOC"]);
+
+    let st = b.start();
+    b.in_state(st, |df| {
+        // 1. Gather all feature blocks.
+        let h = df.access("H");
+        let hfull = df.access("Hfull");
+        let ag = df.library("gather_features", LibraryOp::Comm(CommOp::AllGather));
+        df.read(
+            h,
+            ag,
+            Memlet::new("H", Subset::full(&[sym("NLOC"), sym("F")])).to_conn("in"),
+        );
+        df.write(
+            ag,
+            hfull,
+            Memlet::new("Hfull", Subset::full(&[sym("NTOT"), sym("F")])).from_conn("out"),
+        );
+
+        // 2. SDDMM (the optimization target — no communication inside).
+        let m = df.access("M");
+        let s = df.access("S");
+        crate::helpers::map_stage(
+            df,
+            "sddmm",
+            &[
+                dim("i", sym("NLOC")),
+                dim("j", sym("NTOT")),
+                dim("k", sym("F")),
+            ],
+            Schedule::Parallel,
+            &[
+                In::new(m, "M", at(&["i", "j"]), "mask"),
+                In::new(h, "H", at(&["i", "k"]), "hi"),
+                In::new(hfull, "Hfull", at(&["j", "k"]), "hj"),
+            ],
+            Out::new(s, "S", at(&["i", "j"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("mask").mul(ScalarExpr::r("hi").mul(ScalarExpr::r("hj"))),
+        );
+
+        // 3. Row-sum normalization into the local output.
+        let out = df.access("out");
+        crate::helpers::map_stage(
+            df,
+            "rowsum",
+            &[dim("i", sym("NLOC")), dim("j", sym("NTOT"))],
+            Schedule::Parallel,
+            &[In::new(s, "S", at(&["i", "j"]), "v")],
+            Out::new(out, "out", at(&["i"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("v"),
+        );
+    });
+    b.build()
+}
+
+/// Defaults: 4 ranks × 8 local rows, 6 features.
+pub fn default_bindings() -> fuzzyflow_ir::Bindings {
+    fuzzyflow_ir::Bindings::from_pairs([("NLOC", 8), ("NTOT", 32), ("F", 6), ("nranks", 4)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyflow_dist::{has_communication, run_distributed};
+    use fuzzyflow_interp::{ArrayValue, ExecOptions, ExecState};
+
+    #[test]
+    fn validates_and_contains_comm() {
+        let p = vanilla_attention();
+        assert!(
+            fuzzyflow_ir::validate(&p).is_ok(),
+            "{:?}",
+            fuzzyflow_ir::validate(&p)
+        );
+        assert!(has_communication(&p));
+    }
+
+    #[test]
+    fn distributed_run_matches_manual_computation() {
+        let p = vanilla_attention();
+        let (nloc, nranks, f) = (2i64, 2i64, 2i64);
+        let ntot = nloc * nranks;
+        // Rank r has H rows filled with (r+1); mask all ones.
+        let mk = |r: i64| {
+            let mut st = ExecState::new();
+            st.bind("NLOC", nloc).bind("NTOT", ntot).bind("F", f);
+            st.set_array(
+                "H",
+                ArrayValue::from_f64(
+                    vec![nloc, f],
+                    &vec![(r + 1) as f64; (nloc * f) as usize],
+                ),
+            );
+            st.set_array(
+                "M",
+                ArrayValue::from_f64(vec![nloc, ntot], &vec![1.0; (nloc * ntot) as usize]),
+            );
+            st
+        };
+        let out = run_distributed(&p, vec![mk(0), mk(1)], &ExecOptions::default()).unwrap();
+        // S[i,j] on rank r = sum_k H_r[i,k]*Hfull[j,k] = F * (r+1)*(owner(j)+1)
+        // out[i] on rank r = sum_j S = F*(r+1) * sum_j (owner(j)+1)
+        //                  = 2*(r+1) * (2*1 + 2*2) = 12*(r+1).
+        assert_eq!(out[0].array("out").unwrap().to_f64_vec(), vec![12.0, 12.0]);
+        assert_eq!(out[1].array("out").unwrap().to_f64_vec(), vec![24.0, 24.0]);
+    }
+}

@@ -1,0 +1,391 @@
+//! A synthetic cloud-microphysics scheme shaped after ECMWF's CLOUDSC
+//! (paper Sec. 6.4): a vertical-column physics kernel over `NLEV` levels
+//! and `NPROMA` horizontal points, with
+//!
+//! * many parallel adjustment maps, most writing only *interior* level
+//!   ranges (the GPU-kernel-extraction bug clobbers the untouched
+//!   boundary rows with device garbage — Fig. 7; the paper found 48 of 62
+//!   instances faulty, a ~77 % ratio this program reproduces),
+//! * temporary-write/copy chains for the `WriteElimination` pass — all
+//!   dead except one temporary that a later state re-reads (paper: 1 of
+//!   136 instances faulty),
+//! * constant-bound substep loops for `LoopUnrolling` — ascending loops
+//!   plus one *negative-step* sedimentation loop, the paper's 1-of-19
+//!   faulty instance.
+
+use crate::helpers::{at, dim, dim_range, scalar, In, Out};
+use fuzzyflow_ir::{
+    sym, DType, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, StateId, Subset, SymExpr,
+    Tasklet, Wcr,
+};
+
+/// Builds the CLOUDSC-like scheme.
+pub fn cloudsc_like() -> Sdfg {
+    let mut b = SdfgBuilder::new("cloudsc_like");
+    b.symbol("NLEV");
+    b.symbol("NPROMA");
+    // Prognostic fields.
+    for f in ["T", "Q", "CLD", "RAIN", "SNOW", "QS"] {
+        b.array(f, DType::F64, &["NLEV", "NPROMA"]);
+    }
+    b.array("PRECIP", DType::F64, &["NPROMA"]);
+    b.array("FLUX", DType::F64, &["NPROMA"]);
+    b.scalar("dt", DType::F64);
+    // Temporaries for the write-elimination chains.
+    for t in ["tmp_a", "tmp_b", "tmp_c", "tmp_d", "tmp_e", "tmp_live"] {
+        b.transient_scalar(t, DType::F64);
+    }
+    b.transient("cond_rate", DType::F64, &["NLEV", "NPROMA"]);
+
+    // --- Stage 1: saturation (full write — a correct GPU instance). ---
+    let st_sat = b.start();
+    b.in_state(st_sat, |df| {
+        let t = df.access("T");
+        let qs = df.access("QS");
+        crate::helpers::map_stage(
+            df,
+            "saturation",
+            &[dim("l", sym("NLEV")), dim("p", sym("NPROMA"))],
+            Schedule::Parallel,
+            &[In::new(t, "T", at(&["l", "p"]), "tv")],
+            Out::new(qs, "QS", at(&["l", "p"])),
+            // Clausius-Clapeyron-flavored saturation curve.
+            ScalarExpr::f64(0.62)
+                .mul(ScalarExpr::r("tv").mul(ScalarExpr::f64(0.01)).exp()),
+        );
+    });
+
+    // --- Stage 2: interior-level adjustment maps (partial writes —
+    // faulty GPU instances). One state per field family. ---
+    let interior = || dim_range("l", SymExpr::Int(1), sym("NLEV") - SymExpr::Int(1));
+    let mut prev = st_sat;
+    let adjust = |b: &mut SdfgBuilder,
+                  prev: StateId,
+                  label: &str,
+                  src: &str,
+                  aux: &str,
+                  dst: &str,
+                  coeff: f64|
+     -> StateId {
+        let st = b.add_state_after(prev, label);
+        b.in_state(st, |df| {
+            let s = df.access(src);
+            let a = df.access(aux);
+            let d = df.access(dst);
+            crate::helpers::map_stage(
+                df,
+                label,
+                &[interior(), dim("p", sym("NPROMA"))],
+                Schedule::Parallel,
+                &[
+                    In::new(s, src, at(&["l", "p"]), "x"),
+                    In::new(a, aux, at(&["l", "p"]), "y"),
+                ],
+                Out::new(d, dst, at(&["l", "p"])),
+                ScalarExpr::r("x")
+                    .add(ScalarExpr::r("y").mul(ScalarExpr::f64(coeff))),
+            );
+        });
+        st
+    };
+    // Ten interior (partial-write) adjustments over various field pairs.
+    // Nine of these write a container they do not read (the GPU bug
+    // clobbers the untouched boundary rows); `latent_heat` reads and
+    // writes `T`, so the copy-in covers the whole container and the
+    // extraction is correct there — matching the paper's mix of faulty
+    // and passing instances (48 of 62).
+    let partial_stages: [(&str, &str, &str, &str, f64); 10] = [
+        ("cond_adjust", "Q", "QS", "CLD", 0.5),
+        ("evap_adjust", "CLD", "QS", "Q", -0.25),
+        ("rain_autoconv", "CLD", "Q", "RAIN", 0.1),
+        ("snow_autoconv", "CLD", "T", "SNOW", 0.05),
+        ("rain_accretion", "RAIN", "CLD", "QS", 0.2),
+        ("snow_riming", "SNOW", "CLD", "RAIN", 0.15),
+        ("melt_adjust", "SNOW", "T", "RAIN", 0.12),
+        ("freeze_adjust", "RAIN", "T", "SNOW", 0.08),
+        ("subl_adjust", "SNOW", "QS", "Q", -0.02),
+        ("latent_heat", "T", "CLD", "T", 0.3),
+    ];
+    for (label, src, aux, dst, coeff) in partial_stages
+        .iter()
+        .map(|&(l, s, a, d, c)| (l, s, a, d, c))
+    {
+        prev = adjust(&mut b, prev, label, src, aux, dst, coeff);
+    }
+
+    // --- Stage 3: two more full-write maps (correct GPU instances). ---
+    let st_rate = b.add_state_after(prev, "condensation_rate");
+    b.in_state(st_rate, |df| {
+        let q = df.access("Q");
+        let qs = df.access("QS");
+        let cr = df.access("cond_rate");
+        crate::helpers::map_stage(
+            df,
+            "condensation_rate",
+            &[dim("l", sym("NLEV")), dim("p", sym("NPROMA"))],
+            Schedule::Parallel,
+            &[
+                In::new(q, "Q", at(&["l", "p"]), "q"),
+                In::new(qs, "QS", at(&["l", "p"]), "qs"),
+            ],
+            Out::new(cr, "cond_rate", at(&["l", "p"])),
+            ScalarExpr::r("q").sub(ScalarExpr::r("qs")).max(ScalarExpr::f64(0.0)),
+        );
+    });
+    let st_precip = b.add_state_after(st_rate, "column_precip");
+    b.in_state(st_precip, |df| {
+        let rain = df.access("RAIN");
+        let snow = df.access("SNOW");
+        let pr = df.access("PRECIP");
+        crate::helpers::map_stage(
+            df,
+            "column_precip",
+            &[dim("p", sym("NPROMA")), dim("l", sym("NLEV"))],
+            Schedule::Parallel,
+            &[
+                In::new(rain, "RAIN", at(&["l", "p"]), "r"),
+                In::new(snow, "SNOW", at(&["l", "p"]), "s"),
+            ],
+            Out::new(pr, "PRECIP", at(&["p"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("r").add(ScalarExpr::r("s")),
+        );
+    });
+
+    // --- Stage 4: temporary-write chains (WriteElimination sites). ---
+    // Five dead temporaries and one (tmp_live) read again later.
+    let st_tmp = b.add_state_after(st_precip, "diagnostics");
+    b.in_state(st_tmp, |df| {
+        let dt = df.access("dt");
+        for (tmp, factor) in [
+            ("tmp_a", 1.5),
+            ("tmp_b", 2.5),
+            ("tmp_c", 3.5),
+            ("tmp_d", 4.5),
+            ("tmp_e", 5.5),
+            ("tmp_live", 6.5),
+        ] {
+            let tacc = df.access(tmp);
+            let f = df.access("FLUX");
+            let producer = df.tasklet(Tasklet::simple(
+                &format!("diag_{tmp}"),
+                vec!["d"],
+                "r",
+                ScalarExpr::r("d").mul(ScalarExpr::f64(factor)),
+            ));
+            df.read(dt, producer, Memlet::new("dt", scalar()).to_conn("d"));
+            df.write(producer, tacc, Memlet::new(tmp, scalar()).from_conn("r"));
+            // Copy tasklet into FLUX[k] for distinct k per chain.
+            let k = match tmp {
+                "tmp_a" => 0,
+                "tmp_b" => 1,
+                "tmp_c" => 2,
+                "tmp_d" => 3,
+                "tmp_e" => 4,
+                _ => 5,
+            };
+            let copy = df.tasklet(Tasklet::simple(
+                &format!("store_{tmp}"),
+                vec!["v"],
+                "o",
+                ScalarExpr::r("v"),
+            ));
+            df.read(tacc, copy, Memlet::new(tmp, scalar()).to_conn("v"));
+            df.write(
+                copy,
+                f,
+                Memlet::new("FLUX", Subset::at(vec![SymExpr::Int(k)])).from_conn("o"),
+            );
+        }
+    });
+    // tmp_live is re-read here — eliminating its write is the 1-in-136 bug.
+    let st_live = b.add_state_after(st_tmp, "flux_correction");
+    b.in_state(st_live, |df| {
+        let live = df.access("tmp_live");
+        let f = df.access("FLUX");
+        let t = df.tasklet(Tasklet::simple(
+            "flux_corr",
+            vec!["v"],
+            "o",
+            ScalarExpr::r("v").mul(ScalarExpr::f64(0.5)),
+        ));
+        df.read(live, t, Memlet::new("tmp_live", scalar()).to_conn("v"));
+        df.write(
+            t,
+            f,
+            Memlet::new("FLUX", Subset::at(vec![SymExpr::Int(6)])).from_conn("o"),
+        );
+    });
+
+    // --- Stage 4b: more diagnostics chains writing PRECIP slots
+    // (additional WriteElimination sites, all dead temporaries). ---
+    let st_tmp2 = b.add_state_after(st_live, "diagnostics2");
+    for t in ["tmp_f", "tmp_g", "tmp_h"] {
+        b.transient_scalar(t, DType::F64);
+    }
+    b.in_state(st_tmp2, |df| {
+        let dt = df.access("dt");
+        for (k, (tmp, factor)) in [("tmp_f", 0.5), ("tmp_g", 0.7), ("tmp_h", 0.9)]
+            .iter()
+            .enumerate()
+        {
+            let tacc = df.access(tmp);
+            let p = df.access("PRECIP");
+            let producer = df.tasklet(Tasklet::simple(
+                &format!("diag_{tmp}"),
+                vec!["d"],
+                "r",
+                ScalarExpr::r("d").mul(ScalarExpr::f64(*factor)),
+            ));
+            df.read(dt, producer, Memlet::new("dt", scalar()).to_conn("d"));
+            df.write(producer, tacc, Memlet::new(*tmp, scalar()).from_conn("r"));
+            let copy = df.tasklet(Tasklet::simple(
+                &format!("store_{tmp}"),
+                vec!["v"],
+                "o",
+                ScalarExpr::r("v"),
+            ));
+            df.read(tacc, copy, Memlet::new(*tmp, scalar()).to_conn("v"));
+            df.write(
+                copy,
+                p,
+                Memlet::new("PRECIP", Subset::at(vec![SymExpr::Int(k as i64 + 1)])).from_conn("o"),
+            );
+        }
+    });
+
+    // --- Stage 5: substep loops (LoopUnrolling sites). ---
+    // Six ascending constant loops...
+    let mut prev = st_tmp2;
+    for (idx, trips) in [(0i64, 2i64), (1, 3), (2, 4), (3, 2), (4, 5), (5, 3)] {
+        let lh = b.for_loop(
+            prev,
+            &format!("s{idx}"),
+            SymExpr::Int(0),
+            SymExpr::Int(trips - 1),
+            1,
+            &format!("substep{idx}"),
+        );
+        let var = format!("s{idx}");
+        b.in_state(lh.body, |df| {
+            let f_in = df.access("PRECIP");
+            let f_out = df.access("PRECIP");
+            let t = df.tasklet(Tasklet::simple(
+                &format!("substep_upd{idx}"),
+                vec!["v"],
+                "o",
+                ScalarExpr::r("v").add(
+                    ScalarExpr::r(&var).add(ScalarExpr::i64(1)).mul(ScalarExpr::f64(0.001)),
+                ),
+            ));
+            df.read(
+                f_in,
+                t,
+                Memlet::new("PRECIP", Subset::at(vec![SymExpr::Int(0)])).to_conn("v"),
+            );
+            df.write(
+                t,
+                f_out,
+                Memlet::new("PRECIP", Subset::at(vec![SymExpr::Int(0)])).from_conn("o"),
+            );
+        });
+        prev = lh.exit;
+    }
+    // ...and the paper's negative-step sedimentation loop: i = 4 down to 1.
+    let lh = b.for_loop(prev, "sed", SymExpr::Int(4), SymExpr::Int(1), -1, "sediment");
+    b.in_state(lh.body, |df| {
+        let f_in = df.access("FLUX");
+        let f_out = df.access("FLUX");
+        let t = df.tasklet(Tasklet::simple(
+            "sediment_step",
+            vec!["v"],
+            "o",
+            ScalarExpr::r("v").add(ScalarExpr::r("sed")),
+        ));
+        df.read(
+            f_in,
+            t,
+            Memlet::new("FLUX", Subset::at(vec![SymExpr::Int(7)])).to_conn("v"),
+        );
+        df.write(
+            t,
+            f_out,
+            Memlet::new("FLUX", Subset::at(vec![SymExpr::Int(7)])).from_conn("o"),
+        );
+    });
+
+    b.build()
+}
+
+/// Default column sizes (NLEV vertical levels × NPROMA points).
+pub fn default_bindings() -> fuzzyflow_ir::Bindings {
+    fuzzyflow_ir::Bindings::from_pairs([("NLEV", 10), ("NPROMA", 8)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyflow_interp::{run, ArrayValue, ExecState};
+
+    fn seeded_state() -> ExecState {
+        let b = default_bindings();
+        let (nlev, nproma) = (b.get("NLEV").unwrap(), b.get("NPROMA").unwrap());
+        let mut st = ExecState::new();
+        st.bind("NLEV", nlev).bind("NPROMA", nproma);
+        let n = (nlev * nproma) as usize;
+        for (f, base) in [
+            ("T", 270.0),
+            ("Q", 0.5),
+            ("CLD", 0.1),
+            ("RAIN", 0.0),
+            ("SNOW", 0.0),
+            ("QS", 0.0),
+        ] {
+            let vals: Vec<f64> = (0..n).map(|i| base + (i as f64) * 0.01).collect();
+            st.set_array(f, ArrayValue::from_f64(vec![nlev, nproma], &vals));
+        }
+        st.set_array("dt", ArrayValue::from_f64(vec![], &[0.25]));
+        st
+    }
+
+    #[test]
+    fn validates() {
+        let p = cloudsc_like();
+        assert!(
+            fuzzyflow_ir::validate(&p).is_ok(),
+            "{:?}",
+            fuzzyflow_ir::validate(&p)
+        );
+    }
+
+    #[test]
+    fn runs_end_to_end() {
+        let p = cloudsc_like();
+        let mut st = seeded_state();
+        run(&p, &mut st).unwrap();
+        // FLUX[5] = dt*6.5; FLUX[6] = tmp_live*0.5 = dt*6.5*0.5.
+        let flux = st.array("FLUX").unwrap().to_f64_vec();
+        assert!((flux[5] - 0.25 * 6.5).abs() < 1e-12);
+        assert!((flux[6] - 0.25 * 6.5 * 0.5).abs() < 1e-12);
+        // The sedimentation loop ran 4 times: FLUX[7] = 4+3+2+1 = 10.
+        assert!((flux[7] - 10.0).abs() < 1e-12);
+        // Substep loops: PRECIP[0] gained (1+2)*1e-3 + (1+2+3)*1e-3 + (1+..+4)*1e-3.
+        let precip = st.array("PRECIP").unwrap().to_f64_vec();
+        assert!(precip[0].is_finite());
+    }
+
+    #[test]
+    fn boundary_levels_untouched_by_interior_maps() {
+        let p = cloudsc_like();
+        let mut st = seeded_state();
+        let cld_before = st.array("CLD").unwrap().to_f64_vec();
+        run(&p, &mut st).unwrap();
+        let cld_after = st.array("CLD").unwrap().to_f64_vec();
+        let nproma = 8usize;
+        // Level 0 and NLEV-1 rows of CLD are never written.
+        assert_eq!(cld_before[..nproma], cld_after[..nproma]);
+        let last = cld_before.len() - nproma;
+        assert_eq!(cld_before[last..], cld_after[last..]);
+        // Interior rows did change.
+        assert_ne!(cld_before[nproma..2 * nproma], cld_after[nproma..2 * nproma]);
+    }
+}

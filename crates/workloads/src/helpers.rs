@@ -1,0 +1,190 @@
+//! Builder combinators shared by the workloads.
+
+use fuzzyflow_ir::{
+    DataflowBuilder, Memlet, ScalarExpr, Schedule, Subset, SymRange, Tasklet, Wcr,
+};
+use fuzzyflow_graph::NodeId;
+
+/// One map-stage input: an outer access node, the container name, the
+/// per-iteration element subset (may reference map parameters), and the
+/// tasklet connector it feeds.
+pub struct In<'a> {
+    pub acc: NodeId,
+    pub data: &'a str,
+    pub subset: Subset,
+    pub conn: &'a str,
+}
+
+impl<'a> In<'a> {
+    pub fn new(acc: NodeId, data: &'a str, subset: Subset, conn: &'a str) -> Self {
+        In {
+            acc,
+            data,
+            subset,
+            conn,
+        }
+    }
+}
+
+/// One map-stage output.
+pub struct Out<'a> {
+    pub acc: NodeId,
+    pub data: &'a str,
+    pub subset: Subset,
+    pub wcr: Option<Wcr>,
+}
+
+impl<'a> Out<'a> {
+    pub fn new(acc: NodeId, data: &'a str, subset: Subset) -> Self {
+        Out {
+            acc,
+            data,
+            subset,
+            wcr: None,
+        }
+    }
+
+    pub fn accumulate(mut self, wcr: Wcr) -> Self {
+        self.wcr = Some(wcr);
+        self
+    }
+}
+
+/// Builds a map scope computing `out = expr(ins...)` over the given
+/// iteration space and wires it to the provided outer access nodes. The
+/// expression refers to inputs by their connector names. Returns the map
+/// node.
+pub fn map_stage(
+    df: &mut DataflowBuilder,
+    name: &str,
+    params: &[(&str, SymRange)],
+    schedule: Schedule,
+    ins: &[In],
+    out: Out,
+    expr: ScalarExpr,
+) -> NodeId {
+    let param_names: Vec<&str> = params.iter().map(|(p, _)| *p).collect();
+    let ranges: Vec<SymRange> = params.iter().map(|(_, r)| r.clone()).collect();
+    let map = df.map(&param_names, ranges, schedule, |body| {
+        let conns: Vec<&str> = ins.iter().map(|i| i.conn).collect();
+        let t = body.tasklet(Tasklet::simple(name, conns, "o", expr.clone()));
+        for i in ins {
+            let a = body.access(i.data);
+            body.read(a, t, Memlet::new(i.data, i.subset.clone()).to_conn(i.conn));
+        }
+        let oacc = body.access(out.data);
+        let mut m = Memlet::new(out.data, out.subset.clone()).from_conn("o");
+        if let Some(w) = out.wcr {
+            m = m.with_wcr(w);
+        }
+        body.write(t, oacc, m);
+    });
+    let in_accs: Vec<NodeId> = {
+        // Deduplicate outer access nodes while preserving order.
+        let mut seen = Vec::new();
+        for i in ins {
+            if !seen.contains(&i.acc) {
+                seen.push(i.acc);
+            }
+        }
+        seen
+    };
+    df.auto_wire(map, &in_accs, &[out.acc]);
+    map
+}
+
+/// Shorthand for a 1-D iteration space `[0, size)`.
+pub fn dim(p: &str, size: fuzzyflow_ir::SymExpr) -> (&str, SymRange) {
+    (p, SymRange::full(size))
+}
+
+/// Shorthand for an explicit range `[lo, hi)`.
+pub fn dim_range(
+    p: &str,
+    lo: fuzzyflow_ir::SymExpr,
+    hi: fuzzyflow_ir::SymExpr,
+) -> (&str, SymRange) {
+    (p, SymRange::span(lo, hi))
+}
+
+/// `Subset::at` over parsed index expressions — `at(&["i", "j+1"])`.
+pub fn at(indices: &[&str]) -> Subset {
+    Subset::at(indices.iter().map(|s| fuzzyflow_ir::sym(s)).collect())
+}
+
+/// Scalar (rank-0) subset.
+pub fn scalar() -> Subset {
+    Subset::new(vec![])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyflow_interp::{run, ArrayValue, ExecState};
+    use fuzzyflow_ir::{sym, DType, SdfgBuilder};
+
+    #[test]
+    fn map_stage_builds_working_kernels() {
+        // C[i] = A[i] + B[i]
+        let mut b = SdfgBuilder::new("vadd");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        b.array("C", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let bb = df.access("B");
+            let c = df.access("C");
+            map_stage(
+                df,
+                "add",
+                &[dim("i", sym("N"))],
+                Schedule::Parallel,
+                &[
+                    In::new(a, "A", at(&["i"]), "x"),
+                    In::new(bb, "B", at(&["i"]), "y"),
+                ],
+                Out::new(c, "C", at(&["i"])),
+                ScalarExpr::r("x").add(ScalarExpr::r("y")),
+            );
+        });
+        let p = b.build();
+        assert!(fuzzyflow_ir::validate(&p).is_ok(), "{:?}", fuzzyflow_ir::validate(&p));
+        let mut stx = ExecState::new();
+        stx.bind("N", 3);
+        stx.set_array("A", ArrayValue::from_f64(vec![3], &[1.0, 2.0, 3.0]));
+        stx.set_array("B", ArrayValue::from_f64(vec![3], &[10.0, 20.0, 30.0]));
+        run(&p, &mut stx).unwrap();
+        assert_eq!(stx.array("C").unwrap().to_f64_vec(), vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn map_stage_wcr_reduction() {
+        // s[0] += A[i]*A[i]
+        let mut b = SdfgBuilder::new("dot");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("s", DType::F64, &["1"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let s = df.access("s");
+            map_stage(
+                df,
+                "sq",
+                &[dim("i", sym("N"))],
+                Schedule::Parallel,
+                &[In::new(a, "A", at(&["i"]), "x")],
+                Out::new(s, "s", at(&["0"])).accumulate(Wcr::Sum),
+                ScalarExpr::r("x").mul(ScalarExpr::r("x")),
+            );
+        });
+        let p = b.build();
+        let mut stx = ExecState::new();
+        stx.bind("N", 4);
+        stx.set_array("A", ArrayValue::from_f64(vec![4], &[1.0, 2.0, 3.0, 4.0]));
+        run(&p, &mut stx).unwrap();
+        assert_eq!(stx.array("s").unwrap().get(0).as_f64(), 30.0);
+    }
+}

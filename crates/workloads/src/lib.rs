@@ -1,0 +1,20 @@
+//! Workload programs used by the FuzzyFlow evaluation (paper Sec. 6).
+//!
+//! Every workload is a parametric dataflow program built against the
+//! public IR builder, paired with default symbol bindings that keep bench
+//! runs laptop-sized while preserving the *shape* of the original
+//! applications (loop nests feeding tensor contractions, stencil sweeps,
+//! reductions, distributed collectives).
+
+pub mod attention;
+pub mod cloudsc;
+pub mod helpers;
+pub mod matmul_chain;
+pub mod mha;
+pub mod npbench;
+
+pub use attention::vanilla_attention;
+pub use cloudsc::cloudsc_like;
+pub use matmul_chain::matmul_chain;
+pub use mha::mha_encoder;
+pub use npbench::{suite, NamedWorkload};

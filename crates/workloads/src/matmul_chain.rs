@@ -1,0 +1,115 @@
+//! The running example of the paper (Fig. 2): a matrix chain
+//! multiplication `R = ((A · B) · C) · D` of four `N × N` matrices,
+//! written as three map-based GEMM loop nests over transient temporaries
+//! `U = A·B` and `V = U·C`.
+//!
+//! Tiling the *second* multiplication (`V = U·C`) is the transformation
+//! under test; the middle GEMM accumulates with WCR, which is exactly what
+//! makes the Fig. 2 off-by-one tiling bug observable (overlapped tiles
+//! double-accumulate).
+
+use crate::helpers::{at, dim, In, Out};
+use fuzzyflow_ir::{sym, DType, ScalarExpr, Schedule, Sdfg, SdfgBuilder, Wcr};
+
+/// Builds the matmul-chain program. Containers:
+/// inputs `A, B, C, D` (non-transient, `N×N`), temporaries `U, V`
+/// (transient), output `R` (non-transient).
+pub fn matmul_chain() -> Sdfg {
+    let mut b = SdfgBuilder::new("matmul_chain");
+    b.symbol("N");
+    for name in ["A", "B", "C", "D", "R"] {
+        b.array(name, DType::F64, &["N", "N"]);
+    }
+    b.transient("U", DType::F64, &["N", "N"]);
+    b.transient("V", DType::F64, &["N", "N"]);
+
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let bm = df.access("B");
+        let c = df.access("C");
+        let d = df.access("D");
+        let u = df.access("U");
+        let v = df.access("V");
+        let r = df.access("R");
+
+        let gemm = |df: &mut fuzzyflow_ir::DataflowBuilder,
+                    name: &str,
+                    lhs: (fuzzyflow_graph::NodeId, &str),
+                    rhs: (fuzzyflow_graph::NodeId, &str),
+                    out: (fuzzyflow_graph::NodeId, &str)| {
+            crate::helpers::map_stage(
+                df,
+                name,
+                &[
+                    dim("i", sym("N")),
+                    dim("j", sym("N")),
+                    dim("k", sym("N")),
+                ],
+                Schedule::Parallel,
+                &[
+                    In::new(lhs.0, lhs.1, at(&["i", "k"]), "x"),
+                    In::new(rhs.0, rhs.1, at(&["k", "j"]), "y"),
+                ],
+                Out::new(out.0, out.1, at(&["i", "j"])).accumulate(Wcr::Sum),
+                ScalarExpr::r("x").mul(ScalarExpr::r("y")),
+            )
+        };
+
+        gemm(df, "mm1", (a, "A"), (bm, "B"), (u, "U"));
+        gemm(df, "mm2", (u, "U"), (c, "C"), (v, "V"));
+        gemm(df, "mm3", (v, "V"), (d, "D"), (r, "R"));
+    });
+    b.build()
+}
+
+/// Default problem size (kept tiny; symbolic sizes generalize it).
+pub fn default_bindings() -> fuzzyflow_ir::Bindings {
+    fuzzyflow_ir::Bindings::from_pairs([("N", 12)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyflow_interp::{run, ArrayValue, ExecState};
+
+    #[test]
+    fn validates_and_computes_chain() {
+        let p = matmul_chain();
+        assert!(fuzzyflow_ir::validate(&p).is_ok(), "{:?}", fuzzyflow_ir::validate(&p));
+        let n = 3i64;
+        let mut st = ExecState::new();
+        st.bind("N", n);
+        // A = B = C = D = I  =>  R = I.
+        let mut eye = vec![0.0; (n * n) as usize];
+        for i in 0..n {
+            eye[(i * n + i) as usize] = 1.0;
+        }
+        for m in ["A", "B", "C", "D"] {
+            st.set_array(m, ArrayValue::from_f64(vec![n, n], &eye));
+        }
+        run(&p, &mut st).unwrap();
+        assert_eq!(st.array("R").unwrap().to_f64_vec(), eye);
+    }
+
+    #[test]
+    fn chain_is_associative_sanity() {
+        // With A=2I, B=3I, C=5I, D=7I: R = 210·I.
+        let p = matmul_chain();
+        let n = 2i64;
+        let mut st = ExecState::new();
+        st.bind("N", n);
+        let scaled_eye = |s: f64| {
+            let mut m = vec![0.0; (n * n) as usize];
+            for i in 0..n {
+                m[(i * n + i) as usize] = s;
+            }
+            m
+        };
+        for (m, s) in [("A", 2.0), ("B", 3.0), ("C", 5.0), ("D", 7.0)] {
+            st.set_array(m, ArrayValue::from_f64(vec![n, n], &scaled_eye(s)));
+        }
+        run(&p, &mut st).unwrap();
+        assert_eq!(st.array("R").unwrap().to_f64_vec(), scaled_eye(210.0));
+    }
+}

@@ -1,0 +1,296 @@
+//! Compound kernels with temporaries, staged pipelines, nested maps and
+//! symbol plumbing — the program shapes that exercise the fusion and
+//! state-machine simplification passes of Table 2 (the pure array kernels
+//! rarely contain them, just as most NPBench programs only exercise a
+//! subset of DaCe's transformations).
+
+use super::NamedWorkload;
+use crate::helpers::{at, dim, scalar, In, Out};
+use fuzzyflow_ir::{
+    sym, Bindings, DType, InterstateEdge, LibraryOp, Memlet, ScalarExpr, Schedule, SdfgBuilder,
+    Subset, SymExpr, SymRange, Tasklet, Wcr,
+};
+
+/// Scalar temporaries between tasklets: one dead (fusable) and one that a
+/// later state re-reads (fusing it is the Table-2 TaskletFusion bug).
+pub fn scalar_chain() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("scalar_chain");
+    b.scalar("x", DType::F64);
+    b.scalar("y", DType::F64);
+    b.transient_scalar("t_dead", DType::F64);
+    b.transient_scalar("t_live", DType::F64);
+    b.scalar("out1", DType::F64);
+    b.scalar("out2", DType::F64);
+    b.scalar("out3", DType::F64);
+    let st = b.start();
+    b.in_state(st, |df| {
+        // t_dead = x*2 ; out1 = t_dead + y   (safe to fuse)
+        let x = df.access("x");
+        let y = df.access("y");
+        let td = df.access("t_dead");
+        let o1 = df.access("out1");
+        let p1 = df.tasklet(Tasklet::simple(
+            "dbl",
+            vec!["a"],
+            "r",
+            ScalarExpr::r("a").mul(ScalarExpr::f64(2.0)),
+        ));
+        df.read(x, p1, Memlet::new("x", scalar()).to_conn("a"));
+        df.write(p1, td, Memlet::new("t_dead", scalar()).from_conn("r"));
+        let c1 = df.tasklet(Tasklet::simple(
+            "addy",
+            vec!["b", "c"],
+            "r",
+            ScalarExpr::r("b").add(ScalarExpr::r("c")),
+        ));
+        df.read(td, c1, Memlet::new("t_dead", scalar()).to_conn("b"));
+        df.read(y, c1, Memlet::new("y", scalar()).to_conn("c"));
+        df.write(c1, o1, Memlet::new("out1", scalar()).from_conn("r"));
+        // t_live = x+y ; out2 = t_live * 3   (t_live re-read later!)
+        let tl = df.access("t_live");
+        let o2 = df.access("out2");
+        let p2 = df.tasklet(Tasklet::simple(
+            "addxy",
+            vec!["a", "b"],
+            "r",
+            ScalarExpr::r("a").add(ScalarExpr::r("b")),
+        ));
+        df.read(x, p2, Memlet::new("x", scalar()).to_conn("a"));
+        df.read(y, p2, Memlet::new("y", scalar()).to_conn("b"));
+        df.write(p2, tl, Memlet::new("t_live", scalar()).from_conn("r"));
+        let c2 = df.tasklet(Tasklet::simple(
+            "tri",
+            vec!["v"],
+            "r",
+            ScalarExpr::r("v").mul(ScalarExpr::f64(3.0)),
+        ));
+        df.read(tl, c2, Memlet::new("t_live", scalar()).to_conn("v"));
+        df.write(c2, o2, Memlet::new("out2", scalar()).from_conn("r"));
+    });
+    let st2 = b.add_state_after(st, "reuse");
+    b.in_state(st2, |df| {
+        let tl = df.access("t_live");
+        let o3 = df.access("out3");
+        let t = df.tasklet(Tasklet::simple(
+            "sq",
+            vec!["v"],
+            "r",
+            ScalarExpr::r("v").mul(ScalarExpr::r("v")),
+        ));
+        df.read(tl, t, Memlet::new("t_live", scalar()).to_conn("v"));
+        df.write(t, o3, Memlet::new("out3", scalar()).from_conn("r"));
+    });
+    NamedWorkload::new("scalar_chain", b.build(), Bindings::new())
+}
+
+/// Two identical-range maps communicating through a transient
+/// (MapFusion / BufferTiling site), followed by a consumer.
+pub fn staged_pipeline() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("staged_pipeline");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.transient("stage", DType::F64, &["N"]);
+    b.array("B", DType::F64, &["N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let s = df.access("stage");
+        let out = df.access("B");
+        crate::helpers::map_stage(
+            df,
+            "square",
+            &[dim("i", sym("N"))],
+            Schedule::Parallel,
+            &[In::new(a, "A", at(&["i"]), "v")],
+            Out::new(s, "stage", at(&["i"])),
+            ScalarExpr::r("v").mul(ScalarExpr::r("v")),
+        );
+        crate::helpers::map_stage(
+            df,
+            "offset",
+            &[dim("i", sym("N"))],
+            Schedule::Parallel,
+            &[In::new(s, "stage", at(&["i"]), "v")],
+            Out::new(out, "B", at(&["i"])),
+            ScalarExpr::r("v").add(ScalarExpr::f64(1.0)),
+        );
+    });
+    NamedWorkload::new("staged_pipeline", b.build(), Bindings::from_pairs([("N", 12)]))
+}
+
+/// A directly nested map pair (MapCollapse site).
+pub fn nested_scale() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("nested_scale");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N", "N"]);
+    b.array("B", DType::F64, &["N", "N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let out = df.access("B");
+        let outer = df.map(
+            &["i"],
+            vec![SymRange::full(sym("N"))],
+            Schedule::Parallel,
+            |body| {
+                body.map(
+                    &["j"],
+                    vec![SymRange::full(sym("N"))],
+                    Schedule::Parallel,
+                    |inner| {
+                        let a = inner.access("A");
+                        let o = inner.access("B");
+                        let t = inner.tasklet(Tasklet::simple(
+                            "scale",
+                            vec!["v"],
+                            "r",
+                            ScalarExpr::r("v").mul(ScalarExpr::f64(0.5)),
+                        ));
+                        inner.read(a, t, Memlet::new("A", at(&["i", "j"])).to_conn("v"));
+                        inner.write(t, o, Memlet::new("B", at(&["i", "j"])).from_conn("r"));
+                    },
+                );
+            },
+        );
+        df.auto_wire(outer, &[a], &[out]);
+    });
+    NamedWorkload::new("nested_scale", b.build(), Bindings::from_pairs([("N", 8)]))
+}
+
+/// Element-wise map feeding a Reduce library node through a transient
+/// buffer (MapReduceFusion site).
+pub fn squared_sum() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("squared_sum");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.transient("buf", DType::F64, &["N"]);
+    b.array("s", DType::F64, &["1"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let buf = df.access("buf");
+        let s = df.access("s");
+        crate::helpers::map_stage(
+            df,
+            "sq",
+            &[dim("i", sym("N"))],
+            Schedule::Parallel,
+            &[In::new(a, "A", at(&["i"]), "v")],
+            Out::new(buf, "buf", at(&["i"])),
+            ScalarExpr::r("v").mul(ScalarExpr::r("v")),
+        );
+        let red = df.library(
+            "sum",
+            LibraryOp::Reduce {
+                op: Wcr::Sum,
+                axis: 0,
+            },
+        );
+        df.read(buf, red, Memlet::new("buf", Subset::full(&[sym("N")])).to_conn("in"));
+        df.write(
+            red,
+            s,
+            Memlet::new("s", Subset::at(vec![SymExpr::Int(0)])).from_conn("out"),
+        );
+    });
+    NamedWorkload::new("squared_sum", b.build(), Bindings::from_pairs([("N", 12)]))
+}
+
+/// Symbol plumbing on inter-state edges: a constant offset, an alias used
+/// across *two* states (SymbolAliasPromotion's bug trigger), plus two
+/// independent states (StateFusion site).
+pub fn symbol_plumbing() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("symbol_plumbing");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &["N"]);
+    b.array("C", DType::F64, &["N"]);
+    let st1 = b.add_state("first");
+    // start --[k = 2, m = k? no: m aliases N]--> st1
+    b.edge(
+        b.start(),
+        st1,
+        InterstateEdge::always()
+            .assign("off", SymExpr::Int(2))
+            .assign("m", SymExpr::sym("N")),
+    );
+    let fill = |df: &mut fuzzyflow_ir::DataflowBuilder, src: &'static str, dst: &'static str| {
+        let a = df.access(src);
+        let o = df.access(dst);
+        let t = df.tasklet(Tasklet::simple("cp", vec!["v"], "r", ScalarExpr::r("v")));
+        df.read(
+            a,
+            t,
+            Memlet::new(src, Subset::at(vec![sym("m") - sym("off")])).to_conn("v"),
+        );
+        df.write(
+            t,
+            o,
+            Memlet::new(dst, Subset::at(vec![SymExpr::Int(0)])).from_conn("r"),
+        );
+    };
+    b.in_state(st1, move |df| fill(df, "A", "B"));
+    // A second state also using the alias `m` (rename-only-next-state bug).
+    let st2 = b.add_state_after(st1, "second");
+    b.in_state(st2, move |df| fill(df, "A", "C"));
+    NamedWorkload::new(
+        "symbol_plumbing",
+        b.build(),
+        Bindings::from_pairs([("N", 8)]),
+    )
+}
+
+/// Two consecutive states with disjoint container footprints
+/// (StateFusion site — fusable without interference).
+pub fn independent_updates() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("independent_updates");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &["N"]);
+    b.array("outA", DType::F64, &["N"]);
+    b.array("outB", DType::F64, &["N"]);
+    let st2 = b.add_state_after(b.start(), "second");
+    b.in_state(b.start(), |df| {
+        let a = df.access("A");
+        let o = df.access("outA");
+        crate::helpers::map_stage(
+            df,
+            "scaleA",
+            &[dim("i", sym("N"))],
+            Schedule::Parallel,
+            &[In::new(a, "A", at(&["i"]), "v")],
+            Out::new(o, "outA", at(&["i"])),
+            ScalarExpr::r("v").mul(ScalarExpr::f64(2.0)),
+        );
+    });
+    b.in_state(st2, |df| {
+        let a = df.access("B");
+        let o = df.access("outB");
+        crate::helpers::map_stage(
+            df,
+            "scaleB",
+            &[dim("i", sym("N"))],
+            Schedule::Parallel,
+            &[In::new(a, "B", at(&["i"]), "v")],
+            Out::new(o, "outB", at(&["i"])),
+            ScalarExpr::r("v").mul(ScalarExpr::f64(3.0)),
+        );
+    });
+    NamedWorkload::new(
+        "independent_updates",
+        b.build(),
+        Bindings::from_pairs([("N", 10)]),
+    )
+}
+
+/// All compound kernels.
+pub fn all() -> Vec<NamedWorkload> {
+    vec![
+        scalar_chain(),
+        staged_pipeline(),
+        nested_scale(),
+        squared_sum(),
+        symbol_plumbing(),
+        independent_updates(),
+    ]
+}

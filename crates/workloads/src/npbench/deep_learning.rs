@@ -1,0 +1,239 @@
+//! Deep-learning primitive kernels (as in NPBench's ML category).
+
+use super::NamedWorkload;
+use crate::helpers::{at, dim, In, Out};
+use fuzzyflow_ir::{
+    sym, Bindings, DType, LibraryOp, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, Wcr,
+};
+
+/// Row-wise numerically stable softmax via the library node.
+pub fn softmax() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("softmax");
+    b.symbol("N");
+    b.symbol("M");
+    b.array("x", DType::F64, &["N", "M"]);
+    b.array("y", DType::F64, &["N", "M"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let x = df.access("x");
+        let y = df.access("y");
+        let sm = df.library("softmax", LibraryOp::Softmax);
+        df.read(
+            x,
+            sm,
+            Memlet::new("x", Subset::full(&[sym("N"), sym("M")])).to_conn("in"),
+        );
+        df.write(
+            sm,
+            y,
+            Memlet::new("y", Subset::full(&[sym("N"), sym("M")])).from_conn("out"),
+        );
+    });
+    NamedWorkload::new(
+        "softmax",
+        b.build(),
+        Bindings::from_pairs([("N", 8), ("M", 10)]),
+    )
+}
+
+/// Two-layer perceptron with ReLU activations:
+/// `h = relu(x@W1)`, `out = relu(h@W2)`.
+pub fn mlp() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("mlp");
+    b.symbol("B");
+    b.symbol("I");
+    b.symbol("H");
+    b.symbol("O");
+    b.array("x", DType::F64, &["B", "I"]);
+    b.array("W1", DType::F64, &["I", "H"]);
+    b.array("W2", DType::F64, &["H", "O"]);
+    b.array("out", DType::F64, &["B", "O"]);
+    b.transient("h_pre", DType::F64, &["B", "H"]);
+    b.transient("h", DType::F64, &["B", "H"]);
+    b.transient("o_pre", DType::F64, &["B", "O"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let x = df.access("x");
+        let w1 = df.access("W1");
+        let hpre = df.access("h_pre");
+        crate::helpers::map_stage(
+            df,
+            "fc1",
+            &[dim("b", sym("B")), dim("j", sym("H")), dim("k", sym("I"))],
+            Schedule::Parallel,
+            &[
+                In::new(x, "x", at(&["b", "k"]), "xv"),
+                In::new(w1, "W1", at(&["k", "j"]), "w"),
+            ],
+            Out::new(hpre, "h_pre", at(&["b", "j"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("xv").mul(ScalarExpr::r("w")),
+        );
+        let h = df.access("h");
+        crate::helpers::map_stage(
+            df,
+            "relu1",
+            &[dim("b", sym("B")), dim("j", sym("H"))],
+            Schedule::Parallel,
+            &[In::new(hpre, "h_pre", at(&["b", "j"]), "v")],
+            Out::new(h, "h", at(&["b", "j"])),
+            ScalarExpr::r("v").max(ScalarExpr::f64(0.0)),
+        );
+        let w2 = df.access("W2");
+        let opre = df.access("o_pre");
+        crate::helpers::map_stage(
+            df,
+            "fc2",
+            &[dim("b", sym("B")), dim("j", sym("O")), dim("k", sym("H"))],
+            Schedule::Parallel,
+            &[
+                In::new(h, "h", at(&["b", "k"]), "xv"),
+                In::new(w2, "W2", at(&["k", "j"]), "w"),
+            ],
+            Out::new(opre, "o_pre", at(&["b", "j"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("xv").mul(ScalarExpr::r("w")),
+        );
+        let out = df.access("out");
+        crate::helpers::map_stage(
+            df,
+            "relu2",
+            &[dim("b", sym("B")), dim("j", sym("O"))],
+            Schedule::Parallel,
+            &[In::new(opre, "o_pre", at(&["b", "j"]), "v")],
+            Out::new(out, "out", at(&["b", "j"])),
+            ScalarExpr::r("v").max(ScalarExpr::f64(0.0)),
+        );
+    });
+    NamedWorkload::new(
+        "mlp",
+        b.build(),
+        Bindings::from_pairs([("B", 4), ("I", 6), ("H", 8), ("O", 5)]),
+    )
+}
+
+/// Direct 2-D convolution (valid padding).
+pub fn conv2d() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("conv2d");
+    b.symbol("H");
+    b.symbol("W");
+    b.symbol("K");
+    b.array("img", DType::F64, &["H", "W"]);
+    b.array("kernel", DType::F64, &["K", "K"]);
+    b.array("out", DType::F64, &["H - K + 1", "W - K + 1"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let img = df.access("img");
+        let ker = df.access("kernel");
+        let out = df.access("out");
+        crate::helpers::map_stage(
+            df,
+            "conv",
+            &[
+                dim("i", sym("H - K + 1")),
+                dim("j", sym("W - K + 1")),
+                dim("ki", sym("K")),
+                dim("kj", sym("K")),
+            ],
+            Schedule::Parallel,
+            &[
+                In::new(img, "img", at(&["i + ki", "j + kj"]), "p"),
+                In::new(ker, "kernel", at(&["ki", "kj"]), "w"),
+            ],
+            Out::new(out, "out", at(&["i", "j"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("p").mul(ScalarExpr::r("w")),
+        );
+    });
+    NamedWorkload::new(
+        "conv2d",
+        b.build(),
+        Bindings::from_pairs([("H", 10), ("W", 10), ("K", 3)]),
+    )
+}
+
+/// Residual block: `out = relu(conv(x) + x)` (1-D, same padding interior).
+pub fn resnet_block() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("resnet_block");
+    b.symbol("N");
+    b.symbol("K");
+    b.array("x", DType::F64, &["N"]);
+    b.array("w", DType::F64, &["K"]);
+    b.array("out", DType::F64, &["N"]);
+    b.transient("conv", DType::F64, &["N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let x = df.access("x");
+        let w = df.access("w");
+        let conv = df.access("conv");
+        crate::helpers::map_stage(
+            df,
+            "conv1d",
+            &[dim("i", sym("N - K + 1")), dim("k", sym("K"))],
+            Schedule::Parallel,
+            &[
+                In::new(x, "x", at(&["i + k"]), "p"),
+                In::new(w, "w", at(&["k"]), "wv"),
+            ],
+            Out::new(conv, "conv", at(&["i"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("p").mul(ScalarExpr::r("wv")),
+        );
+        let out = df.access("out");
+        crate::helpers::map_stage(
+            df,
+            "residual_relu",
+            &[dim("i", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(conv, "conv", at(&["i"]), "c"),
+                In::new(x, "x", at(&["i"]), "xv"),
+            ],
+            Out::new(out, "out", at(&["i"])),
+            ScalarExpr::r("c").add(ScalarExpr::r("xv")).max(ScalarExpr::f64(0.0)),
+        );
+    });
+    NamedWorkload::new(
+        "resnet_block",
+        b.build(),
+        Bindings::from_pairs([("N", 12), ("K", 3)]),
+    )
+}
+
+/// go_fast (numba demo): `out = a + trace(tanh(diag(a)))`.
+pub fn go_fast() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("go_fast");
+    b.symbol("N");
+    b.array("a", DType::F64, &["N", "N"]);
+    b.array("out", DType::F64, &["N", "N"]);
+    b.transient("trace", DType::F64, &["1"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("a");
+        let tr = df.access("trace");
+        crate::helpers::map_stage(
+            df,
+            "tanh_trace",
+            &[dim("i", sym("N"))],
+            Schedule::Parallel,
+            &[In::new(a, "a", at(&["i", "i"]), "d")],
+            Out::new(tr, "trace", at(&["0"])).accumulate(Wcr::Sum),
+            ScalarExpr::Un(fuzzyflow_ir::UnOp::Tanh, Box::new(ScalarExpr::r("d"))),
+        );
+        let out = df.access("out");
+        crate::helpers::map_stage(
+            df,
+            "broadcast_add",
+            &[dim("i", sym("N")), dim("j", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(a, "a", at(&["i", "j"]), "v"),
+                In::new(tr, "trace", at(&["0"]), "t"),
+            ],
+            Out::new(out, "out", at(&["i", "j"])),
+            ScalarExpr::r("v").add(ScalarExpr::r("t")),
+        );
+    });
+    NamedWorkload::new("go_fast", b.build(), Bindings::from_pairs([("N", 10)]))
+}
+
+/// All deep-learning kernels.
+pub fn all() -> Vec<NamedWorkload> {
+    vec![softmax(), mlp(), conv2d(), resnet_block(), go_fast()]
+}

@@ -1,0 +1,717 @@
+//! Dense linear-algebra kernels (polybench heritage, as in NPBench).
+
+use super::NamedWorkload;
+use crate::helpers::{at, dim, dim_range, scalar, In, Out};
+use fuzzyflow_ir::{
+    sym, Bindings, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymExpr, Tasklet,
+    Wcr,
+};
+
+fn n(v: i64) -> Bindings {
+    Bindings::from_pairs([("N", v)])
+}
+
+fn nm(nv: i64, mv: i64) -> Bindings {
+    Bindings::from_pairs([("N", nv), ("M", mv)])
+}
+
+/// `C = alpha·A@B + beta·C`.
+pub fn gemm() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("gemm");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N", "N"]);
+    b.array("B", DType::F64, &["N", "N"]);
+    b.array("C", DType::F64, &["N", "N"]);
+    b.scalar("alpha", DType::F64);
+    b.scalar("beta", DType::F64);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let c_in = df.access("C");
+        let beta = df.access("beta");
+        let c_scaled = df.access("C");
+        crate::helpers::map_stage(
+            df,
+            "scale_c",
+            &[dim("i", sym("N")), dim("j", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(c_in, "C", at(&["i", "j"]), "c"),
+                In::new(beta, "beta", scalar(), "b"),
+            ],
+            Out::new(c_scaled, "C", at(&["i", "j"])),
+            ScalarExpr::r("c").mul(ScalarExpr::r("b")),
+        );
+        let a = df.access("A");
+        let bb = df.access("B");
+        let alpha = df.access("alpha");
+        let c_out = df.access("C");
+        let m = df.map(
+            &["i", "j", "k"],
+            vec![
+                fuzzyflow_ir::SymRange::full(sym("N")),
+                fuzzyflow_ir::SymRange::full(sym("N")),
+                fuzzyflow_ir::SymRange::full(sym("N")),
+            ],
+            Schedule::Parallel,
+            |body| {
+                let a = body.access("A");
+                let bb = body.access("B");
+                let al = body.access("alpha");
+                let c = body.access("C");
+                let t = body.tasklet(Tasklet::simple(
+                    "fma",
+                    vec!["x", "y", "al"],
+                    "o",
+                    ScalarExpr::r("al").mul(ScalarExpr::r("x").mul(ScalarExpr::r("y"))),
+                ));
+                body.read(a, t, Memlet::new("A", at(&["i", "k"])).to_conn("x"));
+                body.read(bb, t, Memlet::new("B", at(&["k", "j"])).to_conn("y"));
+                body.read(al, t, Memlet::new("alpha", scalar()).to_conn("al"));
+                body.write(
+                    t,
+                    c,
+                    Memlet::new("C", at(&["i", "j"]))
+                        .from_conn("o")
+                        .with_wcr(Wcr::Sum),
+                );
+            },
+        );
+        // Ordering: the accumulation reads nothing from the scaled C, but
+        // must run after the scaling — connect through the access chain.
+        df.connect(
+            c_scaled,
+            m,
+            Memlet::new("C", Subset::full(&[sym("N"), sym("N")])),
+        );
+        df.auto_wire(m, &[a, bb, alpha], &[c_out]);
+    });
+    NamedWorkload::new("gemm", b.build(), n(10))
+}
+
+/// Helper: adds a `dst[i,j] += lhs[i,k]·rhs[k,j]` GEMM map (all `N×N`).
+fn gemm_stage(
+    df: &mut fuzzyflow_ir::DataflowBuilder,
+    name: &str,
+    lhs: (fuzzyflow_graph::NodeId, &str),
+    rhs: (fuzzyflow_graph::NodeId, &str),
+    dst: (fuzzyflow_graph::NodeId, &str),
+) {
+    crate::helpers::map_stage(
+        df,
+        name,
+        &[dim("i", sym("N")), dim("j", sym("N")), dim("k", sym("N"))],
+        Schedule::Parallel,
+        &[
+            In::new(lhs.0, lhs.1, at(&["i", "k"]), "x"),
+            In::new(rhs.0, rhs.1, at(&["k", "j"]), "y"),
+        ],
+        Out::new(dst.0, dst.1, at(&["i", "j"])).accumulate(Wcr::Sum),
+        ScalarExpr::r("x").mul(ScalarExpr::r("y")),
+    );
+}
+
+/// `D = (alpha·A@B) @ C + beta·D` (2mm), flattened to two GEMM stages.
+pub fn k2mm() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("k2mm");
+    b.symbol("N");
+    for x in ["A", "B", "C", "D"] {
+        b.array(x, DType::F64, &["N", "N"]);
+    }
+    b.transient("tmp", DType::F64, &["N", "N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let bb = df.access("B");
+        let c = df.access("C");
+        let d = df.access("D");
+        let tmp = df.access("tmp");
+        gemm_stage(df, "mm1", (a, "A"), (bb, "B"), (tmp, "tmp"));
+        gemm_stage(df, "mm2", (tmp, "tmp"), (c, "C"), (d, "D"));
+    });
+    NamedWorkload::new("k2mm", b.build(), n(10))
+}
+
+/// `G = (A@B) @ (C@D)` (3mm).
+pub fn k3mm() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("k3mm");
+    b.symbol("N");
+    for x in ["A", "B", "C", "D", "G"] {
+        b.array(x, DType::F64, &["N", "N"]);
+    }
+    b.transient("E", DType::F64, &["N", "N"]);
+    b.transient("F", DType::F64, &["N", "N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let bb = df.access("B");
+        let c = df.access("C");
+        let d = df.access("D");
+        let e = df.access("E");
+        let f = df.access("F");
+        let g = df.access("G");
+        gemm_stage(df, "mm1", (a, "A"), (bb, "B"), (e, "E"));
+        gemm_stage(df, "mm2", (c, "C"), (d, "D"), (f, "F"));
+        gemm_stage(df, "mm3", (e, "E"), (f, "F"), (g, "G"));
+    });
+    NamedWorkload::new("k3mm", b.build(), n(8))
+}
+
+/// `y = A^T @ (A @ x)`.
+pub fn atax() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("atax");
+    b.symbol("N");
+    b.symbol("M");
+    b.array("A", DType::F64, &["N", "M"]);
+    b.array("x", DType::F64, &["M"]);
+    b.array("y", DType::F64, &["M"]);
+    b.transient("tmp", DType::F64, &["N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let x = df.access("x");
+        let tmp = df.access("tmp");
+        let y = df.access("y");
+        crate::helpers::map_stage(
+            df,
+            "ax",
+            &[dim("i", sym("N")), dim("j", sym("M"))],
+            Schedule::Parallel,
+            &[
+                In::new(a, "A", at(&["i", "j"]), "a"),
+                In::new(x, "x", at(&["j"]), "v"),
+            ],
+            Out::new(tmp, "tmp", at(&["i"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("a").mul(ScalarExpr::r("v")),
+        );
+        crate::helpers::map_stage(
+            df,
+            "aty",
+            &[dim("i", sym("N")), dim("j", sym("M"))],
+            Schedule::Parallel,
+            &[
+                In::new(a, "A", at(&["i", "j"]), "a"),
+                In::new(tmp, "tmp", at(&["i"]), "t"),
+            ],
+            Out::new(y, "y", at(&["j"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("a").mul(ScalarExpr::r("t")),
+        );
+    });
+    NamedWorkload::new("atax", b.build(), nm(10, 12))
+}
+
+/// `s = r @ A`, `q = A @ p`.
+pub fn bicg() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("bicg");
+    b.symbol("N");
+    b.symbol("M");
+    b.array("A", DType::F64, &["N", "M"]);
+    b.array("r", DType::F64, &["N"]);
+    b.array("p", DType::F64, &["M"]);
+    b.array("s", DType::F64, &["M"]);
+    b.array("q", DType::F64, &["N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let r = df.access("r");
+        let p = df.access("p");
+        let s = df.access("s");
+        let q = df.access("q");
+        crate::helpers::map_stage(
+            df,
+            "s_ra",
+            &[dim("i", sym("N")), dim("j", sym("M"))],
+            Schedule::Parallel,
+            &[
+                In::new(a, "A", at(&["i", "j"]), "a"),
+                In::new(r, "r", at(&["i"]), "v"),
+            ],
+            Out::new(s, "s", at(&["j"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("a").mul(ScalarExpr::r("v")),
+        );
+        crate::helpers::map_stage(
+            df,
+            "q_ap",
+            &[dim("i", sym("N")), dim("j", sym("M"))],
+            Schedule::Parallel,
+            &[
+                In::new(a, "A", at(&["i", "j"]), "a"),
+                In::new(p, "p", at(&["j"]), "v"),
+            ],
+            Out::new(q, "q", at(&["i"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("a").mul(ScalarExpr::r("v")),
+        );
+    });
+    NamedWorkload::new("bicg", b.build(), nm(10, 12))
+}
+
+/// `x1 += A @ y1`, `x2 += A^T @ y2`.
+pub fn mvt() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("mvt");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N", "N"]);
+    for x in ["x1", "x2", "y1", "y2"] {
+        b.array(x, DType::F64, &["N"]);
+    }
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let y1 = df.access("y1");
+        let y2 = df.access("y2");
+        let x1 = df.access("x1");
+        let x2 = df.access("x2");
+        crate::helpers::map_stage(
+            df,
+            "x1_acc",
+            &[dim("i", sym("N")), dim("j", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(a, "A", at(&["i", "j"]), "a"),
+                In::new(y1, "y1", at(&["j"]), "v"),
+            ],
+            Out::new(x1, "x1", at(&["i"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("a").mul(ScalarExpr::r("v")),
+        );
+        crate::helpers::map_stage(
+            df,
+            "x2_acc",
+            &[dim("i", sym("N")), dim("j", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(a, "A", at(&["j", "i"]), "a"),
+                In::new(y2, "y2", at(&["j"]), "v"),
+            ],
+            Out::new(x2, "x2", at(&["i"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("a").mul(ScalarExpr::r("v")),
+        );
+    });
+    NamedWorkload::new("mvt", b.build(), n(12))
+}
+
+/// gemver: rank-2 update plus two matrix-vector products.
+pub fn gemver() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("gemver");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N", "N"]);
+    for x in ["u1", "v1", "u2", "v2", "y", "z", "x", "w"] {
+        b.array(x, DType::F64, &["N"]);
+    }
+    b.scalar("alpha", DType::F64);
+    b.scalar("beta", DType::F64);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a_in = df.access("A");
+        let u1 = df.access("u1");
+        let v1 = df.access("v1");
+        let u2 = df.access("u2");
+        let v2 = df.access("v2");
+        let a_up = df.access("A");
+        // A += u1 v1^T + u2 v2^T
+        crate::helpers::map_stage(
+            df,
+            "rank2",
+            &[dim("i", sym("N")), dim("j", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(a_in, "A", at(&["i", "j"]), "a"),
+                In::new(u1, "u1", at(&["i"]), "p"),
+                In::new(v1, "v1", at(&["j"]), "q"),
+                In::new(u2, "u2", at(&["i"]), "r"),
+                In::new(v2, "v2", at(&["j"]), "s"),
+            ],
+            Out::new(a_up, "A", at(&["i", "j"])),
+            ScalarExpr::r("a")
+                .add(ScalarExpr::r("p").mul(ScalarExpr::r("q")))
+                .add(ScalarExpr::r("r").mul(ScalarExpr::r("s"))),
+        );
+        // x += beta * A^T y, then x += z
+        let beta = df.access("beta");
+        let y = df.access("y");
+        let x1 = df.access("x");
+        crate::helpers::map_stage(
+            df,
+            "xacc",
+            &[dim("i", sym("N")), dim("j", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(a_up, "A", at(&["j", "i"]), "a"),
+                In::new(y, "y", at(&["j"]), "v"),
+                In::new(beta, "beta", scalar(), "b"),
+            ],
+            Out::new(x1, "x", at(&["i"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("b").mul(ScalarExpr::r("a").mul(ScalarExpr::r("v"))),
+        );
+        let z = df.access("z");
+        let x2 = df.access("x");
+        crate::helpers::map_stage(
+            df,
+            "xz",
+            &[dim("i", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(x1, "x", at(&["i"]), "xv"),
+                In::new(z, "z", at(&["i"]), "zv"),
+            ],
+            Out::new(x2, "x", at(&["i"])),
+            ScalarExpr::r("xv").add(ScalarExpr::r("zv")),
+        );
+        // w += alpha * A x
+        let alpha = df.access("alpha");
+        let w = df.access("w");
+        crate::helpers::map_stage(
+            df,
+            "wacc",
+            &[dim("i", sym("N")), dim("j", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(a_up, "A", at(&["i", "j"]), "a"),
+                In::new(x2, "x", at(&["j"]), "v"),
+                In::new(alpha, "alpha", scalar(), "al"),
+            ],
+            Out::new(w, "w", at(&["i"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("al").mul(ScalarExpr::r("a").mul(ScalarExpr::r("v"))),
+        );
+    });
+    NamedWorkload::new("gemver", b.build(), n(10))
+}
+
+/// `y = alpha·A@x + beta·B@x`.
+pub fn gesummv() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("gesummv");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N", "N"]);
+    b.array("B", DType::F64, &["N", "N"]);
+    b.array("x", DType::F64, &["N"]);
+    b.array("y", DType::F64, &["N"]);
+    b.transient("tmp", DType::F64, &["N"]);
+    b.scalar("alpha", DType::F64);
+    b.scalar("beta", DType::F64);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let bb = df.access("B");
+        let x = df.access("x");
+        let tmp = df.access("tmp");
+        let y = df.access("y");
+        crate::helpers::map_stage(
+            df,
+            "ax",
+            &[dim("i", sym("N")), dim("j", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(a, "A", at(&["i", "j"]), "a"),
+                In::new(x, "x", at(&["j"]), "v"),
+            ],
+            Out::new(tmp, "tmp", at(&["i"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("a").mul(ScalarExpr::r("v")),
+        );
+        crate::helpers::map_stage(
+            df,
+            "bx",
+            &[dim("i", sym("N")), dim("j", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(bb, "B", at(&["i", "j"]), "a"),
+                In::new(x, "x", at(&["j"]), "v"),
+            ],
+            Out::new(y, "y", at(&["i"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("a").mul(ScalarExpr::r("v")),
+        );
+        let alpha = df.access("alpha");
+        let beta = df.access("beta");
+        let y2 = df.access("y");
+        crate::helpers::map_stage(
+            df,
+            "combine",
+            &[dim("i", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(tmp, "tmp", at(&["i"]), "t"),
+                In::new(y, "y", at(&["i"]), "yb"),
+                In::new(alpha, "alpha", scalar(), "al"),
+                In::new(beta, "beta", scalar(), "be"),
+            ],
+            Out::new(y2, "y", at(&["i"])),
+            ScalarExpr::r("al")
+                .mul(ScalarExpr::r("t"))
+                .add(ScalarExpr::r("be").mul(ScalarExpr::r("yb"))),
+        );
+    });
+    NamedWorkload::new("gesummv", b.build(), n(12))
+}
+
+/// `C = alpha·A@A^T + beta·C` (syrk).
+pub fn syrk() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("syrk");
+    b.symbol("N");
+    b.symbol("M");
+    b.array("A", DType::F64, &["N", "M"]);
+    b.array("C", DType::F64, &["N", "N"]);
+    b.scalar("alpha", DType::F64);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let alpha = df.access("alpha");
+        let c = df.access("C");
+        crate::helpers::map_stage(
+            df,
+            "syrk",
+            &[dim("i", sym("N")), dim("j", sym("N")), dim("k", sym("M"))],
+            Schedule::Parallel,
+            &[
+                In::new(a, "A", at(&["i", "k"]), "x"),
+                In::new(a, "A", at(&["j", "k"]), "y"),
+                In::new(alpha, "alpha", scalar(), "al"),
+            ],
+            Out::new(c, "C", at(&["i", "j"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("al").mul(ScalarExpr::r("x").mul(ScalarExpr::r("y"))),
+        );
+    });
+    NamedWorkload::new("syrk", b.build(), nm(10, 8))
+}
+
+/// `C += alpha·(A@B^T + B@A^T)` (syr2k).
+pub fn syr2k() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("syr2k");
+    b.symbol("N");
+    b.symbol("M");
+    b.array("A", DType::F64, &["N", "M"]);
+    b.array("B", DType::F64, &["N", "M"]);
+    b.array("C", DType::F64, &["N", "N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let bb = df.access("B");
+        let c = df.access("C");
+        crate::helpers::map_stage(
+            df,
+            "syr2k",
+            &[dim("i", sym("N")), dim("j", sym("N")), dim("k", sym("M"))],
+            Schedule::Parallel,
+            &[
+                In::new(a, "A", at(&["i", "k"]), "aik"),
+                In::new(bb, "B", at(&["j", "k"]), "bjk"),
+                In::new(bb, "B", at(&["i", "k"]), "bik"),
+                In::new(a, "A", at(&["j", "k"]), "ajk"),
+            ],
+            Out::new(c, "C", at(&["i", "j"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("aik")
+                .mul(ScalarExpr::r("bjk"))
+                .add(ScalarExpr::r("bik").mul(ScalarExpr::r("ajk"))),
+        );
+    });
+    NamedWorkload::new("syr2k", b.build(), nm(8, 8))
+}
+
+/// `C = A@B + beta·C` with symmetric `A` (symm, simplified dense form).
+pub fn symm() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("symm");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N", "N"]);
+    b.array("B", DType::F64, &["N", "N"]);
+    b.array("C", DType::F64, &["N", "N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let bb = df.access("B");
+        let c = df.access("C");
+        gemm_stage(df, "symm_mm", (a, "A"), (bb, "B"), (c, "C"));
+    });
+    NamedWorkload::new("symm", b.build(), n(10))
+}
+
+/// Triangular matrix multiplication: `B[i,j] += Σ_{k>i} A[k,i]·B[k,j]`.
+pub fn trmm() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("trmm");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N", "N"]);
+    b.array("B", DType::F64, &["N", "N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let b_in = df.access("B");
+        let b_out = df.access("B");
+        crate::helpers::map_stage(
+            df,
+            "trmm",
+            &[
+                dim("i", sym("N")),
+                dim("j", sym("N")),
+                dim_range("k", sym("i") + SymExpr::Int(1), sym("N")),
+            ],
+            Schedule::Sequential,
+            &[
+                In::new(a, "A", at(&["k", "i"]), "a"),
+                In::new(b_in, "B", at(&["k", "j"]), "b"),
+            ],
+            Out::new(b_out, "B", at(&["i", "j"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("a").mul(ScalarExpr::r("b")),
+        );
+    });
+    NamedWorkload::new("trmm", b.build(), n(8))
+}
+
+/// doitgen: `A[r,q,p] = Σ_s A[r,q,s]·C4[s,p]`.
+pub fn doitgen() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("doitgen");
+    b.symbol("R");
+    b.symbol("Q");
+    b.symbol("P");
+    b.array("A", DType::F64, &["R", "Q", "P"]);
+    b.array("C4", DType::F64, &["P", "P"]);
+    b.transient("sum", DType::F64, &["R", "Q", "P"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a_in = df.access("A");
+        let c4 = df.access("C4");
+        let s = df.access("sum");
+        let a_out = df.access("A");
+        crate::helpers::map_stage(
+            df,
+            "contract",
+            &[
+                dim("r", sym("R")),
+                dim("q", sym("Q")),
+                dim("p", sym("P")),
+                dim("s", sym("P")),
+            ],
+            Schedule::Parallel,
+            &[
+                In::new(a_in, "A", at(&["r", "q", "s"]), "a"),
+                In::new(c4, "C4", at(&["s", "p"]), "c"),
+            ],
+            Out::new(s, "sum", at(&["r", "q", "p"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("a").mul(ScalarExpr::r("c")),
+        );
+        crate::helpers::map_stage(
+            df,
+            "writeback",
+            &[dim("r", sym("R")), dim("q", sym("Q")), dim("p", sym("P"))],
+            Schedule::Parallel,
+            &[In::new(s, "sum", at(&["r", "q", "p"]), "v")],
+            Out::new(a_out, "A", at(&["r", "q", "p"])),
+            ScalarExpr::r("v"),
+        );
+    });
+    NamedWorkload::new(
+        "doitgen",
+        b.build(),
+        Bindings::from_pairs([("R", 4), ("Q", 4), ("P", 6)]),
+    )
+}
+
+/// Forward substitution `L x = b` (trisolv), loop over rows.
+pub fn trisolv() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("trisolv");
+    b.symbol("N");
+    b.array("L", DType::F64, &["N", "N"]);
+    b.array("bvec", DType::F64, &["N"]);
+    b.array("x", DType::F64, &["N"]);
+    let lh = b.for_loop(
+        b.start(),
+        "i",
+        SymExpr::Int(0),
+        sym("N") - SymExpr::Int(1),
+        1,
+        "rows",
+    );
+    b.in_state(lh.body, |df| {
+        // x[i] = b[i]
+        let bv = df.access("bvec");
+        let x0 = df.access("x");
+        let seed = df.tasklet(Tasklet::simple("seed", vec!["v"], "o", ScalarExpr::r("v")));
+        df.read(bv, seed, Memlet::new("bvec", at(&["i"])).to_conn("v"));
+        df.write(seed, x0, Memlet::new("x", at(&["i"])).from_conn("o"));
+        // x[i] -= L[i,j]*x[j] for j < i  (reads the chained x access).
+        let l = df.access("L");
+        let x1 = df.access("x");
+        let m = df.map(
+            &["j"],
+            vec![fuzzyflow_ir::SymRange::span(SymExpr::Int(0), sym("i"))],
+            Schedule::Sequential,
+            |body| {
+                let l = body.access("L");
+                let x = body.access("x");
+                let xw = body.access("x");
+                let t = body.tasklet(Tasklet::simple(
+                    "elim",
+                    vec!["lv", "xv"],
+                    "o",
+                    ScalarExpr::r("lv").mul(ScalarExpr::r("xv")).neg(),
+                ));
+                body.read(l, t, Memlet::new("L", at(&["i", "j"])).to_conn("lv"));
+                body.read(x, t, Memlet::new("x", at(&["j"])).to_conn("xv"));
+                body.write(
+                    t,
+                    xw,
+                    Memlet::new("x", at(&["i"])).from_conn("o").with_wcr(Wcr::Sum),
+                );
+            },
+        );
+        df.connect(x0, m, Memlet::new("x", Subset::full(&[sym("N")])));
+        df.auto_wire(m, &[l], &[x1]);
+        // x[i] /= L[i,i]
+        let x2 = df.access("x");
+        let div = df.tasklet(Tasklet::simple(
+            "norm",
+            vec!["xv", "lv"],
+            "o",
+            ScalarExpr::r("xv").div(ScalarExpr::r("lv")),
+        ));
+        df.read(x1, div, Memlet::new("x", at(&["i"])).to_conn("xv"));
+        df.read(l, div, Memlet::new("L", at(&["i", "i"])).to_conn("lv"));
+        df.write(div, x2, Memlet::new("x", at(&["i"])).from_conn("o"));
+    });
+    NamedWorkload::new("trisolv", b.build(), n(8))
+}
+
+/// Masked sparse matrix-vector product, dense storage (spmv).
+pub fn spmv() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("spmv");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N", "N"]);
+    b.array("mask", DType::F64, &["N", "N"]);
+    b.array("x", DType::F64, &["N"]);
+    b.array("y", DType::F64, &["N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let m = df.access("mask");
+        let x = df.access("x");
+        let y = df.access("y");
+        crate::helpers::map_stage(
+            df,
+            "spmv",
+            &[dim("i", sym("N")), dim("j", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(a, "A", at(&["i", "j"]), "a"),
+                In::new(m, "mask", at(&["i", "j"]), "mk"),
+                In::new(x, "x", at(&["j"]), "v"),
+            ],
+            Out::new(y, "y", at(&["i"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("mk").mul(ScalarExpr::r("a").mul(ScalarExpr::r("v"))),
+        );
+    });
+    NamedWorkload::new("spmv", b.build(), n(12))
+}
+
+/// All linear-algebra kernels.
+pub fn all() -> Vec<NamedWorkload> {
+    vec![
+        gemm(),
+        k2mm(),
+        k3mm(),
+        atax(),
+        bicg(),
+        mvt(),
+        gemver(),
+        gesummv(),
+        syrk(),
+        syr2k(),
+        symm(),
+        trmm(),
+        doitgen(),
+        trisolv(),
+        spmv(),
+    ]
+}

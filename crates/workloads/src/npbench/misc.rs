@@ -1,0 +1,307 @@
+//! Statistics, graph and N-body kernels.
+
+use super::NamedWorkload;
+use crate::helpers::{at, dim, scalar, In, Out};
+use fuzzyflow_ir::{
+    sym, Bindings, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymExpr, Tasklet,
+    Wcr,
+};
+
+/// covariance: column means, centering, and the covariance matrix.
+pub fn covariance() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("covariance");
+    b.symbol("N"); // observations
+    b.symbol("M"); // variables
+    b.array("data", DType::F64, &["N", "M"]);
+    b.array("cov", DType::F64, &["M", "M"]);
+    b.transient("mean", DType::F64, &["M"]);
+    b.transient("centered", DType::F64, &["N", "M"]);
+    b.scalar("invn", DType::F64); // 1/N provided as input scalar
+    let st = b.start();
+    b.in_state(st, |df| {
+        let data = df.access("data");
+        let invn = df.access("invn");
+        let mean = df.access("mean");
+        crate::helpers::map_stage(
+            df,
+            "col_mean",
+            &[dim("i", sym("N")), dim("j", sym("M"))],
+            Schedule::Parallel,
+            &[
+                In::new(data, "data", at(&["i", "j"]), "v"),
+                In::new(invn, "invn", scalar(), "w"),
+            ],
+            Out::new(mean, "mean", at(&["j"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("v").mul(ScalarExpr::r("w")),
+        );
+        let centered = df.access("centered");
+        crate::helpers::map_stage(
+            df,
+            "center",
+            &[dim("i", sym("N")), dim("j", sym("M"))],
+            Schedule::Parallel,
+            &[
+                In::new(data, "data", at(&["i", "j"]), "v"),
+                In::new(mean, "mean", at(&["j"]), "m"),
+            ],
+            Out::new(centered, "centered", at(&["i", "j"])),
+            ScalarExpr::r("v").sub(ScalarExpr::r("m")),
+        );
+        let cov = df.access("cov");
+        crate::helpers::map_stage(
+            df,
+            "outer",
+            &[dim("i", sym("M")), dim("j", sym("M")), dim("k", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(centered, "centered", at(&["k", "i"]), "a"),
+                In::new(centered, "centered", at(&["k", "j"]), "bb"),
+                In::new(invn, "invn", scalar(), "w"),
+            ],
+            Out::new(cov, "cov", at(&["i", "j"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("a").mul(ScalarExpr::r("bb")).mul(ScalarExpr::r("w")),
+        );
+    });
+    NamedWorkload::new(
+        "covariance",
+        b.build(),
+        Bindings::from_pairs([("N", 10), ("M", 6)]),
+    )
+}
+
+/// correlation: covariance normalized by the diagonal.
+pub fn correlation() -> NamedWorkload {
+    let cov = covariance();
+    let mut b = SdfgBuilder::new("correlation");
+    b.symbol("N");
+    b.symbol("M");
+    b.array("data", DType::F64, &["N", "M"]);
+    b.array("corr", DType::F64, &["M", "M"]);
+    b.transient("mean", DType::F64, &["M"]);
+    b.transient("centered", DType::F64, &["N", "M"]);
+    b.transient("cov", DType::F64, &["M", "M"]);
+    b.scalar("invn", DType::F64);
+    let _ = cov;
+    let st = b.start();
+    b.in_state(st, |df| {
+        let data = df.access("data");
+        let invn = df.access("invn");
+        let mean = df.access("mean");
+        crate::helpers::map_stage(
+            df,
+            "col_mean",
+            &[dim("i", sym("N")), dim("j", sym("M"))],
+            Schedule::Parallel,
+            &[
+                In::new(data, "data", at(&["i", "j"]), "v"),
+                In::new(invn, "invn", scalar(), "w"),
+            ],
+            Out::new(mean, "mean", at(&["j"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("v").mul(ScalarExpr::r("w")),
+        );
+        let centered = df.access("centered");
+        crate::helpers::map_stage(
+            df,
+            "center",
+            &[dim("i", sym("N")), dim("j", sym("M"))],
+            Schedule::Parallel,
+            &[
+                In::new(data, "data", at(&["i", "j"]), "v"),
+                In::new(mean, "mean", at(&["j"]), "m"),
+            ],
+            Out::new(centered, "centered", at(&["i", "j"])),
+            ScalarExpr::r("v").sub(ScalarExpr::r("m")),
+        );
+        let covm = df.access("cov");
+        crate::helpers::map_stage(
+            df,
+            "outer",
+            &[dim("i", sym("M")), dim("j", sym("M")), dim("k", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(centered, "centered", at(&["k", "i"]), "a"),
+                In::new(centered, "centered", at(&["k", "j"]), "bb"),
+            ],
+            Out::new(covm, "cov", at(&["i", "j"])).accumulate(Wcr::Sum),
+            ScalarExpr::r("a").mul(ScalarExpr::r("bb")),
+        );
+        let corr = df.access("corr");
+        crate::helpers::map_stage(
+            df,
+            "normalize",
+            &[dim("i", sym("M")), dim("j", sym("M"))],
+            Schedule::Parallel,
+            &[
+                In::new(covm, "cov", at(&["i", "j"]), "c"),
+                In::new(covm, "cov", at(&["i", "i"]), "dii"),
+                In::new(covm, "cov", at(&["j", "j"]), "djj"),
+            ],
+            Out::new(corr, "corr", at(&["i", "j"])),
+            ScalarExpr::r("c").div(
+                ScalarExpr::r("dii")
+                    .mul(ScalarExpr::r("djj"))
+                    .sqrt()
+                    .add(ScalarExpr::f64(1e-12)),
+            ),
+        );
+    });
+    NamedWorkload::new(
+        "correlation",
+        b.build(),
+        Bindings::from_pairs([("N", 10), ("M", 6)]),
+    )
+}
+
+/// Floyd-Warshall all-pairs shortest paths: sequential `k` loop with an
+/// in-place relaxation map.
+pub fn floyd_warshall() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("floyd_warshall");
+    b.symbol("N");
+    b.array("path", DType::F64, &["N", "N"]);
+    let lh = b.for_loop(
+        b.start(),
+        "k",
+        SymExpr::Int(0),
+        sym("N") - SymExpr::Int(1),
+        1,
+        "pivot",
+    );
+    b.in_state(lh.body, |df| {
+        let p_in = df.access("path");
+        let p_out = df.access("path");
+        crate::helpers::map_stage(
+            df,
+            "relax",
+            &[dim("i", sym("N")), dim("j", sym("N"))],
+            Schedule::Sequential,
+            &[
+                In::new(p_in, "path", at(&["i", "j"]), "d"),
+                In::new(p_in, "path", at(&["i", "k"]), "dik"),
+                In::new(p_in, "path", at(&["k", "j"]), "dkj"),
+            ],
+            Out::new(p_out, "path", at(&["i", "j"])),
+            ScalarExpr::r("d").min(ScalarExpr::r("dik").add(ScalarExpr::r("dkj"))),
+        );
+    });
+    NamedWorkload::new("floyd_warshall", b.build(), Bindings::from_pairs([("N", 8)]))
+}
+
+/// One leapfrog N-body step: pairwise forces, velocity and position update.
+pub fn nbody_step() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("nbody_step");
+    b.symbol("N");
+    b.array("pos", DType::F64, &["N"]);
+    b.array("vel", DType::F64, &["N"]);
+    b.array("mass", DType::F64, &["N"]);
+    b.transient("force", DType::F64, &["N"]);
+    b.scalar("dt", DType::F64);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let pos = df.access("pos");
+        let mass = df.access("mass");
+        let force = df.access("force");
+        // Softened pairwise attraction along one dimension.
+        crate::helpers::map_stage(
+            df,
+            "forces",
+            &[dim("i", sym("N")), dim("j", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(pos, "pos", at(&["i"]), "xi"),
+                In::new(pos, "pos", at(&["j"]), "xj"),
+                In::new(mass, "mass", at(&["j"]), "mj"),
+            ],
+            Out::new(force, "force", at(&["i"])).accumulate(Wcr::Sum),
+            {
+                let dx = ScalarExpr::r("xj").sub(ScalarExpr::r("xi"));
+                let soft = dx
+                    .clone()
+                    .mul(dx.clone())
+                    .add(ScalarExpr::f64(0.01));
+                ScalarExpr::r("mj").mul(dx).div(soft)
+            },
+        );
+        let vel_in = df.access("vel");
+        let vel_out = df.access("vel");
+        let dt = df.access("dt");
+        crate::helpers::map_stage(
+            df,
+            "kick",
+            &[dim("i", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(vel_in, "vel", at(&["i"]), "v"),
+                In::new(force, "force", at(&["i"]), "f"),
+                In::new(dt, "dt", scalar(), "h"),
+            ],
+            Out::new(vel_out, "vel", at(&["i"])),
+            ScalarExpr::r("v").add(ScalarExpr::r("f").mul(ScalarExpr::r("h"))),
+        );
+        let pos_out = df.access("pos");
+        crate::helpers::map_stage(
+            df,
+            "drift",
+            &[dim("i", sym("N"))],
+            Schedule::Parallel,
+            &[
+                In::new(pos, "pos", at(&["i"]), "x"),
+                In::new(vel_out, "vel", at(&["i"]), "v"),
+                In::new(dt, "dt", scalar(), "h"),
+            ],
+            Out::new(pos_out, "pos", at(&["i"])),
+            ScalarExpr::r("x").add(ScalarExpr::r("v").mul(ScalarExpr::r("h"))),
+        );
+    });
+    NamedWorkload::new("nbody_step", b.build(), Bindings::from_pairs([("N", 10)]))
+}
+
+/// A convergence-style `while` loop expressed in the state machine:
+/// `x = 0.5*(x + a/x)` Newton iterations for sqrt, fixed trip count.
+pub fn newton_sqrt_loop() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("newton_sqrt_loop");
+    b.symbol("T");
+    b.scalar("a", DType::F64);
+    b.scalar("x", DType::F64);
+    let lh = b.for_loop(
+        b.start(),
+        "it",
+        SymExpr::Int(0),
+        sym("T") - SymExpr::Int(1),
+        1,
+        "newton",
+    );
+    b.in_state(lh.body, |df| {
+        let a = df.access("a");
+        let x_in = df.access("x");
+        let x_out = df.access("x");
+        let t = df.tasklet(Tasklet::simple(
+            "newton_step",
+            vec!["xv", "av"],
+            "o",
+            ScalarExpr::f64(0.5).mul(
+                ScalarExpr::r("xv").add(
+                    ScalarExpr::r("av").div(ScalarExpr::r("xv").add(ScalarExpr::f64(1e-12))),
+                ),
+            ),
+        ));
+        df.read(x_in, t, Memlet::new("x", Subset::new(vec![])).to_conn("xv"));
+        df.read(a, t, Memlet::new("a", Subset::new(vec![])).to_conn("av"));
+        df.write(t, x_out, Memlet::new("x", Subset::new(vec![])).from_conn("o"));
+    });
+    NamedWorkload::new(
+        "newton_sqrt_loop",
+        b.build(),
+        Bindings::from_pairs([("T", 6)]),
+    )
+}
+
+/// All misc kernels.
+pub fn all() -> Vec<NamedWorkload> {
+    vec![
+        covariance(),
+        correlation(),
+        floyd_warshall(),
+        nbody_step(),
+        newton_sqrt_loop(),
+    ]
+}

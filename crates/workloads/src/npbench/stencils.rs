@@ -1,0 +1,437 @@
+//! Stencil kernels (weather/CFD heritage, as in NPBench).
+
+use super::NamedWorkload;
+use crate::helpers::{at, dim_range, In, Out};
+use fuzzyflow_ir::{
+    sym, Bindings, DType, ScalarExpr, Schedule, SdfgBuilder, SymExpr,
+};
+
+fn nt(nv: i64, tv: i64) -> Bindings {
+    Bindings::from_pairs([("N", nv), ("T", tv)])
+}
+
+/// One ping-pong sweep `dst[i] = (src[i-1]+src[i]+src[i+1])/3`.
+fn sweep_1d(
+    df: &mut fuzzyflow_ir::DataflowBuilder,
+    name: &str,
+    src: &str,
+    dst: &str,
+) {
+    let s = df.access(src);
+    let d = df.access(dst);
+    crate::helpers::map_stage(
+        df,
+        name,
+        &[dim_range("i", SymExpr::Int(1), sym("N") - SymExpr::Int(1))],
+        Schedule::Parallel,
+        &[
+            In::new(s, src, at(&["i-1"]), "l"),
+            In::new(s, src, at(&["i"]), "c"),
+            In::new(s, src, at(&["i+1"]), "r"),
+        ],
+        Out::new(d, dst, at(&["i"])),
+        ScalarExpr::r("l")
+            .add(ScalarExpr::r("c"))
+            .add(ScalarExpr::r("r"))
+            .mul(ScalarExpr::f64(1.0 / 3.0)),
+    );
+}
+
+/// jacobi_1d: `T` ping-pong relaxation sweeps over two arrays.
+pub fn jacobi_1d() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("jacobi_1d");
+    b.symbol("N");
+    b.symbol("T");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &["N"]);
+    let lh = b.for_loop(
+        b.start(),
+        "t",
+        SymExpr::Int(0),
+        sym("T") - SymExpr::Int(1),
+        1,
+        "time",
+    );
+    b.in_state(lh.body, |df| {
+        sweep_1d(df, "ab", "A", "B");
+        sweep_1d(df, "ba", "B", "A");
+    });
+    NamedWorkload::new("jacobi_1d", b.build(), nt(16, 3))
+}
+
+/// One 2-D five-point sweep.
+fn sweep_2d(df: &mut fuzzyflow_ir::DataflowBuilder, name: &str, src: &str, dst: &str) {
+    let s = df.access(src);
+    let d = df.access(dst);
+    crate::helpers::map_stage(
+        df,
+        name,
+        &[
+            dim_range("i", SymExpr::Int(1), sym("N") - SymExpr::Int(1)),
+            dim_range("j", SymExpr::Int(1), sym("N") - SymExpr::Int(1)),
+        ],
+        Schedule::Parallel,
+        &[
+            In::new(s, src, at(&["i", "j"]), "c"),
+            In::new(s, src, at(&["i-1", "j"]), "n"),
+            In::new(s, src, at(&["i+1", "j"]), "s"),
+            In::new(s, src, at(&["i", "j-1"]), "w"),
+            In::new(s, src, at(&["i", "j+1"]), "e"),
+        ],
+        Out::new(d, dst, at(&["i", "j"])),
+        ScalarExpr::r("c")
+            .add(ScalarExpr::r("n"))
+            .add(ScalarExpr::r("s"))
+            .add(ScalarExpr::r("w"))
+            .add(ScalarExpr::r("e"))
+            .mul(ScalarExpr::f64(0.2)),
+    );
+}
+
+/// jacobi_2d: ping-pong 5-point relaxation.
+pub fn jacobi_2d() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("jacobi_2d");
+    b.symbol("N");
+    b.symbol("T");
+    b.array("A", DType::F64, &["N", "N"]);
+    b.array("B", DType::F64, &["N", "N"]);
+    let lh = b.for_loop(
+        b.start(),
+        "t",
+        SymExpr::Int(0),
+        sym("T") - SymExpr::Int(1),
+        1,
+        "time",
+    );
+    b.in_state(lh.body, |df| {
+        sweep_2d(df, "ab", "A", "B");
+        sweep_2d(df, "ba", "B", "A");
+    });
+    NamedWorkload::new("jacobi_2d", b.build(), nt(10, 2))
+}
+
+/// seidel_2d: in-place Gauss-Seidel sweep (sequential map; later
+/// iterations observe earlier updates).
+pub fn seidel_2d() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("seidel_2d");
+    b.symbol("N");
+    b.symbol("T");
+    b.array("A", DType::F64, &["N", "N"]);
+    let lh = b.for_loop(
+        b.start(),
+        "t",
+        SymExpr::Int(0),
+        sym("T") - SymExpr::Int(1),
+        1,
+        "time",
+    );
+    b.in_state(lh.body, |df| {
+        let a_in = df.access("A");
+        let a_out = df.access("A");
+        crate::helpers::map_stage(
+            df,
+            "seidel",
+            &[
+                dim_range("i", SymExpr::Int(1), sym("N") - SymExpr::Int(1)),
+                dim_range("j", SymExpr::Int(1), sym("N") - SymExpr::Int(1)),
+            ],
+            Schedule::Sequential,
+            &[
+                In::new(a_in, "A", at(&["i-1", "j"]), "n"),
+                In::new(a_in, "A", at(&["i+1", "j"]), "s"),
+                In::new(a_in, "A", at(&["i", "j-1"]), "w"),
+                In::new(a_in, "A", at(&["i", "j+1"]), "e"),
+                In::new(a_in, "A", at(&["i", "j"]), "c"),
+            ],
+            Out::new(a_out, "A", at(&["i", "j"])),
+            ScalarExpr::r("c")
+                .add(ScalarExpr::r("n"))
+                .add(ScalarExpr::r("s"))
+                .add(ScalarExpr::r("w"))
+                .add(ScalarExpr::r("e"))
+                .mul(ScalarExpr::f64(0.2)),
+        );
+    });
+    NamedWorkload::new("seidel_2d", b.build(), nt(8, 2))
+}
+
+/// heat_3d: ping-pong 7-point stencil in three dimensions.
+pub fn heat_3d() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("heat_3d");
+    b.symbol("N");
+    b.symbol("T");
+    b.array("A", DType::F64, &["N", "N", "N"]);
+    b.array("B", DType::F64, &["N", "N", "N"]);
+    let lh = b.for_loop(
+        b.start(),
+        "t",
+        SymExpr::Int(0),
+        sym("T") - SymExpr::Int(1),
+        1,
+        "time",
+    );
+    fn interior(p: &str) -> (&str, fuzzyflow_ir::SymRange) {
+        dim_range(p, SymExpr::Int(1), sym("N") - SymExpr::Int(1))
+    }
+    let sweep = |df: &mut fuzzyflow_ir::DataflowBuilder, name: &str, src: &str, dst: &str| {
+        let s = df.access(src);
+        let d = df.access(dst);
+        crate::helpers::map_stage(
+            df,
+            name,
+            &[interior("i"), interior("j"), interior("k")],
+            Schedule::Parallel,
+            &[
+                In::new(s, src, at(&["i", "j", "k"]), "c"),
+                In::new(s, src, at(&["i-1", "j", "k"]), "x0"),
+                In::new(s, src, at(&["i+1", "j", "k"]), "x1"),
+                In::new(s, src, at(&["i", "j-1", "k"]), "y0"),
+                In::new(s, src, at(&["i", "j+1", "k"]), "y1"),
+                In::new(s, src, at(&["i", "j", "k-1"]), "z0"),
+                In::new(s, src, at(&["i", "j", "k+1"]), "z1"),
+            ],
+            Out::new(d, dst, at(&["i", "j", "k"])),
+            ScalarExpr::r("c").add(
+                ScalarExpr::r("x0")
+                    .add(ScalarExpr::r("x1"))
+                    .add(ScalarExpr::r("y0"))
+                    .add(ScalarExpr::r("y1"))
+                    .add(ScalarExpr::r("z0"))
+                    .add(ScalarExpr::r("z1"))
+                    .sub(ScalarExpr::f64(6.0).mul(ScalarExpr::r("c")))
+                    .mul(ScalarExpr::f64(0.125)),
+            ),
+        );
+    };
+    b.in_state(lh.body, |df| {
+        sweep(df, "ab", "A", "B");
+        sweep(df, "ba", "B", "A");
+    });
+    NamedWorkload::new("heat_3d", b.build(), nt(6, 2))
+}
+
+/// fdtd_2d: one electromagnetic time step (ey, ex, hz updates).
+pub fn fdtd_2d() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("fdtd_2d");
+    b.symbol("N");
+    b.symbol("T");
+    b.array("ex", DType::F64, &["N", "N"]);
+    b.array("ey", DType::F64, &["N", "N"]);
+    b.array("hz", DType::F64, &["N", "N"]);
+    let lh = b.for_loop(
+        b.start(),
+        "t",
+        SymExpr::Int(0),
+        sym("T") - SymExpr::Int(1),
+        1,
+        "time",
+    );
+    b.in_state(lh.body, |df| {
+        let hz0 = df.access("hz");
+        // ey[i,j] -= 0.5*(hz[i,j] - hz[i-1,j])
+        let ey_in = df.access("ey");
+        let ey_out = df.access("ey");
+        crate::helpers::map_stage(
+            df,
+            "update_ey",
+            &[
+                dim_range("i", SymExpr::Int(1), sym("N")),
+                dim_range("j", SymExpr::Int(0), sym("N")),
+            ],
+            Schedule::Parallel,
+            &[
+                In::new(ey_in, "ey", at(&["i", "j"]), "e"),
+                In::new(hz0, "hz", at(&["i", "j"]), "h"),
+                In::new(hz0, "hz", at(&["i-1", "j"]), "hm"),
+            ],
+            Out::new(ey_out, "ey", at(&["i", "j"])),
+            ScalarExpr::r("e").sub(
+                ScalarExpr::f64(0.5).mul(ScalarExpr::r("h").sub(ScalarExpr::r("hm"))),
+            ),
+        );
+        // ex[i,j] -= 0.5*(hz[i,j] - hz[i,j-1])
+        let ex_in = df.access("ex");
+        let ex_out = df.access("ex");
+        crate::helpers::map_stage(
+            df,
+            "update_ex",
+            &[
+                dim_range("i", SymExpr::Int(0), sym("N")),
+                dim_range("j", SymExpr::Int(1), sym("N")),
+            ],
+            Schedule::Parallel,
+            &[
+                In::new(ex_in, "ex", at(&["i", "j"]), "e"),
+                In::new(hz0, "hz", at(&["i", "j"]), "h"),
+                In::new(hz0, "hz", at(&["i", "j-1"]), "hm"),
+            ],
+            Out::new(ex_out, "ex", at(&["i", "j"])),
+            ScalarExpr::r("e").sub(
+                ScalarExpr::f64(0.5).mul(ScalarExpr::r("h").sub(ScalarExpr::r("hm"))),
+            ),
+        );
+        // hz[i,j] -= 0.7*(ex[i,j+1]-ex[i,j] + ey[i+1,j]-ey[i,j])
+        let hz_out = df.access("hz");
+        crate::helpers::map_stage(
+            df,
+            "update_hz",
+            &[
+                dim_range("i", SymExpr::Int(0), sym("N") - SymExpr::Int(1)),
+                dim_range("j", SymExpr::Int(0), sym("N") - SymExpr::Int(1)),
+            ],
+            Schedule::Parallel,
+            &[
+                In::new(hz0, "hz", at(&["i", "j"]), "h"),
+                In::new(ex_out, "ex", at(&["i", "j+1"]), "exp"),
+                In::new(ex_out, "ex", at(&["i", "j"]), "exc"),
+                In::new(ey_out, "ey", at(&["i+1", "j"]), "eyp"),
+                In::new(ey_out, "ey", at(&["i", "j"]), "eyc"),
+            ],
+            Out::new(hz_out, "hz", at(&["i", "j"])),
+            ScalarExpr::r("h").sub(ScalarExpr::f64(0.7).mul(
+                ScalarExpr::r("exp")
+                    .sub(ScalarExpr::r("exc"))
+                    .add(ScalarExpr::r("eyp"))
+                    .sub(ScalarExpr::r("eyc")),
+            )),
+        );
+    });
+    NamedWorkload::new("fdtd_2d", b.build(), nt(8, 2))
+}
+
+/// hdiff: horizontal diffusion (Laplacian-of-Laplacian, single sweep).
+pub fn hdiff() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("hdiff");
+    b.symbol("N");
+    b.array("inp", DType::F64, &["N", "N"]);
+    b.array("coeff", DType::F64, &["N", "N"]);
+    b.array("outp", DType::F64, &["N", "N"]);
+    b.transient("lap", DType::F64, &["N", "N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let i_acc = df.access("inp");
+        let lap = df.access("lap");
+        fn interior(p: &str) -> (&str, fuzzyflow_ir::SymRange) {
+            dim_range(p, SymExpr::Int(1), sym("N") - SymExpr::Int(1))
+        }
+        crate::helpers::map_stage(
+            df,
+            "laplacian",
+            &[interior("i"), interior("j")],
+            Schedule::Parallel,
+            &[
+                In::new(i_acc, "inp", at(&["i", "j"]), "c"),
+                In::new(i_acc, "inp", at(&["i-1", "j"]), "n"),
+                In::new(i_acc, "inp", at(&["i+1", "j"]), "s"),
+                In::new(i_acc, "inp", at(&["i", "j-1"]), "w"),
+                In::new(i_acc, "inp", at(&["i", "j+1"]), "e"),
+            ],
+            Out::new(lap, "lap", at(&["i", "j"])),
+            ScalarExpr::f64(4.0)
+                .mul(ScalarExpr::r("c"))
+                .sub(ScalarExpr::r("n"))
+                .sub(ScalarExpr::r("s"))
+                .sub(ScalarExpr::r("w"))
+                .sub(ScalarExpr::r("e")),
+        );
+        let coeff = df.access("coeff");
+        let outp = df.access("outp");
+        fn inner(p: &str) -> (&str, fuzzyflow_ir::SymRange) {
+            dim_range(p, SymExpr::Int(2), sym("N") - SymExpr::Int(2))
+        }
+        crate::helpers::map_stage(
+            df,
+            "flux",
+            &[inner("i"), inner("j")],
+            Schedule::Parallel,
+            &[
+                In::new(i_acc, "inp", at(&["i", "j"]), "c"),
+                In::new(lap, "lap", at(&["i", "j"]), "lc"),
+                In::new(lap, "lap", at(&["i-1", "j"]), "ln"),
+                In::new(lap, "lap", at(&["i+1", "j"]), "ls"),
+                In::new(coeff, "coeff", at(&["i", "j"]), "k"),
+            ],
+            Out::new(outp, "outp", at(&["i", "j"])),
+            ScalarExpr::r("c").sub(ScalarExpr::r("k").mul(
+                ScalarExpr::f64(2.0)
+                    .mul(ScalarExpr::r("lc"))
+                    .sub(ScalarExpr::r("ln"))
+                    .sub(ScalarExpr::r("ls")),
+            )),
+        );
+    });
+    NamedWorkload::new("hdiff", b.build(), Bindings::from_pairs([("N", 10)]))
+}
+
+/// adi (simplified): alternating x- and y-direction implicit sweeps.
+pub fn adi() -> NamedWorkload {
+    let mut b = SdfgBuilder::new("adi");
+    b.symbol("N");
+    b.symbol("T");
+    b.array("u", DType::F64, &["N", "N"]);
+    b.transient("v", DType::F64, &["N", "N"]);
+    let lh = b.for_loop(
+        b.start(),
+        "t",
+        SymExpr::Int(0),
+        sym("T") - SymExpr::Int(1),
+        1,
+        "time",
+    );
+    b.in_state(lh.body, |df| {
+        let u = df.access("u");
+        let v = df.access("v");
+        fn interior(p: &str) -> (&str, fuzzyflow_ir::SymRange) {
+            dim_range(p, SymExpr::Int(1), sym("N") - SymExpr::Int(1))
+        }
+        // Column sweep u -> v.
+        crate::helpers::map_stage(
+            df,
+            "col_sweep",
+            &[interior("i"), dim_range("j", SymExpr::Int(0), sym("N"))],
+            Schedule::Sequential,
+            &[
+                In::new(u, "u", at(&["i-1", "j"]), "a"),
+                In::new(u, "u", at(&["i", "j"]), "c"),
+                In::new(u, "u", at(&["i+1", "j"]), "d"),
+            ],
+            Out::new(v, "v", at(&["i", "j"])),
+            ScalarExpr::r("a")
+                .add(ScalarExpr::f64(2.0).mul(ScalarExpr::r("c")))
+                .add(ScalarExpr::r("d"))
+                .mul(ScalarExpr::f64(0.25)),
+        );
+        // Row sweep v -> u.
+        let u2 = df.access("u");
+        crate::helpers::map_stage(
+            df,
+            "row_sweep",
+            &[dim_range("i", SymExpr::Int(0), sym("N")), interior("j")],
+            Schedule::Sequential,
+            &[
+                In::new(v, "v", at(&["i", "j-1"]), "a"),
+                In::new(v, "v", at(&["i", "j"]), "c"),
+                In::new(v, "v", at(&["i", "j+1"]), "d"),
+            ],
+            Out::new(u2, "u", at(&["i", "j"])),
+            ScalarExpr::r("a")
+                .add(ScalarExpr::f64(2.0).mul(ScalarExpr::r("c")))
+                .add(ScalarExpr::r("d"))
+                .mul(ScalarExpr::f64(0.25)),
+        );
+    });
+    NamedWorkload::new("adi", b.build(), nt(8, 2))
+}
+
+/// All stencil kernels.
+pub fn all() -> Vec<NamedWorkload> {
+    vec![
+        jacobi_1d(),
+        jacobi_2d(),
+        seidel_2d(),
+        heat_3d(),
+        fdtd_2d(),
+        hdiff(),
+        adi(),
+    ]
+}

@@ -1,0 +1,106 @@
+//! Integration: minimum input-flow cut invariants (paper Sec. 4, Fig. 4).
+
+use fuzzyflow::cutout::{
+    extract_cutout, minimize_input_configuration, SideEffectContext,
+};
+use fuzzyflow::prelude::*;
+use fuzzyflow_transforms::{apply_to_clone, ChangeSet};
+
+fn ctx_for(p: &fuzzyflow::ir::Sdfg) -> SideEffectContext {
+    SideEffectContext::with_size_symbols(&p.free_symbols(), 1 << 16)
+}
+
+/// The minimization never increases the input volume, never invalidates
+/// the cutout, and never absorbs communication nodes.
+#[test]
+fn minimization_invariants_across_suite() {
+    for w in fuzzyflow::workloads::suite() {
+        if w.sdfg.states.node_count() != 1 {
+            continue;
+        }
+        let st = w.sdfg.start;
+        let ctx = ctx_for(&w.sdfg);
+        for node in w.sdfg.state(st).df.computation_nodes() {
+            let changes = ChangeSet::nodes_in_state(st, [node]);
+            let Ok(cutout) = extract_cutout(&w.sdfg, &changes, &ctx) else {
+                continue;
+            };
+            let (min_c, outcome) =
+                minimize_input_configuration(&w.sdfg, cutout, &ctx, &w.bindings);
+            assert!(
+                outcome.volume_after <= outcome.volume_before,
+                "{}: volume grew on node {node}",
+                w.name
+            );
+            assert!(
+                validate(&min_c.sdfg).is_ok(),
+                "{}: minimized cutout invalid on node {node}: {:?}",
+                w.name,
+                validate(&min_c.sdfg)
+            );
+            assert!(!fuzzyflow::dist::has_communication(&min_c.sdfg));
+        }
+    }
+}
+
+/// The Fig. 4 example: subsuming producers halves the input space.
+#[test]
+fn fig4_reduction_on_mha() {
+    let p = fuzzyflow::workloads::mha_encoder();
+    let bindings = fuzzyflow::workloads::mha::default_bindings();
+    let v = Vectorization::new(4);
+    let m = &v.find_matches(&p)[0];
+    let (_, changes) = apply_to_clone(&p, &v, m).unwrap();
+    let ctx = ctx_for(&p);
+    let cutout = extract_cutout(&p, &changes, &ctx).unwrap();
+    let (min_c, outcome) = minimize_input_configuration(&p, cutout, &ctx, &bindings);
+    assert_eq!(
+        min_c.input_config,
+        vec!["A".to_string(), "Bt".to_string(), "scale".to_string()]
+    );
+    assert!((outcome.reduction() - 0.75).abs() < 0.05, "{}", outcome.reduction());
+}
+
+/// Fuzzing the minimized cutout gives the same verdicts as the plain one.
+#[test]
+fn verdicts_agree_with_and_without_minimization() {
+    let p = fuzzyflow::workloads::mha_encoder();
+    let bindings = fuzzyflow::workloads::mha::default_bindings();
+    let v = Vectorization::new(4);
+    let m = &v.find_matches(&p)[0];
+    for minimize in [false, true] {
+        let report = fuzzyflow::verify_instance(
+            &p,
+            &v,
+            m,
+            &VerifyConfig {
+                trials: 60,
+                size_max: 12,
+                minimize,
+                concretization: Some(bindings.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            report.verdict.is_fault(),
+            "minimize={minimize}: {:?}",
+            report.verdict
+        );
+    }
+}
+
+/// Fig. 6 invariant: communication is never pulled into a cutout.
+#[test]
+fn sddmm_cutout_keeps_gathered_data_as_input() {
+    let p = fuzzyflow::workloads::vanilla_attention();
+    let bindings = fuzzyflow::workloads::attention::default_bindings();
+    let t = MapTiling::new(4);
+    let m = &t.find_matches(&p)[0];
+    let (_, changes) = apply_to_clone(&p, &t, m).unwrap();
+    let ctx = ctx_for(&p);
+    let cutout = extract_cutout(&p, &changes, &ctx).unwrap();
+    let (min_c, _) = minimize_input_configuration(&p, cutout, &ctx, &bindings);
+    assert!(!fuzzyflow::dist::has_communication(&min_c.sdfg));
+    assert!(min_c.input_config.contains(&"Hfull".to_string()));
+}
