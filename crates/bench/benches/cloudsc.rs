@@ -38,7 +38,11 @@ fn main() {
     let start = std::time::Instant::now();
     let (results, rows) = sweep(&workloads, &transformations, &cfg);
     let elapsed = start.elapsed();
-    println!("instances tested: {}; wall-clock {:.1}s\n", results.len(), elapsed.as_secs_f64());
+    println!(
+        "instances tested: {}; wall-clock {:.1}s\n",
+        results.len(),
+        elapsed.as_secs_f64()
+    );
     println!("{}", format_sweep_table(&rows));
 
     let paper: &[(&str, usize, usize)] = &[

@@ -26,15 +26,18 @@ fn main() {
     // The second multiplication, as in the paper.
     let (cutout, transformed, constraints) =
         prepare_pair(&program, &tiling, &matches[1], false, &bindings);
-    row("cutout nodes / program nodes", format!(
-        "{} / {}",
-        cutout.stats.nodes,
-        program
-            .states
-            .node_ids()
-            .map(|s| program.state(s).df.deep_node_count())
-            .sum::<usize>()
-    ));
+    row(
+        "cutout nodes / program nodes",
+        format!(
+            "{} / {}",
+            cutout.stats.nodes,
+            program
+                .states
+                .node_ids()
+                .map(|s| program.state(s).df.deep_node_count())
+                .sum::<usize>()
+        ),
+    );
     row("cutout inputs", format!("{:?}", cutout.input_config));
     row("cutout system state", format!("{:?}", cutout.system_state));
 
@@ -57,7 +60,9 @@ fn main() {
     );
 
     // Per-trial cost: whole-program differential trial vs cutout trial.
-    let whole_tiled = apply_to_clone(&program, &tiling, &matches[1]).expect("applies").0;
+    let whole_tiled = apply_to_clone(&program, &tiling, &matches[1])
+        .expect("applies")
+        .0;
     let mut rng = Xoshiro256::seed_from(7);
     let profile = ValueProfile::default();
     let sample = sample_state(&cutout, &constraints, &profile, &mut rng).expect("samples");

@@ -31,8 +31,14 @@ fn main() {
     let before = cutout_plain.input_volume_bytes(&bindings).expect("volume");
     let (cutout_min, outcome) =
         minimize_input_configuration(&program, cutout_plain.clone(), &ctx, &bindings);
-    row("input config before min-cut", format!("{:?}", cutout_plain.input_config));
-    row("input config after min-cut", format!("{:?}", cutout_min.input_config));
+    row(
+        "input config before min-cut",
+        format!("{:?}", cutout_plain.input_config),
+    );
+    row(
+        "input config after min-cut",
+        format!("{:?}", cutout_min.input_config),
+    );
     row("input volume before (bytes)", before);
     row("input volume after (bytes)", outcome.volume_after);
     row(
@@ -74,7 +80,10 @@ fn main() {
     let t_min = time_per_iter(30, || {
         let _ = sample_and_check(&cutout_min, &cm, 3);
     });
-    row("sample+check, unminimized cutout (us)", format!("{t_plain:.1}"));
+    row(
+        "sample+check, unminimized cutout (us)",
+        format!("{t_plain:.1}"),
+    );
     row("sample+check, minimized cutout (us)", format!("{t_min:.1}"));
     row(
         "sampling/check speedup (paper: 2x)",
@@ -86,7 +95,9 @@ fn main() {
     // multi-layer encoder stack plays that role here.
     let app = fuzzyflow::workloads::mha::mha_encoder_stack(6);
     let app_matches = vectorize.find_matches(&app);
-    let whole_vec = apply_to_clone(&app, &vectorize, &app_matches[0]).expect("applies").0;
+    let whole_vec = apply_to_clone(&app, &vectorize, &app_matches[0])
+        .expect("applies")
+        .0;
     let whole_trial = || {
         let mut st = ExecState::new();
         for (k, v) in bindings.iter() {
@@ -97,10 +108,12 @@ fn main() {
         let _ = run(&whole_vec, &mut st2);
         st.compare_on(&st2, &["out".to_string()], 1e-5)
     };
-    let translated = fuzzyflow::cutout::refind_match(&cutout_min, &vectorize, &matches[0])
-        .expect("translates");
+    let translated =
+        fuzzyflow::cutout::refind_match(&cutout_min, &vectorize, &matches[0]).expect("translates");
     let mut transformed = cutout_min.sdfg.clone();
-    vectorize.apply(&mut transformed, &translated).expect("replays");
+    vectorize
+        .apply(&mut transformed, &translated)
+        .expect("replays");
     let mut rng = Xoshiro256::seed_from(11);
     let sample = sample_state(&cutout_min, &cm, &profile, &mut rng).expect("samples");
     let cut_trial = || {
@@ -118,10 +131,7 @@ fn main() {
     });
     row("whole-application trial (us)", format!("{t_whole:.1}"));
     row("cutout trial (us)", format!("{t_cut:.1}"));
-    row(
-        "cutout trials/second",
-        format!("{:.1}", 1e6 / t_cut),
-    );
+    row("cutout trials/second", format!("{:.1}", 1e6 / t_cut));
     row(
         "testing speedup (paper: 528x at BERT-large scale)",
         format!("{:.0}x", t_whole / t_cut),
@@ -134,7 +144,11 @@ fn main() {
     let report = tester.test(&cutout_min, &transformed, &cons_min);
     row(
         "gray-box trials to detection (paper: ~1)",
-        format!("{:?} ({})", report.trials_to_detection, report.verdict.label()),
+        format!(
+            "{:?} ({})",
+            report.trials_to_detection,
+            report.verdict.label()
+        ),
     );
     // Coverage-guided: seeded with the shipped (divisible) sizes, must
     // mutate its way to a non-divisible size.

@@ -17,7 +17,10 @@ fn main() {
     let program = fuzzyflow::workloads::vanilla_attention();
     let bindings = fuzzyflow::workloads::attention::default_bindings();
     let nranks = bindings.get("nranks").unwrap_or(4) as usize;
-    row("program contains communication", has_communication(&program));
+    row(
+        "program contains communication",
+        has_communication(&program),
+    );
 
     // Whole-program differential trial: all ranks, both versions.
     let tiling = MapTilingNoRemainder::new(4); // the size-dependent bug
@@ -34,8 +37,9 @@ fn main() {
             .map(|r| {
                 let mut st = ExecState::new();
                 st.bind("NLOC", nloc).bind("NTOT", ntot).bind("F", f);
-                let feats: Vec<f64> =
-                    (0..nloc * f).map(|i| 0.01 * (i as f64 + r as f64)).collect();
+                let feats: Vec<f64> = (0..nloc * f)
+                    .map(|i| 0.01 * (i as f64 + r as f64))
+                    .collect();
                 st.set_array("H", ArrayValue::from_f64(vec![nloc, f], &feats));
                 st.set_array(
                     "M",
@@ -54,8 +58,14 @@ fn main() {
     // Cutout trial: single rank, no communication.
     let (cutout, transformed, constraints) =
         prepare_pair(&program, &tiling, sddmm, true, &bindings);
-    row("cutout contains communication", has_communication(&cutout.sdfg));
-    row("cutout inputs (gathered data is plain input)", format!("{:?}", cutout.input_config));
+    row(
+        "cutout contains communication",
+        has_communication(&cutout.sdfg),
+    );
+    row(
+        "cutout inputs (gathered data is plain input)",
+        format!("{:?}", cutout.input_config),
+    );
     assert!(!has_communication(&cutout.sdfg));
 
     let profile = ValueProfile {

@@ -63,7 +63,11 @@ fn main() {
                     "check {name}: {} faults / {} instances {}",
                     row.faults,
                     row.instances,
-                    if row.faults > 0 { "(flagged ✓)" } else { "(NOT FLAGGED ✗)" }
+                    if row.faults > 0 {
+                        "(flagged ✓)"
+                    } else {
+                        "(NOT FLAGGED ✗)"
+                    }
                 );
             }
         }
@@ -75,7 +79,11 @@ fn main() {
                     "check {name}: {} false positives / {} instances {}",
                     row.faults,
                     row.instances,
-                    if row.faults == 0 { "(clean ✓)" } else { "(FALSE POSITIVES ✗)" }
+                    if row.faults == 0 {
+                        "(clean ✓)"
+                    } else {
+                        "(FALSE POSITIVES ✗)"
+                    }
                 );
             }
         }

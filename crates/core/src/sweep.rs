@@ -10,21 +10,12 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// Sweep configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct SweepConfig {
     pub verify: VerifyConfig,
     /// Worker threads (sweeps are embarrassingly parallel across
     /// instances). `0` = one thread per available core.
     pub threads: usize,
-}
-
-impl Default for SweepConfig {
-    fn default() -> Self {
-        SweepConfig {
-            verify: VerifyConfig::default(),
-            threads: 0,
-        }
-    }
 }
 
 /// Outcome of one transformation instance.
@@ -181,7 +172,9 @@ pub fn sweep(
                     row.faults += 1;
                     *row.by_class.entry(v.label().to_string()).or_insert(0) += 1;
                     if let Some(t) = rep.trials_to_detection {
-                        let e = detect_sums.entry(r.transformation.clone()).or_insert((0.0, 0));
+                        let e = detect_sums
+                            .entry(r.transformation.clone())
+                            .or_insert((0.0, 0));
                         e.0 += t as f64;
                         e.1 += 1;
                     }
@@ -207,11 +200,7 @@ pub fn format_sweep_table(rows: &[SweepRow]) -> String {
     out.push_str(&"-".repeat(104));
     out.push('\n');
     for r in rows {
-        let classes: Vec<String> = r
-            .by_class
-            .iter()
-            .map(|(k, v)| format!("{k}×{v}"))
-            .collect();
+        let classes: Vec<String> = r.by_class.iter().map(|(k, v)| format!("{k}×{v}")).collect();
         out.push_str(&format!(
             "{:<26} {:>9} {:>7} {:>7} {:>7}  {:<30} {:>10}\n",
             r.transformation,

@@ -319,10 +319,22 @@ mod tests {
                     ScalarExpr::r("b").add(ScalarExpr::r("c")),
                 ));
                 df.read(z, t1, Memlet::new("z", Subset::new(vec![])).to_conn("a"));
-                df.write(t1, tmp, Memlet::new("tmp", Subset::new(vec![])).from_conn("r"));
+                df.write(
+                    t1,
+                    tmp,
+                    Memlet::new("tmp", Subset::new(vec![])).from_conn("r"),
+                );
                 df.read(y, t2, Memlet::new("y", Subset::new(vec![])).to_conn("b"));
-                df.read(tmp, t2, Memlet::new("tmp", Subset::new(vec![])).to_conn("c"));
-                df.write(t2, out, Memlet::new("out", Subset::new(vec![])).from_conn("r"));
+                df.read(
+                    tmp,
+                    t2,
+                    Memlet::new("tmp", Subset::new(vec![])).to_conn("c"),
+                );
+                df.write(
+                    t2,
+                    out,
+                    Memlet::new("out", Subset::new(vec![])).from_conn("r"),
+                );
             });
             let st2 = b.add_state_after(st, "later");
             b.in_state(st2, |df| {
@@ -330,7 +342,11 @@ mod tests {
                 let out2 = df.access("out2");
                 let t = df.tasklet(Tasklet::simple("cp", vec!["a"], "r", ScalarExpr::r("a")));
                 df.read(tmp, t, Memlet::new("tmp", Subset::new(vec![])).to_conn("a"));
-                df.write(t, out2, Memlet::new("out2", Subset::new(vec![])).from_conn("r"));
+                df.write(
+                    t,
+                    out2,
+                    Memlet::new("out2", Subset::new(vec![])).from_conn("r"),
+                );
             });
             b.build()
         };

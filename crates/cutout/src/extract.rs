@@ -3,9 +3,7 @@
 use crate::side_effects::{input_configuration, system_state, CutoutLocation, SideEffectContext};
 use fuzzyflow_graph::NodeId;
 use fuzzyflow_ir::analysis::{graph_access_sets, node_access_sets, AccessSets};
-use fuzzyflow_ir::{
-    CondExpr, DataDesc, InterstateEdge, Sdfg, State, StateId, Subset, SymExpr,
-};
+use fuzzyflow_ir::{CondExpr, DataDesc, InterstateEdge, Sdfg, State, StateId, Subset, SymExpr};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -265,8 +263,7 @@ pub fn extract_state_cutout(
         let (u, v) = sdfg.states.endpoints(e);
         match (state_map.get(&u), state_map.get(&v)) {
             (Some(&nu), Some(&nv)) => {
-                cut.states
-                    .add_edge(nu, nv, sdfg.states.edge(e).clone());
+                cut.states.add_edge(nu, nv, sdfg.states.edge(e).clone());
             }
             // Boundary in: keep the assignments (they seed loop variables
             // etc.), drop the condition (context not available).
@@ -283,8 +280,7 @@ pub fn extract_state_cutout(
             // Boundary out: everything after the cutout is irrelevant; the
             // edge collapses onto a shared empty exit state.
             (Some(&nu), None) => {
-                cut.states
-                    .add_edge(nu, exit, sdfg.states.edge(e).clone());
+                cut.states.add_edge(nu, exit, sdfg.states.edge(e).clone());
             }
             (None, None) => {}
         }
@@ -404,10 +400,7 @@ fn finish_cutout(
         // included"). Containers that must match the original program's
         // observable layout (inputs read externally / system state) keep
         // their shape so comparisons stay positional.
-        if desc.transient
-            && !input_config.contains(name)
-            && !sys_state.contains(name)
-        {
+        if desc.transient && !input_config.contains(name) && !sys_state.contains(name) {
             if let Some(shrunk) = shrink_shape(&desc, cutout_sets, name) {
                 desc.shape = shrunk;
             }
@@ -454,11 +447,7 @@ fn finish_cutout(
 
 /// If every access of `name` starts at index 0, the container can shrink
 /// to the bounding hull of the accessed subsets.
-fn shrink_shape(
-    desc: &DataDesc,
-    sets: &AccessSets,
-    name: &str,
-) -> Option<Vec<SymExpr>> {
+fn shrink_shape(desc: &DataDesc, sets: &AccessSets, name: &str) -> Option<Vec<SymExpr>> {
     let mut hull: Option<Subset> = None;
     for a in sets.reads_from(name).chain(sets.writes_to(name)) {
         if a.subset.rank() != desc.rank() {
@@ -520,8 +509,16 @@ mod tests {
                         "y",
                         ScalarExpr::r("x").add(ScalarExpr::f64(1.0)),
                     ));
-                    body.read(a, k, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(k, t, Memlet::new("tmp", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        a,
+                        k,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        k,
+                        t,
+                        Memlet::new("tmp", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             let m2 = df.map(
@@ -537,8 +534,16 @@ mod tests {
                         "y",
                         ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
                     ));
-                    body.read(t, k, Memlet::new("tmp", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(k, o, Memlet::new("Out", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        t,
+                        k,
+                        Memlet::new("tmp", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        k,
+                        o,
+                        Memlet::new("Out", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m1, &[a], &[tmp]);
@@ -660,7 +665,11 @@ mod tests {
                 ScalarExpr::r("s").add(ScalarExpr::r("i")),
             ));
             df.read(sin, t, Memlet::new("sum", Subset::new(vec![])).to_conn("s"));
-            df.write(t, sout, Memlet::new("sum", Subset::new(vec![])).from_conn("o"));
+            df.write(
+                t,
+                sout,
+                Memlet::new("sum", Subset::new(vec![])).from_conn("o"),
+            );
         });
         let p = b.build();
         let changes = ChangeSet::of_states(vec![lh.guard, lh.body]);

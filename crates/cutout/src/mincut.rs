@@ -96,7 +96,11 @@ fn min_input_flow_cut(
                 let v_node = df.graph.node(v);
                 // Cuts must land *before* data nodes: outgoing edges of
                 // access nodes are uncuttable.
-                let mut cap = if u_node.is_access() { f64::INFINITY } else { volume(e) };
+                let mut cap = if u_node.is_access() {
+                    f64::INFINITY
+                } else {
+                    volume(e)
+                };
                 // External data is always an input: only the S-edge in
                 // front of it may be cut.
                 if let Some(name) = v_node.as_access() {
@@ -336,9 +340,21 @@ mod tests {
                     },
                 )
             };
-            let f = mk_map(df, "f", "x", "a", ScalarExpr::r("v").add(ScalarExpr::f64(1.0)));
+            let f = mk_map(
+                df,
+                "f",
+                "x",
+                "a",
+                ScalarExpr::r("v").add(ScalarExpr::f64(1.0)),
+            );
             df.auto_wire(f, &[x], &[a]);
-            let g = mk_map(df, "g", "x", "bb", ScalarExpr::r("v").mul(ScalarExpr::f64(2.0)));
+            let g = mk_map(
+                df,
+                "g",
+                "x",
+                "bb",
+                ScalarExpr::r("v").mul(ScalarExpr::f64(2.0)),
+            );
             df.auto_wire(g, &[x], &[bacc]);
             let mul = mk_map(
                 df,
@@ -363,9 +379,21 @@ mod tests {
                         "y",
                         ScalarExpr::r("p").add(ScalarExpr::r("q")),
                     ));
-                    body.read(a, t, Memlet::new("a", Subset::at(vec![sym("i")])).to_conn("p"));
-                    body.read(tm, t, Memlet::new("tmp", Subset::at(vec![sym("i")])).to_conn("q"));
-                    body.write(t, o, Memlet::new("out", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("a", Subset::at(vec![sym("i")])).to_conn("p"),
+                    );
+                    body.read(
+                        tm,
+                        t,
+                        Memlet::new("tmp", Subset::at(vec![sym("i")])).to_conn("q"),
+                    );
+                    body.write(
+                        t,
+                        o,
+                        Memlet::new("out", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(h, &[a, tmp], &[out]);
@@ -393,7 +421,11 @@ mod tests {
         assert!(!outcome.added_nodes.is_empty());
         assert!(outcome.volume_after < outcome.volume_before);
         // Reduction is ~50% (one of two equal-size containers).
-        assert!((outcome.reduction() - 0.5).abs() < 0.02, "{}", outcome.reduction());
+        assert!(
+            (outcome.reduction() - 0.5).abs() < 0.02,
+            "{}",
+            outcome.reduction()
+        );
     }
 
     #[test]

@@ -53,10 +53,11 @@ fn any_overlapping_read(
     let mut hits = Vec::new();
     for r in &sets.reads {
         for w in &cutout_writes.writes {
-            if r.data == w.data && r.subset.overlaps(&w.subset, &ctx.bounds).may() {
-                if !hits.contains(&r.data) {
-                    hits.push(r.data.clone());
-                }
+            if r.data == w.data
+                && r.subset.overlaps(&w.subset, &ctx.bounds).may()
+                && !hits.contains(&r.data)
+            {
+                hits.push(r.data.clone());
             }
         }
     }
@@ -71,10 +72,11 @@ fn any_overlapping_write(
     let mut hits = Vec::new();
     for w in &sets.writes {
         for r in &cutout_reads.reads {
-            if w.data == r.data && w.subset.overlaps(&r.subset, &ctx.bounds).may() {
-                if !hits.contains(&w.data) {
-                    hits.push(w.data.clone());
-                }
+            if w.data == r.data
+                && w.subset.overlaps(&r.subset, &ctx.bounds).may()
+                && !hits.contains(&w.data)
+            {
+                hits.push(w.data.clone());
             }
         }
     }
@@ -273,8 +275,16 @@ mod tests {
                         "y",
                         ScalarExpr::r("x").add(ScalarExpr::f64(1.0)),
                     ));
-                    body.read(a, k, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(k, t, Memlet::new("tmp", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        a,
+                        k,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        k,
+                        t,
+                        Memlet::new("tmp", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             let m2 = df.map(
@@ -290,8 +300,16 @@ mod tests {
                         "y",
                         ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
                     ));
-                    body.read(t, k, Memlet::new("tmp", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(k, v, Memlet::new("V", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        t,
+                        k,
+                        Memlet::new("tmp", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        k,
+                        v,
+                        Memlet::new("V", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m1, &[a], &[tmp]);
@@ -317,13 +335,21 @@ mod tests {
                         "y",
                         ScalarExpr::r("a").add(ScalarExpr::r("b")),
                     ));
-                    body.read(v, k, Memlet::new("V", Subset::at(vec![sym("i")])).to_conn("a"));
+                    body.read(
+                        v,
+                        k,
+                        Memlet::new("V", Subset::at(vec![sym("i")])).to_conn("a"),
+                    );
                     body.read(
                         t,
                         k,
                         Memlet::new("tmp", Subset::at(vec![SymExpr::Int(0)])).to_conn("b"),
                     );
-                    body.write(k, r, Memlet::new("R", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.write(
+                        k,
+                        r,
+                        Memlet::new("R", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m, &[v, tmp], &[r]);
@@ -346,7 +372,10 @@ mod tests {
             nodes: vec![m2],
         };
         let ss = system_state(&p, &sets, &loc, &ctx());
-        assert!(ss.contains(&"V".to_string()), "V read in next state: {ss:?}");
+        assert!(
+            ss.contains(&"V".to_string()),
+            "V read in next state: {ss:?}"
+        );
         // tmp is only *read* by the cutout; not part of the system state.
         assert!(!ss.contains(&"tmp".to_string()));
     }
@@ -361,8 +390,14 @@ mod tests {
             nodes: vec![m2],
         };
         let ic = input_configuration(&p, &sets, &loc, &ctx());
-        assert!(ic.contains(&"tmp".to_string()), "tmp written upstream: {ic:?}");
-        assert!(!ic.contains(&"A".to_string()), "A not read by cutout: {ic:?}");
+        assert!(
+            ic.contains(&"tmp".to_string()),
+            "tmp written upstream: {ic:?}"
+        );
+        assert!(
+            !ic.contains(&"A".to_string()),
+            "A not read by cutout: {ic:?}"
+        );
         // V is written (not read) by the cutout -> not an input.
         assert!(!ic.contains(&"V".to_string()));
     }

@@ -116,9 +116,7 @@ pub fn refind_match(
             let preferred = matches.iter().find(|m| match &m.site {
                 MatchSite::Nodes { state, .. } => mapped_states.contains(state),
                 MatchSite::Loop { guard } => mapped_states.contains(guard),
-                MatchSite::States { states } => {
-                    states.iter().all(|s| mapped_states.contains(s))
-                }
+                MatchSite::States { states } => states.iter().all(|s| mapped_states.contains(s)),
                 MatchSite::InterstateEdge { .. } => true,
             });
             preferred
@@ -133,7 +131,9 @@ mod tests {
     use super::*;
     use crate::extract::extract_cutout;
     use crate::side_effects::SideEffectContext;
-    use fuzzyflow_ir::{sym, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymRange, Tasklet};
+    use fuzzyflow_ir::{
+        sym, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymRange, Tasklet,
+    };
     use fuzzyflow_transforms::{ChangeSet, MapTiling, Transformation};
 
     #[test]
@@ -154,8 +154,16 @@ mod tests {
                     let a = body.access("A");
                     let o = body.access("B");
                     let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
-                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        t,
+                        o,
+                        Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m, &[a], &[o]);

@@ -1,0 +1,140 @@
+//! Communication detection (paper Sec. 6.2).
+//!
+//! A cutout is testable on a single rank iff it contains no
+//! communication node: anything a collective delivered must instead be
+//! exposed as a plain input container. The extractor and the mincut
+//! minimizer both consult this analysis.
+
+use fuzzyflow_ir::{Dataflow, DfNode, Sdfg};
+
+/// True iff the program contains at least one communication collective,
+/// anywhere — including inside nested map-scope bodies.
+pub fn has_communication(sdfg: &Sdfg) -> bool {
+    !communication_nodes(sdfg).is_empty()
+}
+
+/// Names of every communication library node in the program, in
+/// state-machine then dataflow order.
+pub fn communication_nodes(sdfg: &Sdfg) -> Vec<String> {
+    let mut found = Vec::new();
+    for sid in sdfg.states.node_ids() {
+        scan_dataflow(&sdfg.state(sid).df, &mut found);
+    }
+    found
+}
+
+fn scan_dataflow(df: &Dataflow, found: &mut Vec<String>) {
+    for n in df.graph.node_ids() {
+        match df.graph.node(n) {
+            DfNode::Library(l) if l.op.is_comm() => found.push(l.name.clone()),
+            DfNode::Map(m) => scan_dataflow(&m.body, found),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyflow_ir::{
+        sym, CommOp, DType, LibraryOp, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymRange,
+        Tasklet, Wcr,
+    };
+
+    fn comm_free_program() -> Sdfg {
+        let mut b = SdfgBuilder::new("local");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let bb = df.access("B");
+            let sm = df.library("sm", LibraryOp::Softmax);
+            df.read(
+                a,
+                sm,
+                Memlet::new("A", Subset::full(&[sym("N")])).to_conn("in"),
+            );
+            df.write(
+                sm,
+                bb,
+                Memlet::new("B", Subset::full(&[sym("N")])).from_conn("out"),
+            );
+        });
+        b.build()
+    }
+
+    #[test]
+    fn no_false_positives_on_local_programs() {
+        let p = comm_free_program();
+        assert!(!has_communication(&p));
+        assert!(communication_nodes(&p).is_empty());
+    }
+
+    #[test]
+    fn finds_top_level_collectives() {
+        let mut b = SdfgBuilder::new("dist");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let bb = df.access("B");
+            let ar = df.library("sumall", LibraryOp::Comm(CommOp::AllReduce(Wcr::Sum)));
+            df.read(
+                a,
+                ar,
+                Memlet::new("A", Subset::full(&[sym("N")])).to_conn("in"),
+            );
+            df.write(
+                ar,
+                bb,
+                Memlet::new("B", Subset::full(&[sym("N")])).from_conn("out"),
+            );
+        });
+        let p = b.build();
+        assert!(has_communication(&p));
+        assert_eq!(communication_nodes(&p), vec!["sumall".to_string()]);
+    }
+
+    #[test]
+    fn scans_nested_map_bodies() {
+        // A map whose body is pure computation must not be flagged.
+        let mut b = SdfgBuilder::new("mapped");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let t = body.tasklet(Tasklet::simple(
+                        "double",
+                        vec!["x"],
+                        "y",
+                        ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
+                    ));
+                    let a = body.access("A");
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    let bb = body.access("B");
+                    body.write(
+                        t,
+                        bb,
+                        Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
+                },
+            );
+        });
+        let p = b.build();
+        assert!(!has_communication(&p));
+    }
+}

@@ -248,7 +248,11 @@ mod tests {
             let a = df.access("A");
             let o = df.access("out");
             let t = df.tasklet(Tasklet::simple("rd", vec!["x"], "y", ScalarExpr::r("x")));
-            df.read(a, t, Memlet::new("A", Subset::at(vec![sym("k")])).to_conn("x"));
+            df.read(
+                a,
+                t,
+                Memlet::new("A", Subset::at(vec![sym("k")])).to_conn("x"),
+            );
             df.write(t, o, Memlet::new("out", Subset::new(vec![])).from_conn("y"));
             tid = Some(t);
         });

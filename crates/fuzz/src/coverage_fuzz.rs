@@ -21,8 +21,8 @@ use crate::testcase::TestCase;
 use crate::Verdict;
 use fuzzyflow_cutout::Cutout;
 use fuzzyflow_interp::coverage::MAP_SIZE;
-use fuzzyflow_interp::{run_with, CoverageMap, ExecOptions, ExecState};
 use fuzzyflow_interp::ArrayValue;
+use fuzzyflow_interp::{run_with, CoverageMap, ExecOptions, ExecState};
 use fuzzyflow_ir::{validate, Bindings, Sdfg};
 
 /// Report of a coverage-guided fuzzing campaign.
@@ -75,8 +75,12 @@ fn encode(cutout: &Cutout, st: &ExecState) -> Vec<u8> {
         if let Some(arr) = st.array(name) {
             for i in 0..arr.len() {
                 match arr.get(i) {
-                    fuzzyflow_ir::Scalar::F64(v) => buf.extend_from_slice(&v.to_bits().to_le_bytes()),
-                    fuzzyflow_ir::Scalar::F32(v) => buf.extend_from_slice(&v.to_bits().to_le_bytes()),
+                    fuzzyflow_ir::Scalar::F64(v) => {
+                        buf.extend_from_slice(&v.to_bits().to_le_bytes())
+                    }
+                    fuzzyflow_ir::Scalar::F32(v) => {
+                        buf.extend_from_slice(&v.to_bits().to_le_bytes())
+                    }
                     fuzzyflow_ir::Scalar::I64(v) => buf.extend_from_slice(&v.to_le_bytes()),
                     fuzzyflow_ir::Scalar::I32(v) => buf.extend_from_slice(&v.to_le_bytes()),
                     fuzzyflow_ir::Scalar::Bool(v) => buf.push(v as u8),
@@ -123,13 +127,21 @@ fn decode(cutout: &Cutout, buf: &[u8], size_max: i64) -> Option<ExecState> {
                     let v = f64::from_bits(bits);
                     // Sanitize NaN/inf like a fuzzing harness would, to
                     // avoid trivially poisoned comparisons.
-                    let v = if v.is_finite() { v } else { (bits % 1000) as f64 };
+                    let v = if v.is_finite() {
+                        v
+                    } else {
+                        (bits % 1000) as f64
+                    };
                     arr.set(i, fuzzyflow_ir::Scalar::F64(v));
                 }
                 fuzzyflow_ir::DType::F32 => {
                     let bits = take8(buf, &mut pos) as u64 as u32;
                     let v = f32::from_bits(bits);
-                    let v = if v.is_finite() { v } else { (bits % 1000) as f32 };
+                    let v = if v.is_finite() {
+                        v
+                    } else {
+                        (bits % 1000) as f32
+                    };
                     arr.set(i, fuzzyflow_ir::Scalar::F32(v));
                 }
                 fuzzyflow_ir::DType::I64 => {
@@ -279,13 +291,7 @@ impl CoverageFuzzer {
             // Original run, instrumented.
             let mut cov = CoverageMap::new();
             let mut orig_state = sample.clone();
-            let orig_result = run_with(
-                &cutout.sdfg,
-                &mut orig_state,
-                &opts,
-                None,
-                Some(&mut cov),
-            );
+            let orig_result = run_with(&cutout.sdfg, &mut orig_state, &opts, None, Some(&mut cov));
             if orig_result.is_err() {
                 // Uninteresting crash (both sides fail) — but still feed
                 // coverage so the fuzzer learns path-triggering inputs.
@@ -420,8 +426,16 @@ mod tests {
                         "y",
                         ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
                     ));
-                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        t,
+                        o,
+                        Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m, &[a], &[o]);

@@ -289,7 +289,11 @@ mod tests {
     };
 
     /// s[0] += A[i]: accumulation program where tiling bugs are visible.
-    fn acc_program() -> (fuzzyflow_ir::Sdfg, fuzzyflow_ir::StateId, fuzzyflow_graph::NodeId) {
+    fn acc_program() -> (
+        fuzzyflow_ir::Sdfg,
+        fuzzyflow_ir::StateId,
+        fuzzyflow_graph::NodeId,
+    ) {
         let mut b = SdfgBuilder::new("acc");
         b.symbol("N");
         b.array("A", DType::F64, &["N"]);
@@ -307,7 +311,11 @@ mod tests {
                     let a = body.access("A");
                     let s = body.access("s");
                     let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
-                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
                     body.write(
                         t,
                         s,
@@ -379,9 +387,7 @@ mod tests {
         let mut b = replay.state.clone();
         fuzzyflow_interp::run(&c.sdfg, &mut a).unwrap();
         fuzzyflow_interp::run(&transformed, &mut b).unwrap();
-        assert!(a
-            .compare_on(&b, &c.system_state, 1e-5)
-            .is_some());
+        assert!(a.compare_on(&b, &c.system_state, 1e-5).is_some());
     }
 
     #[test]

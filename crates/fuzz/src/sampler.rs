@@ -102,7 +102,8 @@ pub fn sample_state(
     // Any input symbol missing from the constraint roles (defensive).
     for s in &cutout.input_symbols {
         if !st.symbols.contains(s) {
-            st.symbols.set(s.clone(), rng.range_i64(1, profile.size_max));
+            st.symbols
+                .set(s.clone(), rng.range_i64(1, profile.size_max));
         }
     }
 
@@ -160,8 +161,16 @@ mod tests {
                     let a = body.access("A");
                     let o = body.access("B");
                     let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
-                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        t,
+                        o,
+                        Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m, &[a], &[o]);

@@ -68,8 +68,7 @@ fn scalar_to_hex(s: Scalar) -> String {
 
 fn scalar_from_hex(dtype: DType, text: &str) -> Result<Scalar, TestCaseParseError> {
     let parse_u64 = |t: &str| {
-        u64::from_str_radix(t, 16)
-            .map_err(|e| TestCaseParseError(format!("bad hex '{t}': {e}")))
+        u64::from_str_radix(t, 16).map_err(|e| TestCaseParseError(format!("bad hex '{t}': {e}")))
     };
     Ok(match dtype {
         DType::F64 => Scalar::F64(f64::from_bits(parse_u64(text)?)),
@@ -251,10 +250,7 @@ mod tests {
         let a = back.state.array("A").unwrap();
         let orig = tc.state.array("A").unwrap();
         assert_eq!(a.first_mismatch(orig, 0.0), None, "bit-exact replay");
-        assert_eq!(
-            back.state.array("flag").unwrap().get(0),
-            Scalar::Bool(true)
-        );
+        assert_eq!(back.state.array("flag").unwrap().get(0), Scalar::Bool(true));
     }
 
     #[test]
@@ -264,7 +260,8 @@ mod tests {
 
     #[test]
     fn rejects_truncated_data() {
-        let text = "fuzzyflow-testcase v1\nprogram p\nfailure f\narray A f64 [4]\n  3ff0000000000000\n";
+        let text =
+            "fuzzyflow-testcase v1\nprogram p\nfailure f\narray A f64 [4]\n  3ff0000000000000\n";
         assert!(TestCase::from_text(text).is_err());
     }
 

@@ -191,7 +191,10 @@ impl<N, E> DiGraph<N, E> {
 
     /// Redirects an edge to a new destination, keeping its weight and id.
     pub fn redirect_dst(&mut self, id: EdgeId, new_dst: NodeId) {
-        assert!(self.contains_node(new_dst), "destination {new_dst} not in graph");
+        assert!(
+            self.contains_node(new_dst),
+            "destination {new_dst} not in graph"
+        );
         let old_dst = self.dst(id);
         self.in_edges[old_dst.index()].retain(|&e| e != id);
         self.edges[id.index()].as_mut().expect("live edge").dst = new_dst;
@@ -265,12 +268,16 @@ impl<N, E> DiGraph<N, E> {
 
     /// Nodes without incoming edges.
     pub fn source_nodes(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.in_degree(n) == 0)
+            .collect()
     }
 
     /// Nodes without outgoing edges.
     pub fn sink_nodes(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.out_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.out_degree(n) == 0)
+            .collect()
     }
 
     /// Maps node weights to a new graph with identical topology and ids.

@@ -9,4 +9,6 @@ pub mod traversal;
 
 pub use digraph::{DiGraph, EdgeId, NodeId};
 pub use maxflow::{max_flow_min_cut, Capacity, MinCutResult};
-pub use traversal::{bfs_order, reachable_from, reverse_reachable_from, topological_sort, CycleError};
+pub use traversal::{
+    bfs_order, reachable_from, reverse_reachable_from, topological_sort, CycleError,
+};

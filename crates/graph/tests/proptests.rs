@@ -7,12 +7,8 @@ use proptest::prelude::*;
 /// index, so the graph is acyclic by construction.
 fn arb_dag() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
     (2usize..12).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0..n, 0..n), 0..30).prop_map(move |pairs| {
-            pairs
-                .into_iter()
-                .filter(|(a, b)| a < b)
-                .collect::<Vec<_>>()
-        });
+        let edges = proptest::collection::vec((0..n, 0..n), 0..30)
+            .prop_map(move |pairs| pairs.into_iter().filter(|(a, b)| a < b).collect::<Vec<_>>());
         (Just(n), edges)
     })
 }
@@ -20,14 +16,13 @@ fn arb_dag() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
 /// Random flow network: random edges with small positive capacities.
 fn arb_network() -> impl Strategy<Value = (usize, Vec<(usize, usize, u8)>)> {
     (2usize..10).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0..n, 0..n, 1u8..16), 1..40).prop_map(
-            move |pairs| {
+        let edges =
+            proptest::collection::vec((0..n, 0..n, 1u8..16), 1..40).prop_map(move |pairs| {
                 pairs
                     .into_iter()
                     .filter(|(a, b, _)| a != b)
                     .collect::<Vec<_>>()
-            },
-        );
+            });
         (Just(n), edges)
     })
 }

@@ -105,8 +105,16 @@ impl ExecState {
             match (self.arrays.get(name), other.arrays.get(name)) {
                 (Some(a), Some(b)) => {
                     if let Some(i) = a.first_mismatch(b, tol) {
-                        let lhs = if i < a.len() { a.get(i).to_string() } else { "<shape>".into() };
-                        let rhs = if i < b.len() { b.get(i).to_string() } else { "<shape>".into() };
+                        let lhs = if i < a.len() {
+                            a.get(i).to_string()
+                        } else {
+                            "<shape>".into()
+                        };
+                        let rhs = if i < b.len() {
+                            b.get(i).to_string()
+                        } else {
+                            "<shape>".into()
+                        };
                         return Some(StateMismatch {
                             data: name.clone(),
                             index: i,
@@ -120,8 +128,16 @@ impl ExecState {
                         return Some(StateMismatch {
                             data: name.clone(),
                             index: 0,
-                            lhs: if a.is_some() { "<present>".into() } else { "<missing>".into() },
-                            rhs: if b.is_some() { "<present>".into() } else { "<missing>".into() },
+                            lhs: if a.is_some() {
+                                "<present>".into()
+                            } else {
+                                "<missing>".into()
+                            },
+                            rhs: if b.is_some() {
+                                "<present>".into()
+                            } else {
+                                "<missing>".into()
+                            },
                         });
                     }
                 }
@@ -190,9 +206,7 @@ impl<'a> Exec<'a> {
             if st.arrays.contains_key(name) {
                 continue;
             }
-            let shape = desc
-                .concrete_shape(&st.symbols)
-                .map_err(ExecError::from)?;
+            let shape = desc.concrete_shape(&st.symbols).map_err(ExecError::from)?;
             if shape.iter().any(|&d| d < 0) {
                 return Err(ExecError::Malformed(format!(
                     "container '{name}' has negative dimension in shape {shape:?}"
@@ -321,13 +335,12 @@ impl<'a> Exec<'a> {
         let c = m.subset.concrete(&st.symbols)?;
         let mut out = Vec::with_capacity(c.volume());
         for point in c.iter_points() {
-            let off = DataDesc::linearize(arr.shape(), &point).ok_or_else(|| {
-                ExecError::OutOfBounds {
+            let off =
+                DataDesc::linearize(arr.shape(), &point).ok_or_else(|| ExecError::OutOfBounds {
                     data: m.data.clone(),
                     point: point.clone(),
                     shape: arr.shape().to_vec(),
-                }
-            })?;
+                })?;
             out.push(arr.get(off));
         }
         if out.is_empty() {
@@ -392,7 +405,10 @@ impl<'a> Exec<'a> {
         let mut inputs: BTreeMap<String, Vec<Scalar>> = BTreeMap::new();
         for (_, m) in df.in_memlets(n) {
             let conn = m.dst_conn.clone().ok_or_else(|| {
-                ExecError::Malformed(format!("input memlet of tasklet '{}' has no connector", t.name))
+                ExecError::Malformed(format!(
+                    "input memlet of tasklet '{}' has no connector",
+                    t.name
+                ))
             })?;
             let vals = self.read_memlet(st, m, &t.name)?;
             if vals.len() != 1 && vals.len() != lanes {
@@ -425,10 +441,12 @@ impl<'a> Exec<'a> {
                 scope.insert(stmt.dst.clone(), v);
             }
             for out in &t.outputs {
-                let v = *scope.get(out).ok_or_else(|| ExecError::Malformed(format!(
-                    "tasklet '{}' never assigns output connector '{out}'",
-                    t.name
-                )))?;
+                let v = *scope.get(out).ok_or_else(|| {
+                    ExecError::Malformed(format!(
+                        "tasklet '{}' never assigns output connector '{out}'",
+                        t.name
+                    ))
+                })?;
                 outputs.entry(out.clone()).or_default().push(v);
             }
         }
@@ -521,9 +539,9 @@ impl<'a> Exec<'a> {
             ins.insert(conn, (dims, vals));
         }
         let get = |conn: &str| -> Result<&(Vec<i64>, Vec<Scalar>), ExecError> {
-            ins.get(conn).ok_or_else(|| ExecError::Malformed(format!(
-                "library '{name}' missing input connector '{conn}'"
-            )))
+            ins.get(conn).ok_or_else(|| {
+                ExecError::Malformed(format!("library '{name}' missing input connector '{conn}'"))
+            })
         };
 
         let mut out_by_conn: BTreeMap<String, Vec<Scalar>> = BTreeMap::new();
@@ -589,13 +607,17 @@ impl<'a> Exec<'a> {
 
         for (_, m) in df.out_memlets(n) {
             let conn = m.src_conn.clone().ok_or_else(|| {
-                ExecError::Malformed(format!("output memlet of library '{name}' has no connector"))
+                ExecError::Malformed(format!(
+                    "output memlet of library '{name}' has no connector"
+                ))
             })?;
             let vals = out_by_conn
                 .get(&conn)
-                .ok_or_else(|| ExecError::Malformed(format!(
-                    "library '{name}' has no output connector '{conn}'"
-                )))?
+                .ok_or_else(|| {
+                    ExecError::Malformed(format!(
+                        "library '{name}' has no output connector '{conn}'"
+                    ))
+                })?
                 .clone();
             self.write_memlet(st, m, &vals, name)?;
         }

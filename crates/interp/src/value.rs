@@ -77,7 +77,10 @@ impl ArrayValue {
     /// Builds an `f64` array from a slice (convenience for tests/examples).
     pub fn from_f64(shape: Vec<i64>, values: &[f64]) -> Self {
         assert_eq!(
-            shape.iter().product::<i64>().max(if shape.is_empty() { 1 } else { 0 }),
+            shape
+                .iter()
+                .product::<i64>()
+                .max(if shape.is_empty() { 1 } else { 0 }),
             values.len() as i64,
             "value count must match shape"
         );

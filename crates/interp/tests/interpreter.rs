@@ -29,8 +29,16 @@ fn scale_program() -> fuzzyflow_ir::Sdfg {
                     "y",
                     ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
                 ));
-                body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                body.read(
+                    a,
+                    t,
+                    Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                );
+                body.write(
+                    t,
+                    o,
+                    Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                );
             },
         );
         df.auto_wire(m, &[a], &[o]);
@@ -45,7 +53,10 @@ fn elementwise_map_scales() {
     st.bind("N", 4);
     st.set_array("A", ArrayValue::from_f64(vec![4], &[1.0, 2.0, 3.0, 4.0]));
     run(&p, &mut st).unwrap();
-    assert_eq!(st.array("B").unwrap().to_f64_vec(), vec![2.0, 4.0, 6.0, 8.0]);
+    assert_eq!(
+        st.array("B").unwrap().to_f64_vec(),
+        vec![2.0, 4.0, 6.0, 8.0]
+    );
 }
 
 #[test]
@@ -70,7 +81,11 @@ fn oob_access_is_detected() {
         let a = df.access("A");
         let o = df.access("B");
         let t = df.tasklet(Tasklet::simple("bad", vec!["x"], "y", ScalarExpr::r("x")));
-        df.read(a, t, Memlet::new("A", Subset::at(vec![sym("N")])).to_conn("x"));
+        df.read(
+            a,
+            t,
+            Memlet::new("A", Subset::at(vec![sym("N")])).to_conn("x"),
+        );
         df.write(
             t,
             o,
@@ -109,7 +124,11 @@ fn state_machine_loop_accumulates() {
             ScalarExpr::r("s").add(ScalarExpr::r("i")),
         ));
         df.read(sin, t, Memlet::new("sum", Subset::new(vec![])).to_conn("s"));
-        df.write(t, sout, Memlet::new("sum", Subset::new(vec![])).from_conn("o"));
+        df.write(
+            t,
+            sout,
+            Memlet::new("sum", Subset::new(vec![])).from_conn("o"),
+        );
     });
     let p = b.build();
     let mut st = ExecState::new();
@@ -132,8 +151,16 @@ fn negative_step_loop_runs_all_iterations() {
             "o",
             ScalarExpr::r("c").add(ScalarExpr::i64(1)),
         ));
-        df.read(cin, t, Memlet::new("count", Subset::new(vec![])).to_conn("c"));
-        df.write(t, cout, Memlet::new("count", Subset::new(vec![])).from_conn("o"));
+        df.read(
+            cin,
+            t,
+            Memlet::new("count", Subset::new(vec![])).to_conn("c"),
+        );
+        df.write(
+            t,
+            cout,
+            Memlet::new("count", Subset::new(vec![])).from_conn("o"),
+        );
     });
     let p = b.build();
     let mut st = ExecState::new();
@@ -173,7 +200,11 @@ fn wcr_sum_accumulates() {
                 let a = body.access("A");
                 let c = body.access("C");
                 let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
-                body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                body.read(
+                    a,
+                    t,
+                    Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                );
                 body.write(
                     t,
                     c,
@@ -287,12 +318,8 @@ fn vector_tasklet_lanes() {
                 );
                 t.lanes = 4;
                 let t = body.tasklet(t);
-                let vec_subset = || {
-                    Subset::new(vec![SymRange::span(
-                        sym("i"),
-                        sym("i") + SymExpr::Int(4),
-                    )])
-                };
+                let vec_subset =
+                    || Subset::new(vec![SymRange::span(sym("i"), sym("i") + SymExpr::Int(4))]);
                 body.read(a, t, Memlet::new("A", vec_subset()).to_conn("x"));
                 body.write(t, o, Memlet::new("B", vec_subset()).from_conn("y"));
             },
@@ -335,8 +362,16 @@ fn comm_node_without_handler_errors() {
             "ar",
             fuzzyflow_ir::LibraryOp::Comm(fuzzyflow_ir::CommOp::AllReduce(Wcr::Sum)),
         );
-        df.read(x, c, Memlet::new("X", Subset::full(&[sym("N")])).to_conn("in"));
-        df.write(c, y, Memlet::new("Y", Subset::full(&[sym("N")])).from_conn("out"));
+        df.read(
+            x,
+            c,
+            Memlet::new("X", Subset::full(&[sym("N")])).to_conn("in"),
+        );
+        df.write(
+            c,
+            y,
+            Memlet::new("Y", Subset::full(&[sym("N")])).from_conn("out"),
+        );
     });
     let p = b.build();
     let mut st = ExecState::new();
@@ -405,7 +440,11 @@ fn reduce_library_node_axis0() {
             r,
             Memlet::new("A", Subset::full(&[sym("N"), sym("N")])).to_conn("in"),
         );
-        df.write(r, s, Memlet::new("S", Subset::full(&[sym("N")])).from_conn("out"));
+        df.write(
+            r,
+            s,
+            Memlet::new("S", Subset::full(&[sym("N")])).from_conn("out"),
+        );
     });
     let p = b.build();
     let mut st = ExecState::new();

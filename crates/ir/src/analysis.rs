@@ -181,8 +181,16 @@ mod tests {
             "y",
             ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
         )));
-        body.connect(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-        body.connect(t, o, Memlet::new("Out", Subset::at(vec![sym("i")])).from_conn("y"));
+        body.connect(
+            a,
+            t,
+            Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+        );
+        body.connect(
+            t,
+            o,
+            Memlet::new("Out", Subset::at(vec![sym("i")])).from_conn("y"),
+        );
 
         let mut outer = Dataflow::new();
         outer.add_node(DfNode::Map(MapScope {
@@ -205,8 +213,16 @@ mod tests {
             "y",
             ScalarExpr::r("x"),
         )));
-        df.connect(a, t, Memlet::new("A", Subset::at(vec![sym("k")])).to_conn("x"));
-        df.connect(t, b, Memlet::new("B", Subset::at(vec![sym("k")])).from_conn("y"));
+        df.connect(
+            a,
+            t,
+            Memlet::new("A", Subset::at(vec![sym("k")])).to_conn("x"),
+        );
+        df.connect(
+            t,
+            b,
+            Memlet::new("B", Subset::at(vec![sym("k")])).from_conn("y"),
+        );
         let sets = node_access_sets(&df, t);
         assert_eq!(sets.read_containers(), vec!["A".to_string()]);
         assert_eq!(sets.written_containers(), vec!["B".to_string()]);
@@ -266,7 +282,11 @@ mod tests {
             "y",
             ScalarExpr::r("x"),
         )));
-        df.connect(a, t, Memlet::new("A", Subset::at(vec![sym("k")])).to_conn("x"));
+        df.connect(
+            a,
+            t,
+            Memlet::new("A", Subset::at(vec![sym("k")])).to_conn("x"),
+        );
         df.connect(
             t,
             c,

@@ -143,9 +143,9 @@ impl SdfgBuilder {
             guard,
             InterstateEdge::always().assign(var, start.clone()),
         );
-        let enter_edge = self
-            .sdfg
-            .add_interstate_edge(guard, body, InterstateEdge::when(cond.clone()));
+        let enter_edge =
+            self.sdfg
+                .add_interstate_edge(guard, body, InterstateEdge::when(cond.clone()));
         let back_edge = self.sdfg.add_interstate_edge(
             body,
             guard,
@@ -305,14 +305,17 @@ mod tests {
                 |body| {
                     let a = body.access("A");
                     let o = body.access("B");
-                    let t = body.tasklet(Tasklet::simple(
-                        "id",
-                        vec!["x"],
-                        "y",
-                        ScalarExpr::r("x"),
-                    ));
-                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                    let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        t,
+                        o,
+                        Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m, &[a], &[out]);
@@ -352,14 +355,7 @@ mod tests {
     #[test]
     fn negative_step_loop_uses_ge() {
         let mut b = SdfgBuilder::new("p");
-        let lh = b.for_loop(
-            b.start(),
-            "i",
-            SymExpr::Int(4),
-            SymExpr::Int(1),
-            -1,
-            "down",
-        );
+        let lh = b.for_loop(b.start(), "i", SymExpr::Int(4), SymExpr::Int(1), -1, "down");
         let s = b.build();
         let enter = s.states.edge(lh.enter_edge);
         assert!(matches!(enter.condition, CondExpr::Cmp(CmpOp::Ge, ..)));
@@ -385,8 +381,16 @@ mod tests {
                     let a = body.access("A");
                     let o = body.access("A");
                     let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
-                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(t, o, Memlet::new("A", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        t,
+                        o,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m, &[z], &[]);

@@ -59,10 +59,8 @@ impl Dataflow {
     fn collect_containers(&self, out: &mut Vec<String>) {
         for n in self.graph.node_ids() {
             match self.graph.node(n) {
-                DfNode::Access(d) => {
-                    if !out.contains(d) {
-                        out.push(d.clone());
-                    }
+                DfNode::Access(d) if !out.contains(d) => {
+                    out.push(d.clone());
                 }
                 DfNode::Map(m) => m.body.collect_containers(out),
                 _ => {}
@@ -157,8 +155,16 @@ mod tests {
             "y",
             ScalarExpr::r("x"),
         )));
-        df.connect(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-        df.connect(t, b, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+        df.connect(
+            a,
+            t,
+            Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+        );
+        df.connect(
+            t,
+            b,
+            Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+        );
         (df, a, t, b)
     }
 
@@ -172,7 +178,10 @@ mod tests {
     #[test]
     fn referenced_containers_includes_memlet_data() {
         let (df, _, _, _) = simple_df();
-        assert_eq!(df.referenced_containers(), vec!["A".to_string(), "B".to_string()]);
+        assert_eq!(
+            df.referenced_containers(),
+            vec!["A".to_string(), "B".to_string()]
+        );
     }
 
     #[test]

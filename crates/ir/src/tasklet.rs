@@ -5,6 +5,10 @@
 //! memlets. This is what makes the true read/write set of every operation
 //! a graph property (paper Sec. 2.2).
 
+// Fluent expression builders intentionally mirror operator names
+// (`a.add(b)`) without implementing the std operator traits for every one.
+#![allow(clippy::should_implement_trait)]
+
 use crate::dtype::Scalar;
 use std::fmt;
 
@@ -139,7 +143,9 @@ impl ScalarExpr {
     pub fn rename(&self, from: &str, to: &str) -> ScalarExpr {
         match self {
             ScalarExpr::Const(c) => ScalarExpr::Const(*c),
-            ScalarExpr::Ref(n) => ScalarExpr::Ref(if n == from { to.to_string() } else { n.clone() }),
+            ScalarExpr::Ref(n) => {
+                ScalarExpr::Ref(if n == from { to.to_string() } else { n.clone() })
+            }
             ScalarExpr::Bin(op, a, b) => ScalarExpr::Bin(
                 *op,
                 Box::new(a.rename(from, to)),

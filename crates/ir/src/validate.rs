@@ -212,9 +212,7 @@ fn validate_dataflow(
         match (un.as_access(), vn.as_access()) {
             (Some(_), Some(_)) => errors.push(ValidationError::MalformedEdge {
                 state,
-                detail: format!(
-                    "edge {e} connects two access nodes; use a Copy library node"
-                ),
+                detail: format!("edge {e} connects two access nodes; use a Copy library node"),
             }),
             (None, None) => errors.push(ValidationError::MalformedEdge {
                 state,
@@ -282,7 +280,7 @@ fn validate_dataflow(
 
         // Symbols in subsets.
         for s in m.subset.free_symbols() {
-            if !scope_syms.iter().any(|k| *k == s) {
+            if !scope_syms.contains(&s) {
                 errors.push(ValidationError::UnknownSymbol {
                     context: format!("memlet {e} in state {state}"),
                     symbol: s,
@@ -340,9 +338,7 @@ fn validate_dataflow(
                     // (triangular iteration spaces) plus enclosing scope.
                     let earlier = &map.params[..d.min(map.params.len())];
                     for s in r.free_symbols() {
-                        if !scope_syms.iter().any(|k| *k == s)
-                            && !earlier.iter().any(|k| *k == s)
-                        {
+                        if !scope_syms.contains(&s) && !earlier.contains(&s) {
                             errors.push(ValidationError::UnknownSymbol {
                                 context: format!("map range in state {state}"),
                                 symbol: s,
@@ -374,7 +370,7 @@ fn check_connectors(
         .map(|(_, m)| m.dst_conn.as_deref())
         .collect();
     for conn in inputs {
-        if !in_conns.iter().any(|c| *c == Some(conn)) {
+        if !in_conns.contains(&Some(conn)) {
             errors.push(ValidationError::DanglingInputConnector {
                 state,
                 node: name.to_string(),
@@ -397,7 +393,7 @@ fn check_connectors(
         .map(|(_, m)| m.src_conn.as_deref())
         .collect();
     for conn in outputs {
-        if !out_conns.iter().any(|c| *c == Some(conn)) {
+        if !out_conns.contains(&Some(conn)) {
             errors.push(ValidationError::UnusedOutputConnector {
                 state,
                 node: name.to_string(),
@@ -442,8 +438,16 @@ mod tests {
                     let a = body.access("A");
                     let o = body.access("B");
                     let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
-                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        t,
+                        o,
+                        Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m, &[a], &[o]);
@@ -462,9 +466,9 @@ mod tests {
         let st = s.start;
         s.state_mut(st).df.add_access("NOPE");
         let errs = validate(&s).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, ValidationError::UnknownContainer { data, .. } if data == "NOPE")));
+        assert!(errs.iter().any(
+            |e| matches!(e, ValidationError::UnknownContainer { data, .. } if data == "NOPE")
+        ));
     }
 
     #[test]
@@ -530,7 +534,11 @@ mod tests {
             let a = df.access("A");
             let o = df.access("B");
             let t = df.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
-            df.read(a, t, Memlet::new("A", Subset::at(vec![sym("q")])).to_conn("x"));
+            df.read(
+                a,
+                t,
+                Memlet::new("A", Subset::at(vec![sym("q")])).to_conn("x"),
+            );
             df.write(
                 t,
                 o,
@@ -579,8 +587,16 @@ mod tests {
                     let a = body.access("A");
                     let o = body.access("B");
                     let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
-                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        t,
+                        o,
+                        Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m, &[a], &[o]);
@@ -600,7 +616,11 @@ mod tests {
         b.in_state(st, |df| {
             let a = df.access("A");
             let t = df.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
-            df.read(a, t, Memlet::new("A", Subset::at(vec![SymExpr::Int(0)])).to_conn("x"));
+            df.read(
+                a,
+                t,
+                Memlet::new("A", Subset::at(vec![SymExpr::Int(0)])).to_conn("x"),
+            );
             df.write(
                 t,
                 a,

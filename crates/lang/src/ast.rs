@@ -115,7 +115,10 @@ pub enum Item {
         transient: bool,
     },
     /// `scalar x;` (optionally `transient`).
-    Scalar { name: String, transient: bool },
+    Scalar {
+        name: String,
+        transient: bool,
+    },
     Stmt(Stmt),
 }
 

@@ -81,7 +81,10 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
                 i += 1;
             }
             '*' => {
-                out.push(SpannedTok { tok: Tok::Star, line });
+                out.push(SpannedTok {
+                    tok: Tok::Star,
+                    line,
+                });
                 i += 1;
             }
             '/' => {
@@ -155,7 +158,10 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
                 i += 1;
             }
             ';' => {
-                out.push(SpannedTok { tok: Tok::Semi, line });
+                out.push(SpannedTok {
+                    tok: Tok::Semi,
+                    line,
+                });
                 i += 1;
             }
             '.' => {
@@ -182,18 +188,18 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
                         i += 1;
                     }
                     let text = &source[start..i];
-                    let v: f64 = text
-                        .parse()
-                        .map_err(|e| CompileError::new(format!("bad float '{text}': {e}"), Some(line)))?;
+                    let v: f64 = text.parse().map_err(|e| {
+                        CompileError::new(format!("bad float '{text}': {e}"), Some(line))
+                    })?;
                     out.push(SpannedTok {
                         tok: Tok::Float(v),
                         line,
                     });
                 } else {
                     let text = &source[start..i];
-                    let v: i64 = text
-                        .parse()
-                        .map_err(|e| CompileError::new(format!("bad integer '{text}': {e}"), Some(line)))?;
+                    let v: i64 = text.parse().map_err(|e| {
+                        CompileError::new(format!("bad integer '{text}': {e}"), Some(line))
+                    })?;
                     out.push(SpannedTok {
                         tok: Tok::Int(v),
                         line,
@@ -238,7 +244,9 @@ mod tests {
         let toks = lex("param N; for i = 0 .. N { A[i] = 1.5; }").unwrap();
         assert_eq!(toks[0].tok, Tok::Param);
         assert!(toks.iter().any(|t| t.tok == Tok::DotDot));
-        assert!(toks.iter().any(|t| matches!(t.tok, Tok::Float(v) if v == 1.5)));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t.tok, Tok::Float(v) if v == 1.5)));
     }
 
     #[test]

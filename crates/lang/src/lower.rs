@@ -257,7 +257,11 @@ fn build_assignment(
                     .map(|e| lower_index(e, ctx).expect("validated above"))
                     .collect(),
             );
-            df.read(acc, t, Memlet::new(name.clone(), subset).to_conn(&conn_of_array[&k]));
+            df.read(
+                acc,
+                t,
+                Memlet::new(name.clone(), subset).to_conn(&conn_of_array[&k]),
+            );
         }
         for s in &scalar_reads {
             let acc = df.access(s);

@@ -278,7 +278,13 @@ mod tests {
         let p = parse("param N; array A[N, N]; array tmp[N] transient; scalar s;").unwrap();
         assert_eq!(p.items.len(), 4);
         assert!(matches!(&p.items[0], Item::Param(n) if n == "N"));
-        assert!(matches!(&p.items[2], Item::Array { transient: true, .. }));
+        assert!(matches!(
+            &p.items[2],
+            Item::Array {
+                transient: true,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -125,9 +125,7 @@ impl SymExpr {
     pub fn eval(&self, bindings: &Bindings) -> Result<i64, SymError> {
         match self {
             SymExpr::Int(v) => Ok(*v),
-            SymExpr::Sym(s) => bindings
-                .get(s)
-                .ok_or_else(|| SymError::Unbound(s.clone())),
+            SymExpr::Sym(s) => bindings.get(s).ok_or_else(|| SymError::Unbound(s.clone())),
             SymExpr::Add(a, b) => a
                 .eval(bindings)?
                 .checked_add(b.eval(bindings)?)

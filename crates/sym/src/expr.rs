@@ -1,5 +1,9 @@
 //! The symbolic expression AST and its constructors.
 
+// Fluent expression builders intentionally mirror operator names
+// (`a.add(b)`) without implementing the std operator traits for every one.
+#![allow(clippy::should_implement_trait)]
+
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 

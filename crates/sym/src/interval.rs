@@ -148,7 +148,10 @@ impl SymExpr {
             }
             SymExpr::Neg(a) => {
                 let (al, ah) = a.bounds(ctx)?;
-                Some((ah.checked_neg().unwrap_or(i64::MAX), al.checked_neg().unwrap_or(i64::MAX)))
+                Some((
+                    ah.checked_neg().unwrap_or(i64::MAX),
+                    al.checked_neg().unwrap_or(i64::MAX),
+                ))
             }
         }
     }
@@ -249,10 +252,7 @@ mod tests {
         // N < N - 1 is false
         assert_eq!(b.try_lt(&a, &ctx), Some(false));
         // N < M unknown without bounds on M
-        assert_eq!(
-            SymExpr::sym("N").try_lt(&SymExpr::sym("M"), &ctx),
-            None
-        );
+        assert_eq!(SymExpr::sym("N").try_lt(&SymExpr::sym("M"), &ctx), None);
     }
 
     #[test]
@@ -260,10 +260,7 @@ mod tests {
         let mut ctx = SymBounds::new();
         ctx.set("i", 0, 9);
         // i <= 9 provable
-        assert_eq!(
-            SymExpr::sym("i").try_le(&SymExpr::int(9), &ctx),
-            Some(true)
-        );
+        assert_eq!(SymExpr::sym("i").try_le(&SymExpr::int(9), &ctx), Some(true));
         // i <= 4 unknown
         assert_eq!(SymExpr::sym("i").try_le(&SymExpr::int(4), &ctx), None);
     }

@@ -30,12 +30,12 @@
 //! assert_eq!(sub.volume().eval(&b).unwrap(), 16);
 //! ```
 
-pub mod expr;
 pub mod eval;
-pub mod simplify;
+pub mod expr;
 pub mod interval;
 pub mod parse;
 pub mod range;
+pub mod simplify;
 
 pub use eval::{Bindings, SymError};
 pub use expr::SymExpr;

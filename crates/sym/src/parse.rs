@@ -118,7 +118,9 @@ impl Parser {
         match self.next() {
             Some(t) if t == tok => Ok(()),
             Some(t) => Err(SymError::Parse(format!("expected {tok:?}, found {t:?}"))),
-            None => Err(SymError::Parse(format!("expected {tok:?}, found end of input"))),
+            None => Err(SymError::Parse(format!(
+                "expected {tok:?}, found end of input"
+            ))),
         }
     }
 

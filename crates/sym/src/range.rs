@@ -96,10 +96,7 @@ impl SymRange {
 
     /// True if this range covers a single element (structurally).
     pub fn is_index(&self) -> bool {
-        (self.end.clone() - self.start.clone())
-            .simplify()
-            .as_int()
-            == Some(1)
+        (self.end.clone() - self.start.clone()).simplify().as_int() == Some(1)
     }
 
     /// Number of elements covered: `ceil((end - start) / step)`, clamped at 0.
@@ -270,7 +267,11 @@ impl Subset {
     /// Substitutes a symbol in every dimension.
     pub fn substitute(&self, name: &str, value: &SymExpr) -> Subset {
         Subset {
-            dims: self.dims.iter().map(|d| d.substitute(name, value)).collect(),
+            dims: self
+                .dims
+                .iter()
+                .map(|d| d.substitute(name, value))
+                .collect(),
         }
     }
 
@@ -409,8 +410,7 @@ impl ConcreteSubset {
 
     /// True if the multi-index is covered.
     pub fn contains(&self, point: &[i64]) -> bool {
-        point.len() == self.dims.len()
-            && point.iter().zip(&self.dims).all(|(&p, d)| d.contains(p))
+        point.len() == self.dims.len() && point.iter().zip(&self.dims).all(|(&p, d)| d.contains(p))
     }
 }
 
@@ -557,10 +557,7 @@ mod tests {
         ]);
         let c = s.concrete(&Bindings::new()).unwrap();
         let pts: Vec<Vec<i64>> = c.iter_points().collect();
-        assert_eq!(
-            pts,
-            vec![vec![0, 1], vec![0, 2], vec![1, 1], vec![1, 2]]
-        );
+        assert_eq!(pts, vec![vec![0, 1], vec![0, 2], vec![1, 1], vec![1, 2]]);
         assert_eq!(c.volume(), 4);
     }
 

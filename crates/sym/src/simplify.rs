@@ -42,10 +42,7 @@ impl SymExpr {
             return true;
         }
         // Second chance: difference simplifies to zero.
-        matches!(
-            (self.clone() - other.clone()).simplify(),
-            SymExpr::Int(0)
-        )
+        matches!((self.clone() - other.clone()).simplify(), SymExpr::Int(0))
     }
 }
 

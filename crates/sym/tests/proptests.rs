@@ -1,6 +1,6 @@
 //! Property-based tests for the symbolic expression engine.
 
-use fuzzyflow_sym::{Bindings, SymBounds, SymExpr, Subset, SymRange, Tri};
+use fuzzyflow_sym::{Bindings, Subset, SymBounds, SymExpr, SymRange, Tri};
 use proptest::prelude::*;
 
 /// Strategy producing arbitrary expressions over symbols {N, M, i}.
@@ -70,7 +70,7 @@ proptest! {
         if concrete_overlap {
             prop_assert!(sym_result.may(), "claimed disjoint but ranges overlap");
         } else {
-            prop_assert!(sym_result != Tri::True || !concrete_overlap == false,
+            prop_assert!(sym_result != Tri::True || concrete_overlap,
                 "claimed certain overlap for disjoint ranges");
         }
     }

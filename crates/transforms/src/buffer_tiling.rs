@@ -1,8 +1,8 @@
 //! Buffer tiling (buggy, Table 2: change in semantics).
 
 use crate::framework::{ChangeSet, MatchSite, TransformError, Transformation, TransformationMatch};
-use fuzzyflow_ir::{Dataflow, DfNode, Sdfg, StateId, Subset, SymExpr};
 use fuzzyflow_graph::NodeId;
+use fuzzyflow_ir::{Dataflow, DfNode, Sdfg, StateId, Subset, SymExpr};
 
 /// Buffer tiling: shrinks a transient buffer exchanged between two maps to
 /// a fixed tile size, rewriting accesses modulo the tile ("tiles buffers
@@ -111,11 +111,7 @@ impl Transformation for BufferTiling {
             .collect()
     }
 
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         let (state, producer, acc, consumer) = match &m.site {
             MatchSite::Nodes { state, nodes } if nodes.len() == 3 => {
                 (*state, nodes[0], nodes[1], nodes[2])
@@ -199,8 +195,16 @@ mod tests {
                         "y",
                         ScalarExpr::r("x").add(ScalarExpr::f64(1.0)),
                     ));
-                    body.read(a, k, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(k, t, Memlet::new("buf", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        a,
+                        k,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        k,
+                        t,
+                        Memlet::new("buf", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             let m2 = df.map(
@@ -216,8 +220,16 @@ mod tests {
                         "y",
                         ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
                     ));
-                    body.read(t, k, Memlet::new("buf", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(k, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        t,
+                        k,
+                        Memlet::new("buf", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        k,
+                        o,
+                        Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m1, &[a], &[buf]);

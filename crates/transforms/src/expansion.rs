@@ -49,11 +49,7 @@ impl Transformation for MapExpansion {
             .collect()
     }
 
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         let (state, node) = single_node(m)?;
         let map = expect_map(sdfg, state, node)?.clone();
         if map.params.len() < 2 {
@@ -140,11 +136,7 @@ impl Transformation for MapCollapse {
             .collect()
     }
 
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         let (state, node) = single_node(m)?;
         let outer = expect_map(sdfg, state, node)?.clone();
         let inner_id = outer
@@ -161,12 +153,7 @@ impl Transformation for MapCollapse {
             .ok_or_else(|| TransformError::MatchInvalid("body node is not a map".into()))?
             .clone();
         let collapsed = MapScope {
-            params: outer
-                .params
-                .iter()
-                .chain(&inner.params)
-                .cloned()
-                .collect(),
+            params: outer.params.iter().chain(&inner.params).cloned().collect(),
             ranges: outer.ranges.iter().chain(&inner.ranges).cloned().collect(),
             schedule: outer.schedule,
             body: inner.body,
@@ -199,7 +186,11 @@ mod tests {
         b.in_state(st, |df| {
             let a = df.access("A");
             let o = df.access("B");
-            let s = if with_scalar { Some(df.access("scale")) } else { None };
+            let s = if with_scalar {
+                Some(df.access("scale"))
+            } else {
+                None
+            };
             let m = df.map(
                 &["i", "j"],
                 vec![SymRange::full(sym("N")), SymRange::full(sym("N"))],
@@ -212,7 +203,11 @@ mod tests {
                     } else {
                         ScalarExpr::r("x").mul(ScalarExpr::f64(2.0))
                     };
-                    let ins = if with_scalar { vec!["x", "f"] } else { vec!["x"] };
+                    let ins = if with_scalar {
+                        vec!["x", "f"]
+                    } else {
+                        vec!["x"]
+                    };
                     let t = body.tasklet(Tasklet::simple("sc", ins, "y", expr));
                     body.read(
                         a,
@@ -221,7 +216,11 @@ mod tests {
                     );
                     if with_scalar {
                         let sa = body.access("scale");
-                        body.read(sa, t, Memlet::new("scale", Subset::new(vec![])).to_conn("f"));
+                        body.read(
+                            sa,
+                            t,
+                            Memlet::new("scale", Subset::new(vec![])).to_conn("f"),
+                        );
                     }
                     body.write(
                         t,
@@ -282,7 +281,10 @@ mod tests {
         assert!(validate(&cp).is_ok());
         // Collapsed map is 2-D again.
         let (st, n) = crate::framework::top_level_maps(&cp)[0];
-        assert_eq!(cp.state(st).df.graph.node(n).as_map().unwrap().params.len(), 2);
+        assert_eq!(
+            cp.state(st).df.graph.node(n).as_map().unwrap().params.len(),
+            2
+        );
     }
 
     #[test]
@@ -303,8 +305,16 @@ mod tests {
                     let a = body.access("A");
                     let o = body.access("B");
                     let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
-                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        t,
+                        o,
+                        Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m, &[a], &[o]);

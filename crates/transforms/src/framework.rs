@@ -1,7 +1,7 @@
 //! The transformation framework: matching, application, change reporting.
 
-use fuzzyflow_ir::{Dataflow, DfNode, NodeRef, Sdfg, StateId};
 use fuzzyflow_graph::NodeId;
+use fuzzyflow_ir::{Dataflow, DfNode, NodeRef, Sdfg, StateId};
 use std::fmt;
 
 /// Where a transformation matched.
@@ -42,10 +42,7 @@ impl ChangeSet {
     /// Change set of top-level dataflow nodes within one state.
     pub fn nodes_in_state(state: StateId, nodes: impl IntoIterator<Item = NodeId>) -> Self {
         ChangeSet {
-            nodes: nodes
-                .into_iter()
-                .map(|n| NodeRef::top(state, n))
-                .collect(),
+            nodes: nodes.into_iter().map(|n| NodeRef::top(state, n)).collect(),
             states: Vec::new(),
         }
     }
@@ -100,8 +97,7 @@ pub trait Transformation: Send + Sync {
     fn find_matches(&self, sdfg: &Sdfg) -> Vec<TransformationMatch>;
 
     /// Applies one instance in place, returning the change set.
-    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch)
-        -> Result<ChangeSet, TransformError>;
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError>;
 }
 
 /// Applies a transformation to a clone of the program, returning the
@@ -167,11 +163,11 @@ pub fn single_node(m: &TransformationMatch) -> Result<(StateId, NodeId), Transfo
 
 /// Looks up a map scope node, erroring politely when the element is not in
 /// the program (e.g. replay on a cutout that lacks it).
-pub fn expect_map<'a>(
-    sdfg: &'a Sdfg,
+pub fn expect_map(
+    sdfg: &Sdfg,
     state: StateId,
     node: NodeId,
-) -> Result<&'a fuzzyflow_ir::MapScope, TransformError> {
+) -> Result<&fuzzyflow_ir::MapScope, TransformError> {
     let st = sdfg
         .states
         .try_node(state)
@@ -191,7 +187,9 @@ pub fn expect_map<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fuzzyflow_ir::{sym, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymRange, Tasklet};
+    use fuzzyflow_ir::{
+        sym, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymRange, Tasklet,
+    };
 
     fn map_program() -> Sdfg {
         let mut b = SdfgBuilder::new("p");
@@ -210,8 +208,16 @@ mod tests {
                     let a = body.access("A");
                     let o = body.access("B");
                     let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
-                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        t,
+                        o,
+                        Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m, &[a], &[o]);
@@ -233,7 +239,7 @@ mod tests {
         let st = p.start;
         rename_container(&mut p.state_mut(st).df, "A", "gpu_A");
         let df = &p.state(st).df;
-        assert!(df.find_access("A").is_some() == false || df.find_access("gpu_A").is_some());
+        assert!(df.find_access("A").is_none() || df.find_access("gpu_A").is_some());
         assert!(df.referenced_containers().contains(&"gpu_A".to_string()));
         assert!(!df.referenced_containers().contains(&"A".to_string()));
     }

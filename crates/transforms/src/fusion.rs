@@ -1,12 +1,8 @@
 //! Tasklet fusion (buggy, Table 2) and map fusion (correct).
 
-use crate::framework::{
-    ChangeSet, MatchSite, TransformError, Transformation, TransformationMatch,
-};
-use fuzzyflow_ir::{
-    Dataflow, DfNode, Sdfg, StateId, Tasklet, TaskletStmt,
-};
+use crate::framework::{ChangeSet, MatchSite, TransformError, Transformation, TransformationMatch};
 use fuzzyflow_graph::NodeId;
+use fuzzyflow_ir::{Dataflow, DfNode, Sdfg, StateId, Tasklet, TaskletStmt};
 use std::collections::BTreeMap;
 
 /// Copies all nodes and edges of `src` into `dst`, returning the node id
@@ -19,7 +15,8 @@ pub fn append_graph(dst: &mut Dataflow, src: &Dataflow) -> BTreeMap<NodeId, Node
     }
     for e in src.graph.edge_ids() {
         let (u, v) = src.graph.endpoints(e);
-        dst.graph.add_edge(map[&u], map[&v], src.graph.edge(e).clone());
+        dst.graph
+            .add_edge(map[&u], map[&v], src.graph.edge(e).clone());
     }
     map
 }
@@ -110,11 +107,7 @@ impl Transformation for TaskletFusion {
             .collect()
     }
 
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         let (state, producer, acc, consumer) = match &m.site {
             MatchSite::Nodes { state, nodes } if nodes.len() == 3 => {
                 (*state, nodes[0], nodes[1], nodes[2])
@@ -152,12 +145,10 @@ impl Transformation for TaskletFusion {
 
         // The consumer connector fed by the temporary.
         let read_edge = df.graph.out_edge_ids(acc)[0];
-        let fed_conn = df
-            .graph
-            .edge(read_edge)
-            .dst_conn
-            .clone()
-            .ok_or_else(|| TransformError::MatchInvalid("read memlet has no connector".into()))?;
+        let fed_conn =
+            df.graph.edge(read_edge).dst_conn.clone().ok_or_else(|| {
+                TransformError::MatchInvalid("read memlet has no connector".into())
+            })?;
 
         // Build the fused tasklet: producer code (namespaced) computes a
         // local that replaces the consumer's input connector.
@@ -254,8 +245,12 @@ fn find_fusable_maps(sdfg: &Sdfg) -> Vec<(StateId, NodeId, NodeId, NodeId)> {
             }
             // Ranges must agree structurally after renaming m2's params to
             // m1's.
-            let ranges_match = s1.ranges.iter().zip(&s2.ranges).enumerate().all(
-                |(k, (r1, r2))| {
+            let ranges_match = s1
+                .ranges
+                .iter()
+                .zip(&s2.ranges)
+                .enumerate()
+                .all(|(k, (r1, r2))| {
                     let mut r2r = r2.clone();
                     for (p2, p1) in s2.params.iter().zip(&s1.params) {
                         r2r = r2r.substitute(p2, &fuzzyflow_ir::SymExpr::sym(p1));
@@ -264,8 +259,7 @@ fn find_fusable_maps(sdfg: &Sdfg) -> Vec<(StateId, NodeId, NodeId, NodeId)> {
                     r1.start.equivalent(&r2r.start)
                         && r1.end.equivalent(&r2r.end)
                         && r1.step.equivalent(&r2r.step)
-                },
-            );
+                });
             if !ranges_match {
                 continue;
             }
@@ -331,11 +325,7 @@ impl Transformation for MapFusion {
             .collect()
     }
 
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         let (state, m1, acc, m2) = match &m.site {
             MatchSite::Nodes { state, nodes } if nodes.len() == 3 => {
                 (*state, nodes[0], nodes[1], nodes[2])
@@ -459,8 +449,7 @@ mod tests {
     use crate::framework::apply_to_clone;
     use fuzzyflow_interp::{run, ArrayValue, ExecState};
     use fuzzyflow_ir::{
-        sym, validate, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymRange,
-        Tasklet,
+        sym, validate, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymRange, Tasklet,
     };
 
     /// Fig. 4 shape: tmp = z*2 (t1); out = y + tmp (t2); later state reads
@@ -491,10 +480,22 @@ mod tests {
                 ScalarExpr::r("b").add(ScalarExpr::r("c")),
             ));
             df.read(z, t1, Memlet::new("z", Subset::new(vec![])).to_conn("a"));
-            df.write(t1, tmp, Memlet::new("tmp", Subset::new(vec![])).from_conn("r"));
+            df.write(
+                t1,
+                tmp,
+                Memlet::new("tmp", Subset::new(vec![])).from_conn("r"),
+            );
             df.read(y, t2, Memlet::new("y", Subset::new(vec![])).to_conn("b"));
-            df.read(tmp, t2, Memlet::new("tmp", Subset::new(vec![])).to_conn("c"));
-            df.write(t2, out, Memlet::new("out", Subset::new(vec![])).from_conn("r"));
+            df.read(
+                tmp,
+                t2,
+                Memlet::new("tmp", Subset::new(vec![])).to_conn("c"),
+            );
+            df.write(
+                t2,
+                out,
+                Memlet::new("out", Subset::new(vec![])).from_conn("r"),
+            );
         });
         if reread {
             let st2 = b.add_state_after(st, "later");
@@ -503,7 +504,11 @@ mod tests {
                 let out2 = df.access("out2");
                 let t = df.tasklet(Tasklet::simple("copy", vec!["a"], "r", ScalarExpr::r("a")));
                 df.read(tmp, t, Memlet::new("tmp", Subset::new(vec![])).to_conn("a"));
-                df.write(t, out2, Memlet::new("out2", Subset::new(vec![])).from_conn("r"));
+                df.write(
+                    t,
+                    out2,
+                    Memlet::new("out2", Subset::new(vec![])).from_conn("r"),
+                );
             });
         }
         b.build()
@@ -577,8 +582,16 @@ mod tests {
                         "y",
                         ScalarExpr::r("x").add(ScalarExpr::f64(1.0)),
                     ));
-                    body.read(a, k, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(k, t, Memlet::new("tmp", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        a,
+                        k,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        k,
+                        t,
+                        Memlet::new("tmp", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             let m2 = df.map(
@@ -594,8 +607,16 @@ mod tests {
                         "y",
                         ScalarExpr::r("x").mul(ScalarExpr::f64(3.0)),
                     ));
-                    body.read(t, k, Memlet::new("tmp", Subset::at(vec![sym("j")])).to_conn("x"));
-                    body.write(k, o, Memlet::new("B", Subset::at(vec![sym("j")])).from_conn("y"));
+                    body.read(
+                        t,
+                        k,
+                        Memlet::new("tmp", Subset::at(vec![sym("j")])).to_conn("x"),
+                    );
+                    body.write(
+                        k,
+                        o,
+                        Memlet::new("B", Subset::at(vec![sym("j")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m1, &[a], &[tmp]);

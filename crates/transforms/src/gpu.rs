@@ -65,11 +65,7 @@ impl Transformation for GpuKernelExtraction {
             .collect()
     }
 
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         let (state, node) = single_node(m)?;
         let mut map = expect_map(sdfg, state, node)?.clone();
         let sets = analysis::node_access_sets(&sdfg.state(state).df, node);
@@ -163,11 +159,8 @@ impl Transformation for GpuKernelExtraction {
                 copy,
                 Memlet::new(&gpu_name, full_x.clone()).to_conn("in"),
             );
-            df.graph.add_edge(
-                copy,
-                dst_access,
-                Memlet::new(&x, full_x).from_conn("out"),
-            );
+            df.graph
+                .add_edge(copy, dst_access, Memlet::new(&x, full_x).from_conn("out"));
         }
 
         *df.graph.node_mut(node) = DfNode::Map(map);
@@ -180,9 +173,7 @@ mod tests {
     use super::*;
     use crate::framework::apply_to_clone;
     use fuzzyflow_interp::{run, ArrayValue, ExecState};
-    use fuzzyflow_ir::{
-        sym, validate, DType, ScalarExpr, SdfgBuilder, SymExpr, SymRange, Tasklet,
-    };
+    use fuzzyflow_ir::{sym, validate, DType, ScalarExpr, SdfgBuilder, SymExpr, SymRange, Tasklet};
 
     /// Kernel writes B[0:K] of a container of size N (partial when K < N).
     fn program(partial: bool) -> Sdfg {
@@ -209,8 +200,16 @@ mod tests {
                         "y",
                         ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
                     ));
-                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        t,
+                        o,
+                        Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m, &[a], &[o]);
@@ -261,7 +260,11 @@ mod tests {
         let good = exec(&p, 6, 3, 7.0);
         let bad = exec(&gp, 6, 3, 7.0);
         assert_eq!(good[..3], bad[..3], "kernel results intact");
-        assert_ne!(good[3..], bad[3..], "host data beyond the write subset clobbered");
+        assert_ne!(
+            good[3..],
+            bad[3..],
+            "host data beyond the write subset clobbered"
+        );
         assert!(bad[3..].iter().all(|&v| v != 7.0));
     }
 

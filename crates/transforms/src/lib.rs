@@ -34,7 +34,9 @@ pub use expansion::{MapCollapse, MapExpansion};
 pub use fusion::{MapFusion, TaskletFusion};
 pub use gpu::GpuKernelExtraction;
 pub use reduce_fusion::MapReduceFusion;
-pub use state_opts::{ConstantSymbolPropagation, StateAssignElimination, StateFusion, SymbolAliasPromotion};
+pub use state_opts::{
+    ConstantSymbolPropagation, StateAssignElimination, StateFusion, SymbolAliasPromotion,
+};
 pub use tiling::{MapTiling, MapTilingNoRemainder, MapTilingOffByOne};
 pub use unroll::LoopUnrolling;
 pub use vectorization::Vectorization;

@@ -1,8 +1,8 @@
 //! Map-reduce fusion (buggy, Table 2: generates invalid code).
 
 use crate::framework::{ChangeSet, MatchSite, TransformError, Transformation, TransformationMatch};
-use fuzzyflow_ir::{LibraryOp, Sdfg, StateId, Subset, SymExpr};
 use fuzzyflow_graph::NodeId;
+use fuzzyflow_ir::{LibraryOp, Sdfg, StateId, Subset, SymExpr};
 
 /// Fuses an element-wise producer map with a following `Reduce` library
 /// node, eliminating the intermediate buffer by writing the reduction
@@ -72,23 +72,21 @@ impl Transformation for MapReduceFusion {
     fn find_matches(&self, sdfg: &Sdfg) -> Vec<TransformationMatch> {
         find_sites(sdfg)
             .into_iter()
-            .map(|(state, [map_node, acc, red, out_acc])| TransformationMatch {
-                site: MatchSite::Nodes {
-                    state,
-                    nodes: vec![map_node, acc, red, out_acc],
-                },
-                description: format!(
+            .map(
+                |(state, [map_node, acc, red, out_acc])| TransformationMatch {
+                    site: MatchSite::Nodes {
+                        state,
+                        nodes: vec![map_node, acc, red, out_acc],
+                    },
+                    description: format!(
                     "fuse map {map_node} with reduction {red} over buffer {acc} in state {state}"
                 ),
-            })
+                },
+            )
             .collect()
     }
 
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         let (state, map_node, acc, red, out_acc) = match &m.site {
             MatchSite::Nodes { state, nodes } if nodes.len() == 4 => {
                 (*state, nodes[0], nodes[1], nodes[2], nodes[3])
@@ -244,8 +242,16 @@ mod tests {
                         "y",
                         ScalarExpr::r("x").mul(ScalarExpr::r("x")),
                     ));
-                    body.read(a, k, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
-                    body.write(k, t, Memlet::new("buf", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.read(
+                        a,
+                        k,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        k,
+                        t,
+                        Memlet::new("buf", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m, &[a], &[buf]);
@@ -256,7 +262,11 @@ mod tests {
                     axis: 0,
                 },
             );
-            df.read(buf, red, Memlet::new("buf", Subset::full(&[sym("N")])).to_conn("in"));
+            df.read(
+                buf,
+                red,
+                Memlet::new("buf", Subset::full(&[sym("N")])).to_conn("in"),
+            );
             df.write(
                 red,
                 s,

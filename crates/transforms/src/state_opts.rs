@@ -4,8 +4,8 @@
 
 use crate::framework::{ChangeSet, MatchSite, TransformError, Transformation, TransformationMatch};
 use crate::fusion::append_graph;
-use fuzzyflow_ir::{analysis, Sdfg, StateId, SymExpr};
 use fuzzyflow_graph::EdgeId;
+use fuzzyflow_ir::{analysis, Sdfg, StateId, SymExpr};
 
 /// Free symbols referenced anywhere in a state's dataflow (memlets, map
 /// ranges; map parameters shadow).
@@ -91,11 +91,7 @@ impl Transformation for StateAssignElimination {
         out
     }
 
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         let e = match &m.site {
             MatchSite::InterstateEdge { edge } => *edge,
             other => {
@@ -157,7 +153,9 @@ impl Transformation for SymbolAliasPromotion {
                     if src_sym != sym && !multiple_assignments_to(sym) {
                         out.push(TransformationMatch {
                             site: MatchSite::InterstateEdge { edge: e },
-                            description: format!("promote alias '{sym}' -> '{src_sym}' on edge {e}"),
+                            description: format!(
+                                "promote alias '{sym}' -> '{src_sym}' on edge {e}"
+                            ),
                         });
                         break;
                     }
@@ -167,11 +165,7 @@ impl Transformation for SymbolAliasPromotion {
         out
     }
 
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         let e = match &m.site {
             MatchSite::InterstateEdge { edge } => *edge,
             other => {
@@ -188,7 +182,11 @@ impl Transformation for SymbolAliasPromotion {
             let edge = sdfg.states.edge(e);
             edge.assignments
                 .iter()
-                .find_map(|(s, v)| v.as_sym().filter(|x| *x != s).map(|x| (s.clone(), x.to_string())))
+                .find_map(|(s, v)| {
+                    v.as_sym()
+                        .filter(|x| *x != s)
+                        .map(|x| (s.clone(), x.to_string()))
+                })
                 .ok_or_else(|| TransformError::MatchInvalid("no alias assignment on edge".into()))?
         };
         let (s2, s1) = alias;
@@ -235,12 +233,13 @@ impl Transformation for StateFusion {
             let a1 = analysis::graph_access_sets(&sdfg.state(s1).df);
             let a2 = analysis::graph_access_sets(&sdfg.state(s2).df);
             let w1 = a1.written_containers();
-            let interferes = w1.iter().any(|c| {
-                a2.read_containers().contains(c) || a2.written_containers().contains(c)
-            }) || a2
-                .written_containers()
+            let interferes = w1
                 .iter()
-                .any(|c| a1.read_containers().contains(c));
+                .any(|c| a2.read_containers().contains(c) || a2.written_containers().contains(c))
+                || a2
+                    .written_containers()
+                    .iter()
+                    .any(|c| a1.read_containers().contains(c));
             if !interferes {
                 out.push(TransformationMatch {
                     site: MatchSite::InterstateEdge { edge: e },
@@ -251,11 +250,7 @@ impl Transformation for StateFusion {
         out
     }
 
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         let e = match &m.site {
             MatchSite::InterstateEdge { edge } => *edge,
             other => {
@@ -307,10 +302,7 @@ impl Transformation for ConstantSymbolPropagation {
             let src_empty = sdfg.state(src).df.graph.node_count() == 0;
             let dominates = src == sdfg.start
                 || (src_empty
-                    && sdfg
-                        .states
-                        .predecessors(src)
-                        .all(|p| p == sdfg.start)
+                    && sdfg.states.predecessors(src).all(|p| p == sdfg.start)
                     && sdfg.states.in_degree(src) <= 1);
             if !dominates {
                 continue;
@@ -339,11 +331,7 @@ impl Transformation for ConstantSymbolPropagation {
         out
     }
 
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         let e = match &m.site {
             MatchSite::InterstateEdge { edge } => *edge,
             other => {
@@ -449,7 +437,11 @@ mod tests {
                 let a = df.access("A");
                 let o = df.access("B");
                 let t = df.tasklet(Tasklet::simple("cp", vec!["x"], "y", ScalarExpr::r("x")));
-                df.read(a, t, Memlet::new("A", Subset::at(vec![sym("k")])).to_conn("x"));
+                df.read(
+                    a,
+                    t,
+                    Memlet::new("A", Subset::at(vec![sym("k")])).to_conn("x"),
+                );
                 df.write(
                     t,
                     o,
@@ -518,7 +510,11 @@ mod tests {
             let a = df.access("A");
             let o = df.access("B");
             let t = df.tasklet(Tasklet::simple("cp", vec!["x"], "y", ScalarExpr::r("x")));
-            df.read(a, t, Memlet::new("A", Subset::at(vec![sym("s2")])).to_conn("x"));
+            df.read(
+                a,
+                t,
+                Memlet::new("A", Subset::at(vec![sym("s2")])).to_conn("x"),
+            );
             df.write(
                 t,
                 o,

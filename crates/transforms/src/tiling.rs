@@ -120,11 +120,7 @@ impl Transformation for MapTiling {
     fn find_matches(&self, sdfg: &Sdfg) -> Vec<TransformationMatch> {
         find_tilable(sdfg)
     }
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         apply_tiling(sdfg, m, self.tile, |tstart, tile, end| {
             (tstart + SymExpr::Int(tile)).min(end)
         })
@@ -160,11 +156,7 @@ impl Transformation for MapTilingOffByOne {
     fn find_matches(&self, sdfg: &Sdfg) -> Vec<TransformationMatch> {
         find_tilable(sdfg)
     }
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         // BUG (seeded, from paper Fig. 2): `<=` comparison — one extra
         // iteration per tile, clamped to the global end so it never goes
         // out of bounds, only double-executes boundary iterations.
@@ -204,11 +196,7 @@ impl Transformation for MapTilingNoRemainder {
     fn find_matches(&self, sdfg: &Sdfg) -> Vec<TransformationMatch> {
         find_tilable(sdfg)
     }
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         // BUG (seeded, from paper Sec. 2.1): inner bound not clamped.
         apply_tiling(sdfg, m, self.tile, |tstart, tile, _end| {
             tstart + SymExpr::Int(tile)
@@ -242,7 +230,11 @@ mod tests {
                     let a = body.access("A");
                     let s = body.access("s");
                     let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
-                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
                     body.write(
                         t,
                         s,

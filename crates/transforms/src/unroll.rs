@@ -59,19 +59,12 @@ impl Transformation for LoopUnrolling {
             })
             .map(|info| TransformationMatch {
                 site: MatchSite::Loop { guard: info.guard },
-                description: format!(
-                    "unroll loop over '{}' at guard {}",
-                    info.var, info.guard
-                ),
+                description: format!("unroll loop over '{}' at guard {}", info.var, info.guard),
             })
             .collect()
     }
 
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         let guard = match &m.site {
             MatchSite::Loop { guard } => *guard,
             other => {
@@ -176,9 +169,7 @@ mod tests {
     use super::*;
     use crate::framework::apply_to_clone;
     use fuzzyflow_interp::{run, ExecState};
-    use fuzzyflow_ir::{
-        validate, DType, Memlet, Scalar, ScalarExpr, SdfgBuilder, Subset, Tasklet,
-    };
+    use fuzzyflow_ir::{validate, DType, Memlet, Scalar, ScalarExpr, SdfgBuilder, Subset, Tasklet};
 
     /// Counts loop iterations into `count`. `step` may be negative.
     fn loop_program(start: i64, end: i64, step: i64) -> Sdfg {
@@ -202,8 +193,16 @@ mod tests {
                 "o",
                 ScalarExpr::r("c").add(ScalarExpr::i64(1)),
             ));
-            df.read(cin, t, Memlet::new("count", Subset::new(vec![])).to_conn("c"));
-            df.write(t, cout, Memlet::new("count", Subset::new(vec![])).from_conn("o"));
+            df.read(
+                cin,
+                t,
+                Memlet::new("count", Subset::new(vec![])).to_conn("c"),
+            );
+            df.write(
+                t,
+                cout,
+                Memlet::new("count", Subset::new(vec![])).from_conn("o"),
+            );
             // Also accumulate i so iteration *values* are observable.
             let ain = df.access("acc");
             let aout = df.access("acc");
@@ -213,8 +212,16 @@ mod tests {
                 "o",
                 ScalarExpr::r("a").add(ScalarExpr::r("i")),
             ));
-            df.read(ain, t2, Memlet::new("acc", Subset::new(vec![])).to_conn("a"));
-            df.write(t2, aout, Memlet::new("acc", Subset::new(vec![])).from_conn("o"));
+            df.read(
+                ain,
+                t2,
+                Memlet::new("acc", Subset::new(vec![])).to_conn("a"),
+            );
+            df.write(
+                t2,
+                aout,
+                Memlet::new("acc", Subset::new(vec![])).from_conn("o"),
+            );
         });
         b.build()
     }

@@ -72,7 +72,12 @@ fn vectorizable(sdfg: &Sdfg, state: fuzzyflow_ir::StateId, node: fuzzyflow_graph
     if tasklets.len() != 1 || map.body.computation_nodes().len() != 1 {
         return false;
     }
-    let t = map.body.graph.node(tasklets[0]).as_tasklet().expect("tasklet");
+    let t = map
+        .body
+        .graph
+        .node(tasklets[0])
+        .as_tasklet()
+        .expect("tasklet");
     if t.lanes != 1 {
         return false;
     }
@@ -84,10 +89,7 @@ fn vectorizable(sdfg: &Sdfg, state: fuzzyflow_ir::StateId, node: fuzzyflow_graph
         }
     }
     // Writes must index the parameter (otherwise lanes collide).
-    for (_, m) in map
-        .body
-        .out_memlets(tasklets[0])
-    {
+    for (_, m) in map.body.out_memlets(tasklets[0]) {
         if !last_dim_is_param(&m.subset, p) {
             return false;
         }
@@ -117,11 +119,7 @@ impl Transformation for Vectorization {
             .collect()
     }
 
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         let (state, node) = single_node(m)?;
         let mut map = expect_map(sdfg, state, node)?.clone();
         if map.params.is_empty() {
@@ -173,9 +171,7 @@ mod tests {
     use super::*;
     use crate::framework::apply_to_clone;
     use fuzzyflow_interp::{run, ArrayValue, ExecState};
-    use fuzzyflow_ir::{
-        sym, validate, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Tasklet,
-    };
+    use fuzzyflow_ir::{sym, validate, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Tasklet};
 
     /// `B[i] = A[i] * scale` — the Fig. 5 loop-nest shape in miniature.
     fn scale_program() -> Sdfg {
@@ -203,9 +199,17 @@ mod tests {
                         "y",
                         ScalarExpr::r("x").mul(ScalarExpr::r("f")),
                     ));
-                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
                     body.read(s, t, Memlet::new("scale", Subset::new(vec![])).to_conn("f"));
-                    body.write(t, o, Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"));
+                    body.write(
+                        t,
+                        o,
+                        Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
                 },
             );
             df.auto_wire(m, &[a, s], &[o]);
@@ -270,7 +274,11 @@ mod tests {
                     let a = body.access("A");
                     let s = body.access("s");
                     let t = body.tasklet(Tasklet::simple("id", vec!["x"], "y", ScalarExpr::r("x")));
-                    body.read(a, t, Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
                     body.write(
                         t,
                         s,

@@ -1,8 +1,8 @@
 //! Write elimination (buggy — the DaCe built-in of paper Sec. 6.4).
 
 use crate::framework::{ChangeSet, MatchSite, TransformError, Transformation, TransformationMatch};
-use fuzzyflow_ir::{ScalarExpr, Sdfg, StateId, Tasklet};
 use fuzzyflow_graph::NodeId;
+use fuzzyflow_ir::{ScalarExpr, Sdfg, StateId, Tasklet};
 
 /// Eliminates temporary write operations between computations: a producer
 /// writing a transient container that is immediately copied into another
@@ -97,11 +97,7 @@ impl Transformation for WriteElimination {
             .collect()
     }
 
-    fn apply(
-        &self,
-        sdfg: &mut Sdfg,
-        m: &TransformationMatch,
-    ) -> Result<ChangeSet, TransformError> {
+    fn apply(&self, sdfg: &mut Sdfg, m: &TransformationMatch) -> Result<ChangeSet, TransformError> {
         let (state, producer, acc, copy, dst) = match &m.site {
             MatchSite::Nodes { state, nodes } if nodes.len() == 4 => {
                 (*state, nodes[0], nodes[1], nodes[2], nodes[3])
@@ -173,9 +169,21 @@ mod tests {
             ));
             let t2 = df.tasklet(Tasklet::simple("cp", vec!["a"], "r", ScalarExpr::r("a")));
             df.read(x, t1, Memlet::new("x", Subset::new(vec![])).to_conn("a"));
-            df.write(t1, tmp, Memlet::new("tmp", Subset::new(vec![])).from_conn("r"));
-            df.read(tmp, t2, Memlet::new("tmp", Subset::new(vec![])).to_conn("a"));
-            df.write(t2, out, Memlet::new("out", Subset::new(vec![])).from_conn("r"));
+            df.write(
+                t1,
+                tmp,
+                Memlet::new("tmp", Subset::new(vec![])).from_conn("r"),
+            );
+            df.read(
+                tmp,
+                t2,
+                Memlet::new("tmp", Subset::new(vec![])).to_conn("a"),
+            );
+            df.write(
+                t2,
+                out,
+                Memlet::new("out", Subset::new(vec![])).from_conn("r"),
+            );
         });
         if reread {
             let st2 = b.add_state_after(st, "later");
@@ -184,7 +192,11 @@ mod tests {
                 let out2 = df.access("out2");
                 let t = df.tasklet(Tasklet::simple("cp2", vec!["a"], "r", ScalarExpr::r("a")));
                 df.read(tmp, t, Memlet::new("tmp", Subset::new(vec![])).to_conn("a"));
-                df.write(t, out2, Memlet::new("out2", Subset::new(vec![])).from_conn("r"));
+                df.write(
+                    t,
+                    out2,
+                    Memlet::new("out2", Subset::new(vec![])).from_conn("r"),
+                );
             });
         }
         b.build()

@@ -123,10 +123,7 @@ mod tests {
             st.bind("NLOC", nloc).bind("NTOT", ntot).bind("F", f);
             st.set_array(
                 "H",
-                ArrayValue::from_f64(
-                    vec![nloc, f],
-                    &vec![(r + 1) as f64; (nloc * f) as usize],
-                ),
+                ArrayValue::from_f64(vec![nloc, f], &vec![(r + 1) as f64; (nloc * f) as usize]),
             );
             st.set_array(
                 "M",

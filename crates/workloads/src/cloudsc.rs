@@ -15,8 +15,8 @@
 
 use crate::helpers::{at, dim, dim_range, scalar, In, Out};
 use fuzzyflow_ir::{
-    sym, DType, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, StateId, Subset, SymExpr,
-    Tasklet, Wcr,
+    sym, DType, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, StateId, Subset, SymExpr, Tasklet,
+    Wcr,
 };
 
 /// Builds the CLOUDSC-like scheme.
@@ -50,8 +50,7 @@ pub fn cloudsc_like() -> Sdfg {
             &[In::new(t, "T", at(&["l", "p"]), "tv")],
             Out::new(qs, "QS", at(&["l", "p"])),
             // Clausius-Clapeyron-flavored saturation curve.
-            ScalarExpr::f64(0.62)
-                .mul(ScalarExpr::r("tv").mul(ScalarExpr::f64(0.01)).exp()),
+            ScalarExpr::f64(0.62).mul(ScalarExpr::r("tv").mul(ScalarExpr::f64(0.01)).exp()),
         );
     });
 
@@ -82,8 +81,7 @@ pub fn cloudsc_like() -> Sdfg {
                     In::new(a, aux, at(&["l", "p"]), "y"),
                 ],
                 Out::new(d, dst, at(&["l", "p"])),
-                ScalarExpr::r("x")
-                    .add(ScalarExpr::r("y").mul(ScalarExpr::f64(coeff))),
+                ScalarExpr::r("x").add(ScalarExpr::r("y").mul(ScalarExpr::f64(coeff))),
             );
         });
         st
@@ -129,7 +127,9 @@ pub fn cloudsc_like() -> Sdfg {
                 In::new(qs, "QS", at(&["l", "p"]), "qs"),
             ],
             Out::new(cr, "cond_rate", at(&["l", "p"])),
-            ScalarExpr::r("q").sub(ScalarExpr::r("qs")).max(ScalarExpr::f64(0.0)),
+            ScalarExpr::r("q")
+                .sub(ScalarExpr::r("qs"))
+                .max(ScalarExpr::f64(0.0)),
         );
     });
     let st_precip = b.add_state_after(st_rate, "column_precip");
@@ -167,7 +167,7 @@ pub fn cloudsc_like() -> Sdfg {
             let tacc = df.access(tmp);
             let f = df.access("FLUX");
             let producer = df.tasklet(Tasklet::simple(
-                &format!("diag_{tmp}"),
+                format!("diag_{tmp}"),
                 vec!["d"],
                 "r",
                 ScalarExpr::r("d").mul(ScalarExpr::f64(factor)),
@@ -184,7 +184,7 @@ pub fn cloudsc_like() -> Sdfg {
                 _ => 5,
             };
             let copy = df.tasklet(Tasklet::simple(
-                &format!("store_{tmp}"),
+                format!("store_{tmp}"),
                 vec!["v"],
                 "o",
                 ScalarExpr::r("v"),
@@ -231,7 +231,7 @@ pub fn cloudsc_like() -> Sdfg {
             let tacc = df.access(tmp);
             let p = df.access("PRECIP");
             let producer = df.tasklet(Tasklet::simple(
-                &format!("diag_{tmp}"),
+                format!("diag_{tmp}"),
                 vec!["d"],
                 "r",
                 ScalarExpr::r("d").mul(ScalarExpr::f64(*factor)),
@@ -239,7 +239,7 @@ pub fn cloudsc_like() -> Sdfg {
             df.read(dt, producer, Memlet::new("dt", scalar()).to_conn("d"));
             df.write(producer, tacc, Memlet::new(*tmp, scalar()).from_conn("r"));
             let copy = df.tasklet(Tasklet::simple(
-                &format!("store_{tmp}"),
+                format!("store_{tmp}"),
                 vec!["v"],
                 "o",
                 ScalarExpr::r("v"),
@@ -270,11 +270,13 @@ pub fn cloudsc_like() -> Sdfg {
             let f_in = df.access("PRECIP");
             let f_out = df.access("PRECIP");
             let t = df.tasklet(Tasklet::simple(
-                &format!("substep_upd{idx}"),
+                format!("substep_upd{idx}"),
                 vec!["v"],
                 "o",
                 ScalarExpr::r("v").add(
-                    ScalarExpr::r(&var).add(ScalarExpr::i64(1)).mul(ScalarExpr::f64(0.001)),
+                    ScalarExpr::r(&var)
+                        .add(ScalarExpr::i64(1))
+                        .mul(ScalarExpr::f64(0.001)),
                 ),
             ));
             df.read(
@@ -291,7 +293,14 @@ pub fn cloudsc_like() -> Sdfg {
         prev = lh.exit;
     }
     // ...and the paper's negative-step sedimentation loop: i = 4 down to 1.
-    let lh = b.for_loop(prev, "sed", SymExpr::Int(4), SymExpr::Int(1), -1, "sediment");
+    let lh = b.for_loop(
+        prev,
+        "sed",
+        SymExpr::Int(4),
+        SymExpr::Int(1),
+        -1,
+        "sediment",
+    );
     b.in_state(lh.body, |df| {
         let f_in = df.access("FLUX");
         let f_out = df.access("FLUX");
@@ -386,6 +395,9 @@ mod tests {
         let last = cld_before.len() - nproma;
         assert_eq!(cld_before[last..], cld_after[last..]);
         // Interior rows did change.
-        assert_ne!(cld_before[nproma..2 * nproma], cld_after[nproma..2 * nproma]);
+        assert_ne!(
+            cld_before[nproma..2 * nproma],
+            cld_after[nproma..2 * nproma]
+        );
     }
 }

@@ -1,9 +1,7 @@
 //! Builder combinators shared by the workloads.
 
-use fuzzyflow_ir::{
-    DataflowBuilder, Memlet, ScalarExpr, Schedule, Subset, SymRange, Tasklet, Wcr,
-};
 use fuzzyflow_graph::NodeId;
+use fuzzyflow_ir::{DataflowBuilder, Memlet, ScalarExpr, Schedule, Subset, SymRange, Tasklet, Wcr};
 
 /// One map-stage input: an outer access node, the container name, the
 /// per-iteration element subset (may reference map parameters), and the
@@ -150,7 +148,11 @@ mod tests {
             );
         });
         let p = b.build();
-        assert!(fuzzyflow_ir::validate(&p).is_ok(), "{:?}", fuzzyflow_ir::validate(&p));
+        assert!(
+            fuzzyflow_ir::validate(&p).is_ok(),
+            "{:?}",
+            fuzzyflow_ir::validate(&p)
+        );
         let mut stx = ExecState::new();
         stx.bind("N", 3);
         stx.set_array("A", ArrayValue::from_f64(vec![3], &[1.0, 2.0, 3.0]));

@@ -41,11 +41,7 @@ pub fn matmul_chain() -> Sdfg {
             crate::helpers::map_stage(
                 df,
                 name,
-                &[
-                    dim("i", sym("N")),
-                    dim("j", sym("N")),
-                    dim("k", sym("N")),
-                ],
+                &[dim("i", sym("N")), dim("j", sym("N")), dim("k", sym("N"))],
                 Schedule::Parallel,
                 &[
                     In::new(lhs.0, lhs.1, at(&["i", "k"]), "x"),
@@ -76,7 +72,11 @@ mod tests {
     #[test]
     fn validates_and_computes_chain() {
         let p = matmul_chain();
-        assert!(fuzzyflow_ir::validate(&p).is_ok(), "{:?}", fuzzyflow_ir::validate(&p));
+        assert!(
+            fuzzyflow_ir::validate(&p).is_ok(),
+            "{:?}",
+            fuzzyflow_ir::validate(&p)
+        );
         let n = 3i64;
         let mut st = ExecState::new();
         st.bind("N", n);

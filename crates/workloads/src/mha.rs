@@ -67,7 +67,11 @@ pub fn mha_encoder() -> Sdfg {
         crate::helpers::map_stage(
             df,
             "scale_tmp",
-            &[dim("t", sym("BH")), dim("i", sym("SM")), dim("j", sym("SM"))],
+            &[
+                dim("t", sym("BH")),
+                dim("i", sym("SM")),
+                dim("j", sym("SM")),
+            ],
             Schedule::Parallel,
             &[
                 In::new(tmp, "tmp", at(&["t", "i", "j"]), "x"),
@@ -181,9 +185,13 @@ mod tests {
         let (bh, smn, pp) = (1i64, 4i64, 2i64);
         let mut st = ExecState::new();
         st.bind("BH", bh).bind("SM", smn).bind("P", pp);
-        let fill = |n: usize, f: f64| -> Vec<f64> { (0..n).map(|i| (i as f64) * 0.1 * f).collect() };
+        let fill =
+            |n: usize, f: f64| -> Vec<f64> { (0..n).map(|i| (i as f64) * 0.1 * f).collect() };
         st.set_array("A", ArrayValue::from_f64(vec![bh, smn, pp], &fill(8, 1.0)));
-        st.set_array("Bt", ArrayValue::from_f64(vec![bh, pp, smn], &fill(8, -0.5)));
+        st.set_array(
+            "Bt",
+            ArrayValue::from_f64(vec![bh, pp, smn], &fill(8, -0.5)),
+        );
         st.set_array("Vv", ArrayValue::from_f64(vec![bh, smn, pp], &fill(8, 2.0)));
         st.set_array("scale", ArrayValue::from_f64(vec![], &[0.5]));
         run(&p, &mut st).unwrap();

@@ -115,7 +115,11 @@ pub fn staged_pipeline() -> NamedWorkload {
             ScalarExpr::r("v").add(ScalarExpr::f64(1.0)),
         );
     });
-    NamedWorkload::new("staged_pipeline", b.build(), Bindings::from_pairs([("N", 12)]))
+    NamedWorkload::new(
+        "staged_pipeline",
+        b.build(),
+        Bindings::from_pairs([("N", 12)]),
+    )
 }
 
 /// A directly nested map pair (MapCollapse site).
@@ -186,7 +190,11 @@ pub fn squared_sum() -> NamedWorkload {
                 axis: 0,
             },
         );
-        df.read(buf, red, Memlet::new("buf", Subset::full(&[sym("N")])).to_conn("in"));
+        df.read(
+            buf,
+            red,
+            Memlet::new("buf", Subset::full(&[sym("N")])).to_conn("in"),
+        );
         df.write(
             red,
             s,

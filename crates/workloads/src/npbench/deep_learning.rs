@@ -186,7 +186,9 @@ pub fn resnet_block() -> NamedWorkload {
                 In::new(x, "x", at(&["i"]), "xv"),
             ],
             Out::new(out, "out", at(&["i"])),
-            ScalarExpr::r("c").add(ScalarExpr::r("xv")).max(ScalarExpr::f64(0.0)),
+            ScalarExpr::r("c")
+                .add(ScalarExpr::r("xv"))
+                .max(ScalarExpr::f64(0.0)),
         );
     });
     NamedWorkload::new(

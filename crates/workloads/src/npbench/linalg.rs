@@ -3,8 +3,7 @@
 use super::NamedWorkload;
 use crate::helpers::{at, dim, dim_range, scalar, In, Out};
 use fuzzyflow_ir::{
-    sym, Bindings, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymExpr, Tasklet,
-    Wcr,
+    sym, Bindings, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymExpr, Tasklet, Wcr,
 };
 
 fn n(v: i64) -> Bindings {
@@ -643,7 +642,9 @@ pub fn trisolv() -> NamedWorkload {
                 body.write(
                     t,
                     xw,
-                    Memlet::new("x", at(&["i"])).from_conn("o").with_wcr(Wcr::Sum),
+                    Memlet::new("x", at(&["i"]))
+                        .from_conn("o")
+                        .with_wcr(Wcr::Sum),
                 );
             },
         );

@@ -3,8 +3,7 @@
 use super::NamedWorkload;
 use crate::helpers::{at, dim, scalar, In, Out};
 use fuzzyflow_ir::{
-    sym, Bindings, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymExpr, Tasklet,
-    Wcr,
+    sym, Bindings, DType, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymExpr, Tasklet, Wcr,
 };
 
 /// covariance: column means, centering, and the covariance matrix.
@@ -59,7 +58,9 @@ pub fn covariance() -> NamedWorkload {
                 In::new(invn, "invn", scalar(), "w"),
             ],
             Out::new(cov, "cov", at(&["i", "j"])).accumulate(Wcr::Sum),
-            ScalarExpr::r("a").mul(ScalarExpr::r("bb")).mul(ScalarExpr::r("w")),
+            ScalarExpr::r("a")
+                .mul(ScalarExpr::r("bb"))
+                .mul(ScalarExpr::r("w")),
         );
     });
     NamedWorkload::new(
@@ -183,7 +184,11 @@ pub fn floyd_warshall() -> NamedWorkload {
             ScalarExpr::r("d").min(ScalarExpr::r("dik").add(ScalarExpr::r("dkj"))),
         );
     });
-    NamedWorkload::new("floyd_warshall", b.build(), Bindings::from_pairs([("N", 8)]))
+    NamedWorkload::new(
+        "floyd_warshall",
+        b.build(),
+        Bindings::from_pairs([("N", 8)]),
+    )
 }
 
 /// One leapfrog N-body step: pairwise forces, velocity and position update.
@@ -214,10 +219,7 @@ pub fn nbody_step() -> NamedWorkload {
             Out::new(force, "force", at(&["i"])).accumulate(Wcr::Sum),
             {
                 let dx = ScalarExpr::r("xj").sub(ScalarExpr::r("xi"));
-                let soft = dx
-                    .clone()
-                    .mul(dx.clone())
-                    .add(ScalarExpr::f64(0.01));
+                let soft = dx.clone().mul(dx.clone()).add(ScalarExpr::f64(0.01));
                 ScalarExpr::r("mj").mul(dx).div(soft)
             },
         );
@@ -279,14 +281,17 @@ pub fn newton_sqrt_loop() -> NamedWorkload {
             vec!["xv", "av"],
             "o",
             ScalarExpr::f64(0.5).mul(
-                ScalarExpr::r("xv").add(
-                    ScalarExpr::r("av").div(ScalarExpr::r("xv").add(ScalarExpr::f64(1e-12))),
-                ),
+                ScalarExpr::r("xv")
+                    .add(ScalarExpr::r("av").div(ScalarExpr::r("xv").add(ScalarExpr::f64(1e-12)))),
             ),
         ));
         df.read(x_in, t, Memlet::new("x", Subset::new(vec![])).to_conn("xv"));
         df.read(a, t, Memlet::new("a", Subset::new(vec![])).to_conn("av"));
-        df.write(t, x_out, Memlet::new("x", Subset::new(vec![])).from_conn("o"));
+        df.write(
+            t,
+            x_out,
+            Memlet::new("x", Subset::new(vec![])).from_conn("o"),
+        );
     });
     NamedWorkload::new(
         "newton_sqrt_loop",

@@ -2,21 +2,14 @@
 
 use super::NamedWorkload;
 use crate::helpers::{at, dim_range, In, Out};
-use fuzzyflow_ir::{
-    sym, Bindings, DType, ScalarExpr, Schedule, SdfgBuilder, SymExpr,
-};
+use fuzzyflow_ir::{sym, Bindings, DType, ScalarExpr, Schedule, SdfgBuilder, SymExpr};
 
 fn nt(nv: i64, tv: i64) -> Bindings {
     Bindings::from_pairs([("N", nv), ("T", tv)])
 }
 
 /// One ping-pong sweep `dst[i] = (src[i-1]+src[i]+src[i+1])/3`.
-fn sweep_1d(
-    df: &mut fuzzyflow_ir::DataflowBuilder,
-    name: &str,
-    src: &str,
-    dst: &str,
-) {
+fn sweep_1d(df: &mut fuzzyflow_ir::DataflowBuilder, name: &str, src: &str, dst: &str) {
     let s = df.access(src);
     let d = df.access(dst);
     crate::helpers::map_stage(
@@ -245,9 +238,8 @@ pub fn fdtd_2d() -> NamedWorkload {
                 In::new(hz0, "hz", at(&["i-1", "j"]), "hm"),
             ],
             Out::new(ey_out, "ey", at(&["i", "j"])),
-            ScalarExpr::r("e").sub(
-                ScalarExpr::f64(0.5).mul(ScalarExpr::r("h").sub(ScalarExpr::r("hm"))),
-            ),
+            ScalarExpr::r("e")
+                .sub(ScalarExpr::f64(0.5).mul(ScalarExpr::r("h").sub(ScalarExpr::r("hm")))),
         );
         // ex[i,j] -= 0.5*(hz[i,j] - hz[i,j-1])
         let ex_in = df.access("ex");
@@ -266,9 +258,8 @@ pub fn fdtd_2d() -> NamedWorkload {
                 In::new(hz0, "hz", at(&["i", "j-1"]), "hm"),
             ],
             Out::new(ex_out, "ex", at(&["i", "j"])),
-            ScalarExpr::r("e").sub(
-                ScalarExpr::f64(0.5).mul(ScalarExpr::r("h").sub(ScalarExpr::r("hm"))),
-            ),
+            ScalarExpr::r("e")
+                .sub(ScalarExpr::f64(0.5).mul(ScalarExpr::r("h").sub(ScalarExpr::r("hm")))),
         );
         // hz[i,j] -= 0.7*(ex[i,j+1]-ex[i,j] + ey[i+1,j]-ey[i,j])
         let hz_out = df.access("hz");
@@ -288,12 +279,14 @@ pub fn fdtd_2d() -> NamedWorkload {
                 In::new(ey_out, "ey", at(&["i", "j"]), "eyc"),
             ],
             Out::new(hz_out, "hz", at(&["i", "j"])),
-            ScalarExpr::r("h").sub(ScalarExpr::f64(0.7).mul(
-                ScalarExpr::r("exp")
-                    .sub(ScalarExpr::r("exc"))
-                    .add(ScalarExpr::r("eyp"))
-                    .sub(ScalarExpr::r("eyc")),
-            )),
+            ScalarExpr::r("h").sub(
+                ScalarExpr::f64(0.7).mul(
+                    ScalarExpr::r("exp")
+                        .sub(ScalarExpr::r("exc"))
+                        .add(ScalarExpr::r("eyp"))
+                        .sub(ScalarExpr::r("eyc")),
+                ),
+            ),
         );
     });
     NamedWorkload::new("fdtd_2d", b.build(), nt(8, 2))
@@ -352,12 +345,14 @@ pub fn hdiff() -> NamedWorkload {
                 In::new(coeff, "coeff", at(&["i", "j"]), "k"),
             ],
             Out::new(outp, "outp", at(&["i", "j"])),
-            ScalarExpr::r("c").sub(ScalarExpr::r("k").mul(
-                ScalarExpr::f64(2.0)
-                    .mul(ScalarExpr::r("lc"))
-                    .sub(ScalarExpr::r("ln"))
-                    .sub(ScalarExpr::r("ls")),
-            )),
+            ScalarExpr::r("c").sub(
+                ScalarExpr::r("k").mul(
+                    ScalarExpr::f64(2.0)
+                        .mul(ScalarExpr::r("lc"))
+                        .sub(ScalarExpr::r("ln"))
+                        .sub(ScalarExpr::r("ls")),
+                ),
+            ),
         );
     });
     NamedWorkload::new("hdiff", b.build(), Bindings::from_pairs([("N", 10)]))

@@ -12,7 +12,11 @@ use fuzzyflow::prelude::*;
 
 fn main() {
     let program = fuzzyflow::workloads::matmul_chain();
-    println!("program: {} (validates: {})", program.name, validate(&program).is_ok());
+    println!(
+        "program: {} (validates: {})",
+        program.name,
+        validate(&program).is_ok()
+    );
 
     // The transformation under test: map tiling with the Fig. 2 bug.
     let tiling = MapTilingOffByOne::new(4);
@@ -25,15 +29,19 @@ fn main() {
         concretization: Some(fuzzyflow::workloads::matmul_chain::default_bindings()),
         ..Default::default()
     };
-    let report = fuzzyflow::verify_instance(&program, &tiling, &matches[1], &config)
-        .expect("pipeline runs");
+    let report =
+        fuzzyflow::verify_instance(&program, &tiling, &matches[1], &config).expect("pipeline runs");
 
     println!(
         "cutout: {} nodes (program: {}), inputs {:?}, system state {:?}",
         report.cutout_stats.nodes, report.program_nodes, report.input_config, report.system_state
     );
     match &report.verdict {
-        Verdict::SemanticChange { trial, mismatch, case } => {
+        Verdict::SemanticChange {
+            trial,
+            mismatch,
+            case,
+        } => {
             println!("FAULT after {trial} trial(s): {mismatch}");
             let path = std::env::temp_dir().join("fuzzyflow_quickstart_case.txt");
             case.save(&path).expect("writable temp dir");

@@ -14,11 +14,7 @@ fn cfg() -> VerifyConfig {
     }
 }
 
-fn first_verdict(
-    program: &fuzzyflow::ir::Sdfg,
-    t: &dyn Transformation,
-    idx: usize,
-) -> Verdict {
+fn first_verdict(program: &fuzzyflow::ir::Sdfg, t: &dyn Transformation, idx: usize) -> Verdict {
     let matches = t.find_matches(program);
     assert!(
         matches.len() > idx,
@@ -94,7 +90,10 @@ fn gpu_extraction_fig7_flow() {
         .expect("instances exist");
     let report = verify_instance(&p, &t, m, &cfg()).unwrap();
     assert!(report.verdict.is_fault(), "{:?}", report.verdict);
-    assert!(report.trials_to_detection.unwrap() <= 2, "paper: 1-2 trials");
+    assert!(
+        report.trials_to_detection.unwrap() <= 2,
+        "paper: 1-2 trials"
+    );
 }
 
 #[test]
@@ -145,8 +144,10 @@ fn hang_class_detected_via_step_limit() {
     let back = broken
         .states
         .edge_ids()
-        .find(|&e| !broken.states.edge(e).assignments.is_empty()
-            && broken.states.edge(e).assignments[0].1.references("i"))
+        .find(|&e| {
+            !broken.states.edge(e).assignments.is_empty()
+                && broken.states.edge(e).assignments[0].1.references("i")
+        })
         .expect("back edge");
     *broken.states.edge_mut(back) = InterstateEdge::always();
     let constraints = fuzzyflow_fuzz::derive_constraints(&cutout, &p);

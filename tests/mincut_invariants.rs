@@ -1,8 +1,6 @@
 //! Integration: minimum input-flow cut invariants (paper Sec. 4, Fig. 4).
 
-use fuzzyflow::cutout::{
-    extract_cutout, minimize_input_configuration, SideEffectContext,
-};
+use fuzzyflow::cutout::{extract_cutout, minimize_input_configuration, SideEffectContext};
 use fuzzyflow::prelude::*;
 use fuzzyflow_transforms::{apply_to_clone, ChangeSet};
 
@@ -25,8 +23,7 @@ fn minimization_invariants_across_suite() {
             let Ok(cutout) = extract_cutout(&w.sdfg, &changes, &ctx) else {
                 continue;
             };
-            let (min_c, outcome) =
-                minimize_input_configuration(&w.sdfg, cutout, &ctx, &w.bindings);
+            let (min_c, outcome) = minimize_input_configuration(&w.sdfg, cutout, &ctx, &w.bindings);
             assert!(
                 outcome.volume_after <= outcome.volume_before,
                 "{}: volume grew on node {node}",
@@ -58,7 +55,11 @@ fn fig4_reduction_on_mha() {
         min_c.input_config,
         vec!["A".to_string(), "Bt".to_string(), "scale".to_string()]
     );
-    assert!((outcome.reduction() - 0.75).abs() < 0.05, "{}", outcome.reduction());
+    assert!(
+        (outcome.reduction() - 0.75).abs() < 0.05,
+        "{}",
+        outcome.reduction()
+    );
 }
 
 /// Fuzzing the minimized cutout gives the same verdicts as the plain one.
