@@ -13,7 +13,7 @@ use fuzzyflow::cutout::{extract_cutout, minimize_input_configuration, SideEffect
 use fuzzyflow::prelude::*;
 use fuzzyflow_bench::{row, time_per_iter};
 use fuzzyflow_fuzz::{derive_constraints, sample_state, CoverageFuzzer, ValueProfile, Xoshiro256};
-use fuzzyflow_interp::run;
+use fuzzyflow_interp::{run, Program};
 
 fn main() {
     println!("== Fig. 5 / Sec. 6.1: MHA scale loop nest (BERT ratios) ==");
@@ -98,14 +98,17 @@ fn main() {
     let whole_vec = apply_to_clone(&app, &vectorize, &app_matches[0])
         .expect("applies")
         .0;
+    // Compile once; whole-application trials only execute.
+    let app_c = Program::compile(&app);
+    let whole_vec_c = Program::compile(&whole_vec);
     let whole_trial = || {
         let mut st = ExecState::new();
         for (k, v) in bindings.iter() {
             st.bind(k, v);
         }
         let mut st2 = st.clone();
-        run(&app, &mut st).unwrap();
-        let _ = run(&whole_vec, &mut st2);
+        app_c.run(&mut st).unwrap();
+        let _ = whole_vec_c.run(&mut st2);
         st.compare_on(&st2, &["out".to_string()], 1e-5)
     };
     let translated =
@@ -116,11 +119,13 @@ fn main() {
         .expect("replays");
     let mut rng = Xoshiro256::seed_from(11);
     let sample = sample_state(&cutout_min, &cm, &profile, &mut rng).expect("samples");
+    let cut_c = Program::compile(&cutout_min.sdfg);
+    let trans_c = Program::compile(&transformed);
     let cut_trial = || {
         let mut a = sample.clone();
         let mut b = sample.clone();
-        run(&cutout_min.sdfg, &mut a).unwrap();
-        let _ = run(&transformed, &mut b);
+        cut_c.run(&mut a).unwrap();
+        let _ = trans_c.run(&mut b);
         a.compare_on(&b, &cutout_min.system_state, 1e-5)
     };
     let t_whole = time_per_iter(10, || {

@@ -10,7 +10,7 @@ use fuzzyflow::dist::{has_communication, run_distributed};
 use fuzzyflow::prelude::*;
 use fuzzyflow_bench::{prepare_pair, row, time_per_iter};
 use fuzzyflow_fuzz::{sample_state, ValueProfile, Xoshiro256};
-use fuzzyflow_interp::run;
+use fuzzyflow_interp::Program;
 
 fn main() {
     println!("== Fig. 6 / Sec. 6.2: SDDMM cutout on a single rank ==");
@@ -74,11 +74,14 @@ fn main() {
     };
     let mut rng = Xoshiro256::seed_from(5);
     let sample = sample_state(&cutout, &constraints, &profile, &mut rng).expect("samples");
+    // Compile once; single-rank cutout trials only execute.
+    let cut_c = Program::compile(&cutout.sdfg);
+    let trans_c = Program::compile(&transformed);
     let cut_trial = || {
         let mut a = sample.clone();
         let mut b = sample.clone();
-        run(&cutout.sdfg, &mut a).unwrap();
-        let failed = run(&transformed, &mut b).is_err();
+        cut_c.run(&mut a).unwrap();
+        let failed = trans_c.run(&mut b).is_err();
         (a.compare_on(&b, &cutout.system_state, 1e-5), failed)
     };
 

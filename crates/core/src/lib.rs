@@ -18,7 +18,7 @@
 //! 4. **differentially fuzz** the cutout against its transformed
 //!    counterpart with gray-box constraint-derived sampling (Sec. 5),
 //! 5. report a verdict; failures come with a bit-exact, replayable
-//!    [`TestCase`].
+//!    [`TestCase`](fuzzyflow_fuzz::TestCase).
 //!
 //! ```
 //! use fuzzyflow::prelude::*;
@@ -63,7 +63,7 @@ pub mod prelude {
     pub use crate::verify::{verify_instance, VerificationReport, VerifyConfig};
     pub use fuzzyflow_cutout::{extract_cutout, Cutout, SideEffectContext};
     pub use fuzzyflow_fuzz::{CoverageFuzzer, DiffTester, TestCase, Verdict};
-    pub use fuzzyflow_interp::{run, ArrayValue, ExecState};
+    pub use fuzzyflow_interp::{run, ArrayValue, ExecState, Executor, Program};
     pub use fuzzyflow_ir::{validate, Bindings, DType, Sdfg, SdfgBuilder};
     pub use fuzzyflow_transforms::{
         apply_to_clone, builtin_suite, cloudsc_suite, BufferTiling, GpuKernelExtraction,

@@ -114,6 +114,12 @@ pub fn sweep(
                 if vcfg.concretization.is_none() {
                     vcfg.concretization = Some(job.bindings.clone());
                 }
+                // The sweep is already parallel across instances; keep the
+                // per-instance trial batches sequential unless explicitly
+                // overridden, to avoid thread oversubscription.
+                if vcfg.trial_threads == 0 {
+                    vcfg.trial_threads = 1;
+                }
                 let outcome = verify_instance(job.sdfg, job.t, &job.m, &vcfg);
                 let result = match outcome {
                     Ok(report) => InstanceResult {

@@ -28,6 +28,10 @@ pub struct VerifyConfig {
     pub concretization: Option<Bindings>,
     /// Extra engineer-provided sampling constraints `(symbol, lo, hi)`.
     pub custom_constraints: Vec<(String, i64, i64)>,
+    /// Worker threads for the differential trial batches (`0` = one per
+    /// core, `1` = sequential). Verdicts are identical for every setting;
+    /// see [`DiffTester::threads`].
+    pub trial_threads: usize,
 }
 
 impl Default for VerifyConfig {
@@ -40,6 +44,7 @@ impl Default for VerifyConfig {
             minimize: true,
             concretization: None,
             custom_constraints: Vec::new(),
+            trial_threads: 0,
         }
     }
 }
@@ -142,6 +147,7 @@ pub fn verify_instance(
             size_max: cfg.size_max,
             ..Default::default()
         },
+        threads: cfg.trial_threads,
         ..Default::default()
     };
     let diff = tester.test(&cutout, &transformed, &constraints);

@@ -1,7 +1,7 @@
 //! Lock-step SPMD execution of a distributed SDFG.
 
 use crate::comm::{SimComm, ABORT_PREFIX};
-use fuzzyflow_interp::{run_with, ExecError, ExecOptions, ExecState};
+use fuzzyflow_interp::{ExecError, ExecOptions, ExecState, Program};
 use fuzzyflow_ir::Sdfg;
 
 /// Runs one SPMD program on every rank of a simulated communicator, one
@@ -24,6 +24,10 @@ pub fn run_distributed(
     let nranks = states.len();
     let comm = SimComm::new(nranks);
     let comm_ref = &comm;
+    // Compile the SPMD program once; every rank thread executes the same
+    // shared compiled program with its own executor.
+    let program = Program::compile(sdfg);
+    let program_ref = &program;
 
     let results: Vec<Result<(), ExecError>> = std::thread::scope(|s| {
         let handles: Vec<_> = states
@@ -32,7 +36,9 @@ pub fn run_distributed(
             .map(|(rank, st)| {
                 s.spawn(move || {
                     st.bind("rank", rank as i64).bind("nranks", nranks as i64);
-                    let res = run_with(sdfg, st, opts, Some(comm_ref), None);
+                    let res = program_ref
+                        .executor()
+                        .run_in_place(st, opts, Some(comm_ref), None);
                     if let Err(e) = &res {
                         comm_ref.poison(&format!("{ABORT_PREFIX}: rank {rank} failed: {e}"));
                     }

@@ -22,7 +22,7 @@ use crate::Verdict;
 use fuzzyflow_cutout::Cutout;
 use fuzzyflow_interp::coverage::MAP_SIZE;
 use fuzzyflow_interp::ArrayValue;
-use fuzzyflow_interp::{run_with, CoverageMap, ExecOptions, ExecState};
+use fuzzyflow_interp::{CoverageMap, ExecOptions, ExecState, Program};
 use fuzzyflow_ir::{validate, Bindings, Sdfg};
 
 /// Report of a coverage-guided fuzzing campaign.
@@ -235,6 +235,11 @@ impl CoverageFuzzer {
         let opts = ExecOptions {
             max_steps: self.max_steps,
         };
+        // Compile both sides once; the campaign loop only executes.
+        let orig_prog = Program::compile(&cutout.sdfg);
+        let trans_prog = Program::compile(transformed);
+        let mut orig_exec = orig_prog.executor();
+        let mut trans_exec = trans_prog.executor();
 
         // Seed input: shipped sizes, deterministic pseudo-random payload.
         let seed_state = {
@@ -245,7 +250,17 @@ impl CoverageFuzzer {
             }
             for name in &cutout.input_config {
                 if let Some(desc) = cutout.sdfg.array(name) {
-                    if let Ok(shape) = desc.concrete_shape(&st.symbols) {
+                    if let Ok(shape) =
+                        desc.concrete_shape(&st.symbols)
+                            .map_err(|_| ())
+                            .and_then(|s| {
+                                if s.iter().all(|&d| d >= 0) {
+                                    Ok(s)
+                                } else {
+                                    Err(())
+                                }
+                            })
+                    {
                         let mut arr = ArrayValue::zeros(desc.dtype, shape);
                         for i in 0..arr.len() {
                             arr.set(
@@ -290,8 +305,7 @@ impl CoverageFuzzer {
 
             // Original run, instrumented.
             let mut cov = CoverageMap::new();
-            let mut orig_state = sample.clone();
-            let orig_result = run_with(&cutout.sdfg, &mut orig_state, &opts, None, Some(&mut cov));
+            let orig_result = orig_exec.execute(&sample, &opts, None, Some(&mut cov));
             if orig_result.is_err() {
                 // Uninteresting crash (both sides fail) — but still feed
                 // coverage so the fuzzer learns path-triggering inputs.
@@ -302,8 +316,7 @@ impl CoverageFuzzer {
             }
 
             // Transformed run on the same input.
-            let mut trans_state = sample.clone();
-            match run_with(transformed, &mut trans_state, &opts, None, None) {
+            match trans_exec.execute(&sample, &opts, None, None) {
                 Err(e) if e.is_hang() => {
                     return self.report(
                         Verdict::Hang {
@@ -341,7 +354,7 @@ impl CoverageFuzzer {
             }
 
             if let Some(mismatch) =
-                orig_state.compare_on(&trans_state, &cutout.system_state, self.tolerance)
+                orig_exec.compare_on(&trans_exec, &cutout.system_state, self.tolerance)
             {
                 return self.report(
                     Verdict::SemanticChange {

@@ -5,7 +5,7 @@ use crate::rng::Xoshiro256;
 use crate::sampler::{sample_state, ValueProfile};
 use crate::testcase::TestCase;
 use fuzzyflow_cutout::Cutout;
-use fuzzyflow_interp::{run_with, ExecOptions, ExecState};
+use fuzzyflow_interp::{ExecOptions, ExecState, Program};
 use fuzzyflow_ir::{validate, Sdfg};
 
 /// Outcome of differentially testing `c` against `T(c)`.
@@ -83,7 +83,9 @@ pub struct DiffTester {
     /// Numerical comparison threshold `t_Δ`; `0.0` = bit-exact. The paper
     /// uses `1e-5` in its case studies.
     pub tolerance: f64,
-    /// PRNG seed (reports replay exactly for a given seed).
+    /// PRNG seed (reports replay exactly for a given seed). Each trial
+    /// derives its own deterministic sub-seed from this, so trials are
+    /// independent of execution order and can run in parallel.
     pub seed: u64,
     /// Interpreter step budget (hang oracle).
     pub max_steps: u64,
@@ -92,6 +94,10 @@ pub struct DiffTester {
     /// Resampling budget per trial when the original cutout rejects an
     /// input (should stay near zero thanks to gray-box constraints).
     pub max_resamples: usize,
+    /// Worker threads for trial batches: `0` = one per available core,
+    /// `1` = sequential. Reports are byte-identical for every setting —
+    /// the verdict is always the lowest-numbered faulting trial.
+    pub threads: usize,
 }
 
 impl Default for DiffTester {
@@ -103,7 +109,64 @@ impl Default for DiffTester {
             max_steps: 20_000_000,
             profile: ValueProfile::default(),
             max_resamples: 200,
+            threads: 0,
         }
+    }
+}
+
+/// Deterministic per-trial PRNG seed (splitmix64 finalizer over the base
+/// seed and trial index).
+fn trial_seed(seed: u64, trial: u64) -> u64 {
+    let mut x = seed ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Outcome of one independent trial, before order-dependent bookkeeping.
+enum TrialOutcome {
+    Passed {
+        resamples: usize,
+    },
+    /// Sampling never produced an input the original cutout accepts.
+    NoSample {
+        resamples: usize,
+    },
+    Hang {
+        case: TestCase,
+        resamples: usize,
+    },
+    Crash {
+        error: String,
+        case: TestCase,
+        resamples: usize,
+    },
+    /// Structural failure at runtime: invalid code.
+    Invalid {
+        error: String,
+        resamples: usize,
+    },
+    SemanticChange {
+        mismatch: String,
+        case: TestCase,
+        resamples: usize,
+    },
+}
+
+impl TrialOutcome {
+    fn resamples(&self) -> usize {
+        match self {
+            TrialOutcome::Passed { resamples }
+            | TrialOutcome::NoSample { resamples }
+            | TrialOutcome::Hang { resamples, .. }
+            | TrialOutcome::Crash { resamples, .. }
+            | TrialOutcome::Invalid { resamples, .. }
+            | TrialOutcome::SemanticChange { resamples, .. } => *resamples,
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        !matches!(self, TrialOutcome::Passed { .. })
     }
 }
 
@@ -119,6 +182,12 @@ impl DiffTester {
 
     /// Runs differential testing of the cutout against its transformed
     /// counterpart.
+    ///
+    /// Both SDFGs are compiled exactly once; the N trials then run against
+    /// the two compiled [`Program`]s with per-trial deterministic seeds,
+    /// in parallel batches when [`DiffTester::threads`] allows. The report
+    /// is the one a sequential scan of trials 1..=N would produce, byte
+    /// for byte, regardless of thread count or schedule.
     pub fn test(
         &self,
         cutout: &Cutout,
@@ -137,52 +206,194 @@ impl DiffTester {
             };
         }
 
-        let mut rng = Xoshiro256::seed_from(self.seed);
+        // Compile once per instance; trials only execute.
+        let orig_prog = Program::compile(&cutout.sdfg);
+        let trans_prog = Program::compile(transformed);
+
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+        .min(self.trials.max(1));
+
+        // All trials at or below the first terminal trial are guaranteed
+        // to complete; `stop_at` only prunes work beyond a known terminal.
+        let stop_at = std::sync::atomic::AtomicUsize::new(usize::MAX);
+        let mut outcomes: Vec<Option<TrialOutcome>> = Vec::with_capacity(self.trials);
+        outcomes.resize_with(self.trials, || None);
+
+        let worker = |worker_id: usize| -> Vec<(usize, TrialOutcome)> {
+            let mut local = Vec::new();
+            let mut orig_exec = orig_prog.executor();
+            let mut trans_exec = trans_prog.executor();
+            let mut trial = worker_id + 1;
+            while trial <= self.trials {
+                if trial > stop_at.load(std::sync::atomic::Ordering::Relaxed) {
+                    break;
+                }
+                let outcome =
+                    self.run_trial(cutout, constraints, trial, &mut orig_exec, &mut trans_exec);
+                if outcome.is_terminal() {
+                    stop_at.fetch_min(trial, std::sync::atomic::Ordering::Relaxed);
+                }
+                local.push((trial, outcome));
+                trial += threads;
+            }
+            local
+        };
+
+        if threads <= 1 {
+            for (trial, outcome) in worker(0) {
+                outcomes[trial - 1] = Some(outcome);
+            }
+        } else {
+            let collected: Vec<Vec<(usize, TrialOutcome)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| scope.spawn(move || worker(w)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("trial worker panicked"))
+                    .collect()
+            });
+            for batch in collected {
+                for (trial, outcome) in batch {
+                    outcomes[trial - 1] = Some(outcome);
+                }
+            }
+        }
+
+        self.finalize(outcomes)
+    }
+
+    /// One independent trial: sample until the original cutout accepts an
+    /// input, then run the transformed program on the same input and
+    /// compare the system states.
+    fn run_trial(
+        &self,
+        cutout: &Cutout,
+        constraints: &Constraints,
+        trial: usize,
+        orig_exec: &mut fuzzyflow_interp::Executor<'_>,
+        trans_exec: &mut fuzzyflow_interp::Executor<'_>,
+    ) -> TrialOutcome {
         let opts = ExecOptions {
             max_steps: self.max_steps,
         };
+        let mut rng = Xoshiro256::seed_from(trial_seed(self.seed, trial as u64));
         let mut resamples = 0usize;
 
-        for trial in 1..=self.trials {
-            // Sample an input the ORIGINAL cutout accepts.
-            let mut input: Option<(ExecState, ExecState)> = None;
-            for _ in 0..=self.max_resamples {
-                let Some(candidate) = sample_state(cutout, constraints, &self.profile, &mut rng)
-                else {
+        // Sample an input the ORIGINAL cutout accepts.
+        let mut sample: Option<ExecState> = None;
+        for _ in 0..=self.max_resamples {
+            let Some(candidate) = sample_state(cutout, constraints, &self.profile, &mut rng) else {
+                resamples += 1;
+                continue;
+            };
+            match orig_exec.execute(&candidate, &opts, None, None) {
+                Ok(()) => {
+                    sample = Some(candidate);
+                    break;
+                }
+                Err(_) => {
+                    // Uninteresting crash: both sides would fail.
                     resamples += 1;
-                    continue;
-                };
-                let mut orig_state = candidate.clone();
-                match run_with(&cutout.sdfg, &mut orig_state, &opts, None, None) {
-                    Ok(()) => {
-                        input = Some((candidate, orig_state));
-                        break;
-                    }
-                    Err(_) => {
-                        // Uninteresting crash: both sides would fail.
-                        resamples += 1;
-                    }
                 }
             }
-            let Some((sample, orig_result)) = input else {
-                return DiffReport {
-                    verdict: Verdict::Inconclusive {
-                        reason: format!(
-                            "could not sample an accepted input after {} attempts",
-                            self.max_resamples
-                        ),
-                    },
-                    trials_run: trial - 1,
-                    resamples,
-                    trials_to_detection: None,
-                };
-            };
+        }
+        let Some(sample) = sample else {
+            return TrialOutcome::NoSample { resamples };
+        };
 
-            // Run the transformed cutout on the exact same input.
-            let mut trans_state = sample.clone();
-            match run_with(transformed, &mut trans_state, &opts, None, None) {
-                Err(e) if e.is_hang() => {
-                    let case = TestCase::capture(&cutout.sdfg.name, "hang", &sample);
+        // Run the transformed cutout on the exact same input.
+        match trans_exec.execute(&sample, &opts, None, None) {
+            Err(e) if e.is_hang() => {
+                return TrialOutcome::Hang {
+                    case: TestCase::capture(&cutout.sdfg.name, "hang", &sample),
+                    resamples,
+                };
+            }
+            Err(e) if e.is_crash() => {
+                return TrialOutcome::Crash {
+                    error: e.to_string(),
+                    case: TestCase::capture(&cutout.sdfg.name, &e.to_string(), &sample),
+                    resamples,
+                };
+            }
+            Err(e) => {
+                return TrialOutcome::Invalid {
+                    error: e.to_string(),
+                    resamples,
+                };
+            }
+            Ok(()) => {}
+        }
+
+        // Compare symbol side effects (scalar program state read by the
+        // rest of the program).
+        for s in &cutout.symbol_state {
+            if orig_exec.symbol(s) != trans_exec.symbol(s) {
+                return TrialOutcome::SemanticChange {
+                    mismatch: format!(
+                        "symbol '{s}' differs: {:?} vs {:?}",
+                        orig_exec.symbol(s),
+                        trans_exec.symbol(s)
+                    ),
+                    case: TestCase::capture(
+                        &cutout.sdfg.name,
+                        &format!("symbol state change: '{s}'"),
+                        &sample,
+                    ),
+                    resamples,
+                };
+            }
+        }
+
+        // Compare system states.
+        if let Some(mismatch) =
+            orig_exec.compare_on(trans_exec, &cutout.system_state, self.tolerance)
+        {
+            return TrialOutcome::SemanticChange {
+                mismatch: mismatch.to_string(),
+                case: TestCase::capture(
+                    &cutout.sdfg.name,
+                    &format!("semantic change: {mismatch}"),
+                    &sample,
+                ),
+                resamples,
+            };
+        }
+        TrialOutcome::Passed { resamples }
+    }
+
+    /// Scans trial outcomes in order and reproduces the sequential
+    /// tester's report: the first terminal trial decides the verdict, and
+    /// resample counts accumulate over all trials up to it.
+    fn finalize(&self, mut outcomes: Vec<Option<TrialOutcome>>) -> DiffReport {
+        let mut resamples = 0usize;
+        for trial in 1..=self.trials {
+            let outcome = outcomes[trial - 1]
+                .take()
+                .expect("all trials up to the first terminal one complete");
+            resamples += outcome.resamples();
+            match outcome {
+                TrialOutcome::Passed { .. } => {}
+                TrialOutcome::NoSample { .. } => {
+                    return DiffReport {
+                        verdict: Verdict::Inconclusive {
+                            reason: format!(
+                                "could not sample an accepted input after {} attempts",
+                                self.max_resamples
+                            ),
+                        },
+                        trials_run: trial - 1,
+                        resamples,
+                        trials_to_detection: None,
+                    };
+                }
+                TrialOutcome::Hang { case, .. } => {
                     return DiffReport {
                         verdict: Verdict::Hang { trial, case },
                         trials_run: trial,
@@ -190,50 +401,29 @@ impl DiffTester {
                         trials_to_detection: Some(trial),
                     };
                 }
-                Err(e) if e.is_crash() => {
-                    let case = TestCase::capture(&cutout.sdfg.name, &e.to_string(), &sample);
+                TrialOutcome::Crash { error, case, .. } => {
                     return DiffReport {
-                        verdict: Verdict::Crash {
-                            trial,
-                            error: e.to_string(),
-                            case,
-                        },
+                        verdict: Verdict::Crash { trial, error, case },
                         trials_run: trial,
                         resamples,
                         trials_to_detection: Some(trial),
                     };
                 }
-                Err(e) => {
-                    // Structural failure at runtime: invalid code.
+                TrialOutcome::Invalid { error, .. } => {
                     return DiffReport {
                         verdict: Verdict::InvalidCode {
-                            errors: vec![e.to_string()],
+                            errors: vec![error],
                         },
                         trials_run: trial,
                         resamples,
                         trials_to_detection: Some(trial),
                     };
                 }
-                Ok(()) => {}
-            }
-
-            // Compare symbol side effects (scalar program state read by
-            // the rest of the program).
-            for s in &cutout.symbol_state {
-                if orig_result.symbols.get(s) != trans_state.symbols.get(s) {
-                    let case = TestCase::capture(
-                        &cutout.sdfg.name,
-                        &format!("symbol state change: '{s}'"),
-                        &sample,
-                    );
+                TrialOutcome::SemanticChange { mismatch, case, .. } => {
                     return DiffReport {
                         verdict: Verdict::SemanticChange {
                             trial,
-                            mismatch: format!(
-                                "symbol '{s}' differs: {:?} vs {:?}",
-                                orig_result.symbols.get(s),
-                                trans_state.symbols.get(s)
-                            ),
+                            mismatch,
                             case,
                         },
                         trials_run: trial,
@@ -242,29 +432,7 @@ impl DiffTester {
                     };
                 }
             }
-
-            // Compare system states.
-            if let Some(mismatch) =
-                orig_result.compare_on(&trans_state, &cutout.system_state, self.tolerance)
-            {
-                let case = TestCase::capture(
-                    &cutout.sdfg.name,
-                    &format!("semantic change: {mismatch}"),
-                    &sample,
-                );
-                return DiffReport {
-                    verdict: Verdict::SemanticChange {
-                        trial,
-                        mismatch: mismatch.to_string(),
-                        case,
-                    },
-                    trials_run: trial,
-                    resamples,
-                    trials_to_detection: Some(trial),
-                };
-            }
         }
-
         DiffReport {
             verdict: Verdict::Equivalent {
                 trials: self.trials,
@@ -388,6 +556,44 @@ mod tests {
         fuzzyflow_interp::run(&c.sdfg, &mut a).unwrap();
         fuzzyflow_interp::run(&transformed, &mut b).unwrap();
         assert!(a.compare_on(&b, &c.system_state, 1e-5).is_some());
+    }
+
+    /// Acceptance criterion of the compile-once engine: parallel trial
+    /// batches must produce verdicts byte-identical to sequential
+    /// execution, for faulting and clean instances alike.
+    #[test]
+    fn parallel_batches_match_sequential() {
+        let (p, _, _) = acc_program();
+        for t in [
+            Box::new(MapTiling::new(4)) as Box<dyn Transformation>,
+            Box::new(MapTilingOffByOne::new(4)),
+            Box::new(MapTilingNoRemainder::new(4)),
+        ] {
+            let m = &t.find_matches(&p)[0];
+            let (_, changes) = apply_to_clone(&p, t.as_ref(), m).unwrap();
+            let ctx = SideEffectContext::with_size_symbols(&["N".to_string()], 64);
+            let c = extract_cutout(&p, &changes, &ctx).unwrap();
+            let translated = fuzzyflow_cutout::translate_match(&c, m).unwrap();
+            let mut transformed = c.sdfg.clone();
+            t.apply(&mut transformed, &translated).unwrap();
+            let cons = derive_constraints(&c, &p);
+            let sequential = DiffTester {
+                threads: 1,
+                ..DiffTester::new(40, 4242)
+            }
+            .test(&c, &transformed, &cons);
+            let parallel = DiffTester {
+                threads: 4,
+                ..DiffTester::new(40, 4242)
+            }
+            .test(&c, &transformed, &cons);
+            assert_eq!(
+                format!("{sequential:?}"),
+                format!("{parallel:?}"),
+                "thread count changed the report for {}",
+                t.name()
+            );
+        }
     }
 
     #[test]

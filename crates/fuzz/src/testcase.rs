@@ -186,6 +186,11 @@ impl TestCase {
                         })
                         .collect::<Result<_, _>>()?
                 };
+                if shape.iter().any(|&d| d < 0) {
+                    return Err(TestCaseParseError(format!(
+                        "negative dimension in shape {shape:?}"
+                    )));
+                }
                 let mut arr = ArrayValue::zeros(dtype, shape);
                 let mut idx = 0usize;
                 while idx < arr.len() {

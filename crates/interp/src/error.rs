@@ -34,8 +34,9 @@ pub enum ExecError {
     UndefinedRef { tasklet: String, name: String },
     /// A library node's operands had unsupported shapes.
     ShapeError { node: String, detail: String },
-    /// A communication collective was executed without a [`CommHandler`]
-    /// (single-node context, paper Sec. 6.2).
+    /// A communication collective was executed without a
+    /// [`CommHandler`](crate::CommHandler) (single-node context, paper
+    /// Sec. 6.2).
     NoCommHandler { node: String },
     /// Structural problem discovered during execution (malformed IR that
     /// validation would also reject).

@@ -148,13 +148,41 @@ impl ExecState {
 }
 
 /// Runs an SDFG to completion with default options and no comm/coverage.
+///
+/// Thin compile-then-execute convenience over [`crate::Program`]: the SDFG
+/// is lowered to a compiled program and executed once. Call sites that run
+/// the same SDFG many times should compile once with
+/// [`Program::compile`](crate::Program::compile) and reuse an
+/// [`Executor`](crate::Executor) instead.
 pub fn run(sdfg: &Sdfg, state: &mut ExecState) -> Result<(), ExecError> {
     run_with(sdfg, state, &ExecOptions::default(), None, None)
 }
 
 /// Runs an SDFG with explicit options, optional communication handler and
-/// optional coverage map.
+/// optional coverage map (compile-then-execute convenience; see [`run`]).
 pub fn run_with(
+    sdfg: &Sdfg,
+    state: &mut ExecState,
+    opts: &ExecOptions,
+    comm: Option<&dyn CommHandler>,
+    cov: Option<&mut CoverageMap>,
+) -> Result<(), ExecError> {
+    let program = crate::Program::compile(sdfg);
+    program.run_with(state, opts, comm, cov)
+}
+
+/// Runs an SDFG on the legacy tree-walk interpreter (default options).
+///
+/// Kept as the reference semantics the compiled engine is differentially
+/// tested against (the engine-equivalence property suite) and as the
+/// baseline of the `exec_engine` benchmark.
+pub fn run_tree_walk(sdfg: &Sdfg, state: &mut ExecState) -> Result<(), ExecError> {
+    run_with_tree_walk(sdfg, state, &ExecOptions::default(), None, None)
+}
+
+/// Tree-walk interpreter with explicit options/comm/coverage (see
+/// [`run_tree_walk`]).
+pub fn run_with_tree_walk(
     sdfg: &Sdfg,
     state: &mut ExecState,
     opts: &ExecOptions,
@@ -631,7 +659,7 @@ fn block_dims(st: &ExecState, m: &Memlet) -> Result<Vec<i64>, ExecError> {
     Ok(c.dims.iter().map(|d| d.len() as i64).collect())
 }
 
-fn combine_wcr(wcr: Wcr, old: Scalar, new: Scalar) -> Scalar {
+pub(crate) fn combine_wcr(wcr: Wcr, old: Scalar, new: Scalar) -> Scalar {
     let float = old.dtype().is_float() || new.dtype().is_float();
     if float {
         let (a, b) = (old.as_f64(), new.as_f64());
@@ -654,7 +682,7 @@ fn combine_wcr(wcr: Wcr, old: Scalar, new: Scalar) -> Scalar {
     }
 }
 
-fn apply_bin(op: BinOp, x: Scalar, y: Scalar) -> Result<Scalar, ExecError> {
+pub(crate) fn apply_bin(op: BinOp, x: Scalar, y: Scalar) -> Result<Scalar, ExecError> {
     let float = x.dtype().is_float() || y.dtype().is_float();
     Ok(match op {
         BinOp::And => Scalar::Bool(x.as_bool() && y.as_bool()),
@@ -699,7 +727,7 @@ fn apply_bin(op: BinOp, x: Scalar, y: Scalar) -> Result<Scalar, ExecError> {
     })
 }
 
-fn apply_un(op: UnOp, x: Scalar) -> Scalar {
+pub(crate) fn apply_un(op: UnOp, x: Scalar) -> Scalar {
     match op {
         UnOp::Not => Scalar::Bool(!x.as_bool()),
         UnOp::Neg => {
@@ -725,7 +753,7 @@ fn apply_un(op: UnOp, x: Scalar) -> Scalar {
     }
 }
 
-fn apply_cmp(op: CmpOp, x: Scalar, y: Scalar) -> bool {
+pub(crate) fn apply_cmp(op: CmpOp, x: Scalar, y: Scalar) -> bool {
     if x.dtype().is_float() || y.dtype().is_float() {
         let (a, b) = (x.as_f64(), y.as_f64());
         match op {
@@ -749,7 +777,7 @@ fn apply_cmp(op: CmpOp, x: Scalar, y: Scalar) -> bool {
     }
 }
 
-fn matmul(
+pub(crate) fn matmul(
     name: &str,
     da: &[i64],
     a: &[Scalar],
@@ -809,7 +837,7 @@ fn matmul(
     }
 }
 
-fn reduce(
+pub(crate) fn reduce(
     name: &str,
     op: Wcr,
     axis: usize,
@@ -850,7 +878,7 @@ fn reduce(
     Ok(out.into_iter().map(Scalar::F64).collect())
 }
 
-fn softmax(dims: &[i64], v: &[Scalar]) -> Vec<Scalar> {
+pub(crate) fn softmax(dims: &[i64], v: &[Scalar]) -> Vec<Scalar> {
     if dims.is_empty() {
         return vec![Scalar::F64(1.0)];
     }

@@ -16,13 +16,31 @@
 //!    ([`CoverageMap`]) records state transitions, node executions and
 //!    branch outcomes, enabling the coverage-guided fuzzing mode of
 //!    Sec. 5.1 without external tooling.
+//!
+//! Two engines implement these semantics:
+//!
+//! * the **compiled engine** ([`Program`]/[`Executor`]) — SDFGs are
+//!   lowered once into interned-id, bytecode-backed programs and executed
+//!   many times against id-indexed storage with reusable buffers; this is
+//!   what the differential trial loop runs on, and what [`run`] /
+//!   [`run_with`] use under the hood;
+//! * the **tree-walk engine** ([`run_tree_walk`] / [`run_with_tree_walk`])
+//!   — the direct AST interpreter kept as the reference semantics.
+//!
+//! The two are held bit-identical (results, errors, step accounting,
+//! coverage ids) by the engine-equivalence property suite.
 
 pub mod coverage;
 pub mod error;
 pub mod exec;
+pub mod program;
 pub mod value;
 
 pub use coverage::CoverageMap;
 pub use error::ExecError;
-pub use exec::{run, run_with, CommHandler, ExecOptions, ExecState, StateMismatch};
+pub use exec::{
+    run, run_tree_walk, run_with, run_with_tree_walk, CommHandler, ExecOptions, ExecState,
+    StateMismatch,
+};
+pub use program::{Executor, Program};
 pub use value::ArrayValue;

@@ -1,0 +1,2037 @@
+//! The compile-once execution engine.
+//!
+//! [`Program::compile`] lowers an [`Sdfg`] into a self-contained, immutable
+//! program: all data/symbol/connector names are interned into dense ids,
+//! memlet subscripts are precompiled into affine access plans (with a
+//! compiled postfix expression fallback for non-affine subscripts), and
+//! tasklet statement trees are flattened into a register-based instruction
+//! list. An [`Executor`] then runs the program against id-indexed `Vec`
+//! storage with reusable buffers, so the differential-fuzzing trial loop
+//! pays for compilation once and resets state in place between trials.
+//!
+//! The engine is semantics-identical to the tree-walk interpreter in
+//! [`crate::exec`] — same results bit for bit, same [`ExecError`] variants
+//! raised in the same order, same step counts for the hang oracle, and the
+//! same coverage location ids — which the engine-equivalence property
+//! suite enforces differentially (FuzzyFlow's own method, applied to our
+//! two engines).
+
+use crate::coverage::{location_id, CoverageMap};
+use crate::error::ExecError;
+use crate::exec::{
+    apply_bin, apply_cmp, apply_un, combine_wcr, matmul, reduce, softmax, CommHandler, ExecOptions,
+    ExecState, StateMismatch,
+};
+use crate::value::ArrayValue;
+use fuzzyflow_ir::{
+    BinOp, CmpOp, CondExpr, DType, DfNode, LibraryOp, Memlet, Scalar, Sdfg, Storage, SymExpr,
+    Tasklet, UnOp, Wcr,
+};
+use fuzzyflow_sym::{ConcreteRange, SymError};
+use std::collections::BTreeMap;
+
+/// Dense id of an interned data container name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct DataId(u32);
+
+impl DataId {
+    #[inline]
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense id of an interned symbol name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SymId(u32);
+
+impl SymId {
+    #[inline]
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Order-preserving string interner producing dense `u32` ids.
+#[derive(Clone, Debug, Default)]
+struct Interner {
+    names: Vec<String>,
+    ids: BTreeMap<String, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn get(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// Postfix-compiled symbolic integer expression. Evaluation reproduces
+/// [`SymExpr::eval`] exactly, including error order (for division and
+/// remainder the divisor is evaluated and zero-checked *before* the
+/// dividend, as in the tree evaluator).
+#[derive(Clone, Debug)]
+struct SymCode {
+    ops: Vec<SymOp>,
+}
+
+#[derive(Clone, Debug)]
+enum SymOp {
+    Push(i64),
+    Load(SymId),
+    Add,
+    Sub,
+    Mul,
+    /// Errors with `DivisionByZero` if the value on top of the stack is 0.
+    EnsureNonZero,
+    /// Pops dividend (top) then divisor; pushes Euclidean quotient.
+    DivE,
+    /// Pops dividend (top) then divisor; pushes Euclidean remainder.
+    ModE,
+    Min,
+    Max,
+    Neg,
+}
+
+/// One atom of an affine access plan: `± coeff` or `± coeff * sym`.
+#[derive(Clone, Debug)]
+struct AffTerm {
+    /// `false` = added, `true` = subtracted.
+    sub: bool,
+    sym: Option<SymId>,
+    coeff: i64,
+}
+
+/// A compiled index expression: constants and bare symbols resolve without
+/// any walking, affine chains of `{Int, Sym, Int*Sym}` atoms use a flat
+/// term list, and everything else (division, remainder, min/max,
+/// re-associated or nested arithmetic) falls back to compiled postfix
+/// form.
+#[derive(Clone, Debug)]
+enum IdxCode {
+    Const(i64),
+    Sym(SymId),
+    /// A left-associated sum/difference of atoms, evaluated as
+    /// `((t0 ± t1) ± t2) …` with checked arithmetic. Only expressions
+    /// whose tree evaluation performs this *exact* sequence of checked
+    /// operations are lowered here (no algebraic rewriting, no constant
+    /// folding across atoms), so overflow and unbound-symbol errors stay
+    /// bit-identical to [`SymExpr::eval`] — the compiled-code fallback
+    /// covers everything else.
+    Affine(Vec<AffTerm>),
+    Code(SymCode),
+}
+
+/// Compiled per-dimension range of a memlet subset or map.
+#[derive(Clone, Debug)]
+struct RangePlan {
+    start: IdxCode,
+    end: IdxCode,
+    step: IdxCode,
+}
+
+/// Compiled access plan of one memlet.
+#[derive(Clone, Debug)]
+struct MemPlan {
+    data: DataId,
+    wcr: Option<Wcr>,
+    kind: MemKind,
+}
+
+#[derive(Clone, Debug)]
+enum MemKind {
+    /// Every dimension is a single index with unit step: the offset is
+    /// computed directly, no range materialization or point iteration.
+    /// Each dimension keeps `(start, end)`: the end expression's value is
+    /// provably `start + 1`, but it is still evaluated for its *errors*
+    /// (e.g. overflow at the i64 edge), exactly as `Subset::concrete`
+    /// does in the tree-walk engine.
+    Single(Vec<(IdxCode, IdxCode)>),
+    /// General (possibly strided / multi-element) subset.
+    Ranges(Vec<RangePlan>),
+}
+
+/// Compiled inter-state condition (short-circuit evaluation order matches
+/// [`CondExpr::eval`]).
+#[derive(Clone, Debug)]
+enum CondPlan {
+    True,
+    Cmp(CmpOp, IdxCode, IdxCode),
+    Not(Box<CondPlan>),
+    And(Box<CondPlan>, Box<CondPlan>),
+    Or(Box<CondPlan>, Box<CondPlan>),
+}
+
+/// One instruction of the flat, register-based tasklet bytecode.
+#[derive(Clone, Debug)]
+enum Insn {
+    /// Marks the start of a tasklet statement: sets the coverage site and
+    /// resets the per-statement select counter.
+    Stmt {
+        site: u64,
+    },
+    Const {
+        dst: u32,
+        val: Scalar,
+    },
+    Mov {
+        dst: u32,
+        src: u32,
+    },
+    LoadSym {
+        dst: u32,
+        sym: SymId,
+    },
+    Bin {
+        op: BinOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Un {
+        op: UnOp,
+        dst: u32,
+        a: u32,
+    },
+    Cmp {
+        op: CmpOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// Select branch coverage: bumps the select counter and records
+    /// `location_id([site, sel, cond])`.
+    CoverSel {
+        cond: u32,
+    },
+    JumpIfFalse {
+        cond: u32,
+        target: u32,
+    },
+    Jump {
+        target: u32,
+    },
+}
+
+/// Compiled tasklet node.
+#[derive(Clone, Debug)]
+struct TaskletPlan {
+    name: String,
+    cover_loc: u64,
+    lanes: usize,
+    n_conn_slots: usize,
+    /// Register holding each input-connector slot's lane value.
+    conn_regs: Vec<u32>,
+    inputs: Vec<InputPlan>,
+    code: Vec<Insn>,
+    n_regs: usize,
+    /// Per `Tasklet::outputs` entry, in declaration order.
+    gather: Vec<GatherSpec>,
+    n_out_slots: usize,
+    out_writes: Vec<OutWrite>,
+}
+
+#[derive(Clone, Debug)]
+enum InputPlan {
+    Fail(ExecError),
+    Read {
+        slot: usize,
+        conn: String,
+        plan: MemPlan,
+    },
+}
+
+#[derive(Clone, Debug)]
+enum GatherSpec {
+    Push { slot: usize, reg: u32 },
+    Fail(ExecError),
+}
+
+#[derive(Clone, Debug)]
+enum OutWrite {
+    Fail(ExecError),
+    Write { slot: usize, plan: MemPlan },
+}
+
+/// Compiled map scope.
+#[derive(Clone, Debug)]
+struct MapPlan {
+    cover_loc: u64,
+    params: Vec<SymId>,
+    ranges: Vec<RangePlan>,
+    body: BlockPlan,
+}
+
+/// Compiled library node.
+#[derive(Clone, Debug)]
+struct LibraryPlan {
+    name: String,
+    cover_loc: u64,
+    op: LibraryOp,
+    inputs: Vec<LibInput>,
+    n_slots: usize,
+    /// Input-connector slots in the order the operation consumes them
+    /// (`A`, `B` for MatMul; `in` otherwise), or the "missing input
+    /// connector" error.
+    args: Vec<Result<usize, ExecError>>,
+    /// Data container of the first incoming memlet (dtype source for the
+    /// simulated collective's send buffer).
+    first_in_data: Option<DataId>,
+    out_writes: Vec<LibOutWrite>,
+}
+
+#[derive(Clone, Debug)]
+enum LibInput {
+    Fail(ExecError),
+    Read { slot: usize, plan: MemPlan },
+}
+
+#[derive(Clone, Debug)]
+enum LibOutWrite {
+    Fail(ExecError),
+    Write(MemPlan),
+}
+
+/// One step of a compiled dataflow block, in topological order.
+#[derive(Clone, Debug)]
+enum Step {
+    Access(DataId),
+    Tasklet(TaskletPlan),
+    Map(MapPlan),
+    Library(LibraryPlan),
+}
+
+/// A compiled dataflow graph (state body or map body).
+#[derive(Clone, Debug, Default)]
+struct BlockPlan {
+    /// Structural defect discovered at compile time but — for parity with
+    /// the tree-walk engine — raised only when the block actually executes.
+    error: Option<ExecError>,
+    steps: Vec<Step>,
+}
+
+/// Compiled declared container.
+#[derive(Clone, Debug)]
+struct ArrayPlan {
+    data: DataId,
+    dtype: DType,
+    storage: Storage,
+    shape: Vec<IdxCode>,
+}
+
+/// Compiled state of the state machine.
+#[derive(Clone, Debug)]
+struct StatePlan {
+    /// `location_id([0x57A7E, state_id])`: both the coverage location and
+    /// the parent site of the state's dataflow nodes.
+    site: u64,
+    body: BlockPlan,
+    edges: Vec<EdgePlan>,
+}
+
+#[derive(Clone, Debug)]
+struct EdgePlan {
+    cond: CondPlan,
+    assigns: Vec<(SymId, SymCode)>,
+    cover_loc: u64,
+    dst: usize,
+}
+
+/// A compiled, immutable, shareable (`Sync`) program. Compile once with
+/// [`Program::compile`], then execute many times — either through the
+/// convenience [`Program::run`]/[`Program::run_with`] (which keep the
+/// [`ExecState`] in/out contract of the tree-walk interpreter) or through
+/// a reusable [`Executor`] for zero-allocation trial loops.
+#[derive(Clone, Debug)]
+pub struct Program {
+    name: String,
+    data: Interner,
+    syms: Interner,
+    arrays: Vec<ArrayPlan>,
+    states: Vec<StatePlan>,
+    start: usize,
+}
+
+impl Program {
+    /// Lowers an SDFG into a compiled program. Compilation never fails:
+    /// structural defects (cyclic dataflow, missing connectors, never-
+    /// assigned outputs) are lowered into steps that raise the exact
+    /// runtime error the tree-walk interpreter would raise, at the same
+    /// execution point — a block that never runs never errors.
+    pub fn compile(sdfg: &Sdfg) -> Program {
+        let mut c = Compiler {
+            sdfg,
+            data: Interner::default(),
+            syms: Interner::default(),
+        };
+        // The collective runtime reads `rank` even when unbound.
+        c.syms.intern("rank");
+
+        let arrays: Vec<ArrayPlan> = sdfg
+            .arrays
+            .iter()
+            .map(|(name, desc)| ArrayPlan {
+                data: DataId(c.data.intern(name)),
+                dtype: desc.dtype,
+                storage: desc.storage,
+                shape: desc.shape.iter().map(|e| c.idx(e)).collect(),
+            })
+            .collect();
+
+        let ids: Vec<fuzzyflow_ir::StateId> = sdfg.states.node_ids().collect();
+        let dense_of = |id: fuzzyflow_ir::StateId| -> usize {
+            ids.iter().position(|&x| x == id).expect("state id known")
+        };
+        let states: Vec<StatePlan> = ids
+            .iter()
+            .map(|&id| {
+                let site = location_id(&[0x57A7E, id.0 as u64]);
+                let body = c.block(&sdfg.state(id).df, site);
+                let edges = sdfg
+                    .states
+                    .out_edge_ids(id)
+                    .iter()
+                    .map(|&e| {
+                        let edge = sdfg.states.edge(e);
+                        EdgePlan {
+                            cond: c.cond(&edge.condition),
+                            assigns: edge
+                                .assignments
+                                .iter()
+                                .map(|(s, v)| {
+                                    let code = c.code(v);
+                                    (SymId(c.syms.intern(s)), code)
+                                })
+                                .collect(),
+                            cover_loc: location_id(&[0xED6E, e.0 as u64]),
+                            dst: dense_of(sdfg.states.dst(e)),
+                        }
+                    })
+                    .collect();
+                StatePlan { site, body, edges }
+            })
+            .collect();
+
+        Program {
+            name: sdfg.name.clone(),
+            data: c.data,
+            syms: c.syms,
+            arrays,
+            states,
+            start: dense_of(sdfg.start),
+        }
+    }
+
+    /// Program name (copied from the source SDFG).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Creates a reusable executor for this program.
+    pub fn executor(&self) -> Executor<'_> {
+        Executor::new(self)
+    }
+
+    /// Compile-once equivalent of [`crate::run`]: executes against the
+    /// given state in place.
+    pub fn run(&self, state: &mut ExecState) -> Result<(), ExecError> {
+        self.run_with(state, &ExecOptions::default(), None, None)
+    }
+
+    /// Compile-once equivalent of [`crate::run_with`].
+    pub fn run_with(
+        &self,
+        state: &mut ExecState,
+        opts: &ExecOptions,
+        comm: Option<&dyn CommHandler>,
+        cov: Option<&mut CoverageMap>,
+    ) -> Result<(), ExecError> {
+        self.executor().run_in_place(state, opts, comm, cov)
+    }
+
+    fn sym_id(&self, name: &str) -> Option<SymId> {
+        self.syms.get(name).map(SymId)
+    }
+
+    fn data_id(&self, name: &str) -> Option<DataId> {
+        self.data.get(name).map(DataId)
+    }
+}
+
+struct Compiler<'s> {
+    #[allow(dead_code)]
+    sdfg: &'s Sdfg,
+    data: Interner,
+    syms: Interner,
+}
+
+impl Compiler<'_> {
+    /// Compiles a symbolic expression into postfix code with interned ids.
+    fn code(&mut self, e: &SymExpr) -> SymCode {
+        let mut ops = Vec::new();
+        self.emit(e, &mut ops);
+        SymCode { ops }
+    }
+
+    fn emit(&mut self, e: &SymExpr, ops: &mut Vec<SymOp>) {
+        match e {
+            SymExpr::Int(v) => ops.push(SymOp::Push(*v)),
+            SymExpr::Sym(s) => ops.push(SymOp::Load(SymId(self.syms.intern(s)))),
+            SymExpr::Add(a, b) => {
+                self.emit(a, ops);
+                self.emit(b, ops);
+                ops.push(SymOp::Add);
+            }
+            SymExpr::Sub(a, b) => {
+                self.emit(a, ops);
+                self.emit(b, ops);
+                ops.push(SymOp::Sub);
+            }
+            SymExpr::Mul(a, b) => {
+                self.emit(a, ops);
+                self.emit(b, ops);
+                ops.push(SymOp::Mul);
+            }
+            SymExpr::Div(a, b) => {
+                self.emit(b, ops);
+                ops.push(SymOp::EnsureNonZero);
+                self.emit(a, ops);
+                ops.push(SymOp::DivE);
+            }
+            SymExpr::Mod(a, b) => {
+                self.emit(b, ops);
+                ops.push(SymOp::EnsureNonZero);
+                self.emit(a, ops);
+                ops.push(SymOp::ModE);
+            }
+            SymExpr::Min(a, b) => {
+                self.emit(a, ops);
+                self.emit(b, ops);
+                ops.push(SymOp::Min);
+            }
+            SymExpr::Max(a, b) => {
+                self.emit(a, ops);
+                self.emit(b, ops);
+                ops.push(SymOp::Max);
+            }
+            SymExpr::Neg(a) => {
+                self.emit(a, ops);
+                ops.push(SymOp::Neg);
+            }
+        }
+    }
+
+    /// Classifies an index expression: constant, bare symbol, affine form,
+    /// or compiled-code fallback.
+    fn idx(&mut self, e: &SymExpr) -> IdxCode {
+        if e.is_constant() {
+            if let Ok(v) = e.eval(&fuzzyflow_sym::Bindings::new()) {
+                return IdxCode::Const(v);
+            }
+            // Constant but erroring (overflow / division by zero): keep
+            // the compiled form so the runtime error matches.
+            return IdxCode::Code(self.code(e));
+        }
+        if let SymExpr::Sym(s) = e {
+            return IdxCode::Sym(SymId(self.syms.intern(s)));
+        }
+        if let Some(terms) = self.affine(e) {
+            return IdxCode::Affine(terms);
+        }
+        IdxCode::Code(self.code(e))
+    }
+
+    /// Strict structural recognizer for parity-exact affine chains:
+    /// `atom_0 ± atom_1 ± … ± atom_k` (left-associated), where each atom
+    /// is `Int`, `Sym` or `Int*Sym`/`Sym*Int`. No algebraic rewriting is
+    /// performed — evaluating the atoms left to right replays the tree
+    /// evaluator's checked-operation sequence exactly, so overflow and
+    /// unbound errors cannot diverge. Anything else returns `None` and
+    /// takes the compiled-code path.
+    fn affine(&mut self, e: &SymExpr) -> Option<Vec<AffTerm>> {
+        match e {
+            SymExpr::Add(a, b) => {
+                let mut terms = self.affine(a)?;
+                terms.push(self.affine_atom(b, false)?);
+                Some(terms)
+            }
+            SymExpr::Sub(a, b) => {
+                let mut terms = self.affine(a)?;
+                terms.push(self.affine_atom(b, true)?);
+                Some(terms)
+            }
+            leaf => Some(vec![self.affine_atom(leaf, false)?]),
+        }
+    }
+
+    fn affine_atom(&mut self, e: &SymExpr, sub: bool) -> Option<AffTerm> {
+        match e {
+            SymExpr::Int(c) => Some(AffTerm {
+                sub,
+                sym: None,
+                coeff: *c,
+            }),
+            SymExpr::Sym(s) => Some(AffTerm {
+                sub,
+                sym: Some(SymId(self.syms.intern(s))),
+                coeff: 1,
+            }),
+            SymExpr::Mul(x, y) => match (x.as_ref(), y.as_ref()) {
+                (SymExpr::Int(c), SymExpr::Sym(s)) | (SymExpr::Sym(s), SymExpr::Int(c)) => {
+                    Some(AffTerm {
+                        sub,
+                        sym: Some(SymId(self.syms.intern(s))),
+                        coeff: *c,
+                    })
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn cond(&mut self, c: &CondExpr) -> CondPlan {
+        match c {
+            CondExpr::True => CondPlan::True,
+            CondExpr::Cmp(op, a, b) => CondPlan::Cmp(*op, self.idx(a), self.idx(b)),
+            CondExpr::Not(x) => CondPlan::Not(Box::new(self.cond(x))),
+            CondExpr::And(l, r) => CondPlan::And(Box::new(self.cond(l)), Box::new(self.cond(r))),
+            CondExpr::Or(l, r) => CondPlan::Or(Box::new(self.cond(l)), Box::new(self.cond(r))),
+        }
+    }
+
+    fn memlet(&mut self, m: &Memlet) -> MemPlan {
+        let data = DataId(self.data.intern(&m.data));
+        let dims = m.subset.dims();
+        let single = dims
+            .iter()
+            .all(|d| d.is_index() && d.step.as_int() == Some(1));
+        let kind = if single {
+            MemKind::Single(
+                dims.iter()
+                    .map(|d| (self.idx(&d.start), self.idx(&d.end)))
+                    .collect(),
+            )
+        } else {
+            MemKind::Ranges(
+                dims.iter()
+                    .map(|d| RangePlan {
+                        start: self.idx(&d.start),
+                        end: self.idx(&d.end),
+                        step: self.idx(&d.step),
+                    })
+                    .collect(),
+            )
+        };
+        MemPlan {
+            data,
+            wcr: m.wcr,
+            kind,
+        }
+    }
+
+    fn block(&mut self, df: &fuzzyflow_ir::Dataflow, site: u64) -> BlockPlan {
+        let order = match fuzzyflow_graph::topological_sort(&df.graph) {
+            Ok(o) => o,
+            Err(e) => {
+                return BlockPlan {
+                    error: Some(ExecError::Malformed(format!("cyclic dataflow ({e})"))),
+                    steps: Vec::new(),
+                }
+            }
+        };
+        let mut steps = Vec::with_capacity(order.len());
+        for n in order {
+            let node_site = location_id(&[site, n.0 as u64]);
+            match df.graph.node(n) {
+                DfNode::Access(name) => steps.push(Step::Access(DataId(self.data.intern(name)))),
+                DfNode::Tasklet(t) => steps.push(Step::Tasklet(self.tasklet(df, n, t, node_site))),
+                DfNode::Map(m) => steps.push(Step::Map(MapPlan {
+                    cover_loc: location_id(&[node_site]),
+                    params: m
+                        .params
+                        .iter()
+                        .map(|p| SymId(self.syms.intern(p)))
+                        .collect(),
+                    ranges: m
+                        .ranges
+                        .iter()
+                        .map(|r| RangePlan {
+                            start: self.idx(&r.start),
+                            end: self.idx(&r.end),
+                            step: self.idx(&r.step),
+                        })
+                        .collect(),
+                    body: self.block(&m.body, node_site),
+                })),
+                DfNode::Library(l) => steps.push(Step::Library(self.library(df, n, l, node_site))),
+            }
+        }
+        BlockPlan { error: None, steps }
+    }
+
+    fn tasklet(
+        &mut self,
+        df: &fuzzyflow_ir::Dataflow,
+        n: fuzzyflow_graph::NodeId,
+        t: &Tasklet,
+        node_site: u64,
+    ) -> TaskletPlan {
+        let lanes = t.lanes.max(1) as usize;
+
+        // Input connector slots, in first-occurrence order; duplicate
+        // connectors share a slot (the later read overwrites, as the
+        // tree-walk engine's BTreeMap insert does).
+        let mut conn_slots: Vec<String> = Vec::new();
+        let mut inputs = Vec::new();
+        for (_, m) in df.in_memlets(n) {
+            match &m.dst_conn {
+                None => inputs.push(InputPlan::Fail(ExecError::Malformed(format!(
+                    "input memlet of tasklet '{}' has no connector",
+                    t.name
+                )))),
+                Some(conn) => {
+                    let slot = match conn_slots.iter().position(|c| c == conn) {
+                        Some(i) => i,
+                        None => {
+                            conn_slots.push(conn.clone());
+                            conn_slots.len() - 1
+                        }
+                    };
+                    inputs.push(InputPlan::Read {
+                        slot,
+                        conn: conn.clone(),
+                        plan: self.memlet(m),
+                    });
+                }
+            }
+        }
+
+        // Named registers: one per connector slot, one per distinct
+        // statement destination not already a connector.
+        let mut reg_of: BTreeMap<String, u32> = BTreeMap::new();
+        let mut conn_regs = Vec::with_capacity(conn_slots.len());
+        for (i, conn) in conn_slots.iter().enumerate() {
+            reg_of.insert(conn.clone(), i as u32);
+            conn_regs.push(i as u32);
+        }
+        let mut next_reg = conn_slots.len() as u32;
+        for stmt in &t.code {
+            reg_of.entry(stmt.dst.clone()).or_insert_with(|| {
+                let r = next_reg;
+                next_reg += 1;
+                r
+            });
+        }
+        let named_count = next_reg;
+
+        // Statements: the defined-name set grows statically exactly as the
+        // tree-walk scope does per lane, so register reads can never see a
+        // previous lane's value.
+        let mut defined: Vec<&str> = conn_slots.iter().map(|s| s.as_str()).collect();
+        let mut code = Vec::new();
+        let mut max_depth = 0usize;
+        for (si, stmt) in t.code.iter().enumerate() {
+            code.push(Insn::Stmt {
+                site: location_id(&[node_site, si as u64]),
+            });
+            let depth = self.expr(&stmt.value, &mut code, named_count, 0, &defined, &reg_of);
+            max_depth = max_depth.max(depth);
+            code.push(Insn::Mov {
+                dst: reg_of[&stmt.dst],
+                src: named_count,
+            });
+            if !defined.contains(&stmt.dst.as_str()) {
+                defined.push(&stmt.dst);
+            }
+        }
+
+        // Output gather specs, one per declared output in order; a missing
+        // assignment errors after the first lane's statements run, exactly
+        // where the tree-walk engine raises it.
+        let mut out_names: Vec<&str> = Vec::new();
+        let gather: Vec<GatherSpec> = t
+            .outputs
+            .iter()
+            .map(|out| {
+                if defined.contains(&out.as_str()) {
+                    let slot = match out_names.iter().position(|o| o == out) {
+                        Some(i) => i,
+                        None => {
+                            out_names.push(out);
+                            out_names.len() - 1
+                        }
+                    };
+                    GatherSpec::Push {
+                        slot,
+                        reg: reg_of[out.as_str()],
+                    }
+                } else {
+                    GatherSpec::Fail(ExecError::Malformed(format!(
+                        "tasklet '{}' never assigns output connector '{out}'",
+                        t.name
+                    )))
+                }
+            })
+            .collect();
+
+        let out_writes: Vec<OutWrite> = df
+            .out_memlets(n)
+            .iter()
+            .map(|(_, m)| match &m.src_conn {
+                None => OutWrite::Fail(ExecError::Malformed(format!(
+                    "output memlet of tasklet '{}' has no connector",
+                    t.name
+                ))),
+                Some(conn) => match out_names.iter().position(|o| o == conn) {
+                    Some(slot) => OutWrite::Write {
+                        slot,
+                        plan: self.memlet(m),
+                    },
+                    None => OutWrite::Fail(ExecError::UndefinedRef {
+                        tasklet: t.name.clone(),
+                        name: conn.clone(),
+                    }),
+                },
+            })
+            .collect();
+
+        TaskletPlan {
+            name: t.name.clone(),
+            cover_loc: location_id(&[node_site]),
+            lanes,
+            n_conn_slots: conn_slots.len(),
+            conn_regs,
+            inputs,
+            code,
+            n_regs: (named_count as usize) + max_depth + 1,
+            gather,
+            n_out_slots: out_names.len(),
+            out_writes,
+        }
+    }
+
+    /// Compiles a scalar expression; the result lands in scratch register
+    /// `scratch_base + depth`. Returns the maximum scratch depth used.
+    fn expr(
+        &mut self,
+        e: &fuzzyflow_ir::ScalarExpr,
+        code: &mut Vec<Insn>,
+        scratch_base: u32,
+        depth: u32,
+        defined: &[&str],
+        reg_of: &BTreeMap<String, u32>,
+    ) -> usize {
+        use fuzzyflow_ir::ScalarExpr as E;
+        let dst = scratch_base + depth;
+        match e {
+            E::Const(c) => {
+                code.push(Insn::Const { dst, val: *c });
+                depth as usize
+            }
+            E::Ref(name) => {
+                if defined.contains(&name.as_str()) {
+                    code.push(Insn::Mov {
+                        dst,
+                        src: reg_of[name.as_str()],
+                    });
+                } else {
+                    code.push(Insn::LoadSym {
+                        dst,
+                        sym: SymId(self.syms.intern(name)),
+                    });
+                }
+                depth as usize
+            }
+            E::Bin(op, a, b) => {
+                let da = self.expr(a, code, scratch_base, depth, defined, reg_of);
+                let db = self.expr(b, code, scratch_base, depth + 1, defined, reg_of);
+                code.push(Insn::Bin {
+                    op: *op,
+                    dst,
+                    a: dst,
+                    b: dst + 1,
+                });
+                da.max(db)
+            }
+            E::Cmp(op, a, b) => {
+                let da = self.expr(a, code, scratch_base, depth, defined, reg_of);
+                let db = self.expr(b, code, scratch_base, depth + 1, defined, reg_of);
+                code.push(Insn::Cmp {
+                    op: *op,
+                    dst,
+                    a: dst,
+                    b: dst + 1,
+                });
+                da.max(db)
+            }
+            E::Un(op, a) => {
+                let da = self.expr(a, code, scratch_base, depth, defined, reg_of);
+                code.push(Insn::Un {
+                    op: *op,
+                    dst,
+                    a: dst,
+                });
+                da
+            }
+            E::Select(c, a, b) => {
+                let dc = self.expr(c, code, scratch_base, depth, defined, reg_of);
+                code.push(Insn::CoverSel { cond: dst });
+                let jump_else = code.len();
+                code.push(Insn::JumpIfFalse {
+                    cond: dst,
+                    target: 0,
+                });
+                let da = self.expr(a, code, scratch_base, depth, defined, reg_of);
+                let jump_end = code.len();
+                code.push(Insn::Jump { target: 0 });
+                let else_at = code.len() as u32;
+                let db = self.expr(b, code, scratch_base, depth, defined, reg_of);
+                let end_at = code.len() as u32;
+                if let Insn::JumpIfFalse { target, .. } = &mut code[jump_else] {
+                    *target = else_at;
+                }
+                if let Insn::Jump { target } = &mut code[jump_end] {
+                    *target = end_at;
+                }
+                dc.max(da).max(db)
+            }
+        }
+    }
+
+    fn library(
+        &mut self,
+        df: &fuzzyflow_ir::Dataflow,
+        n: fuzzyflow_graph::NodeId,
+        l: &fuzzyflow_ir::LibraryNode,
+        node_site: u64,
+    ) -> LibraryPlan {
+        let mut conn_slots: Vec<String> = Vec::new();
+        let mut inputs = Vec::new();
+        let in_memlets = df.in_memlets(n);
+        for (_, m) in &in_memlets {
+            match &m.dst_conn {
+                None => inputs.push(LibInput::Fail(ExecError::Malformed(format!(
+                    "input memlet of library '{}' has no connector",
+                    l.name
+                )))),
+                Some(conn) => {
+                    let slot = match conn_slots.iter().position(|c| c == conn) {
+                        Some(i) => i,
+                        None => {
+                            conn_slots.push(conn.clone());
+                            conn_slots.len() - 1
+                        }
+                    };
+                    inputs.push(LibInput::Read {
+                        slot,
+                        plan: self.memlet(m),
+                    });
+                }
+            }
+        }
+        let args: Vec<Result<usize, ExecError>> =
+            l.op.input_conns()
+                .iter()
+                .map(|conn| {
+                    conn_slots.iter().position(|c| c == conn).ok_or_else(|| {
+                        ExecError::Malformed(format!(
+                            "library '{}' missing input connector '{conn}'",
+                            l.name
+                        ))
+                    })
+                })
+                .collect();
+        let out_conn = l.op.output_conns()[0];
+        let out_writes: Vec<LibOutWrite> = df
+            .out_memlets(n)
+            .iter()
+            .map(|(_, m)| match &m.src_conn {
+                None => LibOutWrite::Fail(ExecError::Malformed(format!(
+                    "output memlet of library '{}' has no connector",
+                    l.name
+                ))),
+                Some(conn) if conn == out_conn => LibOutWrite::Write(self.memlet(m)),
+                Some(conn) => LibOutWrite::Fail(ExecError::Malformed(format!(
+                    "library '{}' has no output connector '{conn}'",
+                    l.name
+                ))),
+            })
+            .collect();
+        LibraryPlan {
+            name: l.name.clone(),
+            cover_loc: location_id(&[node_site]),
+            op: l.op.clone(),
+            inputs,
+            n_slots: conn_slots.len(),
+            args,
+            first_in_data: in_memlets
+                .first()
+                .map(|(_, m)| DataId(self.data.intern(&m.data))),
+            out_writes,
+        }
+    }
+}
+
+/// Per-run execution context: step budget, collectives, coverage.
+struct RunCtx<'a> {
+    steps: u64,
+    max_steps: u64,
+    comm: Option<&'a dyn CommHandler>,
+    cov: Option<&'a mut CoverageMap>,
+}
+
+impl RunCtx<'_> {
+    #[inline]
+    fn tick(&mut self, n: u64) -> Result<(), ExecError> {
+        self.steps += n;
+        if self.steps > self.max_steps {
+            return Err(ExecError::StepLimitExceeded {
+                limit: self.max_steps,
+            });
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn cover(&mut self, loc: u64) {
+        if let Some(c) = self.cov.as_deref_mut() {
+            c.record(loc);
+        }
+    }
+
+    #[inline]
+    fn cover_parts(&mut self, parts: &[u64]) {
+        if let Some(c) = self.cov.as_deref_mut() {
+            c.record(location_id(parts));
+        }
+    }
+}
+
+/// A reusable execution context for one [`Program`]: id-indexed `Vec`
+/// storage for symbols and arrays plus scratch buffers, all retained
+/// between runs so consecutive trials reset buffers in place instead of
+/// reallocating.
+pub struct Executor<'p> {
+    prog: &'p Program,
+    syms: Vec<Option<i64>>,
+    arrays: Vec<Option<ArrayValue>>,
+    /// Whether the slot is semantically present in the current run (stale
+    /// buffers from earlier trials are kept for reuse but not visible).
+    live: Vec<bool>,
+    extra_syms: Vec<(String, i64)>,
+    extra_arrays: Vec<(String, ArrayValue)>,
+    // Scratch, reused across runs.
+    stack: Vec<i64>,
+    regs: Vec<Scalar>,
+    in_vals: Vec<Vec<Scalar>>,
+    out_vals: Vec<Vec<Scalar>>,
+    lib_dims: Vec<Vec<i64>>,
+    dims_buf: Vec<ConcreteRange>,
+    point: Vec<i64>,
+}
+
+impl<'p> Executor<'p> {
+    /// Creates an executor with empty storage sized for `prog`.
+    pub fn new(prog: &'p Program) -> Self {
+        Executor {
+            prog,
+            syms: vec![None; prog.syms.len()],
+            arrays: (0..prog.data.len()).map(|_| None).collect(),
+            live: vec![false; prog.data.len()],
+            extra_syms: Vec::new(),
+            extra_arrays: Vec::new(),
+            stack: Vec::new(),
+            regs: Vec::new(),
+            in_vals: Vec::new(),
+            out_vals: Vec::new(),
+            lib_dims: Vec::new(),
+            dims_buf: Vec::new(),
+            point: Vec::new(),
+        }
+    }
+
+    /// Runs the program against `input` without consuming it: inputs are
+    /// copied into the executor's reusable buffers, and the resulting
+    /// system state stays inside the executor for inspection via
+    /// [`Executor::array`], [`Executor::symbol`], [`Executor::compare_on`]
+    /// or [`Executor::to_state`]. This is the zero-allocation trial entry
+    /// point of the differential fuzzer.
+    pub fn execute(
+        &mut self,
+        input: &ExecState,
+        opts: &ExecOptions,
+        comm: Option<&dyn CommHandler>,
+        cov: Option<&mut CoverageMap>,
+    ) -> Result<(), ExecError> {
+        self.extra_syms.clear();
+        self.extra_arrays.clear();
+        for s in &mut self.syms {
+            *s = None;
+        }
+        for (name, v) in input.symbols.iter() {
+            match self.prog.sym_id(name) {
+                Some(id) => self.syms[id.idx()] = Some(v),
+                None => self.extra_syms.push((name.to_string(), v)),
+            }
+        }
+        for l in &mut self.live {
+            *l = false;
+        }
+        for (name, arr) in &input.arrays {
+            match self.prog.data_id(name) {
+                Some(id) => {
+                    match &mut self.arrays[id.idx()] {
+                        Some(buf) => buf.copy_from(arr),
+                        slot @ None => *slot = Some(arr.clone()),
+                    }
+                    self.live[id.idx()] = true;
+                }
+                None => self.extra_arrays.push((name.clone(), arr.clone())),
+            }
+        }
+        self.run_loaded(opts, comm, cov)
+    }
+
+    /// Runs the program mutating `state` in place — the exact contract of
+    /// the tree-walk [`crate::run_with`], including partially-updated
+    /// state on error.
+    pub fn run_in_place(
+        &mut self,
+        state: &mut ExecState,
+        opts: &ExecOptions,
+        comm: Option<&dyn CommHandler>,
+        cov: Option<&mut CoverageMap>,
+    ) -> Result<(), ExecError> {
+        self.extra_syms.clear();
+        self.extra_arrays.clear();
+        for s in &mut self.syms {
+            *s = None;
+        }
+        for (name, v) in state.symbols.iter() {
+            if let Some(id) = self.prog.sym_id(name) {
+                self.syms[id.idx()] = Some(v);
+            }
+        }
+        for l in &mut self.live {
+            *l = false;
+        }
+        for (i, name) in self.prog.data.names.iter().enumerate() {
+            if let Some(arr) = state.arrays.remove(name) {
+                self.arrays[i] = Some(arr);
+                self.live[i] = true;
+            }
+        }
+        let res = self.run_loaded(opts, comm, cov);
+        // Write back even on error: the tree-walk engine mutates its state
+        // in place, so partial updates must be observable identically.
+        for (i, name) in self.prog.data.names.iter().enumerate() {
+            if self.live[i] {
+                if let Some(arr) = self.arrays[i].take() {
+                    state.arrays.insert(name.clone(), arr);
+                }
+            }
+        }
+        for (i, name) in self.prog.syms.names.iter().enumerate() {
+            match self.syms[i] {
+                Some(v) => {
+                    state.symbols.set(name.clone(), v);
+                }
+                None => {
+                    state.symbols.remove(name);
+                }
+            }
+        }
+        res
+    }
+
+    /// Final value of a symbol after [`Executor::execute`].
+    pub fn symbol(&self, name: &str) -> Option<i64> {
+        match self.prog.sym_id(name) {
+            Some(id) => self.syms[id.idx()],
+            None => self
+                .extra_syms
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v),
+        }
+    }
+
+    /// Final contents of a container after [`Executor::execute`].
+    pub fn array(&self, name: &str) -> Option<&ArrayValue> {
+        match self.prog.data_id(name) {
+            Some(id) if self.live[id.idx()] => self.arrays[id.idx()].as_ref(),
+            Some(_) => None,
+            None => self
+                .extra_arrays
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, a)| a),
+        }
+    }
+
+    /// Compares the named containers between two executors' final states,
+    /// mirroring [`ExecState::compare_on`].
+    pub fn compare_on(
+        &self,
+        other: &Executor<'_>,
+        names: &[String],
+        tol: f64,
+    ) -> Option<StateMismatch> {
+        for name in names {
+            match (self.array(name), other.array(name)) {
+                (Some(a), Some(b)) => {
+                    if let Some(i) = a.first_mismatch(b, tol) {
+                        let lhs = if i < a.len() {
+                            a.get(i).to_string()
+                        } else {
+                            "<shape>".into()
+                        };
+                        let rhs = if i < b.len() {
+                            b.get(i).to_string()
+                        } else {
+                            "<shape>".into()
+                        };
+                        return Some(StateMismatch {
+                            data: name.clone(),
+                            index: i,
+                            lhs,
+                            rhs,
+                        });
+                    }
+                }
+                (a, b) => {
+                    if a.is_some() != b.is_some() {
+                        return Some(StateMismatch {
+                            data: name.clone(),
+                            index: 0,
+                            lhs: if a.is_some() {
+                                "<present>".into()
+                            } else {
+                                "<missing>".into()
+                            },
+                            rhs: if b.is_some() {
+                                "<present>".into()
+                            } else {
+                                "<missing>".into()
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Materializes the executor's current state as an [`ExecState`]
+    /// (clones all live buffers).
+    pub fn to_state(&self) -> ExecState {
+        let mut st = ExecState::new();
+        for (name, v) in &self.extra_syms {
+            st.symbols.set(name.clone(), *v);
+        }
+        for (i, name) in self.prog.syms.names.iter().enumerate() {
+            if let Some(v) = self.syms[i] {
+                st.symbols.set(name.clone(), v);
+            }
+        }
+        for (name, arr) in &self.extra_arrays {
+            st.arrays.insert(name.clone(), arr.clone());
+        }
+        for (i, name) in self.prog.data.names.iter().enumerate() {
+            if self.live[i] {
+                if let Some(arr) = &self.arrays[i] {
+                    st.arrays.insert(name.clone(), arr.clone());
+                }
+            }
+        }
+        st
+    }
+
+    // ----- runtime ------------------------------------------------------
+
+    fn run_loaded(
+        &mut self,
+        opts: &ExecOptions,
+        comm: Option<&dyn CommHandler>,
+        cov: Option<&mut CoverageMap>,
+    ) -> Result<(), ExecError> {
+        let mut ctx = RunCtx {
+            steps: 0,
+            max_steps: opts.max_steps,
+            comm,
+            cov,
+        };
+        self.allocate()?;
+        let prog = self.prog;
+        let mut current = prog.start;
+        loop {
+            ctx.tick(1)?;
+            let sp = &prog.states[current];
+            ctx.cover(sp.site);
+            self.exec_block(&sp.body, &mut ctx)?;
+            let mut next = None;
+            for ep in &sp.edges {
+                if self.eval_cond(&ep.cond)? {
+                    for (sym, code) in &ep.assigns {
+                        let v = self.eval_code(code)?;
+                        self.syms[sym.idx()] = Some(v);
+                    }
+                    ctx.cover(ep.cover_loc);
+                    next = Some(ep.dst);
+                    break;
+                }
+            }
+            match next {
+                Some(n) => current = n,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Allocates declared containers the caller did not provide, reusing
+    /// retained buffers of matching dtype/shape from previous runs.
+    fn allocate(&mut self) -> Result<(), ExecError> {
+        let prog = self.prog;
+        for ap in &prog.arrays {
+            let i = ap.data.idx();
+            if self.live[i] {
+                continue;
+            }
+            let mut shape = Vec::with_capacity(ap.shape.len());
+            for ic in &ap.shape {
+                shape.push(self.eval_idx(ic)?);
+            }
+            if shape.iter().any(|&d| d < 0) {
+                return Err(ExecError::Malformed(format!(
+                    "container '{}' has negative dimension in shape {shape:?}",
+                    prog.data.names[i]
+                )));
+            }
+            let reusable = matches!(
+                &self.arrays[i],
+                Some(buf) if buf.dtype() == ap.dtype && buf.shape() == shape.as_slice()
+            );
+            if reusable {
+                let buf = self.arrays[i].as_mut().expect("checked above");
+                match ap.storage {
+                    Storage::Host => buf.fill_zero(),
+                    Storage::Device => buf.fill_garbage(),
+                }
+            } else {
+                self.arrays[i] = Some(match ap.storage {
+                    Storage::Host => ArrayValue::zeros(ap.dtype, shape),
+                    Storage::Device => ArrayValue::garbage(ap.dtype, shape),
+                });
+            }
+            self.live[i] = true;
+        }
+        Ok(())
+    }
+
+    fn exec_block(&mut self, block: &'p BlockPlan, ctx: &mut RunCtx<'_>) -> Result<(), ExecError> {
+        if let Some(e) = &block.error {
+            return Err(e.clone());
+        }
+        for step in &block.steps {
+            match step {
+                Step::Access(d) => {
+                    if !self.live[d.idx()] {
+                        return Err(ExecError::UnknownData(
+                            self.prog.data.names[d.idx()].clone(),
+                        ));
+                    }
+                }
+                Step::Tasklet(tp) => {
+                    ctx.tick(1)?;
+                    ctx.cover(tp.cover_loc);
+                    self.exec_tasklet(tp, ctx)?;
+                }
+                Step::Map(mp) => {
+                    ctx.cover(mp.cover_loc);
+                    self.exec_map(mp, 0, ctx)?;
+                }
+                Step::Library(lp) => {
+                    ctx.cover(lp.cover_loc);
+                    self.exec_library(lp, ctx)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_map(
+        &mut self,
+        mp: &'p MapPlan,
+        dim: usize,
+        ctx: &mut RunCtx<'_>,
+    ) -> Result<(), ExecError> {
+        if dim == mp.params.len() {
+            ctx.tick(1)?;
+            return self.exec_block(&mp.body, ctx);
+        }
+        let r = self.eval_range(&mp.ranges[dim])?;
+        let param = mp.params[dim].idx();
+        let saved = self.syms[param];
+        let len = r.len() as i64;
+        for k in 0..len {
+            self.syms[param] = Some(r.start + k * r.step);
+            self.exec_map(mp, dim + 1, ctx)?;
+        }
+        self.syms[param] = saved;
+        Ok(())
+    }
+
+    fn exec_tasklet(&mut self, tp: &'p TaskletPlan, ctx: &mut RunCtx<'_>) -> Result<(), ExecError> {
+        let mut in_vals = std::mem::take(&mut self.in_vals);
+        let mut out_vals = std::mem::take(&mut self.out_vals);
+        let mut regs = std::mem::take(&mut self.regs);
+        if in_vals.len() < tp.n_conn_slots {
+            in_vals.resize_with(tp.n_conn_slots, Vec::new);
+        }
+        if out_vals.len() < tp.n_out_slots {
+            out_vals.resize_with(tp.n_out_slots, Vec::new);
+        }
+        if regs.len() < tp.n_regs {
+            regs.resize(tp.n_regs, Scalar::I64(0));
+        }
+        let res = self.exec_tasklet_inner(tp, ctx, &mut in_vals, &mut out_vals, &mut regs);
+        self.in_vals = in_vals;
+        self.out_vals = out_vals;
+        self.regs = regs;
+        res
+    }
+
+    fn exec_tasklet_inner(
+        &mut self,
+        tp: &'p TaskletPlan,
+        ctx: &mut RunCtx<'_>,
+        in_vals: &mut [Vec<Scalar>],
+        out_vals: &mut [Vec<Scalar>],
+        regs: &mut [Scalar],
+    ) -> Result<(), ExecError> {
+        // Gather inputs per connector slot, in memlet order.
+        for ip in &tp.inputs {
+            match ip {
+                InputPlan::Fail(e) => return Err(e.clone()),
+                InputPlan::Read { slot, conn, plan } => {
+                    let buf = &mut in_vals[*slot];
+                    buf.clear();
+                    self.read_plan(plan, ctx, buf, &tp.name)?;
+                    if buf.len() != 1 && buf.len() != tp.lanes {
+                        return Err(ExecError::VolumeMismatch {
+                            context: format!("tasklet '{}' input '{conn}'", tp.name),
+                            expected: tp.lanes,
+                            actual: buf.len(),
+                        });
+                    }
+                }
+            }
+        }
+        // Execute code lane-wise.
+        for b in out_vals[..tp.n_out_slots].iter_mut() {
+            b.clear();
+        }
+        for lane in 0..tp.lanes {
+            for (slot, &reg) in tp.conn_regs.iter().enumerate() {
+                let vals = &in_vals[slot];
+                regs[reg as usize] = if vals.len() == 1 { vals[0] } else { vals[lane] };
+            }
+            self.run_code(&tp.code, ctx, regs, &tp.name)?;
+            for g in &tp.gather {
+                match g {
+                    GatherSpec::Push { slot, reg } => out_vals[*slot].push(regs[*reg as usize]),
+                    GatherSpec::Fail(e) => return Err(e.clone()),
+                }
+            }
+        }
+        // Deliver outputs, in memlet order.
+        for ow in &tp.out_writes {
+            match ow {
+                OutWrite::Fail(e) => return Err(e.clone()),
+                OutWrite::Write { slot, plan } => {
+                    let vals = std::mem::take(&mut out_vals[*slot]);
+                    let r = self.write_plan(plan, ctx, &vals, &tp.name);
+                    out_vals[*slot] = vals;
+                    r?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_code(
+        &mut self,
+        code: &'p [Insn],
+        ctx: &mut RunCtx<'_>,
+        regs: &mut [Scalar],
+        tasklet: &str,
+    ) -> Result<(), ExecError> {
+        let mut pc = 0usize;
+        let mut site = 0u64;
+        let mut sel = 0u64;
+        while pc < code.len() {
+            match &code[pc] {
+                Insn::Stmt { site: s } => {
+                    site = *s;
+                    sel = 0;
+                }
+                Insn::Const { dst, val } => regs[*dst as usize] = *val,
+                Insn::Mov { dst, src } => regs[*dst as usize] = regs[*src as usize],
+                Insn::LoadSym { dst, sym } => match self.syms[sym.idx()] {
+                    Some(v) => regs[*dst as usize] = Scalar::I64(v),
+                    None => {
+                        return Err(ExecError::UndefinedRef {
+                            tasklet: tasklet.to_string(),
+                            name: self.prog.syms.names[sym.idx()].clone(),
+                        })
+                    }
+                },
+                Insn::Bin { op, dst, a, b } => {
+                    regs[*dst as usize] = apply_bin(*op, regs[*a as usize], regs[*b as usize])?;
+                }
+                Insn::Un { op, dst, a } => {
+                    regs[*dst as usize] = apply_un(*op, regs[*a as usize]);
+                }
+                Insn::Cmp { op, dst, a, b } => {
+                    regs[*dst as usize] =
+                        Scalar::Bool(apply_cmp(*op, regs[*a as usize], regs[*b as usize]));
+                }
+                Insn::CoverSel { cond } => {
+                    let cv = regs[*cond as usize].as_bool();
+                    sel += 1;
+                    ctx.cover_parts(&[site, sel, cv as u64]);
+                }
+                Insn::JumpIfFalse { cond, target } => {
+                    if !regs[*cond as usize].as_bool() {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Insn::Jump { target } => {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+
+    fn exec_library(&mut self, lp: &'p LibraryPlan, ctx: &mut RunCtx<'_>) -> Result<(), ExecError> {
+        let mut in_vals = std::mem::take(&mut self.in_vals);
+        let mut lib_dims = std::mem::take(&mut self.lib_dims);
+        if in_vals.len() < lp.n_slots {
+            in_vals.resize_with(lp.n_slots, Vec::new);
+        }
+        if lib_dims.len() < lp.n_slots {
+            lib_dims.resize_with(lp.n_slots, Vec::new);
+        }
+        let res = self.exec_library_inner(lp, ctx, &mut in_vals, &mut lib_dims);
+        self.in_vals = in_vals;
+        self.lib_dims = lib_dims;
+        res
+    }
+
+    fn exec_library_inner(
+        &mut self,
+        lp: &'p LibraryPlan,
+        ctx: &mut RunCtx<'_>,
+        in_vals: &mut [Vec<Scalar>],
+        lib_dims: &mut [Vec<i64>],
+    ) -> Result<(), ExecError> {
+        for li in &lp.inputs {
+            match li {
+                LibInput::Fail(e) => return Err(e.clone()),
+                LibInput::Read { slot, plan } => {
+                    // Block dims evaluate before the read, like the
+                    // tree-walk engine's `block_dims` call.
+                    let dims = &mut lib_dims[*slot];
+                    dims.clear();
+                    self.eval_block_dims(plan, dims)?;
+                    let buf = &mut in_vals[*slot];
+                    buf.clear();
+                    self.read_plan(plan, ctx, buf, &lp.name)?;
+                }
+            }
+        }
+        let arg = |i: usize| -> Result<(&Vec<i64>, &Vec<Scalar>), ExecError> {
+            match &lp.args[i] {
+                Ok(slot) => Ok((&lib_dims[*slot], &in_vals[*slot])),
+                Err(e) => Err(e.clone()),
+            }
+        };
+
+        let out: Vec<Scalar> = match &lp.op {
+            LibraryOp::MatMul => {
+                let (da, a) = arg(0)?;
+                let (db, b) = arg(1)?;
+                let c = matmul(&lp.name, da, a, db, b)?;
+                ctx.tick(c.len() as u64)?;
+                c
+            }
+            LibraryOp::Transpose => {
+                let (d, v) = arg(0)?;
+                if d.len() != 2 {
+                    return Err(ExecError::ShapeError {
+                        node: lp.name.clone(),
+                        detail: format!("transpose expects 2-D input, got {d:?}"),
+                    });
+                }
+                let (r, cdim) = (d[0] as usize, d[1] as usize);
+                let mut out = vec![Scalar::F64(0.0); v.len()];
+                for i in 0..r {
+                    for j in 0..cdim {
+                        out[j * r + i] = v[i * cdim + j];
+                    }
+                }
+                out
+            }
+            LibraryOp::Reduce { op, axis } => {
+                let (d, v) = arg(0)?;
+                reduce(&lp.name, *op, *axis, d, v)?
+            }
+            LibraryOp::Copy => {
+                let (_, v) = arg(0)?;
+                v.clone()
+            }
+            LibraryOp::Softmax => {
+                let (d, v) = arg(0)?;
+                softmax(d, v)
+            }
+            LibraryOp::Comm(comm_op) => {
+                let (d, v) = arg(0)?;
+                let handler = ctx.comm.ok_or_else(|| ExecError::NoCommHandler {
+                    node: lp.name.clone(),
+                })?;
+                let rank = self
+                    .prog
+                    .sym_id("rank")
+                    .and_then(|id| self.syms[id.idx()])
+                    .unwrap_or(0);
+                let dtype = lp
+                    .first_in_data
+                    .filter(|id| self.live[id.idx()])
+                    .and_then(|id| self.arrays[id.idx()].as_ref())
+                    .map(|a| a.dtype())
+                    .unwrap_or(DType::F64);
+                let mut buf = ArrayValue::zeros(dtype, d.clone());
+                for (i, &s) in v.iter().enumerate() {
+                    buf.set(i, s);
+                }
+                let result = handler.collective(&lp.name, comm_op, rank, &buf)?;
+                (0..result.len()).map(|i| result.get(i)).collect()
+            }
+        };
+
+        for ow in &lp.out_writes {
+            match ow {
+                LibOutWrite::Fail(e) => return Err(e.clone()),
+                LibOutWrite::Write(plan) => self.write_plan(plan, ctx, &out, &lp.name)?,
+            }
+        }
+        Ok(())
+    }
+
+    // ----- memlet access ------------------------------------------------
+
+    /// Reads the elements a memlet delivers into `out`, with the tree-walk
+    /// engine's error order: unknown data, then symbolic evaluation, then
+    /// out-of-bounds, then empty-volume, then the step tick.
+    fn read_plan(
+        &mut self,
+        plan: &'p MemPlan,
+        ctx: &mut RunCtx<'_>,
+        out: &mut Vec<Scalar>,
+        context: &str,
+    ) -> Result<(), ExecError> {
+        let i = plan.data.idx();
+        if !self.live[i] {
+            return Err(ExecError::UnknownData(self.prog.data.names[i].clone()));
+        }
+        let arr = self.arrays[i].take().expect("live slot holds a buffer");
+        let mut point = std::mem::take(&mut self.point);
+        let mut dims = std::mem::take(&mut self.dims_buf);
+        let res = self.read_plan_inner(plan, ctx, out, context, &arr, &mut point, &mut dims);
+        self.point = point;
+        self.dims_buf = dims;
+        self.arrays[i] = Some(arr);
+        res
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn read_plan_inner(
+        &mut self,
+        plan: &'p MemPlan,
+        ctx: &mut RunCtx<'_>,
+        out: &mut Vec<Scalar>,
+        context: &str,
+        arr: &ArrayValue,
+        point: &mut Vec<i64>,
+        dims: &mut Vec<ConcreteRange>,
+    ) -> Result<(), ExecError> {
+        match &plan.kind {
+            MemKind::Single(idxs) => {
+                point.clear();
+                for (start, end) in idxs {
+                    point.push(self.eval_idx(start)?);
+                    self.eval_idx(end)?;
+                }
+                let off =
+                    fuzzyflow_ir::DataDesc::linearize(arr.shape(), point).ok_or_else(|| {
+                        ExecError::OutOfBounds {
+                            data: self.prog.data.names[plan.data.idx()].clone(),
+                            point: point.clone(),
+                            shape: arr.shape().to_vec(),
+                        }
+                    })?;
+                out.push(arr.get(off));
+                ctx.tick(1)?;
+            }
+            MemKind::Ranges(rps) => {
+                dims.clear();
+                for rp in rps {
+                    let r = self.eval_range(rp)?;
+                    dims.push(r);
+                }
+                iter_points(dims, point, |p| {
+                    let off =
+                        fuzzyflow_ir::DataDesc::linearize(arr.shape(), p).ok_or_else(|| {
+                            ExecError::OutOfBounds {
+                                data: self.prog.data.names[plan.data.idx()].clone(),
+                                point: p.to_vec(),
+                                shape: arr.shape().to_vec(),
+                            }
+                        })?;
+                    out.push(arr.get(off));
+                    Ok(())
+                })?;
+                if out.is_empty() {
+                    return Err(ExecError::VolumeMismatch {
+                        context: context.to_string(),
+                        expected: 1,
+                        actual: 0,
+                    });
+                }
+                ctx.tick(out.len() as u64)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes `vals` through a memlet, applying WCR; error order matches
+    /// the tree-walk engine: symbolic evaluation, then volume mismatch,
+    /// then the tick, then unknown data, then per-point bounds.
+    fn write_plan(
+        &mut self,
+        plan: &'p MemPlan,
+        ctx: &mut RunCtx<'_>,
+        vals: &[Scalar],
+        context: &str,
+    ) -> Result<(), ExecError> {
+        let mut point = std::mem::take(&mut self.point);
+        let mut dims = std::mem::take(&mut self.dims_buf);
+        let res = self.write_plan_inner(plan, ctx, vals, context, &mut point, &mut dims);
+        self.point = point;
+        self.dims_buf = dims;
+        res
+    }
+
+    fn write_plan_inner(
+        &mut self,
+        plan: &'p MemPlan,
+        ctx: &mut RunCtx<'_>,
+        vals: &[Scalar],
+        context: &str,
+        point: &mut Vec<i64>,
+        dims: &mut Vec<ConcreteRange>,
+    ) -> Result<(), ExecError> {
+        let volume = match &plan.kind {
+            MemKind::Single(idxs) => {
+                point.clear();
+                for (start, end) in idxs {
+                    point.push(self.eval_idx(start)?);
+                    self.eval_idx(end)?;
+                }
+                1usize
+            }
+            MemKind::Ranges(rps) => {
+                dims.clear();
+                for rp in rps {
+                    let r = self.eval_range(rp)?;
+                    dims.push(r);
+                }
+                dims.iter().map(|d| d.len()).product()
+            }
+        };
+        if volume != vals.len() {
+            return Err(ExecError::VolumeMismatch {
+                context: context.to_string(),
+                expected: volume,
+                actual: vals.len(),
+            });
+        }
+        ctx.tick(volume as u64)?;
+        let i = plan.data.idx();
+        if !self.live[i] {
+            return Err(ExecError::UnknownData(self.prog.data.names[i].clone()));
+        }
+        let mut arr = self.arrays[i].take().expect("live slot holds a buffer");
+        let name = &self.prog.data.names[i];
+        let res =
+            (|| -> Result<(), ExecError> {
+                match &plan.kind {
+                    MemKind::Single(_) => {
+                        let off = fuzzyflow_ir::DataDesc::linearize(arr.shape(), point)
+                            .ok_or_else(|| ExecError::OutOfBounds {
+                                data: name.clone(),
+                                point: point.clone(),
+                                shape: arr.shape().to_vec(),
+                            })?;
+                        let stored = match plan.wcr {
+                            None => vals[0],
+                            Some(wcr) => combine_wcr(wcr, arr.get(off), vals[0]),
+                        };
+                        arr.set(off, stored);
+                        Ok(())
+                    }
+                    MemKind::Ranges(_) => {
+                        let mut k = 0usize;
+                        iter_points(dims, point, |p| {
+                            let off = fuzzyflow_ir::DataDesc::linearize(arr.shape(), p)
+                                .ok_or_else(|| ExecError::OutOfBounds {
+                                    data: name.clone(),
+                                    point: p.to_vec(),
+                                    shape: arr.shape().to_vec(),
+                                })?;
+                            let v = vals[k];
+                            k += 1;
+                            let stored = match plan.wcr {
+                                None => v,
+                                Some(wcr) => combine_wcr(wcr, arr.get(off), v),
+                            };
+                            arr.set(off, stored);
+                            Ok(())
+                        })
+                    }
+                }
+            })();
+        self.arrays[i] = Some(arr);
+        res
+    }
+
+    /// Per-dimension block lengths of a memlet's concrete subset
+    /// (tree-walk `block_dims`), evaluated without touching the array.
+    fn eval_block_dims(&mut self, plan: &'p MemPlan, out: &mut Vec<i64>) -> Result<(), ExecError> {
+        match &plan.kind {
+            MemKind::Single(idxs) => {
+                for (start, end) in idxs {
+                    self.eval_idx(start)?;
+                    self.eval_idx(end)?;
+                    out.push(1);
+                }
+            }
+            MemKind::Ranges(rps) => {
+                for rp in rps {
+                    let r = self.eval_range(rp)?;
+                    out.push(r.len() as i64);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----- expression evaluation ----------------------------------------
+
+    #[inline]
+    fn eval_idx(&mut self, ic: &IdxCode) -> Result<i64, ExecError> {
+        match ic {
+            IdxCode::Const(v) => Ok(*v),
+            IdxCode::Sym(id) => self.syms[id.idx()].ok_or_else(|| {
+                ExecError::Sym(SymError::Unbound(self.prog.syms.names[id.idx()].clone()))
+            }),
+            IdxCode::Affine(terms) => {
+                let mut acc = 0i64;
+                for (k, t) in terms.iter().enumerate() {
+                    let v = match t.sym {
+                        None => t.coeff,
+                        Some(id) => {
+                            let s = self.syms[id.idx()].ok_or_else(|| {
+                                ExecError::Sym(SymError::Unbound(
+                                    self.prog.syms.names[id.idx()].clone(),
+                                ))
+                            })?;
+                            t.coeff
+                                .checked_mul(s)
+                                .ok_or(ExecError::Sym(SymError::Overflow))?
+                        }
+                    };
+                    acc = if k == 0 {
+                        v
+                    } else if t.sub {
+                        acc.checked_sub(v)
+                            .ok_or(ExecError::Sym(SymError::Overflow))?
+                    } else {
+                        acc.checked_add(v)
+                            .ok_or(ExecError::Sym(SymError::Overflow))?
+                    };
+                }
+                Ok(acc)
+            }
+            IdxCode::Code(code) => self.eval_code(code),
+        }
+    }
+
+    fn eval_code(&mut self, code: &SymCode) -> Result<i64, ExecError> {
+        let mut stack = std::mem::take(&mut self.stack);
+        stack.clear();
+        let res = eval_sym_ops(&code.ops, &self.syms, &self.prog.syms.names, &mut stack);
+        self.stack = stack;
+        res
+    }
+
+    fn eval_range(&mut self, rp: &RangePlan) -> Result<ConcreteRange, ExecError> {
+        let start = self.eval_idx(&rp.start)?;
+        let end = self.eval_idx(&rp.end)?;
+        let step = self.eval_idx(&rp.step)?;
+        if step <= 0 {
+            return Err(ExecError::Sym(SymError::InvalidStep(step)));
+        }
+        Ok(ConcreteRange { start, end, step })
+    }
+
+    fn eval_cond(&mut self, c: &CondPlan) -> Result<bool, ExecError> {
+        Ok(match c {
+            CondPlan::True => true,
+            CondPlan::Cmp(op, a, b) => {
+                let (x, y) = (self.eval_idx(a)?, self.eval_idx(b)?);
+                match op {
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                }
+            }
+            CondPlan::Not(x) => !self.eval_cond(x)?,
+            CondPlan::And(l, r) => self.eval_cond(l)? && self.eval_cond(r)?,
+            CondPlan::Or(l, r) => self.eval_cond(l)? || self.eval_cond(r)?,
+        })
+    }
+}
+
+/// Row-major iteration over the points of concrete ranges, reusing the
+/// caller's point buffer (no per-point allocation). Calls `f` for every
+/// covered multi-index; empty ranges yield no points, a zero-rank subset
+/// yields exactly one.
+fn iter_points(
+    dims: &[ConcreteRange],
+    point: &mut Vec<i64>,
+    mut f: impl FnMut(&[i64]) -> Result<(), ExecError>,
+) -> Result<(), ExecError> {
+    if dims.iter().any(|d| d.is_empty()) {
+        return Ok(());
+    }
+    point.clear();
+    point.extend(dims.iter().map(|d| d.start));
+    loop {
+        f(point)?;
+        // Advance odometer from the last dimension.
+        let mut d = dims.len();
+        loop {
+            if d == 0 {
+                return Ok(());
+            }
+            d -= 1;
+            point[d] += dims[d].step;
+            if point[d] < dims[d].end {
+                break;
+            }
+            point[d] = dims[d].start;
+        }
+    }
+}
+
+/// Postfix evaluation of a compiled symbolic expression, with the same
+/// error semantics as [`SymExpr::eval`].
+fn eval_sym_ops(
+    ops: &[SymOp],
+    syms: &[Option<i64>],
+    names: &[String],
+    stack: &mut Vec<i64>,
+) -> Result<i64, ExecError> {
+    for op in ops {
+        match op {
+            SymOp::Push(v) => stack.push(*v),
+            SymOp::Load(id) => match syms[id.idx()] {
+                Some(v) => stack.push(v),
+                None => return Err(ExecError::Sym(SymError::Unbound(names[id.idx()].clone()))),
+            },
+            SymOp::Add => {
+                let b = stack.pop().expect("stack");
+                let a = stack.pop().expect("stack");
+                stack.push(a.checked_add(b).ok_or(ExecError::Sym(SymError::Overflow))?);
+            }
+            SymOp::Sub => {
+                let b = stack.pop().expect("stack");
+                let a = stack.pop().expect("stack");
+                stack.push(a.checked_sub(b).ok_or(ExecError::Sym(SymError::Overflow))?);
+            }
+            SymOp::Mul => {
+                let b = stack.pop().expect("stack");
+                let a = stack.pop().expect("stack");
+                stack.push(a.checked_mul(b).ok_or(ExecError::Sym(SymError::Overflow))?);
+            }
+            SymOp::EnsureNonZero => {
+                if *stack.last().expect("stack") == 0 {
+                    return Err(ExecError::Sym(SymError::DivisionByZero));
+                }
+            }
+            SymOp::DivE => {
+                let a = stack.pop().expect("stack");
+                let b = stack.pop().expect("stack");
+                stack.push(
+                    a.checked_div_euclid(b)
+                        .ok_or(ExecError::Sym(SymError::Overflow))?,
+                );
+            }
+            SymOp::ModE => {
+                let a = stack.pop().expect("stack");
+                let b = stack.pop().expect("stack");
+                stack.push(
+                    a.checked_rem_euclid(b)
+                        .ok_or(ExecError::Sym(SymError::Overflow))?,
+                );
+            }
+            SymOp::Min => {
+                let b = stack.pop().expect("stack");
+                let a = stack.pop().expect("stack");
+                stack.push(a.min(b));
+            }
+            SymOp::Max => {
+                let b = stack.pop().expect("stack");
+                let a = stack.pop().expect("stack");
+                stack.push(a.max(b));
+            }
+            SymOp::Neg => {
+                let a = stack.pop().expect("stack");
+                stack.push(a.checked_neg().ok_or(ExecError::Sym(SymError::Overflow))?);
+            }
+        }
+    }
+    Ok(stack.pop().expect("expression leaves one value"))
+}

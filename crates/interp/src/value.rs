@@ -28,8 +28,19 @@ pub struct ArrayValue {
 
 impl ArrayValue {
     /// A zero-filled array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is negative. Negative extents are always a
+    /// shape bug in the caller; silently clamping them to empty arrays
+    /// would let the bug surface far downstream as a confusing
+    /// zero-length-data failure instead of at the allocation site.
     pub fn zeros(dtype: DType, shape: Vec<i64>) -> Self {
-        let n = shape.iter().product::<i64>().max(0) as usize;
+        assert!(
+            shape.iter().all(|&d| d >= 0),
+            "ArrayValue::zeros: negative dimension in shape {shape:?}"
+        );
+        let n = shape.iter().product::<i64>() as usize;
         let n = if shape.is_empty() { 1 } else { n };
         let data = match dtype {
             DType::F64 => Data::F64(vec![0.0; n]),
@@ -44,17 +55,47 @@ impl ArrayValue {
     /// An array filled with a deterministic "uninitialized memory" pattern.
     pub fn garbage(dtype: DType, shape: Vec<i64>) -> Self {
         let mut v = Self::zeros(dtype, shape);
-        let g = match dtype {
-            DType::F64 => Scalar::F64(f64::from_bits(GARBAGE_BITS)),
-            DType::F32 => Scalar::F32(f32::from_bits(GARBAGE_BITS as u32)),
-            DType::I64 => Scalar::I64(GARBAGE_BITS as i64),
-            DType::I32 => Scalar::I32(GARBAGE_BITS as i32),
-            DType::Bool => Scalar::Bool(true),
-        };
-        for i in 0..v.len() {
-            v.set(i, g);
-        }
+        v.fill_garbage();
         v
+    }
+
+    /// Resets every element to zero in place (no reallocation).
+    pub fn fill_zero(&mut self) {
+        match &mut self.data {
+            Data::F64(v) => v.fill(0.0),
+            Data::F32(v) => v.fill(0.0),
+            Data::I64(v) => v.fill(0),
+            Data::I32(v) => v.fill(0),
+            Data::Bool(v) => v.fill(false),
+        }
+    }
+
+    /// Resets every element to the deterministic [`GARBAGE_BITS`] pattern
+    /// in place (no reallocation).
+    pub fn fill_garbage(&mut self) {
+        match &mut self.data {
+            Data::F64(v) => v.fill(f64::from_bits(GARBAGE_BITS)),
+            Data::F32(v) => v.fill(f32::from_bits(GARBAGE_BITS as u32)),
+            Data::I64(v) => v.fill(GARBAGE_BITS as i64),
+            Data::I32(v) => v.fill(GARBAGE_BITS as i32),
+            Data::Bool(v) => v.fill(true),
+        }
+    }
+
+    /// Makes `self` a bit-identical copy of `src`, reusing the existing
+    /// element buffer when the dtypes match (the compiled engine's trial
+    /// loop resets inputs in place with this instead of reallocating).
+    pub fn copy_from(&mut self, src: &ArrayValue) {
+        self.dtype = src.dtype;
+        self.shape.clone_from(&src.shape);
+        match (&mut self.data, &src.data) {
+            (Data::F64(d), Data::F64(s)) => d.clone_from(s),
+            (Data::F32(d), Data::F32(s)) => d.clone_from(s),
+            (Data::I64(d), Data::I64(s)) => d.clone_from(s),
+            (Data::I32(d), Data::I32(s)) => d.clone_from(s),
+            (Data::Bool(d), Data::Bool(s)) => d.clone_from(s),
+            (d, s) => *d = s.clone(),
+        }
     }
 
     /// An array filled with one value.

@@ -1,0 +1,556 @@
+//! Engine-equivalence property suite: FuzzyFlow's own differential-testing
+//! method applied to our two execution engines.
+//!
+//! Random small SDFGs — maps (strided, nested, parameter-dependent),
+//! tasklets with selects, WCR accumulation, non-affine subscripts, device
+//! (garbage-initialized) containers, inter-state loops and library nodes —
+//! run on both the legacy tree-walk interpreter and the compiled
+//! [`Program`], on identical inputs. Results must match bit for bit:
+//! the `Result` (including the exact `ExecError`), the final `ExecState`
+//! (exact bits, not tolerance), and the recorded coverage.
+
+use fuzzyflow_interp::coverage::MAP_SIZE;
+use fuzzyflow_interp::value::GARBAGE_BITS;
+use fuzzyflow_interp::{
+    run_with_tree_walk, ArrayValue, CoverageMap, ExecError, ExecOptions, ExecState, Program,
+};
+use fuzzyflow_ir::{
+    sym, DType, LibraryOp, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, Storage, Subset,
+    SymExpr, SymRange, Tasklet, TaskletStmt, Wcr,
+};
+use proptest::prelude::*;
+
+/// Knobs of one generated program + input.
+#[derive(Clone, Debug)]
+struct Cfg {
+    n: i64,
+    /// Map stride (1 = dense).
+    stride: i64,
+    /// Subscript offset; > 0 without `use_mod` produces out-of-bounds
+    /// accesses, exercising crash-parity.
+    offset: i64,
+    /// Wrap the subscript in `% N` — a non-affine form that forces the
+    /// compiled-expression fallback.
+    use_mod: bool,
+    wcr: Option<Wcr>,
+    select: bool,
+    /// Add a device-storage transient read (deterministic garbage).
+    device: bool,
+    /// Add an inter-state counting loop driven by edge assignments.
+    loop_states: bool,
+    /// 0 = none, 1 = softmax, 2 = reduce-sum.
+    lib: u8,
+    /// Step budget; small values exercise hang-oracle parity.
+    max_steps: u64,
+    vals: Vec<i64>,
+}
+
+fn arb_cfg() -> impl Strategy<Value = Cfg> {
+    (
+        (1i64..7, 1i64..4, 0i64..3, 0usize..2, 0usize..4),
+        (0usize..2, 0usize..2, 0usize..2, 0u8..3, 0usize..3),
+        proptest::collection::vec(-100i64..100, 8..9),
+    )
+        .prop_map(
+            |(
+                (n, stride, offset, use_mod, wcr),
+                (select, device, loop_states, lib, budget),
+                vals,
+            )| Cfg {
+                n,
+                stride,
+                offset,
+                use_mod: use_mod == 1,
+                wcr: match wcr {
+                    0 | 1 => None,
+                    2 => Some(Wcr::Sum),
+                    _ => Some(Wcr::Max),
+                },
+                select: select == 1,
+                device: device == 1,
+                loop_states: loop_states == 1,
+                lib,
+                max_steps: match budget {
+                    0 => 40,
+                    1 => 400,
+                    _ => 1_000_000,
+                },
+                vals,
+            },
+        )
+}
+
+/// Builds the program described by `cfg`.
+fn build(cfg: &Cfg) -> Sdfg {
+    let mut b = SdfgBuilder::new("equiv");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &["N"]);
+    b.scalar("s", DType::F64);
+    if cfg.device {
+        b.array_desc(
+            "D",
+            fuzzyflow_ir::DataDesc::array(DType::F64, vec![sym("N")])
+                .transient()
+                .in_storage(Storage::Device),
+        );
+        b.array("C", DType::F64, &["N"]);
+    }
+    if cfg.lib > 0 {
+        b.array("L", DType::F64, &["N"]);
+    }
+    let st = b.start();
+    let offset = cfg.offset;
+    let use_mod = cfg.use_mod;
+    let wcr = cfg.wcr;
+    let select = cfg.select;
+    let stride = cfg.stride;
+    let device = cfg.device;
+    let lib = cfg.lib;
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let subscript: SymExpr = if use_mod {
+            (sym("i") + SymExpr::Int(offset)).rem(sym("N"))
+        } else {
+            sym("i") + SymExpr::Int(offset)
+        };
+        let m = df.map(
+            &["i"],
+            vec![SymRange::strided(
+                SymExpr::Int(0),
+                sym("N"),
+                SymExpr::Int(stride),
+            )],
+            Schedule::Parallel,
+            |body| {
+                let a = body.access("A");
+                let o = body.access("B");
+                let expr = if select {
+                    ScalarExpr::r("x").lt(ScalarExpr::f64(0.0)).select(
+                        ScalarExpr::r("x").neg(),
+                        ScalarExpr::r("x").add(ScalarExpr::r("i")),
+                    )
+                } else {
+                    ScalarExpr::r("x")
+                        .mul(ScalarExpr::f64(2.0))
+                        .add(ScalarExpr::r("i"))
+                };
+                let t = body.tasklet(Tasklet::with_code(
+                    "t",
+                    vec!["x"],
+                    vec!["y"],
+                    vec![
+                        TaskletStmt {
+                            dst: "tmp".into(),
+                            value: expr,
+                        },
+                        TaskletStmt {
+                            dst: "y".into(),
+                            value: ScalarExpr::r("tmp"),
+                        },
+                    ],
+                ));
+                body.read(
+                    a,
+                    t,
+                    Memlet::new("A", Subset::at(vec![subscript.clone()])).to_conn("x"),
+                );
+                let mut w = Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y");
+                if let Some(w_op) = wcr {
+                    w = w.with_wcr(w_op);
+                }
+                body.write(t, o, w);
+            },
+        );
+        df.auto_wire(m, &[a], &[o]);
+
+        if device {
+            // Read the uninitialized device buffer into a host container —
+            // the CLOUDSC garbage-copyback pattern (paper Fig. 7).
+            let d = df.access("D");
+            let c = df.access("C");
+            let m2 = df.map(
+                &["j"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let d = body.access("D");
+                    let c = body.access("C");
+                    let t = body.tasklet(Tasklet::simple("cp", vec!["g"], "h", ScalarExpr::r("g")));
+                    body.read(
+                        d,
+                        t,
+                        Memlet::new("D", Subset::at(vec![sym("j")])).to_conn("g"),
+                    );
+                    body.write(
+                        t,
+                        c,
+                        Memlet::new("C", Subset::at(vec![sym("j")])).from_conn("h"),
+                    );
+                },
+            );
+            df.auto_wire(m2, &[d], &[c]);
+        }
+
+        if lib > 0 {
+            let a2 = df.access("A");
+            let l = df.access("L");
+            let node = if lib == 1 {
+                df.library("soft", LibraryOp::Softmax)
+            } else {
+                df.library(
+                    "red",
+                    LibraryOp::Reduce {
+                        op: Wcr::Sum,
+                        axis: 0,
+                    },
+                )
+            };
+            df.read(
+                a2,
+                node,
+                Memlet::new("A", Subset::full(&[sym("N")])).to_conn("in"),
+            );
+            let out_subset = if lib == 1 {
+                Subset::full(&[sym("N")])
+            } else {
+                Subset::at(vec![SymExpr::Int(0)])
+            };
+            df.write(node, l, Memlet::new("L", out_subset).from_conn("out"));
+        }
+    });
+
+    if cfg.loop_states {
+        // start -> body (k=0); body -> body (k<3, k+=1, s += k via tasklet);
+        // body -> exit (k>=3).
+        let body = b.add_state("loop_body");
+        let exit = b.add_state("exit");
+        b.edge(
+            st,
+            body,
+            fuzzyflow_ir::InterstateEdge::always().assign("k", SymExpr::Int(0)),
+        );
+        b.in_state(body, |df| {
+            let s_in = df.access("s");
+            let s_out = df.access("s");
+            let t = df.tasklet(Tasklet::simple(
+                "acc",
+                vec!["v"],
+                "w",
+                ScalarExpr::r("v").add(ScalarExpr::r("k")),
+            ));
+            df.read(s_in, t, Memlet::new("s", Subset::new(vec![])).to_conn("v"));
+            df.write(
+                t,
+                s_out,
+                Memlet::new("s", Subset::new(vec![])).from_conn("w"),
+            );
+        });
+        b.edge(
+            body,
+            body,
+            fuzzyflow_ir::InterstateEdge::when(fuzzyflow_ir::CondExpr::cmp(
+                fuzzyflow_ir::SymCmpOp::Lt,
+                sym("k"),
+                SymExpr::Int(3),
+            ))
+            .assign("k", sym("k") + SymExpr::Int(1)),
+        );
+        b.edge(
+            body,
+            exit,
+            fuzzyflow_ir::InterstateEdge::when(fuzzyflow_ir::CondExpr::cmp(
+                fuzzyflow_ir::SymCmpOp::Ge,
+                sym("k"),
+                SymExpr::Int(3),
+            )),
+        );
+    }
+    b.build()
+}
+
+fn input_for(cfg: &Cfg) -> ExecState {
+    let mut st = ExecState::new();
+    st.bind("N", cfg.n);
+    let vals: Vec<f64> = (0..cfg.n as usize)
+        .map(|i| cfg.vals[i % cfg.vals.len()] as f64 / 8.0)
+        .collect();
+    st.set_array("A", ArrayValue::from_f64(vec![cfg.n], &vals));
+    st
+}
+
+/// Runs both engines on identical inputs and asserts bit-identical
+/// results, final states and coverage. Returns the shared outcome.
+fn assert_engines_agree(p: &Sdfg, input: &ExecState, max_steps: u64) -> Result<(), ExecError> {
+    let opts = ExecOptions { max_steps };
+
+    let mut tree_state = input.clone();
+    let mut tree_cov = CoverageMap::new();
+    let tree_res = run_with_tree_walk(p, &mut tree_state, &opts, None, Some(&mut tree_cov));
+
+    let prog = Program::compile(p);
+    let mut comp_state = input.clone();
+    let mut comp_cov = CoverageMap::new();
+    let comp_res = prog.run_with(&mut comp_state, &opts, None, Some(&mut comp_cov));
+
+    assert_eq!(tree_res, comp_res, "engine results diverge");
+    assert_states_bit_identical(&tree_state, &comp_state);
+
+    let mut tree_virgin = [0u8; MAP_SIZE];
+    let mut comp_virgin = [0u8; MAP_SIZE];
+    tree_cov.merge_into(&mut tree_virgin);
+    comp_cov.merge_into(&mut comp_virgin);
+    assert!(
+        tree_virgin[..] == comp_virgin[..],
+        "coverage maps diverge (tree {} edges, compiled {} edges)",
+        tree_cov.edges_hit(),
+        comp_cov.edges_hit()
+    );
+
+    // A reused executor must behave exactly like a fresh one (the arena
+    // reset is what the trial loop relies on).
+    let mut exec = prog.executor();
+    let _ = exec.execute(input, &opts, None, None);
+    let first = format!("{:?}", exec.execute(input, &opts, None, None));
+    assert_eq!(first, format!("{tree_res:?}"), "reused executor diverges");
+    if tree_res.is_ok() {
+        assert_states_bit_identical(&tree_state, &exec.to_state());
+    }
+    tree_res
+}
+
+/// Bit-exact state equality: same symbols, same containers, same dtypes,
+/// shapes and element bits (NaN-safe, unlike `PartialEq` on floats).
+fn assert_states_bit_identical(a: &ExecState, b: &ExecState) {
+    assert_eq!(a.symbols, b.symbols, "final symbol bindings diverge");
+    let names_a: Vec<&String> = a.arrays.keys().collect();
+    let names_b: Vec<&String> = b.arrays.keys().collect();
+    assert_eq!(names_a, names_b, "container sets diverge");
+    for (name, arr_a) in &a.arrays {
+        let arr_b = &b.arrays[name];
+        assert_eq!(arr_a.dtype(), arr_b.dtype(), "dtype of '{name}' diverges");
+        assert_eq!(arr_a.shape(), arr_b.shape(), "shape of '{name}' diverges");
+        assert_eq!(
+            arr_a.first_mismatch(arr_b, 0.0),
+            None,
+            "contents of '{name}' diverge"
+        );
+    }
+}
+
+proptest! {
+    /// The headline property: for arbitrary generated programs and inputs,
+    /// the compiled engine is bit-identical to the tree-walk engine —
+    /// results, errors, final states, step accounting and coverage.
+    #[test]
+    fn compiled_engine_matches_tree_walk(cfg in arb_cfg()) {
+        let p = build(&cfg);
+        let input = input_for(&cfg);
+        let _ = assert_engines_agree(&p, &input, cfg.max_steps);
+    }
+}
+
+// ----- deterministic plan-level parity tests ---------------------------
+
+/// `A[(i + 1) % N]` is non-affine: the compiler must fall back to the
+/// compiled-expression form and still match the tree walk bit for bit.
+#[test]
+fn non_affine_subscript_fallback_matches() {
+    let cfg = Cfg {
+        n: 5,
+        stride: 1,
+        offset: 1,
+        use_mod: true,
+        wcr: None,
+        select: false,
+        device: false,
+        loop_states: false,
+        lib: 0,
+        max_steps: 1_000_000,
+        vals: (0..8).collect(),
+    };
+    let p = build(&cfg);
+    let res = assert_engines_agree(&p, &input_for(&cfg), cfg.max_steps);
+    assert!(res.is_ok(), "modular subscript stays in bounds: {res:?}");
+}
+
+/// `A[i + 2]` runs out of bounds: the compiled engine must report the
+/// same `ExecError::OutOfBounds`, with the same point and shape.
+#[test]
+fn out_of_bounds_error_parity() {
+    let cfg = Cfg {
+        n: 4,
+        stride: 1,
+        offset: 2,
+        use_mod: false,
+        wcr: None,
+        select: false,
+        device: false,
+        loop_states: false,
+        lib: 0,
+        max_steps: 1_000_000,
+        vals: (0..8).collect(),
+    };
+    let p = build(&cfg);
+    let res = assert_engines_agree(&p, &input_for(&cfg), cfg.max_steps);
+    match res {
+        Err(ExecError::OutOfBounds { data, point, shape }) => {
+            assert_eq!(data, "A");
+            assert_eq!(point, vec![4]);
+            assert_eq!(shape, vec![4]);
+        }
+        other => panic!("expected OutOfBounds, got {other:?}"),
+    }
+}
+
+/// Device containers read back the deterministic GARBAGE_BITS pattern in
+/// both engines (the paper's uninitialized-GPU-memory oracle).
+#[test]
+fn garbage_bits_read_parity() {
+    let cfg = Cfg {
+        n: 3,
+        stride: 1,
+        offset: 0,
+        use_mod: false,
+        wcr: None,
+        select: false,
+        device: true,
+        loop_states: false,
+        lib: 0,
+        max_steps: 1_000_000,
+        vals: (0..8).collect(),
+    };
+    let p = build(&cfg);
+    let input = input_for(&cfg);
+    assert_engines_agree(&p, &input, cfg.max_steps).unwrap();
+    let prog = Program::compile(&p);
+    let mut st = input.clone();
+    prog.run(&mut st).unwrap();
+    let c = st.array("C").unwrap();
+    for i in 0..c.len() {
+        assert_eq!(
+            c.get(i).as_f64().to_bits(),
+            GARBAGE_BITS,
+            "element {i} is not the garbage pattern"
+        );
+    }
+}
+
+/// The step budget (hang oracle) trips at the identical step in both
+/// engines — the strongest check that tick accounting matches.
+#[test]
+fn step_limit_parity_across_budgets() {
+    let cfg = Cfg {
+        n: 6,
+        stride: 1,
+        offset: 0,
+        use_mod: false,
+        wcr: Some(Wcr::Sum),
+        select: true,
+        device: true,
+        loop_states: true,
+        lib: 1,
+        max_steps: 0, // overwritten below
+        vals: (0..8).collect(),
+    };
+    let p = build(&cfg);
+    let input = input_for(&cfg);
+    let mut seen_hang = false;
+    for budget in 1..120u64 {
+        let res = assert_engines_agree(&p, &input, budget);
+        if matches!(res, Err(ExecError::StepLimitExceeded { .. })) {
+            seen_hang = true;
+        }
+    }
+    assert!(seen_hang, "small budgets must trip the hang oracle");
+}
+
+/// Subscript lowering must not change *overflow* behavior: expressions
+/// whose tree evaluation overflows (or doesn't) at i64 extremes must do
+/// exactly the same after compilation — algebraically simplifying
+/// `0 * (N + M)` or redistributing `a - b` would diverge. Regression test
+/// for the affine access-plan recognizer.
+#[test]
+fn overflow_error_parity_in_subscripts() {
+    let cases: [(SymExpr, i64, i64); 4] = [
+        // Tree evaluates N + M first -> overflow; folding the zero
+        // coefficient away would silently return 0.
+        (SymExpr::Int(0) * (sym("N") + sym("M")), i64::MAX, 1),
+        // Tree computes -1 - M = i64::MAX (no overflow); negating M's
+        // coefficient at compile time would overflow spuriously.
+        (SymExpr::Int(-1) - sym("M"), 0, i64::MIN),
+        // Plain affine chain at the overflow edge.
+        (sym("N") + SymExpr::Int(1), i64::MAX, 0),
+        // Right-nested constant: tree folds M + 1 first.
+        (sym("N") + (sym("M") + SymExpr::Int(1)), 1, i64::MAX),
+    ];
+    for (expr, n, m) in cases {
+        let mut b = SdfgBuilder::new("ovf");
+        b.symbol("N");
+        b.symbol("M");
+        b.array("A", DType::F64, &["4"]);
+        b.array("B", DType::F64, &["4"]);
+        let st = b.start();
+        let e = expr.clone();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let o = df.access("B");
+            let t = df.tasklet(Tasklet::simple("cp", vec!["x"], "y", ScalarExpr::r("x")));
+            df.read(a, t, Memlet::new("A", Subset::at(vec![e])).to_conn("x"));
+            df.write(
+                t,
+                o,
+                Memlet::new("B", Subset::at(vec![SymExpr::Int(0)])).from_conn("y"),
+            );
+        });
+        let p = b.build();
+        let mut input = ExecState::new();
+        input.bind("N", n).bind("M", m);
+        input.set_array("A", ArrayValue::from_f64(vec![4], &[1.0, 2.0, 3.0, 4.0]));
+        let res = assert_engines_agree(&p, &input, 1_000_000);
+        // The point of the case set: at least the first two are extreme
+        // enough that a careless lowering diverges; agreement is the
+        // assertion, the concrete outcome is free to be Ok or Err.
+        let _ = res;
+    }
+}
+
+/// Interned-name accessors of the executor resolve symbols and arrays the
+/// program knows, and pass through extras it does not.
+#[test]
+fn executor_accessors_resolve_interned_and_extra_names() {
+    let cfg = Cfg {
+        n: 4,
+        stride: 1,
+        offset: 0,
+        use_mod: false,
+        wcr: None,
+        select: false,
+        device: false,
+        loop_states: false,
+        lib: 0,
+        max_steps: 1_000_000,
+        vals: (0..8).collect(),
+    };
+    let p = build(&cfg);
+    let mut input = input_for(&cfg);
+    input.bind("UNRELATED", 99);
+    input.set_array("extra", ArrayValue::from_f64(vec![2], &[7.0, 8.0]));
+    let prog = Program::compile(&p);
+    let mut exec = prog.executor();
+    exec.execute(&input, &ExecOptions::default(), None, None)
+        .unwrap();
+    assert_eq!(exec.symbol("N"), Some(4));
+    assert_eq!(exec.symbol("UNRELATED"), Some(99), "extra symbol preserved");
+    assert!(exec.array("B").is_some());
+    assert_eq!(
+        exec.array("extra").unwrap().to_f64_vec(),
+        vec![7.0, 8.0],
+        "extra container preserved"
+    );
+    // And the tree-walk engine agrees on the full final state.
+    let mut tree = input.clone();
+    run_with_tree_walk(&p, &mut tree, &ExecOptions::default(), None, None).unwrap();
+    assert_states_bit_identical(&tree, &exec.to_state());
+}

@@ -1,5 +1,5 @@
 //! The dataflow graph: an acyclic directed multigraph of [`DfNode`]s
-//! connected by [`Memlet`] edges. Used both as the body of a [`State`]
+//! connected by [`Memlet`] edges. Used both as the body of a [`State`](crate::State)
 //! (crate::sdfg) and as the nested body of a [`MapScope`](crate::node).
 
 use crate::memlet::Memlet;

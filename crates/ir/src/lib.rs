@@ -5,11 +5,11 @@
 //! The representation satisfies all requirements of paper Table 1:
 //!
 //! * **Scalar & memory side-effect visibility** — every data access flows
-//!   through an explicit [`Memlet`] edge attached to an [`AccessNode`]:
+//!   through an explicit [`Memlet`] edge attached to an access node:
 //!   there is no aliasing, the true read/write set of every operation is a
 //!   graph property.
 //! * **Sub-region analysis** — memlets carry the *exact* accessed
-//!   [`Subset`](fuzzyflow_sym::Subset) (per-dimension symbolic ranges).
+//!   [`Subset`] (per-dimension symbolic ranges).
 //! * **Input & size generalization** — container shapes are symbolic
 //!   expressions over program parameters ([`DataDesc::shape`]), so the
 //!   relationship between a size parameter `N` and an `N*N` container is

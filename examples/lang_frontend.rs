@@ -27,14 +27,16 @@ fn main() {
         validate(&program).is_ok()
     );
 
-    // Run it directly.
+    // Lower once to a compiled Program, then execute. One-shot callers
+    // can also use `fuzzyflow_interp::run`, which compiles under the hood.
+    let compiled = fuzzyflow::interp::Program::compile(&program);
     let mut st = ExecState::new();
     st.bind("N", 5);
     st.set_array(
         "A",
         ArrayValue::from_f64(vec![5], &[1.0, 2.0, 3.0, 4.0, 5.0]),
     );
-    run(&program, &mut st).unwrap();
+    compiled.run(&mut st).unwrap();
     println!(
         "total = {} (expected 55)",
         st.array("total").unwrap().get(0).as_f64()

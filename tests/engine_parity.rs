@@ -1,0 +1,88 @@
+//! Whole-workload engine parity: every paper workload — the matmul chain,
+//! the MHA encoder, vanilla attention, the CLOUDSC-like program and the
+//! full NPBench suite — executes bit-identically on the tree-walk
+//! interpreter and the compiled `Program` engine.
+//!
+//! This complements the randomized engine-equivalence property suite in
+//! `crates/interp/tests/engine_equivalence.rs` with the real programs the
+//! evaluation runs on.
+
+use fuzzyflow::ir::{Bindings, Sdfg};
+use fuzzyflow::prelude::*;
+use fuzzyflow_interp::{run_tree_walk, Program};
+
+fn state_with(bindings: &Bindings) -> ExecState {
+    let mut st = ExecState::new();
+    for (k, v) in bindings.iter() {
+        st.bind(k, v);
+    }
+    st
+}
+
+fn assert_parity(name: &str, sdfg: &Sdfg, bindings: &Bindings) {
+    let mut tree = state_with(bindings);
+    let tree_res = run_tree_walk(sdfg, &mut tree);
+
+    let prog = Program::compile(sdfg);
+    let mut compiled = state_with(bindings);
+    let comp_res = prog.run(&mut compiled);
+
+    assert_eq!(
+        tree_res.is_ok(),
+        comp_res.is_ok(),
+        "{name}: result kinds diverge ({tree_res:?} vs {comp_res:?})"
+    );
+    assert_eq!(
+        format!("{tree_res:?}"),
+        format!("{comp_res:?}"),
+        "{name}: errors diverge"
+    );
+    assert_eq!(
+        tree.symbols, compiled.symbols,
+        "{name}: final symbols diverge"
+    );
+    let tree_names: Vec<&String> = tree.arrays.keys().collect();
+    let comp_names: Vec<&String> = compiled.arrays.keys().collect();
+    assert_eq!(tree_names, comp_names, "{name}: container sets diverge");
+    for (container, a) in &tree.arrays {
+        let b = &compiled.arrays[container];
+        assert_eq!(
+            a.first_mismatch(b, 0.0),
+            None,
+            "{name}: container '{container}' diverges bit-wise"
+        );
+    }
+}
+
+#[test]
+fn headline_workloads_execute_identically_on_both_engines() {
+    assert_parity(
+        "matmul_chain",
+        &fuzzyflow::workloads::matmul_chain(),
+        &fuzzyflow::workloads::matmul_chain::default_bindings(),
+    );
+    assert_parity(
+        "mha_encoder",
+        &fuzzyflow::workloads::mha_encoder(),
+        &fuzzyflow::workloads::mha::default_bindings(),
+    );
+    assert_parity(
+        "cloudsc_like",
+        &fuzzyflow::workloads::cloudsc_like(),
+        &fuzzyflow::workloads::cloudsc::default_bindings(),
+    );
+    // Distributed workload without a communication handler: both engines
+    // must fail with the identical NoCommHandler error.
+    assert_parity(
+        "vanilla_attention",
+        &fuzzyflow::workloads::vanilla_attention(),
+        &fuzzyflow::workloads::attention::default_bindings(),
+    );
+}
+
+#[test]
+fn npbench_suite_executes_identically_on_both_engines() {
+    for w in fuzzyflow::workloads::suite() {
+        assert_parity(w.name, &w.sdfg, &w.bindings);
+    }
+}

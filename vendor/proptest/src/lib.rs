@@ -1,9 +1,10 @@
 //! Offline, API-compatible subset of the `proptest` crate.
 //!
 //! Implements exactly the surface the workspace's property tests use:
-//! the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
-//! `prop_recursive`, [`Just`], integer-range and tuple strategies,
-//! [`collection::vec`], and the `proptest!` / `prop_oneof!` /
+//! the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map` / `prop_recursive`, [`Just`](strategy::Just),
+//! integer-range and tuple strategies, [`collection::vec`], and the
+//! `proptest!` / `prop_oneof!` /
 //! `prop_assert*!` macros. Values are generated from a deterministic
 //! PRNG so test runs are reproducible; failing cases are reported via
 //! `panic!` and there is no shrinking.
