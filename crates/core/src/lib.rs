@@ -43,7 +43,7 @@
 pub mod sweep;
 pub mod verify;
 
-pub use sweep::{format_sweep_table, sweep, InstanceResult, SweepConfig, SweepRow};
+pub use sweep::{format_sweep_table, sweep, sweep_on, InstanceResult, SweepConfig, SweepRow};
 pub use verify::{verify_instance, VerificationReport, VerifyConfig, VerifyError};
 
 // Re-export the component crates under stable names.
@@ -54,6 +54,7 @@ pub use fuzzyflow_graph as graph;
 pub use fuzzyflow_interp as interp;
 pub use fuzzyflow_ir as ir;
 pub use fuzzyflow_lang as lang;
+pub use fuzzyflow_pool as pool;
 pub use fuzzyflow_sym as symbolic;
 pub use fuzzyflow_transforms as transforms;
 pub use fuzzyflow_workloads as workloads;

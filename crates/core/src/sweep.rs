@@ -5,16 +5,19 @@
 use crate::verify::{verify_instance, VerificationReport, VerifyConfig, VerifyError};
 use fuzzyflow_fuzz::Verdict;
 use fuzzyflow_ir::{Bindings, Sdfg};
+use fuzzyflow_pool::{resolve_threads, WorkerPool};
 use fuzzyflow_transforms::Transformation;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 
 /// Sweep configuration.
 #[derive(Clone, Debug, Default)]
 pub struct SweepConfig {
     pub verify: VerifyConfig,
-    /// Worker threads (sweeps are embarrassingly parallel across
-    /// instances). `0` = one thread per available core.
+    /// Maximum concurrent instances on the shared [`WorkerPool`] (sweeps
+    /// are embarrassingly parallel across instances). `0` = one per
+    /// available core. Results are byte-identical for every setting; see
+    /// the [`VerifyConfig`] docs for how this knob composes with
+    /// [`VerifyConfig::trial_threads`] on the one pool.
     pub threads: usize,
 }
 
@@ -61,9 +64,21 @@ pub struct SweepRow {
     pub mean_trials_to_detect: f64,
 }
 
-/// Verifies every instance of every transformation on every workload.
-/// Returns per-instance results plus per-transformation summary rows.
+/// Verifies every instance of every transformation on every workload, in
+/// parallel on the process-wide [`WorkerPool`]. Returns per-instance
+/// results plus per-transformation summary rows.
 pub fn sweep(
+    workloads: &[(String, Sdfg, Bindings)],
+    transformations: &[Box<dyn Transformation>],
+    cfg: &SweepConfig,
+) -> (Vec<InstanceResult>, Vec<SweepRow>) {
+    sweep_on(WorkerPool::global(), workloads, transformations, cfg)
+}
+
+/// [`sweep`] against an explicit pool — used by benchmarks to compare the
+/// persistent pool against per-instance spawned thread sets.
+pub fn sweep_on(
+    pool: &WorkerPool,
     workloads: &[(String, Sdfg, Bindings)],
     transformations: &[Box<dyn Transformation>],
     cfg: &SweepConfig,
@@ -91,67 +106,39 @@ pub fn sweep(
         }
     }
 
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        cfg.threads
-    };
-
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<InstanceResult>>> = Mutex::new(vec![None; jobs.len()]);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(jobs.len().max(1)) {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= jobs.len() {
-                    break;
-                }
-                let job = &jobs[idx];
-                let mut vcfg = cfg.verify.clone();
-                if vcfg.concretization.is_none() {
-                    vcfg.concretization = Some(job.bindings.clone());
-                }
-                // The sweep is already parallel across instances; keep the
-                // per-instance trial batches sequential unless explicitly
-                // overridden, to avoid thread oversubscription.
-                if vcfg.trial_threads == 0 {
-                    vcfg.trial_threads = 1;
-                }
-                let outcome = verify_instance(job.sdfg, job.t, &job.m, &vcfg);
-                let result = match outcome {
-                    Ok(report) => InstanceResult {
-                        workload: job.workload.to_string(),
-                        transformation: job.t.name().to_string(),
-                        match_description: job.m.description.clone(),
-                        report: Some(report),
-                        error: None,
-                    },
-                    Err(e) => InstanceResult {
-                        workload: job.workload.to_string(),
-                        transformation: job.t.name().to_string(),
-                        match_description: job.m.description.clone(),
-                        report: None,
-                        error: Some(match e {
-                            VerifyError::Apply(x) => format!("apply: {x}"),
-                            VerifyError::Extract(x) => format!("extract: {x}"),
-                            VerifyError::Replay(x) => format!("replay: {x}"),
-                        }),
-                    },
-                };
-                results.lock().expect("results poisoned")[idx] = Some(result);
-            });
+    // Instances fan out over the shared pool; each participant buffers
+    // its results locally and `map_indexed` merges the buffers by
+    // instance index, so the returned order is the enumeration order
+    // above — byte-identical for every thread count.
+    let width = resolve_threads(cfg.threads);
+    let results: Vec<InstanceResult> = pool.map_indexed(jobs.len(), width, |idx| {
+        let job = &jobs[idx];
+        let mut vcfg = cfg.verify.clone();
+        if vcfg.concretization.is_none() {
+            vcfg.concretization = Some(job.bindings.clone());
+        }
+        let outcome = verify_instance(job.sdfg, job.t, &job.m, &vcfg);
+        match outcome {
+            Ok(report) => InstanceResult {
+                workload: job.workload.to_string(),
+                transformation: job.t.name().to_string(),
+                match_description: job.m.description.clone(),
+                report: Some(report),
+                error: None,
+            },
+            Err(e) => InstanceResult {
+                workload: job.workload.to_string(),
+                transformation: job.t.name().to_string(),
+                match_description: job.m.description.clone(),
+                report: None,
+                error: Some(match e {
+                    VerifyError::Apply(x) => format!("apply: {x}"),
+                    VerifyError::Extract(x) => format!("extract: {x}"),
+                    VerifyError::Replay(x) => format!("replay: {x}"),
+                }),
+            },
         }
     });
-
-    let results: Vec<InstanceResult> = results
-        .into_inner()
-        .expect("results poisoned")
-        .into_iter()
-        .map(|r| r.expect("all jobs completed"))
-        .collect();
 
     // Summaries.
     let mut rows: BTreeMap<String, SweepRow> = BTreeMap::new();
@@ -269,6 +256,47 @@ mod tests {
         // Table renders.
         let table = format_sweep_table(&rows);
         assert!(table.contains("MapTilingOffByOne"));
+    }
+
+    /// Satellite acceptance: the per-worker result buffers must merge
+    /// into the exact same instance order and bytes for every worker
+    /// count.
+    #[test]
+    fn sweep_output_is_identical_for_1_2_and_8_threads() {
+        let workloads = vec![small_workload()];
+        let transformations: Vec<Box<dyn Transformation>> = vec![
+            Box::new(MapTiling::new(4)),
+            Box::new(MapTilingOffByOne::new(4)),
+        ];
+        let run = |threads: usize| -> Vec<String> {
+            let cfg = SweepConfig {
+                verify: VerifyConfig {
+                    trials: 25,
+                    size_max: 10,
+                    ..Default::default()
+                },
+                threads,
+            };
+            let (results, rows) = sweep(&workloads, &transformations, &cfg);
+            results
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{}|{}|{}|{:?}|{:?}",
+                        r.workload,
+                        r.transformation,
+                        r.match_description,
+                        r.report.as_ref().map(|rep| format!("{rep:?}")),
+                        r.error
+                    )
+                })
+                .chain(rows.iter().map(|row| format!("{row:?}")))
+                .collect()
+        };
+        let base = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), base, "sweep diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -10,6 +10,31 @@ use fuzzyflow_transforms::{apply_to_clone, TransformError, Transformation, Trans
 use std::fmt;
 
 /// Configuration for one verification run.
+///
+/// # Thread knobs and the shared worker pool
+///
+/// All parallelism in the verification stack — sweep instances
+/// ([`crate::SweepConfig::threads`]), differential trial batches
+/// ([`VerifyConfig::trial_threads`]), coverage campaigns and distributed
+/// rank gangs — executes on one process-wide
+/// [`WorkerPool`](fuzzyflow_pool::WorkerPool) with a fixed worker per
+/// core. The knobs therefore no longer size independent thread sets that
+/// could oversubscribe each other; each knob only caps how many pool
+/// participants that layer may occupy at once:
+///
+/// * `trial_threads = 0` (default): trial batches may use every pool
+///   worker. Inside a sweep this is safe — instances and trials share the
+///   same workers, so an instance's trials simply soak up whatever
+///   capacity other instances leave idle (there is no nested spawning and
+///   no oversubscription, unlike the pre-pool architecture).
+/// * `trial_threads = 1`: trials run sequentially on whichever thread
+///   verifies the instance.
+/// * any other value: at most that many concurrent participants.
+///
+/// Verdicts and reports are byte-identical for every setting of every
+/// knob: work is keyed by instance index and trial index, each trial
+/// derives its PRNG stream from its index, and results are assembled in
+/// index order (the pool's determinism contract).
 #[derive(Clone, Debug)]
 pub struct VerifyConfig {
     /// Fuzzing trials per instance (paper uses 100 for CLOUDSC).
@@ -28,9 +53,11 @@ pub struct VerifyConfig {
     pub concretization: Option<Bindings>,
     /// Extra engineer-provided sampling constraints `(symbol, lo, hi)`.
     pub custom_constraints: Vec<(String, i64, i64)>,
-    /// Worker threads for the differential trial batches (`0` = one per
-    /// core, `1` = sequential). Verdicts are identical for every setting;
-    /// see [`DiffTester::threads`].
+    /// Concurrent pool participants for the differential trial batches
+    /// (`0` = no cap beyond the pool size, `1` = sequential). Verdicts
+    /// are identical for every setting; see [`DiffTester::threads`] and
+    /// the struct-level docs on how this shares the worker pool with the
+    /// sweep driver.
     pub trial_threads: usize,
 }
 

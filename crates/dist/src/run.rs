@@ -3,11 +3,21 @@
 use crate::comm::{SimComm, ABORT_PREFIX};
 use fuzzyflow_interp::{ExecError, ExecOptions, ExecState, Program};
 use fuzzyflow_ir::Sdfg;
+use fuzzyflow_pool::WorkerPool;
+use std::sync::Mutex;
 
-/// Runs one SPMD program on every rank of a simulated communicator, one
-/// OS thread per rank, all sharing one [`SimComm`]. `states[r]` is rank
-/// `r`'s initial state; `rank` and `nranks` are bound automatically.
-/// Returns the per-rank final states in rank order.
+/// Runs one SPMD program on every rank of a simulated communicator, as a
+/// co-scheduled gang on the process-wide [`WorkerPool`], all ranks
+/// sharing one [`SimComm`]. `states[r]` is rank `r`'s initial state;
+/// `rank` and
+/// `nranks` are bound automatically. Returns the per-rank final states in
+/// rank order.
+///
+/// Ranks block on each other inside collective rendezvous, so they are
+/// scheduled through [`WorkerPool::gang`]: the pool reserves workers for
+/// as many ranks as it can promise and tops up the rest with temporary
+/// threads, guaranteeing all ranks can be live simultaneously even on a
+/// saturated pool.
 ///
 /// If any rank fails, the communicator is poisoned so collectives the
 /// surviving ranks are blocked in return instead of deadlocking, and the
@@ -15,7 +25,7 @@ use fuzzyflow_ir::Sdfg;
 /// aborted" fallout the other ranks observe.
 pub fn run_distributed(
     sdfg: &Sdfg,
-    mut states: Vec<ExecState>,
+    states: Vec<ExecState>,
     opts: &ExecOptions,
 ) -> Result<Vec<ExecState>, ExecError> {
     if states.is_empty() {
@@ -23,35 +33,36 @@ pub fn run_distributed(
     }
     let nranks = states.len();
     let comm = SimComm::new(nranks);
-    let comm_ref = &comm;
-    // Compile the SPMD program once; every rank thread executes the same
-    // shared compiled program with its own executor.
+    // Compile the SPMD program once; every rank executes the same shared
+    // compiled program with its own executor.
     let program = Program::compile(sdfg);
-    let program_ref = &program;
 
-    let results: Vec<Result<(), ExecError>> = std::thread::scope(|s| {
-        let handles: Vec<_> = states
-            .iter_mut()
-            .enumerate()
-            .map(|(rank, st)| {
-                s.spawn(move || {
-                    st.bind("rank", rank as i64).bind("nranks", nranks as i64);
-                    let res = program_ref
-                        .executor()
-                        .run_in_place(st, opts, Some(comm_ref), None);
-                    if let Err(e) = &res {
-                        comm_ref.poison(&format!("{ABORT_PREFIX}: rank {rank} failed: {e}"));
-                    }
-                    comm_ref.leave(rank);
-                    res
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
-            .collect()
+    // One cell per rank: the gang closure is shared by all members, so
+    // each rank takes exclusive ownership of its state through its cell.
+    type RankCell = Mutex<(ExecState, Option<Result<(), ExecError>>)>;
+    let cells: Vec<RankCell> = states
+        .into_iter()
+        .map(|st| Mutex::new((st, None)))
+        .collect();
+    WorkerPool::global().gang(nranks, |rank| {
+        let mut cell = cells[rank].lock().expect("rank cell poisoned");
+        let (st, slot) = &mut *cell;
+        st.bind("rank", rank as i64).bind("nranks", nranks as i64);
+        let res = program.executor().run_in_place(st, opts, Some(&comm), None);
+        if let Err(e) = &res {
+            comm.poison(&format!("{ABORT_PREFIX}: rank {rank} failed: {e}"));
+        }
+        comm.leave(rank);
+        *slot = Some(res);
     });
+
+    let mut states = Vec::with_capacity(nranks);
+    let mut results = Vec::with_capacity(nranks);
+    for cell in cells {
+        let (st, res) = cell.into_inner().expect("rank cell poisoned");
+        states.push(st);
+        results.push(res.expect("every rank ran"));
+    }
 
     // Prefer a root-cause error over poison fallout.
     let mut fallout = None;

@@ -24,6 +24,7 @@ use fuzzyflow_interp::coverage::MAP_SIZE;
 use fuzzyflow_interp::ArrayValue;
 use fuzzyflow_interp::{CoverageMap, ExecOptions, ExecState, Program};
 use fuzzyflow_ir::{validate, Bindings, Sdfg};
+use fuzzyflow_pool::{resolve_threads, WorkerPool};
 
 /// Report of a coverage-guided fuzzing campaign.
 #[derive(Clone, Debug)]
@@ -390,6 +391,25 @@ impl CoverageFuzzer {
         }
     }
 
+    /// Runs several independent campaigns in parallel on the shared
+    /// [`WorkerPool`] — one `(cutout, transformed, seed sizes)` triple
+    /// per campaign, e.g. every instance of a transformation across a
+    /// workload suite. Each campaign is fully self-contained (its own
+    /// corpus, virgin map and PRNG derived from [`CoverageFuzzer::seed`]),
+    /// so the returned reports are index-ordered and byte-identical to
+    /// calling [`CoverageFuzzer::run`] in a loop, for any `threads`
+    /// setting (`0` = one participant per core).
+    pub fn run_many(
+        &self,
+        campaigns: &[(&Cutout, &Sdfg, &Bindings)],
+        threads: usize,
+    ) -> Vec<CoverageReport> {
+        WorkerPool::global().map_indexed(campaigns.len(), resolve_threads(threads), |i| {
+            let (cutout, transformed, seed_bindings) = campaigns[i];
+            self.run(cutout, transformed, seed_bindings)
+        })
+    }
+
     fn report(
         &self,
         verdict: Verdict,
@@ -484,6 +504,34 @@ mod tests {
         );
         let t = report.trials_to_detection.unwrap();
         assert!(t > 1, "seed input is divisible; detection needs mutation");
+    }
+
+    #[test]
+    fn run_many_matches_sequential_campaigns() {
+        let (c, transformed) = vectorized_pair();
+        let seed = Bindings::from_pairs([("N", 16)]);
+        let fuzzer = CoverageFuzzer {
+            max_trials: 400,
+            seed: 99,
+            ..Default::default()
+        };
+        let campaigns = [
+            (&c, &transformed, &seed),
+            (&c, &transformed, &seed),
+            (&c, &transformed, &seed),
+        ];
+        let sequential: Vec<String> = campaigns
+            .iter()
+            .map(|(c, t, b)| format!("{:?}", fuzzer.run(c, t, b)))
+            .collect();
+        for threads in [1, 2, 4] {
+            let pooled: Vec<String> = fuzzer
+                .run_many(&campaigns, threads)
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            assert_eq!(pooled, sequential, "threads = {threads}");
+        }
     }
 
     #[test]

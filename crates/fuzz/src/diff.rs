@@ -7,6 +7,8 @@ use crate::testcase::TestCase;
 use fuzzyflow_cutout::Cutout;
 use fuzzyflow_interp::{ExecOptions, ExecState, Program};
 use fuzzyflow_ir::{validate, Sdfg};
+use fuzzyflow_pool::{resolve_threads, WorkerPool};
+use std::sync::Mutex;
 
 /// Outcome of differentially testing `c` against `T(c)`.
 #[derive(Clone, Debug)]
@@ -94,8 +96,9 @@ pub struct DiffTester {
     /// Resampling budget per trial when the original cutout rejects an
     /// input (should stay near zero thanks to gray-box constraints).
     pub max_resamples: usize,
-    /// Worker threads for trial batches: `0` = one per available core,
-    /// `1` = sequential. Reports are byte-identical for every setting —
+    /// Maximum concurrent participants for trial batches on the shared
+    /// [`WorkerPool`]: `0` = one per available core, `1` = sequential on
+    /// the calling thread. Reports are byte-identical for every setting —
     /// the verdict is always the lowest-numbered faulting trial.
     pub threads: usize,
 }
@@ -181,15 +184,27 @@ impl DiffTester {
     }
 
     /// Runs differential testing of the cutout against its transformed
-    /// counterpart.
+    /// counterpart on the process-wide [`WorkerPool`].
     ///
     /// Both SDFGs are compiled exactly once; the N trials then run against
     /// the two compiled [`Program`]s with per-trial deterministic seeds,
-    /// in parallel batches when [`DiffTester::threads`] allows. The report
-    /// is the one a sequential scan of trials 1..=N would produce, byte
-    /// for byte, regardless of thread count or schedule.
+    /// in parallel on the shared pool when [`DiffTester::threads`] allows.
+    /// The report is the one a sequential scan of trials 1..=N would
+    /// produce, byte for byte, regardless of thread count or schedule.
     pub fn test(
         &self,
+        cutout: &Cutout,
+        transformed: &Sdfg,
+        constraints: &Constraints,
+    ) -> DiffReport {
+        self.test_on(WorkerPool::global(), cutout, transformed, constraints)
+    }
+
+    /// [`DiffTester::test`] against an explicit pool — used by benchmarks
+    /// to compare the persistent pool against per-instance spawned ones.
+    pub fn test_on(
+        &self,
+        pool: &WorkerPool,
         cutout: &Cutout,
         transformed: &Sdfg,
         constraints: &Constraints,
@@ -210,61 +225,39 @@ impl DiffTester {
         let orig_prog = Program::compile(&cutout.sdfg);
         let trans_prog = Program::compile(transformed);
 
-        let threads = match self.threads {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            n => n,
-        }
-        .min(self.trials.max(1));
+        let width = resolve_threads(self.threads).min(self.trials.max(1));
 
         // All trials at or below the first terminal trial are guaranteed
         // to complete; `stop_at` only prunes work beyond a known terminal.
         let stop_at = std::sync::atomic::AtomicUsize::new(usize::MAX);
-        let mut outcomes: Vec<Option<TrialOutcome>> = Vec::with_capacity(self.trials);
-        outcomes.resize_with(self.trials, || None);
-
-        let worker = |worker_id: usize| -> Vec<(usize, TrialOutcome)> {
-            let mut local = Vec::new();
-            let mut orig_exec = orig_prog.executor();
-            let mut trans_exec = trans_prog.executor();
-            let mut trial = worker_id + 1;
-            while trial <= self.trials {
+        let parts: Mutex<Vec<Vec<(usize, TrialOutcome)>>> = Mutex::new(Vec::new());
+        pool.parallel_for(
+            self.trials,
+            width,
+            // One reusable executor pair per pool participant, retained
+            // across every trial that participant steals.
+            || (orig_prog.executor(), trans_prog.executor(), Vec::new()),
+            |(orig_exec, trans_exec, local), idx| {
+                let trial = idx + 1;
                 if trial > stop_at.load(std::sync::atomic::Ordering::Relaxed) {
-                    break;
+                    return;
                 }
-                let outcome =
-                    self.run_trial(cutout, constraints, trial, &mut orig_exec, &mut trans_exec);
+                let outcome = self.run_trial(cutout, constraints, trial, orig_exec, trans_exec);
                 if outcome.is_terminal() {
                     stop_at.fetch_min(trial, std::sync::atomic::Ordering::Relaxed);
                 }
                 local.push((trial, outcome));
-                trial += threads;
-            }
-            local
-        };
+            },
+            |(_, _, local)| parts.lock().expect("trial buffers poisoned").push(local),
+        );
 
-        if threads <= 1 {
-            for (trial, outcome) in worker(0) {
+        let mut outcomes: Vec<Option<TrialOutcome>> = Vec::with_capacity(self.trials);
+        outcomes.resize_with(self.trials, || None);
+        for batch in parts.into_inner().expect("trial buffers poisoned") {
+            for (trial, outcome) in batch {
                 outcomes[trial - 1] = Some(outcome);
             }
-        } else {
-            let collected: Vec<Vec<(usize, TrialOutcome)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|w| scope.spawn(move || worker(w)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("trial worker panicked"))
-                    .collect()
-            });
-            for batch in collected {
-                for (trial, outcome) in batch {
-                    outcomes[trial - 1] = Some(outcome);
-                }
-            }
         }
-
         self.finalize(outcomes)
     }
 

@@ -42,5 +42,5 @@ pub use exec::{
     run, run_tree_walk, run_with, run_with_tree_walk, CommHandler, ExecOptions, ExecState,
     StateMismatch,
 };
-pub use program::{Executor, Program};
+pub use program::{CompileOptions, Executor, Program};
 pub use value::ArrayValue;

@@ -155,13 +155,28 @@ struct MemPlan {
 enum MemKind {
     /// Every dimension is a single index with unit step: the offset is
     /// computed directly, no range materialization or point iteration.
-    /// Each dimension keeps `(start, end)`: the end expression's value is
-    /// provably `start + 1`, but it is still evaluated for its *errors*
-    /// (e.g. overflow at the i64 edge), exactly as `Subset::concrete`
-    /// does in the tree-walk engine.
-    Single(Vec<(IdxCode, IdxCode)>),
+    /// Each dimension keeps `(start, end-check)`: the end expression's
+    /// value is provably `start + 1`, but its *errors* (e.g. overflow at
+    /// the i64 edge) must still surface exactly as `Subset::concrete`
+    /// raises them in the tree-walk engine — see [`EndCheck`].
+    Single(Vec<(IdxCode, EndCheck)>),
     /// General (possibly strided / multi-element) subset.
     Ranges(Vec<RangePlan>),
+}
+
+/// How a single-index dimension's end expression is validated.
+#[derive(Clone, Debug)]
+enum EndCheck {
+    /// The end expression is literally `start + 1` for this dimension's
+    /// start expression. Re-evaluating the shared subexpression yields
+    /// the identical value (evaluation is pure and bindings cannot change
+    /// mid-subset), so the end's only possible *new* error is the checked
+    /// `+ 1` overflowing at `i64::MAX` — checked directly against the
+    /// start's value, skipping a full expression evaluation per element
+    /// in the hot trial loop.
+    IncOfStart,
+    /// Any other shape: evaluate for errors, exactly like the tree walk.
+    Eval(IdxCode),
 }
 
 /// Compiled inter-state condition (short-circuit evaluation order matches
@@ -242,6 +257,148 @@ struct TaskletPlan {
     gather: Vec<GatherSpec>,
     n_out_slots: usize,
     out_writes: Vec<OutWrite>,
+    /// Dtype-monomorphic f64 fast path, when the tasklet is eligible (see
+    /// [`Compiler::specialize_f64`]) and specialization is enabled. The
+    /// executor takes it only when the runtime dtype guards hold, so the
+    /// generic interpreter above remains the complete fallback.
+    fast: Option<Box<FastTasklet>>,
+}
+
+/// One instruction of the monomorphic f64 fast path: a parallel bytecode
+/// over a raw `f64` register file plus a `bool` register file (sharing one
+/// index space), with no per-element [`Scalar`] boxing or dtype dispatch.
+/// Only operations whose generic evaluation provably takes the float (or
+/// boolean) path are ever lowered here, so results, errors, coverage ids
+/// and step accounting stay bit-identical to the generic bytecode.
+#[derive(Clone, Debug)]
+enum FInsn {
+    /// Statement marker: sets the coverage site, resets the select
+    /// counter (mirrors [`Insn::Stmt`]).
+    Stmt {
+        site: u64,
+    },
+    ConstF {
+        dst: u32,
+        val: f64,
+    },
+    ConstB {
+        dst: u32,
+        val: bool,
+    },
+    MovF {
+        dst: u32,
+        src: u32,
+    },
+    MovB {
+        dst: u32,
+        src: u32,
+    },
+    /// Symbol load, converted to `f64` at the load — sound because
+    /// eligibility guarantees the value's only uses are float-path
+    /// operations, which convert with the same `as f64` at first use.
+    LoadSymF {
+        dst: u32,
+        sym: SymId,
+    },
+    /// Float-path binary op (`Add..Max` with ≥ 1 float operand, or `Pow`).
+    BinF {
+        op: BinOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// Float-path unary op (`Neg`/`Abs` on floats, or a math intrinsic).
+    UnF {
+        op: UnOp,
+        dst: u32,
+        a: u32,
+    },
+    /// Float comparison into a bool register.
+    CmpF {
+        op: CmpOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    NotB {
+        dst: u32,
+        a: u32,
+    },
+    AndB {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    OrB {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// `regs_b[reg] = regs_f[reg] != 0.0` — exactly [`Scalar::as_bool`]
+    /// for floats, and equivalent for symbol values (no nonzero `i64`
+    /// converts to `0.0`).
+    BoolFromF {
+        reg: u32,
+    },
+    CoverSel {
+        cond: u32,
+    },
+    JumpIfFalse {
+        cond: u32,
+        target: u32,
+    },
+    Jump {
+        target: u32,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct FastInput {
+    slot: usize,
+    conn: String,
+    plan: MemPlan,
+}
+
+#[derive(Clone, Debug)]
+struct FastGather {
+    slot: usize,
+    reg: u32,
+    /// The gathered register is boolean-classed; convert with
+    /// [`Scalar::as_bool`]'s inverse convention (`true` → `1.0`).
+    from_bool: bool,
+}
+
+#[derive(Clone, Debug)]
+struct FastOut {
+    slot: usize,
+    plan: MemPlan,
+}
+
+/// Monomorphic f64 specialization of one tasklet. `lanes`,
+/// `n_conn_slots` and `n_out_slots` are shared with the owning
+/// [`TaskletPlan`].
+#[derive(Clone, Debug)]
+struct FastTasklet {
+    conn_regs: Vec<u32>,
+    inputs: Vec<FastInput>,
+    code: Vec<FInsn>,
+    n_regs: usize,
+    gather: Vec<FastGather>,
+    out_writes: Vec<FastOut>,
+    /// Containers that must be live with dtype `F64` at runtime for the
+    /// fast path to be semantically equal to the generic one; any failed
+    /// guard falls back to the generic interpreter for the whole node.
+    guards: Vec<DataId>,
+}
+
+/// Static class of a value in the fast-path type inference: float-typed
+/// (`F64`), integer-typed (`I64`/`I32` — storable as `f64` because
+/// eligibility forbids integer *operations*), or boolean.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FCls {
+    Float,
+    Int,
+    Bool,
 }
 
 #[derive(Clone, Debug)]
@@ -365,6 +522,25 @@ pub struct Program {
     start: usize,
 }
 
+/// Knobs of [`Program::compile_with_options`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOptions {
+    /// Emit dtype-monomorphic f64 fast paths for eligible tasklets (on by
+    /// default). The generic bytecode is always compiled too and remains
+    /// the fallback whenever a runtime dtype guard fails; disabling this
+    /// only exists for benchmarking the specialization win and for
+    /// differentially testing the generic interpreter.
+    pub specialize_f64: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            specialize_f64: true,
+        }
+    }
+}
+
 impl Program {
     /// Lowers an SDFG into a compiled program. Compilation never fails:
     /// structural defects (cyclic dataflow, missing connectors, never-
@@ -372,10 +548,16 @@ impl Program {
     /// runtime error the tree-walk interpreter would raise, at the same
     /// execution point — a block that never runs never errors.
     pub fn compile(sdfg: &Sdfg) -> Program {
+        Self::compile_with_options(sdfg, &CompileOptions::default())
+    }
+
+    /// [`Program::compile`] with explicit [`CompileOptions`].
+    pub fn compile_with_options(sdfg: &Sdfg, opts: &CompileOptions) -> Program {
         let mut c = Compiler {
             sdfg,
             data: Interner::default(),
             syms: Interner::default(),
+            specialize: opts.specialize_f64,
         };
         // The collective runtime reads `rank` even when unbound.
         c.syms.intern("rank");
@@ -440,6 +622,31 @@ impl Program {
         &self.name
     }
 
+    /// `(total tasklets, f64-specialized tasklets)` across all blocks —
+    /// introspection for benchmarks and tests asserting that the
+    /// monomorphic fast path actually engaged.
+    pub fn tasklet_stats(&self) -> (usize, usize) {
+        fn walk(b: &BlockPlan, n: &mut usize, f: &mut usize) {
+            for s in &b.steps {
+                match s {
+                    Step::Tasklet(tp) => {
+                        *n += 1;
+                        if tp.fast.is_some() {
+                            *f += 1;
+                        }
+                    }
+                    Step::Map(mp) => walk(&mp.body, n, f),
+                    _ => {}
+                }
+            }
+        }
+        let (mut n, mut f) = (0, 0);
+        for st in &self.states {
+            walk(&st.body, &mut n, &mut f);
+        }
+        (n, f)
+    }
+
     /// Creates a reusable executor for this program.
     pub fn executor(&self) -> Executor<'_> {
         Executor::new(self)
@@ -472,10 +679,10 @@ impl Program {
 }
 
 struct Compiler<'s> {
-    #[allow(dead_code)]
     sdfg: &'s Sdfg,
     data: Interner,
     syms: Interner,
+    specialize: bool,
 }
 
 impl Compiler<'_> {
@@ -622,7 +829,15 @@ impl Compiler<'_> {
         let kind = if single {
             MemKind::Single(
                 dims.iter()
-                    .map(|d| (self.idx(&d.start), self.idx(&d.end)))
+                    .map(|d| {
+                        let end = match &d.end {
+                            SymExpr::Add(a, b) if **a == d.start && **b == SymExpr::Int(1) => {
+                                EndCheck::IncOfStart
+                            }
+                            other => EndCheck::Eval(self.idx(other)),
+                        };
+                        (self.idx(&d.start), end)
+                    })
                     .collect(),
             )
         } else {
@@ -809,7 +1024,7 @@ impl Compiler<'_> {
             })
             .collect();
 
-        TaskletPlan {
+        let mut plan = TaskletPlan {
             name: t.name.clone(),
             cover_loc: location_id(&[node_site]),
             lanes,
@@ -821,6 +1036,366 @@ impl Compiler<'_> {
             gather,
             n_out_slots: out_names.len(),
             out_writes,
+            fast: None,
+        };
+        if self.specialize {
+            plan.fast = self.specialize_f64(t, &plan, node_site).map(Box::new);
+        }
+        plan
+    }
+
+    /// Attempts the dtype-monomorphic f64 specialization of a tasklet.
+    ///
+    /// Eligibility is decided by static class inference over the tasklet
+    /// body: every memlet must target a container declared `F64`, every
+    /// plan must be error-free at compile time, and every operation must
+    /// be one whose generic evaluation provably takes the float (or
+    /// boolean) path — at least one float operand for arithmetic and
+    /// comparisons, boolean operands (or float→bool coercion) for logic.
+    /// Integer-typed values (symbols, integer literals) may flow through
+    /// as `f64` because under these rules their one and only `as f64`
+    /// conversion happens at the same abstract moment in both engines; an
+    /// integer-*operated* expression (`i + 1` over two ints, which wraps)
+    /// makes the tasklet ineligible and keeps it on the generic bytecode.
+    fn specialize_f64(
+        &mut self,
+        t: &Tasklet,
+        plan: &TaskletPlan,
+        node_site: u64,
+    ) -> Option<FastTasklet> {
+        // Memlet eligibility: every input/output plan compiled cleanly
+        // and targets a declared-F64 container.
+        let mut guards: Vec<DataId> = Vec::new();
+        let guard = |this: &Compiler<'_>, guards: &mut Vec<DataId>, data: DataId| -> bool {
+            let name = &this.data.names[data.idx()];
+            match this.sdfg.array(name) {
+                Some(desc) if desc.dtype == DType::F64 => {
+                    if !guards.iter().any(|g| g.idx() == data.idx()) {
+                        guards.push(data);
+                    }
+                    true
+                }
+                _ => false,
+            }
+        };
+        let mut inputs = Vec::with_capacity(plan.inputs.len());
+        for ip in &plan.inputs {
+            match ip {
+                InputPlan::Fail(_) => return None,
+                InputPlan::Read { slot, conn, plan } => {
+                    if !guard(self, &mut guards, plan.data) {
+                        return None;
+                    }
+                    inputs.push(FastInput {
+                        slot: *slot,
+                        conn: conn.clone(),
+                        plan: plan.clone(),
+                    });
+                }
+            }
+        }
+        let mut out_writes = Vec::with_capacity(plan.out_writes.len());
+        for ow in &plan.out_writes {
+            match ow {
+                OutWrite::Fail(_) => return None,
+                OutWrite::Write { slot, plan } => {
+                    if !guard(self, &mut guards, plan.data) {
+                        return None;
+                    }
+                    out_writes.push(FastOut {
+                        slot: *slot,
+                        plan: plan.clone(),
+                    });
+                }
+            }
+        }
+        if plan.gather.iter().any(|g| matches!(g, GatherSpec::Fail(_))) {
+            return None;
+        }
+
+        // Named registers: same layout as the generic bytecode (connector
+        // slots first, then statement destinations in first-use order),
+        // each with an inferred class.
+        let mut conn_slots: Vec<String> = vec![String::new(); plan.n_conn_slots];
+        for ip in &inputs {
+            conn_slots[ip.slot].clone_from(&ip.conn);
+        }
+        let mut reg_of: BTreeMap<String, u32> = BTreeMap::new();
+        let mut cls_of: BTreeMap<String, FCls> = BTreeMap::new();
+        for (i, conn) in conn_slots.iter().enumerate() {
+            reg_of.insert(conn.clone(), i as u32);
+            cls_of.insert(conn.clone(), FCls::Float);
+        }
+        let mut next_reg = conn_slots.len() as u32;
+        for stmt in &t.code {
+            reg_of.entry(stmt.dst.clone()).or_insert_with(|| {
+                let r = next_reg;
+                next_reg += 1;
+                r
+            });
+        }
+        let named_count = next_reg;
+
+        let mut defined: Vec<String> = conn_slots.clone();
+        let mut code = Vec::new();
+        let mut max_depth = 0usize;
+        for (si, stmt) in t.code.iter().enumerate() {
+            code.push(FInsn::Stmt {
+                site: location_id(&[node_site, si as u64]),
+            });
+            let (depth, cls) = self.femit(
+                &stmt.value,
+                &mut code,
+                named_count,
+                0,
+                &defined,
+                &cls_of,
+                &reg_of,
+            )?;
+            max_depth = max_depth.max(depth);
+            let dst = reg_of[&stmt.dst];
+            code.push(match cls {
+                FCls::Bool => FInsn::MovB {
+                    dst,
+                    src: named_count,
+                },
+                _ => FInsn::MovF {
+                    dst,
+                    src: named_count,
+                },
+            });
+            match cls_of.get(&stmt.dst) {
+                None => {
+                    cls_of.insert(stmt.dst.clone(), cls);
+                }
+                // A register re-assigned with a different class would need
+                // the two register files to alias; keep it generic.
+                Some(&prev) if prev != cls => return None,
+                Some(_) => {}
+            }
+            if !defined.contains(&stmt.dst) {
+                defined.push(stmt.dst.clone());
+            }
+        }
+
+        // Gathers mirror the generic slot assignment; bool-classed
+        // outputs convert at the gather, exactly where the generic
+        // engine's `Scalar::as_f64` conversion happens (array store).
+        let mut gather = Vec::with_capacity(plan.gather.len());
+        for (g, out) in plan.gather.iter().zip(&t.outputs) {
+            let GatherSpec::Push { slot, reg: _ } = g else {
+                return None;
+            };
+            gather.push(FastGather {
+                slot: *slot,
+                reg: reg_of[out.as_str()],
+                from_bool: cls_of.get(out.as_str()) == Some(&FCls::Bool),
+            });
+        }
+
+        Some(FastTasklet {
+            conn_regs: plan.conn_regs.clone(),
+            inputs,
+            code,
+            n_regs: (named_count as usize) + max_depth + 1,
+            gather,
+            out_writes,
+            guards,
+        })
+    }
+
+    /// Emits fast-path instructions for a scalar expression; the result
+    /// lands in register `base + depth` of the file selected by the
+    /// returned class. Returns `(max scratch depth, class)` or `None`
+    /// when the expression is ineligible.
+    #[allow(clippy::too_many_arguments)]
+    fn femit(
+        &mut self,
+        e: &fuzzyflow_ir::ScalarExpr,
+        code: &mut Vec<FInsn>,
+        base: u32,
+        depth: u32,
+        defined: &[String],
+        cls_of: &BTreeMap<String, FCls>,
+        reg_of: &BTreeMap<String, u32>,
+    ) -> Option<(usize, FCls)> {
+        use fuzzyflow_ir::ScalarExpr as E;
+        let dst = base + depth;
+        // Coerce the value in slot `reg` to the bool file, matching
+        // `Scalar::as_bool` (see [`FInsn::BoolFromF`]).
+        fn ensure_bool(code: &mut Vec<FInsn>, reg: u32, cls: FCls) {
+            if cls != FCls::Bool {
+                code.push(FInsn::BoolFromF { reg });
+            }
+        }
+        match e {
+            E::Const(c) => {
+                let cls = match c {
+                    Scalar::F64(v) => {
+                        code.push(FInsn::ConstF { dst, val: *v });
+                        FCls::Float
+                    }
+                    Scalar::I64(v) => {
+                        code.push(FInsn::ConstF {
+                            dst,
+                            val: *v as f64,
+                        });
+                        FCls::Int
+                    }
+                    Scalar::I32(v) => {
+                        code.push(FInsn::ConstF {
+                            dst,
+                            val: *v as f64,
+                        });
+                        FCls::Int
+                    }
+                    Scalar::Bool(v) => {
+                        code.push(FInsn::ConstB { dst, val: *v });
+                        FCls::Bool
+                    }
+                    // F32 would need dtype-preserving round trips.
+                    Scalar::F32(_) => return None,
+                };
+                Some((depth as usize, cls))
+            }
+            E::Ref(name) => {
+                if defined.iter().any(|d| d == name) {
+                    let cls = cls_of[name.as_str()];
+                    let src = reg_of[name.as_str()];
+                    code.push(match cls {
+                        FCls::Bool => FInsn::MovB { dst, src },
+                        _ => FInsn::MovF { dst, src },
+                    });
+                    Some((depth as usize, cls))
+                } else {
+                    code.push(FInsn::LoadSymF {
+                        dst,
+                        sym: SymId(self.syms.intern(name)),
+                    });
+                    Some((depth as usize, FCls::Int))
+                }
+            }
+            E::Bin(op, a, b) => {
+                let (da, ca) = self.femit(a, code, base, depth, defined, cls_of, reg_of)?;
+                let (db, cb) = self.femit(b, code, base, depth + 1, defined, cls_of, reg_of)?;
+                let cls = match op {
+                    BinOp::And | BinOp::Or => {
+                        ensure_bool(code, dst, ca);
+                        ensure_bool(code, dst + 1, cb);
+                        code.push(match op {
+                            BinOp::And => FInsn::AndB {
+                                dst,
+                                a: dst,
+                                b: dst + 1,
+                            },
+                            _ => FInsn::OrB {
+                                dst,
+                                a: dst,
+                                b: dst + 1,
+                            },
+                        });
+                        FCls::Bool
+                    }
+                    // `Pow` always takes the float path; the others do so
+                    // only with at least one float operand (two ints would
+                    // be wrapping integer arithmetic — ineligible).
+                    _ => {
+                        if ca == FCls::Bool || cb == FCls::Bool {
+                            return None;
+                        }
+                        if *op != BinOp::Pow && ca != FCls::Float && cb != FCls::Float {
+                            return None;
+                        }
+                        code.push(FInsn::BinF {
+                            op: *op,
+                            dst,
+                            a: dst,
+                            b: dst + 1,
+                        });
+                        FCls::Float
+                    }
+                };
+                Some((da.max(db), cls))
+            }
+            E::Cmp(op, a, b) => {
+                let (da, ca) = self.femit(a, code, base, depth, defined, cls_of, reg_of)?;
+                let (db, cb) = self.femit(b, code, base, depth + 1, defined, cls_of, reg_of)?;
+                // Two integer operands would compare as `i64` in the
+                // generic engine; the float compare is lossy past 2^53.
+                if ca == FCls::Bool || cb == FCls::Bool {
+                    return None;
+                }
+                if ca != FCls::Float && cb != FCls::Float {
+                    return None;
+                }
+                code.push(FInsn::CmpF {
+                    op: *op,
+                    dst,
+                    a: dst,
+                    b: dst + 1,
+                });
+                Some((da.max(db), FCls::Bool))
+            }
+            E::Un(op, a) => {
+                let (da, ca) = self.femit(a, code, base, depth, defined, cls_of, reg_of)?;
+                match op {
+                    UnOp::Not => {
+                        ensure_bool(code, dst, ca);
+                        code.push(FInsn::NotB { dst, a: dst });
+                        Some((da, FCls::Bool))
+                    }
+                    UnOp::Neg | UnOp::Abs => {
+                        // Integer neg/abs wrap in the generic engine.
+                        if ca != FCls::Float {
+                            return None;
+                        }
+                        code.push(FInsn::UnF {
+                            op: *op,
+                            dst,
+                            a: dst,
+                        });
+                        Some((da, FCls::Float))
+                    }
+                    _ => {
+                        // Math intrinsics always take the float path.
+                        if ca == FCls::Bool {
+                            return None;
+                        }
+                        code.push(FInsn::UnF {
+                            op: *op,
+                            dst,
+                            a: dst,
+                        });
+                        Some((da, FCls::Float))
+                    }
+                }
+            }
+            E::Select(c, a, b) => {
+                let (dc, cc) = self.femit(c, code, base, depth, defined, cls_of, reg_of)?;
+                ensure_bool(code, dst, cc);
+                code.push(FInsn::CoverSel { cond: dst });
+                let jump_else = code.len();
+                code.push(FInsn::JumpIfFalse {
+                    cond: dst,
+                    target: 0,
+                });
+                let (da, ca) = self.femit(a, code, base, depth, defined, cls_of, reg_of)?;
+                let jump_end = code.len();
+                code.push(FInsn::Jump { target: 0 });
+                let else_at = code.len() as u32;
+                let (db, cb) = self.femit(b, code, base, depth, defined, cls_of, reg_of)?;
+                let end_at = code.len() as u32;
+                if ca != cb {
+                    return None;
+                }
+                if let FInsn::JumpIfFalse { target, .. } = &mut code[jump_else] {
+                    *target = else_at;
+                }
+                if let FInsn::Jump { target } = &mut code[jump_end] {
+                    *target = end_at;
+                }
+                Some((dc.max(da).max(db), ca))
+            }
         }
     }
 
@@ -1042,6 +1617,11 @@ pub struct Executor<'p> {
     lib_dims: Vec<Vec<i64>>,
     dims_buf: Vec<ConcreteRange>,
     point: Vec<i64>,
+    // Fast-path scratch (raw f64 / bool register files and buffers).
+    fin_vals: Vec<Vec<f64>>,
+    fout_vals: Vec<Vec<f64>>,
+    regs_f: Vec<f64>,
+    regs_b: Vec<bool>,
 }
 
 impl<'p> Executor<'p> {
@@ -1061,6 +1641,10 @@ impl<'p> Executor<'p> {
             lib_dims: Vec::new(),
             dims_buf: Vec::new(),
             point: Vec::new(),
+            fin_vals: Vec::new(),
+            fout_vals: Vec::new(),
+            regs_f: Vec::new(),
+            regs_b: Vec::new(),
         }
     }
 
@@ -1396,6 +1980,11 @@ impl<'p> Executor<'p> {
     }
 
     fn exec_tasklet(&mut self, tp: &'p TaskletPlan, ctx: &mut RunCtx<'_>) -> Result<(), ExecError> {
+        if let Some(fp) = &tp.fast {
+            if self.fast_guards_hold(&fp.guards) {
+                return self.exec_tasklet_fast(tp, fp, ctx);
+            }
+        }
         let mut in_vals = std::mem::take(&mut self.in_vals);
         let mut out_vals = std::mem::take(&mut self.out_vals);
         let mut regs = std::mem::take(&mut self.regs);
@@ -1529,6 +2118,418 @@ impl<'p> Executor<'p> {
             pc += 1;
         }
         Ok(())
+    }
+
+    // ----- monomorphic f64 fast path ------------------------------------
+
+    /// True when every container the fast path touches is live with the
+    /// `F64` dtype the specialization assumed. A failed guard routes the
+    /// whole node through the generic interpreter, which then produces
+    /// the exact generic behavior (including `UnknownData` errors or
+    /// non-f64 semantics for caller-substituted buffers).
+    fn fast_guards_hold(&self, guards: &[DataId]) -> bool {
+        guards.iter().all(|d| {
+            self.live[d.idx()]
+                && matches!(&self.arrays[d.idx()], Some(a) if a.dtype() == DType::F64)
+        })
+    }
+
+    fn exec_tasklet_fast(
+        &mut self,
+        tp: &'p TaskletPlan,
+        fp: &'p FastTasklet,
+        ctx: &mut RunCtx<'_>,
+    ) -> Result<(), ExecError> {
+        let mut fin = std::mem::take(&mut self.fin_vals);
+        let mut fout = std::mem::take(&mut self.fout_vals);
+        let mut regs_f = std::mem::take(&mut self.regs_f);
+        let mut regs_b = std::mem::take(&mut self.regs_b);
+        if fin.len() < tp.n_conn_slots {
+            fin.resize_with(tp.n_conn_slots, Vec::new);
+        }
+        if fout.len() < tp.n_out_slots {
+            fout.resize_with(tp.n_out_slots, Vec::new);
+        }
+        if regs_f.len() < fp.n_regs {
+            regs_f.resize(fp.n_regs, 0.0);
+        }
+        if regs_b.len() < fp.n_regs {
+            regs_b.resize(fp.n_regs, false);
+        }
+        let res = self.exec_tasklet_fast_inner(
+            tp,
+            fp,
+            ctx,
+            &mut fin,
+            &mut fout,
+            &mut regs_f,
+            &mut regs_b,
+        );
+        self.fin_vals = fin;
+        self.fout_vals = fout;
+        self.regs_f = regs_f;
+        self.regs_b = regs_b;
+        res
+    }
+
+    /// Mirrors [`Executor::exec_tasklet_inner`] step for step (gather in
+    /// memlet order with volume checks, lane loop, output delivery in
+    /// memlet order) on raw `f64` values.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_tasklet_fast_inner(
+        &mut self,
+        tp: &'p TaskletPlan,
+        fp: &'p FastTasklet,
+        ctx: &mut RunCtx<'_>,
+        fin: &mut [Vec<f64>],
+        fout: &mut [Vec<f64>],
+        regs_f: &mut [f64],
+        regs_b: &mut [bool],
+    ) -> Result<(), ExecError> {
+        for ip in &fp.inputs {
+            let buf = &mut fin[ip.slot];
+            buf.clear();
+            self.read_plan_f64(&ip.plan, ctx, buf, &tp.name)?;
+            if buf.len() != 1 && buf.len() != tp.lanes {
+                return Err(ExecError::VolumeMismatch {
+                    context: format!("tasklet '{}' input '{}'", tp.name, ip.conn),
+                    expected: tp.lanes,
+                    actual: buf.len(),
+                });
+            }
+        }
+        for b in fout[..tp.n_out_slots].iter_mut() {
+            b.clear();
+        }
+        for lane in 0..tp.lanes {
+            for (slot, &reg) in fp.conn_regs.iter().enumerate() {
+                let vals = &fin[slot];
+                regs_f[reg as usize] = if vals.len() == 1 { vals[0] } else { vals[lane] };
+            }
+            self.run_fcode(&fp.code, ctx, regs_f, regs_b, &tp.name)?;
+            for g in &fp.gather {
+                fout[g.slot].push(if g.from_bool {
+                    regs_b[g.reg as usize] as u8 as f64
+                } else {
+                    regs_f[g.reg as usize]
+                });
+            }
+        }
+        for ow in &fp.out_writes {
+            let vals = std::mem::take(&mut fout[ow.slot]);
+            let r = self.write_plan_f64(&ow.plan, ctx, &vals, &tp.name);
+            fout[ow.slot] = vals;
+            r?;
+        }
+        Ok(())
+    }
+
+    fn run_fcode(
+        &mut self,
+        code: &'p [FInsn],
+        ctx: &mut RunCtx<'_>,
+        regs_f: &mut [f64],
+        regs_b: &mut [bool],
+        tasklet: &str,
+    ) -> Result<(), ExecError> {
+        let mut pc = 0usize;
+        let mut site = 0u64;
+        let mut sel = 0u64;
+        while pc < code.len() {
+            match &code[pc] {
+                FInsn::Stmt { site: s } => {
+                    site = *s;
+                    sel = 0;
+                }
+                FInsn::ConstF { dst, val } => regs_f[*dst as usize] = *val,
+                FInsn::ConstB { dst, val } => regs_b[*dst as usize] = *val,
+                FInsn::MovF { dst, src } => regs_f[*dst as usize] = regs_f[*src as usize],
+                FInsn::MovB { dst, src } => regs_b[*dst as usize] = regs_b[*src as usize],
+                FInsn::LoadSymF { dst, sym } => match self.syms[sym.idx()] {
+                    Some(v) => regs_f[*dst as usize] = v as f64,
+                    None => {
+                        return Err(ExecError::UndefinedRef {
+                            tasklet: tasklet.to_string(),
+                            name: self.prog.syms.names[sym.idx()].clone(),
+                        })
+                    }
+                },
+                FInsn::BinF { op, dst, a, b } => {
+                    let (x, y) = (regs_f[*a as usize], regs_f[*b as usize]);
+                    // The float branch of `apply_bin`, monomorphized.
+                    regs_f[*dst as usize] = match op {
+                        BinOp::Add => x + y,
+                        BinOp::Sub => x - y,
+                        BinOp::Mul => x * y,
+                        BinOp::Div => x / y,
+                        BinOp::Mod => x.rem_euclid(y),
+                        BinOp::Min => x.min(y),
+                        BinOp::Max => x.max(y),
+                        BinOp::Pow => x.powf(y),
+                        BinOp::And | BinOp::Or => unreachable!("lowered to AndB/OrB"),
+                    };
+                }
+                FInsn::UnF { op, dst, a } => {
+                    let x = regs_f[*a as usize];
+                    regs_f[*dst as usize] = match op {
+                        UnOp::Neg => -x,
+                        UnOp::Abs => x.abs(),
+                        UnOp::Sqrt => x.sqrt(),
+                        UnOp::Exp => x.exp(),
+                        UnOp::Log => x.ln(),
+                        UnOp::Floor => x.floor(),
+                        UnOp::Ceil => x.ceil(),
+                        UnOp::Tanh => x.tanh(),
+                        UnOp::Not => unreachable!("lowered to NotB"),
+                    };
+                }
+                FInsn::CmpF { op, dst, a, b } => {
+                    let (x, y) = (regs_f[*a as usize], regs_f[*b as usize]);
+                    regs_b[*dst as usize] = match op {
+                        CmpOp::Lt => x < y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Ge => x >= y,
+                        CmpOp::Eq => x == y,
+                        CmpOp::Ne => x != y,
+                    };
+                }
+                FInsn::NotB { dst, a } => regs_b[*dst as usize] = !regs_b[*a as usize],
+                FInsn::AndB { dst, a, b } => {
+                    regs_b[*dst as usize] = regs_b[*a as usize] && regs_b[*b as usize]
+                }
+                FInsn::OrB { dst, a, b } => {
+                    regs_b[*dst as usize] = regs_b[*a as usize] || regs_b[*b as usize]
+                }
+                FInsn::BoolFromF { reg } => regs_b[*reg as usize] = regs_f[*reg as usize] != 0.0,
+                FInsn::CoverSel { cond } => {
+                    let cv = regs_b[*cond as usize];
+                    sel += 1;
+                    ctx.cover_parts(&[site, sel, cv as u64]);
+                }
+                FInsn::JumpIfFalse { cond, target } => {
+                    if !regs_b[*cond as usize] {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                FInsn::Jump { target } => {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+
+    /// True when a concrete subset is a dense, fully in-bounds block of
+    /// the array: full-rank, unit-stride, non-empty in every dimension.
+    /// Such reads/writes are contiguous per row and cannot raise
+    /// out-of-bounds errors, so they take the bulk-copy route.
+    fn dense_in_bounds(dims: &[ConcreteRange], shape: &[i64]) -> bool {
+        dims.len() == shape.len()
+            && dims
+                .iter()
+                .zip(shape)
+                .all(|(d, &s)| d.step == 1 && d.start >= 0 && d.end <= s && d.start < d.end)
+    }
+
+    /// [`Executor::read_plan`] monomorphized to `f64`: same evaluation
+    /// order, same errors, same step ticks — but elements move as raw
+    /// `f64`, and dense in-bounds subsets copy whole contiguous rows
+    /// (`extend_from_slice`, which the compiler vectorizes) instead of
+    /// iterating points. Only called under [`Executor::fast_guards_hold`].
+    fn read_plan_f64(
+        &mut self,
+        plan: &'p MemPlan,
+        ctx: &mut RunCtx<'_>,
+        out: &mut Vec<f64>,
+        context: &str,
+    ) -> Result<(), ExecError> {
+        // Subscripts evaluate first (they need the mutable sym stack);
+        // the array is then borrowed immutably for the copy — no
+        // per-access `Option::take` round trip on the hot trial path.
+        match &plan.kind {
+            MemKind::Single(idxs) => {
+                let mut point = std::mem::take(&mut self.point);
+                point.clear();
+                let evald = (|| -> Result<(), ExecError> {
+                    for (start, end) in idxs {
+                        let v = self.eval_idx(start)?;
+                        self.check_end(v, end)?;
+                        point.push(v);
+                    }
+                    Ok(())
+                })();
+                let res = evald.and_then(|()| {
+                    let arr = self.arrays[plan.data.idx()]
+                        .as_ref()
+                        .expect("guarded slot holds a buffer");
+                    let data = arr.as_f64_slice().expect("guarded dtype is F64");
+                    let off = fuzzyflow_ir::DataDesc::linearize(arr.shape(), &point).ok_or_else(
+                        || ExecError::OutOfBounds {
+                            data: self.prog.data.names[plan.data.idx()].clone(),
+                            point: point.clone(),
+                            shape: arr.shape().to_vec(),
+                        },
+                    )?;
+                    out.push(data[off]);
+                    ctx.tick(1)
+                });
+                self.point = point;
+                res
+            }
+            MemKind::Ranges(rps) => {
+                let mut point = std::mem::take(&mut self.point);
+                let mut dims = std::mem::take(&mut self.dims_buf);
+                dims.clear();
+                let evald = (|| -> Result<(), ExecError> {
+                    for rp in rps {
+                        let r = self.eval_range(rp)?;
+                        dims.push(r);
+                    }
+                    Ok(())
+                })();
+                let res = evald.and_then(|()| {
+                    let arr = self.arrays[plan.data.idx()]
+                        .as_ref()
+                        .expect("guarded slot holds a buffer");
+                    let data = arr.as_f64_slice().expect("guarded dtype is F64");
+                    if Self::dense_in_bounds(&dims, arr.shape()) {
+                        for_each_dense_row(&dims, arr.shape(), &mut point, |off, len| {
+                            out.extend_from_slice(&data[off..off + len]);
+                        });
+                    } else {
+                        iter_points(&dims, &mut point, |p| {
+                            let off = fuzzyflow_ir::DataDesc::linearize(arr.shape(), p)
+                                .ok_or_else(|| ExecError::OutOfBounds {
+                                    data: self.prog.data.names[plan.data.idx()].clone(),
+                                    point: p.to_vec(),
+                                    shape: arr.shape().to_vec(),
+                                })?;
+                            out.push(data[off]);
+                            Ok(())
+                        })?;
+                    }
+                    if out.is_empty() {
+                        return Err(ExecError::VolumeMismatch {
+                            context: context.to_string(),
+                            expected: 1,
+                            actual: 0,
+                        });
+                    }
+                    ctx.tick(out.len() as u64)
+                });
+                self.point = point;
+                self.dims_buf = dims;
+                res
+            }
+        }
+    }
+
+    /// [`Executor::write_plan`] monomorphized to `f64`: identical error
+    /// order (symbolic evaluation, volume, tick, bounds), WCR combined
+    /// with the float path of `combine_wcr`, dense in-bounds no-WCR
+    /// subsets stored as contiguous row copies.
+    fn write_plan_f64(
+        &mut self,
+        plan: &'p MemPlan,
+        ctx: &mut RunCtx<'_>,
+        vals: &[f64],
+        context: &str,
+    ) -> Result<(), ExecError> {
+        let mut point = std::mem::take(&mut self.point);
+        let mut dims = std::mem::take(&mut self.dims_buf);
+        // Subscripts evaluate first (mutable sym stack), then the array
+        // is borrowed for the store; the program reference is copied out
+        // so container names stay reachable alongside the buffer borrow.
+        let prog = self.prog;
+        let res = (|| -> Result<(), ExecError> {
+            let volume = match &plan.kind {
+                MemKind::Single(idxs) => {
+                    point.clear();
+                    for (start, end) in idxs {
+                        let v = self.eval_idx(start)?;
+                        self.check_end(v, end)?;
+                        point.push(v);
+                    }
+                    1usize
+                }
+                MemKind::Ranges(rps) => {
+                    dims.clear();
+                    for rp in rps {
+                        let r = self.eval_range(rp)?;
+                        dims.push(r);
+                    }
+                    dims.iter().map(|d| d.len()).product()
+                }
+            };
+            if volume != vals.len() {
+                return Err(ExecError::VolumeMismatch {
+                    context: context.to_string(),
+                    expected: volume,
+                    actual: vals.len(),
+                });
+            }
+            ctx.tick(volume as u64)?;
+            let i = plan.data.idx();
+            let name = &prog.data.names[i];
+            let arr = self.arrays[i]
+                .as_mut()
+                .expect("guarded slot holds a buffer");
+            let (shape, data) = arr.as_f64_parts_mut().expect("guarded dtype is F64");
+            let combine = |old: f64, new: f64| -> f64 {
+                match plan.wcr {
+                    None => new,
+                    Some(Wcr::Sum) => old + new,
+                    Some(Wcr::Prod) => old * new,
+                    Some(Wcr::Max) => old.max(new),
+                    Some(Wcr::Min) => old.min(new),
+                }
+            };
+            match &plan.kind {
+                MemKind::Single(_) => {
+                    let off =
+                        fuzzyflow_ir::DataDesc::linearize(shape, &point).ok_or_else(|| {
+                            ExecError::OutOfBounds {
+                                data: name.clone(),
+                                point: point.clone(),
+                                shape: shape.to_vec(),
+                            }
+                        })?;
+                    data[off] = combine(data[off], vals[0]);
+                    Ok(())
+                }
+                MemKind::Ranges(_) => {
+                    if plan.wcr.is_none() && Self::dense_in_bounds(&dims, shape) {
+                        let mut k = 0usize;
+                        for_each_dense_row(&dims, shape, &mut point, |off, len| {
+                            data[off..off + len].copy_from_slice(&vals[k..k + len]);
+                            k += len;
+                        });
+                        return Ok(());
+                    }
+                    let mut k = 0usize;
+                    iter_points(&dims, &mut point, |p| {
+                        let off = fuzzyflow_ir::DataDesc::linearize(shape, p).ok_or_else(|| {
+                            ExecError::OutOfBounds {
+                                data: name.clone(),
+                                point: p.to_vec(),
+                                shape: shape.to_vec(),
+                            }
+                        })?;
+                        let v = vals[k];
+                        k += 1;
+                        data[off] = combine(data[off], v);
+                        Ok(())
+                    })
+                }
+            }
+        })();
+        self.point = point;
+        self.dims_buf = dims;
+        res
     }
 
     fn exec_library(&mut self, lp: &'p LibraryPlan, ctx: &mut RunCtx<'_>) -> Result<(), ExecError> {
@@ -1687,8 +2688,9 @@ impl<'p> Executor<'p> {
             MemKind::Single(idxs) => {
                 point.clear();
                 for (start, end) in idxs {
-                    point.push(self.eval_idx(start)?);
-                    self.eval_idx(end)?;
+                    let v = self.eval_idx(start)?;
+                    self.check_end(v, end)?;
+                    point.push(v);
                 }
                 let off =
                     fuzzyflow_ir::DataDesc::linearize(arr.shape(), point).ok_or_else(|| {
@@ -1763,8 +2765,9 @@ impl<'p> Executor<'p> {
             MemKind::Single(idxs) => {
                 point.clear();
                 for (start, end) in idxs {
-                    point.push(self.eval_idx(start)?);
-                    self.eval_idx(end)?;
+                    let v = self.eval_idx(start)?;
+                    self.check_end(v, end)?;
+                    point.push(v);
                 }
                 1usize
             }
@@ -1839,8 +2842,8 @@ impl<'p> Executor<'p> {
         match &plan.kind {
             MemKind::Single(idxs) => {
                 for (start, end) in idxs {
-                    self.eval_idx(start)?;
-                    self.eval_idx(end)?;
+                    let v = self.eval_idx(start)?;
+                    self.check_end(v, end)?;
                     out.push(1);
                 }
             }
@@ -1855,6 +2858,21 @@ impl<'p> Executor<'p> {
     }
 
     // ----- expression evaluation ----------------------------------------
+
+    /// Validates a single-index dimension's end expression given the
+    /// start's value; see [`EndCheck`] for the parity argument.
+    #[inline]
+    fn check_end(&mut self, start: i64, end: &EndCheck) -> Result<(), ExecError> {
+        match end {
+            EndCheck::IncOfStart => {
+                if start == i64::MAX {
+                    return Err(ExecError::Sym(SymError::Overflow));
+                }
+                Ok(())
+            }
+            EndCheck::Eval(ic) => self.eval_idx(ic).map(|_| ()),
+        }
+    }
 
     #[inline]
     fn eval_idx(&mut self, ic: &IdxCode) -> Result<i64, ExecError> {
@@ -1931,6 +2949,50 @@ impl<'p> Executor<'p> {
             CondPlan::And(l, r) => self.eval_cond(l)? && self.eval_cond(r)?,
             CondPlan::Or(l, r) => self.eval_cond(l)? || self.eval_cond(r)?,
         })
+    }
+}
+
+/// Row-major iteration over the contiguous rows of a dense, fully
+/// in-bounds subset (see [`Executor::dense_in_bounds`]): calls
+/// `f(offset, len)` once per innermost-dimension run, in the exact order
+/// [`iter_points`] would visit the same elements. The caller's point
+/// buffer holds the outer coordinates.
+fn for_each_dense_row(
+    dims: &[ConcreteRange],
+    shape: &[i64],
+    point: &mut Vec<i64>,
+    mut f: impl FnMut(usize, usize),
+) {
+    let rank = dims.len();
+    debug_assert!(rank >= 1, "dense subsets are full-rank");
+    let row = &dims[rank - 1];
+    let row_len = (row.end - row.start) as usize;
+    // Row-major strides of the array.
+    let mut strides = vec![1i64; rank];
+    for d in (0..rank - 1).rev() {
+        strides[d] = strides[d + 1] * shape[d + 1];
+    }
+    point.clear();
+    point.extend(dims[..rank - 1].iter().map(|d| d.start));
+    loop {
+        let mut base = row.start * strides[rank - 1];
+        for d in 0..rank - 1 {
+            base += point[d] * strides[d];
+        }
+        f(base as usize, row_len);
+        // Advance the odometer over the outer dimensions.
+        let mut d = rank - 1;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            point[d] += 1;
+            if point[d] < dims[d].end {
+                break;
+            }
+            point[d] = dims[d].start;
+        }
     }
 }
 
@@ -2034,4 +3096,146 @@ fn eval_sym_ops(
         }
     }
     Ok(stack.pop().expect("expression leaves one value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyflow_ir::{sym, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymRange, Tasklet};
+
+    /// `(total tasklets, specialized tasklets)` across all blocks.
+    fn count_fast(p: &Program) -> (usize, usize) {
+        fn walk(b: &BlockPlan, n: &mut usize, f: &mut usize) {
+            for s in &b.steps {
+                match s {
+                    Step::Tasklet(tp) => {
+                        *n += 1;
+                        if tp.fast.is_some() {
+                            *f += 1;
+                        }
+                    }
+                    Step::Map(mp) => walk(&mp.body, n, f),
+                    _ => {}
+                }
+            }
+        }
+        let (mut n, mut f) = (0, 0);
+        for st in &p.states {
+            walk(&st.body, &mut n, &mut f);
+        }
+        (n, f)
+    }
+
+    fn mapped(body: ScalarExpr) -> Sdfg {
+        let mut b = SdfgBuilder::new("spec");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let o = df.access("B");
+            let body = body.clone();
+            let m = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                move |mb| {
+                    let a = mb.access("A");
+                    let o = mb.access("B");
+                    let t = mb.tasklet(Tasklet::simple("t", vec!["x"], "y", body.clone()));
+                    mb.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    mb.write(
+                        t,
+                        o,
+                        Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
+                },
+            );
+            df.auto_wire(m, &[a], &[o]);
+        });
+        b.build()
+    }
+
+    #[test]
+    fn eligible_f64_tasklets_are_specialized() {
+        // The canonical hot-loop shapes must all take the fast path.
+        for body in [
+            ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
+            ScalarExpr::r("x")
+                .mul(ScalarExpr::f64(2.0))
+                .add(ScalarExpr::r("i")),
+            ScalarExpr::r("x").div(ScalarExpr::r("N").sqrt()),
+            ScalarExpr::r("x")
+                .lt(ScalarExpr::f64(0.0))
+                .select(ScalarExpr::r("x").neg(), ScalarExpr::r("x")),
+        ] {
+            let p = Program::compile(&mapped(body.clone()));
+            assert_eq!(count_fast(&p), (1, 1), "{body:?} should specialize");
+        }
+    }
+
+    #[test]
+    fn integer_operated_tasklets_stay_generic() {
+        // Integer-integer arithmetic wraps in the generic engine; the
+        // eligibility pass must refuse to lower it to float math.
+        for body in [
+            ScalarExpr::r("i")
+                .add(ScalarExpr::i64(1))
+                .add(ScalarExpr::r("x")),
+            ScalarExpr::r("i")
+                .div(ScalarExpr::i64(2))
+                .add(ScalarExpr::r("x")),
+            ScalarExpr::r("x").add(ScalarExpr::r("i").neg()),
+        ] {
+            let p = Program::compile(&mapped(body.clone()));
+            assert_eq!(count_fast(&p), (1, 0), "{body:?} must stay generic");
+        }
+    }
+
+    #[test]
+    fn non_f64_containers_stay_generic() {
+        let mut b = SdfgBuilder::new("i64io");
+        b.symbol("N");
+        b.array("A", DType::I64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let o = df.access("B");
+            let t = df.tasklet(Tasklet::simple(
+                "t",
+                vec!["x"],
+                "y",
+                ScalarExpr::r("x").mul(ScalarExpr::f64(1.5)),
+            ));
+            df.read(
+                a,
+                t,
+                Memlet::new("A", Subset::at(vec![fuzzyflow_ir::SymExpr::Int(0)])).to_conn("x"),
+            );
+            df.write(
+                t,
+                o,
+                Memlet::new("B", Subset::at(vec![fuzzyflow_ir::SymExpr::Int(0)])).from_conn("y"),
+            );
+        });
+        let p = Program::compile(&b.build());
+        assert_eq!(count_fast(&p), (1, 0));
+    }
+
+    #[test]
+    fn specialization_can_be_disabled() {
+        let p = Program::compile_with_options(
+            &mapped(ScalarExpr::r("x").mul(ScalarExpr::f64(2.0))),
+            &CompileOptions {
+                specialize_f64: false,
+            },
+        );
+        assert_eq!(count_fast(&p), (1, 0));
+    }
 }

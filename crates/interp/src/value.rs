@@ -180,6 +180,26 @@ impl ArrayValue {
         }
     }
 
+    /// Borrows the raw element buffer when the dtype is `F64` — the
+    /// compiled engine's monomorphic fast path reads through this instead
+    /// of boxing every element into a [`Scalar`].
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        match &self.data {
+            Data::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows the shape and raw element buffer together when the
+    /// dtype is `F64` (split borrow: the fast path linearizes against the
+    /// shape while writing through the buffer).
+    pub fn as_f64_parts_mut(&mut self) -> Option<(&[i64], &mut [f64])> {
+        match &mut self.data {
+            Data::F64(v) => Some((&self.shape, v)),
+            _ => None,
+        }
+    }
+
     /// View as `f64` values (copying). Convenience for assertions.
     pub fn to_f64_vec(&self) -> Vec<f64> {
         (0..self.len()).map(|i| self.get(i).as_f64()).collect()

@@ -12,7 +12,8 @@
 use fuzzyflow_interp::coverage::MAP_SIZE;
 use fuzzyflow_interp::value::GARBAGE_BITS;
 use fuzzyflow_interp::{
-    run_with_tree_walk, ArrayValue, CoverageMap, ExecError, ExecOptions, ExecState, Program,
+    run_with_tree_walk, ArrayValue, CompileOptions, CoverageMap, ExecError, ExecOptions, ExecState,
+    Program,
 };
 use fuzzyflow_ir::{
     sym, DType, LibraryOp, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, Storage, Subset,
@@ -280,8 +281,11 @@ fn input_for(cfg: &Cfg) -> ExecState {
     st
 }
 
-/// Runs both engines on identical inputs and asserts bit-identical
-/// results, final states and coverage. Returns the shared outcome.
+/// Runs all three engines — the tree walk, the generic compiled bytecode
+/// (`specialize_f64 = false`) and the default compiled program with the
+/// monomorphic f64 fast path — on identical inputs, asserting
+/// bit-identical results, final states and coverage. Returns the shared
+/// outcome.
 fn assert_engines_agree(p: &Sdfg, input: &ExecState, max_steps: u64) -> Result<(), ExecError> {
     let opts = ExecOptions { max_steps };
 
@@ -297,15 +301,35 @@ fn assert_engines_agree(p: &Sdfg, input: &ExecState, max_steps: u64) -> Result<(
     assert_eq!(tree_res, comp_res, "engine results diverge");
     assert_states_bit_identical(&tree_state, &comp_state);
 
+    let generic = Program::compile_with_options(
+        p,
+        &CompileOptions {
+            specialize_f64: false,
+        },
+    );
+    let mut gen_state = input.clone();
+    let mut gen_cov = CoverageMap::new();
+    let gen_res = generic.run_with(&mut gen_state, &opts, None, Some(&mut gen_cov));
+    assert_eq!(tree_res, gen_res, "generic bytecode diverges");
+    assert_states_bit_identical(&tree_state, &gen_state);
+
     let mut tree_virgin = [0u8; MAP_SIZE];
     let mut comp_virgin = [0u8; MAP_SIZE];
+    let mut gen_virgin = [0u8; MAP_SIZE];
     tree_cov.merge_into(&mut tree_virgin);
     comp_cov.merge_into(&mut comp_virgin);
+    gen_cov.merge_into(&mut gen_virgin);
     assert!(
         tree_virgin[..] == comp_virgin[..],
         "coverage maps diverge (tree {} edges, compiled {} edges)",
         tree_cov.edges_hit(),
         comp_cov.edges_hit()
+    );
+    assert!(
+        tree_virgin[..] == gen_virgin[..],
+        "generic coverage map diverges ({} vs {} edges)",
+        tree_cov.edges_hit(),
+        gen_cov.edges_hit()
     );
 
     // A reused executor must behave exactly like a fresh one (the arena
@@ -513,6 +537,254 @@ fn overflow_error_parity_in_subscripts() {
         // enough that a careless lowering diverges; agreement is the
         // assertion, the concrete outcome is free to be Ok or Err.
         let _ = res;
+    }
+}
+
+// ----- f64 fast-path numeric edges -------------------------------------
+
+/// `B[i] = op(A[i])` over a 1-D map, for an arbitrary per-element body —
+/// the canonical fast-path-eligible shape.
+fn elementwise(body: ScalarExpr) -> Sdfg {
+    let mut b = SdfgBuilder::new("edge");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &["N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let body = body.clone();
+        let m = df.map(
+            &["i"],
+            vec![SymRange::full(sym("N"))],
+            Schedule::Parallel,
+            move |mb| {
+                let a = mb.access("A");
+                let o = mb.access("B");
+                let t = mb.tasklet(Tasklet::simple("t", vec!["x"], "y", body.clone()));
+                mb.read(
+                    a,
+                    t,
+                    Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                );
+                mb.write(
+                    t,
+                    o,
+                    Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                );
+            },
+        );
+        df.auto_wire(m, &[a], &[o]);
+    });
+    b.build()
+}
+
+fn state_with_f64(vals: &[f64]) -> ExecState {
+    let mut st = ExecState::new();
+    st.bind("N", vals.len() as i64);
+    st.set_array("A", ArrayValue::from_f64(vec![vals.len() as i64], vals));
+    st
+}
+
+/// Satellite acceptance: NaN payloads must propagate bit-identically
+/// through the fast path — division, Euclidean remainder, min/max (whose
+/// `f64::max` NaN behavior differs from IEEE `maxNum`), sqrt of negative
+/// numbers, and select conditions on NaN (`NaN != 0.0` is true).
+#[test]
+fn fast_path_nan_propagation_parity() {
+    let nan = f64::NAN;
+    let inputs = [nan, -nan, 1.0, f64::INFINITY, -f64::INFINITY, 0.0, -2.5];
+    let bodies = [
+        ScalarExpr::r("x").div(ScalarExpr::f64(0.0)),
+        ScalarExpr::f64(0.0).div(ScalarExpr::r("x")),
+        ScalarExpr::r("x").sub(ScalarExpr::r("x")),
+        ScalarExpr::Bin(
+            fuzzyflow_ir::BinOp::Mod,
+            Box::new(ScalarExpr::r("x")),
+            Box::new(ScalarExpr::f64(0.0)),
+        ),
+        ScalarExpr::r("x").min(ScalarExpr::f64(1.0)),
+        ScalarExpr::r("x").max(ScalarExpr::f64(1.0)),
+        ScalarExpr::r("x").sqrt(),
+        ScalarExpr::r("x")
+            .lt(ScalarExpr::f64(0.0))
+            .select(ScalarExpr::r("x").neg(), ScalarExpr::r("x")),
+        ScalarExpr::Select(
+            Box::new(ScalarExpr::r("x")),
+            Box::new(ScalarExpr::f64(1.0)),
+            Box::new(ScalarExpr::f64(2.0)),
+        ),
+    ];
+    for body in bodies {
+        let p = elementwise(body.clone());
+        let res = assert_engines_agree(&p, &state_with_f64(&inputs), 1_000_000);
+        assert!(res.is_ok(), "{body:?}: {res:?}");
+    }
+}
+
+/// Satellite acceptance: signed zeros must survive the fast path exactly
+/// — `-0.0` differs from `0.0` only in its bit pattern, which the
+/// bit-identical state comparison in `assert_engines_agree` checks.
+#[test]
+fn fast_path_signed_zero_parity() {
+    let inputs = [0.0, -0.0, 1.0, -1.0];
+    let bodies = [
+        ScalarExpr::r("x").neg(),
+        ScalarExpr::r("x").mul(ScalarExpr::f64(-0.0)),
+        ScalarExpr::r("x").add(ScalarExpr::f64(-0.0)),
+        ScalarExpr::r("x").min(ScalarExpr::f64(0.0)),
+        ScalarExpr::r("x").max(ScalarExpr::f64(-0.0)),
+        // `-0.0 == 0.0` is true: the select must take the then-branch and
+        // record the same coverage.
+        ScalarExpr::Cmp(
+            fuzzyflow_ir::CmpOp::Eq,
+            Box::new(ScalarExpr::r("x")),
+            Box::new(ScalarExpr::f64(0.0)),
+        )
+        .select(ScalarExpr::f64(7.0), ScalarExpr::r("x")),
+    ];
+    for body in bodies {
+        let p = elementwise(body.clone());
+        let res = assert_engines_agree(&p, &state_with_f64(&inputs), 1_000_000);
+        assert!(res.is_ok(), "{body:?}: {res:?}");
+        // Spot-check that negating preserves the sign bit end to end.
+        if body == ScalarExpr::r("x").neg() {
+            let prog = Program::compile(&p);
+            let mut st = state_with_f64(&inputs);
+            prog.run(&mut st).unwrap();
+            let b = st.array("B").unwrap();
+            assert_eq!(b.get(0).as_f64().to_bits(), (-0.0f64).to_bits());
+            assert_eq!(b.get(1).as_f64().to_bits(), 0.0f64.to_bits());
+        }
+    }
+}
+
+/// Satellite acceptance: i64 extremes must behave exactly as
+/// `run_tree_walk`. Two regimes matter: expressions that *operate* on two
+/// integers (wrapping `i64` arithmetic — must be rejected by the
+/// eligibility pass and stay on the generic bytecode) and integer values
+/// flowing into float contexts past 2^53 (where the single `as f64`
+/// conversion must happen at the same abstract moment in both engines).
+#[test]
+fn fast_path_i64_overflow_parity_with_tree_walk() {
+    let bodies = [
+        // Integer + integer: the tree walk wraps (i64::MAX + 1 =
+        // i64::MIN); a careless float lowering would produce 2^63.
+        ScalarExpr::r("K")
+            .add(ScalarExpr::i64(1))
+            .add(ScalarExpr::r("x")),
+        // Integer literal * symbol at the i64 edge: wraps to a huge
+        // negative, not -2^64 as f64 math would give.
+        ScalarExpr::r("K")
+            .mul(ScalarExpr::i64(2))
+            .add(ScalarExpr::r("x")),
+        // Integer / integer truncates; float division would not.
+        ScalarExpr::r("K")
+            .div(ScalarExpr::i64(3))
+            .add(ScalarExpr::r("x")),
+        // Integer-integer compare past 2^53: `K` and `K + 1` convert to
+        // the same f64, so a float compare would lie.
+        ScalarExpr::Cmp(
+            fuzzyflow_ir::CmpOp::Lt,
+            Box::new(ScalarExpr::r("K")),
+            Box::new(ScalarExpr::i64(i64::MAX)),
+        )
+        .select(ScalarExpr::r("x"), ScalarExpr::f64(0.0)),
+        // Float context: the symbol converts with one lossy `as f64` in
+        // both engines — eligible, and still bit-identical.
+        ScalarExpr::r("x").add(ScalarExpr::r("K")),
+        ScalarExpr::r("x").mul(ScalarExpr::r("K")),
+    ];
+    for k in [i64::MAX, i64::MIN, (1i64 << 53) + 1, -1] {
+        for body in &bodies {
+            let p = elementwise(body.clone());
+            let mut input = state_with_f64(&[1.0, -3.5, 0.0]);
+            input.bind("K", k);
+            // The assertion is the three-way agreement itself; the
+            // reference outcome is the tree walk's.
+            let res = assert_engines_agree(&p, &input, 1_000_000);
+            let mut tree = input.clone();
+            let tree_res = run_with_tree_walk(&p, &mut tree, &ExecOptions::default(), None, None);
+            assert_eq!(res.is_ok(), tree_res.is_ok(), "K={k} {body:?}");
+        }
+    }
+}
+
+/// A tasklet that is statically eligible must still fall back to the
+/// generic interpreter when the caller substitutes a non-f64 buffer for a
+/// declared-F64 container at runtime (the dtype guard).
+#[test]
+fn fast_path_runtime_dtype_guard_falls_back() {
+    let p = elementwise(ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)));
+    // An I64 payload in the declared-F64 container: the tree walk reads
+    // I64 scalars (integer semantics); the compiled engine must match.
+    let mut st = ExecState::new();
+    st.bind("N", 3);
+    let mut arr = ArrayValue::zeros(DType::I64, vec![3]);
+    for (i, v) in [5i64, -7, 40].into_iter().enumerate() {
+        arr.set(i, fuzzyflow_ir::Scalar::I64(v));
+    }
+    st.set_array("A", arr);
+    let res = assert_engines_agree(&p, &st, 1_000_000);
+    assert!(res.is_ok(), "{res:?}");
+}
+
+/// Strided and multi-row reads must agree between the dense bulk-copy
+/// route, the per-element route and the tree walk — including the
+/// out-of-bounds error when a row hangs over the edge.
+#[test]
+fn fast_path_bulk_copy_parity() {
+    use fuzzyflow_ir::SymExpr;
+    // B[0:N] = A[0:N] via a single full-subset lane tasklet is covered by
+    // the proptest; here exercise a 2-D dense block and an OOB variant.
+    for (rows, cols, oob) in [(3i64, 4i64, false), (3, 4, true)] {
+        let mut b = SdfgBuilder::new("bulk");
+        b.array("A", DType::F64, &["3", "4"]);
+        b.array("B", DType::F64, &["3", "4"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let o = df.access("B");
+            let lanes = (rows * cols) as u32;
+            let mut t = Tasklet::simple("cp", vec!["x"], "y", ScalarExpr::r("x"));
+            t.lanes = lanes;
+            let t = df.tasklet(t);
+            let hi = if oob {
+                SymExpr::Int(cols + 1)
+            } else {
+                SymExpr::Int(cols)
+            };
+            df.read(
+                a,
+                t,
+                Memlet::new(
+                    "A",
+                    Subset::new(vec![
+                        SymRange::span(SymExpr::Int(0), SymExpr::Int(rows)),
+                        SymRange::span(SymExpr::Int(0), hi),
+                    ]),
+                )
+                .to_conn("x"),
+            );
+            df.write(
+                t,
+                o,
+                Memlet::new(
+                    "B",
+                    Subset::new(vec![
+                        SymRange::span(SymExpr::Int(0), SymExpr::Int(rows)),
+                        SymRange::span(SymExpr::Int(0), SymExpr::Int(cols)),
+                    ]),
+                )
+                .from_conn("y"),
+            );
+        });
+        let p = b.build();
+        let mut input = ExecState::new();
+        let vals: Vec<f64> = (0..12).map(|i| i as f64 + 0.5).collect();
+        input.set_array("A", ArrayValue::from_f64(vec![3, 4], &vals));
+        let res = assert_engines_agree(&p, &input, 1_000_000);
+        assert_eq!(res.is_err(), oob, "oob={oob}: {res:?}");
     }
 }
 
