@@ -166,12 +166,14 @@ fn main() {
         concat!(
             "{{\n",
             "  \"bench\": \"exec_engine\",\n",
+            "  \"config\": {},\n",
             "  \"trials_per_measurement\": {},\n",
             "  \"mha\": {{\"tree_walk_us_per_trial\": {:.3}, \"compiled_us_per_trial\": {:.3}, \"speedup\": {:.3}}},\n",
             "  \"sddmm\": {{\"tree_walk_us_per_trial\": {:.3}, \"compiled_us_per_trial\": {:.3}, \"speedup\": {:.3}}},\n",
             "  \"difftester_mha_100_trials\": {{\"sequential_us\": {:.1}, \"parallel_us\": {:.1}, \"speedup\": {:.3}, \"identical_verdicts\": {}}}\n",
             "}}\n"
         ),
+        fuzzyflow_bench::config_json(trials),
         trials,
         mha_nums.tree_walk_us,
         mha_nums.compiled_us,

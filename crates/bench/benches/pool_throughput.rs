@@ -174,18 +174,28 @@ fn main() {
 
     let generic_opts = CompileOptions {
         specialize_f64: false,
+        ..Default::default()
     };
     let orig_gen = Program::compile_with_options(&mha_cut.sdfg, &generic_opts);
     let trans_gen = Program::compile_with_options(&mha_trans, &generic_opts);
     let orig_fast = Program::compile(&mha_cut.sdfg);
     let trans_fast = Program::compile(&mha_trans);
-    let (orig_total, orig_spec) = orig_fast.tasklet_stats();
-    let (trans_total, trans_spec) = trans_fast.tasklet_stats();
+    let orig_stats = orig_fast.tasklet_stats();
+    let trans_stats = trans_fast.tasklet_stats();
     row(
         "MHA cutout tasklets specialized (orig / transformed)",
-        format!("{orig_spec}/{orig_total} / {trans_spec}/{trans_total}"),
+        format!(
+            "{}/{} / {}/{}",
+            orig_stats.specialized,
+            orig_stats.tasklets,
+            trans_stats.specialized,
+            trans_stats.tasklets
+        ),
     );
-    assert!(orig_spec > 0, "fast path did not engage on the MHA cutout");
+    assert!(
+        orig_stats.specialized > 0,
+        "fast path did not engage on the MHA cutout"
+    );
 
     let trial_iters = 200;
     let mut oge = orig_gen.executor();
@@ -234,6 +244,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"bench\": \"pool_throughput\",\n",
+            "  \"config\": {},\n",
             "  \"fig6_sweep\": {{\"instances\": {}, \"trials_per_instance\": {}, ",
             "\"per_instance_spawn_us\": {:.1}, \"pooled_us\": {:.1}, \"speedup\": {:.3}, ",
             "\"identical_reports\": true}},\n",
@@ -241,6 +252,7 @@ fn main() {
             "\"fast_us_per_trial\": {:.3}, \"speedup\": {:.3}}}\n",
             "}}\n"
         ),
+        fuzzyflow_bench::config_json(tester().trials),
         pairs.len(),
         tester().trials as i64,
         t_spawn,

@@ -31,6 +31,32 @@ pub fn prepare_pair(
     (cutout, transformed, constraints)
 }
 
+/// Machine/benchmark configuration object embedded in every
+/// `BENCH_*.json` record: thread count, CPU model, OS/arch and the trial
+/// budget. Without it, recorded speedups are not comparable across
+/// machines or runs.
+pub fn config_json(trials: usize) -> String {
+    let threads = fuzzyflow_pool::resolve_threads(0);
+    let cpu = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .map(|l| l.split(':').nth(1).unwrap_or("").trim().to_string())
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let cpu: String = cpu
+        .chars()
+        .map(|c| if c == '"' || c == '\\' { ' ' } else { c })
+        .collect();
+    format!(
+        "{{\"threads\": {threads}, \"cpu\": \"{cpu}\", \"os\": \"{}\", \"arch\": \"{}\", \"trials\": {trials}}}",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+    )
+}
+
 /// Simple wall-clock measurement of repeated runs, reporting
 /// per-iteration time in microseconds.
 pub fn time_per_iter(iters: usize, mut f: impl FnMut()) -> f64 {

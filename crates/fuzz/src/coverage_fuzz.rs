@@ -16,13 +16,14 @@
 //! why the paper measures ~157 trials for AFL++ vs ~1 for gray-box
 //! sampling on the size-dependent vectorization bug.
 
+use crate::diff::{exec_arena_cache, pair_key};
 use crate::rng::Xoshiro256;
 use crate::testcase::TestCase;
 use crate::Verdict;
 use fuzzyflow_cutout::Cutout;
 use fuzzyflow_interp::coverage::MAP_SIZE;
 use fuzzyflow_interp::ArrayValue;
-use fuzzyflow_interp::{CoverageMap, ExecOptions, ExecState, Program};
+use fuzzyflow_interp::{CoverageMap, ExecOptions, ExecState, Executor, ExecutorArena, Program};
 use fuzzyflow_ir::{validate, Bindings, Sdfg};
 use fuzzyflow_pool::{resolve_threads, WorkerPool};
 
@@ -232,15 +233,35 @@ impl CoverageFuzzer {
             };
         }
 
+        // Compile both sides once; the campaign loop only executes, on an
+        // executor pair whose allocations recycle through the per-worker
+        // arena cache (the programs are fresh, so the key never hits —
+        // the win is the reused buffers).
+        let orig_prog = Program::compile(&cutout.sdfg);
+        let trans_prog = Program::compile(transformed);
+        let key = pair_key(&orig_prog, &trans_prog);
+        let (oa, ta) =
+            exec_arena_cache().checkout_or(key, || (ExecutorArena::new(), ExecutorArena::new()));
+        let mut orig_exec = orig_prog.executor_with(oa);
+        let mut trans_exec = trans_prog.executor_with(ta);
+        let report = self.campaign(cutout, seed_bindings, &mut orig_exec, &mut trans_exec);
+        exec_arena_cache().store(key, (orig_exec.into_arena(), trans_exec.into_arena()));
+        report
+    }
+
+    /// The campaign loop of [`CoverageFuzzer::run`], over a prepared
+    /// executor pair.
+    fn campaign(
+        &self,
+        cutout: &Cutout,
+        seed_bindings: &Bindings,
+        orig_exec: &mut Executor<'_>,
+        trans_exec: &mut Executor<'_>,
+    ) -> CoverageReport {
         let mut rng = Xoshiro256::seed_from(self.seed);
         let opts = ExecOptions {
             max_steps: self.max_steps,
         };
-        // Compile both sides once; the campaign loop only executes.
-        let orig_prog = Program::compile(&cutout.sdfg);
-        let trans_prog = Program::compile(transformed);
-        let mut orig_exec = orig_prog.executor();
-        let mut trans_exec = trans_prog.executor();
 
         // Seed input: shipped sizes, deterministic pseudo-random payload.
         let seed_state = {
@@ -355,7 +376,7 @@ impl CoverageFuzzer {
             }
 
             if let Some(mismatch) =
-                orig_exec.compare_on(&trans_exec, &cutout.system_state, self.tolerance)
+                orig_exec.compare_on(trans_exec, &cutout.system_state, self.tolerance)
             {
                 return self.report(
                     Verdict::SemanticChange {
@@ -404,7 +425,9 @@ impl CoverageFuzzer {
         campaigns: &[(&Cutout, &Sdfg, &Bindings)],
         threads: usize,
     ) -> Vec<CoverageReport> {
-        WorkerPool::global().map_indexed(campaigns.len(), resolve_threads(threads), |i| {
+        // One resolution per campaign set, threaded through to the pool.
+        let width = resolve_threads(threads);
+        WorkerPool::global().map_indexed(campaigns.len(), width, |i| {
             let (cutout, transformed, seed_bindings) = campaigns[i];
             self.run(cutout, transformed, seed_bindings)
         })
@@ -531,6 +554,33 @@ mod tests {
                 .map(|r| format!("{r:?}"))
                 .collect();
             assert_eq!(pooled, sequential, "threads = {threads}");
+        }
+    }
+
+    /// Regression for resolve-once threading plus arena recycling:
+    /// repeated `run_many` invocations must report byte-identically.
+    #[test]
+    fn run_many_reports_are_stable_across_repeats() {
+        let (c, transformed) = vectorized_pair();
+        let seed = Bindings::from_pairs([("N", 16)]);
+        let fuzzer = CoverageFuzzer {
+            max_trials: 150,
+            seed: 7,
+            ..Default::default()
+        };
+        let campaigns = [(&c, &transformed, &seed), (&c, &transformed, &seed)];
+        let first: Vec<String> = fuzzer
+            .run_many(&campaigns, 2)
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        for _ in 0..3 {
+            let again: Vec<String> = fuzzer
+                .run_many(&campaigns, 2)
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            assert_eq!(first, again);
         }
     }
 

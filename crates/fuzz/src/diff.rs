@@ -5,10 +5,30 @@ use crate::rng::Xoshiro256;
 use crate::sampler::{sample_state, ValueProfile};
 use crate::testcase::TestCase;
 use fuzzyflow_cutout::Cutout;
-use fuzzyflow_interp::{ExecOptions, ExecState, Program};
+use fuzzyflow_interp::{ExecOptions, ExecState, ExecutorArena, Program};
 use fuzzyflow_ir::{validate, Sdfg};
-use fuzzyflow_pool::{resolve_threads, WorkerPool};
+use fuzzyflow_pool::{resolve_threads, WorkerCache, WorkerPool};
 use std::sync::Mutex;
+
+/// Per-worker cache of executor-arena pairs, keyed by the compiled
+/// `(original, transformed)` program identities. `DiffTester::test` and
+/// `CoverageFuzzer::run` compile fresh programs per call, so their
+/// checkouts land on the *recycled* path: a worker moving to the next
+/// instance (or re-testing one) reuses the previous pair's allocations
+/// instead of constructing executors from scratch — the fig6-sweep
+/// profile shows no per-trial (and almost no per-instance) arena
+/// construction. Exact-key hits serve callers that hold a compiled
+/// [`Program`] across calls, like the distributed runtime.
+pub(crate) fn exec_arena_cache() -> &'static WorkerCache<(ExecutorArena, ExecutorArena)> {
+    static CACHE: std::sync::OnceLock<WorkerCache<(ExecutorArena, ExecutorArena)>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(|| WorkerCache::new(4))
+}
+
+/// Cache key of a compiled program pair.
+pub(crate) fn pair_key(orig: &Program, trans: &Program) -> u64 {
+    orig.id().rotate_left(32) ^ trans.id()
+}
 
 /// Outcome of differentially testing `c` against `T(c)`.
 #[derive(Clone, Debug)]
@@ -231,12 +251,23 @@ impl DiffTester {
         // to complete; `stop_at` only prunes work beyond a known terminal.
         let stop_at = std::sync::atomic::AtomicUsize::new(usize::MAX);
         let parts: Mutex<Vec<Vec<(usize, TrialOutcome)>>> = Mutex::new(Vec::new());
+        let key = pair_key(&orig_prog, &trans_prog);
         pool.parallel_for(
             self.trials,
             width,
             // One reusable executor pair per pool participant, retained
-            // across every trial that participant steals.
-            || (orig_prog.executor(), trans_prog.executor(), Vec::new()),
+            // across every trial that participant steals — and across
+            // *calls*: the arenas come from (and return to) the worker's
+            // cache, so repeat tests and sweep successors reuse them.
+            || {
+                let (oa, ta) = exec_arena_cache()
+                    .checkout_or(key, || (ExecutorArena::new(), ExecutorArena::new()));
+                (
+                    orig_prog.executor_with(oa),
+                    trans_prog.executor_with(ta),
+                    Vec::new(),
+                )
+            },
             |(orig_exec, trans_exec, local), idx| {
                 let trial = idx + 1;
                 if trial > stop_at.load(std::sync::atomic::Ordering::Relaxed) {
@@ -248,7 +279,10 @@ impl DiffTester {
                 }
                 local.push((trial, outcome));
             },
-            |(_, _, local)| parts.lock().expect("trial buffers poisoned").push(local),
+            |(orig_exec, trans_exec, local)| {
+                exec_arena_cache().store(key, (orig_exec.into_arena(), trans_exec.into_arena()));
+                parts.lock().expect("trial buffers poisoned").push(local);
+            },
         );
 
         let mut outcomes: Vec<Option<TrialOutcome>> = Vec::with_capacity(self.trials);
@@ -586,6 +620,32 @@ mod tests {
                 "thread count changed the report for {}",
                 t.name()
             );
+        }
+    }
+
+    /// Regression for the per-worker executor-arena cache: repeated
+    /// `test` calls (cache hits) and sequential/parallel widths must all
+    /// produce byte-identical reports — recycled arenas may never leak
+    /// state between campaigns.
+    #[test]
+    fn cached_arenas_do_not_change_reports() {
+        let (p, _, _) = acc_program();
+        let t = MapTilingOffByOne::new(4);
+        let m = &t.find_matches(&p)[0];
+        let (_, changes) = apply_to_clone(&p, &t, m).unwrap();
+        let ctx = SideEffectContext::with_size_symbols(&["N".to_string()], 64);
+        let c = extract_cutout(&p, &changes, &ctx).unwrap();
+        let translated = fuzzyflow_cutout::translate_match(&c, m).unwrap();
+        let mut transformed = c.sdfg.clone();
+        t.apply(&mut transformed, &translated).unwrap();
+        let cons = derive_constraints(&c, &p);
+        let tester = DiffTester {
+            threads: 1,
+            ..DiffTester::new(40, 999)
+        };
+        let first = format!("{:?}", tester.test(&c, &transformed, &cons));
+        for _ in 0..3 {
+            assert_eq!(first, format!("{:?}", tester.test(&c, &transformed, &cons)));
         }
     }
 

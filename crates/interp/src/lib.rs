@@ -42,5 +42,8 @@ pub use exec::{
     run, run_tree_walk, run_with, run_with_tree_walk, CommHandler, ExecOptions, ExecState,
     StateMismatch,
 };
-pub use program::{CompileOptions, Executor, Program};
+pub use program::{
+    fresh_arena_count, CompileOptions, Executor, ExecutorArena, MapFusionInfo, Program,
+    TaskletStats,
+};
 pub use value::ArrayValue;

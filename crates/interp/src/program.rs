@@ -427,9 +427,182 @@ enum OutWrite {
 #[derive(Clone, Debug)]
 struct MapPlan {
     cover_loc: u64,
+    /// Human-readable scope label (`map[i,j]`) for fusion introspection.
+    label: String,
     params: Vec<SymId>,
     ranges: Vec<RangePlan>,
     body: BlockPlan,
+    /// Whole-scope fused loop kernel, when the body is a single
+    /// f64-specialized tasklet with affine single-index memlets (see
+    /// [`fuse_map`]). The generic plan above stays the complete fallback:
+    /// the kernel only runs when a runtime precheck proves it cannot
+    /// diverge from per-element execution.
+    fused: Option<Box<FusedKernel>>,
+    /// Why the scope did not fuse (compile-time eligibility), for
+    /// [`Program::tasklet_stats`] introspection.
+    fuse_reason: Option<String>,
+}
+
+/// One instruction of a fused kernel's straight-line body: the tasklet's
+/// [`FInsn`] code with statement markers dropped (no selects are allowed,
+/// so there are no per-statement coverage sites) and map-parameter loads
+/// turned into lane-indexed parameter reads.
+#[derive(Clone, Debug)]
+enum FKInsn {
+    ConstF {
+        dst: u32,
+        val: f64,
+    },
+    ConstB {
+        dst: u32,
+        val: bool,
+    },
+    MovF {
+        dst: u32,
+        src: u32,
+    },
+    MovB {
+        dst: u32,
+        src: u32,
+    },
+    /// Outer (non-parameter) symbol: constant across the whole kernel;
+    /// the precheck guarantees it is bound.
+    LoadSymF {
+        dst: u32,
+        sym: SymId,
+    },
+    /// Map parameter of dimension `dim`: varies per lane on the innermost
+    /// dimension, broadcast otherwise.
+    LoadParamF {
+        dst: u32,
+        dim: u32,
+    },
+    BinF {
+        op: BinOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    UnF {
+        op: UnOp,
+        dst: u32,
+        a: u32,
+    },
+    CmpF {
+        op: CmpOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    NotB {
+        dst: u32,
+        a: u32,
+    },
+    AndB {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    OrB {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    BoolFromF {
+        reg: u32,
+    },
+}
+
+/// A variable occurring in a fused access's affine subscript.
+#[derive(Clone, Copy, Debug)]
+enum FusedVar {
+    /// Plain constant term.
+    None,
+    /// Map parameter of dimension `d` — its value range over the
+    /// iteration box is known once the ranges are evaluated.
+    Param(usize),
+    /// Outer symbol — a single runtime value.
+    Outer(SymId),
+}
+
+/// One atom of a fused affine subscript, mirroring [`AffTerm`] (same
+/// left-to-right checked evaluation the interval analysis must prove
+/// error-free).
+#[derive(Clone, Debug)]
+struct FusedTerm {
+    sub: bool,
+    coeff: i64,
+    var: FusedVar,
+}
+
+/// An affine index expression of a fused access, with symbols classified
+/// against the map's parameters.
+#[derive(Clone, Debug)]
+struct FusedIdx {
+    terms: Vec<FusedTerm>,
+}
+
+/// One memlet access of a fused kernel: container plus one affine index
+/// per array dimension, and the end-expressions that must be proven
+/// error-free (the `Eval` variants of [`EndCheck`]).
+#[derive(Clone, Debug)]
+struct FusedAccess {
+    data: DataId,
+    dims: Vec<FusedIdx>,
+    /// End expressions evaluated for errors only in the generic engine;
+    /// the precheck proves they cannot error anywhere in the box.
+    checks: Vec<FusedIdx>,
+    /// Output WCR (always `None` for inputs).
+    wcr: Option<Wcr>,
+}
+
+/// A whole map scope collapsed into a strength-reduced loop kernel.
+///
+/// At runtime the kernel first *prepares*: it evaluates the map ranges,
+/// resolves every symbol the body reads, and runs an exact interval
+/// analysis of every affine subscript over the concrete iteration box.
+/// Only when that analysis proves that no out-of-bounds access, no i64
+/// overflow, no unbound symbol and no step-budget trip can occur anywhere
+/// in the box does the kernel run — hoisted base offsets, per-dimension
+/// linear strides, lane-chunked inner loops. Any doubt falls back to the
+/// generic per-element path, which reproduces errors (and their exact
+/// ordering, partial writes and step counts) by construction.
+#[derive(Clone, Debug)]
+struct FusedKernel {
+    /// The body tasklet's coverage location, recorded once per element
+    /// exactly as the generic engine records it.
+    cover_loc: u64,
+    inputs: Vec<FusedAccess>,
+    /// Destination register per input, aligned with `inputs`; `None` when
+    /// a later input overwrites the same connector slot (the read still
+    /// happens for bounds/step parity, the value is dead).
+    in_regs: Vec<Option<u32>>,
+    outputs: Vec<FusedAccess>,
+    /// `(source register, gathered from the bool file)` per output.
+    out_regs: Vec<(u32, bool)>,
+    code: Vec<FKInsn>,
+    n_regs: usize,
+    /// Containers that must be live with dtype `F64` (same contract as
+    /// [`FastTasklet::guards`]).
+    guards: Vec<DataId>,
+    /// Interpreter steps one element accounts for: map-body entry +
+    /// tasklet + one per input read + one per output write.
+    ticks_per_elem: u64,
+}
+
+/// Fixed lane width of the fused inner loops: wide enough for the
+/// compiler to autovectorize the per-op lane loops, small enough that the
+/// scalar tail stays cheap on short rows.
+const LANES: usize = 8;
+
+/// Outcome of the fused-kernel runtime precheck.
+enum FusedReady {
+    /// Safe to run; carries the total element count.
+    Run(u64),
+    /// The iteration box is empty: the map is a no-op in both engines.
+    ZeroTrip,
+    /// Not provably safe — take the generic per-element path.
+    Fallback,
 }
 
 /// Compiled library node.
@@ -515,6 +688,9 @@ struct EdgePlan {
 #[derive(Clone, Debug)]
 pub struct Program {
     name: String,
+    /// Process-unique identity of this compilation (clones share it), the
+    /// key of the per-worker executor-arena cache.
+    id: u64,
     data: Interner,
     syms: Interner,
     arrays: Vec<ArrayPlan>,
@@ -531,14 +707,46 @@ pub struct CompileOptions {
     /// only exists for benchmarking the specialization win and for
     /// differentially testing the generic interpreter.
     pub specialize_f64: bool,
+    /// Collapse eligible map scopes into fused loop kernels (on by
+    /// default; implies nothing unless `specialize_f64` also holds, since
+    /// fusion requires the f64-specialized tasklet body). Disabling this
+    /// reproduces the PR 3 per-element fast path, which the
+    /// `fused_kernels` bench compares against.
+    pub fuse_maps: bool,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
         CompileOptions {
             specialize_f64: true,
+            fuse_maps: true,
         }
     }
+}
+
+/// Per-tasklet / per-map-scope compilation statistics, for benches and
+/// for workload authors asking why a cutout did not fuse.
+#[derive(Clone, Debug)]
+pub struct TaskletStats {
+    /// Total tasklets across all blocks.
+    pub tasklets: usize,
+    /// Tasklets lowered to the monomorphic f64 fast path.
+    pub specialized: usize,
+    /// Map scopes collapsed into fused loop kernels.
+    pub fused_maps: usize,
+    /// One entry per map scope, in block order.
+    pub maps: Vec<MapFusionInfo>,
+}
+
+/// Fusion eligibility of one map scope.
+#[derive(Clone, Debug)]
+pub struct MapFusionInfo {
+    /// Scope label, e.g. `map[i,j]`.
+    pub label: String,
+    /// Whether the scope compiled to a fused kernel.
+    pub fused: bool,
+    /// Compile-time ineligibility reason when it did not.
+    pub reason: Option<String>,
 }
 
 impl Program {
@@ -558,6 +766,7 @@ impl Program {
             data: Interner::default(),
             syms: Interner::default(),
             specialize: opts.specialize_f64,
+            fuse: opts.fuse_maps,
         };
         // The collective runtime reads `rank` even when unbound.
         c.syms.intern("rank");
@@ -607,8 +816,10 @@ impl Program {
             })
             .collect();
 
+        static NEXT_PROGRAM_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         Program {
             name: sdfg.name.clone(),
+            id: NEXT_PROGRAM_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             data: c.data,
             syms: c.syms,
             arrays,
@@ -622,34 +833,63 @@ impl Program {
         &self.name
     }
 
-    /// `(total tasklets, f64-specialized tasklets)` across all blocks —
-    /// introspection for benchmarks and tests asserting that the
-    /// monomorphic fast path actually engaged.
-    pub fn tasklet_stats(&self) -> (usize, usize) {
-        fn walk(b: &BlockPlan, n: &mut usize, f: &mut usize) {
-            for s in &b.steps {
-                match s {
+    /// Process-unique compilation identity (clones share it). Stable key
+    /// for caches of per-program execution state, e.g. the per-worker
+    /// executor-arena cache in the differential tester.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Compilation statistics: tasklet specialization counts plus, per
+    /// map scope, whether it fused into a loop kernel and why not
+    /// otherwise.
+    pub fn tasklet_stats(&self) -> TaskletStats {
+        fn walk(b: &BlockPlan, s: &mut TaskletStats) {
+            for step in &b.steps {
+                match step {
                     Step::Tasklet(tp) => {
-                        *n += 1;
+                        s.tasklets += 1;
                         if tp.fast.is_some() {
-                            *f += 1;
+                            s.specialized += 1;
                         }
                     }
-                    Step::Map(mp) => walk(&mp.body, n, f),
+                    Step::Map(mp) => {
+                        if mp.fused.is_some() {
+                            s.fused_maps += 1;
+                        }
+                        s.maps.push(MapFusionInfo {
+                            label: mp.label.clone(),
+                            fused: mp.fused.is_some(),
+                            reason: mp.fuse_reason.clone(),
+                        });
+                        walk(&mp.body, s);
+                    }
                     _ => {}
                 }
             }
         }
-        let (mut n, mut f) = (0, 0);
+        let mut s = TaskletStats {
+            tasklets: 0,
+            specialized: 0,
+            fused_maps: 0,
+            maps: Vec::new(),
+        };
         for st in &self.states {
-            walk(&st.body, &mut n, &mut f);
+            walk(&st.body, &mut s);
         }
-        (n, f)
+        s
     }
 
     /// Creates a reusable executor for this program.
     pub fn executor(&self) -> Executor<'_> {
         Executor::new(self)
+    }
+
+    /// Creates an executor over a recycled [`ExecutorArena`] — warm
+    /// buffers from a previous executor (of this or any other program)
+    /// are reused instead of reallocated.
+    pub fn executor_with(&self, arena: ExecutorArena) -> Executor<'_> {
+        Executor::with_arena(self, arena)
     }
 
     /// Compile-once equivalent of [`crate::run`]: executes against the
@@ -683,6 +923,7 @@ struct Compiler<'s> {
     data: Interner,
     syms: Interner,
     specialize: bool,
+    fuse: bool,
 }
 
 impl Compiler<'_> {
@@ -874,24 +1115,38 @@ impl Compiler<'_> {
             match df.graph.node(n) {
                 DfNode::Access(name) => steps.push(Step::Access(DataId(self.data.intern(name)))),
                 DfNode::Tasklet(t) => steps.push(Step::Tasklet(self.tasklet(df, n, t, node_site))),
-                DfNode::Map(m) => steps.push(Step::Map(MapPlan {
-                    cover_loc: location_id(&[node_site]),
-                    params: m
-                        .params
-                        .iter()
-                        .map(|p| SymId(self.syms.intern(p)))
-                        .collect(),
-                    ranges: m
-                        .ranges
-                        .iter()
-                        .map(|r| RangePlan {
-                            start: self.idx(&r.start),
-                            end: self.idx(&r.end),
-                            step: self.idx(&r.step),
-                        })
-                        .collect(),
-                    body: self.block(&m.body, node_site),
-                })),
+                DfNode::Map(m) => {
+                    let mut plan = MapPlan {
+                        cover_loc: location_id(&[node_site]),
+                        label: format!("map[{}]", m.params.join(",")),
+                        params: m
+                            .params
+                            .iter()
+                            .map(|p| SymId(self.syms.intern(p)))
+                            .collect(),
+                        ranges: m
+                            .ranges
+                            .iter()
+                            .map(|r| RangePlan {
+                                start: self.idx(&r.start),
+                                end: self.idx(&r.end),
+                                step: self.idx(&r.step),
+                            })
+                            .collect(),
+                        body: self.block(&m.body, node_site),
+                        fused: None,
+                        fuse_reason: None,
+                    };
+                    if self.fuse {
+                        match fuse_map(&plan) {
+                            Ok(fk) => plan.fused = Some(Box::new(fk)),
+                            Err(reason) => plan.fuse_reason = Some(reason),
+                        }
+                    } else {
+                        plan.fuse_reason = Some("map fusion disabled".into());
+                    }
+                    steps.push(Step::Map(plan));
+                }
                 DfNode::Library(l) => steps.push(Step::Library(self.library(df, n, l, node_site))),
             }
         }
@@ -1561,6 +1816,262 @@ impl Compiler<'_> {
     }
 }
 
+/// True when an index expression mentions any of the given symbols.
+fn idx_mentions(ic: &IdxCode, syms: &[SymId]) -> bool {
+    let hit = |id: SymId| syms.iter().any(|s| s.0 == id.0);
+    match ic {
+        IdxCode::Const(_) => false,
+        IdxCode::Sym(id) => hit(*id),
+        IdxCode::Affine(terms) => terms.iter().any(|t| t.sym.is_some_and(hit)),
+        IdxCode::Code(code) => code.ops.iter().any(|op| match op {
+            SymOp::Load(id) => hit(*id),
+            _ => false,
+        }),
+    }
+}
+
+/// Lowers an affine-classed index code into fused terms, classifying each
+/// symbol as a map parameter or an outer symbol. `Err` carries the
+/// ineligibility reason.
+fn fused_idx(ic: &IdxCode, params: &[SymId]) -> Result<FusedIdx, String> {
+    let var_of = |id: SymId| -> FusedVar {
+        match params.iter().position(|p| p.0 == id.0) {
+            Some(d) => FusedVar::Param(d),
+            None => FusedVar::Outer(id),
+        }
+    };
+    let terms = match ic {
+        IdxCode::Const(c) => vec![FusedTerm {
+            sub: false,
+            coeff: *c,
+            var: FusedVar::None,
+        }],
+        IdxCode::Sym(id) => vec![FusedTerm {
+            sub: false,
+            coeff: 1,
+            var: var_of(*id),
+        }],
+        IdxCode::Affine(terms) => terms
+            .iter()
+            .map(|t| FusedTerm {
+                sub: t.sub,
+                coeff: t.coeff,
+                var: match t.sym {
+                    None => FusedVar::None,
+                    Some(id) => var_of(id),
+                },
+            })
+            .collect(),
+        IdxCode::Code(_) => return Err("non-affine memlet subscript".into()),
+    };
+    Ok(FusedIdx { terms })
+}
+
+/// Lowers a single-index memlet plan into a fused access. Inputs pass
+/// `allow_wcr = false` (read paths ignore WCR anyway).
+fn fused_access(plan: &MemPlan, params: &[SymId], output: bool) -> Result<FusedAccess, String> {
+    let MemKind::Single(idxs) = &plan.kind else {
+        return Err("ranged (multi-element) memlet subset".into());
+    };
+    let mut dims = Vec::with_capacity(idxs.len());
+    let mut checks = Vec::new();
+    for (start, end) in idxs {
+        dims.push(fused_idx(start, params)?);
+        match end {
+            EndCheck::IncOfStart => {}
+            EndCheck::Eval(ic) => checks.push(fused_idx(ic, params)?),
+        }
+    }
+    Ok(FusedAccess {
+        data: plan.data,
+        dims,
+        checks,
+        wcr: if output { plan.wcr } else { None },
+    })
+}
+
+/// Attempts to collapse a compiled map scope into a [`FusedKernel`].
+///
+/// Eligible scopes have: parameter-independent ranges; a body that is
+/// exactly one f64-specialized, single-lane tasklet plus access nodes for
+/// the containers it touches; straight-line specialized code (no
+/// selects); single-index affine memlets; and read/write container sets
+/// that cannot overlap (reads never observe this scope's writes, so
+/// chunked execution is order-equivalent to per-element execution).
+/// Everything else keeps the generic plan, with the reason recorded.
+fn fuse_map(mp: &MapPlan) -> Result<FusedKernel, String> {
+    if let Some(e) = &mp.body.error {
+        return Err(format!("body has a structural error ({e})"));
+    }
+    if mp.params.is_empty() {
+        return Err("map has no parameters".into());
+    }
+    for rp in &mp.ranges {
+        for ic in [&rp.start, &rp.end, &rp.step] {
+            if idx_mentions(ic, &mp.params) {
+                return Err("map range depends on a map parameter".into());
+            }
+        }
+    }
+
+    // Body shape: access nodes + exactly one tasklet.
+    let mut tasklet: Option<&TaskletPlan> = None;
+    let mut access_ids: Vec<DataId> = Vec::new();
+    for step in &mp.body.steps {
+        match step {
+            Step::Access(d) => access_ids.push(*d),
+            Step::Tasklet(tp) => {
+                if tasklet.is_some() {
+                    return Err("more than one tasklet in map body".into());
+                }
+                tasklet = Some(tp);
+            }
+            Step::Map(_) => return Err("nested map in body".into()),
+            Step::Library(_) => return Err("library node in body".into()),
+        }
+    }
+    let tp = tasklet.ok_or_else(|| String::from("no tasklet in map body"))?;
+    let fp = tp
+        .fast
+        .as_ref()
+        .ok_or_else(|| String::from("tasklet is not f64-specialized"))?;
+    if tp.lanes != 1 {
+        return Err(format!("vectorized tasklet (lanes = {})", tp.lanes));
+    }
+
+    // Straight-line code: selects would need per-element branch coverage.
+    let mut code = Vec::with_capacity(fp.code.len());
+    for insn in &fp.code {
+        code.push(match insn {
+            FInsn::Stmt { .. } => continue,
+            FInsn::CoverSel { .. } | FInsn::Jump { .. } | FInsn::JumpIfFalse { .. } => {
+                return Err("control flow (select) in tasklet body".into())
+            }
+            FInsn::ConstF { dst, val } => FKInsn::ConstF {
+                dst: *dst,
+                val: *val,
+            },
+            FInsn::ConstB { dst, val } => FKInsn::ConstB {
+                dst: *dst,
+                val: *val,
+            },
+            FInsn::MovF { dst, src } => FKInsn::MovF {
+                dst: *dst,
+                src: *src,
+            },
+            FInsn::MovB { dst, src } => FKInsn::MovB {
+                dst: *dst,
+                src: *src,
+            },
+            FInsn::LoadSymF { dst, sym } => match mp.params.iter().position(|p| p.0 == sym.0) {
+                Some(d) => FKInsn::LoadParamF {
+                    dst: *dst,
+                    dim: d as u32,
+                },
+                None => FKInsn::LoadSymF {
+                    dst: *dst,
+                    sym: *sym,
+                },
+            },
+            FInsn::BinF { op, dst, a, b } => FKInsn::BinF {
+                op: *op,
+                dst: *dst,
+                a: *a,
+                b: *b,
+            },
+            FInsn::UnF { op, dst, a } => FKInsn::UnF {
+                op: *op,
+                dst: *dst,
+                a: *a,
+            },
+            FInsn::CmpF { op, dst, a, b } => FKInsn::CmpF {
+                op: *op,
+                dst: *dst,
+                a: *a,
+                b: *b,
+            },
+            FInsn::NotB { dst, a } => FKInsn::NotB { dst: *dst, a: *a },
+            FInsn::AndB { dst, a, b } => FKInsn::AndB {
+                dst: *dst,
+                a: *a,
+                b: *b,
+            },
+            FInsn::OrB { dst, a, b } => FKInsn::OrB {
+                dst: *dst,
+                a: *a,
+                b: *b,
+            },
+            FInsn::BoolFromF { reg } => FKInsn::BoolFromF { reg: *reg },
+        });
+    }
+
+    // Accesses: single-index affine plans only.
+    let mut inputs = Vec::with_capacity(fp.inputs.len());
+    let mut in_regs = Vec::with_capacity(fp.inputs.len());
+    for (k, ip) in fp.inputs.iter().enumerate() {
+        inputs.push(fused_access(&ip.plan, &mp.params, false)?);
+        // A later read into the same connector slot overwrites this one.
+        let dead = fp.inputs[k + 1..].iter().any(|later| later.slot == ip.slot);
+        in_regs.push(if dead {
+            None
+        } else {
+            Some(fp.conn_regs[ip.slot])
+        });
+    }
+    let mut outputs = Vec::with_capacity(fp.out_writes.len());
+    let mut out_regs = Vec::with_capacity(fp.out_writes.len());
+    for ow in &fp.out_writes {
+        outputs.push(fused_access(&ow.plan, &mp.params, true)?);
+        let mut gathers = fp.gather.iter().filter(|g| g.slot == ow.slot);
+        let g = gathers
+            .next()
+            .ok_or_else(|| String::from("output slot never gathered"))?;
+        if gathers.next().is_some() {
+            return Err("duplicate output connector".into());
+        }
+        out_regs.push((g.reg, g.from_bool));
+    }
+
+    // Read set and write set must be disjoint, and writes pairwise
+    // distinct, so chunked execution cannot observe this scope's writes.
+    for (i, o) in outputs.iter().enumerate() {
+        if inputs.iter().any(|ip| ip.data.idx() == o.data.idx()) {
+            return Err("read/write overlap on one container".into());
+        }
+        if outputs[i + 1..]
+            .iter()
+            .any(|o2| o2.data.idx() == o.data.idx())
+        {
+            return Err("two outputs target one container".into());
+        }
+    }
+    // Every access node in the body must belong to the tasklet's memlets;
+    // then the kernel's dtype/liveness guards subsume the per-iteration
+    // access checks.
+    for d in &access_ids {
+        let known = inputs
+            .iter()
+            .map(|a| a.data)
+            .chain(outputs.iter().map(|a| a.data))
+            .any(|x| x.idx() == d.idx());
+        if !known {
+            return Err("dangling access node in map body".into());
+        }
+    }
+
+    Ok(FusedKernel {
+        cover_loc: tp.cover_loc,
+        ticks_per_elem: 2 + inputs.len() as u64 + outputs.len() as u64,
+        in_regs,
+        inputs,
+        out_regs,
+        outputs,
+        code,
+        n_regs: fp.n_regs,
+        guards: fp.guards.clone(),
+    })
+}
+
 /// Per-run execution context: step budget, collectives, coverage.
 struct RunCtx<'a> {
     steps: u64,
@@ -1596,20 +2107,31 @@ impl RunCtx<'_> {
     }
 }
 
-/// A reusable execution context for one [`Program`]: id-indexed `Vec`
-/// storage for symbols and arrays plus scratch buffers, all retained
-/// between runs so consecutive trials reset buffers in place instead of
-/// reallocating.
-pub struct Executor<'p> {
-    prog: &'p Program,
+/// Counts freshly constructed [`ExecutorArena`]s process-wide — the
+/// observable the per-worker arena cache exists to minimize (benches
+/// assert sweeps construct far fewer arenas than they run trials).
+static FRESH_ARENAS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Number of [`ExecutorArena`]s constructed from scratch so far in this
+/// process (recycled arenas do not count).
+pub fn fresh_arena_count() -> u64 {
+    FRESH_ARENAS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// The owned storage of an [`Executor`], detached from any program: all
+/// the id-indexed state and scratch buffers, but no borrow. Detaching
+/// ([`Executor::into_arena`]) and re-attaching ([`Program::executor_with`])
+/// lets long-lived workers keep warm buffers across programs — the
+/// differential tester's per-worker cache stores arenas keyed by program
+/// identity, so repeat tests reuse them outright and sweeps recycle them
+/// across instances instead of reallocating.
+#[derive(Debug, Default)]
+pub struct ExecutorArena {
     syms: Vec<Option<i64>>,
     arrays: Vec<Option<ArrayValue>>,
-    /// Whether the slot is semantically present in the current run (stale
-    /// buffers from earlier trials are kept for reuse but not visible).
     live: Vec<bool>,
     extra_syms: Vec<(String, i64)>,
     extra_arrays: Vec<(String, ArrayValue)>,
-    // Scratch, reused across runs.
     stack: Vec<i64>,
     regs: Vec<Scalar>,
     in_vals: Vec<Vec<Scalar>>,
@@ -1617,35 +2139,67 @@ pub struct Executor<'p> {
     lib_dims: Vec<Vec<i64>>,
     dims_buf: Vec<ConcreteRange>,
     point: Vec<i64>,
-    // Fast-path scratch (raw f64 / bool register files and buffers).
     fin_vals: Vec<Vec<f64>>,
     fout_vals: Vec<Vec<f64>>,
     regs_f: Vec<f64>,
     regs_b: Vec<bool>,
+    fk_regs_f: Vec<[f64; LANES]>,
+    fk_regs_b: Vec<[bool; LANES]>,
+    fdims: Vec<ConcreteRange>,
+    fbases: Vec<i64>,
+    fstrides: Vec<i64>,
+    /// Wide-integer scratch of the fused precheck, partitioned per access
+    /// into net-coefficient / line-stride / array-stride segments.
+    fnet: Vec<i128>,
+    fodo: Vec<i64>,
+    fouter: Vec<f64>,
+    frow: Vec<i64>,
+    fouts: Vec<ArrayValue>,
+}
+
+impl ExecutorArena {
+    /// A fresh, empty arena (counted by [`fresh_arena_count`]).
+    pub fn new() -> Self {
+        FRESH_ARENAS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Self::default()
+    }
+}
+
+/// A reusable execution context for one [`Program`]: id-indexed `Vec`
+/// storage for symbols and arrays plus scratch buffers, all retained
+/// between runs so consecutive trials reset buffers in place instead of
+/// reallocating.
+pub struct Executor<'p> {
+    prog: &'p Program,
+    a: ExecutorArena,
 }
 
 impl<'p> Executor<'p> {
     /// Creates an executor with empty storage sized for `prog`.
     pub fn new(prog: &'p Program) -> Self {
-        Executor {
-            prog,
-            syms: vec![None; prog.syms.len()],
-            arrays: (0..prog.data.len()).map(|_| None).collect(),
-            live: vec![false; prog.data.len()],
-            extra_syms: Vec::new(),
-            extra_arrays: Vec::new(),
-            stack: Vec::new(),
-            regs: Vec::new(),
-            in_vals: Vec::new(),
-            out_vals: Vec::new(),
-            lib_dims: Vec::new(),
-            dims_buf: Vec::new(),
-            point: Vec::new(),
-            fin_vals: Vec::new(),
-            fout_vals: Vec::new(),
-            regs_f: Vec::new(),
-            regs_b: Vec::new(),
+        Self::with_arena(prog, ExecutorArena::new())
+    }
+
+    /// Creates an executor over a recycled arena, resizing the id-indexed
+    /// storage for `prog` while keeping allocated buffers (retained array
+    /// buffers whose dtype/shape still match are reused in place).
+    pub fn with_arena(prog: &'p Program, mut a: ExecutorArena) -> Self {
+        a.syms.clear();
+        a.syms.resize(prog.syms.len(), None);
+        a.arrays.truncate(prog.data.len());
+        while a.arrays.len() < prog.data.len() {
+            a.arrays.push(None);
         }
+        a.live.clear();
+        a.live.resize(prog.data.len(), false);
+        a.extra_syms.clear();
+        a.extra_arrays.clear();
+        Executor { prog, a }
+    }
+
+    /// Detaches the executor's storage for caching; see [`ExecutorArena`].
+    pub fn into_arena(self) -> ExecutorArena {
+        self.a
     }
 
     /// Runs the program against `input` without consuming it: inputs are
@@ -1661,30 +2215,30 @@ impl<'p> Executor<'p> {
         comm: Option<&dyn CommHandler>,
         cov: Option<&mut CoverageMap>,
     ) -> Result<(), ExecError> {
-        self.extra_syms.clear();
-        self.extra_arrays.clear();
-        for s in &mut self.syms {
+        self.a.extra_syms.clear();
+        self.a.extra_arrays.clear();
+        for s in &mut self.a.syms {
             *s = None;
         }
         for (name, v) in input.symbols.iter() {
             match self.prog.sym_id(name) {
-                Some(id) => self.syms[id.idx()] = Some(v),
-                None => self.extra_syms.push((name.to_string(), v)),
+                Some(id) => self.a.syms[id.idx()] = Some(v),
+                None => self.a.extra_syms.push((name.to_string(), v)),
             }
         }
-        for l in &mut self.live {
+        for l in &mut self.a.live {
             *l = false;
         }
         for (name, arr) in &input.arrays {
             match self.prog.data_id(name) {
                 Some(id) => {
-                    match &mut self.arrays[id.idx()] {
+                    match &mut self.a.arrays[id.idx()] {
                         Some(buf) => buf.copy_from(arr),
                         slot @ None => *slot = Some(arr.clone()),
                     }
-                    self.live[id.idx()] = true;
+                    self.a.live[id.idx()] = true;
                 }
-                None => self.extra_arrays.push((name.clone(), arr.clone())),
+                None => self.a.extra_arrays.push((name.clone(), arr.clone())),
             }
         }
         self.run_loaded(opts, comm, cov)
@@ -1700,37 +2254,37 @@ impl<'p> Executor<'p> {
         comm: Option<&dyn CommHandler>,
         cov: Option<&mut CoverageMap>,
     ) -> Result<(), ExecError> {
-        self.extra_syms.clear();
-        self.extra_arrays.clear();
-        for s in &mut self.syms {
+        self.a.extra_syms.clear();
+        self.a.extra_arrays.clear();
+        for s in &mut self.a.syms {
             *s = None;
         }
         for (name, v) in state.symbols.iter() {
             if let Some(id) = self.prog.sym_id(name) {
-                self.syms[id.idx()] = Some(v);
+                self.a.syms[id.idx()] = Some(v);
             }
         }
-        for l in &mut self.live {
+        for l in &mut self.a.live {
             *l = false;
         }
         for (i, name) in self.prog.data.names.iter().enumerate() {
             if let Some(arr) = state.arrays.remove(name) {
-                self.arrays[i] = Some(arr);
-                self.live[i] = true;
+                self.a.arrays[i] = Some(arr);
+                self.a.live[i] = true;
             }
         }
         let res = self.run_loaded(opts, comm, cov);
         // Write back even on error: the tree-walk engine mutates its state
         // in place, so partial updates must be observable identically.
         for (i, name) in self.prog.data.names.iter().enumerate() {
-            if self.live[i] {
-                if let Some(arr) = self.arrays[i].take() {
+            if self.a.live[i] {
+                if let Some(arr) = self.a.arrays[i].take() {
                     state.arrays.insert(name.clone(), arr);
                 }
             }
         }
         for (i, name) in self.prog.syms.names.iter().enumerate() {
-            match self.syms[i] {
+            match self.a.syms[i] {
                 Some(v) => {
                     state.symbols.set(name.clone(), v);
                 }
@@ -1745,8 +2299,9 @@ impl<'p> Executor<'p> {
     /// Final value of a symbol after [`Executor::execute`].
     pub fn symbol(&self, name: &str) -> Option<i64> {
         match self.prog.sym_id(name) {
-            Some(id) => self.syms[id.idx()],
+            Some(id) => self.a.syms[id.idx()],
             None => self
+                .a
                 .extra_syms
                 .iter()
                 .find(|(n, _)| n == name)
@@ -1757,9 +2312,10 @@ impl<'p> Executor<'p> {
     /// Final contents of a container after [`Executor::execute`].
     pub fn array(&self, name: &str) -> Option<&ArrayValue> {
         match self.prog.data_id(name) {
-            Some(id) if self.live[id.idx()] => self.arrays[id.idx()].as_ref(),
+            Some(id) if self.a.live[id.idx()] => self.a.arrays[id.idx()].as_ref(),
             Some(_) => None,
             None => self
+                .a
                 .extra_arrays
                 .iter()
                 .find(|(n, _)| n == name)
@@ -1824,20 +2380,20 @@ impl<'p> Executor<'p> {
     /// (clones all live buffers).
     pub fn to_state(&self) -> ExecState {
         let mut st = ExecState::new();
-        for (name, v) in &self.extra_syms {
+        for (name, v) in &self.a.extra_syms {
             st.symbols.set(name.clone(), *v);
         }
         for (i, name) in self.prog.syms.names.iter().enumerate() {
-            if let Some(v) = self.syms[i] {
+            if let Some(v) = self.a.syms[i] {
                 st.symbols.set(name.clone(), v);
             }
         }
-        for (name, arr) in &self.extra_arrays {
+        for (name, arr) in &self.a.extra_arrays {
             st.arrays.insert(name.clone(), arr.clone());
         }
         for (i, name) in self.prog.data.names.iter().enumerate() {
-            if self.live[i] {
-                if let Some(arr) = &self.arrays[i] {
+            if self.a.live[i] {
+                if let Some(arr) = &self.a.arrays[i] {
                     st.arrays.insert(name.clone(), arr.clone());
                 }
             }
@@ -1872,7 +2428,7 @@ impl<'p> Executor<'p> {
                 if self.eval_cond(&ep.cond)? {
                     for (sym, code) in &ep.assigns {
                         let v = self.eval_code(code)?;
-                        self.syms[sym.idx()] = Some(v);
+                        self.a.syms[sym.idx()] = Some(v);
                     }
                     ctx.cover(ep.cover_loc);
                     next = Some(ep.dst);
@@ -1892,7 +2448,7 @@ impl<'p> Executor<'p> {
         let prog = self.prog;
         for ap in &prog.arrays {
             let i = ap.data.idx();
-            if self.live[i] {
+            if self.a.live[i] {
                 continue;
             }
             let mut shape = Vec::with_capacity(ap.shape.len());
@@ -1906,22 +2462,22 @@ impl<'p> Executor<'p> {
                 )));
             }
             let reusable = matches!(
-                &self.arrays[i],
+                &self.a.arrays[i],
                 Some(buf) if buf.dtype() == ap.dtype && buf.shape() == shape.as_slice()
             );
             if reusable {
-                let buf = self.arrays[i].as_mut().expect("checked above");
+                let buf = self.a.arrays[i].as_mut().expect("checked above");
                 match ap.storage {
                     Storage::Host => buf.fill_zero(),
                     Storage::Device => buf.fill_garbage(),
                 }
             } else {
-                self.arrays[i] = Some(match ap.storage {
+                self.a.arrays[i] = Some(match ap.storage {
                     Storage::Host => ArrayValue::zeros(ap.dtype, shape),
                     Storage::Device => ArrayValue::garbage(ap.dtype, shape),
                 });
             }
-            self.live[i] = true;
+            self.a.live[i] = true;
         }
         Ok(())
     }
@@ -1933,7 +2489,7 @@ impl<'p> Executor<'p> {
         for step in &block.steps {
             match step {
                 Step::Access(d) => {
-                    if !self.live[d.idx()] {
+                    if !self.a.live[d.idx()] {
                         return Err(ExecError::UnknownData(
                             self.prog.data.names[d.idx()].clone(),
                         ));
@@ -1946,7 +2502,7 @@ impl<'p> Executor<'p> {
                 }
                 Step::Map(mp) => {
                     ctx.cover(mp.cover_loc);
-                    self.exec_map(mp, 0, ctx)?;
+                    self.exec_map_step(mp, ctx)?;
                 }
                 Step::Library(lp) => {
                     ctx.cover(lp.cover_loc);
@@ -1955,6 +2511,23 @@ impl<'p> Executor<'p> {
             }
         }
         Ok(())
+    }
+
+    /// Executes a map scope: through its fused kernel when the compile-
+    /// time plan and the runtime precheck both allow it, through the
+    /// generic per-element recursion otherwise. The two are bit-identical
+    /// whenever the kernel runs — the precheck proves no error (and hence
+    /// no divergence in error ordering, partial writes or step-limit
+    /// behavior) can occur anywhere in the iteration box.
+    fn exec_map_step(&mut self, mp: &'p MapPlan, ctx: &mut RunCtx<'_>) -> Result<(), ExecError> {
+        if let Some(fk) = &mp.fused {
+            match self.prepare_fused(mp, fk, ctx) {
+                FusedReady::ZeroTrip => return Ok(()),
+                FusedReady::Run(total) => return self.exec_fused(fk, total, ctx),
+                FusedReady::Fallback => {}
+            }
+        }
+        self.exec_map(mp, 0, ctx)
     }
 
     fn exec_map(
@@ -1969,13 +2542,254 @@ impl<'p> Executor<'p> {
         }
         let r = self.eval_range(&mp.ranges[dim])?;
         let param = mp.params[dim].idx();
-        let saved = self.syms[param];
+        let saved = self.a.syms[param];
         let len = r.len() as i64;
         for k in 0..len {
-            self.syms[param] = Some(r.start + k * r.step);
+            self.a.syms[param] = Some(r.start + k * r.step);
             self.exec_map(mp, dim + 1, ctx)?;
         }
-        self.syms[param] = saved;
+        self.a.syms[param] = saved;
+        Ok(())
+    }
+
+    // ----- fused map kernels --------------------------------------------
+
+    /// Runtime precheck of a fused kernel: evaluates the map ranges (in
+    /// dimension order, stopping at the first empty one exactly like the
+    /// per-element recursion), then proves — via exact interval analysis
+    /// of every affine subscript over the concrete iteration box — that
+    /// no out-of-bounds access, no i64 overflow, no unbound symbol and no
+    /// step-budget trip can occur anywhere in the box. Anything it cannot
+    /// prove falls back to the generic path, which reproduces errors with
+    /// their exact ordering, partial writes and step counts.
+    fn prepare_fused(
+        &mut self,
+        mp: &'p MapPlan,
+        fk: &'p FusedKernel,
+        ctx: &RunCtx<'_>,
+    ) -> FusedReady {
+        let mut dims = std::mem::take(&mut self.a.fdims);
+        let mut bases = std::mem::take(&mut self.a.fbases);
+        let mut strides = std::mem::take(&mut self.a.fstrides);
+        let mut wide = std::mem::take(&mut self.a.fnet);
+        let ready =
+            self.prepare_fused_inner(mp, fk, ctx, &mut dims, &mut bases, &mut strides, &mut wide);
+        self.a.fdims = dims;
+        self.a.fbases = bases;
+        self.a.fstrides = strides;
+        self.a.fnet = wide;
+        ready
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn prepare_fused_inner(
+        &mut self,
+        mp: &'p MapPlan,
+        fk: &'p FusedKernel,
+        ctx: &RunCtx<'_>,
+        dims: &mut Vec<ConcreteRange>,
+        bases: &mut Vec<i64>,
+        strides: &mut Vec<i64>,
+        wide: &mut Vec<i128>,
+    ) -> FusedReady {
+        if !self.fast_guards_hold(&fk.guards) {
+            return FusedReady::Fallback;
+        }
+        dims.clear();
+        for rp in &mp.ranges {
+            match self.eval_range(rp) {
+                Err(_) => return FusedReady::Fallback,
+                Ok(r) if r.is_empty() => return FusedReady::ZeroTrip,
+                Ok(r) => dims.push(r),
+            }
+        }
+        let n_dims = dims.len();
+        // Checked: an astronomically large box overflows even u128 and
+        // must land in the generic path (which trips the step limit
+        // almost immediately), not wrap past the budget check.
+        let mut total: u128 = 1;
+        for d in dims.iter() {
+            match total.checked_mul(d.len() as u128) {
+                Some(t) => total = t,
+                None => return FusedReady::Fallback,
+            }
+        }
+        match total.checked_mul(fk.ticks_per_elem as u128) {
+            Some(ticks) if ticks <= (ctx.max_steps - ctx.steps) as u128 => {}
+            _ => return FusedReady::Fallback,
+        }
+        for insn in &fk.code {
+            if let FKInsn::LoadSymF { sym, .. } = insn {
+                if self.a.syms[sym.idx()].is_none() {
+                    return FusedReady::Fallback;
+                }
+            }
+        }
+
+        bases.clear();
+        strides.clear();
+        for acc in fk.inputs.iter().chain(fk.outputs.iter()) {
+            let arr = self.a.arrays[acc.data.idx()]
+                .as_ref()
+                .expect("guarded slot holds a buffer");
+            let shape = arr.shape();
+            if shape.len() != acc.dims.len() {
+                return FusedReady::Fallback;
+            }
+            // Partition the reusable wide scratch: net coefficients,
+            // accumulated line strides, row-major array strides.
+            wide.clear();
+            wide.resize(2 * n_dims + shape.len(), 0);
+            let (net, rest) = wide.split_at_mut(n_dims);
+            let (lstr, astr) = rest.split_at_mut(n_dims);
+            astr.fill(1);
+            // Checked: a zero-length dimension makes huge outer extents
+            // allocatable, and their stride product can exceed even i128
+            // (such accesses are all out of bounds anyway — fall back).
+            for d in (0..shape.len().saturating_sub(1)).rev() {
+                match astr[d + 1].checked_mul(shape[d + 1] as i128) {
+                    Some(v) => astr[d] = v,
+                    None => return FusedReady::Fallback,
+                }
+            }
+            let mut base_off = 0i64;
+            let at = strides.len();
+            strides.resize(at + n_dims, 0i64);
+            for (s, fidx) in acc.dims.iter().enumerate() {
+                let Some((b, lo, hi)) = analyze_fused_idx(fidx, dims, &self.a.syms, net) else {
+                    return FusedReady::Fallback;
+                };
+                if lo < 0 || hi >= shape[s] as i128 {
+                    return FusedReady::Fallback;
+                }
+                base_off += (b as i128 * astr[s]) as i64;
+                for d in 0..n_dims {
+                    // Only multi-iteration dimensions need a stride, and
+                    // only for those is the product provably bounded (it
+                    // is a difference of two in-bounds offsets): a huge
+                    // step on a single-iteration dimension could overflow
+                    // even i128 here.
+                    if dims[d].len() > 1 {
+                        lstr[d] += net[d] * dims[d].step as i128 * astr[s];
+                    }
+                }
+            }
+            for chk in &acc.checks {
+                if analyze_fused_idx(chk, dims, &self.a.syms, net).is_none() {
+                    return FusedReady::Fallback;
+                }
+            }
+            for d in 0..n_dims {
+                // A dimension iterated more than once has a stride that is
+                // the difference of two in-bounds offsets, so it fits i64;
+                // single-iteration dimensions never use theirs.
+                if dims[d].len() > 1 {
+                    let Ok(v) = i64::try_from(lstr[d]) else {
+                        return FusedReady::Fallback;
+                    };
+                    strides[at + d] = v;
+                }
+            }
+            bases.push(base_off);
+        }
+        FusedReady::Run(total as u64)
+    }
+
+    /// Runs a prepared fused kernel: per-element access plans collapse to
+    /// hoisted base offsets plus constant per-dimension strides, and the
+    /// straight-line f64 body runs over lane chunks of the innermost
+    /// dimension. Bit-identical to the per-element path by the precheck's
+    /// no-error proof plus disjointness of the read and write sets.
+    fn exec_fused(
+        &mut self,
+        fk: &'p FusedKernel,
+        total: u64,
+        ctx: &mut RunCtx<'_>,
+    ) -> Result<(), ExecError> {
+        // Per-element coverage: the tasklet's location, chained exactly as
+        // the generic engine records it (straight-line bodies have no
+        // other per-element sites).
+        if ctx.cov.is_some() {
+            for _ in 0..total {
+                ctx.cover(fk.cover_loc);
+            }
+        }
+        // The precheck proved the whole kernel fits the step budget.
+        ctx.steps += total * fk.ticks_per_elem;
+
+        let mut rf = std::mem::take(&mut self.a.fk_regs_f);
+        let mut rb = std::mem::take(&mut self.a.fk_regs_b);
+        if rf.len() < fk.n_regs {
+            rf.resize(fk.n_regs, [0.0; LANES]);
+        }
+        if rb.len() < fk.n_regs {
+            rb.resize(fk.n_regs, [false; LANES]);
+        }
+        let dims = std::mem::take(&mut self.a.fdims);
+        let bases = std::mem::take(&mut self.a.fbases);
+        let strides = std::mem::take(&mut self.a.fstrides);
+        let mut odo = std::mem::take(&mut self.a.fodo);
+        let mut outer_vals = std::mem::take(&mut self.a.fouter);
+        let mut row = std::mem::take(&mut self.a.frow);
+        odo.clear();
+        odo.resize(dims.len(), 0);
+        outer_vals.clear();
+        outer_vals.resize(dims.len(), 0.0);
+        row.clear();
+        row.resize(bases.len(), 0);
+
+        // Write targets move out of their slots; reads borrow the rest
+        // (the fused read and write sets are disjoint by construction).
+        let mut outs = std::mem::take(&mut self.a.fouts);
+        outs.extend(fk.outputs.iter().map(|o| {
+            self.a.arrays[o.data.idx()]
+                .take()
+                .expect("guarded slot holds a buffer")
+        }));
+        {
+            // The slice views borrow the executor, so they cannot park in
+            // the arena like the other scratch; they are pointer-sized per
+            // access and rebuilt once per kernel entry, not per element.
+            let in_slices: Vec<&[f64]> = fk
+                .inputs
+                .iter()
+                .map(|acc| {
+                    self.a.arrays[acc.data.idx()]
+                        .as_ref()
+                        .expect("guarded slot holds a buffer")
+                        .as_f64_slice()
+                        .expect("guarded dtype is F64")
+                })
+                .collect();
+            let mut out_slices: Vec<&mut [f64]> = outs
+                .iter_mut()
+                .map(|arr| arr.as_f64_parts_mut().expect("guarded dtype is F64").1)
+                .collect();
+            run_fused_loop(
+                fk,
+                &dims,
+                &bases,
+                &strides,
+                &self.a.syms,
+                &in_slices,
+                &mut out_slices,
+                &mut rf,
+                &mut rb,
+                (&mut odo, &mut outer_vals, &mut row),
+            );
+        }
+        for (o, arr) in fk.outputs.iter().zip(outs.drain(..)) {
+            self.a.arrays[o.data.idx()] = Some(arr);
+        }
+        self.a.fouts = outs;
+        self.a.fk_regs_f = rf;
+        self.a.fk_regs_b = rb;
+        self.a.fdims = dims;
+        self.a.fbases = bases;
+        self.a.fstrides = strides;
+        self.a.fodo = odo;
+        self.a.fouter = outer_vals;
+        self.a.frow = row;
         Ok(())
     }
 
@@ -1985,9 +2799,9 @@ impl<'p> Executor<'p> {
                 return self.exec_tasklet_fast(tp, fp, ctx);
             }
         }
-        let mut in_vals = std::mem::take(&mut self.in_vals);
-        let mut out_vals = std::mem::take(&mut self.out_vals);
-        let mut regs = std::mem::take(&mut self.regs);
+        let mut in_vals = std::mem::take(&mut self.a.in_vals);
+        let mut out_vals = std::mem::take(&mut self.a.out_vals);
+        let mut regs = std::mem::take(&mut self.a.regs);
         if in_vals.len() < tp.n_conn_slots {
             in_vals.resize_with(tp.n_conn_slots, Vec::new);
         }
@@ -1998,9 +2812,9 @@ impl<'p> Executor<'p> {
             regs.resize(tp.n_regs, Scalar::I64(0));
         }
         let res = self.exec_tasklet_inner(tp, ctx, &mut in_vals, &mut out_vals, &mut regs);
-        self.in_vals = in_vals;
-        self.out_vals = out_vals;
-        self.regs = regs;
+        self.a.in_vals = in_vals;
+        self.a.out_vals = out_vals;
+        self.a.regs = regs;
         res
     }
 
@@ -2080,7 +2894,7 @@ impl<'p> Executor<'p> {
                 }
                 Insn::Const { dst, val } => regs[*dst as usize] = *val,
                 Insn::Mov { dst, src } => regs[*dst as usize] = regs[*src as usize],
-                Insn::LoadSym { dst, sym } => match self.syms[sym.idx()] {
+                Insn::LoadSym { dst, sym } => match self.a.syms[sym.idx()] {
                     Some(v) => regs[*dst as usize] = Scalar::I64(v),
                     None => {
                         return Err(ExecError::UndefinedRef {
@@ -2129,8 +2943,8 @@ impl<'p> Executor<'p> {
     /// non-f64 semantics for caller-substituted buffers).
     fn fast_guards_hold(&self, guards: &[DataId]) -> bool {
         guards.iter().all(|d| {
-            self.live[d.idx()]
-                && matches!(&self.arrays[d.idx()], Some(a) if a.dtype() == DType::F64)
+            self.a.live[d.idx()]
+                && matches!(&self.a.arrays[d.idx()], Some(a) if a.dtype() == DType::F64)
         })
     }
 
@@ -2140,10 +2954,10 @@ impl<'p> Executor<'p> {
         fp: &'p FastTasklet,
         ctx: &mut RunCtx<'_>,
     ) -> Result<(), ExecError> {
-        let mut fin = std::mem::take(&mut self.fin_vals);
-        let mut fout = std::mem::take(&mut self.fout_vals);
-        let mut regs_f = std::mem::take(&mut self.regs_f);
-        let mut regs_b = std::mem::take(&mut self.regs_b);
+        let mut fin = std::mem::take(&mut self.a.fin_vals);
+        let mut fout = std::mem::take(&mut self.a.fout_vals);
+        let mut regs_f = std::mem::take(&mut self.a.regs_f);
+        let mut regs_b = std::mem::take(&mut self.a.regs_b);
         if fin.len() < tp.n_conn_slots {
             fin.resize_with(tp.n_conn_slots, Vec::new);
         }
@@ -2165,10 +2979,10 @@ impl<'p> Executor<'p> {
             &mut regs_f,
             &mut regs_b,
         );
-        self.fin_vals = fin;
-        self.fout_vals = fout;
-        self.regs_f = regs_f;
-        self.regs_b = regs_b;
+        self.a.fin_vals = fin;
+        self.a.fout_vals = fout;
+        self.a.regs_f = regs_f;
+        self.a.regs_b = regs_b;
         res
     }
 
@@ -2245,7 +3059,7 @@ impl<'p> Executor<'p> {
                 FInsn::ConstB { dst, val } => regs_b[*dst as usize] = *val,
                 FInsn::MovF { dst, src } => regs_f[*dst as usize] = regs_f[*src as usize],
                 FInsn::MovB { dst, src } => regs_b[*dst as usize] = regs_b[*src as usize],
-                FInsn::LoadSymF { dst, sym } => match self.syms[sym.idx()] {
+                FInsn::LoadSymF { dst, sym } => match self.a.syms[sym.idx()] {
                     Some(v) => regs_f[*dst as usize] = v as f64,
                     None => {
                         return Err(ExecError::UndefinedRef {
@@ -2352,7 +3166,7 @@ impl<'p> Executor<'p> {
         // per-access `Option::take` round trip on the hot trial path.
         match &plan.kind {
             MemKind::Single(idxs) => {
-                let mut point = std::mem::take(&mut self.point);
+                let mut point = std::mem::take(&mut self.a.point);
                 point.clear();
                 let evald = (|| -> Result<(), ExecError> {
                     for (start, end) in idxs {
@@ -2363,7 +3177,7 @@ impl<'p> Executor<'p> {
                     Ok(())
                 })();
                 let res = evald.and_then(|()| {
-                    let arr = self.arrays[plan.data.idx()]
+                    let arr = self.a.arrays[plan.data.idx()]
                         .as_ref()
                         .expect("guarded slot holds a buffer");
                     let data = arr.as_f64_slice().expect("guarded dtype is F64");
@@ -2377,12 +3191,12 @@ impl<'p> Executor<'p> {
                     out.push(data[off]);
                     ctx.tick(1)
                 });
-                self.point = point;
+                self.a.point = point;
                 res
             }
             MemKind::Ranges(rps) => {
-                let mut point = std::mem::take(&mut self.point);
-                let mut dims = std::mem::take(&mut self.dims_buf);
+                let mut point = std::mem::take(&mut self.a.point);
+                let mut dims = std::mem::take(&mut self.a.dims_buf);
                 dims.clear();
                 let evald = (|| -> Result<(), ExecError> {
                     for rp in rps {
@@ -2392,7 +3206,7 @@ impl<'p> Executor<'p> {
                     Ok(())
                 })();
                 let res = evald.and_then(|()| {
-                    let arr = self.arrays[plan.data.idx()]
+                    let arr = self.a.arrays[plan.data.idx()]
                         .as_ref()
                         .expect("guarded slot holds a buffer");
                     let data = arr.as_f64_slice().expect("guarded dtype is F64");
@@ -2421,8 +3235,8 @@ impl<'p> Executor<'p> {
                     }
                     ctx.tick(out.len() as u64)
                 });
-                self.point = point;
-                self.dims_buf = dims;
+                self.a.point = point;
+                self.a.dims_buf = dims;
                 res
             }
         }
@@ -2439,8 +3253,8 @@ impl<'p> Executor<'p> {
         vals: &[f64],
         context: &str,
     ) -> Result<(), ExecError> {
-        let mut point = std::mem::take(&mut self.point);
-        let mut dims = std::mem::take(&mut self.dims_buf);
+        let mut point = std::mem::take(&mut self.a.point);
+        let mut dims = std::mem::take(&mut self.a.dims_buf);
         // Subscripts evaluate first (mutable sym stack), then the array
         // is borrowed for the store; the program reference is copied out
         // so container names stay reachable alongside the buffer borrow.
@@ -2475,7 +3289,7 @@ impl<'p> Executor<'p> {
             ctx.tick(volume as u64)?;
             let i = plan.data.idx();
             let name = &prog.data.names[i];
-            let arr = self.arrays[i]
+            let arr = self.a.arrays[i]
                 .as_mut()
                 .expect("guarded slot holds a buffer");
             let (shape, data) = arr.as_f64_parts_mut().expect("guarded dtype is F64");
@@ -2527,14 +3341,14 @@ impl<'p> Executor<'p> {
                 }
             }
         })();
-        self.point = point;
-        self.dims_buf = dims;
+        self.a.point = point;
+        self.a.dims_buf = dims;
         res
     }
 
     fn exec_library(&mut self, lp: &'p LibraryPlan, ctx: &mut RunCtx<'_>) -> Result<(), ExecError> {
-        let mut in_vals = std::mem::take(&mut self.in_vals);
-        let mut lib_dims = std::mem::take(&mut self.lib_dims);
+        let mut in_vals = std::mem::take(&mut self.a.in_vals);
+        let mut lib_dims = std::mem::take(&mut self.a.lib_dims);
         if in_vals.len() < lp.n_slots {
             in_vals.resize_with(lp.n_slots, Vec::new);
         }
@@ -2542,8 +3356,8 @@ impl<'p> Executor<'p> {
             lib_dims.resize_with(lp.n_slots, Vec::new);
         }
         let res = self.exec_library_inner(lp, ctx, &mut in_vals, &mut lib_dims);
-        self.in_vals = in_vals;
-        self.lib_dims = lib_dims;
+        self.a.in_vals = in_vals;
+        self.a.lib_dims = lib_dims;
         res
     }
 
@@ -2621,12 +3435,12 @@ impl<'p> Executor<'p> {
                 let rank = self
                     .prog
                     .sym_id("rank")
-                    .and_then(|id| self.syms[id.idx()])
+                    .and_then(|id| self.a.syms[id.idx()])
                     .unwrap_or(0);
                 let dtype = lp
                     .first_in_data
-                    .filter(|id| self.live[id.idx()])
-                    .and_then(|id| self.arrays[id.idx()].as_ref())
+                    .filter(|id| self.a.live[id.idx()])
+                    .and_then(|id| self.a.arrays[id.idx()].as_ref())
                     .map(|a| a.dtype())
                     .unwrap_or(DType::F64);
                 let mut buf = ArrayValue::zeros(dtype, d.clone());
@@ -2660,16 +3474,16 @@ impl<'p> Executor<'p> {
         context: &str,
     ) -> Result<(), ExecError> {
         let i = plan.data.idx();
-        if !self.live[i] {
+        if !self.a.live[i] {
             return Err(ExecError::UnknownData(self.prog.data.names[i].clone()));
         }
-        let arr = self.arrays[i].take().expect("live slot holds a buffer");
-        let mut point = std::mem::take(&mut self.point);
-        let mut dims = std::mem::take(&mut self.dims_buf);
+        let arr = self.a.arrays[i].take().expect("live slot holds a buffer");
+        let mut point = std::mem::take(&mut self.a.point);
+        let mut dims = std::mem::take(&mut self.a.dims_buf);
         let res = self.read_plan_inner(plan, ctx, out, context, &arr, &mut point, &mut dims);
-        self.point = point;
-        self.dims_buf = dims;
-        self.arrays[i] = Some(arr);
+        self.a.point = point;
+        self.a.dims_buf = dims;
+        self.a.arrays[i] = Some(arr);
         res
     }
 
@@ -2744,11 +3558,11 @@ impl<'p> Executor<'p> {
         vals: &[Scalar],
         context: &str,
     ) -> Result<(), ExecError> {
-        let mut point = std::mem::take(&mut self.point);
-        let mut dims = std::mem::take(&mut self.dims_buf);
+        let mut point = std::mem::take(&mut self.a.point);
+        let mut dims = std::mem::take(&mut self.a.dims_buf);
         let res = self.write_plan_inner(plan, ctx, vals, context, &mut point, &mut dims);
-        self.point = point;
-        self.dims_buf = dims;
+        self.a.point = point;
+        self.a.dims_buf = dims;
         res
     }
 
@@ -2789,10 +3603,10 @@ impl<'p> Executor<'p> {
         }
         ctx.tick(volume as u64)?;
         let i = plan.data.idx();
-        if !self.live[i] {
+        if !self.a.live[i] {
             return Err(ExecError::UnknownData(self.prog.data.names[i].clone()));
         }
-        let mut arr = self.arrays[i].take().expect("live slot holds a buffer");
+        let mut arr = self.a.arrays[i].take().expect("live slot holds a buffer");
         let name = &self.prog.data.names[i];
         let res =
             (|| -> Result<(), ExecError> {
@@ -2832,7 +3646,7 @@ impl<'p> Executor<'p> {
                     }
                 }
             })();
-        self.arrays[i] = Some(arr);
+        self.a.arrays[i] = Some(arr);
         res
     }
 
@@ -2878,7 +3692,7 @@ impl<'p> Executor<'p> {
     fn eval_idx(&mut self, ic: &IdxCode) -> Result<i64, ExecError> {
         match ic {
             IdxCode::Const(v) => Ok(*v),
-            IdxCode::Sym(id) => self.syms[id.idx()].ok_or_else(|| {
+            IdxCode::Sym(id) => self.a.syms[id.idx()].ok_or_else(|| {
                 ExecError::Sym(SymError::Unbound(self.prog.syms.names[id.idx()].clone()))
             }),
             IdxCode::Affine(terms) => {
@@ -2887,7 +3701,7 @@ impl<'p> Executor<'p> {
                     let v = match t.sym {
                         None => t.coeff,
                         Some(id) => {
-                            let s = self.syms[id.idx()].ok_or_else(|| {
+                            let s = self.a.syms[id.idx()].ok_or_else(|| {
                                 ExecError::Sym(SymError::Unbound(
                                     self.prog.syms.names[id.idx()].clone(),
                                 ))
@@ -2914,10 +3728,10 @@ impl<'p> Executor<'p> {
     }
 
     fn eval_code(&mut self, code: &SymCode) -> Result<i64, ExecError> {
-        let mut stack = std::mem::take(&mut self.stack);
+        let mut stack = std::mem::take(&mut self.a.stack);
         stack.clear();
-        let res = eval_sym_ops(&code.ops, &self.syms, &self.prog.syms.names, &mut stack);
-        self.stack = stack;
+        let res = eval_sym_ops(&code.ops, &self.a.syms, &self.prog.syms.names, &mut stack);
+        self.a.stack = stack;
         res
     }
 
@@ -3024,6 +3838,279 @@ fn iter_points(
                 break;
             }
             point[d] = dims[d].start;
+        }
+    }
+}
+
+/// Exact interval analysis of one fused affine subscript over a concrete
+/// iteration box, mirroring the left-to-right checked evaluation of
+/// [`Executor::eval_idx`]: per-term products and every prefix sum are
+/// bounded over the box (affine functions attain their extremes at box
+/// corners), so a `Some` result proves no element's evaluation can
+/// overflow or hit an unbound symbol. Returns `(value at the box origin,
+/// interval low, interval high)` and fills `net` with the subscript's net
+/// coefficient per map dimension. `None` means "might error somewhere" —
+/// the caller falls back to per-element execution.
+fn analyze_fused_idx(
+    fidx: &FusedIdx,
+    dims: &[ConcreteRange],
+    syms: &[Option<i64>],
+    net: &mut [i128],
+) -> Option<(i64, i128, i128)> {
+    for n in net.iter_mut() {
+        *n = 0;
+    }
+    let fits = |v: i128| v >= i64::MIN as i128 && v <= i64::MAX as i128;
+    let (mut lo, mut hi, mut base) = (0i128, 0i128, 0i128);
+    for (k, t) in fidx.terms.iter().enumerate() {
+        let c = t.coeff as i128;
+        let (vlo, vhi, vbase, pd) = match t.var {
+            FusedVar::None => (c, c, c, None),
+            FusedVar::Outer(id) => {
+                let s = syms[id.idx()]? as i128;
+                let p = c * s;
+                if !fits(p) {
+                    return None;
+                }
+                (p, p, p, None)
+            }
+            FusedVar::Param(d) => {
+                let r = &dims[d];
+                let first = r.start as i128;
+                let last = first + (r.len() as i128 - 1) * r.step as i128;
+                let (p1, p2) = (c * first, c * last);
+                if !fits(p1) || !fits(p2) {
+                    return None;
+                }
+                (p1.min(p2), p1.max(p2), p1, Some(d))
+            }
+        };
+        if k == 0 {
+            (lo, hi, base) = (vlo, vhi, vbase);
+        } else if t.sub {
+            (lo, hi, base) = (lo - vhi, hi - vlo, base - vbase);
+        } else {
+            (lo, hi, base) = (lo + vlo, hi + vhi, base + vbase);
+        }
+        if !fits(lo) || !fits(hi) {
+            return None;
+        }
+        if let Some(d) = pd {
+            net[d] += if t.sub && k > 0 { -c } else { c };
+        }
+    }
+    Some((base as i64, lo, hi))
+}
+
+/// The strength-reduced, lane-chunked fused loop: iterates the outer
+/// dimensions with an odometer, steps raw linear offsets by constant
+/// strides, and runs the straight-line body over chunks of [`LANES`]
+/// elements of the innermost dimension (unit-stride accesses move as
+/// slice copies; scatter loops run in lane order, so repeated offsets and
+/// WCR accumulation combine in exact element order).
+#[allow(clippy::too_many_arguments)]
+fn run_fused_loop(
+    fk: &FusedKernel,
+    dims: &[ConcreteRange],
+    bases: &[i64],
+    strides: &[i64],
+    syms: &[Option<i64>],
+    ins: &[&[f64]],
+    outs: &mut [&mut [f64]],
+    rf: &mut [[f64; LANES]],
+    rb: &mut [[bool; LANES]],
+    scratch: (&mut [i64], &mut [f64], &mut [i64]),
+) {
+    let n_dims = dims.len();
+    let inner = n_dims - 1;
+    let inner_r = dims[inner];
+    let inner_len = inner_r.len();
+    let n_in = fk.inputs.len();
+    let (k, outer_vals, row) = scratch;
+    'rows: loop {
+        for (a, r) in row.iter_mut().enumerate() {
+            let mut off = bases[a];
+            for d in 0..inner {
+                off += k[d] * strides[a * n_dims + d];
+            }
+            *r = off;
+        }
+        for d in 0..inner {
+            outer_vals[d] = (dims[d].start + k[d] * dims[d].step) as f64;
+        }
+        let mut j = 0usize;
+        while j < inner_len {
+            let cl = LANES.min(inner_len - j);
+            let mut inner_vals = [0f64; LANES];
+            for (l, v) in inner_vals[..cl].iter_mut().enumerate() {
+                *v = (inner_r.start + (j + l) as i64 * inner_r.step) as f64;
+            }
+            for (ii, s) in ins.iter().enumerate() {
+                let Some(reg) = fk.in_regs[ii] else { continue };
+                let st = strides[ii * n_dims + inner];
+                let base = row[ii];
+                let lanes = &mut rf[reg as usize];
+                if st == 1 {
+                    let off = (base + j as i64) as usize;
+                    lanes[..cl].copy_from_slice(&s[off..off + cl]);
+                } else if st == 0 {
+                    let v = s[base as usize];
+                    lanes[..cl].fill(v);
+                } else {
+                    for (l, lane) in lanes[..cl].iter_mut().enumerate() {
+                        *lane = s[(base + (j + l) as i64 * st) as usize];
+                    }
+                }
+            }
+            run_fk_chunk(&fk.code, rf, rb, syms, outer_vals, &inner_vals, inner);
+            for (oi, acc) in fk.outputs.iter().enumerate() {
+                let (reg, from_bool) = fk.out_regs[oi];
+                let st = strides[(n_in + oi) * n_dims + inner];
+                let base = row[n_in + oi];
+                let out = &mut *outs[oi];
+                if acc.wcr.is_none() && !from_bool && st == 1 {
+                    let off = (base + j as i64) as usize;
+                    out[off..off + cl].copy_from_slice(&rf[reg as usize][..cl]);
+                    continue;
+                }
+                for l in 0..cl {
+                    let off = (base + (j + l) as i64 * st) as usize;
+                    let v = if from_bool {
+                        rb[reg as usize][l] as u8 as f64
+                    } else {
+                        rf[reg as usize][l]
+                    };
+                    out[off] = match acc.wcr {
+                        None => v,
+                        Some(Wcr::Sum) => out[off] + v,
+                        Some(Wcr::Prod) => out[off] * v,
+                        Some(Wcr::Max) => out[off].max(v),
+                        Some(Wcr::Min) => out[off].min(v),
+                    };
+                }
+            }
+            j += cl;
+        }
+        let mut d = inner;
+        loop {
+            if d == 0 {
+                break 'rows;
+            }
+            d -= 1;
+            k[d] += 1;
+            if k[d] < dims[d].len() as i64 {
+                break;
+            }
+            k[d] = 0;
+        }
+    }
+}
+
+/// Executes the straight-line fused body over one lane chunk. Every op
+/// runs all [`LANES`] lanes (tail lanes hold stale values that cannot
+/// fault and are never scattered), as fixed-width loops the compiler
+/// autovectorizes.
+fn run_fk_chunk(
+    code: &[FKInsn],
+    rf: &mut [[f64; LANES]],
+    rb: &mut [[bool; LANES]],
+    syms: &[Option<i64>],
+    outer_vals: &[f64],
+    inner_vals: &[f64; LANES],
+    inner: usize,
+) {
+    for insn in code {
+        match insn {
+            FKInsn::ConstF { dst, val } => rf[*dst as usize] = [*val; LANES],
+            FKInsn::ConstB { dst, val } => rb[*dst as usize] = [*val; LANES],
+            FKInsn::MovF { dst, src } => rf[*dst as usize] = rf[*src as usize],
+            FKInsn::MovB { dst, src } => rb[*dst as usize] = rb[*src as usize],
+            FKInsn::LoadSymF { dst, sym } => {
+                let v = syms[sym.idx()].expect("precheck resolved symbol") as f64;
+                rf[*dst as usize] = [v; LANES];
+            }
+            FKInsn::LoadParamF { dst, dim } => {
+                rf[*dst as usize] = if *dim as usize == inner {
+                    *inner_vals
+                } else {
+                    [outer_vals[*dim as usize]; LANES]
+                };
+            }
+            FKInsn::BinF { op, dst, a, b } => {
+                let (x, y) = (rf[*a as usize], rf[*b as usize]);
+                let o = &mut rf[*dst as usize];
+                let lanes = o.iter_mut().zip(&x).zip(&y);
+                match op {
+                    BinOp::Add => lanes.for_each(|((o, x), y)| *o = x + y),
+                    BinOp::Sub => lanes.for_each(|((o, x), y)| *o = x - y),
+                    BinOp::Mul => lanes.for_each(|((o, x), y)| *o = x * y),
+                    BinOp::Div => lanes.for_each(|((o, x), y)| *o = x / y),
+                    BinOp::Mod => lanes.for_each(|((o, x), y)| *o = x.rem_euclid(*y)),
+                    BinOp::Min => lanes.for_each(|((o, x), y)| *o = x.min(*y)),
+                    BinOp::Max => lanes.for_each(|((o, x), y)| *o = x.max(*y)),
+                    BinOp::Pow => lanes.for_each(|((o, x), y)| *o = x.powf(*y)),
+                    BinOp::And | BinOp::Or => unreachable!("lowered to AndB/OrB"),
+                }
+            }
+            FKInsn::UnF { op, dst, a } => {
+                let x = rf[*a as usize];
+                let o = &mut rf[*dst as usize];
+                let lanes = o.iter_mut().zip(&x);
+                match op {
+                    UnOp::Neg => lanes.for_each(|(o, x)| *o = -x),
+                    UnOp::Abs => lanes.for_each(|(o, x)| *o = x.abs()),
+                    UnOp::Sqrt => lanes.for_each(|(o, x)| *o = x.sqrt()),
+                    UnOp::Exp => lanes.for_each(|(o, x)| *o = x.exp()),
+                    UnOp::Log => lanes.for_each(|(o, x)| *o = x.ln()),
+                    UnOp::Floor => lanes.for_each(|(o, x)| *o = x.floor()),
+                    UnOp::Ceil => lanes.for_each(|(o, x)| *o = x.ceil()),
+                    UnOp::Tanh => lanes.for_each(|(o, x)| *o = x.tanh()),
+                    UnOp::Not => unreachable!("lowered to NotB"),
+                }
+            }
+            FKInsn::CmpF { op, dst, a, b } => {
+                let (x, y) = (rf[*a as usize], rf[*b as usize]);
+                let o = &mut rb[*dst as usize];
+                let lanes = o.iter_mut().zip(&x).zip(&y);
+                match op {
+                    CmpOp::Lt => lanes.for_each(|((o, x), y)| *o = x < y),
+                    CmpOp::Le => lanes.for_each(|((o, x), y)| *o = x <= y),
+                    CmpOp::Gt => lanes.for_each(|((o, x), y)| *o = x > y),
+                    CmpOp::Ge => lanes.for_each(|((o, x), y)| *o = x >= y),
+                    CmpOp::Eq => lanes.for_each(|((o, x), y)| *o = x == y),
+                    CmpOp::Ne => lanes.for_each(|((o, x), y)| *o = x != y),
+                }
+            }
+            FKInsn::NotB { dst, a } => {
+                let x = rb[*a as usize];
+                rb[*dst as usize]
+                    .iter_mut()
+                    .zip(&x)
+                    .for_each(|(o, x)| *o = !x);
+            }
+            FKInsn::AndB { dst, a, b } => {
+                let (x, y) = (rb[*a as usize], rb[*b as usize]);
+                rb[*dst as usize]
+                    .iter_mut()
+                    .zip(&x)
+                    .zip(&y)
+                    .for_each(|((o, x), y)| *o = *x && *y);
+            }
+            FKInsn::OrB { dst, a, b } => {
+                let (x, y) = (rb[*a as usize], rb[*b as usize]);
+                rb[*dst as usize]
+                    .iter_mut()
+                    .zip(&x)
+                    .zip(&y)
+                    .for_each(|((o, x), y)| *o = *x || *y);
+            }
+            FKInsn::BoolFromF { reg } => {
+                let x = rf[*reg as usize];
+                rb[*reg as usize]
+                    .iter_mut()
+                    .zip(&x)
+                    .for_each(|(o, x)| *o = *x != 0.0);
+            }
         }
     }
 }
@@ -3234,8 +4321,135 @@ mod tests {
             &mapped(ScalarExpr::r("x").mul(ScalarExpr::f64(2.0))),
             &CompileOptions {
                 specialize_f64: false,
+                ..Default::default()
             },
         );
         assert_eq!(count_fast(&p), (1, 0));
+    }
+
+    /// Returns the fusion info of every map scope of a compiled program.
+    fn fusion(p: &Program) -> Vec<MapFusionInfo> {
+        p.tasklet_stats().maps
+    }
+
+    #[test]
+    fn canonical_elementwise_map_fuses() {
+        for body in [
+            ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
+            ScalarExpr::r("x")
+                .mul(ScalarExpr::f64(2.0))
+                .add(ScalarExpr::r("i")),
+            ScalarExpr::r("x").div(ScalarExpr::r("N").sqrt()),
+        ] {
+            let p = Program::compile(&mapped(body.clone()));
+            let maps = fusion(&p);
+            assert_eq!(maps.len(), 1);
+            assert!(maps[0].fused, "{body:?} should fuse: {:?}", maps[0].reason);
+            assert_eq!(maps[0].label, "map[i]");
+        }
+    }
+
+    #[test]
+    fn select_bodies_stay_per_element_with_reason() {
+        let p = Program::compile(&mapped(
+            ScalarExpr::r("x")
+                .lt(ScalarExpr::f64(0.0))
+                .select(ScalarExpr::r("x").neg(), ScalarExpr::r("x")),
+        ));
+        let maps = fusion(&p);
+        assert!(!maps[0].fused);
+        assert!(
+            maps[0].reason.as_deref().unwrap().contains("select"),
+            "{:?}",
+            maps[0].reason
+        );
+    }
+
+    #[test]
+    fn generic_tasklets_do_not_fuse() {
+        // Integer-operated body: not f64-specializable, hence not fusable.
+        let p = Program::compile(&mapped(
+            ScalarExpr::r("i")
+                .add(ScalarExpr::i64(1))
+                .add(ScalarExpr::r("x")),
+        ));
+        let maps = fusion(&p);
+        assert!(!maps[0].fused);
+        assert_eq!(
+            maps[0].reason.as_deref(),
+            Some("tasklet is not f64-specialized")
+        );
+    }
+
+    #[test]
+    fn read_write_overlap_must_not_fuse() {
+        // In-place A[i] = A[i] * 2: container read and written by the
+        // same scope — the chunked kernel could observe its own writes.
+        let mut b = SdfgBuilder::new("inplace");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a_in = df.access("A");
+            let a_out = df.access("A");
+            let m = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |mb| {
+                    let a = mb.access("A");
+                    let o = mb.access("A");
+                    let t = mb.tasklet(Tasklet::simple(
+                        "t",
+                        vec!["x"],
+                        "y",
+                        ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
+                    ));
+                    mb.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    mb.write(
+                        t,
+                        o,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
+                },
+            );
+            df.auto_wire(m, &[a_in], &[a_out]);
+        });
+        let p = Program::compile(&b.build());
+        let maps = fusion(&p);
+        assert!(!maps[0].fused);
+        assert!(
+            maps[0].reason.as_deref().unwrap().contains("overlap"),
+            "{:?}",
+            maps[0].reason
+        );
+    }
+
+    #[test]
+    fn fusion_can_be_disabled() {
+        let p = Program::compile_with_options(
+            &mapped(ScalarExpr::r("x").mul(ScalarExpr::f64(2.0))),
+            &CompileOptions {
+                fuse_maps: false,
+                ..Default::default()
+            },
+        );
+        let maps = fusion(&p);
+        assert!(!maps[0].fused);
+        assert_eq!(maps[0].reason.as_deref(), Some("map fusion disabled"));
+        // The f64 fast path is still on.
+        assert_eq!(p.tasklet_stats().specialized, 1);
+    }
+
+    #[test]
+    fn program_ids_are_unique_and_shared_by_clones() {
+        let p1 = Program::compile(&mapped(ScalarExpr::r("x")));
+        let p2 = Program::compile(&mapped(ScalarExpr::r("x")));
+        assert_ne!(p1.id(), p2.id());
+        assert_eq!(p1.id(), p1.clone().id());
     }
 }

@@ -281,11 +281,11 @@ fn input_for(cfg: &Cfg) -> ExecState {
     st
 }
 
-/// Runs all three engines — the tree walk, the generic compiled bytecode
-/// (`specialize_f64 = false`) and the default compiled program with the
-/// monomorphic f64 fast path — on identical inputs, asserting
-/// bit-identical results, final states and coverage. Returns the shared
-/// outcome.
+/// Runs all four engines — the tree walk, the generic compiled bytecode
+/// (`specialize_f64 = false`), the per-element f64 fast path
+/// (`fuse_maps = false`) and the default compiled program with fused map
+/// kernels — on identical inputs, asserting bit-identical results, final
+/// states and coverage. Returns the shared outcome.
 fn assert_engines_agree(p: &Sdfg, input: &ExecState, max_steps: u64) -> Result<(), ExecError> {
     let opts = ExecOptions { max_steps };
 
@@ -305,6 +305,7 @@ fn assert_engines_agree(p: &Sdfg, input: &ExecState, max_steps: u64) -> Result<(
         p,
         &CompileOptions {
             specialize_f64: false,
+            ..Default::default()
         },
     );
     let mut gen_state = input.clone();
@@ -313,12 +314,27 @@ fn assert_engines_agree(p: &Sdfg, input: &ExecState, max_steps: u64) -> Result<(
     assert_eq!(tree_res, gen_res, "generic bytecode diverges");
     assert_states_bit_identical(&tree_state, &gen_state);
 
+    let unfused = Program::compile_with_options(
+        p,
+        &CompileOptions {
+            fuse_maps: false,
+            ..Default::default()
+        },
+    );
+    let mut unf_state = input.clone();
+    let mut unf_cov = CoverageMap::new();
+    let unf_res = unfused.run_with(&mut unf_state, &opts, None, Some(&mut unf_cov));
+    assert_eq!(tree_res, unf_res, "per-element fast path diverges");
+    assert_states_bit_identical(&tree_state, &unf_state);
+
     let mut tree_virgin = [0u8; MAP_SIZE];
     let mut comp_virgin = [0u8; MAP_SIZE];
     let mut gen_virgin = [0u8; MAP_SIZE];
+    let mut unf_virgin = [0u8; MAP_SIZE];
     tree_cov.merge_into(&mut tree_virgin);
     comp_cov.merge_into(&mut comp_virgin);
     gen_cov.merge_into(&mut gen_virgin);
+    unf_cov.merge_into(&mut unf_virgin);
     assert!(
         tree_virgin[..] == comp_virgin[..],
         "coverage maps diverge (tree {} edges, compiled {} edges)",
@@ -330,6 +346,12 @@ fn assert_engines_agree(p: &Sdfg, input: &ExecState, max_steps: u64) -> Result<(
         "generic coverage map diverges ({} vs {} edges)",
         tree_cov.edges_hit(),
         gen_cov.edges_hit()
+    );
+    assert!(
+        tree_virgin[..] == unf_virgin[..],
+        "per-element fast-path coverage map diverges ({} vs {} edges)",
+        tree_cov.edges_hit(),
+        unf_cov.edges_hit()
     );
 
     // A reused executor must behave exactly like a fresh one (the arena
@@ -786,6 +808,302 @@ fn fast_path_bulk_copy_parity() {
         let res = assert_engines_agree(&p, &input, 1_000_000);
         assert_eq!(res.is_err(), oob, "oob={oob}: {res:?}");
     }
+}
+
+// ----- fused map kernels ------------------------------------------------
+
+/// `B[write_sub] = 2 * A[read_sub]` over a map with the given ranges —
+/// the shape generator of the fused-kernel parity tests.
+fn fused_shape(
+    params: &[&str],
+    ranges: Vec<SymRange>,
+    read_sub: Vec<SymExpr>,
+    write_sub: Vec<SymExpr>,
+    wcr: Option<Wcr>,
+) -> Sdfg {
+    let mut b = SdfgBuilder::new("fused_shape");
+    b.symbol("N");
+    b.symbol("M");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &["N"]);
+    let st = b.start();
+    let params: Vec<String> = params.iter().map(|p| p.to_string()).collect();
+    b.in_state(st, move |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let param_refs: Vec<&str> = params.iter().map(|p| p.as_str()).collect();
+        let read_sub = read_sub.clone();
+        let write_sub = write_sub.clone();
+        let m = df.map(&param_refs, ranges.clone(), Schedule::Parallel, move |mb| {
+            let a = mb.access("A");
+            let o = mb.access("B");
+            let t = mb.tasklet(Tasklet::simple(
+                "t",
+                vec!["x"],
+                "y",
+                ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
+            ));
+            mb.read(
+                a,
+                t,
+                Memlet::new("A", Subset::at(read_sub.clone())).to_conn("x"),
+            );
+            let mut w = Memlet::new("B", Subset::at(write_sub.clone())).from_conn("y");
+            if let Some(op) = wcr {
+                w = w.with_wcr(op);
+            }
+            mb.write(t, o, w);
+        });
+        df.auto_wire(m, &[a], &[o]);
+    });
+    b.build()
+}
+
+fn fused_input(n: i64, m: i64) -> ExecState {
+    let mut st = ExecState::new();
+    st.bind("N", n).bind("M", m);
+    let vals: Vec<f64> = (0..n).map(|i| i as f64 * 1.5 - 3.0).collect();
+    st.set_array("A", ArrayValue::from_f64(vec![n], &vals));
+    st
+}
+
+fn assert_scope_fused(p: &Sdfg, expect: bool) {
+    let stats = Program::compile(p).tasklet_stats();
+    let map = &stats.maps[0];
+    assert_eq!(
+        map.fused, expect,
+        "scope {} fusion mismatch (reason: {:?})",
+        map.label, map.reason
+    );
+}
+
+/// Satellite acceptance: non-unit and negative access strides, strided
+/// map ranges and scalar (stride-0) WCR reductions all run through the
+/// fused kernel and stay bit-identical to every other engine.
+#[test]
+fn fused_kernel_stride_shapes_parity() {
+    // Reversed read A[N-1-i]: negative linear stride.
+    let reversed = fused_shape(
+        &["i"],
+        vec![SymRange::full(sym("N"))],
+        vec![sym("N") - SymExpr::Int(1) - sym("i")],
+        vec![sym("i")],
+        None,
+    );
+    // Dilated read A[2*i] over i in 0..M (bound so 2M-1 < N).
+    let dilated = fused_shape(
+        &["i"],
+        vec![SymRange::full(sym("M"))],
+        vec![SymExpr::Int(2) * sym("i")],
+        vec![sym("i")],
+        None,
+    );
+    // Strided map range: every second element.
+    let strided = fused_shape(
+        &["i"],
+        vec![SymRange::strided(
+            SymExpr::Int(0),
+            sym("N"),
+            SymExpr::Int(2),
+        )],
+        vec![sym("i")],
+        vec![sym("i")],
+        None,
+    );
+    // Stride-0 WCR reduction into B[0], combine order = element order.
+    let reduce = fused_shape(
+        &["i"],
+        vec![SymRange::full(sym("N"))],
+        vec![sym("i")],
+        vec![SymExpr::Int(0)],
+        Some(Wcr::Sum),
+    );
+    for p in [&reversed, &dilated, &strided, &reduce] {
+        assert_scope_fused(p, true);
+        let res = assert_engines_agree(p, &fused_input(8, 4), 1_000_000);
+        assert!(res.is_ok(), "{res:?}");
+    }
+}
+
+/// Satellite acceptance: zero-trip maps — an empty first dimension, an
+/// empty inner dimension behind a non-empty outer one, and a dynamic
+/// range that is empty at runtime — are no-ops in every engine.
+#[test]
+fn fused_kernel_zero_trip_parity() {
+    let empty_outer = fused_shape(
+        &["i"],
+        vec![SymRange::span(SymExpr::Int(3), SymExpr::Int(3))],
+        vec![sym("i")],
+        vec![sym("i")],
+        None,
+    );
+    let empty_inner = fused_shape(
+        &["i", "j"],
+        vec![
+            SymRange::full(sym("N")),
+            SymRange::span(SymExpr::Int(2), SymExpr::Int(2)),
+        ],
+        vec![sym("i")],
+        vec![sym("i")],
+        None,
+    );
+    for p in [&empty_outer, &empty_inner] {
+        assert_scope_fused(p, true);
+        let res = assert_engines_agree(p, &fused_input(6, 4), 1_000_000);
+        assert!(res.is_ok(), "{res:?}");
+    }
+    // Dynamic range 0..M with M = 0 at runtime.
+    let dynamic = fused_shape(
+        &["i"],
+        vec![SymRange::full(sym("M"))],
+        vec![sym("i")],
+        vec![sym("i")],
+        None,
+    );
+    assert_engines_agree(&dynamic, &fused_input(6, 0), 1_000_000).unwrap();
+}
+
+/// Satellite acceptance: dynamic map ranges from runtime symbols run
+/// fused for every concrete extent, including extents that make the
+/// subscripts run out of bounds (where the kernel must fall back so the
+/// error surfaces exactly as in the per-element engines).
+#[test]
+fn fused_kernel_dynamic_ranges_parity() {
+    let dynamic = fused_shape(
+        &["i"],
+        vec![SymRange::full(sym("M"))],
+        vec![sym("i")],
+        vec![sym("i")],
+        None,
+    );
+    assert_scope_fused(&dynamic, true);
+    for m in 0..10 {
+        let res = assert_engines_agree(&dynamic, &fused_input(6, m), 1_000_000);
+        assert_eq!(res.is_err(), m > 6, "M={m}: {res:?}");
+    }
+}
+
+/// A single-iteration map dimension with a huge step combined with a
+/// huge subscript coefficient: every concrete access is in bounds (the
+/// dimension only ever takes its start value), but the precheck's wide
+/// stride arithmetic would overflow even `i128` if it accumulated a
+/// stride for that dimension. Regression: must run (or fall back)
+/// without panicking, bit-identical to the per-element engines.
+#[test]
+fn fused_kernel_extreme_strides_do_not_overflow_the_precheck() {
+    let mut b = SdfgBuilder::new("extreme");
+    b.array("A2", DType::F64, &["2", "8"]);
+    b.array("B2", DType::F64, &["2", "8"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A2");
+        let o = df.access("B2");
+        let m = df.map(
+            &["i", "j"],
+            vec![
+                SymRange::strided(SymExpr::Int(0), SymExpr::Int(1), SymExpr::Int(1 << 62)),
+                SymRange::span(SymExpr::Int(0), SymExpr::Int(8)),
+            ],
+            Schedule::Parallel,
+            |mb| {
+                let a = mb.access("A2");
+                let o = mb.access("B2");
+                let t = mb.tasklet(Tasklet::simple(
+                    "t",
+                    vec!["x"],
+                    "y",
+                    ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
+                ));
+                mb.read(
+                    a,
+                    t,
+                    Memlet::new(
+                        "A2",
+                        Subset::at(vec![sym("i") * SymExpr::Int(i64::MAX), sym("j")]),
+                    )
+                    .to_conn("x"),
+                );
+                mb.write(
+                    t,
+                    o,
+                    Memlet::new("B2", Subset::at(vec![sym("i"), sym("j")])).from_conn("y"),
+                );
+            },
+        );
+        df.auto_wire(m, &[a], &[o]);
+    });
+    let p = b.build();
+    let mut input = ExecState::new();
+    let vals: Vec<f64> = (0..16).map(|i| i as f64).collect();
+    input.set_array("A2", ArrayValue::from_f64(vec![2, 8], &vals));
+    let res = assert_engines_agree(&p, &input, 1_000_000);
+    assert!(res.is_ok(), "{res:?}");
+}
+
+/// Satellite acceptance: a scope reading and writing the same container
+/// must not fuse (chunked execution could observe its own writes) and
+/// must still agree with every engine through the per-element fallback —
+/// here with a genuine cross-element dependency (B[i] = 2 * B[0]).
+#[test]
+fn fused_kernel_overlap_falls_back_and_agrees() {
+    let mut b = SdfgBuilder::new("overlap");
+    b.symbol("N");
+    b.array("B", DType::F64, &["N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let b_in = df.access("B");
+        let b_out = df.access("B");
+        let m = df.map(
+            &["i"],
+            vec![SymRange::full(sym("N"))],
+            Schedule::Parallel,
+            |mb| {
+                let a = mb.access("B");
+                let o = mb.access("B");
+                let t = mb.tasklet(Tasklet::simple(
+                    "t",
+                    vec!["x"],
+                    "y",
+                    ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
+                ));
+                mb.read(
+                    a,
+                    t,
+                    Memlet::new("B", Subset::at(vec![SymExpr::Int(0)])).to_conn("x"),
+                );
+                mb.write(
+                    t,
+                    o,
+                    Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                );
+            },
+        );
+        df.auto_wire(m, &[b_in], &[b_out]);
+    });
+    let p = b.build();
+    let stats = Program::compile(&p).tasklet_stats();
+    assert!(!stats.maps[0].fused);
+    assert!(
+        stats.maps[0].reason.as_deref().unwrap().contains("overlap"),
+        "{:?}",
+        stats.maps[0].reason
+    );
+    let mut input = ExecState::new();
+    input.bind("N", 5);
+    input.set_array(
+        "B",
+        ArrayValue::from_f64(vec![5], &[3.0, 1.0, 4.0, 1.0, 5.0]),
+    );
+    assert_engines_agree(&p, &input, 1_000_000).unwrap();
+    // The cross-element dependency is real: element 0 doubles B[0] in
+    // place, so every later element reads the doubled value and writes 12
+    // — a chunked kernel reading all lanes up front would write 6.
+    let mut st = input.clone();
+    Program::compile(&p).run(&mut st).unwrap();
+    assert_eq!(
+        st.array("B").unwrap().to_f64_vec(),
+        vec![6.0, 12.0, 12.0, 12.0, 12.0]
+    );
 }
 
 /// Interned-name accessors of the executor resolve symbols and arrays the

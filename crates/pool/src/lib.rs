@@ -50,6 +50,10 @@
 //!   `join().expect(...)` threads the pool replaced — and never leaves a
 //!   queued ticket pointing at a dead stack frame.
 
+pub mod cache;
+
+pub use cache::{Checkout, WorkerCache};
+
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -59,12 +63,18 @@ use std::thread::JoinHandle;
 /// Resolves a user-facing thread-count knob: `0` means one thread per
 /// available core (the convention of `SweepConfig::threads`,
 /// `VerifyConfig::trial_threads` and `DiffTester::threads`), any other
-/// value is taken literally.
+/// value is taken literally. The core count is probed once per process
+/// and memoized — callers in per-instance loops (a sweep resolves once
+/// per `DiffTester::test` call) never re-enter the OS query, and every
+/// resolution of `0` in a campaign is guaranteed to be the same number.
 pub fn resolve_threads(requested: usize) -> usize {
     if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
+        static CORES: OnceLock<usize> = OnceLock::new();
+        *CORES.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
     } else {
         requested
     }
@@ -568,6 +578,16 @@ mod tests {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
         assert_eq!(resolve_threads(1), 1);
+    }
+
+    #[test]
+    fn resolve_threads_is_memoized_and_stable() {
+        // Campaign-long stability: every `0` resolution in a process
+        // returns the same number (probed once, then memoized).
+        let first = resolve_threads(0);
+        for _ in 0..1000 {
+            assert_eq!(resolve_threads(0), first);
+        }
     }
 
     #[test]

@@ -42,6 +42,32 @@ fn main() {
         st.array("total").unwrap().get(0).as_f64()
     );
 
+    // Fusion introspection: per map scope, did it compile to a fused loop
+    // kernel, and if not, why? The frontend's `for` loop lowers to an
+    // inter-state loop, so this program has no map scopes at all — shown
+    // against the Fig. 5 MHA scale nest, which fuses.
+    let report = |name: &str, stats: &fuzzyflow::interp::TaskletStats| {
+        println!(
+            "{name}: {} tasklet(s), {} f64-specialized, {} of {} map scope(s) fused",
+            stats.tasklets,
+            stats.specialized,
+            stats.fused_maps,
+            stats.maps.len()
+        );
+        for m in &stats.maps {
+            match &m.reason {
+                None => println!("  {}: fused", m.label),
+                Some(r) => println!("  {}: not fused ({r})", m.label),
+            }
+        }
+    };
+    report("sum_of_squares", &compiled.tasklet_stats());
+    let mha = fuzzyflow::workloads::mha_encoder();
+    report(
+        "mha_encoder",
+        &fuzzyflow::interp::Program::compile(&mha).tasklet_stats(),
+    );
+
     // The canonical loops produced by the frontend are visible to the
     // loop transformations: unroll the loop (correct for ascending
     // constant-bound loops — here the bound is symbolic, so no match) and
