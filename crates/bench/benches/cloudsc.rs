@@ -26,15 +26,12 @@ fn main() {
 
     let workloads = vec![("cloudsc_like".to_string(), program, bindings)];
     let transformations = cloudsc_suite();
-    let cfg = SweepConfig {
-        verify: VerifyConfig {
-            trials: 100, // as in the paper
-            size_max: 10,
-            seed: 0xC10D,
-            ..Default::default()
-        },
-        threads: 0,
-    };
+    let cfg = SweepConfig::new().with_verify(
+        VerifyConfig::new()
+            .with_trials(100) // as in the paper
+            .with_size_max(10)
+            .with_seed(0xC10D),
+    );
     let start = std::time::Instant::now();
     let (results, rows) = sweep(&workloads, &transformations, &cfg);
     let elapsed = start.elapsed();

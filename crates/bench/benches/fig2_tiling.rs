@@ -46,11 +46,9 @@ fn main() {
         &program,
         &tiling,
         &matches[1],
-        &VerifyConfig {
-            trials: 100,
-            concretization: Some(bindings.clone()),
-            ..Default::default()
-        },
+        &VerifyConfig::new()
+            .with_trials(100)
+            .with_concretization(bindings.clone()),
     )
     .expect("pipeline");
     row("verdict", report.verdict.label());

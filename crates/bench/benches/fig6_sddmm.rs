@@ -103,12 +103,10 @@ fn main() {
         &program,
         &tiling,
         sddmm,
-        &VerifyConfig {
-            trials: 100,
-            size_max: 10,
-            concretization: Some(bindings.clone()),
-            ..Default::default()
-        },
+        &VerifyConfig::new()
+            .with_trials(100)
+            .with_size_max(10)
+            .with_concretization(bindings.clone()),
     )
     .expect("pipeline");
     row(

@@ -1,0 +1,144 @@
+//! Warm-cache session re-runs: the campaign artifact cache (cutout
+//! pairs, compiled `Program`s, executor arenas keyed by instance
+//! identity) makes re-verifying an unchanged campaign skip pipeline
+//! steps 1–4 entirely. The bench asserts the tentpole acceptance
+//! criteria:
+//!
+//! * a warm re-run performs **zero** pipeline preparations and
+//!   constructs **zero** fresh executor arenas (exact, not amortized:
+//!   trial batches are width-capped to the parked arena pairs);
+//! * warm reports are byte-identical to the cold run;
+//! * the warm re-run beats the cold run wall-clock (bar: >= 1.2x).
+//!
+//! Results land in `BENCH_session.json` with the machine configuration.
+
+use fuzzyflow::prelude::*;
+use fuzzyflow::session::{Campaign, NullSink};
+use fuzzyflow_bench::{config_json, row};
+use fuzzyflow_interp::fresh_arena_count;
+
+const TRIALS: usize = 10;
+
+fn campaign() -> Campaign {
+    // Fig. 2 + fig. 6 shaped: matmul chain and vanilla attention under
+    // three tiling passes (one correct, two seeded bugs).
+    Campaign::new("session_reuse")
+        .with_workload(
+            "matmul_chain",
+            fuzzyflow::workloads::matmul_chain(),
+            fuzzyflow::workloads::matmul_chain::default_bindings(),
+        )
+        .with_workload(
+            "vanilla_attention",
+            fuzzyflow::workloads::vanilla_attention(),
+            fuzzyflow::workloads::attention::default_bindings(),
+        )
+        .with_transformations(vec![
+            Box::new(MapTiling::new(4)),
+            Box::new(MapTilingOffByOne::new(4)),
+            Box::new(MapTilingNoRemainder::new(4)),
+        ])
+        .with_verify(
+            VerifyConfig::new()
+                .with_trials(TRIALS)
+                .with_size_max(6)
+                .with_seed(0x5E55_1011),
+        )
+}
+
+fn time_us(f: impl FnOnce()) -> f64 {
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e6
+}
+
+fn main() {
+    println!("== session_reuse: warm-cache campaign re-runs ==");
+    let session = campaign().session();
+    let n = session.instance_count();
+    row("campaign instances", n);
+
+    // Throwaway pass to start pool workers and warm the CPU; then drop
+    // the cache so the timed cold run measures real pipeline prep.
+    let reference = session.run(&NullSink);
+    session.clear_cache();
+
+    let mut cold_report = None;
+    let cold_us = time_us(|| cold_report = Some(session.run(&NullSink)));
+    let cold_report = cold_report.unwrap();
+    assert_eq!(
+        format!("{cold_report:?}"),
+        format!("{reference:?}"),
+        "cold re-run diverged"
+    );
+    let prepared_after_cold = session.prepared_instances();
+    assert_eq!(
+        prepared_after_cold,
+        2 * n,
+        "cold runs prepare every instance"
+    );
+
+    // Warm re-runs: zero preparations, zero fresh arenas, identical
+    // bytes. Take the best of three for the timing.
+    let fresh_before = fresh_arena_count();
+    let mut warm_us = f64::INFINITY;
+    for _ in 0..3 {
+        let mut warm_report = None;
+        let us = time_us(|| warm_report = Some(session.run(&NullSink)));
+        warm_us = warm_us.min(us);
+        assert_eq!(
+            format!("{:?}", warm_report.unwrap()),
+            format!("{cold_report:?}"),
+            "warm re-run diverged"
+        );
+    }
+    let warm_fresh = fresh_arena_count() - fresh_before;
+    let warm_prepares = session.prepared_instances() - prepared_after_cold;
+
+    row("cold run (us)", format!("{cold_us:.0}"));
+    row("warm re-run, best of 3 (us)", format!("{warm_us:.0}"));
+    let speedup = cold_us / warm_us;
+    row("warm speedup (target: >= 1.2x)", format!("{speedup:.2}x"));
+    row("warm fresh executor arenas (target: 0)", warm_fresh);
+    row("warm pipeline preparations (target: 0)", warm_prepares);
+
+    assert_eq!(
+        warm_fresh, 0,
+        "warm re-run constructed {warm_fresh} fresh arenas"
+    );
+    assert_eq!(
+        warm_prepares, 0,
+        "warm re-run re-prepared {warm_prepares} instances"
+    );
+    assert!(
+        speedup >= 1.2,
+        "warm re-run below the 1.2x bar: {speedup:.2}x"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"session_reuse\",\n",
+            "  \"config\": {},\n",
+            "  \"instances\": {},\n",
+            "  \"cold_us\": {:.3},\n",
+            "  \"warm_us\": {:.3},\n",
+            "  \"warm_speedup\": {:.3},\n",
+            "  \"warm_fresh_arenas\": {},\n",
+            "  \"warm_prepares\": {}\n",
+            "}}\n"
+        ),
+        config_json(TRIALS),
+        n,
+        cold_us,
+        warm_us,
+        speedup,
+        warm_fresh,
+        warm_prepares,
+    );
+    let record = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_session.json");
+    std::fs::write(&record, &json).expect("write BENCH_session.json");
+    println!("    wrote {}", record.display());
+}

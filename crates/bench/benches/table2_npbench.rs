@@ -25,15 +25,12 @@ fn main() {
     let transformations = builtin_suite();
     println!("built-in transformations: {}", transformations.len());
 
-    let cfg = SweepConfig {
-        verify: VerifyConfig {
-            trials: 40,
-            size_max: 10,
-            seed: 0xBEEF,
-            ..Default::default()
-        },
-        threads: 0,
-    };
+    let cfg = SweepConfig::new().with_verify(
+        VerifyConfig::new()
+            .with_trials(40)
+            .with_size_max(10)
+            .with_seed(0xBEEF),
+    );
     let start = std::time::Instant::now();
     let (results, rows) = sweep(&workloads, &transformations, &cfg);
     let elapsed = start.elapsed();

@@ -20,6 +20,40 @@
 //! 5. report a verdict; failures come with a bit-exact, replayable
 //!    [`TestCase`](fuzzyflow_fuzz::TestCase).
 //!
+//! The service-shaped entry point is a campaign [`session`]: declare
+//! workloads × transformations with a [`Campaign`]
+//! builder, then stream structured events from a
+//! [`Session`] while it verifies every instance —
+//! with budgets, cooperative cancellation (deterministic-prefix
+//! results), an artifact cache that makes re-runs warm, and a
+//! serializable [`CampaignReport`]:
+//!
+//! ```
+//! use fuzzyflow::prelude::*;
+//! use fuzzyflow::session::{Campaign, Event};
+//!
+//! let session = Campaign::new("fig2")
+//!     .with_workload(
+//!         "matmul_chain",
+//!         fuzzyflow_workloads::matmul_chain(),
+//!         fuzzyflow_workloads::matmul_chain::default_bindings(),
+//!     )
+//!     .with_transformation(Box::new(MapTilingOffByOne::new(4))) // the Fig. 2 bug
+//!     .with_verify(VerifyConfig::new().with_trials(40))
+//!     .session();
+//! let report = session.run(&|e: &Event| {
+//!     if let Event::FaultFound { index, label, .. } = e {
+//!         println!("instance {index} is faulty: {label}");
+//!     }
+//! });
+//! assert_eq!(report.fault_count(), 3); // all three GEMM tilings
+//! let json = report.to_json(); // replayable test cases included
+//! assert!(json.contains("semantic change"));
+//! ```
+//!
+//! [`verify_instance`] is the single-instance wrapper over the same
+//! path:
+//!
 //! ```
 //! use fuzzyflow::prelude::*;
 //!
@@ -30,19 +64,19 @@
 //!     &program,
 //!     &tiling,
 //!     &matches[1], // the second multiplication, as in the paper
-//!     &VerifyConfig {
-//!         trials: 40,
-//!         concretization: Some(fuzzyflow_workloads::matmul_chain::default_bindings()),
-//!         ..VerifyConfig::default()
-//!     },
+//!     &VerifyConfig::new()
+//!         .with_trials(40)
+//!         .with_concretization(fuzzyflow_workloads::matmul_chain::default_bindings()),
 //! )
 //! .unwrap();
 //! assert!(report.verdict.is_fault());
 //! ```
 
+pub mod session;
 pub mod sweep;
 pub mod verify;
 
+pub use session::{Campaign, CampaignReport, CancelToken, Event, EventSink, Session};
 pub use sweep::{format_sweep_table, sweep, sweep_on, InstanceResult, SweepConfig, SweepRow};
 pub use verify::{verify_instance, VerificationReport, VerifyConfig, VerifyError};
 
@@ -61,6 +95,9 @@ pub use fuzzyflow_workloads as workloads;
 
 /// Common imports for examples and downstream users.
 pub mod prelude {
+    pub use crate::session::{
+        Campaign, CampaignReport, CancelToken, Event, EventSink, Session, SessionBudget, StopReason,
+    };
     pub use crate::verify::{verify_instance, VerificationReport, VerifyConfig};
     pub use fuzzyflow_cutout::{extract_cutout, Cutout, SideEffectContext};
     pub use fuzzyflow_fuzz::{CoverageFuzzer, DiffTester, TestCase, Verdict};

@@ -1,0 +1,534 @@
+//! Campaign sessions: the streaming, resumable verification service API.
+//!
+//! The paper's workflow (Fig. 1) is a long-running *campaign* —
+//! thousands of transformation instances × fuzzing trials over whole
+//! benchmark suites. This module is the service-shaped top of the
+//! stack:
+//!
+//! * a [`Campaign`] builder declares the work — workloads ×
+//!   transformations × an instance filter × a [`VerifyConfig`] × budgets;
+//! * a [`Session`] executes it on the shared
+//!   [`WorkerPool`], streaming structured
+//!   [`Event`]s through an [`EventSink`] while running;
+//! * trial/time/instance budgets and a cooperative [`CancelToken`] stop
+//!   the run early with a **deterministic prefix**: the completed
+//!   instances are a contiguous, index-ordered prefix of the work list,
+//!   each byte-identical to the same index of an uninterrupted run;
+//! * compiled artifacts — cutout pairs, compiled
+//!   [`Program`](fuzzyflow_interp::Program)s, executor arenas — are
+//!   cached per instance across [`Session::run`] calls, so re-verifying
+//!   an unchanged campaign skips pipeline steps 1–4 and constructs
+//!   **zero** fresh executor arenas;
+//! * each run yields a serializable [`CampaignReport`] with structured
+//!   errors and bit-exact, replayable test cases.
+//!
+//! [`verify_instance`](crate::verify_instance),
+//! [`sweep`](crate::sweep::sweep) and `CoverageFuzzer::run_many` are
+//! thin wrappers over single-shot sessions on this same path, so their
+//! reports are byte-identical to the campaign equivalents.
+//!
+//! ```
+//! use fuzzyflow::session::{Campaign, Event};
+//! use fuzzyflow::VerifyConfig;
+//! use fuzzyflow_transforms::{MapTiling, MapTilingOffByOne};
+//!
+//! let session = Campaign::new("tiling-audit")
+//!     .with_workload(
+//!         "matmul_chain",
+//!         fuzzyflow_workloads::matmul_chain(),
+//!         fuzzyflow_workloads::matmul_chain::default_bindings(),
+//!     )
+//!     .with_transformation(Box::new(MapTiling::new(4)))
+//!     .with_transformation(Box::new(MapTilingOffByOne::new(4)))
+//!     .with_verify(VerifyConfig::new().with_trials(25).with_size_max(10))
+//!     .session();
+//! let report = session.run(&|e: &Event| {
+//!     if let Event::FaultFound { index, label, .. } = e {
+//!         println!("instance {index}: {label}");
+//!     }
+//! });
+//! assert_eq!(report.completed(), 6); // 3 GEMMs × 2 passes
+//! assert_eq!(report.fault_count(), 3); // the off-by-one pass
+//! // Warm re-run: cached artifacts, byte-identical report.
+//! assert_eq!(session.run(&fuzzyflow::session::NullSink), report);
+//! ```
+
+mod event;
+mod report;
+
+pub use event::{CollectingSink, Event, EventSink, NullSink};
+pub use fuzzyflow_session::{CancelToken, SessionBudget, StopReason};
+pub use report::{
+    CampaignReport, ErrorRecord, FaultRecord, InstanceReport, ReportConfig, ReportParseError,
+};
+
+use crate::sweep::InstanceResult;
+use crate::verify::{
+    prepare_instance, run_prepared, PreparedInstance, VerificationReport, VerifyConfig, VerifyError,
+};
+use fuzzyflow_ir::{Bindings, Sdfg};
+use fuzzyflow_pool::{resolve_threads, WorkerPool};
+use fuzzyflow_transforms::{Transformation, TransformationMatch};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Identity of one enumerated instance, handed to campaign filters.
+#[derive(Clone, Copy, Debug)]
+pub struct InstanceMeta<'a> {
+    pub workload: &'a str,
+    pub transformation: &'a str,
+    pub match_description: &'a str,
+}
+
+type InstanceFilter = Box<dyn Fn(&InstanceMeta<'_>) -> bool + Send + Sync>;
+
+/// Declares a verification campaign: which workloads, which
+/// transformations, which instances, under which configuration and
+/// budgets. Built fluently, then turned into a [`Session`] with
+/// [`Campaign::session`].
+pub struct Campaign {
+    name: String,
+    workloads: Vec<(String, Sdfg, Bindings)>,
+    transformations: Vec<Box<dyn Transformation>>,
+    filter: Option<InstanceFilter>,
+    verify: VerifyConfig,
+    threads: usize,
+    budget: SessionBudget,
+}
+
+impl Campaign {
+    /// An empty campaign with default configuration and no budgets.
+    pub fn new(name: impl Into<String>) -> Campaign {
+        Campaign {
+            name: name.into(),
+            workloads: Vec::new(),
+            transformations: Vec::new(),
+            filter: None,
+            verify: VerifyConfig::default(),
+            threads: 0,
+            budget: SessionBudget::unlimited(),
+        }
+    }
+
+    /// Adds a workload; `bindings` concretizes min-cut capacities when
+    /// [`VerifyConfig::concretization`] is unset (exactly like
+    /// [`sweep`](crate::sweep::sweep)).
+    pub fn with_workload(
+        mut self,
+        name: impl Into<String>,
+        sdfg: Sdfg,
+        bindings: Bindings,
+    ) -> Campaign {
+        self.workloads.push((name.into(), sdfg, bindings));
+        self
+    }
+
+    /// Adds one transformation under test.
+    pub fn with_transformation(mut self, t: Box<dyn Transformation>) -> Campaign {
+        self.transformations.push(t);
+        self
+    }
+
+    /// Adds a whole suite of transformations.
+    pub fn with_transformations(mut self, ts: Vec<Box<dyn Transformation>>) -> Campaign {
+        self.transformations.extend(ts);
+        self
+    }
+
+    /// Keeps only instances the predicate accepts (applied at
+    /// enumeration time, before any instance runs).
+    pub fn with_filter(
+        mut self,
+        f: impl Fn(&InstanceMeta<'_>) -> bool + Send + Sync + 'static,
+    ) -> Campaign {
+        self.filter = Some(Box::new(f));
+        self
+    }
+
+    /// Sets the per-instance verification configuration.
+    pub fn with_verify(mut self, verify: VerifyConfig) -> Campaign {
+        self.verify = verify;
+        self
+    }
+
+    /// Caps concurrent instances on the shared pool (`0` = one per core).
+    pub fn with_threads(mut self, threads: usize) -> Campaign {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets all budgets at once.
+    pub fn with_budget(mut self, budget: SessionBudget) -> Campaign {
+        self.budget = budget;
+        self
+    }
+
+    /// Caps the number of instances run (exact prefix).
+    pub fn with_max_instances(mut self, n: usize) -> Campaign {
+        self.budget.max_items = Some(n);
+        self
+    }
+
+    /// Caps the total fuzzing trials executed across instances.
+    pub fn with_max_trials(mut self, trials: u64) -> Campaign {
+        self.budget.max_cost = Some(trials);
+        self
+    }
+
+    /// Stops claiming instances after a wall-clock limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Campaign {
+        self.budget.time_limit = Some(limit);
+        self
+    }
+
+    /// Enumerates the instances (workload-major, then transformation,
+    /// then match order — the same order as [`sweep`](crate::sweep::sweep)) and
+    /// returns the executable session. The campaign is immutable from
+    /// here on, which is what makes the instance index a stable identity
+    /// for the session's artifact cache.
+    pub fn session(self) -> Session {
+        let mut specs = Vec::new();
+        for (wi, (name, sdfg, _)) in self.workloads.iter().enumerate() {
+            for (ti, t) in self.transformations.iter().enumerate() {
+                for m in t.find_matches(sdfg) {
+                    let keep = self.filter.as_ref().is_none_or(|f| {
+                        f(&InstanceMeta {
+                            workload: name,
+                            transformation: t.name(),
+                            match_description: &m.description,
+                        })
+                    });
+                    if keep {
+                        specs.push(OwnedSpec {
+                            workload: wi,
+                            transformation: ti,
+                            m,
+                        });
+                    }
+                }
+            }
+        }
+        Session {
+            campaign: self,
+            specs,
+            cache: Mutex::new(HashMap::new()),
+            prepares: AtomicUsize::new(0),
+            run_lock: Mutex::new(()),
+        }
+    }
+}
+
+/// One enumerated instance of a campaign, by index into its owner.
+struct OwnedSpec {
+    workload: usize,
+    transformation: usize,
+    m: TransformationMatch,
+}
+
+/// Cached outcome of the prepare pipeline for one instance.
+type PreparedEntry = Arc<Result<PreparedInstance, VerifyError>>;
+
+/// The per-session artifact cache, keyed by instance index (stable
+/// because the owning campaign is immutable).
+type SessionCache = Mutex<HashMap<usize, PreparedEntry>>;
+
+/// An executable campaign. Each [`Session::run`] call executes the whole
+/// work list (or the budgeted/uncancelled prefix of it); compiled
+/// artifacts persist in the session across calls, so repeat runs are
+/// warm: pipeline steps 1–4 are skipped and executor arenas are checked
+/// back out of the per-instance stashes instead of being constructed.
+pub struct Session {
+    campaign: Campaign,
+    specs: Vec<OwnedSpec>,
+    cache: SessionCache,
+    prepares: AtomicUsize,
+    /// Serializes whole runs: two concurrent `run` calls on one session
+    /// would race each other for the per-instance arena stashes
+    /// (draining them and constructing fresh arenas) and duplicate cold
+    /// preparations — see [`Session::run_on`].
+    run_lock: Mutex<()>,
+}
+
+impl Session {
+    /// Number of enumerated instances (after filtering).
+    pub fn instance_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The campaign's name.
+    pub fn campaign_name(&self) -> &str {
+        &self.campaign.name
+    }
+
+    /// Cumulative count of cold pipeline preparations (steps 1–4 +
+    /// compile) performed by this session. A warm re-run leaves this
+    /// unchanged — the observable behind the `session_reuse` bench.
+    pub fn prepared_instances(&self) -> usize {
+        self.prepares.load(Ordering::Relaxed)
+    }
+
+    /// Number of instances whose compiled artifacts are currently cached.
+    pub fn cached_instances(&self) -> usize {
+        self.cache.lock().expect("session cache poisoned").len()
+    }
+
+    /// Drops every cached artifact (the next run is cold again).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("session cache poisoned").clear();
+    }
+
+    /// Runs the campaign on the process-wide pool, streaming events into
+    /// `sink`, and returns the serializable report.
+    pub fn run(&self, sink: &dyn EventSink) -> CampaignReport {
+        self.run_on(WorkerPool::global(), sink, None)
+    }
+
+    /// [`Session::run`] with a cooperative [`CancelToken`]: cancellation
+    /// stops new instances from being claimed; in-flight instances
+    /// complete, preserving the deterministic prefix.
+    pub fn run_cancellable(&self, sink: &dyn EventSink, cancel: &CancelToken) -> CampaignReport {
+        self.run_on(WorkerPool::global(), sink, Some(cancel))
+    }
+
+    /// [`Session::run`] against an explicit pool (benchmarks, tests).
+    ///
+    /// Runs on one session are serialized: a second concurrent call
+    /// blocks until the first completes. Overlapping runs would race for
+    /// the per-instance arena stashes (draining them, constructing fresh
+    /// arenas, and growing the retained set) and could prepare the same
+    /// cold instance twice — serializing preserves the warm-run
+    /// guarantees (zero preparations, zero fresh arenas) for every call.
+    /// Cancel a run via its [`CancelToken`] instead of racing it.
+    pub fn run_on(
+        &self,
+        pool: &WorkerPool,
+        sink: &dyn EventSink,
+        cancel: Option<&CancelToken>,
+    ) -> CampaignReport {
+        let _exclusive = self.run_lock.lock().expect("session run lock poisoned");
+        let specs: Vec<Spec<'_>> = self
+            .specs
+            .iter()
+            .map(|os| {
+                let (name, sdfg, bindings) = &self.campaign.workloads[os.workload];
+                Spec {
+                    workload: name,
+                    sdfg,
+                    bindings: Some(bindings),
+                    t: self.campaign.transformations[os.transformation].as_ref(),
+                    m: &os.m,
+                }
+            })
+            .collect();
+        let (results, stop, trials_spent) = run_specs(
+            &specs,
+            &Exec {
+                pool,
+                verify: &self.campaign.verify,
+                threads: self.campaign.threads,
+                budget: &self.campaign.budget,
+                cancel,
+                sink,
+                cache: Some(&self.cache),
+                prepares: Some(&self.prepares),
+            },
+        );
+        CampaignReport {
+            campaign: self.campaign.name.clone(),
+            status: stop,
+            total_instances: self.specs.len(),
+            trials_spent,
+            config: ReportConfig::from_verify(&self.campaign.verify, self.campaign.threads),
+            instances: results.iter().map(InstanceReport::from_result).collect(),
+        }
+    }
+}
+
+/// A borrowed view of one instance to verify — the unit of work every
+/// public entry point reduces to.
+pub(crate) struct Spec<'a> {
+    pub workload: &'a str,
+    pub sdfg: &'a Sdfg,
+    pub bindings: Option<&'a Bindings>,
+    pub t: &'a dyn Transformation,
+    pub m: &'a TransformationMatch,
+}
+
+/// Execution context shared by every entry point.
+pub(crate) struct Exec<'a> {
+    pub pool: &'a WorkerPool,
+    pub verify: &'a VerifyConfig,
+    pub threads: usize,
+    pub budget: &'a SessionBudget,
+    pub cancel: Option<&'a CancelToken>,
+    pub sink: &'a dyn EventSink,
+    pub cache: Option<&'a SessionCache>,
+    pub prepares: Option<&'a AtomicUsize>,
+}
+
+/// Fetches (or computes and caches) the prepared artifacts of instance
+/// `index`.
+fn prepared_entry(
+    spec: &Spec<'_>,
+    vcfg: &VerifyConfig,
+    exec: &Exec<'_>,
+    index: usize,
+) -> (PreparedEntry, bool) {
+    if let Some(cache) = exec.cache {
+        if let Some(entry) = cache.lock().expect("session cache poisoned").get(&index) {
+            return (Arc::clone(entry), true);
+        }
+    }
+    if let Some(prepares) = exec.prepares {
+        prepares.fetch_add(1, Ordering::Relaxed);
+    }
+    let entry = Arc::new(prepare_instance(spec.sdfg, spec.t, spec.m, vcfg));
+    if let Some(cache) = exec.cache {
+        cache
+            .lock()
+            .expect("session cache poisoned")
+            .insert(index, Arc::clone(&entry));
+    }
+    (entry, false)
+}
+
+/// The one execution path of the verification stack: runs `specs` under
+/// `exec` with deterministic-prefix scheduling, streaming events, and
+/// returns `(completed results, stop reason, trials spent)`.
+pub(crate) fn run_specs(
+    specs: &[Spec<'_>],
+    exec: &Exec<'_>,
+) -> (Vec<InstanceResult>, StopReason, u64) {
+    let n = specs.len();
+    exec.sink.on_event(&Event::SessionStarted { instances: n });
+    let width = resolve_threads(exec.threads);
+    let outcome = fuzzyflow_session::drive(exec.pool, n, width, exec.budget, exec.cancel, |i| {
+        let spec = &specs[i];
+        exec.sink.on_event(&Event::InstanceStarted {
+            index: i,
+            workload: spec.workload.to_string(),
+            transformation: spec.t.name().to_string(),
+            match_description: spec.m.description.clone(),
+        });
+
+        let mut vcfg = exec.verify.clone();
+        if vcfg.concretization.is_none() {
+            if let Some(b) = spec.bindings {
+                vcfg.concretization = Some(b.clone());
+            }
+        }
+
+        let (entry, cached) = prepared_entry(spec, &vcfg, exec, i);
+        let outcome: Result<VerificationReport, VerifyError> = match entry.as_ref() {
+            Err(e) => Err(e.clone()),
+            Ok(prepared) => {
+                let total = vcfg.trials;
+                let chunk = (total / 4).max(1);
+                let progress = |done: usize| {
+                    if done.is_multiple_of(chunk) || done == total {
+                        exec.sink.on_event(&Event::TrialProgress {
+                            index: i,
+                            trials_done: done,
+                            trials_total: total,
+                        });
+                    }
+                };
+                Ok(run_prepared(
+                    prepared,
+                    &vcfg,
+                    exec.pool,
+                    exec.cache.is_some(),
+                    Some(&progress),
+                ))
+            }
+        };
+
+        let result = match outcome {
+            Ok(report) => {
+                if let Some(fault) = FaultRecord::from_verdict(&report.verdict) {
+                    exec.sink.on_event(&Event::FaultFound {
+                        index: i,
+                        label: fault.label,
+                        trial: fault.trial,
+                        detail: fault.detail,
+                    });
+                }
+                InstanceResult {
+                    index: i,
+                    workload: spec.workload.to_string(),
+                    transformation: spec.t.name().to_string(),
+                    match_description: spec.m.description.clone(),
+                    report: Some(report),
+                    error: None,
+                }
+            }
+            Err(error) => {
+                exec.sink.on_event(&Event::PipelineError {
+                    index: i,
+                    error: error.clone(),
+                });
+                InstanceResult {
+                    index: i,
+                    workload: spec.workload.to_string(),
+                    transformation: spec.t.name().to_string(),
+                    match_description: spec.m.description.clone(),
+                    report: None,
+                    error: Some(error),
+                }
+            }
+        };
+        let trials_run = result.report.as_ref().map_or(0, |r| r.trials_run);
+        exec.sink.on_event(&Event::InstanceFinished {
+            index: i,
+            label: result.label().to_string(),
+            is_fault: result.is_fault(),
+            trials_run,
+            cached,
+        });
+        (result, trials_run as u64)
+    });
+    exec.sink.on_event(&Event::SessionFinished {
+        completed: outcome.results.len(),
+        total: n,
+        stop: outcome.stop,
+    });
+    (outcome.results, outcome.stop, outcome.cost_spent)
+}
+
+/// A single-instance, single-shot session — the engine under
+/// [`crate::verify_instance`].
+pub(crate) fn verify_single_shot(
+    program: &Sdfg,
+    t: &dyn Transformation,
+    m: &TransformationMatch,
+    cfg: &VerifyConfig,
+) -> Result<VerificationReport, VerifyError> {
+    let spec = Spec {
+        workload: "",
+        sdfg: program,
+        bindings: None,
+        t,
+        m,
+    };
+    let (mut results, _, _) = run_specs(
+        std::slice::from_ref(&spec),
+        &Exec {
+            pool: WorkerPool::global(),
+            verify: cfg,
+            threads: 1,
+            budget: &SessionBudget::unlimited(),
+            cancel: None,
+            sink: &NullSink,
+            cache: None,
+            prepares: None,
+        },
+    );
+    let result = results.pop().expect("single instance completes");
+    match (result.report, result.error) {
+        (Some(report), _) => Ok(report),
+        (None, Some(error)) => Err(error),
+        (None, None) => unreachable!("every instance yields a report or an error"),
+    }
+}

@@ -1,0 +1,444 @@
+//! Machine-readable campaign reports.
+//!
+//! A [`CampaignReport`] is the durable artifact of a session run: one
+//! record per completed instance with its verdict class, structured
+//! pipeline error (if any) and — for faults — the bit-exact
+//! [`TestCase`] that exposed the bug, ready for replay. Serialization is
+//! hand-rolled JSON (like the `BENCH_*` writers; no serde), and
+//! [`CampaignReport::from_json`] parses it back losslessly, so reports
+//! can be shipped off a verification service, deduplicated by
+//! `(transformation, label, error kind)` and replayed elsewhere.
+//!
+//! The encoding is canonical: `parse(to_json()).to_json()` is
+//! byte-identical to `to_json()`, and every test-case value is stored as
+//! raw bit patterns (see [`TestCase::to_json`]), so a replayed fault
+//! reproduces the identical verdict.
+
+use crate::sweep::InstanceResult;
+use crate::verify::VerifyConfig;
+use fuzzyflow_fuzz::json::{quote, Json};
+use fuzzyflow_fuzz::{TestCase, Verdict};
+use fuzzyflow_session::StopReason;
+use std::fmt;
+
+/// A structured pipeline error: which stage failed, and why.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ErrorRecord {
+    /// Pipeline stage: "apply", "extract" or "replay".
+    pub kind: String,
+    /// Stage-specific message.
+    pub message: String,
+}
+
+/// A proven fault, with its replayable failing input when one exists.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultRecord {
+    /// Verdict class label ("semantic change", "crash", "hang",
+    /// "invalid code").
+    pub label: String,
+    /// 1-based trial that exposed the fault (absent for validation
+    /// failures).
+    pub trial: Option<usize>,
+    /// Mismatch description / crash error / validation errors.
+    pub detail: String,
+    /// The bit-exact failing input configuration, when the fault was
+    /// exposed by execution.
+    pub case: Option<TestCase>,
+}
+
+impl FaultRecord {
+    /// The single verdict-to-fault projection of the session layer:
+    /// both [`InstanceReport`]s and `Event::FaultFound` derive their
+    /// label/trial/detail from here, so the streamed event and the
+    /// serialized record can never diverge for the same fault.
+    pub(crate) fn from_verdict(verdict: &Verdict) -> Option<FaultRecord> {
+        let (trial, detail, case) = match verdict {
+            Verdict::SemanticChange {
+                trial,
+                mismatch,
+                case,
+            } => (Some(*trial), mismatch.clone(), Some(case.clone())),
+            Verdict::Crash { trial, error, case } => {
+                (Some(*trial), error.clone(), Some(case.clone()))
+            }
+            Verdict::Hang { trial, case } => (
+                Some(*trial),
+                "step budget exceeded".to_string(),
+                Some(case.clone()),
+            ),
+            Verdict::InvalidCode { errors } => (None, errors.join("; "), None),
+            Verdict::Equivalent { .. } | Verdict::Inconclusive { .. } => return None,
+        };
+        Some(FaultRecord {
+            label: verdict.label().to_string(),
+            trial,
+            detail,
+            case,
+        })
+    }
+}
+
+/// One completed instance of a campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InstanceReport {
+    /// Position in the campaign's enumerated work list (the
+    /// deterministic-prefix index).
+    pub index: usize,
+    pub workload: String,
+    pub transformation: String,
+    pub match_description: String,
+    /// Table-2 style classification ("ok", "semantic change", "crash",
+    /// "hang", "invalid code", "inconclusive", "pipeline error").
+    pub label: String,
+    pub trials_run: usize,
+    pub trials_to_detection: Option<usize>,
+    pub cutout_nodes: usize,
+    pub program_nodes: usize,
+    /// Input-space reduction of the min input-flow cut, when it ran.
+    pub mincut_reduction: Option<f64>,
+    pub system_state: Vec<String>,
+    pub input_config: Vec<String>,
+    pub error: Option<ErrorRecord>,
+    pub fault: Option<FaultRecord>,
+}
+
+impl InstanceReport {
+    /// True when the instance was proven faulty.
+    pub fn is_fault(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Projects a session's rich per-instance result into the
+    /// serializable record.
+    pub(crate) fn from_result(r: &InstanceResult) -> InstanceReport {
+        let mut out = InstanceReport {
+            index: r.index,
+            workload: r.workload.clone(),
+            transformation: r.transformation.clone(),
+            match_description: r.match_description.clone(),
+            label: r.label().to_string(),
+            trials_run: 0,
+            trials_to_detection: None,
+            cutout_nodes: 0,
+            program_nodes: 0,
+            mincut_reduction: None,
+            system_state: Vec::new(),
+            input_config: Vec::new(),
+            error: r.error.as_ref().map(|e| ErrorRecord {
+                kind: e.kind().to_string(),
+                message: e.detail(),
+            }),
+            fault: None,
+        };
+        if let Some(rep) = &r.report {
+            out.trials_run = rep.trials_run;
+            out.trials_to_detection = rep.trials_to_detection;
+            out.cutout_nodes = rep.cutout_stats.nodes;
+            out.program_nodes = rep.program_nodes;
+            out.mincut_reduction = rep.mincut.as_ref().map(|m| m.reduction());
+            out.system_state = rep.system_state.clone();
+            out.input_config = rep.input_config.clone();
+            out.fault = FaultRecord::from_verdict(&rep.verdict);
+        }
+        out
+    }
+}
+
+/// The configuration a campaign ran under — embedded in every report so
+/// recorded verdicts are interpretable and replayable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReportConfig {
+    pub trials: usize,
+    pub tolerance: f64,
+    pub seed: u64,
+    pub size_max: i64,
+    pub minimize: bool,
+    pub trial_threads: usize,
+    pub threads: usize,
+}
+
+impl ReportConfig {
+    pub(crate) fn from_verify(v: &VerifyConfig, threads: usize) -> ReportConfig {
+        ReportConfig {
+            trials: v.trials,
+            tolerance: v.tolerance,
+            seed: v.seed,
+            size_max: v.size_max,
+            minimize: v.minimize,
+            trial_threads: v.trial_threads,
+            threads,
+        }
+    }
+}
+
+/// The serializable outcome of one session run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignReport {
+    /// Campaign name (report provenance).
+    pub campaign: String,
+    /// Why the run stopped.
+    pub status: StopReason,
+    /// Size of the enumerated work list.
+    pub total_instances: usize,
+    /// Fuzzing trials executed across the completed prefix.
+    pub trials_spent: u64,
+    /// The configuration the campaign ran under.
+    pub config: ReportConfig,
+    /// The completed prefix, in index order (`instances.len()` is the
+    /// prefix length; `instances[i].index == i`).
+    pub instances: Vec<InstanceReport>,
+}
+
+/// Report parse errors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReportParseError(pub String);
+
+impl fmt::Display for ReportParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "campaign report parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ReportParseError {}
+
+/// Writes a finite `f64` in shortest-round-trip form, `null` otherwise.
+fn num_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn str_list(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| quote(s)).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+fn opt_usize(v: Option<usize>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+impl CampaignReport {
+    /// Completed instances proven faulty, in index order.
+    pub fn faults(&self) -> impl Iterator<Item = &InstanceReport> {
+        self.instances.iter().filter(|i| i.is_fault())
+    }
+
+    /// Count of completed instances proven faulty.
+    pub fn fault_count(&self) -> usize {
+        self.faults().count()
+    }
+
+    /// Number of completed instances (the deterministic-prefix length).
+    pub fn completed(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Serializes the report as JSON (canonical: parsing and
+    /// re-serializing is byte-identical).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"format\": \"fuzzyflow-campaign-report-v1\",\n");
+        out.push_str(&format!("  \"campaign\": {},\n", quote(&self.campaign)));
+        out.push_str(&format!("  \"status\": {},\n", quote(self.status.label())));
+        out.push_str(&format!(
+            "  \"total_instances\": {},\n",
+            self.total_instances
+        ));
+        out.push_str(&format!("  \"completed\": {},\n", self.instances.len()));
+        out.push_str(&format!("  \"trials_spent\": {},\n", self.trials_spent));
+        let c = &self.config;
+        out.push_str(&format!(
+            "  \"config\": {{\"trials\": {}, \"tolerance\": {}, \"seed\": {}, \
+             \"size_max\": {}, \"minimize\": {}, \"trial_threads\": {}, \"threads\": {}}},\n",
+            c.trials,
+            num_f64(c.tolerance),
+            c.seed,
+            c.size_max,
+            c.minimize,
+            c.trial_threads,
+            c.threads
+        ));
+        out.push_str("  \"instances\": [");
+        for (k, inst) in self.instances.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&Self::instance_json(inst));
+        }
+        if !self.instances.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    fn instance_json(inst: &InstanceReport) -> String {
+        let error = match &inst.error {
+            None => "null".to_string(),
+            Some(e) => format!(
+                "{{\"kind\": {}, \"message\": {}}}",
+                quote(&e.kind),
+                quote(&e.message)
+            ),
+        };
+        let fault = match &inst.fault {
+            None => "null".to_string(),
+            Some(f) => format!(
+                "{{\"label\": {}, \"trial\": {}, \"detail\": {}, \"case\": {}}}",
+                quote(&f.label),
+                opt_usize(f.trial),
+                quote(&f.detail),
+                f.case
+                    .as_ref()
+                    .map_or_else(|| "null".to_string(), |c| c.to_json())
+            ),
+        };
+        format!(
+            "{{\"index\": {}, \"workload\": {}, \"transformation\": {}, \"match\": {}, \
+             \"label\": {}, \"trials_run\": {}, \"trials_to_detection\": {}, \
+             \"cutout_nodes\": {}, \"program_nodes\": {}, \"mincut_reduction\": {}, \
+             \"system_state\": {}, \"input_config\": {}, \"error\": {}, \"fault\": {}}}",
+            inst.index,
+            quote(&inst.workload),
+            quote(&inst.transformation),
+            quote(&inst.match_description),
+            quote(&inst.label),
+            inst.trials_run,
+            opt_usize(inst.trials_to_detection),
+            inst.cutout_nodes,
+            inst.program_nodes,
+            inst.mincut_reduction
+                .map_or_else(|| "null".to_string(), num_f64),
+            str_list(&inst.system_state),
+            str_list(&inst.input_config),
+            error,
+            fault
+        )
+    }
+
+    /// Parses a report serialized by [`CampaignReport::to_json`].
+    pub fn from_json(text: &str) -> Result<CampaignReport, ReportParseError> {
+        let v = Json::parse(text).map_err(|e| ReportParseError(e.to_string()))?;
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| ReportParseError(format!("missing field '{k}'")))
+        };
+        match field("format")?.as_str() {
+            Some("fuzzyflow-campaign-report-v1") => {}
+            other => {
+                return Err(ReportParseError(format!(
+                    "unsupported report format {other:?}"
+                )))
+            }
+        }
+        let req_str = |v: &Json, k: &str| -> Result<String, ReportParseError> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ReportParseError(format!("missing string field '{k}'")))
+        };
+        let req_usize = |v: &Json, k: &str| -> Result<usize, ReportParseError> {
+            v.get(k)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ReportParseError(format!("missing numeric field '{k}'")))
+        };
+
+        let status_label = req_str(&v, "status")?;
+        let status = StopReason::from_label(&status_label)
+            .ok_or_else(|| ReportParseError(format!("unknown status '{status_label}'")))?;
+
+        let cfg = field("config")?;
+        let config = ReportConfig {
+            trials: req_usize(cfg, "trials")?,
+            tolerance: cfg
+                .get("tolerance")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN),
+            seed: cfg
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ReportParseError("missing config.seed".into()))?,
+            size_max: cfg
+                .get("size_max")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| ReportParseError("missing config.size_max".into()))?,
+            minimize: cfg
+                .get("minimize")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| ReportParseError("missing config.minimize".into()))?,
+            trial_threads: req_usize(cfg, "trial_threads")?,
+            threads: req_usize(cfg, "threads")?,
+        };
+
+        let mut instances = Vec::new();
+        for inst in field("instances")?
+            .as_arr()
+            .ok_or_else(|| ReportParseError("'instances' is not a list".into()))?
+        {
+            let names = |k: &str| -> Result<Vec<String>, ReportParseError> {
+                inst.get(k)
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ReportParseError(format!("missing list field '{k}'")))?
+                    .iter()
+                    .map(|s| {
+                        s.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| ReportParseError(format!("non-string in '{k}'")))
+                    })
+                    .collect()
+            };
+            let error = match inst.get("error") {
+                None | Some(Json::Null) => None,
+                Some(e) => Some(ErrorRecord {
+                    kind: req_str(e, "kind")?,
+                    message: req_str(e, "message")?,
+                }),
+            };
+            let fault = match inst.get("fault") {
+                None | Some(Json::Null) => None,
+                Some(f) => Some(FaultRecord {
+                    label: req_str(f, "label")?,
+                    trial: f.get("trial").and_then(Json::as_usize),
+                    detail: req_str(f, "detail")?,
+                    case: match f.get("case") {
+                        None | Some(Json::Null) => None,
+                        Some(c) => Some(
+                            TestCase::from_json_value(c)
+                                .map_err(|e| ReportParseError(e.to_string()))?,
+                        ),
+                    },
+                }),
+            };
+            instances.push(InstanceReport {
+                index: req_usize(inst, "index")?,
+                workload: req_str(inst, "workload")?,
+                transformation: req_str(inst, "transformation")?,
+                match_description: req_str(inst, "match")?,
+                label: req_str(inst, "label")?,
+                trials_run: req_usize(inst, "trials_run")?,
+                trials_to_detection: inst.get("trials_to_detection").and_then(Json::as_usize),
+                cutout_nodes: req_usize(inst, "cutout_nodes")?,
+                program_nodes: req_usize(inst, "program_nodes")?,
+                mincut_reduction: inst.get("mincut_reduction").and_then(Json::as_f64),
+                system_state: names("system_state")?,
+                input_config: names("input_config")?,
+                error,
+                fault,
+            });
+        }
+
+        Ok(CampaignReport {
+            campaign: req_str(&v, "campaign")?,
+            status,
+            total_instances: req_usize(&v, "total_instances")?,
+            trials_spent: field("trials_spent")?
+                .as_u64()
+                .ok_or_else(|| ReportParseError("bad 'trials_spent'".into()))?,
+            config,
+            instances,
+        })
+    }
+}

@@ -2,15 +2,17 @@
 //! of workloads, in parallel — the machinery behind the paper's NPBench
 //! sweep (Sec. 6.3, Table 2) and the CLOUDSC case study (Sec. 6.4).
 
-use crate::verify::{verify_instance, VerificationReport, VerifyConfig, VerifyError};
+use crate::session::{Exec, NullSink, SessionBudget, Spec};
+use crate::verify::{VerificationReport, VerifyConfig, VerifyError};
 use fuzzyflow_fuzz::Verdict;
 use fuzzyflow_ir::{Bindings, Sdfg};
-use fuzzyflow_pool::{resolve_threads, WorkerPool};
+use fuzzyflow_pool::WorkerPool;
 use fuzzyflow_transforms::Transformation;
 use std::collections::BTreeMap;
 
 /// Sweep configuration.
 #[derive(Clone, Debug, Default)]
+#[non_exhaustive]
 pub struct SweepConfig {
     pub verify: VerifyConfig,
     /// Maximum concurrent instances on the shared [`WorkerPool`] (sweeps
@@ -21,15 +23,39 @@ pub struct SweepConfig {
     pub threads: usize,
 }
 
+/// Builder-style setters (the struct is `#[non_exhaustive]`; see
+/// [`VerifyConfig`] for the rationale).
+impl SweepConfig {
+    /// The default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-instance verification configuration.
+    pub fn with_verify(mut self, verify: VerifyConfig) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Caps concurrent instances on the shared pool (`0` = one per core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
 /// Outcome of one transformation instance.
 #[derive(Clone, Debug)]
 pub struct InstanceResult {
+    /// Position in the enumerated work list (the deterministic-prefix
+    /// index of the session that produced this result).
+    pub index: usize,
     pub workload: String,
     pub transformation: String,
     pub match_description: String,
     pub report: Option<VerificationReport>,
-    /// Pipeline error, if the instance could not be verified.
-    pub error: Option<String>,
+    /// Structured pipeline error, if the instance could not be verified.
+    pub error: Option<VerifyError>,
 }
 
 impl InstanceResult {
@@ -47,6 +73,12 @@ impl InstanceResult {
             .as_ref()
             .map(|r| r.verdict.is_fault())
             .unwrap_or(false)
+    }
+
+    /// Human-readable pipeline-error message (for table formatters); the
+    /// structured error stays in [`InstanceResult::error`].
+    pub fn error_message(&self) -> Option<String> {
+        self.error.as_ref().map(|e| e.to_string())
     }
 }
 
@@ -77,6 +109,14 @@ pub fn sweep(
 
 /// [`sweep`] against an explicit pool — used by benchmarks to compare the
 /// persistent pool against per-instance spawned thread sets.
+///
+/// A thin wrapper over a single-shot, unbudgeted
+/// [`session`](crate::session): instances are enumerated in
+/// workload-major order and executed by the same deterministic-prefix
+/// driver that runs campaigns, so the results are byte-identical to a
+/// [`Campaign`](crate::session::Campaign) over the same inputs — and to
+/// every earlier `sweep` implementation (order and reports unchanged for
+/// any thread count).
 pub fn sweep_on(
     pool: &WorkerPool,
     workloads: &[(String, Sdfg, Bindings)],
@@ -84,61 +124,37 @@ pub fn sweep_on(
     cfg: &SweepConfig,
 ) -> (Vec<InstanceResult>, Vec<SweepRow>) {
     // Enumerate all instances up front.
-    struct Job<'a> {
-        workload: &'a str,
-        sdfg: &'a Sdfg,
-        bindings: &'a Bindings,
-        t: &'a dyn Transformation,
-        m: fuzzyflow_transforms::TransformationMatch,
-    }
-    let mut jobs: Vec<Job> = Vec::new();
-    for (name, sdfg, bindings) in workloads {
-        for t in transformations {
+    let mut enumerated: Vec<(usize, usize, fuzzyflow_transforms::TransformationMatch)> = Vec::new();
+    for (wi, (_, sdfg, _)) in workloads.iter().enumerate() {
+        for (ti, t) in transformations.iter().enumerate() {
             for m in t.find_matches(sdfg) {
-                jobs.push(Job {
-                    workload: name,
-                    sdfg,
-                    bindings,
-                    t: t.as_ref(),
-                    m,
-                });
+                enumerated.push((wi, ti, m));
             }
         }
     }
-
-    // Instances fan out over the shared pool; each participant buffers
-    // its results locally and `map_indexed` merges the buffers by
-    // instance index, so the returned order is the enumeration order
-    // above — byte-identical for every thread count.
-    let width = resolve_threads(cfg.threads);
-    let results: Vec<InstanceResult> = pool.map_indexed(jobs.len(), width, |idx| {
-        let job = &jobs[idx];
-        let mut vcfg = cfg.verify.clone();
-        if vcfg.concretization.is_none() {
-            vcfg.concretization = Some(job.bindings.clone());
-        }
-        let outcome = verify_instance(job.sdfg, job.t, &job.m, &vcfg);
-        match outcome {
-            Ok(report) => InstanceResult {
-                workload: job.workload.to_string(),
-                transformation: job.t.name().to_string(),
-                match_description: job.m.description.clone(),
-                report: Some(report),
-                error: None,
-            },
-            Err(e) => InstanceResult {
-                workload: job.workload.to_string(),
-                transformation: job.t.name().to_string(),
-                match_description: job.m.description.clone(),
-                report: None,
-                error: Some(match e {
-                    VerifyError::Apply(x) => format!("apply: {x}"),
-                    VerifyError::Extract(x) => format!("extract: {x}"),
-                    VerifyError::Replay(x) => format!("replay: {x}"),
-                }),
-            },
-        }
-    });
+    let specs: Vec<Spec<'_>> = enumerated
+        .iter()
+        .map(|(wi, ti, m)| Spec {
+            workload: &workloads[*wi].0,
+            sdfg: &workloads[*wi].1,
+            bindings: Some(&workloads[*wi].2),
+            t: transformations[*ti].as_ref(),
+            m,
+        })
+        .collect();
+    let (results, _, _) = crate::session::run_specs(
+        &specs,
+        &Exec {
+            pool,
+            verify: &cfg.verify,
+            threads: cfg.threads,
+            budget: &SessionBudget::unlimited(),
+            cancel: None,
+            sink: &NullSink,
+            cache: None,
+            prepares: None,
+        },
+    );
 
     // Summaries.
     let mut rows: BTreeMap<String, SweepRow> = BTreeMap::new();

@@ -1,11 +1,13 @@
 //! The end-to-end verification pipeline (paper Fig. 1).
 
 use fuzzyflow_cutout::{
-    extract_cutout, minimize_input_configuration, refind_match, CutoutStats, MinCutOutcome,
+    extract_cutout, minimize_input_configuration, refind_match, Cutout, CutoutStats, MinCutOutcome,
     SideEffectContext,
 };
-use fuzzyflow_fuzz::{derive_constraints, DiffTester, Verdict};
-use fuzzyflow_ir::{Bindings, Sdfg};
+use fuzzyflow_fuzz::{derive_constraints, ArenaStash, Constraints, DiffTester, Verdict};
+use fuzzyflow_interp::Program;
+use fuzzyflow_ir::{validate, Bindings, Sdfg};
+use fuzzyflow_pool::WorkerPool;
 use fuzzyflow_transforms::{apply_to_clone, TransformError, Transformation, TransformationMatch};
 use std::fmt;
 
@@ -17,7 +19,7 @@ use std::fmt;
 /// ([`crate::SweepConfig::threads`]), differential trial batches
 /// ([`VerifyConfig::trial_threads`]), coverage campaigns and distributed
 /// rank gangs — executes on one process-wide
-/// [`WorkerPool`](fuzzyflow_pool::WorkerPool) with a fixed worker per
+/// [`WorkerPool`] with a fixed worker per
 /// core. The knobs therefore no longer size independent thread sets that
 /// could oversubscribe each other; each knob only caps how many pool
 /// participants that layer may occupy at once:
@@ -36,6 +38,7 @@ use std::fmt;
 /// derives its PRNG stream from its index, and results are assembled in
 /// index order (the pool's determinism contract).
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct VerifyConfig {
     /// Fuzzing trials per instance (paper uses 100 for CLOUDSC).
     pub trials: usize,
@@ -76,6 +79,65 @@ impl Default for VerifyConfig {
     }
 }
 
+/// Builder-style setters. The struct is `#[non_exhaustive]`, so
+/// downstream crates configure runs as
+/// `VerifyConfig::new().with_trials(40).with_size_max(12)` — adding a
+/// knob is then never a breaking change.
+impl VerifyConfig {
+    /// The default configuration (same as [`VerifyConfig::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the fuzzing trial budget per instance.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the numerical comparison threshold `t_Δ` (`0.0` = bit-exact).
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the maximum sampled size for size symbols.
+    pub fn with_size_max(mut self, size_max: i64) -> Self {
+        self.size_max = size_max;
+        self
+    }
+
+    /// Enables/disables the minimum input-flow cut (Sec. 4).
+    pub fn with_minimize(mut self, minimize: bool) -> Self {
+        self.minimize = minimize;
+        self
+    }
+
+    /// Sets the symbol concretization used by the min-cut.
+    pub fn with_concretization(mut self, bindings: Bindings) -> Self {
+        self.concretization = Some(bindings);
+        self
+    }
+
+    /// Adds an engineer-provided sampling constraint `lo <= symbol <= hi`.
+    pub fn with_custom_constraint(mut self, symbol: impl Into<String>, lo: i64, hi: i64) -> Self {
+        self.custom_constraints.push((symbol.into(), lo, hi));
+        self
+    }
+
+    /// Caps concurrent pool participants for trial batches.
+    pub fn with_trial_threads(mut self, threads: usize) -> Self {
+        self.trial_threads = threads;
+        self
+    }
+}
+
 /// Pipeline failure (before any verdict could be produced).
 #[derive(Clone, Debug)]
 pub enum VerifyError {
@@ -95,6 +157,27 @@ impl fmt::Display for VerifyError {
             VerifyError::Apply(e) => write!(f, "transformation failed to apply: {e}"),
             VerifyError::Extract(e) => write!(f, "cutout extraction failed: {e}"),
             VerifyError::Replay(e) => write!(f, "cutout replay failed: {e}"),
+        }
+    }
+}
+
+impl VerifyError {
+    /// Stable machine-readable pipeline-stage tag ("apply", "extract",
+    /// "replay") — used by campaign reports so recurring verdicts can be
+    /// deduplicated by stage without parsing prose.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            VerifyError::Apply(_) => "apply",
+            VerifyError::Extract(_) => "extract",
+            VerifyError::Replay(_) => "replay",
+        }
+    }
+
+    /// The stage-specific message, without the stage prefix.
+    pub fn detail(&self) -> String {
+        match self {
+            VerifyError::Apply(e) | VerifyError::Replay(e) => e.to_string(),
+            VerifyError::Extract(e) => e.clone(),
         }
     }
 }
@@ -124,12 +207,54 @@ pub struct VerificationReport {
 }
 
 /// Verifies a single transformation instance end to end.
+///
+/// This is a thin wrapper over a single-shot
+/// [`session`](crate::session): the same prepare-then-fuzz path that
+/// executes campaigns, sweeps and coverage batches, so the report is
+/// byte-identical whether an instance is verified standalone or as part
+/// of a [`Campaign`](crate::session::Campaign).
 pub fn verify_instance(
     program: &Sdfg,
     t: &dyn Transformation,
     m: &TransformationMatch,
     cfg: &VerifyConfig,
 ) -> Result<VerificationReport, VerifyError> {
+    crate::session::verify_single_shot(program, t, m, cfg)
+}
+
+/// The compiled artifacts of one verification instance — everything the
+/// pipeline produces *before* fuzzing trials run: the (optionally
+/// minimized) cutout, its transformed counterpart's compiled programs,
+/// derived constraints, and the executor-arena stash trials draw from.
+/// Campaign sessions cache these across runs keyed by instance identity,
+/// so re-verifying an unchanged campaign skips steps 1–4 entirely and
+/// constructs zero fresh executor arenas.
+pub(crate) struct PreparedInstance {
+    pub transformation: String,
+    pub match_description: String,
+    pub cutout: Cutout,
+    pub constraints: Constraints,
+    /// Validation errors of the transformed cutout; `Some` short-circuits
+    /// trials into the "generates invalid code" verdict.
+    pub invalid: Option<Vec<String>>,
+    /// Compiled `(original, transformed)` programs (absent only when
+    /// `invalid` is set).
+    pub programs: Option<(Program, Program)>,
+    pub mincut: Option<MinCutOutcome>,
+    pub program_nodes: usize,
+    /// Per-instance executor-arena pool (used on cached session paths).
+    pub arenas: ArenaStash,
+}
+
+/// Pipeline steps 1–4 plus compilation: everything up to (but excluding)
+/// the fuzzing trials. Shared by [`verify_instance`], sweeps and
+/// campaign sessions — the single prepare path of the stack.
+pub(crate) fn prepare_instance(
+    program: &Sdfg,
+    t: &dyn Transformation,
+    m: &TransformationMatch,
+    cfg: &VerifyConfig,
+) -> Result<PreparedInstance, VerifyError> {
     // 1. Apply to a clone; learn the change set.
     let (_, changes) = apply_to_clone(program, t, m).map_err(VerifyError::Apply)?;
 
@@ -161,11 +286,60 @@ pub fn verify_instance(
     t.apply(&mut transformed, &translated)
         .map_err(VerifyError::Replay)?;
 
-    // 5. Differential fuzzing with derived constraints.
+    // Constraints for gray-box sampling (step 5's static half).
     let mut constraints = derive_constraints(&cutout, program);
     for (s, lo, hi) in &cfg.custom_constraints {
         constraints.constrain(s.clone(), *lo, *hi);
     }
+
+    // "Generates invalid code" is decided before any execution; valid
+    // pairs compile once and the programs are reused for every trial —
+    // and, under a session cache, for every re-run.
+    let invalid = validate(&transformed)
+        .err()
+        .map(|errors| errors.iter().map(|e| e.to_string()).collect::<Vec<_>>());
+    let programs = if invalid.is_none() {
+        Some((
+            Program::compile(&cutout.sdfg),
+            Program::compile(&transformed),
+        ))
+    } else {
+        None
+    };
+
+    let program_nodes = program
+        .states
+        .node_ids()
+        .map(|s| program.state(s).df.deep_node_count())
+        .sum();
+
+    Ok(PreparedInstance {
+        transformation: t.name().to_string(),
+        match_description: m.description.clone(),
+        cutout,
+        constraints,
+        invalid,
+        programs,
+        mincut,
+        program_nodes,
+        arenas: ArenaStash::new(),
+    })
+}
+
+/// Pipeline step 5 over prepared artifacts: the differential fuzzing
+/// trials. Byte-identical to running `DiffTester::test` on the same
+/// cutout pair (the compile and validate halves were hoisted into
+/// [`prepare_instance`]). When `use_stash` is set (cached session runs),
+/// executor arenas come from the instance's own stash — a warm re-run
+/// then constructs zero fresh arenas; otherwise the per-worker cache
+/// serves them exactly as before.
+pub(crate) fn run_prepared(
+    prepared: &PreparedInstance,
+    cfg: &VerifyConfig,
+    pool: &WorkerPool,
+    use_stash: bool,
+    progress: Option<&(dyn Fn(usize) + Sync)>,
+) -> VerificationReport {
     let tester = DiffTester {
         trials: cfg.trials,
         tolerance: cfg.tolerance,
@@ -177,26 +351,32 @@ pub fn verify_instance(
         threads: cfg.trial_threads,
         ..Default::default()
     };
-    let diff = tester.test(&cutout, &transformed, &constraints);
+    let diff = match (&prepared.invalid, &prepared.programs) {
+        (Some(errors), _) => DiffTester::invalid_code_report(errors.clone()),
+        (None, Some((orig, trans))) => tester.test_compiled(
+            pool,
+            &prepared.cutout,
+            orig,
+            trans,
+            &prepared.constraints,
+            use_stash.then_some(&prepared.arenas),
+            progress,
+        ),
+        (None, None) => unreachable!("valid instances always compile"),
+    };
 
-    let program_nodes = program
-        .states
-        .node_ids()
-        .map(|s| program.state(s).df.deep_node_count())
-        .sum();
-
-    Ok(VerificationReport {
-        transformation: t.name().to_string(),
-        match_description: m.description.clone(),
+    VerificationReport {
+        transformation: prepared.transformation.clone(),
+        match_description: prepared.match_description.clone(),
         verdict: diff.verdict,
-        cutout_stats: cutout.stats.clone(),
-        program_nodes,
-        mincut,
+        cutout_stats: prepared.cutout.stats.clone(),
+        program_nodes: prepared.program_nodes,
+        mincut: prepared.mincut.clone(),
         trials_run: diff.trials_run,
         trials_to_detection: diff.trials_to_detection,
-        system_state: cutout.system_state.clone(),
-        input_config: cutout.input_config.clone(),
-    })
+        system_state: prepared.cutout.system_state.clone(),
+        input_config: prepared.cutout.input_config.clone(),
+    }
 }
 
 #[cfg(test)]

@@ -420,6 +420,12 @@ impl CoverageFuzzer {
     /// so the returned reports are index-ordered and byte-identical to
     /// calling [`CoverageFuzzer::run`] in a loop, for any `threads`
     /// setting (`0` = one participant per core).
+    ///
+    /// This is a thin wrapper over a single-shot, unbudgeted
+    /// [`fuzzyflow_session::drive`] session — the same entry path that
+    /// runs verification campaigns (`fuzzyflow::session`), which is what
+    /// makes coverage campaigns budgetable and cancellable at the
+    /// session layer without a second scheduler.
     pub fn run_many(
         &self,
         campaigns: &[(&Cutout, &Sdfg, &Bindings)],
@@ -427,10 +433,20 @@ impl CoverageFuzzer {
     ) -> Vec<CoverageReport> {
         // One resolution per campaign set, threaded through to the pool.
         let width = resolve_threads(threads);
-        WorkerPool::global().map_indexed(campaigns.len(), width, |i| {
-            let (cutout, transformed, seed_bindings) = campaigns[i];
-            self.run(cutout, transformed, seed_bindings)
-        })
+        fuzzyflow_session::drive(
+            WorkerPool::global(),
+            campaigns.len(),
+            width,
+            &fuzzyflow_session::SessionBudget::unlimited(),
+            None,
+            |i| {
+                let (cutout, transformed, seed_bindings) = campaigns[i];
+                let report = self.run(cutout, transformed, seed_bindings);
+                let cost = report.trials_run as u64;
+                (report, cost)
+            },
+        )
+        .results
     }
 
     fn report(

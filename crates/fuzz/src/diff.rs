@@ -30,6 +30,48 @@ pub(crate) fn pair_key(orig: &Program, trans: &Program) -> u64 {
     orig.id().rotate_left(32) ^ trans.id()
 }
 
+/// A caller-owned pool of executor-arena pairs — the artifact-cache
+/// counterpart of the per-worker [`WorkerCache`].
+///
+/// Where the worker cache keeps arenas in thread-local stashes (warm for
+/// whichever instance that *worker* ran last), a stash travels with an
+/// *instance*: a campaign session stores one stash per prepared
+/// instance, so re-verifying the instance checks the very same arenas
+/// back out regardless of which workers run the trials. When
+/// [`DiffTester::test_compiled`] is given a non-empty stash it caps the
+/// trial-batch width at the stash size, so a warm re-run constructs
+/// **zero** fresh arenas — guaranteed, not just amortized. (Reports are
+/// byte-identical for every width; see the pool determinism contract.)
+#[derive(Debug, Default)]
+pub struct ArenaStash {
+    pairs: Mutex<Vec<(ExecutorArena, ExecutorArena)>>,
+}
+
+impl ArenaStash {
+    /// An empty stash.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of parked arena pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.lock().expect("arena stash poisoned").len()
+    }
+
+    /// True when no pairs are parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn take(&self) -> Option<(ExecutorArena, ExecutorArena)> {
+        self.pairs.lock().expect("arena stash poisoned").pop()
+    }
+
+    fn put(&self, pair: (ExecutorArena, ExecutorArena)) {
+        self.pairs.lock().expect("arena stash poisoned").push(pair);
+    }
+}
+
 /// Outcome of differentially testing `c` against `T(c)`.
 #[derive(Clone, Debug)]
 pub enum Verdict {
@@ -231,37 +273,98 @@ impl DiffTester {
     ) -> DiffReport {
         // "Generates invalid code" is decided before any execution.
         if let Err(errors) = validate(transformed) {
-            return DiffReport {
-                verdict: Verdict::InvalidCode {
-                    errors: errors.iter().map(|e| e.to_string()).collect(),
-                },
-                trials_run: 0,
-                resamples: 0,
-                trials_to_detection: Some(0),
-            };
+            return Self::invalid_code_report(errors.iter().map(|e| e.to_string()).collect());
         }
 
         // Compile once per instance; trials only execute.
         let orig_prog = Program::compile(&cutout.sdfg);
         let trans_prog = Program::compile(transformed);
+        self.test_compiled(
+            pool,
+            cutout,
+            &orig_prog,
+            &trans_prog,
+            constraints,
+            None,
+            None,
+        )
+    }
 
-        let width = resolve_threads(self.threads).min(self.trials.max(1));
+    /// The [`DiffReport`] produced for a transformed SDFG that fails
+    /// validation — exposed so callers that cache validation outcomes
+    /// (campaign sessions) reproduce [`DiffTester::test`] byte for byte.
+    pub fn invalid_code_report(errors: Vec<String>) -> DiffReport {
+        DiffReport {
+            verdict: Verdict::InvalidCode { errors },
+            trials_run: 0,
+            resamples: 0,
+            trials_to_detection: Some(0),
+        }
+    }
+
+    /// The trial loop of [`DiffTester::test`], over programs the caller
+    /// compiled (and whose transformed SDFG already passed `validate` —
+    /// use [`DiffTester::invalid_code_report`] otherwise). This is the
+    /// single execution path under `verify_instance`, sweeps and
+    /// campaign sessions; the report is byte-identical to
+    /// [`DiffTester::test`] on the same cutout pair.
+    ///
+    /// Executor arenas come from `stash` when given (the session's
+    /// per-instance artifact cache; a non-empty stash caps the batch
+    /// width at the stash size so warm re-runs construct zero fresh
+    /// arenas) and from the per-worker cache otherwise. `progress`, when
+    /// given, is invoked after every completed trial with the number of
+    /// trials finished so far. Calls arrive concurrently from worker
+    /// threads: the counter itself is monotonic, but two threads may
+    /// invoke the callback out of order (a sink can observe 6 before 5),
+    /// and counts are *not* deterministic across runs — only the
+    /// returned report is. Sinks tracking progress should fold with
+    /// `max`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn test_compiled(
+        &self,
+        pool: &WorkerPool,
+        cutout: &Cutout,
+        orig_prog: &Program,
+        trans_prog: &Program,
+        constraints: &Constraints,
+        stash: Option<&ArenaStash>,
+        progress: Option<&(dyn Fn(usize) + Sync)>,
+    ) -> DiffReport {
+        let mut width = resolve_threads(self.threads).min(self.trials.max(1));
+        if let Some(stash) = stash {
+            let parked = stash.len();
+            if parked > 0 {
+                // Warm instance: never outgrow the parked arenas — this
+                // is what makes "0 fresh arenas on a warm re-run" a
+                // guarantee instead of an expectation. Reports are
+                // byte-identical for every width.
+                width = width.min(parked);
+            }
+        }
 
         // All trials at or below the first terminal trial are guaranteed
         // to complete; `stop_at` only prunes work beyond a known terminal.
         let stop_at = std::sync::atomic::AtomicUsize::new(usize::MAX);
+        let done = std::sync::atomic::AtomicUsize::new(0);
         let parts: Mutex<Vec<Vec<(usize, TrialOutcome)>>> = Mutex::new(Vec::new());
-        let key = pair_key(&orig_prog, &trans_prog);
+        let key = pair_key(orig_prog, trans_prog);
         pool.parallel_for(
             self.trials,
             width,
             // One reusable executor pair per pool participant, retained
             // across every trial that participant steals — and across
-            // *calls*: the arenas come from (and return to) the worker's
-            // cache, so repeat tests and sweep successors reuse them.
+            // *calls*: the arenas come from (and return to) the instance
+            // stash or the worker's cache, so repeat tests and sweep
+            // successors reuse them.
             || {
-                let (oa, ta) = exec_arena_cache()
-                    .checkout_or(key, || (ExecutorArena::new(), ExecutorArena::new()));
+                let (oa, ta) = match stash {
+                    Some(stash) => stash
+                        .take()
+                        .unwrap_or_else(|| (ExecutorArena::new(), ExecutorArena::new())),
+                    None => exec_arena_cache()
+                        .checkout_or(key, || (ExecutorArena::new(), ExecutorArena::new())),
+                };
                 (
                     orig_prog.executor_with(oa),
                     trans_prog.executor_with(ta),
@@ -278,9 +381,16 @@ impl DiffTester {
                     stop_at.fetch_min(trial, std::sync::atomic::Ordering::Relaxed);
                 }
                 local.push((trial, outcome));
+                if let Some(progress) = progress {
+                    progress(done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1);
+                }
             },
             |(orig_exec, trans_exec, local)| {
-                exec_arena_cache().store(key, (orig_exec.into_arena(), trans_exec.into_arena()));
+                let pair = (orig_exec.into_arena(), trans_exec.into_arena());
+                match stash {
+                    Some(stash) => stash.put(pair),
+                    None => exec_arena_cache().store(key, pair),
+                }
                 parts.lock().expect("trial buffers poisoned").push(local);
             },
         );
@@ -647,6 +757,92 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(first, format!("{:?}", tester.test(&c, &transformed, &cons)));
         }
+    }
+
+    /// The session artifact-cache path: trials over a caller-held stash
+    /// must report byte-identically to `test`, a cold run must park its
+    /// arena pairs in the stash, and a warm run must construct zero
+    /// fresh arenas (width is capped at the stash size).
+    #[test]
+    fn stash_arenas_match_reports_and_construct_nothing_when_warm() {
+        let (p, _, _) = acc_program();
+        let t = MapTilingOffByOne::new(4);
+        let m = &t.find_matches(&p)[0];
+        let (_, changes) = apply_to_clone(&p, &t, m).unwrap();
+        let ctx = SideEffectContext::with_size_symbols(&["N".to_string()], 64);
+        let c = extract_cutout(&p, &changes, &ctx).unwrap();
+        let translated = fuzzyflow_cutout::translate_match(&c, m).unwrap();
+        let mut transformed = c.sdfg.clone();
+        t.apply(&mut transformed, &translated).unwrap();
+        let cons = derive_constraints(&c, &p);
+        let tester = DiffTester {
+            threads: 4,
+            ..DiffTester::new(40, 4242)
+        };
+        let reference = format!("{:?}", tester.test(&c, &transformed, &cons));
+
+        let orig_prog = Program::compile(&c.sdfg);
+        let trans_prog = Program::compile(&transformed);
+        let stash = ArenaStash::new();
+        let pool = WorkerPool::global();
+        let cold =
+            tester.test_compiled(pool, &c, &orig_prog, &trans_prog, &cons, Some(&stash), None);
+        assert_eq!(format!("{cold:?}"), reference, "stash path diverged");
+        let parked = stash.len();
+        assert!(parked >= 1, "cold run parked its arenas");
+
+        for _ in 0..3 {
+            let warm =
+                tester.test_compiled(pool, &c, &orig_prog, &trans_prog, &cons, Some(&stash), None);
+            assert_eq!(format!("{warm:?}"), reference, "warm stash run diverged");
+        }
+        // Warm runs cap their width at the stash size and every finish
+        // parks its pair back, so the stash can only grow if a fresh
+        // arena pair was constructed — a constant size proves zero fresh
+        // construction. (The `session_reuse` bench asserts the same via
+        // `fresh_arena_count` in a controlled process.)
+        assert_eq!(stash.len(), parked, "warm runs constructed fresh arenas");
+    }
+
+    #[test]
+    fn progress_callback_counts_every_completed_trial() {
+        let (p, _, _) = acc_program();
+        let t = MapTiling::new(4);
+        let m = &t.find_matches(&p)[0];
+        let (_, changes) = apply_to_clone(&p, &t, m).unwrap();
+        let ctx = SideEffectContext::with_size_symbols(&["N".to_string()], 64);
+        let c = extract_cutout(&p, &changes, &ctx).unwrap();
+        let translated = fuzzyflow_cutout::translate_match(&c, m).unwrap();
+        let mut transformed = c.sdfg.clone();
+        t.apply(&mut transformed, &translated).unwrap();
+        let cons = derive_constraints(&c, &p);
+        let tester = DiffTester {
+            threads: 2,
+            ..DiffTester::new(20, 7)
+        };
+        let orig_prog = Program::compile(&c.sdfg);
+        let trans_prog = Program::compile(&transformed);
+        let seen = std::sync::atomic::AtomicUsize::new(0);
+        let report = tester.test_compiled(
+            pool_ref(),
+            &c,
+            &orig_prog,
+            &trans_prog,
+            &cons,
+            None,
+            Some(&|done| {
+                seen.fetch_max(done, std::sync::atomic::Ordering::Relaxed);
+            }),
+        );
+        assert_eq!(
+            seen.load(std::sync::atomic::Ordering::Relaxed),
+            report.trials_run,
+            "progress must reach the number of executed trials"
+        );
+    }
+
+    fn pool_ref() -> &'static WorkerPool {
+        WorkerPool::global()
     }
 
     #[test]

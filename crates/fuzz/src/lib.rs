@@ -23,13 +23,15 @@
 pub mod constraints;
 pub mod coverage_fuzz;
 pub mod diff;
+pub mod json;
 pub mod rng;
 pub mod sampler;
 pub mod testcase;
 
 pub use constraints::{derive_constraints, Constraints, SymbolRole};
 pub use coverage_fuzz::{CoverageFuzzer, CoverageReport};
-pub use diff::{DiffReport, DiffTester, Verdict};
+pub use diff::{ArenaStash, DiffReport, DiffTester, Verdict};
+pub use json::Json;
 pub use rng::Xoshiro256;
 pub use sampler::{sample_state, ValueProfile};
 pub use testcase::TestCase;

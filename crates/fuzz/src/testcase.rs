@@ -56,6 +56,20 @@ fn dtype_from(name: &str) -> Option<DType> {
     })
 }
 
+/// Total element count of a shape, `None` on product overflow. Parsers
+/// must call this (and bound the count against the supplied data) before
+/// allocating: serialized cases may come from untrusted sources.
+fn checked_element_count(shape: &[i64]) -> Option<usize> {
+    let mut n: u64 = 1;
+    for &d in shape {
+        if d < 0 {
+            return None;
+        }
+        n = n.checked_mul(d as u64)?;
+    }
+    usize::try_from(n).ok()
+}
+
 fn scalar_to_hex(s: Scalar) -> String {
     match s {
         Scalar::F64(v) => format!("{:016x}", v.to_bits()),
@@ -191,6 +205,15 @@ impl TestCase {
                         "negative dimension in shape {shape:?}"
                     )));
                 }
+                // Each element needs at least three bytes of input (two
+                // hex digits plus a separator), so a count beyond the
+                // document length is unsatisfiable — reject it before
+                // allocating anything.
+                let elems = checked_element_count(&shape)
+                    .ok_or_else(|| TestCaseParseError(format!("shape {shape:?} overflows")))?;
+                if elems > text.len() {
+                    return Err(TestCaseParseError("truncated array data".into()));
+                }
                 let mut arr = ArrayValue::zeros(dtype, shape);
                 let mut idx = 0usize;
                 while idx < arr.len() {
@@ -213,6 +236,145 @@ impl TestCase {
         Ok(TestCase {
             program,
             failure,
+            state,
+        })
+    }
+
+    /// Serializes to a JSON object with bit-exact value encoding: every
+    /// element is stored as its raw bit pattern in hex (the same encoding
+    /// as [`TestCase::to_text`]), so floating-point inputs replay
+    /// bit-identically — NaN payloads, signed zeros and subnormals
+    /// included. This is the representation embedded in campaign reports
+    /// (`fuzzyflow::session::CampaignReport`).
+    pub fn to_json(&self) -> String {
+        use crate::json::quote;
+        let mut out = String::from("{");
+        out.push_str("\"format\": \"fuzzyflow-testcase-v1\", ");
+        out.push_str(&format!("\"program\": {}, ", quote(&self.program)));
+        out.push_str(&format!("\"failure\": {}, ", quote(&self.failure)));
+        out.push_str("\"symbols\": {");
+        let mut first = true;
+        for (name, value) in self.state.symbols.iter() {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("{}: {}", quote(name), value));
+        }
+        out.push_str("}, \"arrays\": {");
+        let mut first = true;
+        for (name, arr) in &self.state.arrays {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let dims: Vec<String> = arr.shape().iter().map(|d| d.to_string()).collect();
+            let mut bits = String::new();
+            for i in 0..arr.len() {
+                if i > 0 {
+                    bits.push(' ');
+                }
+                bits.push_str(&scalar_to_hex(arr.get(i)));
+            }
+            out.push_str(&format!(
+                "{}: {{\"dtype\": \"{}\", \"shape\": [{}], \"bits\": \"{}\"}}",
+                quote(name),
+                dtype_name(arr.dtype()),
+                dims.join(", "),
+                bits
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses the JSON produced by [`TestCase::to_json`] (also accepts
+    /// an already-parsed [`Json`](crate::json::Json) value via
+    /// [`TestCase::from_json_value`]).
+    pub fn from_json(text: &str) -> Result<Self, TestCaseParseError> {
+        let v = crate::json::Json::parse(text)
+            .map_err(|e| TestCaseParseError(format!("invalid JSON: {e}")))?;
+        Self::from_json_value(&v)
+    }
+
+    /// Rebuilds a test case from a parsed JSON value (used when the case
+    /// is embedded in a larger document, e.g. a campaign report).
+    pub fn from_json_value(v: &crate::json::Json) -> Result<Self, TestCaseParseError> {
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| TestCaseParseError(format!("missing field '{k}'")))
+        };
+        match field("format")?.as_str() {
+            Some("fuzzyflow-testcase-v1") => {}
+            other => {
+                return Err(TestCaseParseError(format!(
+                    "unsupported test-case format {other:?}"
+                )))
+            }
+        }
+        let text_field = |k: &str| -> Result<String, TestCaseParseError> {
+            field(k)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| TestCaseParseError(format!("field '{k}' is not a string")))
+        };
+        let mut state = ExecState::new();
+        let crate::json::Json::Obj(symbols) = field("symbols")? else {
+            return Err(TestCaseParseError("'symbols' is not an object".into()));
+        };
+        for (name, value) in symbols {
+            let value = value
+                .as_i64()
+                .ok_or_else(|| TestCaseParseError(format!("bad value for symbol '{name}'")))?;
+            state.symbols.set(name.clone(), value);
+        }
+        let crate::json::Json::Obj(arrays) = field("arrays")? else {
+            return Err(TestCaseParseError("'arrays' is not an object".into()));
+        };
+        for (name, desc) in arrays {
+            let get = |k: &str| {
+                desc.get(k).ok_or_else(|| {
+                    TestCaseParseError(format!("array '{name}' missing field '{k}'"))
+                })
+            };
+            let dtype = get("dtype")?
+                .as_str()
+                .and_then(dtype_from)
+                .ok_or_else(|| TestCaseParseError(format!("array '{name}': unknown dtype")))?;
+            let shape: Vec<i64> = get("shape")?
+                .as_arr()
+                .ok_or_else(|| TestCaseParseError(format!("array '{name}': shape not a list")))?
+                .iter()
+                .map(|d| {
+                    d.as_i64()
+                        .filter(|&d| d >= 0)
+                        .ok_or_else(|| TestCaseParseError(format!("array '{name}': bad dimension")))
+                })
+                .collect::<Result<_, _>>()?;
+            let bits = get("bits")?
+                .as_str()
+                .ok_or_else(|| TestCaseParseError(format!("array '{name}': bits not a string")))?;
+            // Validate the element count against the supplied values
+            // *before* allocating: reports may come from untrusted
+            // sources, and a hostile shape like [1 << 30, 8] must yield a
+            // parse error, not an overflow panic or a giant allocation.
+            let elems = checked_element_count(&shape)
+                .ok_or_else(|| TestCaseParseError(format!("array '{name}': shape overflows")))?;
+            let supplied = bits.split_whitespace().count();
+            if supplied != elems {
+                return Err(TestCaseParseError(format!(
+                    "array '{name}': {supplied} values for {elems} elements"
+                )));
+            }
+            let mut arr = ArrayValue::zeros(dtype, shape);
+            for (idx, tok) in bits.split_whitespace().enumerate() {
+                arr.set(idx, scalar_from_hex(dtype, tok)?);
+            }
+            state.arrays.insert(name.clone(), arr);
+        }
+        Ok(TestCase {
+            program: text_field("program")?,
+            failure: text_field("failure")?,
             state,
         })
     }
@@ -256,6 +418,82 @@ mod tests {
         let orig = tc.state.array("A").unwrap();
         assert_eq!(a.first_mismatch(orig, 0.0), None, "bit-exact replay");
         assert_eq!(back.state.array("flag").unwrap().get(0), Scalar::Bool(true));
+    }
+
+    #[test]
+    fn json_roundtrip_bit_exact() {
+        let tc = sample_case();
+        let json = tc.to_json();
+        let back = TestCase::from_json(&json).unwrap();
+        assert_eq!(back.program, tc.program);
+        assert_eq!(back.failure, tc.failure);
+        assert_eq!(back.state.symbols.get("N"), Some(4));
+        let a = back.state.array("A").unwrap();
+        assert_eq!(a.first_mismatch(tc.state.array("A").unwrap(), 0.0), None);
+        // Second round trip is byte-identical: the encoding is canonical.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn json_escapes_failure_descriptions() {
+        let mut st = ExecState::new();
+        st.bind("N", 1);
+        let tc = TestCase::capture("p", "mismatch \"V[0]\" \\ at\nrow 2", &st);
+        let back = TestCase::from_json(&tc.to_json()).unwrap();
+        assert_eq!(back.failure, tc.failure);
+    }
+
+    #[test]
+    fn json_rejects_malformed_cases() {
+        assert!(TestCase::from_json("{}").is_err());
+        assert!(TestCase::from_json("not json").is_err());
+        // Wrong format tag.
+        assert!(TestCase::from_json(
+            "{\"format\": \"v0\", \"program\": \"p\", \"failure\": \"f\", \
+             \"symbols\": {}, \"arrays\": {}}"
+        )
+        .is_err());
+        // Element count must match the shape exactly.
+        assert!(TestCase::from_json(
+            "{\"format\": \"fuzzyflow-testcase-v1\", \"program\": \"p\", \
+             \"failure\": \"f\", \"symbols\": {}, \"arrays\": {\"A\": \
+             {\"dtype\": \"f64\", \"shape\": [2], \"bits\": \"3ff0000000000000\"}}}"
+        )
+        .is_err());
+        // Negative dimensions are rejected.
+        assert!(TestCase::from_json(
+            "{\"format\": \"fuzzyflow-testcase-v1\", \"program\": \"p\", \
+             \"failure\": \"f\", \"symbols\": {}, \"arrays\": {\"A\": \
+             {\"dtype\": \"f64\", \"shape\": [-1], \"bits\": \"\"}}}"
+        )
+        .is_err());
+    }
+
+    /// Reports may come from untrusted sources: hostile shapes must
+    /// yield parse errors before any allocation, not overflow panics or
+    /// multi-gigabyte allocations.
+    #[test]
+    fn json_rejects_hostile_shapes_without_allocating() {
+        // Product overflows i64/u64.
+        assert!(TestCase::from_json(
+            "{\"format\": \"fuzzyflow-testcase-v1\", \"program\": \"p\", \
+             \"failure\": \"f\", \"symbols\": {}, \"arrays\": {\"A\": \
+             {\"dtype\": \"f64\", \"shape\": [4611686018427387904, 8], \"bits\": \"\"}}}"
+        )
+        .is_err());
+        // Huge but representable count with no matching data.
+        assert!(TestCase::from_json(
+            "{\"format\": \"fuzzyflow-testcase-v1\", \"program\": \"p\", \
+             \"failure\": \"f\", \"symbols\": {}, \"arrays\": {\"A\": \
+             {\"dtype\": \"f64\", \"shape\": [1073741824, 8], \"bits\": \"00\"}}}"
+        )
+        .is_err());
+        // Same guards on the text format.
+        let text = "fuzzyflow-testcase v1\nprogram p\nfailure f\narray A f64 [1073741824,8]\n 00\n";
+        assert!(TestCase::from_text(text).is_err());
+        let overflow =
+            "fuzzyflow-testcase v1\nprogram p\nfailure f\narray A f64 [4611686018427387904,8]\n";
+        assert!(TestCase::from_text(overflow).is_err());
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Campaign sessions end to end: declare a fig. 2 + fig. 6 shaped sweep
+//! with the `Campaign` builder, stream structured events while it runs,
+//! re-run it warm off the artifact cache, cancel a run mid-flight, and
+//! print the machine-readable JSON report.
+//!
+//! Run with: `cargo run --release --example campaign`
+
+use fuzzyflow::prelude::*;
+use fuzzyflow::session::{Campaign, NullSink};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn fig2_fig6_campaign() -> Campaign {
+    // Fig. 2: the matmul chain under (buggy) tilings. Fig. 6: vanilla
+    // attention, whose SDDMM kernel the no-remainder tiling crashes.
+    Campaign::new("fig2+fig6-tilings")
+        .with_workload(
+            "matmul_chain",
+            fuzzyflow::workloads::matmul_chain(),
+            fuzzyflow::workloads::matmul_chain::default_bindings(),
+        )
+        .with_workload(
+            "vanilla_attention",
+            fuzzyflow::workloads::vanilla_attention(),
+            fuzzyflow::workloads::attention::default_bindings(),
+        )
+        .with_transformations(vec![
+            Box::new(MapTiling::new(4)),
+            Box::new(MapTilingOffByOne::new(4)),
+            Box::new(MapTilingNoRemainder::new(4)),
+        ])
+        .with_verify(VerifyConfig::new().with_trials(40).with_size_max(6))
+}
+
+fn main() {
+    let session = fig2_fig6_campaign().session();
+    println!(
+        "campaign '{}': {} transformation instances enumerated\n",
+        session.campaign_name(),
+        session.instance_count()
+    );
+
+    // --- Streaming run: events arrive while the campaign executes. ---
+    let report = session.run(&|e: &Event| match e {
+        Event::InstanceStarted {
+            index,
+            workload,
+            transformation,
+            ..
+        } => println!("[{index:2}] {workload} / {transformation}: started"),
+        Event::TrialProgress {
+            index,
+            trials_done,
+            trials_total,
+        } => println!("[{index:2}]   trials {trials_done}/{trials_total}"),
+        Event::FaultFound {
+            index,
+            label,
+            trial,
+            detail,
+        } => println!(
+            "[{index:2}]   FAULT ({label}{}): {detail}",
+            trial.map(|t| format!(", trial {t}")).unwrap_or_default()
+        ),
+        Event::PipelineError { index, error } => {
+            println!("[{index:2}]   pipeline error: {error}")
+        }
+        Event::InstanceFinished {
+            index,
+            label,
+            cached,
+            ..
+        } => println!(
+            "[{index:2}] finished: {label}{}",
+            if *cached { " (cached)" } else { "" }
+        ),
+        Event::SessionFinished {
+            completed,
+            total,
+            stop,
+        } => println!("\nsession stopped ({stop}): {completed}/{total} instances"),
+        _ => {}
+    });
+    println!(
+        "faults: {}/{} instances\n",
+        report.fault_count(),
+        report.completed()
+    );
+
+    // --- Warm re-run: cached artifacts, byte-identical report. ---
+    let t = std::time::Instant::now();
+    let warm = session.run(&NullSink);
+    assert_eq!(warm, report, "warm re-run must be byte-identical");
+    println!(
+        "warm re-run: byte-identical in {:.1} ms ({} instances prepared in total — none re-prepared)\n",
+        t.elapsed().as_secs_f64() * 1e3,
+        session.prepared_instances()
+    );
+
+    // --- Cooperative cancellation: deterministic prefix. ---
+    let fresh = fig2_fig6_campaign().session();
+    let token = CancelToken::new();
+    let finished = AtomicUsize::new(0);
+    let partial = fresh.run_cancellable(
+        &|e: &Event| {
+            if matches!(e, Event::InstanceFinished { .. })
+                && finished.fetch_add(1, Ordering::SeqCst) + 1 >= 3
+            {
+                token.cancel();
+            }
+        },
+        &token,
+    );
+    println!(
+        "cancelled after 3 finishes: {} completed ({}), a byte-identical prefix of the full run",
+        partial.completed(),
+        partial.status
+    );
+    assert_eq!(
+        format!("{:?}", partial.instances),
+        format!("{:?}", &report.instances[..partial.completed()]),
+    );
+
+    // --- The serializable report (replayable test cases included). ---
+    let json = report.to_json();
+    let parsed = CampaignReport::from_json(&json).expect("round-trips");
+    assert_eq!(parsed, report);
+    println!("\n=== campaign report (JSON, {} bytes) ===", json.len());
+    println!("{json}");
+}

@@ -63,12 +63,10 @@ fn main() {
     assert!(!has_communication(&cutout.sdfg));
 
     // Single-node verification of the tiling on the SDDMM kernel.
-    let config = VerifyConfig {
-        trials: 50,
-        size_max: 8,
-        concretization: Some(fuzzyflow::workloads::attention::default_bindings()),
-        ..Default::default()
-    };
+    let config = VerifyConfig::new()
+        .with_trials(50)
+        .with_size_max(8)
+        .with_concretization(fuzzyflow::workloads::attention::default_bindings());
     let report = fuzzyflow::verify_instance(&program, &tiling, sddmm, &config).unwrap();
     println!(
         "single-node verdict for correct tiling on SDDMM: {}",

@@ -83,11 +83,7 @@ fn main() {
             &program,
             &sae,
             m,
-            &VerifyConfig {
-                trials: 25,
-                size_max: 8,
-                ..Default::default()
-            },
+            &VerifyConfig::new().with_trials(25).with_size_max(8),
         );
         match report {
             Ok(r) => println!("  instance [{}]: {}", m.description, r.verdict.label()),

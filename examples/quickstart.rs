@@ -24,11 +24,9 @@ fn main() {
     println!("tiling matches {} GEMM loop nests", matches.len());
 
     // Verify the *second* multiplication, as in the paper.
-    let config = VerifyConfig {
-        trials: 100,
-        concretization: Some(fuzzyflow::workloads::matmul_chain::default_bindings()),
-        ..Default::default()
-    };
+    let config = VerifyConfig::new()
+        .with_trials(100)
+        .with_concretization(fuzzyflow::workloads::matmul_chain::default_bindings());
     let report =
         fuzzyflow::verify_instance(&program, &tiling, &matches[1], &config).expect("pipeline runs");
 

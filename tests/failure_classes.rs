@@ -6,12 +6,10 @@ use fuzzyflow::prelude::*;
 use fuzzyflow::{verify_instance, VerifyConfig};
 
 fn cfg() -> VerifyConfig {
-    VerifyConfig {
-        trials: 60,
-        size_max: 12,
-        seed: 0xCAFE,
-        ..Default::default()
-    }
+    VerifyConfig::new()
+        .with_trials(60)
+        .with_size_max(12)
+        .with_seed(0xCAFE)
 }
 
 fn first_verdict(program: &fuzzyflow::ir::Sdfg, t: &dyn Transformation, idx: usize) -> Verdict {

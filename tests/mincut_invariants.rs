@@ -74,13 +74,11 @@ fn verdicts_agree_with_and_without_minimization() {
             &p,
             &v,
             m,
-            &VerifyConfig {
-                trials: 60,
-                size_max: 12,
-                minimize,
-                concretization: Some(bindings.clone()),
-                ..Default::default()
-            },
+            &VerifyConfig::new()
+                .with_trials(60)
+                .with_size_max(12)
+                .with_minimize(minimize)
+                .with_concretization(bindings.clone()),
         )
         .unwrap();
         assert!(

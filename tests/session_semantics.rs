@@ -1,0 +1,418 @@
+//! Campaign-session semantics: deterministic prefixes under budgets and
+//! cancellation, warm-cache byte-identity, event-stream shape, and
+//! campaign-report round-trips with replayable faults.
+
+use fuzzyflow::prelude::*;
+use fuzzyflow::session::{Campaign, CollectingSink, NullSink};
+use fuzzyflow::{sweep, SweepConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn base_campaign() -> Campaign {
+    Campaign::new("semantics")
+        .with_workload(
+            "matmul_chain",
+            fuzzyflow::workloads::matmul_chain(),
+            fuzzyflow::workloads::matmul_chain::default_bindings(),
+        )
+        .with_transformations(vec![
+            Box::new(MapTiling::new(4)),
+            Box::new(MapTilingOffByOne::new(4)),
+            Box::new(MapTilingNoRemainder::new(4)),
+        ])
+        .with_verify(VerifyConfig::new().with_trials(15).with_size_max(8))
+}
+
+/// 3 GEMMs × 3 passes.
+const INSTANCES: usize = 9;
+
+fn reference_report() -> CampaignReport {
+    base_campaign().with_threads(1).session().run(&NullSink)
+}
+
+/// Satellite acceptance: cancelling after k completed instances yields a
+/// report byte-identical to an index-ordered prefix (of length >= k) of
+/// an uncancelled run, for threads in {1, 2, 8}.
+#[test]
+fn cancellation_yields_a_deterministic_prefix() {
+    let full = reference_report();
+    assert_eq!(full.completed(), INSTANCES);
+    for threads in [1usize, 2, 8] {
+        for k in [1usize, 3] {
+            let session = base_campaign().with_threads(threads).session();
+            let token = CancelToken::new();
+            let finished = AtomicUsize::new(0);
+            let sink = |e: &Event| {
+                if let Event::InstanceFinished { .. } = e {
+                    if finished.fetch_add(1, Ordering::SeqCst) + 1 >= k {
+                        token.cancel();
+                    }
+                }
+            };
+            let report = session.run_cancellable(&sink, &token);
+            let m = report.completed();
+            assert!(m >= k, "threads={threads} k={k}: only {m} completed");
+            assert_eq!(
+                format!("{:?}", report.instances),
+                format!("{:?}", &full.instances[..m]),
+                "threads={threads} k={k}: prefix diverged"
+            );
+            assert!(
+                report.status == StopReason::Cancelled || m == INSTANCES,
+                "threads={threads} k={k}: {:?}",
+                report.status
+            );
+            // Trials spent must equal the prefix's own accounting.
+            let expect: u64 = full.instances[..m]
+                .iter()
+                .map(|i| i.trials_run as u64)
+                .sum();
+            assert_eq!(report.trials_spent, expect);
+        }
+    }
+}
+
+/// `max_instances` is an exact cap: precisely the first k index-ordered
+/// instances run, byte-identically, for every thread count.
+#[test]
+fn instance_budget_is_an_exact_prefix() {
+    let full = reference_report();
+    for threads in [1usize, 2, 8] {
+        for k in [0usize, 1, 4, INSTANCES, INSTANCES + 3] {
+            let session = base_campaign()
+                .with_threads(threads)
+                .with_max_instances(k)
+                .session();
+            let report = session.run(&NullSink);
+            let expect = k.min(INSTANCES);
+            assert_eq!(report.completed(), expect, "threads={threads} k={k}");
+            assert_eq!(
+                format!("{:?}", report.instances),
+                format!("{:?}", &full.instances[..expect]),
+                "threads={threads} k={k}: prefix diverged"
+            );
+            let status = if expect == INSTANCES {
+                StopReason::Completed
+            } else {
+                StopReason::MaxItems
+            };
+            assert_eq!(report.status, status, "threads={threads} k={k}");
+            assert_eq!(report.total_instances, INSTANCES);
+        }
+    }
+}
+
+/// The trial budget stops claiming new instances once spent; the
+/// completed set is always an index-ordered prefix of the full run.
+#[test]
+fn trial_budget_stops_with_a_deterministic_prefix() {
+    let full = reference_report();
+    // Sequentially: two 15-trial instances exhaust a budget of 30.
+    let session = base_campaign()
+        .with_threads(1)
+        .with_max_trials(30)
+        .session();
+    let report = session.run(&NullSink);
+    assert_eq!(report.completed(), 2);
+    assert_eq!(report.status, StopReason::CostBudget);
+    assert_eq!(report.trials_spent, 30);
+    // In parallel the prefix length depends on in-flight work, but every
+    // completed instance is still byte-identical to the full run's.
+    for threads in [2usize, 8] {
+        let session = base_campaign()
+            .with_threads(threads)
+            .with_max_trials(30)
+            .session();
+        let report = session.run(&NullSink);
+        let m = report.completed();
+        assert!(m >= 2, "threads={threads}: {m}");
+        assert_eq!(
+            format!("{:?}", report.instances),
+            format!("{:?}", &full.instances[..m]),
+            "threads={threads}: prefix diverged"
+        );
+    }
+}
+
+/// Tentpole acceptance: a warm re-run of an unchanged campaign is
+/// byte-identical and performs zero fresh pipeline preparations.
+#[test]
+fn warm_rerun_is_byte_identical_and_prepares_nothing() {
+    let session = base_campaign().with_threads(2).session();
+    assert_eq!(session.instance_count(), INSTANCES);
+    assert_eq!(session.prepared_instances(), 0);
+    let cold = session.run(&NullSink);
+    assert_eq!(session.prepared_instances(), INSTANCES);
+    assert_eq!(session.cached_instances(), INSTANCES);
+    for _ in 0..2 {
+        let warm = session.run(&NullSink);
+        assert_eq!(
+            format!("{warm:?}"),
+            format!("{cold:?}"),
+            "warm re-run diverged from the cold run"
+        );
+    }
+    assert_eq!(
+        session.prepared_instances(),
+        INSTANCES,
+        "warm re-runs must not re-prepare instances"
+    );
+    // Dropping the cache makes the next run cold again — and still
+    // byte-identical.
+    session.clear_cache();
+    assert_eq!(session.cached_instances(), 0);
+    let recold = session.run(&NullSink);
+    assert_eq!(format!("{recold:?}"), format!("{cold:?}"));
+    assert_eq!(session.prepared_instances(), 2 * INSTANCES);
+}
+
+/// Runs on one session serialize: concurrent `run` calls cannot race
+/// the artifact cache into duplicate preparations or fresh arenas, and
+/// every call still returns the byte-identical report.
+#[test]
+fn concurrent_runs_serialize_and_stay_warm() {
+    let session = std::sync::Arc::new(base_campaign().with_threads(2).session());
+    let cold = format!("{:?}", session.run(&NullSink));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let session = std::sync::Arc::clone(&session);
+            let reference = cold.clone();
+            std::thread::spawn(move || {
+                assert_eq!(format!("{:?}", session.run(&NullSink)), reference);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("concurrent run panicked");
+    }
+    assert_eq!(
+        session.prepared_instances(),
+        INSTANCES,
+        "racing runs must not duplicate preparations"
+    );
+}
+
+/// The single-shot wrappers ride the same path: a campaign's results are
+/// byte-identical to `sweep` and to per-instance `verify_instance` calls.
+#[test]
+fn campaign_sweep_and_verify_instance_agree() {
+    let workloads = vec![(
+        "matmul_chain".to_string(),
+        fuzzyflow::workloads::matmul_chain(),
+        fuzzyflow::workloads::matmul_chain::default_bindings(),
+    )];
+    let transformations: Vec<Box<dyn Transformation>> = vec![
+        Box::new(MapTiling::new(4)),
+        Box::new(MapTilingOffByOne::new(4)),
+    ];
+    let verify = VerifyConfig::new().with_trials(20).with_size_max(8);
+    let cfg = SweepConfig::new()
+        .with_verify(verify.clone())
+        .with_threads(2);
+    let (sweep_results, _) = sweep(&workloads, &transformations, &cfg);
+
+    let session = Campaign::new("agree")
+        .with_workload(
+            "matmul_chain",
+            fuzzyflow::workloads::matmul_chain(),
+            fuzzyflow::workloads::matmul_chain::default_bindings(),
+        )
+        .with_transformations(vec![
+            Box::new(MapTiling::new(4)),
+            Box::new(MapTilingOffByOne::new(4)),
+        ])
+        .with_verify(verify.clone())
+        .with_threads(2)
+        .session();
+    let report = session.run(&NullSink);
+    assert_eq!(report.completed(), sweep_results.len());
+    for (inst, res) in report.instances.iter().zip(&sweep_results) {
+        assert_eq!(inst.label, res.label());
+        assert_eq!(
+            inst.trials_run,
+            res.report.as_ref().map_or(0, |r| r.trials_run)
+        );
+    }
+
+    // Per-instance wrapper: byte-identical reports (concretization is
+    // defaulted per workload exactly like the sweep does).
+    let program = &workloads[0].1;
+    let per_instance_cfg = verify.with_concretization(workloads[0].2.clone());
+    let mut flat = Vec::new();
+    for t in &transformations {
+        for m in t.find_matches(program) {
+            flat.push(format!(
+                "{:?}",
+                verify_instance(program, t.as_ref(), &m, &per_instance_cfg)
+            ));
+        }
+    }
+    let from_sweep: Vec<String> = sweep_results
+        .iter()
+        .map(|r| match (&r.report, &r.error) {
+            (Some(rep), _) => format!("{:?}", Ok::<_, fuzzyflow::VerifyError>(rep.clone())),
+            (None, Some(e)) => format!("{:?}", Err::<VerificationReport, _>(e.clone())),
+            _ => unreachable!(),
+        })
+        .collect();
+    assert_eq!(flat, from_sweep);
+}
+
+/// The event stream has the documented shape: session start/finish
+/// bracket everything, every instance starts before it finishes, faults
+/// and trial progress are reported.
+#[test]
+fn event_stream_has_the_documented_shape() {
+    let session = base_campaign().with_threads(2).session();
+    let sink = CollectingSink::new();
+    let report = session.run(&sink);
+    let events = sink.take();
+    assert!(matches!(
+        events.first(),
+        Some(Event::SessionStarted {
+            instances: INSTANCES
+        })
+    ));
+    assert!(matches!(
+        events.last(),
+        Some(Event::SessionFinished {
+            completed: INSTANCES,
+            total: INSTANCES,
+            stop: StopReason::Completed,
+        })
+    ));
+    let mut started = [false; INSTANCES];
+    let mut finished = 0;
+    let mut faults = 0;
+    let mut progress = 0;
+    for e in &events {
+        match e {
+            Event::InstanceStarted { index, .. } => started[*index] = true,
+            Event::InstanceFinished { index, cached, .. } => {
+                assert!(started[*index], "instance {index} finished before starting");
+                assert!(!cached, "first run cannot be cached");
+                finished += 1;
+            }
+            Event::TrialProgress {
+                trials_done,
+                trials_total,
+                ..
+            } => {
+                assert!(trials_done <= trials_total);
+                progress += 1;
+            }
+            Event::FaultFound { label, .. } => {
+                assert!(!label.is_empty());
+                faults += 1;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(finished, INSTANCES);
+    assert_eq!(faults, report.fault_count());
+    assert!(faults >= 3, "the off-by-one pass faults on every GEMM");
+    assert!(progress > 0, "trial progress must stream");
+
+    // A warm re-run flags every instance as cached.
+    let sink = CollectingSink::new();
+    session.run(&sink);
+    let cached_count = sink
+        .take()
+        .iter()
+        .filter(|e| matches!(e, Event::InstanceFinished { cached: true, .. }))
+        .count();
+    assert_eq!(cached_count, INSTANCES);
+}
+
+/// The JSON report round-trips losslessly and canonically.
+#[test]
+fn campaign_report_json_round_trips() {
+    let report = base_campaign().with_threads(2).session().run(&NullSink);
+    assert!(report.fault_count() >= 3);
+    let json = report.to_json();
+    let parsed = CampaignReport::from_json(&json).expect("parses");
+    assert_eq!(parsed, report, "lossless round trip");
+    assert_eq!(parsed.to_json(), json, "canonical encoding");
+    // Structured errors and faults survive: every fault carries its
+    // label, and execution-exposed faults carry a replayable case.
+    for fault in parsed.faults() {
+        let f = fault.fault.as_ref().unwrap();
+        assert!(!f.label.is_empty());
+        if f.label != "invalid code" {
+            assert!(f.case.is_some(), "{} has no case", fault.index);
+        }
+    }
+}
+
+/// Satellite acceptance: a fault replayed from a *serialized* campaign
+/// report reproduces the identical verdict — the cutout pair is rebuilt
+/// from scratch, the parsed bit-exact inputs are run through both sides,
+/// and the divergence matches the recorded one.
+#[test]
+fn replayed_fault_from_serialized_report_reproduces_the_verdict() {
+    let verify = VerifyConfig::new().with_trials(50).with_size_max(8);
+    let session = Campaign::new("replay")
+        .with_workload(
+            "matmul_chain",
+            fuzzyflow::workloads::matmul_chain(),
+            fuzzyflow::workloads::matmul_chain::default_bindings(),
+        )
+        .with_transformation(Box::new(MapTilingOffByOne::new(4)))
+        .with_verify(verify.clone())
+        .session();
+    let json = session.run(&NullSink).to_json();
+
+    // Elsewhere, later: parse the shipped report and replay.
+    let parsed = CampaignReport::from_json(&json).expect("parses");
+    let fault = parsed.faults().next().expect("off-by-one tiling faults");
+    let record = fault.fault.as_ref().unwrap();
+    let case = record.case.as_ref().expect("execution fault has a case");
+
+    // Rebuild the cutout pair the pipeline used (same config ⇒ same
+    // cutout, bit for bit).
+    let program = fuzzyflow::workloads::matmul_chain();
+    let t = MapTilingOffByOne::new(4);
+    let m = &t.find_matches(&program)[fault.index];
+    let (_, changes) = apply_to_clone(&program, &t, m).unwrap();
+    let ctx = SideEffectContext::with_size_symbols(&program.free_symbols(), 8);
+    let cutout = extract_cutout(&program, &changes, &ctx).unwrap();
+    let (cutout, _) = fuzzyflow::cutout::minimize_input_configuration(
+        &program,
+        cutout,
+        &ctx,
+        &fuzzyflow::workloads::matmul_chain::default_bindings(),
+    );
+    let translated = fuzzyflow::cutout::refind_match(&cutout, &t, m).unwrap();
+    let mut transformed = cutout.sdfg.clone();
+    t.apply(&mut transformed, &translated).unwrap();
+
+    // Replaying the parsed bit-exact inputs reproduces the divergence,
+    // with the identical mismatch description.
+    let mut orig_state = case.state.clone();
+    let mut trans_state = case.state.clone();
+    fuzzyflow::interp::run(&cutout.sdfg, &mut orig_state).expect("original executes");
+    fuzzyflow::interp::run(&transformed, &mut trans_state).expect("transformed executes");
+    let mismatch = orig_state
+        .compare_on(&trans_state, &cutout.system_state, parsed.config.tolerance)
+        .expect("replay reproduces the divergence");
+    assert_eq!(
+        mismatch.to_string(),
+        record.detail,
+        "verdict detail differs"
+    );
+
+    // And an independent re-verification reproduces the identical
+    // verdict record (label, detecting trial, bit-exact case).
+    let fresh = verify_instance(
+        &program,
+        &t,
+        m,
+        &verify.with_concretization(fuzzyflow::workloads::matmul_chain::default_bindings()),
+    )
+    .unwrap();
+    assert_eq!(fresh.verdict.label(), record.label);
+    assert_eq!(fresh.trials_to_detection, record.trial);
+    match &fresh.verdict {
+        Verdict::SemanticChange { case: c, .. } => assert_eq!(c.to_json(), case.to_json()),
+        other => panic!("expected a semantic change, got {other:?}"),
+    }
+}
