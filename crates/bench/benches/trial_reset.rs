@@ -1,0 +1,195 @@
+//! Dirty-region trial resets: warm re-executions of a CLOUDSC-shaped
+//! workload — a large engine-allocated state container of which each
+//! trial writes only a thin slice — under the two reset policies.
+//!
+//! * `ResetPolicy::Full` refills the whole container from the pristine
+//!   pattern between trials: cost scales with container size.
+//! * `ResetPolicy::Dirty` refills only the recorded dirty spans (plus
+//!   guard-plane repoisoning): cost scales with what the trial wrote.
+//!
+//! The bench asserts the tentpole acceptance criteria:
+//!
+//! * dirty resets beat full resets by **>= 2x** on the large container;
+//! * on a small container (below the selective-reset threshold, where
+//!   the policy deliberately falls back to a full refill) the two are
+//!   at parity (bar: ratio >= 0.5, i.e. no regression worse than 2x);
+//! * results under both policies are bit-identical.
+//!
+//! Results land in `BENCH_reset.json` with the machine configuration.
+
+use fuzzyflow::ir::{
+    sym, DType, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, Subset, SymExpr, SymRange, Tasklet,
+};
+use fuzzyflow_bench::{config_json, row, time_per_iter};
+use fuzzyflow_interp::{ArrayValue, ExecOptions, ExecState, Program, ResetPolicy};
+
+/// Large-container payload: 2^21 f64 elements (16 MiB), CLOUDSC-shaped
+/// in that each trial touches only a ~2k-element prefix of it.
+const BIG: &str = "2097152";
+/// Small-container payload: below `DIRTY_MIN_ELEMS`, so the engine
+/// falls back to a full refill even under `ResetPolicy::Dirty`.
+const SMALL: &str = "512";
+
+/// `B[i] = A[i] + 1` for `i in 0..N step 8` — a sparse strided scatter
+/// into the engine-allocated container `B` of dimension `b_dim`.
+fn scatter(b_dim: &str) -> Sdfg {
+    let mut b = SdfgBuilder::new("trial_reset");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &[b_dim]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let m = df.map(
+            &["i"],
+            vec![SymRange::strided(
+                SymExpr::Int(0),
+                sym("N"),
+                SymExpr::Int(8),
+            )],
+            Schedule::Parallel,
+            |body| {
+                let a = body.access("A");
+                let o = body.access("B");
+                let t = body.tasklet(Tasklet::simple(
+                    "t",
+                    vec!["x"],
+                    "y",
+                    ScalarExpr::r("x").add(ScalarExpr::f64(1.0)),
+                ));
+                body.read(
+                    a,
+                    t,
+                    Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                );
+                body.write(
+                    t,
+                    o,
+                    Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                );
+            },
+        );
+        df.auto_wire(m, &[a], &[o]);
+    });
+    b.build()
+}
+
+fn input_for(n: i64) -> ExecState {
+    let mut st = ExecState::new();
+    st.bind("N", n);
+    let vals: Vec<f64> = (0..n).map(|i| (i * 3 % 17) as f64 / 4.0).collect();
+    st.set_array("A", ArrayValue::from_f64(vec![n], &vals));
+    st
+}
+
+/// Times warm re-executions of `p` under `reset`, after one untimed
+/// trial that performs the fresh allocation. Returns the per-trial time
+/// and the final bits of `B` for the cross-policy equivalence check.
+fn warm_trials(p: &Sdfg, n: i64, iters: usize, reset: ResetPolicy) -> (f64, Vec<u64>) {
+    let prog = Program::compile(p);
+    let mut exec = prog.executor();
+    let input = input_for(n);
+    let opts = ExecOptions {
+        reset,
+        ..ExecOptions::default()
+    };
+    exec.execute(&input, &opts, None, None).expect("cold trial");
+    let us = time_per_iter(iters, || {
+        exec.execute(&input, &opts, None, None).expect("warm trial");
+    });
+    let arr = exec.array("B").expect("B allocated");
+    let bits = (0..arr.len())
+        .map(|i| arr.get(i).as_f64().to_bits())
+        .collect();
+    (us, bits)
+}
+
+fn main() {
+    println!("== trial_reset: dirty-region resets vs. full refills ==");
+
+    // Large container, sparse writes: the selective path engages.
+    let big = scatter(BIG);
+    let (big_full_us, big_full_bits) = warm_trials(&big, 2048, 200, ResetPolicy::Full);
+    let (big_dirty_us, big_dirty_bits) = warm_trials(&big, 2048, 200, ResetPolicy::Dirty);
+    assert_eq!(
+        big_full_bits, big_dirty_bits,
+        "reset policies diverged on the large container"
+    );
+    let speedup = big_full_us / big_dirty_us;
+    row(
+        "large container (16 MiB), full reset (us/trial)",
+        format!("{big_full_us:.1}"),
+    );
+    row(
+        "large container (16 MiB), dirty reset (us/trial)",
+        format!("{big_dirty_us:.1}"),
+    );
+    row(
+        "dirty-reset speedup (target: >= 2x)",
+        format!("{speedup:.2}x"),
+    );
+
+    // Small container: below the threshold both policies full-fill, so
+    // dirty tracking must not cost anything measurable.
+    let small = scatter(SMALL);
+    let (small_full_us, small_full_bits) = warm_trials(&small, 512, 2000, ResetPolicy::Full);
+    let (small_dirty_us, small_dirty_bits) = warm_trials(&small, 512, 2000, ResetPolicy::Dirty);
+    assert_eq!(
+        small_full_bits, small_dirty_bits,
+        "reset policies diverged on the small container"
+    );
+    let small_ratio = small_full_us / small_dirty_us;
+    row(
+        "small container (4 KiB), full reset (us/trial)",
+        format!("{small_full_us:.2}"),
+    );
+    row(
+        "small container (4 KiB), dirty reset (us/trial)",
+        format!("{small_dirty_us:.2}"),
+    );
+    row(
+        "small-container ratio (target: >= 0.5x)",
+        format!("{small_ratio:.2}x"),
+    );
+
+    assert!(
+        speedup >= 2.0,
+        "dirty resets below the 2x bar on the large container: {speedup:.2}x"
+    );
+    assert!(
+        small_ratio >= 0.5,
+        "dirty-reset bookkeeping regressed small containers: {small_ratio:.2}x"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"trial_reset\",\n",
+            "  \"config\": {},\n",
+            "  \"big_elems\": {},\n",
+            "  \"big_full_us\": {:.3},\n",
+            "  \"big_dirty_us\": {:.3},\n",
+            "  \"big_speedup\": {:.3},\n",
+            "  \"small_elems\": {},\n",
+            "  \"small_full_us\": {:.3},\n",
+            "  \"small_dirty_us\": {:.3},\n",
+            "  \"small_ratio\": {:.3}\n",
+            "}}\n"
+        ),
+        config_json(200),
+        BIG,
+        big_full_us,
+        big_dirty_us,
+        speedup,
+        SMALL,
+        small_full_us,
+        small_dirty_us,
+        small_ratio,
+    );
+    let record = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_reset.json");
+    std::fs::write(&record, &json).expect("write BENCH_reset.json");
+    println!("    wrote {}", record.display());
+}

@@ -61,11 +61,9 @@ impl FaultRecord {
             Verdict::Crash { trial, error, case } => {
                 (Some(*trial), error.clone(), Some(case.clone()))
             }
-            Verdict::Hang { trial, case } => (
-                Some(*trial),
-                "step budget exceeded".to_string(),
-                Some(case.clone()),
-            ),
+            Verdict::Hang { trial, error, case } => {
+                (Some(*trial), error.clone(), Some(case.clone()))
+            }
             Verdict::InvalidCode { errors } => (None, errors.join("; "), None),
             Verdict::Equivalent { .. } | Verdict::Inconclusive { .. } => return None,
         };

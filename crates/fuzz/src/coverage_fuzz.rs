@@ -261,6 +261,7 @@ impl CoverageFuzzer {
         let mut rng = Xoshiro256::seed_from(self.seed);
         let opts = ExecOptions {
             max_steps: self.max_steps,
+            ..ExecOptions::default()
         };
 
         // Seed input: shipped sizes, deterministic pseudo-random payload.
@@ -343,7 +344,8 @@ impl CoverageFuzzer {
                     return self.report(
                         Verdict::Hang {
                             trial,
-                            case: TestCase::capture(&cutout.sdfg.name, "hang", &sample),
+                            error: e.to_string(),
+                            case: TestCase::capture(&cutout.sdfg.name, &e.to_string(), &sample),
                         },
                         trial,
                         corpus.len(),

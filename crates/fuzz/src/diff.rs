@@ -5,7 +5,7 @@ use crate::rng::Xoshiro256;
 use crate::sampler::{sample_state, ValueProfile};
 use crate::testcase::TestCase;
 use fuzzyflow_cutout::Cutout;
-use fuzzyflow_interp::{ExecOptions, ExecState, ExecutorArena, Program};
+use fuzzyflow_interp::{ExecOptions, ExecState, ExecutorArena, Program, ResetPolicy};
 use fuzzyflow_ir::{validate, Sdfg};
 use fuzzyflow_pool::{resolve_threads, WorkerCache, WorkerPool};
 use std::sync::Mutex;
@@ -92,8 +92,14 @@ pub enum Verdict {
         case: TestCase,
     },
     /// The transformed cutout exceeded the step budget while the original
-    /// did not.
-    Hang { trial: usize, case: TestCase },
+    /// did not. `error` carries the interpreter's structured hang message
+    /// (step limit and budget), same shape as [`Verdict::Crash`], so
+    /// hangs, crashes and guard-plane faults triage uniformly.
+    Hang {
+        trial: usize,
+        error: String,
+        case: TestCase,
+    },
     /// The transformed cutout does not validate or fails structurally on
     /// every input — the "generates invalid code" class of Table 2.
     InvalidCode { errors: Vec<String> },
@@ -163,6 +169,16 @@ pub struct DiffTester {
     /// the calling thread. Reports are byte-identical for every setting —
     /// the verdict is always the lowest-numbered faulting trial.
     pub threads: usize,
+    /// Inter-trial buffer reset policy. The default dirty-region reset is
+    /// byte-identical to [`ResetPolicy::Full`] (enforced by the engine-
+    /// equivalence suite) and much cheaper on large containers.
+    pub reset: ResetPolicy,
+    /// Out-of-bounds slop mode: single-element wild stores near a
+    /// container land in its poisoned guard planes and surface as a
+    /// guard-plane fault naming the offending element, instead of the
+    /// plain out-of-bounds trap. Off by default (trap mode keeps the
+    /// engines bit-identical to the tree-walk reference).
+    pub oob_slop: bool,
 }
 
 impl Default for DiffTester {
@@ -175,6 +191,8 @@ impl Default for DiffTester {
             profile: ValueProfile::default(),
             max_resamples: 200,
             threads: 0,
+            reset: ResetPolicy::default(),
+            oob_slop: false,
         }
     }
 }
@@ -198,6 +216,7 @@ enum TrialOutcome {
         resamples: usize,
     },
     Hang {
+        error: String,
         case: TestCase,
         resamples: usize,
     },
@@ -418,6 +437,8 @@ impl DiffTester {
     ) -> TrialOutcome {
         let opts = ExecOptions {
             max_steps: self.max_steps,
+            reset: self.reset,
+            oob_slop: self.oob_slop,
         };
         let mut rng = Xoshiro256::seed_from(trial_seed(self.seed, trial as u64));
         let mut resamples = 0usize;
@@ -448,7 +469,8 @@ impl DiffTester {
         match trans_exec.execute(&sample, &opts, None, None) {
             Err(e) if e.is_hang() => {
                 return TrialOutcome::Hang {
-                    case: TestCase::capture(&cutout.sdfg.name, "hang", &sample),
+                    error: e.to_string(),
+                    case: TestCase::capture(&cutout.sdfg.name, &e.to_string(), &sample),
                     resamples,
                 };
             }
@@ -530,9 +552,9 @@ impl DiffTester {
                         trials_to_detection: None,
                     };
                 }
-                TrialOutcome::Hang { case, .. } => {
+                TrialOutcome::Hang { error, case, .. } => {
                     return DiffReport {
-                        verdict: Verdict::Hang { trial, case },
+                        verdict: Verdict::Hang { trial, error, case },
                         trials_run: trial,
                         resamples,
                         trials_to_detection: Some(trial),
@@ -843,6 +865,136 @@ mod tests {
 
     fn pool_ref() -> &'static WorkerPool {
         WorkerPool::global()
+    }
+
+    /// `B[i + off] = A[i]`: `off = 0` is the correct program, `off = 1`
+    /// an off-by-one transformation whose last store lands one element
+    /// past the end of `B` — inside the guard plane.
+    fn copy_program(
+        off: i64,
+    ) -> (
+        fuzzyflow_ir::Sdfg,
+        fuzzyflow_ir::StateId,
+        fuzzyflow_graph::NodeId,
+    ) {
+        let mut b = SdfgBuilder::new("copy");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        let mut mid = None;
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let o = df.access("B");
+            let m = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                |body| {
+                    let a = body.access("A");
+                    let o = body.access("B");
+                    let t = body.tasklet(Tasklet::simple("cp", vec!["x"], "y", ScalarExpr::r("x")));
+                    body.read(
+                        a,
+                        t,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    body.write(
+                        t,
+                        o,
+                        Memlet::new(
+                            "B",
+                            Subset::at(vec![sym("i") + fuzzyflow_ir::SymExpr::Int(off)]),
+                        )
+                        .from_conn("y"),
+                    );
+                },
+            );
+            df.auto_wire(m, &[a], &[o]);
+            mid = Some(m);
+        });
+        let p = b.build();
+        (p, st, mid.unwrap())
+    }
+
+    /// Acceptance criterion of the guard planes: a seeded out-of-bounds
+    /// *write* transformation surfaces as a guard-plane fault naming the
+    /// container and the faulting element — sharper triage than either
+    /// the bare trap or a downstream value mismatch.
+    #[test]
+    fn seeded_oob_write_reported_as_guard_fault_at_element() {
+        let (p, st, m) = copy_program(0);
+        let changes = fuzzyflow_transforms::ChangeSet::nodes_in_state(st, [m]);
+        let ctx = SideEffectContext::with_size_symbols(&["N".to_string()], 64);
+        let c = extract_cutout(&p, &changes, &ctx).unwrap();
+        let (bad, _, _) = copy_program(1);
+        let cons = derive_constraints(&c, &p);
+
+        let slop = DiffTester {
+            oob_slop: true,
+            ..DiffTester::new(20, 31337)
+        };
+        let report = slop.test(&c, &bad, &cons);
+        let Verdict::Crash { error, .. } = &report.verdict else {
+            panic!("expected a crash verdict, got {:?}", report.verdict);
+        };
+        assert!(
+            error.contains("guard-plane violation on 'B'"),
+            "fault names the container: {error}"
+        );
+        assert!(
+            error.contains("landed in the guard plane"),
+            "fault names the wild store, not a value mismatch: {error}"
+        );
+
+        // Default trap mode flags the same instance as a plain OOB crash.
+        let trap = DiffTester::new(20, 31337).test(&c, &bad, &cons);
+        let Verdict::Crash { error, .. } = &trap.verdict else {
+            panic!("expected a crash verdict, got {:?}", trap.verdict);
+        };
+        assert!(error.contains("out-of-bounds"), "{error}");
+    }
+
+    /// The dirty-region reset must never change a report: across thread
+    /// counts 1, 2 and 8 and both reset policies, faulting and clean
+    /// instances alike produce byte-identical reports.
+    #[test]
+    fn dirty_and_full_resets_report_identically_across_threads() {
+        let (p, _, _) = acc_program();
+        for t in [
+            Box::new(MapTiling::new(4)) as Box<dyn Transformation>,
+            Box::new(MapTilingOffByOne::new(4)),
+            Box::new(MapTilingNoRemainder::new(4)),
+        ] {
+            let m = &t.find_matches(&p)[0];
+            let (_, changes) = apply_to_clone(&p, t.as_ref(), m).unwrap();
+            let ctx = SideEffectContext::with_size_symbols(&["N".to_string()], 64);
+            let c = extract_cutout(&p, &changes, &ctx).unwrap();
+            let translated = fuzzyflow_cutout::translate_match(&c, m).unwrap();
+            let mut transformed = c.sdfg.clone();
+            t.apply(&mut transformed, &translated).unwrap();
+            let cons = derive_constraints(&c, &p);
+            let mut reference = None;
+            for threads in [1usize, 2, 8] {
+                for reset in [ResetPolicy::Dirty, ResetPolicy::Full] {
+                    let tester = DiffTester {
+                        threads,
+                        reset,
+                        ..DiffTester::new(40, 2024)
+                    };
+                    let got = format!("{:?}", tester.test(&c, &transformed, &cons));
+                    match &reference {
+                        None => reference = Some(got),
+                        Some(want) => assert_eq!(
+                            want,
+                            &got,
+                            "report diverged for {} (threads={threads}, {reset:?})",
+                            t.name()
+                        ),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

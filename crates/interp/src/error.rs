@@ -16,6 +16,18 @@ pub enum ExecError {
         point: Vec<i64>,
         shape: Vec<i64>,
     },
+    /// A poisoned guard plane was found corrupted after a run: an
+    /// out-of-bounds write landed in the slop bytes around `data`'s
+    /// payload instead of trapping (the compiled engine's opt-in slop
+    /// mode, or an engine defect caught by the always-on post-trial
+    /// verification). `point` is the faulting element when the engine
+    /// recorded the wild store; empty when only the corruption itself
+    /// was observed.
+    GuardViolation {
+        data: String,
+        point: Vec<i64>,
+        shape: Vec<i64>,
+    },
     /// A referenced container has no allocation and no descriptor.
     UnknownData(String),
     /// Symbolic evaluation failed (unbound symbol, overflow, bad step).
@@ -50,6 +62,21 @@ impl fmt::Display for ExecError {
                 f,
                 "out-of-bounds access on '{data}': index {point:?} outside shape {shape:?}"
             ),
+            ExecError::GuardViolation { data, point, shape } => {
+                if point.is_empty() {
+                    write!(
+                        f,
+                        "guard-plane violation on '{data}': poisoned slop bytes corrupted \
+                         (shape {shape:?})"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "guard-plane violation on '{data}': out-of-bounds write at {point:?} \
+                         landed in the guard plane (shape {shape:?})"
+                    )
+                }
+            }
             ExecError::UnknownData(d) => write!(f, "unknown data container '{d}'"),
             ExecError::Sym(e) => write!(f, "symbolic evaluation error: {e}"),
             ExecError::StepLimitExceeded { limit } => {
@@ -94,6 +121,7 @@ impl ExecError {
         matches!(
             self,
             ExecError::OutOfBounds { .. }
+                | ExecError::GuardViolation { .. }
                 | ExecError::IntegerDivisionByZero
                 | ExecError::Sym(SymError::Overflow)
                 | ExecError::Sym(SymError::DivisionByZero)

@@ -9,18 +9,59 @@ use fuzzyflow_ir::{
 };
 use std::collections::BTreeMap;
 
+/// How a reused [`Executor`](crate::Executor) restores its retained
+/// allocation buffers between trials.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ResetPolicy {
+    /// Reset only the granules the previous run dirtied, from the
+    /// pristine fill pattern tracked in the arena — bit-identical to
+    /// [`ResetPolicy::Full`] (enforced by the engine-equivalence suite)
+    /// but skipping the full-container memset/refill on large,
+    /// sparsely-written containers. Falls back to a full reset whenever
+    /// tracking cannot vouch for a buffer (fresh allocations, tiny
+    /// containers, program or shape changes, non-affine writes).
+    #[default]
+    Dirty,
+    /// Unconditionally refill every reused allocation (the reference
+    /// behavior; the `trial_reset` bench measures the gap).
+    Full,
+}
+
 /// Options controlling one execution.
 #[derive(Clone, Debug)]
 pub struct ExecOptions {
     /// Step budget; exceeding it raises [`ExecError::StepLimitExceeded`]
     /// (the hang oracle of paper Sec. 5.1).
     pub max_steps: u64,
+    /// Between-trial reset strategy for reused executors. Ignored by the
+    /// tree-walk engine, which never reuses buffers.
+    pub reset: ResetPolicy,
+    /// Out-of-bounds *slop* mode for the compiled engine: a plain
+    /// (non-WCR) store whose subscript fails its bounds check is modeled
+    /// like a native wild store instead of trapping immediately — it
+    /// lands at its row-major linear offset, corrupting a poisoned guard
+    /// plane (reported after the run as
+    /// [`ExecError::GuardViolation`] with the faulting container and
+    /// element) or, when the offset
+    /// folds back into the payload, silently corrupting a neighboring
+    /// element exactly as native code would. Offsets beyond the guard
+    /// windows still trap ([`ExecError::OutOfBounds`] — the "far
+    /// segfault"). Off by default: the default trap mode is what the
+    /// cross-engine equivalence suite pins, and reads always trap.
+    pub oob_slop: bool,
+}
+
+impl ExecOptions {
+    /// The default step budget of [`ExecOptions::default`].
+    pub const DEFAULT_MAX_STEPS: u64 = 50_000_000;
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
-            max_steps: 50_000_000,
+            max_steps: Self::DEFAULT_MAX_STEPS,
+            reset: ResetPolicy::default(),
+            oob_slop: false,
         }
     }
 }

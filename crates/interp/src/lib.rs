@@ -40,7 +40,7 @@ pub use coverage::CoverageMap;
 pub use error::ExecError;
 pub use exec::{
     run, run_tree_walk, run_with, run_with_tree_walk, CommHandler, ExecOptions, ExecState,
-    StateMismatch,
+    ResetPolicy, StateMismatch,
 };
 pub use program::{
     fresh_arena_count, CompileOptions, Executor, ExecutorArena, MapFusionInfo, Program,

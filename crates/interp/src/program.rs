@@ -20,7 +20,7 @@ use crate::coverage::{location_id, CoverageMap};
 use crate::error::ExecError;
 use crate::exec::{
     apply_bin, apply_cmp, apply_un, combine_wcr, matmul, reduce, softmax, CommHandler, ExecOptions,
-    ExecState, StateMismatch,
+    ExecState, ResetPolicy, StateMismatch,
 };
 use crate::value::ArrayValue;
 use fuzzyflow_ir::{
@@ -2072,12 +2072,14 @@ fn fuse_map(mp: &MapPlan) -> Result<FusedKernel, String> {
     })
 }
 
-/// Per-run execution context: step budget, collectives, coverage.
+/// Per-run execution context: step budget, collectives, coverage, and
+/// the out-of-bounds slop switch (see [`ExecOptions::oob_slop`]).
 struct RunCtx<'a> {
     steps: u64,
     max_steps: u64,
     comm: Option<&'a dyn CommHandler>,
     cov: Option<&'a mut CoverageMap>,
+    oob_slop: bool,
 }
 
 impl RunCtx<'_> {
@@ -2104,6 +2106,86 @@ impl RunCtx<'_> {
         if let Some(c) = self.cov.as_deref_mut() {
             c.record(location_id(parts));
         }
+    }
+}
+
+/// Spans a [`DirtySet`] holds before further marks coalesce into the
+/// nearest existing span (bounded so marking stays O(1) per write plan).
+const DIRTY_SPAN_CAP: usize = 8;
+
+/// Containers smaller than this always take the full-reset path: below
+/// it, a straight memset is at least as cheap as span bookkeeping, and
+/// the tracking metadata would be pure overhead.
+const DIRTY_MIN_ELEMS: usize = 4096;
+
+/// The fill pattern a retained allocation buffer held the last time it
+/// was reset — what [`Executor::allocate`] restores dirty granules from.
+/// `Unknown` forces a full reset (fresh buffer, program switch, slot
+/// recycled through an input or `run_in_place`, shape change).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum Pristine {
+    #[default]
+    Unknown,
+    Zero,
+    Garbage,
+}
+
+/// Coarse per-container record of the linear element ranges a run wrote:
+/// a bounded set of half-open spans, conservatively merged (`dirty ⊇
+/// written` always holds; over-approximation only costs reset work,
+/// never correctness). Non-affine or unbounded writes degrade to
+/// [`DirtySet::mark_all`].
+#[derive(Clone, Debug, Default)]
+struct DirtySet {
+    all: bool,
+    spans: Vec<(usize, usize)>,
+}
+
+impl DirtySet {
+    fn clear(&mut self) {
+        self.all = false;
+        self.spans.clear();
+    }
+
+    fn mark_all(&mut self) {
+        self.all = true;
+        self.spans.clear();
+    }
+
+    /// Records the half-open span `lo..hi` as written, merging with an
+    /// overlapping or adjacent span when one exists and coalescing into
+    /// the nearest span once [`DIRTY_SPAN_CAP`] is reached.
+    fn mark(&mut self, lo: usize, hi: usize) {
+        if self.all || lo >= hi {
+            return;
+        }
+        for s in &mut self.spans {
+            if lo <= s.1 && s.0 <= hi {
+                s.0 = s.0.min(lo);
+                s.1 = s.1.max(hi);
+                return;
+            }
+        }
+        if self.spans.len() < DIRTY_SPAN_CAP {
+            self.spans.push((lo, hi));
+            return;
+        }
+        let nearest = self
+            .spans
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| if hi <= s.0 { s.0 - hi } else { lo - s.1 })
+            .map(|(i, _)| i)
+            .expect("span cap is non-zero");
+        let s = &mut self.spans[nearest];
+        s.0 = s.0.min(lo);
+        s.1 = s.1.max(hi);
+    }
+
+    /// Total elements covered (an upper bound; spans may overlap after
+    /// merges). Used to decide whether a selective reset is worthwhile.
+    fn covered(&self) -> usize {
+        self.spans.iter().map(|s| s.1 - s.0).sum()
     }
 }
 
@@ -2155,6 +2237,19 @@ pub struct ExecutorArena {
     fouter: Vec<f64>,
     frow: Vec<i64>,
     fouts: Vec<ArrayValue>,
+    /// Per-slot record of what the last run wrote (selective resets).
+    dirty: Vec<DirtySet>,
+    /// Per-slot pristine pattern the retained buffer held outside its
+    /// dirty spans. Invalidated whenever a slot's contents stop being
+    /// engine-controlled (inputs, `run_in_place`, program switches).
+    pristine: Vec<Pristine>,
+    /// Identity of the program the tracking state belongs to; arenas
+    /// recycle across programs, so a mismatch wipes `dirty`/`pristine`.
+    tracked_prog: Option<u64>,
+    /// First wild store of the run under [`ExecOptions::oob_slop`]
+    /// (slot index + faulting point), reported after the run as
+    /// [`ExecError::GuardViolation`].
+    guard_fault: Option<(usize, Vec<i64>)>,
 }
 
 impl ExecutorArena {
@@ -2194,6 +2289,18 @@ impl<'p> Executor<'p> {
         a.live.resize(prog.data.len(), false);
         a.extra_syms.clear();
         a.extra_arrays.clear();
+        // Dirty/pristine tracking is only meaningful for the program that
+        // produced it: a recycled arena attached to a different program
+        // maps slot indices to different containers, so wipe the record
+        // (retained buffers stay; they just take one full reset).
+        if a.tracked_prog != Some(prog.id) {
+            a.tracked_prog = Some(prog.id);
+            a.pristine.clear();
+            a.dirty.clear();
+        }
+        a.pristine.resize(prog.data.len(), Pristine::Unknown);
+        a.dirty.resize_with(prog.data.len(), DirtySet::default);
+        a.guard_fault = None;
         Executor { prog, a }
     }
 
@@ -2234,9 +2341,17 @@ impl<'p> Executor<'p> {
                 Some(id) => {
                     match &mut self.a.arrays[id.idx()] {
                         Some(buf) => buf.copy_from(arr),
-                        slot @ None => *slot = Some(arr.clone()),
+                        slot @ None => {
+                            let mut buf = arr.clone();
+                            buf.repoison_guards();
+                            *slot = Some(buf);
+                        }
                     }
                     self.a.live[id.idx()] = true;
+                    // The slot now holds caller data, not a pristine fill
+                    // pattern; if a later trial allocates it, reset fully.
+                    self.a.pristine[id.idx()] = Pristine::Unknown;
+                    self.a.dirty[id.idx()].mark_all();
                 }
                 None => self.a.extra_arrays.push((name.clone(), arr.clone())),
             }
@@ -2268,10 +2383,20 @@ impl<'p> Executor<'p> {
             *l = false;
         }
         for (i, name) in self.prog.data.names.iter().enumerate() {
-            if let Some(arr) = state.arrays.remove(name) {
+            if let Some(mut arr) = state.arrays.remove(name) {
+                arr.repoison_guards();
                 self.a.arrays[i] = Some(arr);
                 self.a.live[i] = true;
             }
+        }
+        // Every slot either holds injected caller data now or gives its
+        // buffer away to `state` afterwards — no retained pattern to
+        // vouch for either way.
+        for p in &mut self.a.pristine {
+            *p = Pristine::Unknown;
+        }
+        for d in &mut self.a.dirty {
+            d.clear();
         }
         let res = self.run_loaded(opts, comm, cov);
         // Write back even on error: the tree-walk engine mutates its state
@@ -2401,6 +2526,16 @@ impl<'p> Executor<'p> {
         st
     }
 
+    /// Test-only inspection of the dirty record for a container: returns
+    /// `(mark_all, spans)` as of the last run (spans survive until the
+    /// next trial's `allocate` resets them). Not a stable API.
+    #[doc(hidden)]
+    pub fn dirty_spans(&self, name: &str) -> Option<(bool, Vec<(usize, usize)>)> {
+        let id = self.prog.data_id(name)?;
+        let d = self.a.dirty.get(id.idx())?;
+        Some((d.all, d.spans.clone()))
+    }
+
     // ----- runtime ------------------------------------------------------
 
     fn run_loaded(
@@ -2414,8 +2549,10 @@ impl<'p> Executor<'p> {
             max_steps: opts.max_steps,
             comm,
             cov,
+            oob_slop: opts.oob_slop,
         };
-        self.allocate()?;
+        self.a.guard_fault = None;
+        self.allocate(opts.reset)?;
         let prog = self.prog;
         let mut current = prog.start;
         loop {
@@ -2437,14 +2574,56 @@ impl<'p> Executor<'p> {
             }
             match next {
                 Some(n) => current = n,
-                None => return Ok(()),
+                None => return self.verify_guards(),
             }
         }
     }
 
+    /// Post-trial guard-plane verification: reports the wild store the
+    /// slop mode recorded during the run, then checks every live buffer's
+    /// poison bytes (defense-in-depth against engine defects — a handful
+    /// of element compares per container, no ticks, no coverage; in the
+    /// default trap mode this can only fail on an engine bug, so the
+    /// engines stay bit-identical).
+    fn verify_guards(&mut self) -> Result<(), ExecError> {
+        if let Some((i, point)) = self.a.guard_fault.take() {
+            let shape = self.a.arrays[i]
+                .as_ref()
+                .map(|arr| arr.shape().to_vec())
+                .unwrap_or_default();
+            return Err(ExecError::GuardViolation {
+                data: self.prog.data.names[i].clone(),
+                point,
+                shape,
+            });
+        }
+        for (i, slot) in self.a.arrays.iter().enumerate() {
+            if !self.a.live[i] {
+                continue;
+            }
+            if let Some(arr) = slot {
+                if !arr.guards_intact() {
+                    return Err(ExecError::GuardViolation {
+                        data: self.prog.data.names[i].clone(),
+                        point: Vec::new(),
+                        shape: arr.shape().to_vec(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Allocates declared containers the caller did not provide, reusing
     /// retained buffers of matching dtype/shape from previous runs.
-    fn allocate(&mut self) -> Result<(), ExecError> {
+    ///
+    /// Under [`ResetPolicy::Dirty`], a retained buffer whose pristine
+    /// pattern is still on record is restored by refilling only the spans
+    /// the previous run dirtied (plus a guard re-poison) — bit-identical
+    /// to the full refill because `dirty ⊇ written`. Any doubt (unknown
+    /// pattern, tiny container, mostly-dirty buffer, `mark_all`) falls
+    /// back to the full fill.
+    fn allocate(&mut self, reset: ResetPolicy) -> Result<(), ExecError> {
         let prog = self.prog;
         for ap in &prog.arrays {
             let i = ap.data.idx();
@@ -2465,18 +2644,43 @@ impl<'p> Executor<'p> {
                 &self.a.arrays[i],
                 Some(buf) if buf.dtype() == ap.dtype && buf.shape() == shape.as_slice()
             );
+            let want = match ap.storage {
+                Storage::Host => Pristine::Zero,
+                Storage::Device => Pristine::Garbage,
+            };
             if reusable {
+                let dset = std::mem::take(&mut self.a.dirty[i]);
                 let buf = self.a.arrays[i].as_mut().expect("checked above");
-                match ap.storage {
-                    Storage::Host => buf.fill_zero(),
-                    Storage::Device => buf.fill_garbage(),
+                let selective = reset == ResetPolicy::Dirty
+                    && self.a.pristine[i] == want
+                    && !dset.all
+                    && buf.len() >= DIRTY_MIN_ELEMS
+                    && dset.covered() < buf.len() / 2;
+                if selective {
+                    for &(lo, hi) in &dset.spans {
+                        match ap.storage {
+                            Storage::Host => buf.fill_zero_range(lo, hi),
+                            Storage::Device => buf.fill_garbage_range(lo, hi),
+                        }
+                    }
+                    buf.repoison_guards();
+                } else {
+                    match ap.storage {
+                        Storage::Host => buf.fill_zero(),
+                        Storage::Device => buf.fill_garbage(),
+                    }
                 }
+                let mut dset = dset;
+                dset.clear();
+                self.a.dirty[i] = dset;
             } else {
                 self.a.arrays[i] = Some(match ap.storage {
                     Storage::Host => ArrayValue::zeros(ap.dtype, shape),
                     Storage::Device => ArrayValue::garbage(ap.dtype, shape),
                 });
+                self.a.dirty[i].clear();
             }
+            self.a.pristine[i] = want;
             self.a.live[i] = true;
         }
         Ok(())
@@ -2716,6 +2920,36 @@ impl<'p> Executor<'p> {
         }
         // The precheck proved the whole kernel fits the step budget.
         ctx.steps += total * fk.ticks_per_elem;
+
+        // Dirty marking: each output's touched offsets span the interval
+        // [base + sum(min(stride*span)), base + sum(max(stride*span))] over
+        // the concrete iteration box — O(dims) per kernel, not per element.
+        {
+            let n_in = fk.inputs.len();
+            let n_dims = self.a.fdims.len();
+            for (oi, o) in fk.outputs.iter().enumerate() {
+                let a_idx = n_in + oi;
+                let mut lo = self.a.fbases[a_idx] as i128;
+                let mut hi = lo;
+                for d in 0..n_dims {
+                    let span = self.a.fstrides[a_idx * n_dims + d] as i128
+                        * (self.a.fdims[d].len() as i128 - 1);
+                    if span < 0 {
+                        lo += span;
+                    } else {
+                        hi += span;
+                    }
+                }
+                let di = o.data.idx();
+                let len = self.a.arrays[di]
+                    .as_ref()
+                    .expect("guarded slot holds a buffer")
+                    .len() as i128;
+                let lo = lo.clamp(0, len) as usize;
+                let hi = (hi + 1).clamp(0, len) as usize;
+                self.a.dirty[di].mark(lo, hi.max(lo));
+            }
+        }
 
         let mut rf = std::mem::take(&mut self.a.fk_regs_f);
         let mut rb = std::mem::take(&mut self.a.fk_regs_b);
@@ -3288,6 +3522,25 @@ impl<'p> Executor<'p> {
             }
             ctx.tick(volume as u64)?;
             let i = plan.data.idx();
+            // Record the dirty span before storing — a conservative
+            // superset of what lands even if the store traps mid-subset.
+            let (dlo, dhi) = {
+                let arr = self.a.arrays[i]
+                    .as_ref()
+                    .expect("guarded slot holds a buffer");
+                match &plan.kind {
+                    MemKind::Single(_) => {
+                        match fuzzyflow_ir::DataDesc::linearize(arr.shape(), &point) {
+                            Some(off) => (off, off + 1),
+                            None => (0, 0),
+                        }
+                    }
+                    MemKind::Ranges(_) => {
+                        range_write_bounds(&dims, arr.shape(), arr.len()).unwrap_or((0, 0))
+                    }
+                }
+            };
+            self.a.dirty[i].mark(dlo, dhi);
             let name = &prog.data.names[i];
             let arr = self.a.arrays[i]
                 .as_mut()
@@ -3341,6 +3594,14 @@ impl<'p> Executor<'p> {
                 }
             }
         })();
+        let res = self.slop_rescue(
+            res,
+            plan,
+            plan.data.idx(),
+            &point,
+            ctx,
+            vals.first().map(|&v| Scalar::F64(v)),
+        );
         self.a.point = point;
         self.a.dims_buf = dims;
         res
@@ -3607,6 +3868,20 @@ impl<'p> Executor<'p> {
             return Err(ExecError::UnknownData(self.prog.data.names[i].clone()));
         }
         let mut arr = self.a.arrays[i].take().expect("live slot holds a buffer");
+        // Record the dirty span before storing — a conservative superset
+        // of what lands even if the store traps mid-subset.
+        match &plan.kind {
+            MemKind::Single(_) => {
+                if let Some(off) = fuzzyflow_ir::DataDesc::linearize(arr.shape(), point) {
+                    self.a.dirty[i].mark(off, off + 1);
+                }
+            }
+            MemKind::Ranges(_) => {
+                if let Some((lo, hi)) = range_write_bounds(dims, arr.shape(), arr.len()) {
+                    self.a.dirty[i].mark(lo, hi);
+                }
+            }
+        }
         let name = &self.prog.data.names[i];
         let res =
             (|| -> Result<(), ExecError> {
@@ -3647,7 +3922,48 @@ impl<'p> Executor<'p> {
                 }
             })();
         self.a.arrays[i] = Some(arr);
-        res
+        self.slop_rescue(res, plan, i, point, ctx, vals.first().copied())
+    }
+
+    /// Out-of-bounds slop mode ([`ExecOptions::oob_slop`]): re-model a
+    /// trapped single-element, non-WCR store as a native wild store. A
+    /// write that folds back into the payload silently corrupts a
+    /// neighbouring element (and is marked dirty); one landing in a
+    /// guard plane records the faulting element for post-run
+    /// [`ExecError::GuardViolation`] reporting; anything further out
+    /// keeps the [`ExecError::OutOfBounds`] trap.
+    fn slop_rescue(
+        &mut self,
+        res: Result<(), ExecError>,
+        plan: &MemPlan,
+        i: usize,
+        point: &[i64],
+        ctx: &RunCtx<'_>,
+        val: Option<Scalar>,
+    ) -> Result<(), ExecError> {
+        if !ctx.oob_slop
+            || plan.wcr.is_some()
+            || !matches!(&plan.kind, MemKind::Single(_))
+            || !matches!(res, Err(ExecError::OutOfBounds { .. }))
+        {
+            return res;
+        }
+        let Some(val) = val else { return res };
+        let arr = self.a.arrays[i]
+            .as_mut()
+            .expect("slot restored after the store attempt");
+        let Some(off) = signed_linearize(arr.shape(), point) else {
+            return res;
+        };
+        if !arr.poke_linear(off, val) {
+            return res;
+        }
+        if off >= 0 && (off as usize) < arr.len() {
+            self.a.dirty[i].mark(off as usize, off as usize + 1);
+        } else if self.a.guard_fault.is_none() {
+            self.a.guard_fault = Some((i, point.to_vec()));
+        }
+        Ok(())
     }
 
     /// Per-dimension block lengths of a memlet's concrete subset
@@ -3764,6 +4080,50 @@ impl<'p> Executor<'p> {
             CondPlan::Or(l, r) => self.eval_cond(l)? || self.eval_cond(r)?,
         })
     }
+}
+
+/// Row-major linear offset of `point` against `shape` *without* bounds
+/// checks — where a wild store would land natively. `None` on rank
+/// mismatch or `i64` overflow.
+fn signed_linearize(shape: &[i64], point: &[i64]) -> Option<i64> {
+    if shape.len() != point.len() {
+        return None;
+    }
+    let mut off = 0i128;
+    let mut stride = 1i128;
+    for d in (0..shape.len()).rev() {
+        off += point[d] as i128 * stride;
+        stride *= shape[d] as i128;
+    }
+    i64::try_from(off).ok()
+}
+
+/// Conservative half-open linear bounds covering every element a range
+/// subset can write: the row-major offsets of the component-wise minimum
+/// and maximum points (concrete ranges have positive steps and row-major
+/// strides are non-negative, so these bound all visited points), clamped
+/// to the payload. `None` on rank mismatch — no point linearizes then,
+/// so nothing is written.
+fn range_write_bounds(dims: &[ConcreteRange], shape: &[i64], len: usize) -> Option<(usize, usize)> {
+    if dims.len() != shape.len() {
+        return None;
+    }
+    let mut stride = 1i128;
+    let mut lo = 0i128;
+    let mut hi = 0i128;
+    for d in (0..dims.len()).rev() {
+        let r = &dims[d];
+        let n = r.len() as i128;
+        if n == 0 {
+            return Some((0, 0));
+        }
+        lo += (r.start as i128) * stride;
+        hi += (r.start as i128 + (n - 1) * r.step as i128) * stride;
+        stride *= shape[d] as i128;
+    }
+    let lo = lo.clamp(0, len as i128) as usize;
+    let hi = (hi + 1).clamp(0, len as i128) as usize;
+    Some((lo, hi.max(lo)))
 }
 
 /// Row-major iteration over the contiguous rows of a dense, fully

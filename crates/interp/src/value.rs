@@ -1,14 +1,63 @@
 //! Runtime array values.
+//!
+//! Every [`ArrayValue`] buffer is allocated with **poisoned guard planes**:
+//! [`GUARD_ELEMS`] slop elements before and after the payload, filled with
+//! per-dtype sentinel patterns distinct from the "uninitialized device
+//! memory" garbage patterns. The guards model the adjacent bytes an
+//! out-of-bounds write would corrupt natively; the executor re-poisons
+//! them on every reset and verifies them after every trial, so a stray
+//! write faults at the offending container instead of surfacing later as
+//! an opaque value mismatch. All public accessors (`len`, `get`, `set`,
+//! slices, comparisons, `Debug`) window the payload — guards are invisible
+//! outside this module except through [`ArrayValue::guards_intact`].
 
 use fuzzyflow_ir::{DType, Scalar};
+use std::fmt;
 
-/// Sentinel bit pattern used to fill "uninitialized" device allocations.
-/// Models the garbage contents of freshly allocated GPU memory that the
-/// CLOUDSC GPU-kernel-extraction bug copies back to the host (paper
-/// Sec. 6.4, Fig. 7). Deterministic so test failures reproduce exactly.
+/// Sentinel bit pattern used to fill "uninitialized" `F64` device
+/// allocations. Models the garbage contents of freshly allocated GPU
+/// memory that the CLOUDSC GPU-kernel-extraction bug copies back to the
+/// host (paper Sec. 6.4, Fig. 7). Deterministic so test failures
+/// reproduce exactly. (Pinned by the engine-equivalence suite; the other
+/// dtypes get their own distinct patterns below.)
 pub const GARBAGE_BITS: u64 = 0xDEAD_BEEF_DEAD_BEEF;
 
-#[derive(Clone, Debug, PartialEq)]
+/// `F32` garbage sentinel. Deliberately *not* a truncation of
+/// [`GARBAGE_BITS`], so an `F32` buffer mistakenly reinterpreted as
+/// another dtype (or vice versa) cannot masquerade as correctly
+/// initialized garbage.
+pub const GARBAGE_BITS_F32: u32 = 0xDEAD_F32B;
+
+/// `I64` garbage sentinel (distinct from every other dtype's pattern).
+pub const GARBAGE_BITS_I64: i64 = 0x0BAD_CAFE_0BAD_CAFE;
+
+/// `I32` garbage sentinel (distinct from `GARBAGE_BITS as i32`, which
+/// used to collide with the `F32` pattern bit-for-bit).
+pub const GARBAGE_BITS_I32: i32 = 0x0BAD_F00D;
+
+/// `Bool` garbage value. Booleans only have two states; `true` is the
+/// "visibly uninitialized" one (zero-init would be indistinguishable from
+/// a correct `fill_zero`).
+pub const GARBAGE_BOOL: bool = true;
+
+/// Number of guard elements on *each* side of a buffer's payload.
+pub const GUARD_ELEMS: usize = 4;
+
+/// Guard-plane poison for `F64` guards — distinct from [`GARBAGE_BITS`]
+/// so a garbage fill overrunning its window could never repair a guard.
+pub const POISON_F64: u64 = 0xFEED_FACE_FEED_FACE;
+/// Guard-plane poison for `F32` guards.
+pub const POISON_F32: u32 = 0xFEED_FACE;
+/// Guard-plane poison for `I64` guards.
+pub const POISON_I64: i64 = 0x7EE7_5EED_7EE7_5EED;
+/// Guard-plane poison for `I32` guards.
+pub const POISON_I32: i32 = 0x7EE7_5EED;
+/// Guard-plane poison for `Bool` guards (`false`, the opposite of
+/// [`GARBAGE_BOOL`]; an OOB store of `false` into a bool guard is the one
+/// corruption this scheme cannot see).
+pub const POISON_BOOL: bool = false;
+
+#[derive(Clone)]
 enum Data {
     F64(Vec<f64>),
     F32(Vec<f32>),
@@ -17,9 +66,18 @@ enum Data {
     Bool(Vec<bool>),
 }
 
+fn guarded_vec<T: Copy>(n: usize, fill: T, poison: T) -> Vec<T> {
+    let mut v = vec![fill; n + 2 * GUARD_ELEMS];
+    v[..GUARD_ELEMS].fill(poison);
+    v[n + GUARD_ELEMS..].fill(poison);
+    v
+}
+
 /// A typed, shaped, row-major array value. Scalars are rank-0 arrays with
-/// a single element.
-#[derive(Clone, Debug, PartialEq)]
+/// a single element. The underlying buffer carries [`GUARD_ELEMS`]
+/// poisoned guard elements on each side of the payload; every accessor
+/// below addresses the payload window only.
+#[derive(Clone)]
 pub struct ArrayValue {
     dtype: DType,
     shape: Vec<i64>,
@@ -43,11 +101,11 @@ impl ArrayValue {
         let n = shape.iter().product::<i64>() as usize;
         let n = if shape.is_empty() { 1 } else { n };
         let data = match dtype {
-            DType::F64 => Data::F64(vec![0.0; n]),
-            DType::F32 => Data::F32(vec![0.0; n]),
-            DType::I64 => Data::I64(vec![0; n]),
-            DType::I32 => Data::I32(vec![0; n]),
-            DType::Bool => Data::Bool(vec![false; n]),
+            DType::F64 => Data::F64(guarded_vec(n, 0.0, f64::from_bits(POISON_F64))),
+            DType::F32 => Data::F32(guarded_vec(n, 0.0, f32::from_bits(POISON_F32))),
+            DType::I64 => Data::I64(guarded_vec(n, 0, POISON_I64)),
+            DType::I32 => Data::I32(guarded_vec(n, 0, POISON_I32)),
+            DType::Bool => Data::Bool(guarded_vec(n, false, POISON_BOOL)),
         };
         ArrayValue { dtype, shape, data }
     }
@@ -59,7 +117,8 @@ impl ArrayValue {
         v
     }
 
-    /// Resets every element to zero in place (no reallocation).
+    /// Resets every payload element to zero in place (no reallocation)
+    /// and re-poisons the guard planes.
     pub fn fill_zero(&mut self) {
         match &mut self.data {
             Data::F64(v) => v.fill(0.0),
@@ -68,23 +127,140 @@ impl ArrayValue {
             Data::I32(v) => v.fill(0),
             Data::Bool(v) => v.fill(false),
         }
+        self.repoison_guards();
     }
 
-    /// Resets every element to the deterministic [`GARBAGE_BITS`] pattern
-    /// in place (no reallocation).
+    /// Resets every payload element to the per-dtype garbage sentinel
+    /// ([`GARBAGE_BITS`], [`GARBAGE_BITS_F32`], [`GARBAGE_BITS_I64`],
+    /// [`GARBAGE_BITS_I32`], [`GARBAGE_BOOL`]) in place and re-poisons
+    /// the guard planes.
     pub fn fill_garbage(&mut self) {
         match &mut self.data {
             Data::F64(v) => v.fill(f64::from_bits(GARBAGE_BITS)),
-            Data::F32(v) => v.fill(f32::from_bits(GARBAGE_BITS as u32)),
-            Data::I64(v) => v.fill(GARBAGE_BITS as i64),
-            Data::I32(v) => v.fill(GARBAGE_BITS as i32),
-            Data::Bool(v) => v.fill(true),
+            Data::F32(v) => v.fill(f32::from_bits(GARBAGE_BITS_F32)),
+            Data::I64(v) => v.fill(GARBAGE_BITS_I64),
+            Data::I32(v) => v.fill(GARBAGE_BITS_I32),
+            Data::Bool(v) => v.fill(GARBAGE_BOOL),
+        }
+        self.repoison_guards();
+    }
+
+    /// Resets payload elements `lo..hi` (clamped to the payload) to zero.
+    /// Selective trial resets restore only dirty granules through this.
+    pub fn fill_zero_range(&mut self, lo: usize, hi: usize) {
+        let (lo, hi) = (lo.min(self.len()), hi.min(self.len()));
+        let (lo, hi) = (lo + GUARD_ELEMS, hi + GUARD_ELEMS);
+        match &mut self.data {
+            Data::F64(v) => v[lo..hi].fill(0.0),
+            Data::F32(v) => v[lo..hi].fill(0.0),
+            Data::I64(v) => v[lo..hi].fill(0),
+            Data::I32(v) => v[lo..hi].fill(0),
+            Data::Bool(v) => v[lo..hi].fill(false),
         }
     }
 
-    /// Makes `self` a bit-identical copy of `src`, reusing the existing
-    /// element buffer when the dtypes match (the compiled engine's trial
-    /// loop resets inputs in place with this instead of reallocating).
+    /// Resets payload elements `lo..hi` (clamped) to the garbage sentinel.
+    pub fn fill_garbage_range(&mut self, lo: usize, hi: usize) {
+        let (lo, hi) = (lo.min(self.len()), hi.min(self.len()));
+        let (lo, hi) = (lo + GUARD_ELEMS, hi + GUARD_ELEMS);
+        match &mut self.data {
+            Data::F64(v) => v[lo..hi].fill(f64::from_bits(GARBAGE_BITS)),
+            Data::F32(v) => v[lo..hi].fill(f32::from_bits(GARBAGE_BITS_F32)),
+            Data::I64(v) => v[lo..hi].fill(GARBAGE_BITS_I64),
+            Data::I32(v) => v[lo..hi].fill(GARBAGE_BITS_I32),
+            Data::Bool(v) => v[lo..hi].fill(GARBAGE_BOOL),
+        }
+    }
+
+    /// Rewrites both guard planes with their poison pattern, erasing any
+    /// recorded corruption (every trial-reset path calls this so a guard
+    /// violation is attributed to exactly one trial).
+    pub fn repoison_guards(&mut self) {
+        let n = self.len();
+        match &mut self.data {
+            Data::F64(v) => {
+                v[..GUARD_ELEMS].fill(f64::from_bits(POISON_F64));
+                v[n + GUARD_ELEMS..].fill(f64::from_bits(POISON_F64));
+            }
+            Data::F32(v) => {
+                v[..GUARD_ELEMS].fill(f32::from_bits(POISON_F32));
+                v[n + GUARD_ELEMS..].fill(f32::from_bits(POISON_F32));
+            }
+            Data::I64(v) => {
+                v[..GUARD_ELEMS].fill(POISON_I64);
+                v[n + GUARD_ELEMS..].fill(POISON_I64);
+            }
+            Data::I32(v) => {
+                v[..GUARD_ELEMS].fill(POISON_I32);
+                v[n + GUARD_ELEMS..].fill(POISON_I32);
+            }
+            Data::Bool(v) => {
+                v[..GUARD_ELEMS].fill(POISON_BOOL);
+                v[n + GUARD_ELEMS..].fill(POISON_BOOL);
+            }
+        }
+    }
+
+    /// True when both guard planes still hold their poison pattern
+    /// bit-for-bit (bit comparison, so NaN poison floats compare equal).
+    pub fn guards_intact(&self) -> bool {
+        let n = self.len();
+        match &self.data {
+            Data::F64(v) => {
+                let p = POISON_F64;
+                v[..GUARD_ELEMS]
+                    .iter()
+                    .chain(&v[n + GUARD_ELEMS..])
+                    .all(|x| x.to_bits() == p)
+            }
+            Data::F32(v) => {
+                let p = POISON_F32;
+                v[..GUARD_ELEMS]
+                    .iter()
+                    .chain(&v[n + GUARD_ELEMS..])
+                    .all(|x| x.to_bits() == p)
+            }
+            Data::I64(v) => v[..GUARD_ELEMS]
+                .iter()
+                .chain(&v[n + GUARD_ELEMS..])
+                .all(|&x| x == POISON_I64),
+            Data::I32(v) => v[..GUARD_ELEMS]
+                .iter()
+                .chain(&v[n + GUARD_ELEMS..])
+                .all(|&x| x == POISON_I32),
+            Data::Bool(v) => v[..GUARD_ELEMS]
+                .iter()
+                .chain(&v[n + GUARD_ELEMS..])
+                .all(|&x| x == POISON_BOOL),
+        }
+    }
+
+    /// Stores `value` at a *signed* payload-relative linear offset,
+    /// allowed to land in either guard plane — the "slop" model of a
+    /// native out-of-bounds store. Returns `false` (storing nothing)
+    /// when the offset falls outside `payload ∪ guards`, the analogue of
+    /// a far store hitting unmapped memory.
+    pub fn poke_linear(&mut self, off: i64, value: Scalar) -> bool {
+        let n = self.len() as i64;
+        if off < -(GUARD_ELEMS as i64) || off >= n + GUARD_ELEMS as i64 {
+            return false;
+        }
+        let raw = (off + GUARD_ELEMS as i64) as usize;
+        match &mut self.data {
+            Data::F64(v) => v[raw] = value.as_f64(),
+            Data::F32(v) => v[raw] = value.as_f64() as f32,
+            Data::I64(v) => v[raw] = value.as_i64(),
+            Data::I32(v) => v[raw] = value.as_i64() as i32,
+            Data::Bool(v) => v[raw] = value.as_bool(),
+        }
+        true
+    }
+
+    /// Makes `self` a payload-identical copy of `src`, reusing the
+    /// existing element buffer when the dtypes match (the compiled
+    /// engine's trial loop resets inputs in place with this instead of
+    /// reallocating). `self`'s guard planes come out freshly poisoned
+    /// regardless of either side's prior guard state.
     pub fn copy_from(&mut self, src: &ArrayValue) {
         self.dtype = src.dtype;
         self.shape.clone_from(&src.shape);
@@ -96,6 +272,7 @@ impl ArrayValue {
             (Data::Bool(d), Data::Bool(s)) => d.clone_from(s),
             (d, s) => *d = s.clone(),
         }
+        self.repoison_guards();
     }
 
     /// An array filled with one value.
@@ -125,10 +302,12 @@ impl ArrayValue {
             values.len() as i64,
             "value count must match shape"
         );
+        let mut data = guarded_vec(values.len(), 0.0, f64::from_bits(POISON_F64));
+        data[GUARD_ELEMS..GUARD_ELEMS + values.len()].copy_from_slice(values);
         ArrayValue {
             dtype: DType::F64,
             shape,
-            data: Data::F64(values.to_vec()),
+            data: Data::F64(data),
         }
     }
 
@@ -142,15 +321,16 @@ impl ArrayValue {
         &self.shape
     }
 
-    /// Number of elements.
+    /// Number of payload elements (guard planes excluded).
     pub fn len(&self) -> usize {
-        match &self.data {
+        let raw = match &self.data {
             Data::F64(v) => v.len(),
             Data::F32(v) => v.len(),
             Data::I64(v) => v.len(),
             Data::I32(v) => v.len(),
             Data::Bool(v) => v.len(),
-        }
+        };
+        raw - 2 * GUARD_ELEMS
     }
 
     /// True if the array has no elements (zero-sized dimension).
@@ -160,6 +340,8 @@ impl ArrayValue {
 
     /// Reads the element at a linear offset.
     pub fn get(&self, idx: usize) -> Scalar {
+        debug_assert!(idx < self.len());
+        let idx = idx + GUARD_ELEMS;
         match &self.data {
             Data::F64(v) => Scalar::F64(v[idx]),
             Data::F32(v) => Scalar::F32(v[idx]),
@@ -171,6 +353,8 @@ impl ArrayValue {
 
     /// Writes the element at a linear offset (casting to the array dtype).
     pub fn set(&mut self, idx: usize, value: Scalar) {
+        assert!(idx < self.len(), "linear index outside payload");
+        let idx = idx + GUARD_ELEMS;
         match &mut self.data {
             Data::F64(v) => v[idx] = value.as_f64(),
             Data::F32(v) => v[idx] = value.as_f64() as f32,
@@ -180,22 +364,25 @@ impl ArrayValue {
         }
     }
 
-    /// Borrows the raw element buffer when the dtype is `F64` — the
-    /// compiled engine's monomorphic fast path reads through this instead
-    /// of boxing every element into a [`Scalar`].
+    /// Borrows the raw payload when the dtype is `F64` — the compiled
+    /// engine's monomorphic fast path reads through this instead of
+    /// boxing every element into a [`Scalar`].
     pub fn as_f64_slice(&self) -> Option<&[f64]> {
         match &self.data {
-            Data::F64(v) => Some(v),
+            Data::F64(v) => Some(&v[GUARD_ELEMS..v.len() - GUARD_ELEMS]),
             _ => None,
         }
     }
 
-    /// Mutably borrows the shape and raw element buffer together when the
+    /// Mutably borrows the shape and raw payload together when the
     /// dtype is `F64` (split borrow: the fast path linearizes against the
     /// shape while writing through the buffer).
     pub fn as_f64_parts_mut(&mut self) -> Option<(&[i64], &mut [f64])> {
         match &mut self.data {
-            Data::F64(v) => Some((&self.shape, v)),
+            Data::F64(v) => {
+                let n = v.len() - GUARD_ELEMS;
+                Some((&self.shape, &mut v[GUARD_ELEMS..n]))
+            }
             _ => None,
         }
     }
@@ -222,9 +409,57 @@ impl ArrayValue {
         })
     }
 
-    /// Total size in bytes.
+    /// Total payload size in bytes.
     pub fn byte_size(&self) -> usize {
         self.len() * self.dtype.size_bytes()
+    }
+}
+
+/// Payload-only equality: two arrays are equal when dtype, shape and
+/// payload elements match — guard planes never participate, so a guarded
+/// executor result compares equal to a plainly constructed expectation
+/// and a corrupted guard cannot masquerade as a semantic change.
+impl PartialEq for ArrayValue {
+    fn eq(&self, other: &Self) -> bool {
+        if self.dtype != other.dtype || self.shape != other.shape {
+            return false;
+        }
+        match (&self.data, &other.data) {
+            (Data::F64(a), Data::F64(b)) => payload(a) == payload(b),
+            (Data::F32(a), Data::F32(b)) => payload(a) == payload(b),
+            (Data::I64(a), Data::I64(b)) => payload(a) == payload(b),
+            (Data::I32(a), Data::I32(b)) => payload(a) == payload(b),
+            (Data::Bool(a), Data::Bool(b)) => payload(a) == payload(b),
+            _ => false,
+        }
+    }
+}
+
+fn payload<T>(v: &[T]) -> &[T] {
+    &v[GUARD_ELEMS..v.len() - GUARD_ELEMS]
+}
+
+/// Payload-only `Debug`: report byte-identity assertions format states
+/// with `{:?}`, so guard bytes must never leak into the rendering.
+impl fmt::Debug for ArrayValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct P<'a>(&'a Data);
+        impl fmt::Debug for P<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self.0 {
+                    Data::F64(v) => f.debug_list().entries(payload(v)).finish(),
+                    Data::F32(v) => f.debug_list().entries(payload(v)).finish(),
+                    Data::I64(v) => f.debug_list().entries(payload(v)).finish(),
+                    Data::I32(v) => f.debug_list().entries(payload(v)).finish(),
+                    Data::Bool(v) => f.debug_list().entries(payload(v)).finish(),
+                }
+            }
+        }
+        f.debug_struct("ArrayValue")
+            .field("dtype", &self.dtype)
+            .field("shape", &self.shape)
+            .field("data", &P(&self.data))
+            .finish()
     }
 }
 
@@ -264,6 +499,40 @@ mod tests {
     }
 
     #[test]
+    fn garbage_sentinels_are_distinct_per_dtype() {
+        // Bit patterns of the four non-bool sentinels, widened to u64:
+        // all distinct, so a buffer of one dtype reinterpreted as another
+        // can never look correctly initialized.
+        let pats = [
+            GARBAGE_BITS,
+            GARBAGE_BITS_F32 as u64,
+            GARBAGE_BITS_I64 as u64,
+            GARBAGE_BITS_I32 as u64,
+        ];
+        for (i, a) in pats.iter().enumerate() {
+            for b in &pats[i + 1..] {
+                assert_ne!(a, b, "garbage sentinels must differ");
+            }
+        }
+        assert_eq!(
+            ArrayValue::garbage(DType::F32, vec![1]).get(0),
+            Scalar::F32(f32::from_bits(GARBAGE_BITS_F32))
+        );
+        assert_eq!(
+            ArrayValue::garbage(DType::I64, vec![1]).get(0),
+            Scalar::I64(GARBAGE_BITS_I64)
+        );
+        assert_eq!(
+            ArrayValue::garbage(DType::I32, vec![1]).get(0),
+            Scalar::I32(GARBAGE_BITS_I32)
+        );
+        assert_eq!(
+            ArrayValue::garbage(DType::Bool, vec![1]).get(0),
+            Scalar::Bool(GARBAGE_BOOL)
+        );
+    }
+
+    #[test]
     fn first_mismatch_exact_and_tolerant() {
         let a = ArrayValue::from_f64(vec![3], &[1.0, 2.0, 3.0]);
         let mut b = a.clone();
@@ -284,5 +553,60 @@ mod tests {
     fn zero_sized_dimension() {
         let a = ArrayValue::zeros(DType::F64, vec![0, 4]);
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn guards_start_intact_and_survive_fills() {
+        for dt in [DType::F64, DType::F32, DType::I64, DType::I32, DType::Bool] {
+            let mut a = ArrayValue::zeros(dt, vec![5]);
+            assert!(a.guards_intact(), "{dt:?} guards poisoned at birth");
+            a.fill_garbage();
+            assert!(a.guards_intact(), "{dt:?} guards survive fill_garbage");
+            a.fill_zero();
+            assert!(a.guards_intact(), "{dt:?} guards survive fill_zero");
+            a.fill_zero_range(0, 5);
+            a.fill_garbage_range(2, 5);
+            assert!(a.guards_intact(), "{dt:?} guards survive range fills");
+        }
+    }
+
+    #[test]
+    fn poke_linear_corrupts_guard_and_repoison_heals() {
+        let mut a = ArrayValue::zeros(DType::F64, vec![4]);
+        // One past the end: lands in the trailing guard plane.
+        assert!(a.poke_linear(4, Scalar::F64(1.5)));
+        assert!(!a.guards_intact());
+        // Before the start: leading guard plane.
+        let mut b = ArrayValue::zeros(DType::F64, vec![4]);
+        assert!(b.poke_linear(-1, Scalar::F64(1.5)));
+        assert!(!b.guards_intact());
+        // Far out: refused, nothing written.
+        let mut c = ArrayValue::zeros(DType::F64, vec![4]);
+        assert!(!c.poke_linear(4 + GUARD_ELEMS as i64, Scalar::F64(1.5)));
+        assert!(c.guards_intact());
+        a.repoison_guards();
+        assert!(a.guards_intact());
+    }
+
+    #[test]
+    fn equality_and_debug_ignore_guards() {
+        let mut a = ArrayValue::from_f64(vec![2], &[1.0, 2.0]);
+        let b = a.clone();
+        let clean = format!("{b:?}");
+        a.poke_linear(2, Scalar::F64(9.0));
+        assert_eq!(a, b, "guard corruption must not affect equality");
+        assert_eq!(format!("{a:?}"), clean, "guard bytes leak into Debug");
+        assert!(!clean.contains("9"), "payload debug shows guard value");
+    }
+
+    #[test]
+    fn copy_from_repoisons_guards() {
+        let src = ArrayValue::from_f64(vec![3], &[1.0, 2.0, 3.0]);
+        let mut dst = ArrayValue::zeros(DType::F64, vec![3]);
+        dst.poke_linear(3, Scalar::F64(7.0));
+        assert!(!dst.guards_intact());
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert!(dst.guards_intact(), "copy_from must re-poison guards");
     }
 }

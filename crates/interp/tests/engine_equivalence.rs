@@ -13,7 +13,7 @@ use fuzzyflow_interp::coverage::MAP_SIZE;
 use fuzzyflow_interp::value::GARBAGE_BITS;
 use fuzzyflow_interp::{
     run_with_tree_walk, ArrayValue, CompileOptions, CoverageMap, ExecError, ExecOptions, ExecState,
-    Program,
+    Program, ResetPolicy,
 };
 use fuzzyflow_ir::{
     sym, DType, LibraryOp, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, Storage, Subset,
@@ -287,7 +287,10 @@ fn input_for(cfg: &Cfg) -> ExecState {
 /// kernels — on identical inputs, asserting bit-identical results, final
 /// states and coverage. Returns the shared outcome.
 fn assert_engines_agree(p: &Sdfg, input: &ExecState, max_steps: u64) -> Result<(), ExecError> {
-    let opts = ExecOptions { max_steps };
+    let opts = ExecOptions {
+        max_steps,
+        ..ExecOptions::default()
+    };
 
     let mut tree_state = input.clone();
     let mut tree_cov = CoverageMap::new();
@@ -355,13 +358,47 @@ fn assert_engines_agree(p: &Sdfg, input: &ExecState, max_steps: u64) -> Result<(
     );
 
     // A reused executor must behave exactly like a fresh one (the arena
-    // reset is what the trial loop relies on).
-    let mut exec = prog.executor();
-    let _ = exec.execute(input, &opts, None, None);
-    let first = format!("{:?}", exec.execute(input, &opts, None, None));
-    assert_eq!(first, format!("{tree_res:?}"), "reused executor diverges");
-    if tree_res.is_ok() {
-        assert_states_bit_identical(&tree_state, &exec.to_state());
+    // reset is what the trial loop relies on). The fifth equivalence axis
+    // runs the reuse under both reset policies: the dirty-region reset
+    // must stay bit-identical — results, states, step accounting and
+    // coverage — to the exhaustive full reset across repeated trials.
+    let mut dirty_opts = opts.clone();
+    dirty_opts.reset = ResetPolicy::Dirty;
+    let mut full_opts = opts.clone();
+    full_opts.reset = ResetPolicy::Full;
+    let mut dirty_exec = prog.executor();
+    let mut full_exec = prog.executor();
+    for trial in 0..3 {
+        let mut dirty_cov = CoverageMap::new();
+        let mut full_cov = CoverageMap::new();
+        let d = dirty_exec.execute(input, &dirty_opts, None, Some(&mut dirty_cov));
+        let f = full_exec.execute(input, &full_opts, None, Some(&mut full_cov));
+        assert_eq!(
+            format!("{d:?}"),
+            format!("{tree_res:?}"),
+            "reused executor diverges on trial {trial}"
+        );
+        assert_eq!(
+            format!("{d:?}"),
+            format!("{f:?}"),
+            "dirty-reset result diverges from full reset on trial {trial}"
+        );
+        if tree_res.is_ok() {
+            assert_states_bit_identical(&tree_state, &dirty_exec.to_state());
+        }
+        assert_states_bit_identical(&dirty_exec.to_state(), &full_exec.to_state());
+        let mut dirty_virgin = [0u8; MAP_SIZE];
+        let mut full_virgin = [0u8; MAP_SIZE];
+        dirty_cov.merge_into(&mut dirty_virgin);
+        full_cov.merge_into(&mut full_virgin);
+        assert!(
+            dirty_virgin[..] == full_virgin[..],
+            "dirty-reset coverage diverges from full reset on trial {trial}"
+        );
+        assert!(
+            dirty_virgin[..] == tree_virgin[..],
+            "reused-executor coverage diverges from fresh run on trial {trial}"
+        );
     }
     tree_res
 }

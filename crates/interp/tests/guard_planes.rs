@@ -1,0 +1,417 @@
+//! Dirty-region tracking and guard-plane tests.
+//!
+//! Two properties of the selective-reset layer are pinned here:
+//!
+//! 1. **Coverage** — the dirty set an execution records for a container
+//!    is a superset of every element the run actually wrote, across the
+//!    per-element plans, bulk range copies, WCR accumulation and the
+//!    fused-kernel path (shadow-diffed against the pristine zero fill).
+//! 2. **Guard planes** — out-of-bounds stores land where native code
+//!    would put them: in trap mode they raise `OutOfBounds`; in slop
+//!    mode a near miss corrupts the poisoned guard plane and is reported
+//!    post-run as a `GuardViolation` naming the container and the
+//!    faulting element, a payload fold-back silently corrupts the
+//!    neighboring element, and a far wild store still traps.
+
+use fuzzyflow_interp::{
+    ArrayValue, CompileOptions, ExecError, ExecOptions, ExecState, Program, ResetPolicy,
+};
+use fuzzyflow_ir::{
+    sym, DType, LibraryOp, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, Subset, SymExpr,
+    SymRange, Tasklet, Wcr,
+};
+use proptest::prelude::*;
+
+/// Container size comfortably above the selective-reset threshold, so
+/// warm trials of these programs exercise the dirty-span refill path.
+const BIG: &str = "8192";
+
+/// `B[i*stride + offset] (=|+=) A[i]` over `i in 0..N`, with `B` a big
+/// engine-allocated container — per-element stores (fused, f64 fast
+/// path, or generic bytecode depending on compile options).
+fn scatter_program(wcr: Option<Wcr>, stride: i64, offset: i64) -> Sdfg {
+    let mut b = SdfgBuilder::new("scatter");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &[BIG]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let m = df.map(
+            &["i"],
+            vec![SymRange::strided(
+                SymExpr::Int(0),
+                sym("N"),
+                SymExpr::Int(stride),
+            )],
+            Schedule::Parallel,
+            |body| {
+                let a = body.access("A");
+                let o = body.access("B");
+                let t = body.tasklet(Tasklet::simple(
+                    "t",
+                    vec!["x"],
+                    "y",
+                    ScalarExpr::r("x").add(ScalarExpr::f64(1.0)),
+                ));
+                body.read(
+                    a,
+                    t,
+                    Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                );
+                let mut w = Memlet::new("B", Subset::at(vec![sym("i") + SymExpr::Int(offset)]))
+                    .from_conn("y");
+                if let Some(op) = wcr {
+                    w = w.with_wcr(op);
+                }
+                body.write(t, o, w);
+            },
+        );
+        df.auto_wire(m, &[a], &[o]);
+    });
+    b.build()
+}
+
+/// `B[0:N] = softmax(A[0:N])` — a bulk range write into the prefix of a
+/// big container through the library-node path.
+fn bulk_program() -> Sdfg {
+    let mut b = SdfgBuilder::new("bulk");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &[BIG]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let node = df.library("soft", LibraryOp::Softmax);
+        df.read(
+            a,
+            node,
+            Memlet::new("A", Subset::full(&[sym("N")])).to_conn("in"),
+        );
+        df.write(
+            node,
+            o,
+            Memlet::new("B", Subset::full(&[sym("N")])).from_conn("out"),
+        );
+    });
+    b.build()
+}
+
+fn input_for(n: i64) -> ExecState {
+    let mut st = ExecState::new();
+    st.bind("N", n);
+    let vals: Vec<f64> = (0..n).map(|i| (i * 3 % 17) as f64 / 4.0).collect();
+    st.set_array("A", ArrayValue::from_f64(vec![n], &vals));
+    st
+}
+
+/// Runs `p` three times on one executor (fresh alloc, then two
+/// dirty-reset reuses) and asserts, per trial, that every element of `B`
+/// that differs from the pristine zero fill lies inside the recorded
+/// dirty set, and that warm trials are bit-identical to the first.
+fn assert_dirty_covers_writes(p: &Sdfg, input: &ExecState, copts: &CompileOptions) {
+    let prog = Program::compile_with_options(p, copts);
+    let mut exec = prog.executor();
+    let opts = ExecOptions::default();
+    let mut first_bits: Option<Vec<u64>> = None;
+    for trial in 0..3 {
+        exec.execute(input, &opts, None, None)
+            .unwrap_or_else(|e| panic!("trial {trial} failed: {e}"));
+        let arr = exec.array("B").expect("B allocated");
+        let bits: Vec<u64> = (0..arr.len())
+            .map(|i| arr.get(i).as_f64().to_bits())
+            .collect();
+        let (all, spans) = exec.dirty_spans("B").expect("B tracked");
+        for (i, &b) in bits.iter().enumerate() {
+            if b != 0 {
+                assert!(
+                    all || spans.iter().any(|&(lo, hi)| lo <= i && i < hi),
+                    "trial {trial}: element {i} was written but is not in the \
+                     dirty set (all={all}, spans={spans:?})"
+                );
+            }
+        }
+        match &first_bits {
+            None => first_bits = Some(bits),
+            Some(first) => assert_eq!(
+                first, &bits,
+                "trial {trial} diverged from the fresh-allocation trial"
+            ),
+        }
+    }
+}
+
+fn engine_variants() -> [CompileOptions; 3] {
+    [
+        CompileOptions::default(),
+        CompileOptions {
+            fuse_maps: false,
+            ..Default::default()
+        },
+        CompileOptions {
+            specialize_f64: false,
+            ..Default::default()
+        },
+    ]
+}
+
+proptest! {
+    /// Shadow-diff property: across strides, offsets, WCR and all three
+    /// compiled-engine variants, `dirty ⊇ written`.
+    #[test]
+    fn dirty_set_covers_every_written_element(
+        n in 1i64..48,
+        stride in 1i64..5,
+        offset in 0i64..2048,
+        wcr in 0usize..3,
+    ) {
+        let wcr = match wcr {
+            0 => None,
+            1 => Some(Wcr::Sum),
+            _ => Some(Wcr::Max),
+        };
+        let p = scatter_program(wcr, stride, offset);
+        let input = input_for(n);
+        for copts in engine_variants() {
+            assert_dirty_covers_writes(&p, &input, &copts);
+        }
+    }
+}
+
+#[test]
+fn dirty_set_covers_bulk_range_writes() {
+    let p = bulk_program();
+    let input = input_for(33);
+    for copts in engine_variants() {
+        assert_dirty_covers_writes(&p, &input, &copts);
+    }
+}
+
+#[test]
+fn selective_reset_matches_full_reset_bitwise() {
+    // Interleave dirty-reset and full-reset executors over trials with
+    // *different* inputs (so stale residue from a bad reset would show).
+    let p = scatter_program(Some(Wcr::Sum), 1, 777);
+    let prog = Program::compile(&p);
+    let mut dirty_exec = prog.executor();
+    let mut full_exec = prog.executor();
+    let dirty_opts = ExecOptions {
+        reset: ResetPolicy::Dirty,
+        ..Default::default()
+    };
+    let full_opts = ExecOptions {
+        reset: ResetPolicy::Full,
+        ..Default::default()
+    };
+    for n in [40, 7, 23, 40, 1] {
+        let input = input_for(n);
+        dirty_exec.execute(&input, &dirty_opts, None, None).unwrap();
+        full_exec.execute(&input, &full_opts, None, None).unwrap();
+        let d = dirty_exec.array("B").unwrap();
+        let f = full_exec.array("B").unwrap();
+        assert_eq!(d.len(), f.len());
+        for i in 0..d.len() {
+            assert_eq!(
+                d.get(i).as_f64().to_bits(),
+                f.get(i).as_f64().to_bits(),
+                "B[{i}] diverges between dirty and full resets (n={n})"
+            );
+        }
+    }
+}
+
+// ----- guard planes ----------------------------------------------------
+
+/// `B[i + off] = A[i]` over `i in 0..N` with `B` of shape `[N]`: the last
+/// iteration stores `off` elements past the end.
+fn off_by_program(off: i64, wcr: Option<Wcr>) -> Sdfg {
+    let mut b = SdfgBuilder::new("offby");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &["N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let m = df.map(
+            &["i"],
+            vec![SymRange::full(sym("N"))],
+            Schedule::Parallel,
+            |body| {
+                let a = body.access("A");
+                let o = body.access("B");
+                let t = body.tasklet(Tasklet::simple("cp", vec!["x"], "y", ScalarExpr::r("x")));
+                body.read(
+                    a,
+                    t,
+                    Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                );
+                let mut w =
+                    Memlet::new("B", Subset::at(vec![sym("i") + SymExpr::Int(off)])).from_conn("y");
+                if let Some(op) = wcr {
+                    w = w.with_wcr(op);
+                }
+                body.write(t, o, w);
+            },
+        );
+        df.auto_wire(m, &[a], &[o]);
+    });
+    b.build()
+}
+
+fn run_compiled(p: &Sdfg, input: &ExecState, opts: &ExecOptions) -> Result<(), ExecError> {
+    Program::compile(p)
+        .executor()
+        .execute(input, opts, None, None)
+}
+
+#[test]
+fn oob_write_traps_by_default() {
+    let p = off_by_program(1, None);
+    let err = run_compiled(&p, &input_for(8), &ExecOptions::default()).unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::OutOfBounds {
+            data: "B".into(),
+            point: vec![8],
+            shape: vec![8],
+        }
+    );
+}
+
+#[test]
+fn oob_write_in_slop_mode_is_a_guard_fault_at_the_element() {
+    let p = off_by_program(1, None);
+    let opts = ExecOptions {
+        oob_slop: true,
+        ..Default::default()
+    };
+    let err = run_compiled(&p, &input_for(8), &opts).unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::GuardViolation {
+            data: "B".into(),
+            point: vec![8],
+            shape: vec![8],
+        }
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("'B'") && msg.contains("[8]"),
+        "triage message names container and element: {msg}"
+    );
+    assert!(err.is_crash(), "guard faults classify as crashes");
+}
+
+#[test]
+fn far_oob_write_still_traps_in_slop_mode() {
+    // 100 elements past the end is outside the guard window — a native
+    // run would segfault, and the slop mode keeps the trap.
+    let p = off_by_program(100, None);
+    let opts = ExecOptions {
+        oob_slop: true,
+        ..Default::default()
+    };
+    let err = run_compiled(&p, &input_for(8), &opts).unwrap_err();
+    assert!(
+        matches!(err, ExecError::OutOfBounds { .. }),
+        "far wild store must keep trapping: {err:?}"
+    );
+}
+
+#[test]
+fn wcr_oob_write_still_traps_in_slop_mode() {
+    // Read-modify-write has no native single-store analogue — it reads
+    // out of bounds first, so it keeps the trap even in slop mode.
+    let p = off_by_program(1, Some(Wcr::Sum));
+    let opts = ExecOptions {
+        oob_slop: true,
+        ..Default::default()
+    };
+    let err = run_compiled(&p, &input_for(8), &opts).unwrap_err();
+    assert!(
+        matches!(err, ExecError::OutOfBounds { .. }),
+        "WCR stores must keep trapping: {err:?}"
+    );
+}
+
+/// `B[1, j+1] = A[j]` over `j in 0..N` on a 2-D `B[N, N]`: the last store
+/// targets point `[1, N]`, whose row-major linear offset `2N` is still
+/// inside the payload — a native wild store silently corrupts `B[2, 0]`.
+#[test]
+fn payload_foldback_corrupts_neighbor_silently_in_slop_mode() {
+    let n: i64 = 6;
+    let mut b = SdfgBuilder::new("fold");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &["N", "N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let m = df.map(
+            &["j"],
+            vec![SymRange::full(sym("N"))],
+            Schedule::Parallel,
+            |body| {
+                let a = body.access("A");
+                let o = body.access("B");
+                let t = body.tasklet(Tasklet::simple("cp", vec!["x"], "y", ScalarExpr::r("x")));
+                body.read(
+                    a,
+                    t,
+                    Memlet::new("A", Subset::at(vec![sym("j")])).to_conn("x"),
+                );
+                body.write(
+                    t,
+                    o,
+                    Memlet::new(
+                        "B",
+                        Subset::at(vec![SymExpr::Int(1), sym("j") + SymExpr::Int(1)]),
+                    )
+                    .from_conn("y"),
+                );
+            },
+        );
+        df.auto_wire(m, &[a], &[o]);
+    });
+    let p = b.build();
+    let input = input_for(n);
+
+    // Trap mode: the engines agree this is out of bounds at [1, N].
+    let err = run_compiled(&p, &input, &ExecOptions::default()).unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::OutOfBounds {
+            data: "B".into(),
+            point: vec![1, n],
+            shape: vec![n, n],
+        }
+    );
+
+    // Slop mode: the store folds back into B[2, 0] and the run succeeds —
+    // exactly the silent corruption native code would exhibit.
+    let opts = ExecOptions {
+        oob_slop: true,
+        ..Default::default()
+    };
+    let prog = Program::compile(&p);
+    let mut exec = prog.executor();
+    exec.execute(&input, &opts, None, None)
+        .expect("fold-back is silent");
+    let arr = exec.array("B").unwrap();
+    let a_last = (((n - 1) * 3 % 17) as f64) / 4.0;
+    assert_eq!(
+        arr.get((2 * n) as usize).as_f64(),
+        a_last,
+        "B[2,0] holds the folded-back store of A[N-1]"
+    );
+    let (all, spans) = exec.dirty_spans("B").unwrap();
+    let off = (2 * n) as usize;
+    assert!(
+        all || spans.iter().any(|&(lo, hi)| lo <= off && off < hi),
+        "the folded-back element must be in the dirty set (spans {spans:?})"
+    );
+}

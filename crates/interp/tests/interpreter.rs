@@ -176,7 +176,10 @@ fn infinite_loop_is_reported_as_hang() {
     b.edge(s2, s2, InterstateEdge::always());
     let p = b.build();
     let mut st = ExecState::new();
-    let opts = ExecOptions { max_steps: 1000 };
+    let opts = ExecOptions {
+        max_steps: 1000,
+        ..ExecOptions::default()
+    };
     let err = run_with(&p, &mut st, &opts, None, None).unwrap_err();
     assert!(err.is_hang());
 }

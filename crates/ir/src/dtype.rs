@@ -138,10 +138,30 @@ impl Scalar {
     /// Bit-exact equality (distinguishes NaN payloads and -0.0 from 0.0) —
     /// the default comparison used by differential testing when no
     /// tolerance threshold is configured (paper Sec. 5.1).
+    ///
+    /// One deliberate exception: two NaNs compare equal when their bits
+    /// agree *modulo the sign bit*. IEEE 754 (§6.3) leaves the sign of a
+    /// NaN result unspecified, and compilers freely commute float
+    /// operations — which NaN operand an `addsd` propagates (and hence
+    /// the sign it carries) can differ between engine tiers or even
+    /// between builds of the same source. Payloads still distinguish, so
+    /// an optimization that swaps a NaN for a different NaN is flagged.
     pub fn bits_eq(self, other: Scalar) -> bool {
         match (self, other) {
-            (Scalar::F64(a), Scalar::F64(b)) => a.to_bits() == b.to_bits(),
-            (Scalar::F32(a), Scalar::F32(b)) => a.to_bits() == b.to_bits(),
+            (Scalar::F64(a), Scalar::F64(b)) => {
+                if a.is_nan() && b.is_nan() {
+                    a.to_bits() | (1 << 63) == b.to_bits() | (1 << 63)
+                } else {
+                    a.to_bits() == b.to_bits()
+                }
+            }
+            (Scalar::F32(a), Scalar::F32(b)) => {
+                if a.is_nan() && b.is_nan() {
+                    a.to_bits() | (1 << 31) == b.to_bits() | (1 << 31)
+                } else {
+                    a.to_bits() == b.to_bits()
+                }
+            }
             (Scalar::I64(a), Scalar::I64(b)) => a == b,
             (Scalar::I32(a), Scalar::I32(b)) => a == b,
             (Scalar::Bool(a), Scalar::Bool(b)) => a == b,
@@ -205,6 +225,13 @@ mod tests {
         assert!(Scalar::F64(f64::NAN).bits_eq(Scalar::F64(f64::NAN)));
         assert!(!Scalar::F64(0.0).bits_eq(Scalar::F64(-0.0)));
         assert!(Scalar::F64(1.5).bits_eq(Scalar::F64(1.5)));
+        // NaN *sign* is unspecified by IEEE 754 and unstable across
+        // builds: it never distinguishes. NaN payloads still do.
+        assert!(Scalar::F64(f64::NAN).bits_eq(Scalar::F64(-f64::NAN)));
+        assert!(Scalar::F32(f32::NAN).bits_eq(Scalar::F32(-f32::NAN)));
+        let payload = f64::from_bits(0x7ff8_0000_0000_beef);
+        assert!(!Scalar::F64(f64::NAN).bits_eq(Scalar::F64(payload)));
+        assert!(payload.is_nan());
     }
 
     #[test]
