@@ -145,7 +145,7 @@ fn main() {
             if m.fused {
                 "fused".to_string()
             } else {
-                format!("not fused: {}", m.reason.as_deref().unwrap_or("?"))
+                format!("not fused: {}", m.reason.unwrap_or("?"))
             },
         );
     }

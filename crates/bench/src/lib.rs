@@ -31,10 +31,43 @@ pub fn prepare_pair(
     (cutout, transformed, constraints)
 }
 
+/// Strips characters that would need JSON escaping from a config value.
+fn sanitize(s: String) -> String {
+    s.chars()
+        .map(|c| {
+            if c == '"' || c == '\\' || c.is_control() {
+                ' '
+            } else {
+                c
+            }
+        })
+        .collect::<String>()
+        .trim()
+        .to_string()
+}
+
+/// First line of a command's stdout, or "unknown".
+fn cmd_line(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| {
+            String::from_utf8(o.stdout)
+                .ok()
+                .and_then(|s| s.lines().next().map(str::to_string))
+        })
+        .map(sanitize)
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Machine/benchmark configuration object embedded in every
-/// `BENCH_*.json` record: thread count, CPU model, OS/arch and the trial
-/// budget. Without it, recorded speedups are not comparable across
-/// machines or runs.
+/// `BENCH_*.json` record: thread count, CPU model, OS/arch, the trial
+/// budget, and the exact toolchain + commit the numbers came from
+/// (`rustc`, `git_rev`). Without these, recorded speedups are not
+/// comparable across machines, runs, or commits.
 pub fn config_json(trials: usize) -> String {
     let threads = fuzzyflow_pool::resolve_threads(0);
     let cpu = std::fs::read_to_string("/proc/cpuinfo")
@@ -46,12 +79,12 @@ pub fn config_json(trials: usize) -> String {
         })
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_string());
-    let cpu: String = cpu
-        .chars()
-        .map(|c| if c == '"' || c == '\\' { ' ' } else { c })
-        .collect();
+    let cpu = sanitize(cpu);
+    let git_rev = cmd_line("git", &["rev-parse", "--short=12", "HEAD"]);
+    let rustc = cmd_line("rustc", &["--version"]);
     format!(
-        "{{\"threads\": {threads}, \"cpu\": \"{cpu}\", \"os\": \"{}\", \"arch\": \"{}\", \"trials\": {trials}}}",
+        "{{\"threads\": {threads}, \"cpu\": \"{cpu}\", \"os\": \"{}\", \"arch\": \"{}\", \
+         \"git_rev\": \"{git_rev}\", \"rustc\": \"{rustc}\", \"trials\": {trials}}}",
         std::env::consts::OS,
         std::env::consts::ARCH,
     )

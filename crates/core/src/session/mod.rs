@@ -59,7 +59,8 @@ mod report;
 pub use event::{CollectingSink, Event, EventSink, NullSink};
 pub use fuzzyflow_session::{CancelToken, SessionBudget, StopReason};
 pub use report::{
-    CampaignReport, ErrorRecord, FaultRecord, InstanceReport, ReportConfig, ReportParseError,
+    CampaignReport, ErrorRecord, FaultRecord, FusionTally, InstanceReport, ReportConfig,
+    ReportParseError,
 };
 
 use crate::sweep::InstanceResult;
@@ -335,12 +336,32 @@ impl Session {
                 prepares: Some(&self.prepares),
             },
         );
+        // Fusion eligibility over the completed prefix, folded from the
+        // cached compiled programs in index order — a deterministic
+        // function of the prefix, so warm and cold runs report the same
+        // tally byte for byte.
+        let mut fusion = FusionTally::default();
+        {
+            let cache = self.cache.lock().expect("session cache poisoned");
+            for r in &results {
+                let Some(entry) = cache.get(&r.index) else {
+                    continue;
+                };
+                if let Ok(prep) = entry.as_ref() {
+                    if let Some((orig, trans)) = &prep.programs {
+                        fusion.absorb(&orig.tasklet_stats().maps);
+                        fusion.absorb(&trans.tasklet_stats().maps);
+                    }
+                }
+            }
+        }
         CampaignReport {
             campaign: self.campaign.name.clone(),
             status: stop,
             total_instances: self.specs.len(),
             trials_spent,
             config: ReportConfig::from_verify(&self.campaign.verify, self.campaign.threads),
+            fusion,
             instances: results.iter().map(InstanceReport::from_result).collect(),
         }
     }

@@ -169,6 +169,31 @@ impl ReportConfig {
     }
 }
 
+/// Fusion-eligibility aggregate over the completed prefix's compiled
+/// cutout programs: how many map scopes execute on the fused-kernel
+/// tier, and — per stable rejection message — why the rest fall back.
+/// Tells a user at a glance whether their campaign's hot loops are on
+/// the fast tier, and what change would get them there.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FusionTally {
+    /// Map scopes compiled to fused kernels.
+    pub fused_maps: usize,
+    /// Rejection-message → count of map scopes on the per-element path.
+    pub rejects: std::collections::BTreeMap<String, usize>,
+}
+
+impl FusionTally {
+    /// Folds one compiled program's per-map fusion info into the tally.
+    pub(crate) fn absorb(&mut self, maps: &[fuzzyflow_interp::MapFusionInfo]) {
+        for m in maps {
+            match m.reason {
+                None => self.fused_maps += 1,
+                Some(reason) => *self.rejects.entry(reason.to_string()).or_default() += 1,
+            }
+        }
+    }
+}
+
 /// The serializable outcome of one session run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CampaignReport {
@@ -182,6 +207,8 @@ pub struct CampaignReport {
     pub trials_spent: u64,
     /// The configuration the campaign ran under.
     pub config: ReportConfig,
+    /// Fusion eligibility across the completed prefix's programs.
+    pub fusion: FusionTally,
     /// The completed prefix, in index order (`instances.len()` is the
     /// prefix length; `instances[i].index == i`).
     pub instances: Vec<InstanceReport>,
@@ -257,6 +284,17 @@ impl CampaignReport {
             c.minimize,
             c.trial_threads,
             c.threads
+        ));
+        let rejects: Vec<String> = self
+            .fusion
+            .rejects
+            .iter()
+            .map(|(reason, n)| format!("{}: {}", quote(reason), n))
+            .collect();
+        out.push_str(&format!(
+            "  \"fusion\": {{\"fused_maps\": {}, \"rejects\": {{{}}}}},\n",
+            self.fusion.fused_maps,
+            rejects.join(", ")
         ));
         out.push_str("  \"instances\": [");
         for (k, inst) in self.instances.iter().enumerate() {
@@ -371,6 +409,20 @@ impl CampaignReport {
             threads: req_usize(cfg, "threads")?,
         };
 
+        // Lenient: reports written before the fusion tally existed parse
+        // with an empty one.
+        let mut fusion = FusionTally::default();
+        if let Some(f) = v.get("fusion") {
+            fusion.fused_maps = f.get("fused_maps").and_then(Json::as_usize).unwrap_or(0);
+            if let Some(Json::Obj(entries)) = f.get("rejects") {
+                for (reason, n) in entries {
+                    if let Some(n) = n.as_usize() {
+                        fusion.rejects.insert(reason.clone(), n);
+                    }
+                }
+            }
+        }
+
         let mut instances = Vec::new();
         for inst in field("instances")?
             .as_arr()
@@ -436,6 +488,7 @@ impl CampaignReport {
                 .as_u64()
                 .ok_or_else(|| ReportParseError("bad 'trials_spent'".into()))?,
             config,
+            fusion,
             instances,
         })
     }

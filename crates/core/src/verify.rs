@@ -5,11 +5,12 @@ use fuzzyflow_cutout::{
     SideEffectContext,
 };
 use fuzzyflow_fuzz::{derive_constraints, ArenaStash, Constraints, DiffTester, Verdict};
-use fuzzyflow_interp::Program;
+use fuzzyflow_interp::{compile_shared, Program};
 use fuzzyflow_ir::{validate, Bindings, Sdfg};
 use fuzzyflow_pool::WorkerPool;
 use fuzzyflow_transforms::{apply_to_clone, TransformError, Transformation, TransformationMatch};
 use std::fmt;
+use std::sync::Arc;
 
 /// Configuration for one verification run.
 ///
@@ -238,8 +239,10 @@ pub(crate) struct PreparedInstance {
     /// trials into the "generates invalid code" verdict.
     pub invalid: Option<Vec<String>>,
     /// Compiled `(original, transformed)` programs (absent only when
-    /// `invalid` is set).
-    pub programs: Option<(Program, Program)>,
+    /// `invalid` is set). Shared through the process-wide program cache:
+    /// concurrent sessions and warm re-runs preparing the same cutout
+    /// pair receive the same `Arc`s and compile nothing.
+    pub programs: Option<(Arc<Program>, Arc<Program>)>,
     pub mincut: Option<MinCutOutcome>,
     pub program_nodes: usize,
     /// Per-instance executor-arena pool (used on cached session paths).
@@ -299,10 +302,7 @@ pub(crate) fn prepare_instance(
         .err()
         .map(|errors| errors.iter().map(|e| e.to_string()).collect::<Vec<_>>());
     let programs = if invalid.is_none() {
-        Some((
-            Program::compile(&cutout.sdfg),
-            Program::compile(&transformed),
-        ))
+        Some((compile_shared(&cutout.sdfg), compile_shared(&transformed)))
     } else {
         None
     };
@@ -356,8 +356,8 @@ pub(crate) fn run_prepared(
         (None, Some((orig, trans))) => tester.test_compiled(
             pool,
             &prepared.cutout,
-            orig,
-            trans,
+            orig.as_ref(),
+            trans.as_ref(),
             &prepared.constraints,
             use_stash.then_some(&prepared.arenas),
             progress,

@@ -34,6 +34,7 @@ pub mod coverage;
 pub mod error;
 pub mod exec;
 pub mod program;
+pub mod shared;
 pub mod value;
 
 pub use coverage::CoverageMap;
@@ -43,7 +44,8 @@ pub use exec::{
     ResetPolicy, StateMismatch,
 };
 pub use program::{
-    fresh_arena_count, CompileOptions, Executor, ExecutorArena, MapFusionInfo, Program,
+    fresh_arena_count, CompileOptions, Executor, ExecutorArena, FuseReject, MapFusionInfo, Program,
     TaskletStats,
 };
+pub use shared::{compile_shared, compile_shared_with, shared_compile_count};
 pub use value::ArrayValue;

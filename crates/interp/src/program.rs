@@ -432,21 +432,23 @@ struct MapPlan {
     params: Vec<SymId>,
     ranges: Vec<RangePlan>,
     body: BlockPlan,
-    /// Whole-scope fused loop kernel, when the body is a single
-    /// f64-specialized tasklet with affine single-index memlets (see
+    /// Whole-scope fused loop kernel, when the body is a straight-line
+    /// chain of f64-specialized tasklets with affine memlets (see
     /// [`fuse_map`]). The generic plan above stays the complete fallback:
     /// the kernel only runs when a runtime precheck proves it cannot
     /// diverge from per-element execution.
     fused: Option<Box<FusedKernel>>,
     /// Why the scope did not fuse (compile-time eligibility), for
     /// [`Program::tasklet_stats`] introspection.
-    fuse_reason: Option<String>,
+    fuse_reason: Option<FuseReject>,
 }
 
-/// One instruction of a fused kernel's straight-line body: the tasklet's
-/// [`FInsn`] code with statement markers dropped (no selects are allowed,
-/// so there are no per-statement coverage sites) and map-parameter loads
-/// turned into lane-indexed parameter reads.
+/// One instruction of a fused kernel body: the tasklets' [`FInsn`] code
+/// with map-parameter loads turned into lane-indexed parameter reads and
+/// jump targets rebased into the concatenated stream. Select-free bodies
+/// additionally drop the statement markers (nothing records per-statement
+/// coverage) and run lane-chunked; bodies with control flow keep them and
+/// run the scalar per-element loop (see [`FusedKernel::has_select`]).
 #[derive(Clone, Debug)]
 enum FKInsn {
     ConstF {
@@ -511,10 +513,46 @@ enum FKInsn {
     BoolFromF {
         reg: u32,
     },
+    /// `rf[dst] = rb[src] as u8 as f64` — the gather conversion, used to
+    /// forward a bool-classed intermediate to the next tasklet's float
+    /// connector register exactly as a store + reload would.
+    FloatFromB {
+        dst: u32,
+        src: u32,
+    },
+    /// Statement marker (select-mode only): sets the coverage site,
+    /// resets the select counter — mirrors [`FInsn::Stmt`].
+    Stmt {
+        site: u64,
+    },
+    /// Select-condition coverage (select-mode only): bumps the select
+    /// counter and records `[site, sel, cond]` — mirrors
+    /// [`FInsn::CoverSel`].
+    CoverSel {
+        cond: u32,
+    },
+    JumpIfFalse {
+        cond: u32,
+        target: u32,
+    },
+    Jump {
+        target: u32,
+    },
+    /// Tasklet-entry coverage marker. Coverage is *edge* coverage
+    /// (consecutive locations pair up), so when a kernel records more
+    /// than one location per element — pipelines, select sites — the
+    /// records must interleave exactly as the per-element engine's do.
+    /// The scalar body loop executes this once per element (on the
+    /// first lane); the chunked loop ignores it and the caller batches
+    /// instead, which is order-equivalent only for the single-location
+    /// kernels the chunked loop is limited to.
+    Cover {
+        loc: u64,
+    },
 }
 
 /// A variable occurring in a fused access's affine subscript.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 enum FusedVar {
     /// Plain constant term.
     None,
@@ -528,7 +566,7 @@ enum FusedVar {
 /// One atom of a fused affine subscript, mirroring [`AffTerm`] (same
 /// left-to-right checked evaluation the interval analysis must prove
 /// error-free).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 struct FusedTerm {
     sub: bool,
     coeff: i64,
@@ -537,23 +575,50 @@ struct FusedTerm {
 
 /// An affine index expression of a fused access, with symbols classified
 /// against the map's parameters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 struct FusedIdx {
     terms: Vec<FusedTerm>,
 }
 
-/// One memlet access of a fused kernel: container plus one affine index
-/// per array dimension, and the end-expressions that must be proven
-/// error-free (the `Eval` variants of [`EndCheck`]).
+/// The ranged half of a fused subscript dimension: the end and step
+/// expressions of a `start:end:step` subset dimension. The precheck
+/// proves the resulting length is uniform over the iteration box (the
+/// end's per-parameter coefficients equal the start's) and the step is a
+/// positive, parameter-independent value.
+#[derive(Clone, Debug, PartialEq)]
+struct FusedSpan {
+    end: FusedIdx,
+    step: FusedIdx,
+}
+
+/// One dimension of a fused subscript: a point index (`span: None`,
+/// single-index memlets) or a range (`span: Some`, lane memlets).
+#[derive(Clone, Debug, PartialEq)]
+struct FusedDim {
+    start: FusedIdx,
+    span: Option<FusedSpan>,
+}
+
+/// One memlet access of a fused kernel: container plus one affine
+/// dimension per array dimension, and the end-expressions that must be
+/// proven error-free (the `Eval` variants of [`EndCheck`]).
 #[derive(Clone, Debug)]
 struct FusedAccess {
     data: DataId,
-    dims: Vec<FusedIdx>,
+    dims: Vec<FusedDim>,
     /// End expressions evaluated for errors only in the generic engine;
     /// the precheck proves they cannot error anywhere in the box.
     checks: Vec<FusedIdx>,
     /// Output WCR (always `None` for inputs).
     wcr: Option<Wcr>,
+}
+
+/// Structural subset equality of two fused accesses — same container and
+/// textually identical dimension/check expressions, so both denote the
+/// same element set at every point of the iteration box. The test that
+/// lets a pipeline read of an intermediate ride the writer's registers.
+fn same_subset(a: &FusedAccess, b: &FusedAccess) -> bool {
+    a.data.idx() == b.data.idx() && a.dims == b.dims && a.checks == b.checks
 }
 
 /// A whole map scope collapsed into a strength-reduced loop kernel.
@@ -569,14 +634,29 @@ struct FusedAccess {
 /// ordering, partial writes and step counts) by construction.
 #[derive(Clone, Debug)]
 struct FusedKernel {
-    /// The body tasklet's coverage location, recorded once per element
-    /// exactly as the generic engine records it.
-    cover_loc: u64,
+    /// One coverage location per body tasklet (in execution order), each
+    /// recorded once per element exactly as the generic engine records it.
+    cover_locs: Vec<u64>,
+    /// The body tasklets' common lane width. When `> 1`, the kernel
+    /// appends a synthetic innermost `0..lanes` dimension to the
+    /// iteration box so the existing odometer/stride machinery iterates
+    /// lanes without any new code paths.
+    lanes: usize,
+    /// Whether the body contains select control flow: if so the kernel
+    /// runs the scalar per-element loop (which records per-select branch
+    /// coverage bit-identically to the generic engine); otherwise the
+    /// lane-chunked loop.
+    has_select: bool,
+    /// External reads, in tasklet-then-memlet order.
     inputs: Vec<FusedAccess>,
     /// Destination register per input, aligned with `inputs`; `None` when
     /// a later input overwrites the same connector slot (the read still
     /// happens for bounds/step parity, the value is dead).
     in_regs: Vec<Option<u32>>,
+    /// Pipeline-internal reads: for each, the index of the fused output
+    /// whose write it aliases (proven byte-identical subset). The value
+    /// flows through registers; only the read's step accounting remains.
+    chained: Vec<usize>,
     outputs: Vec<FusedAccess>,
     /// `(source register, gathered from the bool file)` per output.
     out_regs: Vec<(u32, bool)>,
@@ -585,9 +665,6 @@ struct FusedKernel {
     /// Containers that must be live with dtype `F64` (same contract as
     /// [`FastTasklet::guards`]).
     guards: Vec<DataId>,
-    /// Interpreter steps one element accounts for: map-body entry +
-    /// tasklet + one per input read + one per output write.
-    ticks_per_elem: u64,
 }
 
 /// Fixed lane width of the fused inner loops: wide enough for the
@@ -597,8 +674,10 @@ const LANES: usize = 8;
 
 /// Outcome of the fused-kernel runtime precheck.
 enum FusedReady {
-    /// Safe to run; carries the total element count.
-    Run(u64),
+    /// Safe to run; carries the map element count (lanes excluded, for
+    /// per-element coverage) and the exact interpreter-step total the
+    /// generic path would account.
+    Run { elems: u64, ticks: u64 },
     /// The iteration box is empty: the map is a no-op in both engines.
     ZeroTrip,
     /// Not provably safe — take the generic per-element path.
@@ -745,8 +824,93 @@ pub struct MapFusionInfo {
     pub label: String,
     /// Whether the scope compiled to a fused kernel.
     pub fused: bool,
-    /// Compile-time ineligibility reason when it did not.
-    pub reason: Option<String>,
+    /// Compile-time ineligibility reason when it did not (the stable
+    /// message of a [`FuseReject`]).
+    pub reason: Option<&'static str>,
+}
+
+/// Why a map scope did not compile to a fused kernel. Static data — no
+/// per-compile allocation — with a stable human-readable message, so
+/// campaign reports can aggregate eligibility counts per reason.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FuseReject {
+    /// `CompileOptions::fuse_maps` was off.
+    Disabled,
+    /// The body has a structural error (raised at runtime instead).
+    BodyError,
+    /// The map has no parameters.
+    NoParams,
+    /// A range bound mentions one of the map's own parameters.
+    ParamRange,
+    /// A nested map inside the body.
+    NestedMap,
+    /// A library node inside the body.
+    Library,
+    /// No tasklet in the body.
+    NoTasklet,
+    /// A body tasklet is not on the f64 fast path.
+    NotSpecialized,
+    /// Body tasklets disagree on their lane width.
+    MixedLanes,
+    /// A multi-tasklet pipeline with `lanes > 1` (per-lane register
+    /// forwarding interleaved with per-element coverage is not modeled).
+    LanePipeline,
+    /// A `lanes > 1` tasklet writes through a single-index memlet (its
+    /// volume can never match the lane count; the generic path raises
+    /// the mismatch).
+    LaneVolume,
+    /// A memlet subscript is not affine.
+    NonAffine,
+    /// A pipeline re-reads an intermediate through a different subset
+    /// than the one its writer used.
+    ChainMismatch,
+    /// A pipeline intermediate is written with a WCR combiner (readers
+    /// would observe the accumulation, not the register value).
+    ChainWcr,
+    /// An output connector's value is never gathered.
+    NeverGathered,
+    /// Two gathers feed one output connector.
+    DupConnector,
+    /// A container is both read externally and written in the scope.
+    Overlap,
+    /// Two outputs target one container.
+    DupWrites,
+    /// An access node in the body belongs to no body memlet.
+    Dangling,
+}
+
+impl FuseReject {
+    /// Stable human-readable message (also the aggregation key in
+    /// campaign reports).
+    pub fn message(self) -> &'static str {
+        match self {
+            FuseReject::Disabled => "map fusion disabled",
+            FuseReject::BodyError => "map body has a structural error",
+            FuseReject::NoParams => "map has no parameters",
+            FuseReject::ParamRange => "map range depends on a map parameter",
+            FuseReject::NestedMap => "nested map in body",
+            FuseReject::Library => "library node in body",
+            FuseReject::NoTasklet => "no tasklet in map body",
+            FuseReject::NotSpecialized => "tasklet is not f64-specialized",
+            FuseReject::MixedLanes => "pipeline tasklets have mixed lane widths",
+            FuseReject::LanePipeline => "vectorized multi-tasklet pipeline",
+            FuseReject::LaneVolume => "vectorized tasklet writes a single-index memlet",
+            FuseReject::NonAffine => "non-affine memlet subscript",
+            FuseReject::ChainMismatch => "pipeline re-reads an intermediate via a different subset",
+            FuseReject::ChainWcr => "pipeline intermediate is written with WCR",
+            FuseReject::NeverGathered => "output slot never gathered",
+            FuseReject::DupConnector => "duplicate output connector",
+            FuseReject::Overlap => "read/write overlap on one container",
+            FuseReject::DupWrites => "two outputs target one container",
+            FuseReject::Dangling => "dangling access node in map body",
+        }
+    }
+}
+
+impl std::fmt::Display for FuseReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
 }
 
 impl Program {
@@ -860,7 +1024,7 @@ impl Program {
                         s.maps.push(MapFusionInfo {
                             label: mp.label.clone(),
                             fused: mp.fused.is_some(),
-                            reason: mp.fuse_reason.clone(),
+                            reason: mp.fuse_reason.map(FuseReject::message),
                         });
                         walk(&mp.body, s);
                     }
@@ -1143,7 +1307,7 @@ impl Compiler<'_> {
                             Err(reason) => plan.fuse_reason = Some(reason),
                         }
                     } else {
-                        plan.fuse_reason = Some("map fusion disabled".into());
+                        plan.fuse_reason = Some(FuseReject::Disabled);
                     }
                     steps.push(Step::Map(plan));
                 }
@@ -1833,7 +1997,7 @@ fn idx_mentions(ic: &IdxCode, syms: &[SymId]) -> bool {
 /// Lowers an affine-classed index code into fused terms, classifying each
 /// symbol as a map parameter or an outer symbol. `Err` carries the
 /// ineligibility reason.
-fn fused_idx(ic: &IdxCode, params: &[SymId]) -> Result<FusedIdx, String> {
+fn fused_idx(ic: &IdxCode, params: &[SymId]) -> Result<FusedIdx, FuseReject> {
     let var_of = |id: SymId| -> FusedVar {
         match params.iter().position(|p| p.0 == id.0) {
             Some(d) => FusedVar::Param(d),
@@ -1862,24 +2026,40 @@ fn fused_idx(ic: &IdxCode, params: &[SymId]) -> Result<FusedIdx, String> {
                 },
             })
             .collect(),
-        IdxCode::Code(_) => return Err("non-affine memlet subscript".into()),
+        IdxCode::Code(_) => return Err(FuseReject::NonAffine),
     };
     Ok(FusedIdx { terms })
 }
 
-/// Lowers a single-index memlet plan into a fused access. Inputs pass
-/// `allow_wcr = false` (read paths ignore WCR anyway).
-fn fused_access(plan: &MemPlan, params: &[SymId], output: bool) -> Result<FusedAccess, String> {
-    let MemKind::Single(idxs) = &plan.kind else {
-        return Err("ranged (multi-element) memlet subset".into());
-    };
-    let mut dims = Vec::with_capacity(idxs.len());
+/// Lowers a memlet plan into a fused access: single-index dimensions
+/// become point [`FusedDim`]s, ranged dimensions carry their end/step as
+/// a [`FusedSpan`] for the precheck's uniform-length analysis.
+fn fused_access(plan: &MemPlan, params: &[SymId], output: bool) -> Result<FusedAccess, FuseReject> {
+    let mut dims = Vec::new();
     let mut checks = Vec::new();
-    for (start, end) in idxs {
-        dims.push(fused_idx(start, params)?);
-        match end {
-            EndCheck::IncOfStart => {}
-            EndCheck::Eval(ic) => checks.push(fused_idx(ic, params)?),
+    match &plan.kind {
+        MemKind::Single(idxs) => {
+            for (start, end) in idxs {
+                dims.push(FusedDim {
+                    start: fused_idx(start, params)?,
+                    span: None,
+                });
+                match end {
+                    EndCheck::IncOfStart => {}
+                    EndCheck::Eval(ic) => checks.push(fused_idx(ic, params)?),
+                }
+            }
+        }
+        MemKind::Ranges(rps) => {
+            for rp in rps {
+                dims.push(FusedDim {
+                    start: fused_idx(&rp.start, params)?,
+                    span: Some(FusedSpan {
+                        end: fused_idx(&rp.end, params)?,
+                        step: fused_idx(&rp.step, params)?,
+                    }),
+                });
+            }
         }
     }
     Ok(FusedAccess {
@@ -1892,160 +2072,249 @@ fn fused_access(plan: &MemPlan, params: &[SymId], output: bool) -> Result<FusedA
 
 /// Attempts to collapse a compiled map scope into a [`FusedKernel`].
 ///
-/// Eligible scopes have: parameter-independent ranges; a body that is
-/// exactly one f64-specialized, single-lane tasklet plus access nodes for
-/// the containers it touches; straight-line specialized code (no
-/// selects); single-index affine memlets; and read/write container sets
-/// that cannot overlap (reads never observe this scope's writes, so
-/// chunked execution is order-equivalent to per-element execution).
-/// Everything else keeps the generic plan, with the reason recorded.
-fn fuse_map(mp: &MapPlan) -> Result<FusedKernel, String> {
-    if let Some(e) = &mp.body.error {
-        return Err(format!("body has a structural error ({e})"));
+/// Eligible scopes have: parameter-independent ranges; a body that is a
+/// topologically ordered chain of f64-specialized tasklets (one common
+/// lane width) plus access nodes for the containers they touch; affine
+/// memlets (single-index or ranged); and container sets where every
+/// written container is either a pipeline intermediate re-read through
+/// the byte-identical subset (the value then rides the writer's
+/// registers) or never read at all, so fused execution is
+/// order-equivalent to per-element execution. Select control flow is
+/// allowed — such bodies run the scalar kernel loop, which records
+/// branch coverage exactly like the generic engine. Everything else
+/// keeps the generic plan, with the reason recorded.
+fn fuse_map(mp: &MapPlan) -> Result<FusedKernel, FuseReject> {
+    if mp.body.error.is_some() {
+        return Err(FuseReject::BodyError);
     }
     if mp.params.is_empty() {
-        return Err("map has no parameters".into());
+        return Err(FuseReject::NoParams);
     }
     for rp in &mp.ranges {
         for ic in [&rp.start, &rp.end, &rp.step] {
             if idx_mentions(ic, &mp.params) {
-                return Err("map range depends on a map parameter".into());
+                return Err(FuseReject::ParamRange);
             }
         }
     }
 
-    // Body shape: access nodes + exactly one tasklet.
-    let mut tasklet: Option<&TaskletPlan> = None;
+    // Body shape: access nodes + a straight-line chain of tasklets (the
+    // block's steps are already in topological execution order).
+    let mut tasklets: Vec<&TaskletPlan> = Vec::new();
     let mut access_ids: Vec<DataId> = Vec::new();
     for step in &mp.body.steps {
         match step {
             Step::Access(d) => access_ids.push(*d),
-            Step::Tasklet(tp) => {
-                if tasklet.is_some() {
-                    return Err("more than one tasklet in map body".into());
+            Step::Tasklet(tp) => tasklets.push(tp),
+            Step::Map(_) => return Err(FuseReject::NestedMap),
+            Step::Library(_) => return Err(FuseReject::Library),
+        }
+    }
+    if tasklets.is_empty() {
+        return Err(FuseReject::NoTasklet);
+    }
+    let fasts: Vec<&FastTasklet> = tasklets
+        .iter()
+        .map(|tp| tp.fast.as_deref().ok_or(FuseReject::NotSpecialized))
+        .collect::<Result<_, _>>()?;
+    let lanes = tasklets[0].lanes;
+    if tasklets.iter().any(|tp| tp.lanes != lanes) {
+        return Err(FuseReject::MixedLanes);
+    }
+    // A vectorized pipeline would need per-lane register forwarding
+    // interleaved with per-element coverage — the per-element path keeps
+    // exact semantics there.
+    if lanes > 1 && tasklets.len() > 1 {
+        return Err(FuseReject::LanePipeline);
+    }
+    let has_select = fasts.iter().any(|fp| {
+        fp.code.iter().any(|i| {
+            matches!(
+                i,
+                FInsn::CoverSel { .. } | FInsn::Jump { .. } | FInsn::JumpIfFalse { .. }
+            )
+        })
+    });
+
+    let mut cover_locs = Vec::with_capacity(tasklets.len());
+    let mut inputs: Vec<FusedAccess> = Vec::new();
+    let mut in_regs: Vec<Option<u32>> = Vec::new();
+    let mut chained: Vec<usize> = Vec::new();
+    let mut outputs: Vec<FusedAccess> = Vec::new();
+    let mut out_regs: Vec<(u32, bool)> = Vec::new();
+    let mut code: Vec<FKInsn> = Vec::new();
+    let mut guards: Vec<DataId> = Vec::new();
+    // Container → index of the fused output that wrote it.
+    let mut writer_of: BTreeMap<usize, usize> = BTreeMap::new();
+    // Containers read from memory (not via pipeline registers).
+    let mut ext_read: Vec<usize> = Vec::new();
+    let mut n_regs = 0usize;
+
+    for (tp, fp) in tasklets.iter().zip(&fasts) {
+        cover_locs.push(tp.cover_loc);
+        // Entry coverage precedes the tasklet's reads and body, exactly
+        // where the per-element engine records it.
+        code.push(FKInsn::Cover { loc: tp.cover_loc });
+        // Each tasklet gets a disjoint window of the register files.
+        let base = n_regs as u32;
+
+        for (k, ip) in fp.inputs.iter().enumerate() {
+            // A later read into the same connector slot overwrites this
+            // one; the read still happens for bounds/step parity.
+            let dead = fp.inputs[k + 1..].iter().any(|later| later.slot == ip.slot);
+            let acc = fused_access(&ip.plan, &mp.params, false)?;
+            if let Some(&oi) = writer_of.get(&acc.data.idx()) {
+                // Pipeline-internal read: an earlier tasklet wrote this
+                // container. Sound only when the subset is byte-identical
+                // (then the just-written element set is exactly the read
+                // set) and the write was plain (WCR would make memory
+                // differ from the writer's registers).
+                if outputs[oi].wcr.is_some() {
+                    return Err(FuseReject::ChainWcr);
                 }
-                tasklet = Some(tp);
+                if !same_subset(&outputs[oi], &acc) {
+                    return Err(FuseReject::ChainMismatch);
+                }
+                chained.push(oi);
+                if !dead {
+                    let (src, from_bool) = out_regs[oi];
+                    let dst = fp.conn_regs[ip.slot] + base;
+                    code.push(if from_bool {
+                        FKInsn::FloatFromB { dst, src }
+                    } else {
+                        FKInsn::MovF { dst, src }
+                    });
+                }
+            } else {
+                ext_read.push(acc.data.idx());
+                in_regs.push(if dead {
+                    None
+                } else {
+                    Some(fp.conn_regs[ip.slot] + base)
+                });
+                inputs.push(acc);
             }
-            Step::Map(_) => return Err("nested map in body".into()),
-            Step::Library(_) => return Err("library node in body".into()),
         }
-    }
-    let tp = tasklet.ok_or_else(|| String::from("no tasklet in map body"))?;
-    let fp = tp
-        .fast
-        .as_ref()
-        .ok_or_else(|| String::from("tasklet is not f64-specialized"))?;
-    if tp.lanes != 1 {
-        return Err(format!("vectorized tasklet (lanes = {})", tp.lanes));
-    }
 
-    // Straight-line code: selects would need per-element branch coverage.
-    let mut code = Vec::with_capacity(fp.code.len());
-    for insn in &fp.code {
-        code.push(match insn {
-            FInsn::Stmt { .. } => continue,
-            FInsn::CoverSel { .. } | FInsn::Jump { .. } | FInsn::JumpIfFalse { .. } => {
-                return Err("control flow (select) in tasklet body".into())
+        // Translate the tasklet's code 1:1 (jump targets rebase onto the
+        // concatenated stream). Select-free kernels drop the statement
+        // markers — nothing reads the site — which cannot desync targets
+        // because such code has no jumps at all.
+        let code_base = code.len() as u32;
+        let skip_stmts = !has_select;
+        for insn in &fp.code {
+            code.push(match insn {
+                FInsn::Stmt { site } => {
+                    if skip_stmts {
+                        continue;
+                    }
+                    FKInsn::Stmt { site: *site }
+                }
+                FInsn::CoverSel { cond } => FKInsn::CoverSel { cond: cond + base },
+                FInsn::JumpIfFalse { cond, target } => FKInsn::JumpIfFalse {
+                    cond: cond + base,
+                    target: target + code_base,
+                },
+                FInsn::Jump { target } => FKInsn::Jump {
+                    target: target + code_base,
+                },
+                FInsn::ConstF { dst, val } => FKInsn::ConstF {
+                    dst: dst + base,
+                    val: *val,
+                },
+                FInsn::ConstB { dst, val } => FKInsn::ConstB {
+                    dst: dst + base,
+                    val: *val,
+                },
+                FInsn::MovF { dst, src } => FKInsn::MovF {
+                    dst: dst + base,
+                    src: src + base,
+                },
+                FInsn::MovB { dst, src } => FKInsn::MovB {
+                    dst: dst + base,
+                    src: src + base,
+                },
+                FInsn::LoadSymF { dst, sym } => match mp.params.iter().position(|p| p.0 == sym.0) {
+                    Some(d) => FKInsn::LoadParamF {
+                        dst: dst + base,
+                        dim: d as u32,
+                    },
+                    None => FKInsn::LoadSymF {
+                        dst: dst + base,
+                        sym: *sym,
+                    },
+                },
+                FInsn::BinF { op, dst, a, b } => FKInsn::BinF {
+                    op: *op,
+                    dst: dst + base,
+                    a: a + base,
+                    b: b + base,
+                },
+                FInsn::UnF { op, dst, a } => FKInsn::UnF {
+                    op: *op,
+                    dst: dst + base,
+                    a: a + base,
+                },
+                FInsn::CmpF { op, dst, a, b } => FKInsn::CmpF {
+                    op: *op,
+                    dst: dst + base,
+                    a: a + base,
+                    b: b + base,
+                },
+                FInsn::NotB { dst, a } => FKInsn::NotB {
+                    dst: dst + base,
+                    a: a + base,
+                },
+                FInsn::AndB { dst, a, b } => FKInsn::AndB {
+                    dst: dst + base,
+                    a: a + base,
+                    b: b + base,
+                },
+                FInsn::OrB { dst, a, b } => FKInsn::OrB {
+                    dst: dst + base,
+                    a: a + base,
+                    b: b + base,
+                },
+                FInsn::BoolFromF { reg } => FKInsn::BoolFromF { reg: reg + base },
+            });
+        }
+
+        for ow in &fp.out_writes {
+            let acc = fused_access(&ow.plan, &mp.params, true)?;
+            let di = acc.data.idx();
+            if writer_of.contains_key(&di) {
+                return Err(FuseReject::DupWrites);
             }
-            FInsn::ConstF { dst, val } => FKInsn::ConstF {
-                dst: *dst,
-                val: *val,
-            },
-            FInsn::ConstB { dst, val } => FKInsn::ConstB {
-                dst: *dst,
-                val: *val,
-            },
-            FInsn::MovF { dst, src } => FKInsn::MovF {
-                dst: *dst,
-                src: *src,
-            },
-            FInsn::MovB { dst, src } => FKInsn::MovB {
-                dst: *dst,
-                src: *src,
-            },
-            FInsn::LoadSymF { dst, sym } => match mp.params.iter().position(|p| p.0 == sym.0) {
-                Some(d) => FKInsn::LoadParamF {
-                    dst: *dst,
-                    dim: d as u32,
-                },
-                None => FKInsn::LoadSymF {
-                    dst: *dst,
-                    sym: *sym,
-                },
-            },
-            FInsn::BinF { op, dst, a, b } => FKInsn::BinF {
-                op: *op,
-                dst: *dst,
-                a: *a,
-                b: *b,
-            },
-            FInsn::UnF { op, dst, a } => FKInsn::UnF {
-                op: *op,
-                dst: *dst,
-                a: *a,
-            },
-            FInsn::CmpF { op, dst, a, b } => FKInsn::CmpF {
-                op: *op,
-                dst: *dst,
-                a: *a,
-                b: *b,
-            },
-            FInsn::NotB { dst, a } => FKInsn::NotB { dst: *dst, a: *a },
-            FInsn::AndB { dst, a, b } => FKInsn::AndB {
-                dst: *dst,
-                a: *a,
-                b: *b,
-            },
-            FInsn::OrB { dst, a, b } => FKInsn::OrB {
-                dst: *dst,
-                a: *a,
-                b: *b,
-            },
-            FInsn::BoolFromF { reg } => FKInsn::BoolFromF { reg: *reg },
-        });
+            // A write to a container some tasklet read from memory: the
+            // generic path's element interleaving could observe it.
+            if ext_read.contains(&di) {
+                return Err(FuseReject::Overlap);
+            }
+            // A single-index write always carries volume 1; with
+            // `lanes > 1` gathered values, the generic path raises a
+            // volume mismatch — keep it there.
+            if lanes > 1 && acc.dims.iter().all(|d| d.span.is_none()) {
+                return Err(FuseReject::LaneVolume);
+            }
+            let mut gathers = fp.gather.iter().filter(|g| g.slot == ow.slot);
+            let g = gathers.next().ok_or(FuseReject::NeverGathered)?;
+            if gathers.next().is_some() {
+                return Err(FuseReject::DupConnector);
+            }
+            writer_of.insert(di, outputs.len());
+            out_regs.push((g.reg + base, g.from_bool));
+            outputs.push(acc);
+        }
+
+        for g in &fp.guards {
+            if !guards.contains(g) {
+                guards.push(*g);
+            }
+        }
+        n_regs += fp.n_regs;
     }
 
-    // Accesses: single-index affine plans only.
-    let mut inputs = Vec::with_capacity(fp.inputs.len());
-    let mut in_regs = Vec::with_capacity(fp.inputs.len());
-    for (k, ip) in fp.inputs.iter().enumerate() {
-        inputs.push(fused_access(&ip.plan, &mp.params, false)?);
-        // A later read into the same connector slot overwrites this one.
-        let dead = fp.inputs[k + 1..].iter().any(|later| later.slot == ip.slot);
-        in_regs.push(if dead {
-            None
-        } else {
-            Some(fp.conn_regs[ip.slot])
-        });
-    }
-    let mut outputs = Vec::with_capacity(fp.out_writes.len());
-    let mut out_regs = Vec::with_capacity(fp.out_writes.len());
-    for ow in &fp.out_writes {
-        outputs.push(fused_access(&ow.plan, &mp.params, true)?);
-        let mut gathers = fp.gather.iter().filter(|g| g.slot == ow.slot);
-        let g = gathers
-            .next()
-            .ok_or_else(|| String::from("output slot never gathered"))?;
-        if gathers.next().is_some() {
-            return Err("duplicate output connector".into());
-        }
-        out_regs.push((g.reg, g.from_bool));
-    }
-
-    // Read set and write set must be disjoint, and writes pairwise
-    // distinct, so chunked execution cannot observe this scope's writes.
-    for (i, o) in outputs.iter().enumerate() {
-        if inputs.iter().any(|ip| ip.data.idx() == o.data.idx()) {
-            return Err("read/write overlap on one container".into());
-        }
-        if outputs[i + 1..]
-            .iter()
-            .any(|o2| o2.data.idx() == o.data.idx())
-        {
-            return Err("two outputs target one container".into());
-        }
-    }
-    // Every access node in the body must belong to the tasklet's memlets;
+    // Every access node in the body must belong to some tasklet memlet;
     // then the kernel's dtype/liveness guards subsume the per-iteration
     // access checks.
     for d in &access_ids {
@@ -2055,20 +2324,22 @@ fn fuse_map(mp: &MapPlan) -> Result<FusedKernel, String> {
             .chain(outputs.iter().map(|a| a.data))
             .any(|x| x.idx() == d.idx());
         if !known {
-            return Err("dangling access node in map body".into());
+            return Err(FuseReject::Dangling);
         }
     }
 
     Ok(FusedKernel {
-        cover_loc: tp.cover_loc,
-        ticks_per_elem: 2 + inputs.len() as u64 + outputs.len() as u64,
+        cover_locs,
+        lanes,
+        has_select,
         in_regs,
         inputs,
+        chained,
         out_regs,
         outputs,
         code,
-        n_regs: fp.n_regs,
-        guards: fp.guards.clone(),
+        n_regs,
+        guards,
     })
 }
 
@@ -2727,7 +2998,7 @@ impl<'p> Executor<'p> {
         if let Some(fk) = &mp.fused {
             match self.prepare_fused(mp, fk, ctx) {
                 FusedReady::ZeroTrip => return Ok(()),
-                FusedReady::Run(total) => return self.exec_fused(fk, total, ctx),
+                FusedReady::Run { elems, ticks } => return self.exec_fused(fk, elems, ticks, ctx),
                 FusedReady::Fallback => {}
             }
         }
@@ -2807,20 +3078,27 @@ impl<'p> Executor<'p> {
                 Ok(r) => dims.push(r),
             }
         }
+        let n_map = dims.len();
+        if fk.lanes > 1 {
+            // Synthetic innermost lane dimension: the odometer, stride and
+            // chunk machinery then iterate lanes like any other dimension
+            // (the body never loads it — map parameters are all outer).
+            dims.push(ConcreteRange {
+                start: 0,
+                end: fk.lanes as i64,
+                step: 1,
+            });
+        }
         let n_dims = dims.len();
         // Checked: an astronomically large box overflows even u128 and
         // must land in the generic path (which trips the step limit
         // almost immediately), not wrap past the budget check.
-        let mut total: u128 = 1;
-        for d in dims.iter() {
-            match total.checked_mul(d.len() as u128) {
-                Some(t) => total = t,
+        let mut elems: u128 = 1;
+        for d in dims[..n_map].iter() {
+            match elems.checked_mul(d.len() as u128) {
+                Some(t) => elems = t,
                 None => return FusedReady::Fallback,
             }
-        }
-        match total.checked_mul(fk.ticks_per_elem as u128) {
-            Some(ticks) if ticks <= (ctx.max_steps - ctx.steps) as u128 => {}
-            _ => return FusedReady::Fallback,
         }
         for insn in &fk.code {
             if let FKInsn::LoadSymF { sym, .. } = insn {
@@ -2830,9 +3108,17 @@ impl<'p> Executor<'p> {
             }
         }
 
+        // Per map element the generic path ticks once for the body entry,
+        // once per tasklet, and once per element moved by each read and
+        // write — including the pipeline-internal reads, whose volume
+        // equals their writer's (always `lanes`).
+        let mut ticks_pe: u128 =
+            1 + fk.cover_locs.len() as u128 + fk.chained.len() as u128 * fk.lanes as u128;
+
         bases.clear();
         strides.clear();
-        for acc in fk.inputs.iter().chain(fk.outputs.iter()) {
+        for (ai, acc) in fk.inputs.iter().chain(fk.outputs.iter()).enumerate() {
+            let is_out = ai >= fk.inputs.len();
             let arr = self.a.arrays[acc.data.idx()]
                 .as_ref()
                 .expect("guarded slot holds a buffer");
@@ -2840,11 +3126,13 @@ impl<'p> Executor<'p> {
             if shape.len() != acc.dims.len() {
                 return FusedReady::Fallback;
             }
-            // Partition the reusable wide scratch: net coefficients,
-            // accumulated line strides, row-major array strides.
+            // Partition the reusable wide scratch: start and end net
+            // coefficients, accumulated line strides, row-major array
+            // strides.
             wide.clear();
-            wide.resize(2 * n_dims + shape.len(), 0);
-            let (net, rest) = wide.split_at_mut(n_dims);
+            wide.resize(2 * n_map + n_dims + shape.len(), 0);
+            let (net, rest) = wide.split_at_mut(n_map);
+            let (net2, rest) = rest.split_at_mut(n_map);
             let (lstr, astr) = rest.split_at_mut(n_dims);
             astr.fill(1);
             // Checked: a zero-length dimension makes huge outer extents
@@ -2859,15 +3147,73 @@ impl<'p> Executor<'p> {
             let mut base_off = 0i64;
             let at = strides.len();
             strides.resize(at + n_dims, 0i64);
-            for (s, fidx) in acc.dims.iter().enumerate() {
-                let Some((b, lo, hi)) = analyze_fused_idx(fidx, dims, &self.a.syms, net) else {
+            let mut vol: u128 = 1;
+            // The one ranged dimension spanning more than one element:
+            // `(array dim, step value)` — it becomes the lane stride.
+            let mut spread: Option<(usize, i128)> = None;
+            for (s, fd) in acc.dims.iter().enumerate() {
+                let Some((b, lo, hi)) =
+                    analyze_fused_idx(&fd.start, &dims[..n_map], &self.a.syms, net)
+                else {
                     return FusedReady::Fallback;
                 };
-                if lo < 0 || hi >= shape[s] as i128 {
+                // Length and per-element span of this dimension. Point
+                // dimensions cover exactly their start; ranged dimensions
+                // must have a box-uniform length (end coefficients equal
+                // start coefficients per map parameter) and a positive,
+                // parameter-independent step — mirroring how the generic
+                // path evaluates `start:end:step` at every element.
+                let (len, step_v) = match &fd.span {
+                    None => (1i128, 0i128),
+                    Some(span) => {
+                        let Some((eb, _, _)) =
+                            analyze_fused_idx(&span.end, &dims[..n_map], &self.a.syms, net2)
+                        else {
+                            return FusedReady::Fallback;
+                        };
+                        if net != net2 {
+                            return FusedReady::Fallback;
+                        }
+                        let Some((sb, slo, shi)) =
+                            analyze_fused_idx(&span.step, &dims[..n_map], &self.a.syms, net2)
+                        else {
+                            return FusedReady::Fallback;
+                        };
+                        // A non-constant step, or a step ≤ 0 (the generic
+                        // path raises `InvalidStep`), is not provably
+                        // uniform/safe.
+                        if slo != shi || sb <= 0 {
+                            return FusedReady::Fallback;
+                        }
+                        let stp = sb as i128;
+                        let diff = eb as i128 - b as i128;
+                        let len = if diff <= 0 { 0 } else { (diff + stp - 1) / stp };
+                        (len, stp)
+                    }
+                };
+                if len == 0 {
+                    // An empty subset dimension: the generic path sees a
+                    // volume of 0 (an error for every lane count ≥ 1).
+                    return FusedReady::Fallback;
+                }
+                if len > 1 {
+                    if spread.is_some() {
+                        return FusedReady::Fallback;
+                    }
+                    spread = Some((s, step_v));
+                }
+                // Bounds over everything the dimension touches:
+                // `start + j*step` for `j in 0..len`, step > 0.
+                let span_off = (len - 1) * step_v;
+                if lo < 0 || hi + span_off >= shape[s] as i128 {
                     return FusedReady::Fallback;
                 }
                 base_off += (b as i128 * astr[s]) as i64;
-                for d in 0..n_dims {
+                vol = match vol.checked_mul(len as u128) {
+                    Some(v) => v,
+                    None => return FusedReady::Fallback,
+                };
+                for d in 0..n_map {
                     // Only multi-iteration dimensions need a stride, and
                     // only for those is the product provably bounded (it
                     // is a difference of two in-bounds offsets): a huge
@@ -2879,11 +3225,22 @@ impl<'p> Executor<'p> {
                 }
             }
             for chk in &acc.checks {
-                if analyze_fused_idx(chk, dims, &self.a.syms, net).is_none() {
+                if analyze_fused_idx(chk, &dims[..n_map], &self.a.syms, net).is_none() {
                     return FusedReady::Fallback;
                 }
             }
-            for d in 0..n_dims {
+            // Volume contract of the generic lane loop: inputs broadcast
+            // (1) or deliver one value per lane; outputs gather exactly
+            // one value per lane. Anything else errors there — fall back.
+            if is_out {
+                if vol != fk.lanes as u128 {
+                    return FusedReady::Fallback;
+                }
+            } else if vol != 1 && vol != fk.lanes as u128 {
+                return FusedReady::Fallback;
+            }
+            ticks_pe += vol;
+            for d in 0..n_map {
                 // A dimension iterated more than once has a stride that is
                 // the difference of two in-bounds offsets, so it fits i64;
                 // single-iteration dimensions never use theirs.
@@ -2894,32 +3251,60 @@ impl<'p> Executor<'p> {
                     strides[at + d] = v;
                 }
             }
+            if fk.lanes > 1 && vol == fk.lanes as u128 {
+                // Lane-dimension stride: the spread dimension's step times
+                // its array stride. Both endpoints are in bounds, so for
+                // lanes ≥ 2 the product fits i64 — checked anyway.
+                let (s, stp) = spread.expect("volume > 1 has a spread dimension");
+                let Ok(v) = i64::try_from(stp * astr[s]) else {
+                    return FusedReady::Fallback;
+                };
+                strides[at + n_map] = v;
+            }
             bases.push(base_off);
         }
-        FusedReady::Run(total as u64)
+        let ticks = match elems.checked_mul(ticks_pe) {
+            Some(t) if t <= (ctx.max_steps - ctx.steps) as u128 => t,
+            _ => return FusedReady::Fallback,
+        };
+        FusedReady::Run {
+            elems: elems as u64,
+            ticks: ticks as u64,
+        }
     }
 
     /// Runs a prepared fused kernel: per-element access plans collapse to
     /// hoisted base offsets plus constant per-dimension strides, and the
-    /// straight-line f64 body runs over lane chunks of the innermost
-    /// dimension. Bit-identical to the per-element path by the precheck's
+    /// f64 body runs over lane chunks of the innermost dimension — or,
+    /// when the body has select control flow, through the scalar
+    /// per-element loop that records branch coverage like the generic
+    /// engine. Bit-identical to the per-element path by the precheck's
     /// no-error proof plus disjointness of the read and write sets.
     fn exec_fused(
         &mut self,
         fk: &'p FusedKernel,
-        total: u64,
+        elems: u64,
+        ticks: u64,
         ctx: &mut RunCtx<'_>,
     ) -> Result<(), ExecError> {
-        // Per-element coverage: the tasklet's location, chained exactly as
-        // the generic engine records it (straight-line bodies have no
-        // other per-element sites).
-        if ctx.cov.is_some() {
-            for _ in 0..total {
-                ctx.cover(fk.cover_loc);
+        // Coverage is edge coverage: consecutive records pair up, so a
+        // kernel recording more than one location per element (pipeline
+        // entries, select sites) must interleave its records exactly as
+        // the per-element engine does — the scalar body loop executes
+        // the kernel's `Cover`/`CoverSel` markers in element order. A
+        // single-location kernel records `loc × elems`, for which the
+        // batch below is order-identical and keeps the chunked loop.
+        let interleave = ctx.cov.is_some() && (fk.has_select || fk.cover_locs.len() > 1);
+        if ctx.cov.is_some() && !interleave {
+            for &loc in &fk.cover_locs {
+                for _ in 0..elems {
+                    ctx.cover(loc);
+                }
             }
         }
+        let scalar_body = fk.has_select || interleave;
         // The precheck proved the whole kernel fits the step budget.
-        ctx.steps += total * fk.ticks_per_elem;
+        ctx.steps += ticks;
 
         // Dirty marking: each output's touched offsets span the interval
         // [base + sum(min(stride*span)), base + sum(max(stride*span))] over
@@ -2953,11 +3338,25 @@ impl<'p> Executor<'p> {
 
         let mut rf = std::mem::take(&mut self.a.fk_regs_f);
         let mut rb = std::mem::take(&mut self.a.fk_regs_b);
-        if rf.len() < fk.n_regs {
-            rf.resize(fk.n_regs, [0.0; LANES]);
-        }
-        if rb.len() < fk.n_regs {
-            rb.resize(fk.n_regs, [false; LANES]);
+        // Scalar register files for the scalar body loop (reused from
+        // the fast-path arenas; taken up front so the slice views below
+        // can borrow the arrays without a split borrow).
+        let mut srf = std::mem::take(&mut self.a.regs_f);
+        let mut srb = std::mem::take(&mut self.a.regs_b);
+        if scalar_body {
+            if srf.len() < fk.n_regs {
+                srf.resize(fk.n_regs, 0.0);
+            }
+            if srb.len() < fk.n_regs {
+                srb.resize(fk.n_regs, false);
+            }
+        } else {
+            if rf.len() < fk.n_regs {
+                rf.resize(fk.n_regs, [0.0; LANES]);
+            }
+            if rb.len() < fk.n_regs {
+                rb.resize(fk.n_regs, [false; LANES]);
+            }
         }
         let dims = std::mem::take(&mut self.a.fdims);
         let bases = std::mem::take(&mut self.a.fbases);
@@ -2999,18 +3398,34 @@ impl<'p> Executor<'p> {
                 .iter_mut()
                 .map(|arr| arr.as_f64_parts_mut().expect("guarded dtype is F64").1)
                 .collect();
-            run_fused_loop(
-                fk,
-                &dims,
-                &bases,
-                &strides,
-                &self.a.syms,
-                &in_slices,
-                &mut out_slices,
-                &mut rf,
-                &mut rb,
-                (&mut odo, &mut outer_vals, &mut row),
-            );
+            if scalar_body {
+                run_fused_scalar(
+                    fk,
+                    &dims,
+                    &bases,
+                    &strides,
+                    &self.a.syms,
+                    &in_slices,
+                    &mut out_slices,
+                    &mut srf,
+                    &mut srb,
+                    ctx,
+                    (&mut odo, &mut outer_vals, &mut row),
+                );
+            } else {
+                run_fused_loop(
+                    fk,
+                    &dims,
+                    &bases,
+                    &strides,
+                    &self.a.syms,
+                    &in_slices,
+                    &mut out_slices,
+                    &mut rf,
+                    &mut rb,
+                    (&mut odo, &mut outer_vals, &mut row),
+                );
+            }
         }
         for (o, arr) in fk.outputs.iter().zip(outs.drain(..)) {
             self.a.arrays[o.data.idx()] = Some(arr);
@@ -3018,6 +3433,8 @@ impl<'p> Executor<'p> {
         self.a.fouts = outs;
         self.a.fk_regs_f = rf;
         self.a.fk_regs_b = rb;
+        self.a.regs_f = srf;
+        self.a.regs_b = srb;
         self.a.fdims = dims;
         self.a.fbases = bases;
         self.a.fstrides = strides;
@@ -4471,6 +4888,199 @@ fn run_fk_chunk(
                     .zip(&x)
                     .for_each(|(o, x)| *o = *x != 0.0);
             }
+            FKInsn::FloatFromB { dst, src } => {
+                let x = rb[*src as usize];
+                rf[*dst as usize]
+                    .iter_mut()
+                    .zip(&x)
+                    .for_each(|(o, x)| *o = *x as u8 as f64);
+            }
+            // Entry coverage is batched by the caller when the chunked
+            // loop runs (it only runs for single-location kernels).
+            FKInsn::Cover { .. } => {}
+            FKInsn::Stmt { .. }
+            | FKInsn::CoverSel { .. }
+            | FKInsn::JumpIfFalse { .. }
+            | FKInsn::Jump { .. } => {
+                unreachable!("select-bodied kernels run the scalar loop")
+            }
+        }
+    }
+}
+
+/// The scalar twin of [`run_fused_loop`] for select-bodied kernels: the
+/// same odometer over hoisted base offsets and strides, but the body runs
+/// once per element of the iteration box as a scalar `pc` interpreter —
+/// exactly [`run_fcode`]'s arithmetic, jumps and per-select coverage
+/// (`[site, sel, cond]` parts, with a fresh site/sel state per element,
+/// as the generic engine starts one per lane).
+#[allow(clippy::too_many_arguments)]
+fn run_fused_scalar(
+    fk: &FusedKernel,
+    dims: &[ConcreteRange],
+    bases: &[i64],
+    strides: &[i64],
+    syms: &[Option<i64>],
+    ins: &[&[f64]],
+    outs: &mut [&mut [f64]],
+    rf: &mut [f64],
+    rb: &mut [bool],
+    ctx: &mut RunCtx<'_>,
+    scratch: (&mut [i64], &mut [f64], &mut [i64]),
+) {
+    let n_dims = dims.len();
+    let inner = n_dims - 1;
+    let inner_r = dims[inner];
+    let inner_len = inner_r.len();
+    let n_in = fk.inputs.len();
+    let (k, outer_vals, row) = scratch;
+    'rows: loop {
+        for (a, r) in row.iter_mut().enumerate() {
+            let mut off = bases[a];
+            for d in 0..inner {
+                off += k[d] * strides[a * n_dims + d];
+            }
+            *r = off;
+        }
+        for d in 0..inner {
+            outer_vals[d] = (dims[d].start + k[d] * dims[d].step) as f64;
+        }
+        for j in 0..inner_len {
+            let inner_val = (inner_r.start + j as i64 * inner_r.step) as f64;
+            for (ii, s) in ins.iter().enumerate() {
+                let Some(reg) = fk.in_regs[ii] else { continue };
+                let st = strides[ii * n_dims + inner];
+                rf[reg as usize] = s[(row[ii] + j as i64 * st) as usize];
+            }
+            let mut pc = 0usize;
+            let mut site = 0u64;
+            let mut sel = 0u64;
+            while pc < fk.code.len() {
+                match &fk.code[pc] {
+                    FKInsn::Stmt { site: s } => {
+                        site = *s;
+                        sel = 0;
+                    }
+                    FKInsn::ConstF { dst, val } => rf[*dst as usize] = *val,
+                    FKInsn::ConstB { dst, val } => rb[*dst as usize] = *val,
+                    FKInsn::MovF { dst, src } => rf[*dst as usize] = rf[*src as usize],
+                    FKInsn::MovB { dst, src } => rb[*dst as usize] = rb[*src as usize],
+                    FKInsn::LoadSymF { dst, sym } => {
+                        rf[*dst as usize] =
+                            syms[sym.idx()].expect("precheck resolved symbol") as f64;
+                    }
+                    FKInsn::LoadParamF { dst, dim } => {
+                        rf[*dst as usize] = if *dim as usize == inner {
+                            inner_val
+                        } else {
+                            outer_vals[*dim as usize]
+                        };
+                    }
+                    FKInsn::BinF { op, dst, a, b } => {
+                        let (x, y) = (rf[*a as usize], rf[*b as usize]);
+                        rf[*dst as usize] = match op {
+                            BinOp::Add => x + y,
+                            BinOp::Sub => x - y,
+                            BinOp::Mul => x * y,
+                            BinOp::Div => x / y,
+                            BinOp::Mod => x.rem_euclid(y),
+                            BinOp::Min => x.min(y),
+                            BinOp::Max => x.max(y),
+                            BinOp::Pow => x.powf(y),
+                            BinOp::And | BinOp::Or => unreachable!("lowered to AndB/OrB"),
+                        };
+                    }
+                    FKInsn::UnF { op, dst, a } => {
+                        let x = rf[*a as usize];
+                        rf[*dst as usize] = match op {
+                            UnOp::Neg => -x,
+                            UnOp::Abs => x.abs(),
+                            UnOp::Sqrt => x.sqrt(),
+                            UnOp::Exp => x.exp(),
+                            UnOp::Log => x.ln(),
+                            UnOp::Floor => x.floor(),
+                            UnOp::Ceil => x.ceil(),
+                            UnOp::Tanh => x.tanh(),
+                            UnOp::Not => unreachable!("lowered to NotB"),
+                        };
+                    }
+                    FKInsn::CmpF { op, dst, a, b } => {
+                        let (x, y) = (rf[*a as usize], rf[*b as usize]);
+                        rb[*dst as usize] = match op {
+                            CmpOp::Lt => x < y,
+                            CmpOp::Le => x <= y,
+                            CmpOp::Gt => x > y,
+                            CmpOp::Ge => x >= y,
+                            CmpOp::Eq => x == y,
+                            CmpOp::Ne => x != y,
+                        };
+                    }
+                    FKInsn::NotB { dst, a } => rb[*dst as usize] = !rb[*a as usize],
+                    FKInsn::AndB { dst, a, b } => {
+                        rb[*dst as usize] = rb[*a as usize] && rb[*b as usize]
+                    }
+                    FKInsn::OrB { dst, a, b } => {
+                        rb[*dst as usize] = rb[*a as usize] || rb[*b as usize]
+                    }
+                    FKInsn::BoolFromF { reg } => rb[*reg as usize] = rf[*reg as usize] != 0.0,
+                    FKInsn::FloatFromB { dst, src } => {
+                        rf[*dst as usize] = rb[*src as usize] as u8 as f64
+                    }
+                    FKInsn::CoverSel { cond } => {
+                        let cv = rb[*cond as usize];
+                        sel += 1;
+                        ctx.cover_parts(&[site, sel, cv as u64]);
+                    }
+                    FKInsn::JumpIfFalse { cond, target } => {
+                        if !rb[*cond as usize] {
+                            pc = *target as usize;
+                            continue;
+                        }
+                    }
+                    FKInsn::Jump { target } => {
+                        pc = *target as usize;
+                        continue;
+                    }
+                    FKInsn::Cover { loc } => {
+                        // Once per element: when the inner dimension is
+                        // the lane block, only the first lane records.
+                        if fk.lanes == 1 || j == 0 {
+                            ctx.cover(*loc);
+                        }
+                    }
+                }
+                pc += 1;
+            }
+            for (oi, acc) in fk.outputs.iter().enumerate() {
+                let (reg, from_bool) = fk.out_regs[oi];
+                let st = strides[(n_in + oi) * n_dims + inner];
+                let off = (row[n_in + oi] + j as i64 * st) as usize;
+                let v = if from_bool {
+                    rb[reg as usize] as u8 as f64
+                } else {
+                    rf[reg as usize]
+                };
+                let out = &mut *outs[oi];
+                out[off] = match acc.wcr {
+                    None => v,
+                    Some(Wcr::Sum) => out[off] + v,
+                    Some(Wcr::Prod) => out[off] * v,
+                    Some(Wcr::Max) => out[off].max(v),
+                    Some(Wcr::Min) => out[off].min(v),
+                };
+            }
+        }
+        let mut d = inner;
+        loop {
+            if d == 0 {
+                break 'rows;
+            }
+            d -= 1;
+            k[d] += 1;
+            if k[d] < dims[d].len() as i64 {
+                break;
+            }
+            k[d] = 0;
         }
     }
 }
@@ -4548,7 +5158,9 @@ fn eval_sym_ops(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fuzzyflow_ir::{sym, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymRange, Tasklet};
+    use fuzzyflow_ir::{
+        sym, Memlet, ScalarExpr, Schedule, SdfgBuilder, Subset, SymExpr, SymRange, Tasklet, Wcr,
+    };
 
     /// `(total tasklets, specialized tasklets)` across all blocks.
     fn count_fast(p: &Program) -> (usize, usize) {
@@ -4710,19 +5322,15 @@ mod tests {
     }
 
     #[test]
-    fn select_bodies_stay_per_element_with_reason() {
+    fn select_bodies_fuse_with_jump_code() {
+        // The PR 4 blocker: jump-based selects now run in-kernel.
         let p = Program::compile(&mapped(
             ScalarExpr::r("x")
                 .lt(ScalarExpr::f64(0.0))
                 .select(ScalarExpr::r("x").neg(), ScalarExpr::r("x")),
         ));
         let maps = fusion(&p);
-        assert!(!maps[0].fused);
-        assert!(
-            maps[0].reason.as_deref().unwrap().contains("select"),
-            "{:?}",
-            maps[0].reason
-        );
+        assert!(maps[0].fused, "{:?}", maps[0].reason);
     }
 
     #[test]
@@ -4735,10 +5343,7 @@ mod tests {
         ));
         let maps = fusion(&p);
         assert!(!maps[0].fused);
-        assert_eq!(
-            maps[0].reason.as_deref(),
-            Some("tasklet is not f64-specialized")
-        );
+        assert_eq!(maps[0].reason, Some("tasklet is not f64-specialized"));
     }
 
     #[test]
@@ -4783,10 +5388,175 @@ mod tests {
         let maps = fusion(&p);
         assert!(!maps[0].fused);
         assert!(
-            maps[0].reason.as_deref().unwrap().contains("overlap"),
+            maps[0].reason.unwrap().contains("overlap"),
             "{:?}",
             maps[0].reason
         );
+    }
+
+    /// `A[i*L .. i*L+L]` — the canonical lane-blocked subset.
+    fn lane_sub(l: i64) -> Subset {
+        let base = SymExpr::Mul(Box::new(sym("i")), Box::new(SymExpr::Int(l)));
+        let end = SymExpr::Add(Box::new(base.clone()), Box::new(SymExpr::Int(l)));
+        Subset::new(vec![SymRange::span(base, end)])
+    }
+
+    /// `B[out] = A[i*L .. i*L+L] * 2` over `i in [0, N)` with a
+    /// `lanes`-wide tasklet body.
+    fn lane_mapped(lanes: u32, out: Subset) -> Sdfg {
+        let mut b = SdfgBuilder::new("lanes");
+        b.symbol("N");
+        b.symbol("M");
+        b.array("A", DType::F64, &["M"]);
+        b.array("B", DType::F64, &["M"]);
+        let st = b.start();
+        b.in_state(st, move |df| {
+            let a = df.access("A");
+            let o = df.access("B");
+            let out = out.clone();
+            let m = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                move |mb| {
+                    let a = mb.access("A");
+                    let o = mb.access("B");
+                    let mut t = Tasklet::simple(
+                        "t",
+                        vec!["x"],
+                        "y",
+                        ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
+                    );
+                    t.lanes = lanes;
+                    let t = mb.tasklet(t);
+                    mb.read(a, t, Memlet::new("A", lane_sub(lanes as i64)).to_conn("x"));
+                    mb.write(t, o, Memlet::new("B", out.clone()).from_conn("y"));
+                },
+            );
+            df.auto_wire(m, &[a], &[o]);
+        });
+        b.build()
+    }
+
+    #[test]
+    fn vectorized_lane_bodies_fuse() {
+        for lanes in [2u32, 4, 8] {
+            let p = Program::compile(&lane_mapped(lanes, lane_sub(lanes as i64)));
+            let maps = fusion(&p);
+            assert!(maps[0].fused, "lanes={lanes}: {:?}", maps[0].reason);
+        }
+    }
+
+    #[test]
+    fn vectorized_single_index_writes_reject() {
+        // A lanes=4 tasklet scattering into a one-element memlet can
+        // never satisfy the volume contract; reject at compile time.
+        let p = Program::compile(&lane_mapped(4, Subset::at(vec![sym("i")])));
+        let maps = fusion(&p);
+        assert!(!maps[0].fused);
+        assert_eq!(maps[0].reason, Some(FuseReject::LaneVolume.message()));
+    }
+
+    /// Two-stage pipeline `T[i] = A[i]*2; B[i] = T[reread] + 1` inside one
+    /// map scope, with an optional WCR on the intermediate write and
+    /// per-stage lane widths.
+    fn pipelined(wcr: Option<Wcr>, reread: Subset, lanes: (u32, u32)) -> Sdfg {
+        let mut b = SdfgBuilder::new("pipe");
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("T", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, move |df| {
+            let a = df.access("A");
+            let tmp = df.access("T");
+            let o = df.access("B");
+            let reread = reread.clone();
+            let m = df.map(
+                &["i"],
+                vec![SymRange::full(sym("N"))],
+                Schedule::Parallel,
+                move |mb| {
+                    let a = mb.access("A");
+                    let tm = mb.access("T");
+                    let o = mb.access("B");
+                    let mut s1 = Tasklet::simple(
+                        "s1",
+                        vec!["x"],
+                        "y",
+                        ScalarExpr::r("x").mul(ScalarExpr::f64(2.0)),
+                    );
+                    s1.lanes = lanes.0;
+                    let mut s2 = Tasklet::simple(
+                        "s2",
+                        vec!["x"],
+                        "y",
+                        ScalarExpr::r("x").add(ScalarExpr::f64(1.0)),
+                    );
+                    s2.lanes = lanes.1;
+                    let t1 = mb.tasklet(s1);
+                    let t2 = mb.tasklet(s2);
+                    mb.read(
+                        a,
+                        t1,
+                        Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                    );
+                    let mut w = Memlet::new("T", Subset::at(vec![sym("i")])).from_conn("y");
+                    if let Some(op) = wcr {
+                        w = w.with_wcr(op);
+                    }
+                    mb.write(t1, tm, w);
+                    mb.read(tm, t2, Memlet::new("T", reread.clone()).to_conn("x"));
+                    mb.write(
+                        t2,
+                        o,
+                        Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                    );
+                },
+            );
+            df.auto_wire(m, &[a], &[tmp, o]);
+        });
+        b.build()
+    }
+
+    #[test]
+    fn straight_line_pipelines_fuse() {
+        let p = Program::compile(&pipelined(None, Subset::at(vec![sym("i")]), (1, 1)));
+        let maps = fusion(&p);
+        assert_eq!(maps.len(), 1);
+        assert!(maps[0].fused, "{:?}", maps[0].reason);
+    }
+
+    #[test]
+    fn wcr_intermediates_reject_pipelining() {
+        // T accumulates — the reader must observe memory, not the
+        // producing tasklet's register.
+        let p = Program::compile(&pipelined(
+            Some(Wcr::Sum),
+            Subset::at(vec![sym("i")]),
+            (1, 1),
+        ));
+        let maps = fusion(&p);
+        assert!(!maps[0].fused);
+        assert_eq!(maps[0].reason, Some(FuseReject::ChainWcr.message()));
+    }
+
+    #[test]
+    fn chained_subset_mismatch_rejects_pipelining() {
+        // Stage 2 re-reads T through a different subscript than stage 1
+        // wrote — the register short-circuit would be wrong.
+        let p = Program::compile(&pipelined(None, Subset::at(vec![SymExpr::Int(0)]), (1, 1)));
+        let maps = fusion(&p);
+        assert!(!maps[0].fused);
+        assert_eq!(maps[0].reason, Some(FuseReject::ChainMismatch.message()));
+    }
+
+    #[test]
+    fn mixed_lane_pipelines_reject() {
+        let p = Program::compile(&pipelined(None, Subset::at(vec![sym("i")]), (2, 1)));
+        let maps = fusion(&p);
+        assert!(!maps[0].fused);
+        assert_eq!(maps[0].reason, Some(FuseReject::MixedLanes.message()));
     }
 
     #[test]
@@ -4800,7 +5570,7 @@ mod tests {
         );
         let maps = fusion(&p);
         assert!(!maps[0].fused);
-        assert_eq!(maps[0].reason.as_deref(), Some("map fusion disabled"));
+        assert_eq!(maps[0].reason, Some("map fusion disabled"));
         // The f64 fast path is still on.
         assert_eq!(p.tasklet_stats().specialized, 1);
     }

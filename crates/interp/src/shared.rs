@@ -1,0 +1,212 @@
+//! Process-wide shared compiled-program cache.
+//!
+//! Campaign sessions, sweeps and gang members routinely compile the same
+//! cutout SDFG: every re-run of a session, every concurrent session over
+//! the same workload, every distributed rank of one instance. Compilation
+//! is pure — same SDFG and options, same [`Program`] — so one process
+//! needs each program exactly once.
+//!
+//! The cache follows the lock-only-on-insert design of native fuzzing
+//! code caches:
+//!
+//! * **Lookup never locks.** Readers load an atomic snapshot pointer to
+//!   an immutable map and probe it; a hit is an `Arc` clone away.
+//!   Concurrent lookups of *different* keys never contend on anything.
+//! * **Insert locks briefly, compiles unlocked.** A miss takes the
+//!   insert mutex only to publish a new snapshot containing an empty
+//!   per-key slot (copy-on-write of the map — rare, small). The actual
+//!   compilation happens *outside* that mutex through the slot's
+//!   [`OnceLock`]: the first caller compiles, concurrent callers of the
+//!   same key block on that slot only, and everyone receives the same
+//!   `Arc<Program>`. One worker compiling never stalls workers on other
+//!   keys, and there are no lost wakeups — `OnceLock::get_or_init` wakes
+//!   every waiter exactly once.
+//!
+//! Superseded snapshots are intentionally leaked (readers may still hold
+//! them); a process accumulates one small map clone per *distinct*
+//! program, not per lookup.
+//!
+//! Shared `Arc<Program>`s also make the downstream identity-keyed caches
+//! effective across campaigns: [`Program`] clones share their id, so
+//! per-worker executor caches and per-instance arena stashes keyed by
+//! program identity hit whenever the cache does.
+
+use crate::program::{CompileOptions, Program};
+use fuzzyflow_ir::Sdfg;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One cache slot: filled exactly once, by whichever caller gets there
+/// first; everyone else blocks on this slot only.
+type Slot = Arc<OnceLock<Arc<Program>>>;
+
+/// Immutable snapshot: content hash → slots whose full keys share it.
+type Shelf = HashMap<u64, Vec<(String, Slot)>>;
+
+struct SharedCache {
+    /// Current snapshot (null until the first insert). Always points to
+    /// a leaked, and therefore `'static`, immutable `Shelf`.
+    snap: AtomicPtr<Shelf>,
+    /// Serializes snapshot replacement only — never held while
+    /// compiling.
+    insert: Mutex<()>,
+}
+
+static CACHE: OnceLock<SharedCache> = OnceLock::new();
+static COMPILES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static SharedCache {
+    CACHE.get_or_init(|| SharedCache {
+        snap: AtomicPtr::new(std::ptr::null_mut()),
+        insert: Mutex::new(()),
+    })
+}
+
+/// Number of programs this process has actually compiled through the
+/// shared cache (cache hits do not count). Warm re-runs of a campaign
+/// should leave this unchanged.
+pub fn shared_compile_count() -> u64 {
+    COMPILES.load(Ordering::Relaxed)
+}
+
+fn shelf_of(c: &'static SharedCache) -> Option<&'static Shelf> {
+    // SAFETY: `snap` only ever holds null or a pointer from
+    // `Box::leak`, so any non-null value is valid for the process
+    // lifetime and never mutated after publication.
+    unsafe { c.snap.load(Ordering::Acquire).as_ref() }
+}
+
+fn probe(shelf: Option<&Shelf>, h: u64, key: &str) -> Option<Slot> {
+    shelf
+        .and_then(|m| m.get(&h))
+        .and_then(|v| v.iter().find(|(k, _)| k == key))
+        .map(|(_, s)| Arc::clone(s))
+}
+
+/// [`Program::compile`] through the shared cache.
+pub fn compile_shared(sdfg: &Sdfg) -> Arc<Program> {
+    compile_shared_with(sdfg, &CompileOptions::default())
+}
+
+/// [`Program::compile_with_options`] through the shared cache: returns
+/// the one `Arc<Program>` this process holds for the given SDFG content
+/// and options, compiling it at most once.
+pub fn compile_shared_with(sdfg: &Sdfg, opts: &CompileOptions) -> Arc<Program> {
+    // Content key: options plus the SDFG's complete debug rendering
+    // (structurally equal SDFGs render identically). Hash for the map,
+    // full string compare on probe — no collision risk.
+    let key = format!(
+        "s{}f{}|{sdfg:?}",
+        opts.specialize_f64 as u8, opts.fuse_maps as u8
+    );
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    let h = hasher.finish();
+
+    let c = cache();
+    let slot = match probe(shelf_of(c), h, &key) {
+        Some(slot) => slot,
+        None => {
+            let _g = c.insert.lock().expect("shared-cache insert lock");
+            // Re-probe under the lock: a concurrent inserter may have
+            // published this key between our miss and the acquisition.
+            match probe(shelf_of(c), h, &key) {
+                Some(slot) => slot,
+                None => {
+                    let slot: Slot = Arc::new(OnceLock::new());
+                    let mut next: Shelf = shelf_of(c).cloned().unwrap_or_default();
+                    next.entry(h)
+                        .or_default()
+                        .push((key.clone(), Arc::clone(&slot)));
+                    // Leak the new snapshot and publish it; the old one
+                    // stays alive for readers that already loaded it.
+                    c.snap.store(Box::leak(Box::new(next)), Ordering::Release);
+                    slot
+                }
+            }
+        }
+    };
+    Arc::clone(slot.get_or_init(|| {
+        COMPILES.fetch_add(1, Ordering::Relaxed);
+        Arc::new(Program::compile_with_options(sdfg, opts))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyflow_ir::{DType, Memlet, ScalarExpr, SdfgBuilder, Subset, SymExpr, Tasklet};
+
+    fn sample(name: &str, factor: f64) -> Sdfg {
+        let mut b = SdfgBuilder::new(name);
+        b.symbol("N");
+        b.array("A", DType::F64, &["N"]);
+        b.array("B", DType::F64, &["N"]);
+        let st = b.start();
+        b.in_state(st, |df| {
+            let a = df.access("A");
+            let o = df.access("B");
+            let t = df.tasklet(Tasklet::simple(
+                "t",
+                vec!["x"],
+                "y",
+                ScalarExpr::r("x").mul(ScalarExpr::f64(factor)),
+            ));
+            df.read(
+                a,
+                t,
+                Memlet::new("A", Subset::at(vec![SymExpr::sym("i")])).to_conn("x"),
+            );
+            df.write(
+                t,
+                o,
+                Memlet::new("B", Subset::at(vec![SymExpr::sym("i")])).from_conn("y"),
+            );
+            let _ = df;
+        });
+        b.build()
+    }
+
+    // One test (not several) so the global compile counter deltas cannot
+    // race against a sibling test in the same process.
+    #[test]
+    fn shared_cache_compiles_each_content_once() {
+        // Structurally identical SDFGs built twice: one compilation.
+        let s1 = sample("shared_cache_once", 2.0);
+        let s2 = sample("shared_cache_once", 2.0);
+        let before = shared_compile_count();
+        let p1 = compile_shared(&s1);
+        let p2 = compile_shared(&s2);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(p1.id(), p2.id());
+        assert_eq!(shared_compile_count() - before, 1);
+        // Different options miss; the original key still hits.
+        let p3 = compile_shared_with(
+            &s1,
+            &CompileOptions {
+                fuse_maps: false,
+                ..Default::default()
+            },
+        );
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(shared_compile_count() - before, 2);
+        assert!(Arc::ptr_eq(&p1, &compile_shared(&s2)));
+        assert_eq!(shared_compile_count() - before, 2);
+
+        // Eight threads racing on a fresh key: everyone gets the same
+        // program, exactly one compilation, no lost wakeups.
+        let racy = sample("shared_cache_race", 3.0);
+        let before = shared_compile_count();
+        let ids: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| compile_shared(&racy).id()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(shared_compile_count() - before, 1);
+    }
+}

@@ -1121,7 +1121,7 @@ fn fused_kernel_overlap_falls_back_and_agrees() {
     let stats = Program::compile(&p).tasklet_stats();
     assert!(!stats.maps[0].fused);
     assert!(
-        stats.maps[0].reason.as_deref().unwrap().contains("overlap"),
+        stats.maps[0].reason.unwrap().contains("overlap"),
         "{:?}",
         stats.maps[0].reason
     );
@@ -1180,4 +1180,274 @@ fn executor_accessors_resolve_interned_and_extra_names() {
     let mut tree = input.clone();
     run_with_tree_walk(&p, &mut tree, &ExecOptions::default(), None, None).unwrap();
     assert_states_bit_identical(&tree, &exec.to_state());
+}
+
+// ----- tier-2 fused kernels: vectorized, select-bodied, pipelined -------
+
+/// Knobs of one generated tier-2 map: either a lane-blocked vectorized
+/// tasklet (`lanes > 1`, single stage) or a scalar multi-tasklet pipeline
+/// (`lanes == 1`, `depth` stages), with optionally select-heavy bodies.
+#[derive(Clone, Debug)]
+struct T2Cfg {
+    blocks: i64,
+    lanes: u32,
+    depth: usize,
+    select: bool,
+    /// Bind `M` one element short of `blocks * lanes`, so the last
+    /// block's access is out of bounds: the fused bounds precheck must
+    /// fall back and every engine must raise the identical error.
+    over: bool,
+    max_steps: u64,
+    vals: Vec<i64>,
+}
+
+/// A map over `i in [0, N)` whose body is a chain of `depth` tasklets
+/// `A -> T1 -> ... -> B`; with `lanes > 1` each stage reads/writes the
+/// lane block `[i*lanes, (i+1)*lanes)` instead of the single index `i`.
+fn tier2_build(cfg: &T2Cfg) -> Sdfg {
+    let mut b = SdfgBuilder::new("tier2");
+    b.symbol("N");
+    b.symbol("M");
+    b.array("A", DType::F64, &["M"]);
+    b.array("B", DType::F64, &["M"]);
+    for k in 1..cfg.depth {
+        b.array(&format!("T{k}"), DType::F64, &["M"]);
+    }
+    let st = b.start();
+    let lanes = cfg.lanes;
+    let depth = cfg.depth;
+    let select = cfg.select;
+    b.in_state(st, move |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let mids: Vec<_> = (1..depth).map(|k| df.access(&format!("T{k}"))).collect();
+        let m = df.map(
+            &["i"],
+            vec![SymRange::full(sym("N"))],
+            Schedule::Parallel,
+            move |mb| {
+                let sub = || -> Subset {
+                    if lanes > 1 {
+                        let base = SymExpr::Int(lanes as i64) * sym("i");
+                        let end = base.clone() + SymExpr::Int(lanes as i64);
+                        Subset::new(vec![SymRange::span(base, end)])
+                    } else {
+                        Subset::at(vec![sym("i")])
+                    }
+                };
+                let names: Vec<String> = std::iter::once("A".to_string())
+                    .chain((1..depth).map(|k| format!("T{k}")))
+                    .chain(std::iter::once("B".to_string()))
+                    .collect();
+                let nodes: Vec<_> = names.iter().map(|n| mb.access(n)).collect();
+                for k in 0..depth {
+                    let body = if select {
+                        ScalarExpr::r("x").lt(ScalarExpr::f64(0.0)).select(
+                            ScalarExpr::r("x").neg(),
+                            ScalarExpr::r("x").mul(ScalarExpr::f64(k as f64 + 2.0)),
+                        )
+                    } else {
+                        ScalarExpr::r("x")
+                            .mul(ScalarExpr::f64(k as f64 + 2.0))
+                            .add(ScalarExpr::f64(1.0))
+                    };
+                    let mut t = Tasklet::simple(format!("s{k}"), vec!["x"], "y", body);
+                    t.lanes = lanes;
+                    let t = mb.tasklet(t);
+                    mb.read(
+                        nodes[k],
+                        t,
+                        Memlet::new(names[k].clone(), sub()).to_conn("x"),
+                    );
+                    mb.write(
+                        t,
+                        nodes[k + 1],
+                        Memlet::new(names[k + 1].clone(), sub()).from_conn("y"),
+                    );
+                }
+            },
+        );
+        let outs: Vec<_> = mids.iter().copied().chain(std::iter::once(o)).collect();
+        df.auto_wire(m, &[a], &outs);
+    });
+    b.build()
+}
+
+fn tier2_input(cfg: &T2Cfg) -> ExecState {
+    let m = cfg.blocks * cfg.lanes as i64 - if cfg.over { 1 } else { 0 };
+    let mut st = ExecState::new();
+    st.bind("N", cfg.blocks).bind("M", m);
+    let vals: Vec<f64> = (0..m)
+        .map(|i| cfg.vals[i as usize % cfg.vals.len()] as f64 * 0.5)
+        .collect();
+    st.set_array("A", ArrayValue::from_f64(vec![m], &vals));
+    st
+}
+
+fn arb_t2() -> impl Strategy<Value = T2Cfg> {
+    (
+        (1i64..5, 0u32..4, 1usize..4, 0usize..2, 0usize..2, 0usize..3),
+        proptest::collection::vec(-100i64..100, 8..9),
+    )
+        .prop_map(|((blocks, lanes_pow, depth, select, over, budget), vals)| {
+            let lanes = 1u32 << lanes_pow;
+            T2Cfg {
+                blocks,
+                lanes,
+                // Vectorized pipelines are rejected at compile time
+                // (FuseReject::LanePipeline); generate one or the other
+                // here and test the reject deterministically below.
+                depth: if lanes > 1 { 1 } else { depth },
+                select: select == 1,
+                over: over == 1,
+                max_steps: match budget {
+                    0 => 25,
+                    1 => 400,
+                    _ => 1_000_000,
+                },
+                vals,
+            }
+        })
+}
+
+proptest! {
+    /// Tier-2 acceptance: vectorized (`lanes ∈ {2,4,8}`), select-bodied
+    /// and multi-tasklet-pipeline maps all compile to fused kernels and
+    /// stay bit-identical — results, `ExecError`s, step accounting and
+    /// select-branch coverage ids — across all four engine tiers and
+    /// both reset policies.
+    #[test]
+    fn tier2_kernels_match_all_engines(cfg in arb_t2()) {
+        let p = tier2_build(&cfg);
+        assert_scope_fused(&p, true);
+        let _ = assert_engines_agree(&p, &tier2_input(&cfg), cfg.max_steps);
+    }
+}
+
+/// Every supported lane width fuses and agrees, with and without a
+/// select body (the select forces the per-lane scalar loop in-kernel).
+#[test]
+fn tier2_vectorized_lane_widths_parity() {
+    for lanes in [2u32, 4, 8] {
+        for select in [false, true] {
+            let cfg = T2Cfg {
+                blocks: 3,
+                lanes,
+                depth: 1,
+                select,
+                over: false,
+                max_steps: 1_000_000,
+                vals: vec![-3, 1, -4, 1, -5, 9, -2, 6],
+            };
+            let p = tier2_build(&cfg);
+            assert_scope_fused(&p, true);
+            assert_engines_agree(&p, &tier2_input(&cfg), 1_000_000).unwrap();
+        }
+    }
+}
+
+/// Multi-tasklet pipelines fuse into one kernel (intermediates stay in
+/// registers) and agree at full budget; an undersized step budget must
+/// hang at the identical step in every engine.
+#[test]
+fn tier2_pipeline_depths_parity() {
+    for depth in [2usize, 3] {
+        for select in [false, true] {
+            let cfg = T2Cfg {
+                blocks: 4,
+                lanes: 1,
+                depth,
+                select,
+                over: false,
+                max_steps: 1_000_000,
+                vals: vec![2, -7, 1, -8, 2, -8, 1, -8],
+            };
+            let p = tier2_build(&cfg);
+            assert_scope_fused(&p, true);
+            assert_engines_agree(&p, &tier2_input(&cfg), 1_000_000).unwrap();
+            let res = assert_engines_agree(&p, &tier2_input(&cfg), 9);
+            assert!(res.is_err(), "budget 9 should not complete depth {depth}");
+        }
+    }
+}
+
+/// A vectorized multi-tasklet pipeline is the one tier-2 shape the fuser
+/// refuses (per-lane register forwarding cannot be interleaved with
+/// per-element coverage); it must fall back and still agree everywhere.
+#[test]
+fn tier2_vectorized_pipeline_rejects_and_agrees() {
+    let cfg = T2Cfg {
+        blocks: 3,
+        lanes: 2,
+        depth: 2,
+        select: true,
+        over: false,
+        max_steps: 1_000_000,
+        vals: vec![-3, 1, -4, 1, -5, 9, -2, 6],
+    };
+    let p = tier2_build(&cfg);
+    let stats = Program::compile(&p).tasklet_stats();
+    assert!(!stats.maps[0].fused);
+    assert_eq!(
+        stats.maps[0].reason,
+        Some("vectorized multi-tasklet pipeline")
+    );
+    assert_engines_agree(&p, &tier2_input(&cfg), 1_000_000).unwrap();
+}
+
+/// Compile-time fusion survives a runtime shape it cannot prove safe: a
+/// short `M` puts the last lane block out of bounds, the precheck falls
+/// back, and the per-element path raises the same error as every engine.
+#[test]
+fn tier2_vectorized_oob_crash_parity() {
+    let cfg = T2Cfg {
+        blocks: 3,
+        lanes: 4,
+        depth: 1,
+        select: false,
+        over: true,
+        max_steps: 1_000_000,
+        vals: vec![3, 1, 4, 1, 5, 9, 2, 6],
+    };
+    let p = tier2_build(&cfg);
+    assert_scope_fused(&p, true);
+    let res = assert_engines_agree(&p, &tier2_input(&cfg), 1_000_000);
+    assert!(res.is_err(), "short M must raise out of bounds everywhere");
+}
+
+/// The recorded select-branch ids are data-dependent, not a uniform
+/// per-site constant: flipping input signs must light different edges.
+#[test]
+fn tier2_select_branch_coverage_is_input_sensitive() {
+    let cfg = T2Cfg {
+        blocks: 4,
+        lanes: 1,
+        depth: 1,
+        select: true,
+        over: false,
+        max_steps: 1_000_000,
+        vals: vec![1, 2, 3, 4, 5, 6, 7, 8],
+    };
+    let p = tier2_build(&cfg);
+    assert_scope_fused(&p, true);
+    let pos = tier2_input(&cfg);
+    let mut mixed_cfg = cfg.clone();
+    mixed_cfg.vals = vec![1, -2, 3, -4, 5, -6, 7, -8];
+    let mixed = tier2_input(&mixed_cfg);
+    assert_engines_agree(&p, &pos, 1_000_000).unwrap();
+    assert_engines_agree(&p, &mixed, 1_000_000).unwrap();
+    let prog = Program::compile(&p);
+    let run = |input: &ExecState| {
+        let mut st = input.clone();
+        let mut cov = CoverageMap::new();
+        prog.run_with(&mut st, &ExecOptions::default(), None, Some(&mut cov))
+            .unwrap();
+        let mut virgin = [0u8; MAP_SIZE];
+        cov.merge_into(&mut virgin);
+        virgin
+    };
+    assert!(
+        run(&pos)[..] != run(&mixed)[..],
+        "select branch coverage ignores the taken branch"
+    );
 }

@@ -1,0 +1,77 @@
+//! Shared-program-cache contention: many sessions in one process compile
+//! each distinct SDFG exactly once. A warm cache serves every later
+//! session — concurrent or serial — with zero fresh compilations, no
+//! lost wakeups on the per-key compile slots, and byte-identical
+//! reports under contention.
+
+use fuzzyflow::prelude::*;
+use fuzzyflow::session::{Campaign, NullSink};
+use fuzzyflow_interp::shared_compile_count;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+fn campaign() -> Campaign {
+    Campaign::new("contention")
+        .with_workload(
+            "matmul_chain",
+            fuzzyflow::workloads::matmul_chain(),
+            fuzzyflow::workloads::matmul_chain::default_bindings(),
+        )
+        .with_transformations(vec![
+            Box::new(MapTiling::new(4)),
+            Box::new(MapTilingOffByOne::new(4)),
+            Box::new(MapTilingNoRemainder::new(4)),
+        ])
+        .with_verify(VerifyConfig::new().with_trials(10).with_size_max(8))
+}
+
+/// This binary holds exactly one test, so the process-wide compile
+/// counter below sees no traffic from unrelated tests.
+#[test]
+fn shared_cache_compiles_once_across_concurrent_sessions() {
+    // Cold: one serial session populates the process-wide cache.
+    let before = shared_compile_count();
+    let reference = campaign()
+        .with_threads(2)
+        .session()
+        .run(&NullSink)
+        .to_json();
+    let warm = shared_compile_count();
+    assert!(warm > before, "the cold session should compile programs");
+
+    // 8 sessions released by a barrier race on the warm cache: exactly 0
+    // fresh compilations, every thread finishes (no lost wakeups), and
+    // every report is byte-identical to the serial reference.
+    let barrier = Arc::new(Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                campaign()
+                    .with_threads(2)
+                    .session()
+                    .run(&NullSink)
+                    .to_json()
+            })
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let report = h.join().expect("session thread panicked");
+        assert_eq!(report, reference, "contended report {i} diverged");
+    }
+    assert_eq!(
+        shared_compile_count(),
+        warm,
+        "warm concurrent sessions must not compile"
+    );
+
+    // One more serial warm session: still zero fresh compilations.
+    let again = campaign()
+        .with_threads(2)
+        .session()
+        .run(&NullSink)
+        .to_json();
+    assert_eq!(again, reference, "warm serial report diverged");
+    assert_eq!(shared_compile_count(), warm);
+}
