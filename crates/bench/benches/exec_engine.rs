@@ -162,36 +162,33 @@ fn main() {
     );
 
     // --- Machine-readable record. ---
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"exec_engine\",\n",
-            "  \"config\": {},\n",
-            "  \"trials_per_measurement\": {},\n",
-            "  \"mha\": {{\"tree_walk_us_per_trial\": {:.3}, \"compiled_us_per_trial\": {:.3}, \"speedup\": {:.3}}},\n",
-            "  \"sddmm\": {{\"tree_walk_us_per_trial\": {:.3}, \"compiled_us_per_trial\": {:.3}, \"speedup\": {:.3}}},\n",
-            "  \"difftester_mha_100_trials\": {{\"sequential_us\": {:.1}, \"parallel_us\": {:.1}, \"speedup\": {:.3}, \"identical_verdicts\": {}}}\n",
-            "}}\n"
-        ),
-        fuzzyflow_bench::config_json(trials),
+    let engine = |n: &EngineNumbers| {
+        format!(
+            "{{\"tree_walk_us_per_trial\": {:.3}, \"compiled_us_per_trial\": {:.3}, \
+             \"speedup\": {:.3}}}",
+            n.tree_walk_us,
+            n.compiled_us,
+            n.speedup()
+        )
+    };
+    fuzzyflow_bench::write_bench_record(
+        "exec_engine",
+        "exec_engine",
         trials,
-        mha_nums.tree_walk_us,
-        mha_nums.compiled_us,
-        mha_nums.speedup(),
-        sddmm_nums.tree_walk_us,
-        sddmm_nums.compiled_us,
-        sddmm_nums.speedup(),
-        t_seq,
-        t_par,
-        t_seq / t_par,
-        identical,
+        &[
+            ("trials_per_measurement", trials.to_string()),
+            ("mha", engine(&mha_nums)),
+            ("sddmm", engine(&sddmm_nums)),
+            (
+                "difftester_mha_100_trials",
+                format!(
+                    "{{\"sequential_us\": {t_seq:.1}, \"parallel_us\": {t_par:.1}, \
+                     \"speedup\": {:.3}, \"identical_verdicts\": {identical}}}",
+                    t_seq / t_par,
+                ),
+            ),
+        ],
     );
-    // Anchor the record at the workspace root regardless of bench cwd.
-    let record = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_exec_engine.json");
-    std::fs::write(&record, &json).expect("write BENCH_exec_engine.json");
-    println!("    wrote {}", record.display());
 
     // Criterion record of the two engines on the MHA cutout.
     let mut c = Criterion::default()

@@ -19,7 +19,7 @@
 //! Results land in `BENCH_fused.json` with the machine configuration.
 
 use fuzzyflow::prelude::*;
-use fuzzyflow_bench::{config_json, prepare_pair, row, time_per_iter};
+use fuzzyflow_bench::{prepare_pair, row, time_per_iter, write_bench_record};
 use fuzzyflow_fuzz::{sample_state, Constraints, ValueProfile, Xoshiro256};
 use fuzzyflow_interp::{fresh_arena_count, CompileOptions, ExecOptions, Program};
 use fuzzyflow_pool::resolve_threads;
@@ -229,34 +229,30 @@ fn main() {
         mha_nums.cutout_speedup()
     );
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"fused_kernels\",\n",
-            "  \"config\": {},\n",
-            "  \"fig5_mha\": {{\"per_element_us\": {:.3}, \"fused_us\": {:.3}, ",
-            "\"speedup\": {:.3}, \"trial_speedup\": {:.3}}},\n",
-            "  \"fig6_sddmm\": {{\"per_element_us\": {:.3}, \"fused_us\": {:.3}, ",
-            "\"speedup\": {:.3}, \"trial_speedup\": {:.3}}},\n",
-            "  \"fig6_sweep_arena_cache\": {{\"fresh_arenas_warm_sweep\": {}, ",
-            "\"trials\": {}, \"per_trial_construction\": false}}\n",
-            "}}\n"
-        ),
-        config_json(300),
-        mha_nums.unfused_us,
-        mha_nums.fused_us,
-        mha_nums.cutout_speedup(),
-        mha_nums.trial_speedup(),
-        sddmm_nums.unfused_us,
-        sddmm_nums.fused_us,
-        sddmm_nums.cutout_speedup(),
-        sddmm_nums.trial_speedup(),
-        fresh,
-        trials,
+    let fig = |n: &FusionNumbers| {
+        format!(
+            "{{\"per_element_us\": {:.3}, \"fused_us\": {:.3}, \"speedup\": {:.3}, \
+             \"trial_speedup\": {:.3}}}",
+            n.unfused_us,
+            n.fused_us,
+            n.cutout_speedup(),
+            n.trial_speedup()
+        )
+    };
+    write_bench_record(
+        "fused",
+        "fused_kernels",
+        300,
+        &[
+            ("fig5_mha", fig(&mha_nums)),
+            ("fig6_sddmm", fig(&sddmm_nums)),
+            (
+                "fig6_sweep_arena_cache",
+                format!(
+                    "{{\"fresh_arenas_warm_sweep\": {fresh}, \"trials\": {trials}, \
+                     \"per_trial_construction\": false}}"
+                ),
+            ),
+        ],
     );
-    let record = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_fused.json");
-    std::fs::write(&record, &json).expect("write BENCH_fused.json");
-    println!("    wrote {}", record.display());
 }

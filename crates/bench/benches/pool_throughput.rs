@@ -240,31 +240,28 @@ fn main() {
     );
 
     // --- Machine-readable record. ---
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"pool_throughput\",\n",
-            "  \"config\": {},\n",
-            "  \"fig6_sweep\": {{\"instances\": {}, \"trials_per_instance\": {}, ",
-            "\"per_instance_spawn_us\": {:.1}, \"pooled_us\": {:.1}, \"speedup\": {:.3}, ",
-            "\"identical_reports\": true}},\n",
-            "  \"fig5_mha_f64_fast_path\": {{\"generic_us_per_trial\": {:.3}, ",
-            "\"fast_us_per_trial\": {:.3}, \"speedup\": {:.3}}}\n",
-            "}}\n"
-        ),
-        fuzzyflow_bench::config_json(tester().trials),
-        pairs.len(),
-        tester().trials as i64,
-        t_spawn,
-        t_pooled,
-        sweep_speedup,
-        generic_us,
-        fast_us,
-        fastpath_speedup,
+    fuzzyflow_bench::write_bench_record(
+        "pool",
+        "pool_throughput",
+        tester().trials,
+        &[
+            (
+                "fig6_sweep",
+                format!(
+                    "{{\"instances\": {}, \"trials_per_instance\": {}, \
+                     \"per_instance_spawn_us\": {t_spawn:.1}, \"pooled_us\": {t_pooled:.1}, \
+                     \"speedup\": {sweep_speedup:.3}, \"identical_reports\": true}}",
+                    pairs.len(),
+                    tester().trials as i64,
+                ),
+            ),
+            (
+                "fig5_mha_f64_fast_path",
+                format!(
+                    "{{\"generic_us_per_trial\": {generic_us:.3}, \
+                     \"fast_us_per_trial\": {fast_us:.3}, \"speedup\": {fastpath_speedup:.3}}}"
+                ),
+            ),
+        ],
     );
-    let record = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_pool.json");
-    std::fs::write(&record, &json).expect("write BENCH_pool.json");
-    println!("    wrote {}", record.display());
 }

@@ -20,7 +20,7 @@
 use fuzzyflow::ir::{
     sym, DType, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, Subset, SymExpr, SymRange, Tasklet,
 };
-use fuzzyflow_bench::{config_json, row, time_per_iter};
+use fuzzyflow_bench::{row, time_per_iter, write_bench_record};
 use fuzzyflow_interp::{ArrayValue, ExecOptions, ExecState, Program, ResetPolicy};
 
 /// Large-container payload: 2^21 f64 elements (16 MiB), CLOUDSC-shaped
@@ -162,34 +162,19 @@ fn main() {
         "dirty-reset bookkeeping regressed small containers: {small_ratio:.2}x"
     );
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"trial_reset\",\n",
-            "  \"config\": {},\n",
-            "  \"big_elems\": {},\n",
-            "  \"big_full_us\": {:.3},\n",
-            "  \"big_dirty_us\": {:.3},\n",
-            "  \"big_speedup\": {:.3},\n",
-            "  \"small_elems\": {},\n",
-            "  \"small_full_us\": {:.3},\n",
-            "  \"small_dirty_us\": {:.3},\n",
-            "  \"small_ratio\": {:.3}\n",
-            "}}\n"
-        ),
-        config_json(200),
-        BIG,
-        big_full_us,
-        big_dirty_us,
-        speedup,
-        SMALL,
-        small_full_us,
-        small_dirty_us,
-        small_ratio,
+    write_bench_record(
+        "reset",
+        "trial_reset",
+        200,
+        &[
+            ("big_elems", BIG.to_string()),
+            ("big_full_us", format!("{big_full_us:.3}")),
+            ("big_dirty_us", format!("{big_dirty_us:.3}")),
+            ("big_speedup", format!("{speedup:.3}")),
+            ("small_elems", SMALL.to_string()),
+            ("small_full_us", format!("{small_full_us:.3}")),
+            ("small_dirty_us", format!("{small_dirty_us:.3}")),
+            ("small_ratio", format!("{small_ratio:.3}")),
+        ],
     );
-    let record = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_reset.json");
-    std::fs::write(&record, &json).expect("write BENCH_reset.json");
-    println!("    wrote {}", record.display());
 }

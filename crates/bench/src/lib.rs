@@ -90,6 +90,29 @@ pub fn config_json(trials: usize) -> String {
     )
 }
 
+/// Assembles one `BENCH_<file>.json` record and writes it at the
+/// workspace root: the standard `bench` name + embedded [`config_json`]
+/// header (threads/cpu/os/arch/`git_rev`/`rustc`/trials) followed by the
+/// caller's pre-rendered `(key, value)` JSON fields. The single writer
+/// keeps every bench record's shape — and the provenance fields
+/// downstream tooling greps for — uniform.
+pub fn write_bench_record(file: &str, bench: &str, trials: usize, fields: &[(&str, String)]) {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"bench\": \"{bench}\",\n"));
+    json.push_str(&format!("  \"config\": {},\n", config_json(trials)));
+    for (i, (key, value)) in fields.iter().enumerate() {
+        let sep = if i + 1 == fields.len() { "" } else { "," };
+        json.push_str(&format!("  \"{key}\": {value}{sep}\n"));
+    }
+    json.push_str("}\n");
+    // Anchor the record at the workspace root regardless of bench cwd.
+    let record = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{file}.json"));
+    std::fs::write(&record, &json).unwrap_or_else(|e| panic!("write {}: {e}", record.display()));
+    println!("    wrote {}", record.display());
+}
+
 /// Simple wall-clock measurement of repeated runs, reporting
 /// per-iteration time in microseconds.
 pub fn time_per_iter(iters: usize, mut f: impl FnMut()) -> f64 {

@@ -49,8 +49,16 @@
 //! });
 //! assert_eq!(report.completed(), 6); // 3 GEMMs × 2 passes
 //! assert_eq!(report.fault_count(), 3); // the off-by-one pass
-//! // Warm re-run: cached artifacts, byte-identical report.
-//! assert_eq!(session.run(&fuzzyflow::session::NullSink), report);
+//! // Warm re-run: cached artifacts, byte-identical report — except the
+//! // `caches` block, whose live counters are the point: the warm run
+//! // compiled zero programs and emitted zero bytes of native code.
+//! let warm = session.run(&fuzzyflow::session::NullSink);
+//! assert_eq!(warm.caches.program_compiles, 0);
+//! assert_eq!(warm.caches.code_bytes, 0);
+//! let (mut a, mut b) = (warm, report);
+//! a.caches = Default::default();
+//! b.caches = Default::default();
+//! assert_eq!(a, b);
 //! ```
 
 mod event;
@@ -59,8 +67,8 @@ mod report;
 pub use event::{CollectingSink, Event, EventSink, NullSink};
 pub use fuzzyflow_session::{CancelToken, SessionBudget, StopReason};
 pub use report::{
-    CampaignReport, ErrorRecord, FaultRecord, FusionTally, InstanceReport, ReportConfig,
-    ReportParseError,
+    CacheTally, CampaignReport, ErrorRecord, FaultRecord, FusionTally, InstanceReport,
+    ReportConfig, ReportParseError,
 };
 
 use crate::sweep::InstanceResult;
@@ -309,6 +317,8 @@ impl Session {
         cancel: Option<&CancelToken>,
     ) -> CampaignReport {
         let _exclusive = self.run_lock.lock().expect("session run lock poisoned");
+        let prog0 = fuzzyflow_interp::shared_cache_stats();
+        let code0 = fuzzyflow_interp::code_cache_stats();
         let specs: Vec<Spec<'_>> = self
             .specs
             .iter()
@@ -355,6 +365,23 @@ impl Session {
                 }
             }
         }
+        // Cache activity over the run: counter deltas around it. The
+        // counters are process-wide, so concurrent foreign sessions bleed
+        // into the tally (see `CacheTally`); the run lock keeps this
+        // session's own runs serialized.
+        let prog1 = fuzzyflow_interp::shared_cache_stats();
+        let code1 = fuzzyflow_interp::code_cache_stats();
+        let caches = CacheTally {
+            program_hits: prog1.hits - prog0.hits,
+            program_misses: prog1.misses - prog0.misses,
+            program_evictions: prog1.evictions - prog0.evictions,
+            program_compiles: prog1.compiles - prog0.compiles,
+            code_hits: code1.hits - code0.hits,
+            code_misses: code1.misses - code0.misses,
+            code_evictions: code1.evictions - code0.evictions,
+            code_compiles: code1.compiles - code0.compiles,
+            code_bytes: code1.bytes - code0.bytes,
+        };
         CampaignReport {
             campaign: self.campaign.name.clone(),
             status: stop,
@@ -362,6 +389,7 @@ impl Session {
             trials_spent,
             config: ReportConfig::from_verify(&self.campaign.verify, self.campaign.threads),
             fusion,
+            caches,
             instances: results.iter().map(InstanceReport::from_result).collect(),
         }
     }

@@ -180,6 +180,10 @@ pub struct FusionTally {
     pub fused_maps: usize,
     /// Rejection-message → count of map scopes on the per-element path.
     pub rejects: std::collections::BTreeMap<String, usize>,
+    /// Map scopes statically eligible for the native JIT tier.
+    pub jit_maps: usize,
+    /// JIT-rejection-message → count of map scopes confined to bytecode.
+    pub jit_rejects: std::collections::BTreeMap<String, usize>,
 }
 
 impl FusionTally {
@@ -190,8 +194,39 @@ impl FusionTally {
                 None => self.fused_maps += 1,
                 Some(reason) => *self.rejects.entry(reason.to_string()).or_default() += 1,
             }
+            match m.jit_reason {
+                None => self.jit_maps += 1,
+                Some(reason) => *self.jit_rejects.entry(reason.to_string()).or_default() += 1,
+            }
         }
     }
+}
+
+/// Process-wide cache activity attributed to one session run: the deltas
+/// of the shared program cache and the native code cache counters taken
+/// around the run. Deterministic for a given warm/cold state, but — the
+/// counters being process-global — attributes a concurrent session's
+/// traffic to whichever run observes it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheTally {
+    /// Shared program cache: snapshot probes that found a live entry.
+    pub program_hits: u64,
+    /// Shared program cache: probes that fell through to the slow path.
+    pub program_misses: u64,
+    /// Shared program cache: entries dropped by LRU bounding.
+    pub program_evictions: u64,
+    /// Shared program cache: programs actually compiled.
+    pub program_compiles: u64,
+    /// Native code cache: probes that found live code.
+    pub code_hits: u64,
+    /// Native code cache: probes that missed.
+    pub code_misses: u64,
+    /// Native code cache: blobs dropped by LRU bounding.
+    pub code_evictions: u64,
+    /// Native code cache: kernels lowered and published.
+    pub code_compiles: u64,
+    /// Native code cache: instruction bytes emitted (0 on a warm run).
+    pub code_bytes: u64,
 }
 
 /// The serializable outcome of one session run.
@@ -209,6 +244,8 @@ pub struct CampaignReport {
     pub config: ReportConfig,
     /// Fusion eligibility across the completed prefix's programs.
     pub fusion: FusionTally,
+    /// Program/code cache activity observed during this run.
+    pub caches: CacheTally,
     /// The completed prefix, in index order (`instances.len()` is the
     /// prefix length; `instances[i].index == i`).
     pub instances: Vec<InstanceReport>,
@@ -285,16 +322,35 @@ impl CampaignReport {
             c.trial_threads,
             c.threads
         ));
-        let rejects: Vec<String> = self
-            .fusion
-            .rejects
-            .iter()
-            .map(|(reason, n)| format!("{}: {}", quote(reason), n))
-            .collect();
+        let tally = |m: &std::collections::BTreeMap<String, usize>| {
+            let parts: Vec<String> = m
+                .iter()
+                .map(|(reason, n)| format!("{}: {}", quote(reason), n))
+                .collect();
+            parts.join(", ")
+        };
         out.push_str(&format!(
-            "  \"fusion\": {{\"fused_maps\": {}, \"rejects\": {{{}}}}},\n",
+            "  \"fusion\": {{\"fused_maps\": {}, \"rejects\": {{{}}}, \
+             \"jit_maps\": {}, \"jit_rejects\": {{{}}}}},\n",
             self.fusion.fused_maps,
-            rejects.join(", ")
+            tally(&self.fusion.rejects),
+            self.fusion.jit_maps,
+            tally(&self.fusion.jit_rejects)
+        ));
+        let ca = &self.caches;
+        out.push_str(&format!(
+            "  \"caches\": {{\"program\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"compiles\": {}}}, \"code\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"compiles\": {}, \"bytes\": {}}}}},\n",
+            ca.program_hits,
+            ca.program_misses,
+            ca.program_evictions,
+            ca.program_compiles,
+            ca.code_hits,
+            ca.code_misses,
+            ca.code_evictions,
+            ca.code_compiles,
+            ca.code_bytes
         ));
         out.push_str("  \"instances\": [");
         for (k, inst) in self.instances.iter().enumerate() {
@@ -409,18 +465,43 @@ impl CampaignReport {
             threads: req_usize(cfg, "threads")?,
         };
 
-        // Lenient: reports written before the fusion tally existed parse
-        // with an empty one.
+        // Lenient: reports written before the fusion/cache tallies
+        // existed parse with empty ones.
         let mut fusion = FusionTally::default();
         if let Some(f) = v.get("fusion") {
-            fusion.fused_maps = f.get("fused_maps").and_then(Json::as_usize).unwrap_or(0);
-            if let Some(Json::Obj(entries)) = f.get("rejects") {
-                for (reason, n) in entries {
-                    if let Some(n) = n.as_usize() {
-                        fusion.rejects.insert(reason.clone(), n);
+            let tally = |key: &str| {
+                let mut m = std::collections::BTreeMap::new();
+                if let Some(Json::Obj(entries)) = f.get(key) {
+                    for (reason, n) in entries {
+                        if let Some(n) = n.as_usize() {
+                            m.insert(reason.clone(), n);
+                        }
                     }
                 }
-            }
+                m
+            };
+            fusion.fused_maps = f.get("fused_maps").and_then(Json::as_usize).unwrap_or(0);
+            fusion.rejects = tally("rejects");
+            fusion.jit_maps = f.get("jit_maps").and_then(Json::as_usize).unwrap_or(0);
+            fusion.jit_rejects = tally("jit_rejects");
+        }
+        let mut caches = CacheTally::default();
+        if let Some(c) = v.get("caches") {
+            let counter = |group: &str, key: &str| -> u64 {
+                c.get(group)
+                    .and_then(|g| g.get(key))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+            };
+            caches.program_hits = counter("program", "hits");
+            caches.program_misses = counter("program", "misses");
+            caches.program_evictions = counter("program", "evictions");
+            caches.program_compiles = counter("program", "compiles");
+            caches.code_hits = counter("code", "hits");
+            caches.code_misses = counter("code", "misses");
+            caches.code_evictions = counter("code", "evictions");
+            caches.code_compiles = counter("code", "compiles");
+            caches.code_bytes = counter("code", "bytes");
         }
 
         let mut instances = Vec::new();
@@ -489,6 +570,7 @@ impl CampaignReport {
                 .ok_or_else(|| ReportParseError("bad 'trials_spent'".into()))?,
             config,
             fusion,
+            caches,
             instances,
         })
     }

@@ -22,8 +22,15 @@ use std::sync::Mutex;
 pub(crate) fn exec_arena_cache() -> &'static WorkerCache<(ExecutorArena, ExecutorArena)> {
     static CACHE: std::sync::OnceLock<WorkerCache<(ExecutorArena, ExecutorArena)>> =
         std::sync::OnceLock::new();
-    CACHE.get_or_init(|| WorkerCache::new(4))
+    let cache = CACHE.get_or_init(|| WorkerCache::new(ARENA_CACHE_BASE));
+    // Obey the same process-wide capacity knob as the program/code
+    // caches (while never growing past the small per-worker base bound).
+    cache.set_capacity(ARENA_CACHE_BASE.min(fuzzyflow_interp::cache_capacity()));
+    cache
 }
+
+/// Per-worker arena pairs kept without an explicit capacity override.
+const ARENA_CACHE_BASE: usize = 4;
 
 /// Cache key of a compiled program pair.
 pub(crate) fn pair_key(orig: &Program, trans: &Program) -> u64 {
@@ -68,7 +75,13 @@ impl ArenaStash {
     }
 
     fn put(&self, pair: (ExecutorArena, ExecutorArena)) {
-        self.pairs.lock().expect("arena stash poisoned").push(pair);
+        let mut pairs = self.pairs.lock().expect("arena stash poisoned");
+        // Bounded by the same process-wide capacity knob as the
+        // program/code caches: a surplus pair (wide one-off batch,
+        // lowered knob) is dropped rather than parked forever.
+        if pairs.len() < fuzzyflow_interp::cache_capacity() {
+            pairs.push(pair);
+        }
     }
 }
 
@@ -439,6 +452,7 @@ impl DiffTester {
             max_steps: self.max_steps,
             reset: self.reset,
             oob_slop: self.oob_slop,
+            ..ExecOptions::default()
         };
         let mut rng = Xoshiro256::seed_from(trial_seed(self.seed, trial as u64));
         let mut resamples = 0usize;
@@ -824,6 +838,18 @@ mod tests {
         // construction. (The `session_reuse` bench asserts the same via
         // `fresh_arena_count` in a controlled process.)
         assert_eq!(stash.len(), parked, "warm runs constructed fresh arenas");
+    }
+
+    /// An instance stash obeys the process-wide cache capacity knob:
+    /// pairs parked past it are dropped, not retained forever.
+    #[test]
+    fn arena_stash_respects_the_cache_capacity_knob() {
+        let stash = ArenaStash::new();
+        let cap = fuzzyflow_interp::cache_capacity();
+        for _ in 0..cap + 8 {
+            stash.put((ExecutorArena::new(), ExecutorArena::new()));
+        }
+        assert_eq!(stash.len(), cap, "stash grew past the capacity knob");
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub struct ExecOptions {
     /// segfault"). Off by default: the default trap mode is what the
     /// cross-engine equivalence suite pins, and reads always trap.
     pub oob_slop: bool,
+    /// Whether fused kernels may execute natively-emitted machine code
+    /// (the fifth engine tier, see [`crate::jit`]). On by default;
+    /// bit-identical to the bytecode tiers wherever it engages, so
+    /// turning it off only trades speed. Ignored by the tree-walk
+    /// engine and by kernels the JIT rejects.
+    pub jit: bool,
 }
 
 impl ExecOptions {
@@ -62,6 +68,7 @@ impl Default for ExecOptions {
             max_steps: Self::DEFAULT_MAX_STEPS,
             reset: ResetPolicy::default(),
             oob_slop: false,
+            jit: true,
         }
     }
 }

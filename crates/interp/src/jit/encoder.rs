@@ -1,0 +1,340 @@
+//! A minimal hand-rolled x86_64 encoder for the SSE2 subset the fused
+//! kernels need: `movsd`/`addsd`/`subsd`/`mulsd`/`divsd`/`sqrtsd`/
+//! `ucomisd`/`xorpd`/`andpd`/`cvtsi2sd`/`movq`, 64-bit integer moves and
+//! arithmetic for the loop counters and pointer walks, `setcc` + byte
+//! logic for NaN-exact comparisons, and `jcc`/`jmp` with label fixups
+//! for select control flow.
+//!
+//! The encoder emits REX/ModRM byte sequences directly into a `Vec<u8>`;
+//! there is deliberately no instruction abstraction beyond one method per
+//! needed form. Memory operands are always `[base + disp]` — `base` may
+//! be any GPR (a SIB byte is inserted for `r12`, whose low bits collide
+//! with the SIB escape), and the displacement picks the short `disp8`
+//! form when it fits.
+
+/// General-purpose register numbers (REX-extended encoding).
+pub(crate) mod gpr {
+    pub const RAX: u8 = 0;
+    pub const RCX: u8 = 1;
+    pub const RDX: u8 = 2;
+    pub const RSI: u8 = 6;
+    pub const RDI: u8 = 7;
+    /// First of the access-pointer registers `r8..r15`.
+    pub const R8: u8 = 8;
+}
+
+/// Condition codes (the low nibble of the `0F 9x` setcc / `0F 8x` jcc
+/// opcodes).
+pub(crate) mod cc {
+    /// ZF=1 (equal / zero).
+    pub const E: u8 = 0x4;
+    /// ZF=0 (not equal / not zero).
+    pub const NE: u8 = 0x5;
+    /// CF=0 and ZF=0 (unsigned above — ordered `>` after `ucomisd`).
+    pub const A: u8 = 0x7;
+    /// CF=0 (unsigned above-or-equal — ordered `>=` after `ucomisd`).
+    pub const AE: u8 = 0x3;
+    /// PF=1 (unordered after `ucomisd`).
+    pub const P: u8 = 0xA;
+    /// PF=0 (ordered after `ucomisd`).
+    pub const NP: u8 = 0xB;
+}
+
+/// A forward-referencable branch target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Label(usize);
+
+/// The instruction buffer plus label/fixup state.
+pub(crate) struct Asm {
+    buf: Vec<u8>,
+    /// Label id → bound offset.
+    labels: Vec<Option<usize>>,
+    /// `(offset of a rel32 field, label it refers to)`.
+    fixups: Vec<(usize, usize)>,
+}
+
+impl Asm {
+    pub fn new() -> Self {
+        Asm {
+            buf: Vec::with_capacity(256),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    pub fn bind(&mut self, l: Label) {
+        debug_assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.buf.len());
+    }
+
+    /// Patches every recorded rel32 fixup and returns the finished code.
+    pub fn finish(mut self) -> Vec<u8> {
+        for (at, l) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[l].expect("unbound label");
+            let rel = target as i64 - (at as i64 + 4);
+            self.buf[at..at + 4].copy_from_slice(&(rel as i32).to_le_bytes());
+        }
+        self.buf
+    }
+
+    // ----- raw emission --------------------------------------------------
+
+    fn rex(&mut self, w: bool, reg: u8, base: u8) {
+        let mut r = 0x40u8;
+        if w {
+            r |= 8;
+        }
+        if reg >= 8 {
+            r |= 4;
+        }
+        if base >= 8 {
+            r |= 1;
+        }
+        if r != 0x40 {
+            self.buf.push(r);
+        }
+    }
+
+    /// REX that is also required (even as a bare `0x40`) to reach the
+    /// `spl`/`bpl`/`sil`/`dil` byte registers.
+    fn rex8(&mut self, reg: u8, base: u8) {
+        let mut r = 0x40u8;
+        if reg >= 8 {
+            r |= 4;
+        }
+        if base >= 8 {
+            r |= 1;
+        }
+        if r != 0x40 || reg >= 4 || base >= 4 {
+            self.buf.push(r);
+        }
+    }
+
+    fn modrm_reg(&mut self, reg: u8, rm: u8) {
+        self.buf.push(0xC0 | ((reg & 7) << 3) | (rm & 7));
+    }
+
+    fn modrm_mem(&mut self, reg: u8, base: u8, disp: i32) {
+        let small = (-128..=127).contains(&disp);
+        let md = if small { 0b01 } else { 0b10 };
+        self.buf.push((md << 6) | ((reg & 7) << 3) | (base & 7));
+        if base & 7 == 4 {
+            // r12/rsp as base: rm=100 selects a SIB byte; encode
+            // "base only, no index".
+            self.buf.push(0x24);
+        }
+        if small {
+            self.buf.push(disp as i8 as u8);
+        } else {
+            self.buf.extend_from_slice(&disp.to_le_bytes());
+        }
+    }
+
+    // ----- integer instructions ------------------------------------------
+
+    pub fn push(&mut self, r: u8) {
+        if r >= 8 {
+            self.buf.push(0x41);
+        }
+        self.buf.push(0x50 + (r & 7));
+    }
+
+    pub fn pop(&mut self, r: u8) {
+        if r >= 8 {
+            self.buf.push(0x41);
+        }
+        self.buf.push(0x58 + (r & 7));
+    }
+
+    /// `mov r64, imm64`.
+    pub fn mov_ri(&mut self, r: u8, imm: u64) {
+        self.rex(true, 0, r);
+        self.buf.push(0xB8 + (r & 7));
+        self.buf.extend_from_slice(&imm.to_le_bytes());
+    }
+
+    /// `mov r64, [base + disp]`.
+    pub fn mov_rm(&mut self, r: u8, base: u8, disp: i32) {
+        self.rex(true, r, base);
+        self.buf.push(0x8B);
+        self.modrm_mem(r, base, disp);
+    }
+
+    /// `mov [base + disp], r64`.
+    pub fn mov_mr(&mut self, base: u8, disp: i32, r: u8) {
+        self.rex(true, r, base);
+        self.buf.push(0x89);
+        self.modrm_mem(r, base, disp);
+    }
+
+    /// `add r64, [base + disp]`.
+    pub fn add_rm(&mut self, r: u8, base: u8, disp: i32) {
+        self.rex(true, r, base);
+        self.buf.push(0x03);
+        self.modrm_mem(r, base, disp);
+    }
+
+    /// `and r64, [base + disp]`.
+    pub fn and_rm(&mut self, r: u8, base: u8, disp: i32) {
+        self.rex(true, r, base);
+        self.buf.push(0x23);
+        self.modrm_mem(r, base, disp);
+    }
+
+    /// `or r64, [base + disp]`.
+    pub fn or_rm(&mut self, r: u8, base: u8, disp: i32) {
+        self.rex(true, r, base);
+        self.buf.push(0x0B);
+        self.modrm_mem(r, base, disp);
+    }
+
+    /// `xor r64, imm8` (sign-extended).
+    pub fn xor_ri8(&mut self, r: u8, imm: i8) {
+        self.rex(true, 0, r);
+        self.buf.push(0x83);
+        self.modrm_reg(6, r);
+        self.buf.push(imm as u8);
+    }
+
+    /// `test r64, r64`.
+    pub fn test_rr(&mut self, a: u8, b: u8) {
+        self.rex(true, b, a);
+        self.buf.push(0x85);
+        self.modrm_reg(b, a);
+    }
+
+    /// `dec r64`.
+    pub fn dec(&mut self, r: u8) {
+        self.rex(true, 0, r);
+        self.buf.push(0xFF);
+        self.modrm_reg(1, r);
+    }
+
+    /// `setcc r8` (low byte of `r`).
+    pub fn setcc(&mut self, cond: u8, r: u8) {
+        self.rex8(0, r);
+        self.buf.push(0x0F);
+        self.buf.push(0x90 + cond);
+        self.modrm_reg(0, r);
+    }
+
+    /// `and dst8, src8`.
+    pub fn and_r8(&mut self, dst: u8, src: u8) {
+        self.rex8(src, dst);
+        self.buf.push(0x20);
+        self.modrm_reg(src, dst);
+    }
+
+    /// `or dst8, src8`.
+    pub fn or_r8(&mut self, dst: u8, src: u8) {
+        self.rex8(src, dst);
+        self.buf.push(0x08);
+        self.modrm_reg(src, dst);
+    }
+
+    /// `movzx r64, r8`.
+    pub fn movzx(&mut self, dst: u8, src: u8) {
+        // REX.W is needed for the 64-bit destination; it also grants
+        // access to sil/dil on the source side.
+        self.rex(true, dst, src);
+        self.buf.push(0x0F);
+        self.buf.push(0xB6);
+        self.modrm_reg(dst, src);
+    }
+
+    pub fn jcc(&mut self, cond: u8, l: Label) {
+        self.buf.push(0x0F);
+        self.buf.push(0x80 + cond);
+        self.fixups.push((self.buf.len(), l.0));
+        self.buf.extend_from_slice(&[0; 4]);
+    }
+
+    pub fn jmp(&mut self, l: Label) {
+        self.buf.push(0xE9);
+        self.fixups.push((self.buf.len(), l.0));
+        self.buf.extend_from_slice(&[0; 4]);
+    }
+
+    pub fn ret(&mut self) {
+        self.buf.push(0xC3);
+    }
+
+    // ----- SSE2 ----------------------------------------------------------
+
+    /// Register-register SSE op: `prefix 0F op xmm_dst, xmm_src`.
+    fn sse_rr(&mut self, prefix: u8, op: u8, dst: u8, src: u8) {
+        self.buf.push(prefix);
+        self.rex(false, dst, src);
+        self.buf.push(0x0F);
+        self.buf.push(op);
+        self.modrm_reg(dst, src);
+    }
+
+    /// Load-form SSE op: `prefix 0F op xmm_dst, [base + disp]`.
+    fn sse_rm(&mut self, prefix: u8, op: u8, dst: u8, base: u8, disp: i32) {
+        self.buf.push(prefix);
+        self.rex(false, dst, base);
+        self.buf.push(0x0F);
+        self.buf.push(op);
+        self.modrm_mem(dst, base, disp);
+    }
+
+    /// `movsd xmm, [base + disp]`.
+    pub fn movsd_rm(&mut self, dst: u8, base: u8, disp: i32) {
+        self.sse_rm(0xF2, 0x10, dst, base, disp);
+    }
+
+    /// `movsd [base + disp], xmm`.
+    pub fn movsd_mr(&mut self, base: u8, disp: i32, src: u8) {
+        self.sse_rm(0xF2, 0x11, src, base, disp);
+    }
+
+    /// `movapd xmm_dst, xmm_src` (full-register copy).
+    pub fn movapd(&mut self, dst: u8, src: u8) {
+        self.sse_rr(0x66, 0x28, dst, src);
+    }
+
+    /// `addsd`/`subsd`/`mulsd`/`divsd`/`sqrtsd` by opcode byte
+    /// (`0x58`/`0x5C`/`0x59`/`0x5E`/`0x51`): `op xmm_dst, xmm_src`.
+    pub fn sd_op(&mut self, op: u8, dst: u8, src: u8) {
+        self.sse_rr(0xF2, op, dst, src);
+    }
+
+    /// `ucomisd xmm_a, xmm_b` (flags reflect `a ? b`).
+    pub fn ucomisd(&mut self, a: u8, b: u8) {
+        self.sse_rr(0x66, 0x2E, a, b);
+    }
+
+    /// `xorpd xmm_dst, xmm_src`.
+    pub fn xorpd(&mut self, dst: u8, src: u8) {
+        self.sse_rr(0x66, 0x57, dst, src);
+    }
+
+    /// `andpd xmm_dst, xmm_src`.
+    pub fn andpd(&mut self, dst: u8, src: u8) {
+        self.sse_rr(0x66, 0x54, dst, src);
+    }
+
+    /// `movq xmm, r64`.
+    pub fn movq_xr(&mut self, xmm: u8, r: u8) {
+        self.buf.push(0x66);
+        self.rex(true, xmm, r);
+        self.buf.push(0x0F);
+        self.buf.push(0x6E);
+        self.modrm_reg(xmm, r);
+    }
+
+    /// `cvtsi2sd xmm, r64` — the exact `i64 as f64` conversion.
+    pub fn cvtsi2sd(&mut self, xmm: u8, r: u8) {
+        self.buf.push(0xF2);
+        self.rex(true, xmm, r);
+        self.buf.push(0x0F);
+        self.buf.push(0x2A);
+        self.modrm_reg(xmm, r);
+    }
+}

@@ -1,0 +1,447 @@
+//! Lowering of fused kernel bytecode ([`FKInsn`]) to native x86_64.
+//!
+//! The emitted function has signature `extern "C" fn(frame: *mut u64)`
+//! and executes **one inner row** of the iteration box per call — the
+//! Rust side keeps the outer odometer, exactly like the bytecode loops.
+//! Everything that varies per trial or per row (row pointers, strides,
+//! outer parameter values, symbol values) is read from the frame, so
+//! one compiled blob is valid for every shape a kernel ever runs with —
+//! the property that makes the process-wide code cache effective.
+//!
+//! # Frame layout (u64 words)
+//!
+//! | words                    | contents                                  |
+//! |--------------------------|-------------------------------------------|
+//! | `0`                      | inner row length (elements, ≥ 1)          |
+//! | `1`, `2`                 | inner range start / step (i64)            |
+//! | `3 .. 3+P`               | row pointers, one per live access         |
+//! | `3+P .. 3+2P`            | per-element pointer step in bytes (i64)   |
+//! | `.. + n_params`          | outer map-parameter values (f64 bits)     |
+//! | `.. + n_regs`            | bool register file (0/1 words)            |
+//! | `.. + sym_slots.len()`   | referenced symbol values (f64 bits)       |
+//!
+//! # Register allocation
+//!
+//! Fixed: `rdi` frame, `rcx` remaining-element counter, `rax` the inner
+//! parameter's current i64 value (stepped per element, converted with
+//! `cvtsi2sd` for the exact `as f64` semantics), `rdx`/`rsi` scratch,
+//! `r8..r15` live-access row pointers (callee-saved `r12..r15` are
+//! pushed only when used). Kernel float registers map 1:1 onto
+//! `xmm0..xmm13`; `xmm14`/`xmm15` are scratch. Bool registers live in
+//! frame words — select bodies that reach the JIT are compared against
+//! the scalar bytecode interpreter, so memory-resident bools still win.
+//!
+//! # Bit-exactness
+//!
+//! Binary ops preserve operand order (`addsd a, b` matches what rustc
+//! emits for `a + b`, including NaN payload propagation), comparisons
+//! use `ucomisd` + `setcc` recipes that reproduce Rust's semantics for
+//! unordered operands, negation/abs use the same sign-mask `xorpd`/
+//! `andpd` idiom rustc emits, and `i64 → f64` conversions use
+//! `cvtsi2sd`. Ops without an exact single-instruction equivalent
+//! (`min`/`max`, `mod`, `pow`, transcendentals) are rejected statically
+//! and fall back to the bytecode tiers.
+
+use super::encoder::{cc, gpr, Asm, Label};
+use super::JitReject;
+use crate::program::{FKInsn, FusedKernel, SymId};
+use fuzzyflow_ir::{BinOp, CmpOp, UnOp, Wcr};
+
+/// Highest kernel float register mappable onto `xmm0..xmm13`.
+const MAX_FLOAT_REGS: usize = 14;
+/// Live-access pointers available (`r8..r15`).
+const MAX_PTRS: usize = 8;
+/// Scratch xmm registers.
+const XMM_SCRATCH0: u8 = 14;
+const XMM_SCRATCH1: u8 = 15;
+
+/// Frame layout of a lowered kernel; see the module docs. Word indices
+/// are converted to byte displacements at emission time.
+#[derive(Clone, Debug)]
+pub(crate) struct JitLayout {
+    /// Map dimensions (the innermost, `n_params - 1`, is the emitted
+    /// row; its parameter value lives in `rax`, not the frame).
+    pub n_params: usize,
+    /// Kernel register file size (bool slots in the frame).
+    pub n_regs: usize,
+    /// Pointer slot per kernel input; `None` for dead reads (their
+    /// bounds are proven by the precheck, no load is needed).
+    pub in_ptr: Vec<Option<usize>>,
+    /// Pointer slot per kernel output.
+    pub out_ptr: Vec<usize>,
+    /// Total pointer slots.
+    pub n_ptrs: usize,
+    /// Symbols read by `LoadSymF`, in frame-slot order.
+    pub sym_slots: Vec<SymId>,
+    /// Total frame size in u64 words.
+    pub frame_words: usize,
+}
+
+impl JitLayout {
+    pub fn ptr_word(&self, slot: usize) -> usize {
+        3 + slot
+    }
+    pub fn stride_word(&self, slot: usize) -> usize {
+        3 + self.n_ptrs + slot
+    }
+    pub fn param_word(&self, dim: usize) -> usize {
+        3 + 2 * self.n_ptrs + dim
+    }
+    pub fn bool_word(&self, reg: usize) -> usize {
+        3 + 2 * self.n_ptrs + self.n_params + reg
+    }
+    pub fn sym_word(&self, slot: usize) -> usize {
+        3 + 2 * self.n_ptrs + self.n_params + self.n_regs + slot
+    }
+}
+
+/// Static JIT eligibility of a fused kernel: decides up front whether
+/// [`emit`] can lower every instruction bit-exactly, and computes the
+/// frame layout if so. Infallible emission is the invariant that lets
+/// the runtime treat an `Ok` layout as "native unless the OS refuses
+/// pages or this run needs interleaved coverage".
+pub(crate) fn analyze(fk: &FusedKernel, n_params: usize) -> Result<JitLayout, JitReject> {
+    if !cfg!(all(unix, target_arch = "x86_64")) {
+        return Err(JitReject::UnsupportedArch);
+    }
+    if fk.lanes != 1 {
+        return Err(JitReject::Vectorized);
+    }
+    if fk.n_regs > MAX_FLOAT_REGS {
+        return Err(JitReject::TooManyRegs);
+    }
+    let mut n_ptrs = 0usize;
+    let in_ptr: Vec<Option<usize>> = fk
+        .in_regs
+        .iter()
+        .map(|r| {
+            r.map(|_| {
+                n_ptrs += 1;
+                n_ptrs - 1
+            })
+        })
+        .collect();
+    let out_ptr: Vec<usize> = (0..fk.outputs.len())
+        .map(|_| {
+            n_ptrs += 1;
+            n_ptrs - 1
+        })
+        .collect();
+    if n_ptrs > MAX_PTRS {
+        return Err(JitReject::TooManyAccesses);
+    }
+    for acc in &fk.outputs {
+        if matches!(acc.wcr, Some(Wcr::Max) | Some(Wcr::Min)) {
+            // f64::max/min differ from maxsd/minsd on NaN and ±0.
+            return Err(JitReject::UnsupportedWcr);
+        }
+    }
+    let mut sym_slots: Vec<SymId> = Vec::new();
+    for insn in &fk.code {
+        match insn {
+            FKInsn::BinF { op, .. } => match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {}
+                _ => return Err(JitReject::UnsupportedOp),
+            },
+            FKInsn::UnF { op, .. } => match op {
+                UnOp::Neg | UnOp::Abs | UnOp::Sqrt => {}
+                _ => return Err(JitReject::UnsupportedOp),
+            },
+            FKInsn::LoadSymF { sym, .. } if !sym_slots.contains(sym) => {
+                sym_slots.push(*sym);
+            }
+            // Everything else has a direct lowering (coverage markers
+            // are no-ops natively: entry coverage is batched by the
+            // caller and interleaved-coverage runs never reach the JIT).
+            _ => {}
+        }
+    }
+    let n_regs = fk.n_regs;
+    let mut lay = JitLayout {
+        n_params,
+        n_regs,
+        in_ptr,
+        out_ptr,
+        n_ptrs,
+        sym_slots,
+        frame_words: 0,
+    };
+    lay.frame_words = lay.sym_word(lay.sym_slots.len());
+    Ok(lay)
+}
+
+/// Byte displacement of a frame word.
+fn disp(word: usize) -> i32 {
+    (word * 8) as i32
+}
+
+/// Pointer register of a frame pointer slot.
+fn preg(slot: usize) -> u8 {
+    gpr::R8 + slot as u8
+}
+
+/// Emits `dst8 = (bool of the flags per `recipe`)`, zero-extends it and
+/// stores it into the frame's bool register `reg`. `recipe` is one or
+/// two setcc conditions combined with and/or.
+enum BoolRecipe {
+    One(u8),
+    /// `cc0 AND cc1` (e.g. `sete && setnp` for `==`).
+    And(u8, u8),
+    /// `cc0 OR cc1` (e.g. `setne || setp` for `!=`).
+    Or(u8, u8),
+}
+
+fn store_flag_bool(a: &mut Asm, lay: &JitLayout, reg: u32, recipe: BoolRecipe) {
+    match recipe {
+        BoolRecipe::One(c) => a.setcc(c, gpr::RDX),
+        BoolRecipe::And(c0, c1) => {
+            a.setcc(c0, gpr::RDX);
+            a.setcc(c1, gpr::RSI);
+            a.and_r8(gpr::RDX, gpr::RSI);
+        }
+        BoolRecipe::Or(c0, c1) => {
+            a.setcc(c0, gpr::RDX);
+            a.setcc(c1, gpr::RSI);
+            a.or_r8(gpr::RDX, gpr::RSI);
+        }
+    }
+    a.movzx(gpr::RDX, gpr::RDX);
+    a.mov_mr(gpr::RDI, disp(lay.bool_word(reg as usize)), gpr::RDX);
+}
+
+/// `dst = op(a, b)` preserving operand order (and thus NaN payload
+/// propagation) exactly as rustc's own `addsd`-family codegen does.
+fn bin_sd(a: &mut Asm, op: u8, dst: u8, x: u8, y: u8) {
+    if dst == x {
+        a.sd_op(op, dst, y);
+    } else if dst != y {
+        a.movapd(dst, x);
+        a.sd_op(op, dst, y);
+    } else {
+        a.movapd(XMM_SCRATCH1, x);
+        a.sd_op(op, XMM_SCRATCH1, y);
+        a.movapd(dst, XMM_SCRATCH1);
+    }
+}
+
+/// Lowers an analyzed kernel to finished instruction bytes. Must not be
+/// called unless [`analyze`] returned this layout (emission is
+/// infallible under the invariants it established).
+pub(crate) fn emit(fk: &FusedKernel, lay: &JitLayout) -> Vec<u8> {
+    let mut a = Asm::new();
+    let inner = lay.n_params - 1;
+    let saved: Vec<u8> = (4..lay.n_ptrs).map(preg).collect();
+    for &r in &saved {
+        a.push(r);
+    }
+    let done = a.label();
+    a.mov_rm(gpr::RCX, gpr::RDI, disp(0));
+    a.test_rr(gpr::RCX, gpr::RCX);
+    a.jcc(cc::E, done);
+    a.mov_rm(gpr::RAX, gpr::RDI, disp(1));
+    for slot in 0..lay.n_ptrs {
+        a.mov_rm(preg(slot), gpr::RDI, disp(lay.ptr_word(slot)));
+    }
+    let top = a.label();
+    a.bind(top);
+
+    // Per-element input loads, in kernel input order (dead reads were
+    // proven in-bounds by the precheck and emit nothing).
+    for (ii, slot) in lay.in_ptr.iter().enumerate() {
+        if let (Some(reg), Some(slot)) = (fk.in_regs[ii], slot) {
+            a.movsd_rm(reg as u8, preg(*slot), 0);
+        }
+    }
+
+    // Body. One label per instruction index (plus one past the end) so
+    // select jumps can target any point, exactly like the bytecode pc.
+    let labels: Vec<Label> = (0..=fk.code.len()).map(|_| a.label()).collect();
+    for (i, insn) in fk.code.iter().enumerate() {
+        a.bind(labels[i]);
+        match insn {
+            FKInsn::ConstF { dst, val } => {
+                a.mov_ri(gpr::RDX, val.to_bits());
+                a.movq_xr(*dst as u8, gpr::RDX);
+            }
+            FKInsn::ConstB { dst, val } => {
+                a.mov_ri(gpr::RDX, *val as u64);
+                a.mov_mr(gpr::RDI, disp(lay.bool_word(*dst as usize)), gpr::RDX);
+            }
+            FKInsn::MovF { dst, src } => {
+                if dst != src {
+                    a.movapd(*dst as u8, *src as u8);
+                }
+            }
+            FKInsn::MovB { dst, src } => {
+                a.mov_rm(gpr::RDX, gpr::RDI, disp(lay.bool_word(*src as usize)));
+                a.mov_mr(gpr::RDI, disp(lay.bool_word(*dst as usize)), gpr::RDX);
+            }
+            FKInsn::LoadSymF { dst, sym } => {
+                let slot = lay
+                    .sym_slots
+                    .iter()
+                    .position(|s| s == sym)
+                    .expect("analyze collected every LoadSymF symbol");
+                a.movsd_rm(*dst as u8, gpr::RDI, disp(lay.sym_word(slot)));
+            }
+            FKInsn::LoadParamF { dst, dim } => {
+                if *dim as usize == inner {
+                    a.cvtsi2sd(*dst as u8, gpr::RAX);
+                } else {
+                    a.movsd_rm(*dst as u8, gpr::RDI, disp(lay.param_word(*dim as usize)));
+                }
+            }
+            FKInsn::BinF {
+                op,
+                dst,
+                a: x,
+                b: y,
+            } => {
+                let opb = match op {
+                    BinOp::Add => 0x58,
+                    BinOp::Sub => 0x5C,
+                    BinOp::Mul => 0x59,
+                    BinOp::Div => 0x5E,
+                    _ => unreachable!("rejected by analyze"),
+                };
+                bin_sd(&mut a, opb, *dst as u8, *x as u8, *y as u8);
+            }
+            FKInsn::UnF { op, dst, a: x } => match op {
+                UnOp::Sqrt => a.sd_op(0x51, *dst as u8, *x as u8),
+                UnOp::Neg | UnOp::Abs => {
+                    let mask = if matches!(op, UnOp::Neg) {
+                        0x8000_0000_0000_0000u64
+                    } else {
+                        0x7FFF_FFFF_FFFF_FFFFu64
+                    };
+                    a.mov_ri(gpr::RDX, mask);
+                    a.movq_xr(XMM_SCRATCH1, gpr::RDX);
+                    if dst != x {
+                        a.movapd(*dst as u8, *x as u8);
+                    }
+                    if matches!(op, UnOp::Neg) {
+                        a.xorpd(*dst as u8, XMM_SCRATCH1);
+                    } else {
+                        a.andpd(*dst as u8, XMM_SCRATCH1);
+                    }
+                }
+                _ => unreachable!("rejected by analyze"),
+            },
+            FKInsn::CmpF {
+                op,
+                dst,
+                a: x,
+                b: y,
+            } => {
+                // `ucomisd p, q` sets flags for `p ? q`; unordered sets
+                // ZF=PF=CF=1. The recipes reproduce Rust's comparison
+                // semantics including NaN operands.
+                let recipe = match op {
+                    CmpOp::Lt => {
+                        a.ucomisd(*y as u8, *x as u8);
+                        BoolRecipe::One(cc::A)
+                    }
+                    CmpOp::Le => {
+                        a.ucomisd(*y as u8, *x as u8);
+                        BoolRecipe::One(cc::AE)
+                    }
+                    CmpOp::Gt => {
+                        a.ucomisd(*x as u8, *y as u8);
+                        BoolRecipe::One(cc::A)
+                    }
+                    CmpOp::Ge => {
+                        a.ucomisd(*x as u8, *y as u8);
+                        BoolRecipe::One(cc::AE)
+                    }
+                    CmpOp::Eq => {
+                        a.ucomisd(*x as u8, *y as u8);
+                        BoolRecipe::And(cc::E, cc::NP)
+                    }
+                    CmpOp::Ne => {
+                        a.ucomisd(*x as u8, *y as u8);
+                        BoolRecipe::Or(cc::NE, cc::P)
+                    }
+                };
+                store_flag_bool(&mut a, lay, *dst, recipe);
+            }
+            FKInsn::NotB { dst, a: x } => {
+                a.mov_rm(gpr::RDX, gpr::RDI, disp(lay.bool_word(*x as usize)));
+                a.xor_ri8(gpr::RDX, 1);
+                a.mov_mr(gpr::RDI, disp(lay.bool_word(*dst as usize)), gpr::RDX);
+            }
+            FKInsn::AndB { dst, a: x, b: y } => {
+                a.mov_rm(gpr::RDX, gpr::RDI, disp(lay.bool_word(*x as usize)));
+                a.and_rm(gpr::RDX, gpr::RDI, disp(lay.bool_word(*y as usize)));
+                a.mov_mr(gpr::RDI, disp(lay.bool_word(*dst as usize)), gpr::RDX);
+            }
+            FKInsn::OrB { dst, a: x, b: y } => {
+                a.mov_rm(gpr::RDX, gpr::RDI, disp(lay.bool_word(*x as usize)));
+                a.or_rm(gpr::RDX, gpr::RDI, disp(lay.bool_word(*y as usize)));
+                a.mov_mr(gpr::RDI, disp(lay.bool_word(*dst as usize)), gpr::RDX);
+            }
+            FKInsn::BoolFromF { reg } => {
+                a.xorpd(XMM_SCRATCH1, XMM_SCRATCH1);
+                a.ucomisd(*reg as u8, XMM_SCRATCH1);
+                store_flag_bool(&mut a, lay, *reg, BoolRecipe::Or(cc::NE, cc::P));
+            }
+            FKInsn::FloatFromB { dst, src } => {
+                a.mov_rm(gpr::RDX, gpr::RDI, disp(lay.bool_word(*src as usize)));
+                a.cvtsi2sd(*dst as u8, gpr::RDX);
+            }
+            // Coverage markers: entry coverage is batched by the caller
+            // and interleaved-coverage runs never dispatch natively.
+            FKInsn::Stmt { .. } | FKInsn::CoverSel { .. } | FKInsn::Cover { .. } => {}
+            FKInsn::JumpIfFalse { cond, target } => {
+                a.mov_rm(gpr::RDX, gpr::RDI, disp(lay.bool_word(*cond as usize)));
+                a.test_rr(gpr::RDX, gpr::RDX);
+                a.jcc(cc::E, labels[*target as usize]);
+            }
+            FKInsn::Jump { target } => {
+                a.jmp(labels[*target as usize]);
+            }
+        }
+    }
+    a.bind(labels[fk.code.len()]);
+
+    // Per-element output stores, in kernel output order (WCR combines
+    // load-op-store, preserving exact accumulation order).
+    for (oi, acc) in fk.outputs.iter().enumerate() {
+        let (reg, from_bool) = fk.out_regs[oi];
+        let pr = preg(lay.out_ptr[oi]);
+        let src = if from_bool {
+            a.mov_rm(gpr::RDX, gpr::RDI, disp(lay.bool_word(reg as usize)));
+            a.cvtsi2sd(XMM_SCRATCH1, gpr::RDX);
+            XMM_SCRATCH1
+        } else {
+            reg as u8
+        };
+        match acc.wcr {
+            None => a.movsd_mr(pr, 0, src),
+            Some(Wcr::Sum) => {
+                a.movsd_rm(XMM_SCRATCH0, pr, 0);
+                a.sd_op(0x58, XMM_SCRATCH0, src);
+                a.movsd_mr(pr, 0, XMM_SCRATCH0);
+            }
+            Some(Wcr::Prod) => {
+                a.movsd_rm(XMM_SCRATCH0, pr, 0);
+                a.sd_op(0x59, XMM_SCRATCH0, src);
+                a.movsd_mr(pr, 0, XMM_SCRATCH0);
+            }
+            Some(Wcr::Max) | Some(Wcr::Min) => unreachable!("rejected by analyze"),
+        }
+    }
+
+    // Advance pointers and the inner parameter; loop.
+    for slot in 0..lay.n_ptrs {
+        a.add_rm(preg(slot), gpr::RDI, disp(lay.stride_word(slot)));
+    }
+    a.add_rm(gpr::RAX, gpr::RDI, disp(2));
+    a.dec(gpr::RCX);
+    a.jcc(cc::NE, top);
+    a.bind(done);
+    for &r in saved.iter().rev() {
+        a.pop(r);
+    }
+    a.ret();
+    a.finish()
+}

@@ -1,0 +1,244 @@
+//! Native x86_64 code emission for fused map kernels — the fifth engine
+//! tier.
+//!
+//! Eligible [`FusedKernel`](crate::program) bodies are lowered once to a
+//! straight-line native inner-row loop (see the `lower` module) and executed
+//! through the same runtime precheck as the bytecode kernels: a kernel
+//! runs natively only after the precheck proved that no out-of-bounds
+//! access, overflow, unbound symbol or step-budget trip can occur
+//! anywhere in the iteration box, and step accounting plus batched
+//! coverage are computed arithmetically — bit-identical to the bytecode
+//! walk by construction. Any ineligibility (non-f64 body, unsupported
+//! op, too many registers, interleaved coverage) falls back down the
+//! existing engine ladder; the reason is reported through [`JitReject`],
+//! mirroring [`FuseReject`](crate::FuseReject).
+//!
+//! # W^X page lifecycle
+//!
+//! Emitted code lives in pages obtained directly from `mmap` (raw
+//! `extern "C"` bindings — no new dependencies) and is never writable
+//! and executable at the same time:
+//!
+//! 1. `JitCode::publish` maps fresh anonymous pages `PROT_READ |
+//!    PROT_WRITE`, copies the finished instruction bytes in, and
+//! 2. flips the whole mapping to `PROT_READ | PROT_EXEC` with
+//!    `mprotect` before the entry pointer ever escapes. A failed flip
+//!    unmaps and reports emission failure (the caller falls back to
+//!    bytecode).
+//! 3. The mapping is `munmap`ed when the last `Arc<JitCode>` drops —
+//!    executors clone the `Arc` for the duration of a kernel run, so an
+//!    eviction from the code cache can never unmap code that is still
+//!    executing.
+//!
+//! The `jit_wx` smoke test asserts process-wide (via `/proc/self/maps`)
+//! that no `rwx` mapping exists after compilation.
+//!
+//! # Cache contract
+//!
+//! Compiled blobs are shape-independent: strides, pointers, symbol and
+//! parameter values are read from a per-call frame, so one compilation
+//! serves every trial of a kernel. Blobs are keyed by the kernel's
+//! process-unique `jit_key` in a process-wide `CodeCache` that
+//! follows the shared program cache's lock-only-on-insert design —
+//! probes are lock-free, the insert mutex is taken only to publish, and
+//! coarse LRU eviction (bounded by
+//! [`cache_capacity`](crate::cache_capacity)) drops the
+//! least-recently-probed entry. Warm campaigns therefore compile zero
+//! programs and emit zero bytes of native code.
+
+pub(crate) mod cache;
+pub(crate) mod encoder;
+pub(crate) mod lower;
+
+pub use cache::{code_cache_stats, CodeCacheStats};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a fused map scope is not eligible for native execution (or why a
+/// particular run fell back at runtime). Static data with a stable
+/// message, mirroring [`FuseReject`](crate::FuseReject), so campaign
+/// reports can aggregate eligibility counts per reason.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JitReject {
+    /// `ExecOptions::jit` was off for this run.
+    Disabled,
+    /// The host is not x86_64 (the only emitted target).
+    UnsupportedArch,
+    /// The map scope did not fuse at all — the JIT only lowers fused
+    /// kernels.
+    NotFused,
+    /// The kernel body is vectorized (`lanes > 1`); its chunked bytecode
+    /// loop is already SIMD and per-lane native emission is not modeled.
+    Vectorized,
+    /// The body needs more float registers than `xmm0..xmm13`.
+    TooManyRegs,
+    /// More live memory accesses than the pointer registers `r8..r15`.
+    TooManyAccesses,
+    /// An instruction outside the emitted SSE2 subset (e.g. `pow`,
+    /// `min`/`max`, transcendentals).
+    UnsupportedOp,
+    /// A write-conflict-resolution combiner without an exact SSE2
+    /// equivalent (`min`/`max` differ from Rust on NaN and signed zero).
+    UnsupportedWcr,
+    /// Runtime-only: this run records interleaved per-element coverage
+    /// (select branches or multi-tasklet pipelines under a coverage
+    /// map), which only the bytecode loops reproduce exactly.
+    CoverageInterleave,
+    /// Runtime-only: the OS refused executable pages.
+    MmapFailed,
+}
+
+impl JitReject {
+    /// Stable human-readable message (also the aggregation key in
+    /// campaign reports).
+    pub fn message(self) -> &'static str {
+        match self {
+            JitReject::Disabled => "jit disabled",
+            JitReject::UnsupportedArch => "host is not x86_64",
+            JitReject::NotFused => "map not fused",
+            JitReject::Vectorized => "vectorized kernel body",
+            JitReject::TooManyRegs => "body needs more than 14 float registers",
+            JitReject::TooManyAccesses => "more than 8 live memory accesses",
+            JitReject::UnsupportedOp => "instruction outside the emitted SSE2 subset",
+            JitReject::UnsupportedWcr => "write-conflict combiner without exact SSE2 equivalent",
+            JitReject::CoverageInterleave => "run records interleaved per-element coverage",
+            JitReject::MmapFailed => "executable pages unavailable",
+        }
+    }
+}
+
+/// Counts kernel entries that actually executed native code, process
+/// wide. Tests and benches use the delta to assert the JIT engaged.
+static NATIVE_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of fused-kernel executions that ran native code so far in this
+/// process.
+pub fn jit_native_runs() -> u64 {
+    NATIVE_RUNS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn count_native_run() {
+    NATIVE_RUNS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Process-unique key generator for kernels' code-cache entries (clones
+/// of a kernel share the key assigned at fuse time).
+static NEXT_JIT_KEY: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_jit_key() -> u64 {
+    NEXT_JIT_KEY.fetch_add(1, Ordering::Relaxed)
+}
+
+// ----- W^X executable pages ----------------------------------------------
+
+#[cfg(all(unix, target_arch = "x86_64"))]
+mod sys {
+    extern "C" {
+        pub fn mmap(
+            addr: *mut u8,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut u8;
+        pub fn mprotect(addr: *mut u8, len: usize, prot: i32) -> i32;
+        pub fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+
+    pub const PROT_READ: i32 = 1;
+    pub const PROT_WRITE: i32 = 2;
+    pub const PROT_EXEC: i32 = 4;
+    pub const MAP_PRIVATE: i32 = 2;
+    #[cfg(target_os = "linux")]
+    pub const MAP_ANON: i32 = 0x20;
+    #[cfg(not(target_os = "linux"))]
+    pub const MAP_ANON: i32 = 0x1000;
+}
+
+/// One published native kernel: an `mmap`ed read+execute mapping holding
+/// the finished instruction bytes. See the module docs for the W^X
+/// lifecycle; the mapping is freed when the last `Arc<JitCode>` drops.
+#[derive(Debug)]
+pub struct JitCode {
+    ptr: *mut u8,
+    map_len: usize,
+    code_len: usize,
+}
+
+// SAFETY: the mapping is immutable (RX) from publication to unmap, and
+// unmapped only by the sole `Drop` when the last owner releases it.
+unsafe impl Send for JitCode {}
+unsafe impl Sync for JitCode {}
+
+impl JitCode {
+    /// Maps fresh RW pages, copies `code` in, and seals them RX. Returns
+    /// `None` when the OS refuses (the caller falls back to bytecode).
+    #[cfg(all(unix, target_arch = "x86_64"))]
+    pub(crate) fn publish(code: &[u8]) -> Option<JitCode> {
+        let page = 4096usize;
+        let map_len = code.len().div_ceil(page).max(1) * page;
+        // SAFETY: anonymous private mapping with no address hint; all
+        // arguments are well-formed for every unix mmap.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                map_len,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_PRIVATE | sys::MAP_ANON,
+                -1,
+                0,
+            )
+        };
+        if ptr.is_null() || ptr as isize == -1 {
+            return None;
+        }
+        // SAFETY: `ptr..ptr+map_len` is a fresh private mapping owned
+        // exclusively by this call.
+        unsafe {
+            std::ptr::copy_nonoverlapping(code.as_ptr(), ptr, code.len());
+            if sys::mprotect(ptr, map_len, sys::PROT_READ | sys::PROT_EXEC) != 0 {
+                sys::munmap(ptr, map_len);
+                return None;
+            }
+        }
+        Some(JitCode {
+            ptr,
+            map_len,
+            code_len: code.len(),
+        })
+    }
+
+    #[cfg(not(all(unix, target_arch = "x86_64")))]
+    pub(crate) fn publish(_code: &[u8]) -> Option<JitCode> {
+        None
+    }
+
+    /// Emitted instruction bytes (not the page-rounded mapping length).
+    pub fn code_len(&self) -> usize {
+        self.code_len
+    }
+
+    /// The kernel entry point: `extern "C" fn(frame: *mut u64)` running
+    /// one inner row per call.
+    ///
+    /// # Safety
+    /// The frame must follow the [`lower::JitLayout`] this code was
+    /// emitted for, with every pointer slot addressing live, disjoint,
+    /// in-bounds f64 storage for the row (the fused runtime precheck
+    /// establishes exactly this).
+    pub(crate) unsafe fn entry(&self) -> unsafe extern "C" fn(*mut u64) {
+        std::mem::transmute::<*mut u8, unsafe extern "C" fn(*mut u64)>(self.ptr)
+    }
+}
+
+impl Drop for JitCode {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_arch = "x86_64"))]
+        // SAFETY: `ptr`/`map_len` came from the successful mmap in
+        // `publish` and are unmapped exactly once.
+        unsafe {
+            sys::munmap(self.ptr, self.map_len);
+        }
+    }
+}

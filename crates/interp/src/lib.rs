@@ -33,6 +33,7 @@
 pub mod coverage;
 pub mod error;
 pub mod exec;
+pub mod jit;
 pub mod program;
 pub mod shared;
 pub mod value;
@@ -43,9 +44,13 @@ pub use exec::{
     run, run_tree_walk, run_with, run_with_tree_walk, CommHandler, ExecOptions, ExecState,
     ResetPolicy, StateMismatch,
 };
+pub use jit::{code_cache_stats, jit_native_runs, CodeCacheStats, JitReject};
 pub use program::{
     fresh_arena_count, CompileOptions, Executor, ExecutorArena, FuseReject, MapFusionInfo, Program,
     TaskletStats,
 };
-pub use shared::{compile_shared, compile_shared_with, shared_compile_count};
+pub use shared::{
+    cache_capacity, compile_shared, compile_shared_with, set_cache_capacity, shared_cache_stats,
+    shared_compile_count, SharedCacheStats,
+};
 pub use value::ArrayValue;

@@ -22,6 +22,7 @@ use crate::exec::{
     apply_bin, apply_cmp, apply_un, combine_wcr, matmul, reduce, softmax, CommHandler, ExecOptions,
     ExecState, ResetPolicy, StateMismatch,
 };
+use crate::jit::JitReject;
 use crate::value::ArrayValue;
 use fuzzyflow_ir::{
     BinOp, CmpOp, CondExpr, DType, DfNode, LibraryOp, Memlet, Scalar, Sdfg, Storage, SymExpr,
@@ -32,7 +33,7 @@ use std::collections::BTreeMap;
 
 /// Dense id of an interned data container name.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct DataId(u32);
+pub(crate) struct DataId(u32);
 
 impl DataId {
     #[inline]
@@ -43,11 +44,11 @@ impl DataId {
 
 /// Dense id of an interned symbol name.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct SymId(u32);
+pub(crate) struct SymId(u32);
 
 impl SymId {
     #[inline]
-    fn idx(self) -> usize {
+    pub(crate) fn idx(self) -> usize {
         self.0 as usize
     }
 }
@@ -450,7 +451,7 @@ struct MapPlan {
 /// coverage) and run lane-chunked; bodies with control flow keep them and
 /// run the scalar per-element loop (see [`FusedKernel::has_select`]).
 #[derive(Clone, Debug)]
-enum FKInsn {
+pub(crate) enum FKInsn {
     ConstF {
         dst: u32,
         val: f64,
@@ -603,14 +604,14 @@ struct FusedDim {
 /// dimension per array dimension, and the end-expressions that must be
 /// proven error-free (the `Eval` variants of [`EndCheck`]).
 #[derive(Clone, Debug)]
-struct FusedAccess {
+pub(crate) struct FusedAccess {
     data: DataId,
     dims: Vec<FusedDim>,
     /// End expressions evaluated for errors only in the generic engine;
     /// the precheck proves they cannot error anywhere in the box.
     checks: Vec<FusedIdx>,
     /// Output WCR (always `None` for inputs).
-    wcr: Option<Wcr>,
+    pub(crate) wcr: Option<Wcr>,
 }
 
 /// Structural subset equality of two fused accesses — same container and
@@ -633,7 +634,7 @@ fn same_subset(a: &FusedAccess, b: &FusedAccess) -> bool {
 /// generic per-element path, which reproduces errors (and their exact
 /// ordering, partial writes and step counts) by construction.
 #[derive(Clone, Debug)]
-struct FusedKernel {
+pub(crate) struct FusedKernel {
     /// One coverage location per body tasklet (in execution order), each
     /// recorded once per element exactly as the generic engine records it.
     cover_locs: Vec<u64>,
@@ -641,30 +642,38 @@ struct FusedKernel {
     /// appends a synthetic innermost `0..lanes` dimension to the
     /// iteration box so the existing odometer/stride machinery iterates
     /// lanes without any new code paths.
-    lanes: usize,
+    pub(crate) lanes: usize,
     /// Whether the body contains select control flow: if so the kernel
     /// runs the scalar per-element loop (which records per-select branch
     /// coverage bit-identically to the generic engine); otherwise the
     /// lane-chunked loop.
     has_select: bool,
     /// External reads, in tasklet-then-memlet order.
-    inputs: Vec<FusedAccess>,
+    pub(crate) inputs: Vec<FusedAccess>,
     /// Destination register per input, aligned with `inputs`; `None` when
     /// a later input overwrites the same connector slot (the read still
     /// happens for bounds/step parity, the value is dead).
-    in_regs: Vec<Option<u32>>,
+    pub(crate) in_regs: Vec<Option<u32>>,
     /// Pipeline-internal reads: for each, the index of the fused output
     /// whose write it aliases (proven byte-identical subset). The value
     /// flows through registers; only the read's step accounting remains.
     chained: Vec<usize>,
-    outputs: Vec<FusedAccess>,
+    pub(crate) outputs: Vec<FusedAccess>,
     /// `(source register, gathered from the bool file)` per output.
-    out_regs: Vec<(u32, bool)>,
-    code: Vec<FKInsn>,
-    n_regs: usize,
+    pub(crate) out_regs: Vec<(u32, bool)>,
+    pub(crate) code: Vec<FKInsn>,
+    pub(crate) n_regs: usize,
     /// Containers that must be live with dtype `F64` (same contract as
     /// [`FastTasklet::guards`]).
     guards: Vec<DataId>,
+    /// Process-unique key of this kernel's native code in the shared
+    /// [`code cache`](crate::jit::cache). Clones (and cached `Program`s)
+    /// share the key, so warm campaigns re-use the blob.
+    pub(crate) jit_key: u64,
+    /// Static native-lowering eligibility: the frame layout when every
+    /// instruction can be emitted bit-exactly, else the rejection reason
+    /// (see [`JitReject`]). Filled in by [`fuse_map`]'s caller.
+    pub(crate) jit: Result<crate::jit::lower::JitLayout, JitReject>,
 }
 
 /// Fixed lane width of the fused inner loops: wide enough for the
@@ -813,6 +822,8 @@ pub struct TaskletStats {
     pub specialized: usize,
     /// Map scopes collapsed into fused loop kernels.
     pub fused_maps: usize,
+    /// Fused kernels additionally eligible for the native JIT tier.
+    pub jit_maps: usize,
     /// One entry per map scope, in block order.
     pub maps: Vec<MapFusionInfo>,
 }
@@ -827,6 +838,13 @@ pub struct MapFusionInfo {
     /// Compile-time ineligibility reason when it did not (the stable
     /// message of a [`FuseReject`]).
     pub reason: Option<&'static str>,
+    /// Whether the fused kernel is statically eligible for the native
+    /// JIT tier.
+    pub jit: bool,
+    /// Static JIT-ineligibility reason when it is not (the stable
+    /// message of a [`JitReject`]; unfused maps report
+    /// [`JitReject::NotFused`]).
+    pub jit_reason: Option<&'static str>,
 }
 
 /// Why a map scope did not compile to a fused kernel. Static data — no
@@ -1021,10 +1039,19 @@ impl Program {
                         if mp.fused.is_some() {
                             s.fused_maps += 1;
                         }
+                        let jit_reason = match &mp.fused {
+                            None => Some(JitReject::NotFused.message()),
+                            Some(fk) => fk.jit.as_ref().err().map(|r| r.message()),
+                        };
+                        if jit_reason.is_none() {
+                            s.jit_maps += 1;
+                        }
                         s.maps.push(MapFusionInfo {
                             label: mp.label.clone(),
                             fused: mp.fused.is_some(),
                             reason: mp.fuse_reason.map(FuseReject::message),
+                            jit: jit_reason.is_none(),
+                            jit_reason,
                         });
                         walk(&mp.body, s);
                     }
@@ -1036,6 +1063,7 @@ impl Program {
             tasklets: 0,
             specialized: 0,
             fused_maps: 0,
+            jit_maps: 0,
             maps: Vec::new(),
         };
         for st in &self.states {
@@ -2328,7 +2356,7 @@ fn fuse_map(mp: &MapPlan) -> Result<FusedKernel, FuseReject> {
         }
     }
 
-    Ok(FusedKernel {
+    let mut fk = FusedKernel {
         cover_locs,
         lanes,
         has_select,
@@ -2340,7 +2368,11 @@ fn fuse_map(mp: &MapPlan) -> Result<FusedKernel, FuseReject> {
         code,
         n_regs,
         guards,
-    })
+        jit_key: crate::jit::next_jit_key(),
+        jit: Err(JitReject::UnsupportedArch),
+    };
+    fk.jit = crate::jit::lower::analyze(&fk, mp.ranges.len());
+    Ok(fk)
 }
 
 /// Per-run execution context: step budget, collectives, coverage, and
@@ -2351,6 +2383,8 @@ struct RunCtx<'a> {
     comm: Option<&'a dyn CommHandler>,
     cov: Option<&'a mut CoverageMap>,
     oob_slop: bool,
+    /// Fused kernels may enter the native tier (see [`ExecOptions::jit`]).
+    jit: bool,
 }
 
 impl RunCtx<'_> {
@@ -2508,6 +2542,8 @@ pub struct ExecutorArena {
     fouter: Vec<f64>,
     frow: Vec<i64>,
     fouts: Vec<ArrayValue>,
+    /// Native-kernel call frame (see [`crate::jit::lower::JitLayout`]).
+    jframe: Vec<u64>,
     /// Per-slot record of what the last run wrote (selective resets).
     dirty: Vec<DirtySet>,
     /// Per-slot pristine pattern the retained buffer held outside its
@@ -2821,6 +2857,7 @@ impl<'p> Executor<'p> {
             comm,
             cov,
             oob_slop: opts.oob_slop,
+            jit: opts.jit,
         };
         self.a.guard_fault = None;
         self.allocate(opts.reset)?;
@@ -3371,6 +3408,7 @@ impl<'p> Executor<'p> {
         row.clear();
         row.resize(bases.len(), 0);
 
+        let mut jframe = std::mem::take(&mut self.a.jframe);
         // Write targets move out of their slots; reads borrow the rest
         // (the fused read and write sets are disjoint by construction).
         let mut outs = std::mem::take(&mut self.a.fouts);
@@ -3398,7 +3436,36 @@ impl<'p> Executor<'p> {
                 .iter_mut()
                 .map(|arr| arr.as_f64_parts_mut().expect("guarded dtype is F64").1)
                 .collect();
-            if scalar_body {
+            // Native tier: a statically eligible kernel runs emitted
+            // machine code whenever this execution records no coverage
+            // inside the body (entry coverage was batched above). Step
+            // accounting is already arithmetic, and the precheck's
+            // no-error proof covers the native loop exactly as it covers
+            // the bytecode loops. Failure to obtain executable pages
+            // falls back down the ladder.
+            let mut ran_native = false;
+            if ctx.jit && !interleave {
+                if let Ok(lay) = &fk.jit {
+                    if let Some(code) = jit_code_for(fk, lay) {
+                        run_fused_jit(
+                            fk,
+                            lay,
+                            &code,
+                            &dims,
+                            &bases,
+                            &strides,
+                            &self.a.syms,
+                            &in_slices,
+                            &mut out_slices,
+                            &mut jframe,
+                            &mut odo,
+                        );
+                        crate::jit::count_native_run();
+                        ran_native = true;
+                    }
+                }
+            }
+            if !ran_native && scalar_body {
                 run_fused_scalar(
                     fk,
                     &dims,
@@ -3412,7 +3479,7 @@ impl<'p> Executor<'p> {
                     ctx,
                     (&mut odo, &mut outer_vals, &mut row),
                 );
-            } else {
+            } else if !ran_native {
                 run_fused_loop(
                     fk,
                     &dims,
@@ -3431,6 +3498,7 @@ impl<'p> Executor<'p> {
             self.a.arrays[o.data.idx()] = Some(arr);
         }
         self.a.fouts = outs;
+        self.a.jframe = jframe;
         self.a.fk_regs_f = rf;
         self.a.fk_regs_b = rb;
         self.a.regs_f = srf;
@@ -4677,6 +4745,129 @@ fn analyze_fused_idx(
         }
     }
     Some((base as i64, lo, hi))
+}
+
+/// Cached (or freshly published) native code for a statically eligible
+/// kernel. `None` when the OS refuses executable pages — the caller
+/// falls back to the bytecode loops. Probing is lock-free; concurrent
+/// first-compilers may both emit, the insert keeps one copy.
+fn jit_code_for(
+    fk: &FusedKernel,
+    lay: &crate::jit::lower::JitLayout,
+) -> Option<std::sync::Arc<crate::jit::JitCode>> {
+    if let Some(code) = crate::jit::cache::lookup(fk.jit_key) {
+        return Some(code);
+    }
+    let bytes = crate::jit::lower::emit(fk, lay);
+    crate::jit::cache::count_emission(bytes.len());
+    let code = crate::jit::JitCode::publish(&bytes)?;
+    Some(crate::jit::cache::insert(fk.jit_key, code))
+}
+
+/// Drives a natively compiled kernel over the iteration box: the Rust
+/// side walks the outer odometer exactly like [`run_fused_loop`] and the
+/// emitted code executes one inner row per call, reading pointers,
+/// strides and parameter values from the frame (see
+/// [`crate::jit::lower::JitLayout`]). Bit-identical to the bytecode
+/// loops by the lowering's construction; the precheck's no-error proof
+/// is what makes handing raw row pointers to machine code sound.
+#[allow(clippy::too_many_arguments)]
+fn run_fused_jit(
+    fk: &FusedKernel,
+    lay: &crate::jit::lower::JitLayout,
+    code: &crate::jit::JitCode,
+    dims: &[ConcreteRange],
+    bases: &[i64],
+    strides: &[i64],
+    syms: &[Option<i64>],
+    ins: &[&[f64]],
+    outs: &mut [&mut [f64]],
+    frame: &mut Vec<u64>,
+    k: &mut [i64],
+) {
+    let n_dims = dims.len();
+    let inner = n_dims - 1;
+    let inner_r = dims[inner];
+    let n_in = fk.inputs.len();
+    frame.clear();
+    frame.resize(lay.frame_words, 0);
+    frame[0] = inner_r.len() as u64;
+    frame[1] = inner_r.start as u64;
+    frame[2] = inner_r.step as u64;
+    for (ii, slot) in lay.in_ptr.iter().enumerate() {
+        if let Some(slot) = slot {
+            frame[lay.stride_word(*slot)] = (strides[ii * n_dims + inner] * 8) as u64;
+        }
+    }
+    for (oi, slot) in lay.out_ptr.iter().enumerate() {
+        frame[lay.stride_word(*slot)] = (strides[(n_in + oi) * n_dims + inner] * 8) as u64;
+    }
+    for (si, sym) in lay.sym_slots.iter().enumerate() {
+        let v = syms[sym.idx()].expect("precheck resolved symbol") as f64;
+        frame[lay.sym_word(si)] = v.to_bits();
+    }
+    // Pointer and outer-parameter words are maintained incrementally:
+    // written once for the box origin (`k` arrives all-zero), then
+    // stepped inside the odometer — an incrementing digit adds one
+    // stride to each pointer word, a rolling digit takes back the
+    // strides it accumulated. Per row that is O(accesses) work on the
+    // digits that changed instead of an O(accesses × dims) offset
+    // recompute; word values stay bit-identical to the recompute
+    // because stride sums and parameter values are exact in i64.
+    debug_assert!(k.iter().all(|&v| v == 0), "odometer scratch not reset");
+    for (ii, slot) in lay.in_ptr.iter().enumerate() {
+        let Some(slot) = slot else { continue };
+        // SAFETY: the row's first element is an accessed element of the
+        // box, proven in-bounds by the precheck.
+        frame[lay.ptr_word(*slot)] = unsafe { ins[ii].as_ptr().offset(bases[ii] as isize) } as u64;
+    }
+    for (oi, slot) in lay.out_ptr.iter().enumerate() {
+        // SAFETY: as above, for the write set.
+        frame[lay.ptr_word(*slot)] =
+            unsafe { outs[oi].as_mut_ptr().offset(bases[n_in + oi] as isize) } as u64;
+    }
+    for d in 0..inner {
+        frame[lay.param_word(d)] = (dims[d].start as f64).to_bits();
+    }
+    // SAFETY: the entry was emitted for exactly this layout (the kernel
+    // carries both), and the mapping stays RX while `code`'s Arc lives.
+    let f = unsafe { code.entry() };
+    'rows: loop {
+        // SAFETY: every pointer slot addresses live, in-bounds f64
+        // storage for its row (maintained by the odometer below) and the
+        // read and write sets are disjoint by fusion's construction.
+        unsafe { f(frame.as_mut_ptr()) };
+        let mut d = inner;
+        loop {
+            if d == 0 {
+                break 'rows;
+            }
+            d -= 1;
+            k[d] += 1;
+            let rolled = k[d] >= dims[d].len() as i64;
+            // +1 stride on an increment; a roll walks the digit back to
+            // the start of its dimension (len - 1 strides, exactly what
+            // the increments deposited).
+            let units = if rolled { 1 - k[d] } else { 1 };
+            for (ii, slot) in lay.in_ptr.iter().enumerate() {
+                let Some(slot) = slot else { continue };
+                let w = lay.ptr_word(*slot);
+                frame[w] = frame[w].wrapping_add((units * strides[ii * n_dims + d] * 8) as u64);
+            }
+            for (oi, slot) in lay.out_ptr.iter().enumerate() {
+                let w = lay.ptr_word(*slot);
+                frame[w] =
+                    frame[w].wrapping_add((units * strides[(n_in + oi) * n_dims + d] * 8) as u64);
+            }
+            if rolled {
+                k[d] = 0;
+            }
+            frame[lay.param_word(d)] = ((dims[d].start + k[d] * dims[d].step) as f64).to_bits();
+            if !rolled {
+                break;
+            }
+        }
+    }
 }
 
 /// The strength-reduced, lane-chunked fused loop: iterates the outer

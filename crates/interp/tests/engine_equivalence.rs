@@ -12,12 +12,12 @@
 use fuzzyflow_interp::coverage::MAP_SIZE;
 use fuzzyflow_interp::value::GARBAGE_BITS;
 use fuzzyflow_interp::{
-    run_with_tree_walk, ArrayValue, CompileOptions, CoverageMap, ExecError, ExecOptions, ExecState,
-    Program, ResetPolicy,
+    jit_native_runs, run_with_tree_walk, ArrayValue, CompileOptions, CoverageMap, ExecError,
+    ExecOptions, ExecState, Program, ResetPolicy,
 };
 use fuzzyflow_ir::{
-    sym, DType, LibraryOp, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, Storage, Subset,
-    SymExpr, SymRange, Tasklet, TaskletStmt, Wcr,
+    sym, CmpOp, DType, LibraryOp, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, Storage, Subset,
+    SymExpr, SymRange, Tasklet, TaskletStmt, UnOp, Wcr,
 };
 use proptest::prelude::*;
 
@@ -330,14 +330,34 @@ fn assert_engines_agree(p: &Sdfg, input: &ExecState, max_steps: u64) -> Result<(
     assert_eq!(tree_res, unf_res, "per-element fast path diverges");
     assert_states_bit_identical(&tree_state, &unf_state);
 
+    // Sixth axis: the default run above had the native JIT tier enabled
+    // (wherever its static and runtime eligibility held); the same fused
+    // program with the JIT forced off must stay bit-identical in
+    // results, errors, final state, step accounting and coverage.
+    let mut nojit_opts = opts.clone();
+    nojit_opts.jit = false;
+    let mut nj_state = input.clone();
+    let mut nj_cov = CoverageMap::new();
+    let nj_res = prog.run_with(&mut nj_state, &nojit_opts, None, Some(&mut nj_cov));
+    assert_eq!(tree_res, nj_res, "jit-off fused engine diverges");
+    assert_states_bit_identical(&tree_state, &nj_state);
+
     let mut tree_virgin = [0u8; MAP_SIZE];
     let mut comp_virgin = [0u8; MAP_SIZE];
     let mut gen_virgin = [0u8; MAP_SIZE];
     let mut unf_virgin = [0u8; MAP_SIZE];
+    let mut nj_virgin = [0u8; MAP_SIZE];
     tree_cov.merge_into(&mut tree_virgin);
     comp_cov.merge_into(&mut comp_virgin);
     gen_cov.merge_into(&mut gen_virgin);
     unf_cov.merge_into(&mut unf_virgin);
+    nj_cov.merge_into(&mut nj_virgin);
+    assert!(
+        tree_virgin[..] == nj_virgin[..],
+        "jit-off coverage map diverges ({} vs {} edges)",
+        tree_cov.edges_hit(),
+        nj_cov.edges_hit()
+    );
     assert!(
         tree_virgin[..] == comp_virgin[..],
         "coverage maps diverge (tree {} edges, compiled {} edges)",
@@ -1450,4 +1470,160 @@ fn tier2_select_branch_coverage_is_input_sensitive() {
         run(&pos)[..] != run(&mixed)[..],
         "select branch coverage ignores the taken branch"
     );
+}
+
+// ----- native JIT tier: targeted parity, engagement and fallback tests --
+
+/// One dense map `B[i] = expr(x = A[i], i)`, the minimal shape that
+/// fuses and (for expressions inside the emitted SSE2 subset) clears the
+/// JIT's static eligibility.
+fn jit_case(expr: ScalarExpr, wcr: Option<Wcr>) -> Sdfg {
+    let mut b = SdfgBuilder::new("jit_case");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &["N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let m = df.map(
+            &["i"],
+            vec![SymRange::full(sym("N"))],
+            Schedule::Parallel,
+            |body| {
+                let a = body.access("A");
+                let o = body.access("B");
+                let t = body.tasklet(Tasklet::simple("t", vec!["x"], "y", expr.clone()));
+                body.read(
+                    a,
+                    t,
+                    Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                );
+                let mut w = Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y");
+                if let Some(op) = wcr {
+                    w = w.with_wcr(op);
+                }
+                body.write(t, o, w);
+            },
+        );
+        df.auto_wire(m, &[a], &[o]);
+    });
+    b.build()
+}
+
+fn jit_input(vals: &[f64]) -> ExecState {
+    let mut st = ExecState::new();
+    st.bind("N", vals.len() as i64);
+    st.set_array("A", ArrayValue::from_f64(vec![vals.len() as i64], vals));
+    st
+}
+
+/// The static JIT verdict of the program's single map scope.
+fn jit_verdict(p: &Sdfg) -> (bool, Option<&'static str>) {
+    let prog = Program::compile(p);
+    let stats = prog.tasklet_stats();
+    assert_eq!(stats.maps.len(), 1, "one map scope expected");
+    assert_eq!(stats.jit_maps, usize::from(stats.maps[0].jit));
+    (stats.maps[0].jit, stats.maps[0].jit_reason)
+}
+
+/// A straight-line arithmetic kernel is statically eligible, actually
+/// executes native code, and stays bit-identical across all six axes —
+/// including NaN produced mid-kernel (`sqrt` of negatives).
+#[test]
+fn jit_engages_and_matches_on_straight_line_kernel() {
+    let expr = ScalarExpr::r("x")
+        .mul(ScalarExpr::f64(1.5))
+        .add(ScalarExpr::r("i"))
+        .sqrt()
+        .sub(ScalarExpr::r("x").neg());
+    let p = jit_case(expr, None);
+    let (jit, reason) = jit_verdict(&p);
+    assert!(
+        jit,
+        "straight-line f64 kernel should be eligible: {reason:?}"
+    );
+    let input = jit_input(&[0.5, -100.0, 2.25, 9.0, -0.0, 1e300]);
+    let before = jit_native_runs();
+    assert_engines_agree(&p, &input, 1_000_000).unwrap();
+    if cfg!(all(unix, target_arch = "x86_64")) {
+        assert!(jit_native_runs() > before, "native tier did not engage");
+    }
+}
+
+/// NaN and signed-zero semantics through native comparisons, selects,
+/// negation, abs and division: every unordered-comparison recipe and
+/// both zero signs, bit-compared against the tree walk.
+#[test]
+fn jit_nan_and_signed_zero_parity() {
+    let x = || ScalarExpr::r("x");
+    // x == 0.0 ? |−x| : (x < i ? x / 0.0 : x − x)
+    let expr = ScalarExpr::Cmp(CmpOp::Eq, Box::new(x()), Box::new(ScalarExpr::f64(0.0))).select(
+        ScalarExpr::Un(UnOp::Abs, Box::new(x().neg())),
+        x().lt(ScalarExpr::r("i"))
+            .select(x().div(ScalarExpr::f64(0.0)), x().sub(x())),
+    );
+    let p = jit_case(expr, None);
+    let (jit, reason) = jit_verdict(&p);
+    assert!(jit, "select kernel should be eligible: {reason:?}");
+    let vals = [
+        f64::NAN,
+        -0.0,
+        0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        1.5,
+        -2.5,
+        f64::MIN_POSITIVE,
+    ];
+    let input = jit_input(&vals);
+    // All six axes agree (under coverage the select kernel interleaves
+    // per-branch records, so this exercises the runtime fallback)...
+    assert_engines_agree(&p, &input, 1_000_000).unwrap();
+    // ...and without coverage the select body runs natively (branches
+    // lower to jcc): compare that run against the tree walk directly.
+    let prog = Program::compile(&p);
+    let opts = ExecOptions::default();
+    let before = jit_native_runs();
+    let mut jstate = input.clone();
+    let jres = prog.run_with(&mut jstate, &opts, None, None);
+    if cfg!(all(unix, target_arch = "x86_64")) {
+        assert!(jit_native_runs() > before, "native select did not engage");
+    }
+    let mut tstate = input.clone();
+    let tres = run_with_tree_walk(&p, &mut tstate, &opts, None, None);
+    assert_eq!(tres, jres);
+    assert_states_bit_identical(&tstate, &jstate);
+}
+
+/// Statically rejected bodies report their reason, keep their fused
+/// kernel, and still agree across every engine axis.
+#[test]
+fn jit_rejects_fall_back_and_agree() {
+    // min/max have no exact SSE2 equivalent (NaN/−0.0 differ).
+    let minmax = jit_case(
+        ScalarExpr::r("x")
+            .max(ScalarExpr::f64(0.0))
+            .min(ScalarExpr::r("i")),
+        None,
+    );
+    let (jit, reason) = jit_verdict(&minmax);
+    assert!(!jit);
+    assert_eq!(reason, Some("instruction outside the emitted SSE2 subset"));
+    // A WCR Max combiner is rejected for the same reason, statically.
+    let wcr_max = jit_case(ScalarExpr::r("x"), Some(Wcr::Max));
+    let (jit, reason) = jit_verdict(&wcr_max);
+    assert!(!jit);
+    assert_eq!(
+        reason,
+        Some("write-conflict combiner without exact SSE2 equivalent")
+    );
+    // WCR Sum lowers exactly (load-add-store per element) and stays in.
+    let wcr_sum = jit_case(ScalarExpr::r("x"), Some(Wcr::Sum));
+    let (jit, reason) = jit_verdict(&wcr_sum);
+    assert!(jit, "WCR Sum should stay eligible: {reason:?}");
+    let input = jit_input(&[f64::NAN, -0.0, 3.5, -1.25]);
+    for p in [&minmax, &wcr_max, &wcr_sum] {
+        assert_engines_agree(p, &input, 1_000_000).unwrap();
+    }
 }

@@ -1,0 +1,79 @@
+//! W^X smoke test for the native JIT tier: after forcing real code
+//! emission and execution, no mapping in this process may be both
+//! writable and executable. Linux-only (reads `/proc/self/maps`), which
+//! is also the only place the emitter targets in CI.
+#![cfg(all(target_os = "linux", target_arch = "x86_64"))]
+
+use fuzzyflow_interp::{jit_native_runs, ArrayValue, ExecState, Program};
+use fuzzyflow_ir::{
+    sym, DType, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, Subset, SymRange, Tasklet,
+};
+
+fn eligible_map() -> Sdfg {
+    let mut b = SdfgBuilder::new("wx_probe");
+    b.symbol("N");
+    b.array("A", DType::F64, &["N"]);
+    b.array("B", DType::F64, &["N"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let m = df.map(
+            &["i"],
+            vec![SymRange::full(sym("N"))],
+            Schedule::Parallel,
+            |body| {
+                let a = body.access("A");
+                let o = body.access("B");
+                let t = body.tasklet(Tasklet::simple(
+                    "t",
+                    vec!["x"],
+                    "y",
+                    ScalarExpr::r("x").mul(ScalarExpr::f64(3.0)).sqrt(),
+                ));
+                body.read(
+                    a,
+                    t,
+                    Memlet::new("A", Subset::at(vec![sym("i")])).to_conn("x"),
+                );
+                body.write(
+                    t,
+                    o,
+                    Memlet::new("B", Subset::at(vec![sym("i")])).from_conn("y"),
+                );
+            },
+        );
+        df.auto_wire(m, &[a], &[o]);
+    });
+    b.build()
+}
+
+#[test]
+fn emitted_pages_are_never_writable_and_executable() {
+    // Force an emission + native execution so at least one RX code
+    // mapping exists while we scan.
+    let p = eligible_map();
+    let prog = Program::compile(&p);
+    let mut st = ExecState::new();
+    st.bind("N", 64);
+    st.set_array("A", ArrayValue::from_f64(vec![64], &vec![1.25; 64]));
+    let before = jit_native_runs();
+    prog.run(&mut st).unwrap();
+    assert!(jit_native_runs() > before, "native tier did not engage");
+
+    let maps = std::fs::read_to_string("/proc/self/maps").expect("readable /proc/self/maps");
+    let wx: Vec<&str> = maps
+        .lines()
+        .filter(|l| {
+            // Column 2 is the permission field, e.g. `rwxp`.
+            l.split_whitespace()
+                .nth(1)
+                .is_some_and(|p| p.contains('w') && p.contains('x'))
+        })
+        .collect();
+    assert!(
+        wx.is_empty(),
+        "simultaneously writable+executable mappings found:\n{}",
+        wx.join("\n")
+    );
+}

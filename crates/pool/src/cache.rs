@@ -19,7 +19,7 @@
 use std::any::Any;
 use std::cell::RefCell;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// `(cache id, key, value)` triple of one stashed entry.
 type Slot = (u64, u64, Box<dyn Any>);
@@ -55,7 +55,7 @@ pub enum Checkout<T> {
 /// thread exits. Do not mint short-lived caches per campaign object.
 pub struct WorkerCache<T: 'static> {
     id: u64,
-    capacity: usize,
+    capacity: AtomicUsize,
     _marker: PhantomData<fn() -> T>,
 }
 
@@ -65,9 +65,18 @@ impl<T: 'static> WorkerCache<T> {
         static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(1);
         WorkerCache {
             id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
-            capacity: capacity.max(1),
+            capacity: AtomicUsize::new(capacity.max(1)),
             _marker: PhantomData,
         }
+    }
+
+    /// Re-bounds the per-thread capacity (clamped to at least 1). Takes
+    /// effect on subsequent [`WorkerCache::store`] calls — long-lived
+    /// caches can track a process-wide capacity knob without being
+    /// rebuilt. Entries already stashed beyond a lowered bound are
+    /// evicted one per store, not eagerly.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity.max(1), Ordering::Relaxed);
     }
 
     /// Takes the entry stored under `key` on this thread, or — failing
@@ -107,7 +116,7 @@ impl<T: 'static> WorkerCache<T> {
             let mut slots = s.borrow_mut();
             slots.push((self.id, key, Box::new(value)));
             let count = slots.iter().filter(|(c, _, _)| *c == self.id).count();
-            if count > self.capacity {
+            if count > self.capacity.load(Ordering::Relaxed) {
                 if let Some(pos) = slots.iter().position(|(c, _, _)| *c == self.id) {
                     slots.remove(pos);
                 }
@@ -152,6 +161,19 @@ mod tests {
         assert!(matches!(cache.checkout(1), Checkout::Recycled(_)));
         cache.store(2, 21);
         assert!(matches!(cache.checkout(2), Checkout::Hit(21)));
+    }
+
+    #[test]
+    fn set_capacity_rebounds_later_stores() {
+        let cache: WorkerCache<u32> = WorkerCache::new(4);
+        cache.store(1, 10);
+        cache.store(2, 20);
+        cache.set_capacity(1);
+        cache.store(3, 30); // over the new bound: evicts key 1
+        cache.store(4, 40); // evicts key 2
+        assert!(matches!(cache.checkout(1), Checkout::Recycled(30)));
+        assert!(matches!(cache.checkout(4), Checkout::Hit(40)));
+        assert!(matches!(cache.checkout(3), Checkout::Miss));
     }
 
     #[test]
