@@ -319,6 +319,7 @@ impl Session {
         let _exclusive = self.run_lock.lock().expect("session run lock poisoned");
         let prog0 = fuzzyflow_interp::shared_cache_stats();
         let code0 = fuzzyflow_interp::code_cache_stats();
+        let jit0 = fuzzyflow_interp::jit_native_runs_split();
         let specs: Vec<Spec<'_>> = self
             .specs
             .iter()
@@ -371,6 +372,7 @@ impl Session {
         // session's own runs serialized.
         let prog1 = fuzzyflow_interp::shared_cache_stats();
         let code1 = fuzzyflow_interp::code_cache_stats();
+        let jit1 = fuzzyflow_interp::jit_native_runs_split();
         let caches = CacheTally {
             program_hits: prog1.hits - prog0.hits,
             program_misses: prog1.misses - prog0.misses,
@@ -381,6 +383,8 @@ impl Session {
             code_evictions: code1.evictions - code0.evictions,
             code_compiles: code1.compiles - code0.compiles,
             code_bytes: code1.bytes - code0.bytes,
+            jit_scalar_runs: jit1.0 - jit0.0,
+            jit_packed_runs: jit1.1 - jit0.1,
         };
         CampaignReport {
             campaign: self.campaign.name.clone(),

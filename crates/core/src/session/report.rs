@@ -227,6 +227,10 @@ pub struct CacheTally {
     pub code_compiles: u64,
     /// Native code cache: instruction bytes emitted (0 on a warm run).
     pub code_bytes: u64,
+    /// Native tier: fused-kernel invocations that ran a scalar blob.
+    pub jit_scalar_runs: u64,
+    /// Native tier: invocations that ran a packed (lane-parallel) blob.
+    pub jit_packed_runs: u64,
 }
 
 /// The serializable outcome of one session run.
@@ -341,7 +345,8 @@ impl CampaignReport {
         out.push_str(&format!(
             "  \"caches\": {{\"program\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
              \"compiles\": {}}}, \"code\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
-             \"compiles\": {}, \"bytes\": {}}}}},\n",
+             \"compiles\": {}, \"bytes\": {}}}, \"jit\": {{\"scalar_runs\": {}, \
+             \"packed_runs\": {}}}}},\n",
             ca.program_hits,
             ca.program_misses,
             ca.program_evictions,
@@ -350,7 +355,9 @@ impl CampaignReport {
             ca.code_misses,
             ca.code_evictions,
             ca.code_compiles,
-            ca.code_bytes
+            ca.code_bytes,
+            ca.jit_scalar_runs,
+            ca.jit_packed_runs
         ));
         out.push_str("  \"instances\": [");
         for (k, inst) in self.instances.iter().enumerate() {
@@ -502,6 +509,8 @@ impl CampaignReport {
             caches.code_evictions = counter("code", "evictions");
             caches.code_compiles = counter("code", "compiles");
             caches.code_bytes = counter("code", "bytes");
+            caches.jit_scalar_runs = counter("jit", "scalar_runs");
+            caches.jit_packed_runs = counter("jit", "packed_runs");
         }
 
         let mut instances = Vec::new();

@@ -1,6 +1,9 @@
 //! A minimal hand-rolled x86_64 encoder for the SSE2 subset the fused
 //! kernels need: `movsd`/`addsd`/`subsd`/`mulsd`/`divsd`/`sqrtsd`/
-//! `ucomisd`/`xorpd`/`andpd`/`cvtsi2sd`/`movq`, 64-bit integer moves and
+//! `minsd`/`maxsd`/`ucomisd`/`cvtsi2sd`/`movq`, the packed-double lane
+//! forms (`movupd`/`movapd`/`addpd`-family/`sqrtpd`/`minpd`/`maxpd`/
+//! `cmppd`/`cmpsd`/`unpcklpd`/`pcmpeqd`) plus the bitwise blends
+//! (`andpd`/`andnpd`/`orpd`/`xorpd`), 64-bit integer moves and
 //! arithmetic for the loop counters and pointer walks, `setcc` + byte
 //! logic for NaN-exact comparisons, and `jcc`/`jmp` with label fixups
 //! for select control flow.
@@ -299,10 +302,43 @@ impl Asm {
         self.sse_rr(0x66, 0x28, dst, src);
     }
 
-    /// `addsd`/`subsd`/`mulsd`/`divsd`/`sqrtsd` by opcode byte
-    /// (`0x58`/`0x5C`/`0x59`/`0x5E`/`0x51`): `op xmm_dst, xmm_src`.
+    /// `addsd`/`subsd`/`mulsd`/`divsd`/`sqrtsd`/`minsd`/`maxsd` by
+    /// opcode byte (`0x58`/`0x5C`/`0x59`/`0x5E`/`0x51`/`0x5D`/`0x5F`):
+    /// `op xmm_dst, xmm_src`.
     pub fn sd_op(&mut self, op: u8, dst: u8, src: u8) {
         self.sse_rr(0xF2, op, dst, src);
+    }
+
+    /// The packed-double sibling of [`Asm::sd_op`]: `addpd`/`subpd`/
+    /// `mulpd`/`divpd`/`sqrtpd`/`minpd`/`maxpd` over both lanes.
+    pub fn pd_op(&mut self, op: u8, dst: u8, src: u8) {
+        self.sse_rr(0x66, op, dst, src);
+    }
+
+    /// `movupd xmm, [base + disp]` — unaligned 16-byte lane-pair load.
+    pub fn movupd_rm(&mut self, dst: u8, base: u8, disp: i32) {
+        self.sse_rm(0x66, 0x10, dst, base, disp);
+    }
+
+    /// `movupd [base + disp], xmm` — unaligned 16-byte lane-pair store.
+    pub fn movupd_mr(&mut self, base: u8, disp: i32, src: u8) {
+        self.sse_rm(0x66, 0x11, src, base, disp);
+    }
+
+    /// `cmppd xmm_dst, xmm_src, pred` — per-lane compare producing
+    /// all-ones/all-zeros masks (predicates: 0 EQ_OQ, 1 LT_OS, 2 LE_OS,
+    /// 3 UNORD_Q, 4 NEQ_UQ).
+    pub fn cmppd(&mut self, dst: u8, src: u8, pred: u8) {
+        self.sse_rr(0x66, 0xC2, dst, src);
+        self.buf.push(pred);
+    }
+
+    /// `cmpsd xmm_dst, xmm_src, pred` — low-lane mask compare (same
+    /// predicate encoding as [`Asm::cmppd`]); the upper lane of `dst` is
+    /// preserved.
+    pub fn cmpsd(&mut self, dst: u8, src: u8, pred: u8) {
+        self.sse_rr(0xF2, 0xC2, dst, src);
+        self.buf.push(pred);
     }
 
     /// `ucomisd xmm_a, xmm_b` (flags reflect `a ? b`).
@@ -318,6 +354,29 @@ impl Asm {
     /// `andpd xmm_dst, xmm_src`.
     pub fn andpd(&mut self, dst: u8, src: u8) {
         self.sse_rr(0x66, 0x54, dst, src);
+    }
+
+    /// `andnpd xmm_dst, xmm_src` (`dst = !dst & src` — the mask-clear
+    /// half of a bitwise blend).
+    pub fn andnpd(&mut self, dst: u8, src: u8) {
+        self.sse_rr(0x66, 0x55, dst, src);
+    }
+
+    /// `orpd xmm_dst, xmm_src`.
+    pub fn orpd(&mut self, dst: u8, src: u8) {
+        self.sse_rr(0x66, 0x56, dst, src);
+    }
+
+    /// `pcmpeqd xmm_dst, xmm_src` — with `dst == src`, the canonical
+    /// all-ones idiom.
+    pub fn pcmpeqd(&mut self, dst: u8, src: u8) {
+        self.sse_rr(0x66, 0x76, dst, src);
+    }
+
+    /// `unpcklpd xmm_dst, xmm_src` — with `dst == src`, duplicates the
+    /// low lane into both lanes (broadcast).
+    pub fn unpcklpd(&mut self, dst: u8, src: u8) {
+        self.sse_rr(0x66, 0x14, dst, src);
     }
 
     /// `movq xmm, r64`.

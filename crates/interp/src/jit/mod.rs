@@ -13,6 +13,35 @@
 //! existing engine ladder; the reason is reported through [`JitReject`],
 //! mirroring [`FuseReject`](crate::FuseReject).
 //!
+//! # Packed emission (`lanes > 1`)
+//!
+//! Vectorized fused kernels — the tier-2 lane-blocked workhorses — are
+//! lowered to **packed SSE2** rather than rejected: the kernel body runs
+//! on 2-wide xmm lane pairs (`movupd`/`addpd`-family) over unit-stride
+//! accesses, with a single scalar remainder element for odd lane counts
+//! emitted *after* the pairs so element order matches the bytecode loop
+//! exactly. Statically pointwise reads broadcast one value across the
+//! lanes (`movsd` + `unpcklpd`); bodies with select control flow keep
+//! per-element branches by unrolling the lanes as scalar iterations
+//! inside the same blob. Lane strides other than the unit stride the
+//! pair loads assume are detected per run and fall back per-kernel
+//! ([`JitReject::NonUnitStrideLanes`]) — never per-element — so error
+//! ordering, step accounting and dirty-span recording stay bit-identical.
+//!
+//! `min`/`max` (both as body instructions and as write-conflict
+//! combiners) are emitted NaN- and signed-zero-exactly with the same
+//! blend rustc/LLVM uses for `f64::min`: `cand = minsd/minpd(y_dst,
+//! x_src)` (returns the *source* on unordered/tied operands), an
+//! `isnan(x)` mask from a self-`cmppd`, and a branch-free
+//! `xorpd`/`andnpd`/`xorpd` bitwise blend selecting `y` where `x` is
+//! NaN — ties return the first operand and NaN payloads propagate like
+//! the scalar Rust code. The former `JitReject::Vectorized` variant is
+//! retired in favor of the precise residual reasons
+//! ([`JitReject::LanesTooWide`], [`JitReject::NonUnitStrideLanes`]);
+//! `UnsupportedOp`/`UnsupportedWcr` no longer cover `min`/`max` (the
+//! sole `UnsupportedWcr` residue is a `min`/`max` combiner fed from a
+//! bool register). Reject messages remain stable aggregation keys.
+//!
 //! # W^X page lifecycle
 //!
 //! Emitted code lives in pages obtained directly from `mmap` (raw
@@ -67,26 +96,86 @@ pub enum JitReject {
     /// The map scope did not fuse at all — the JIT only lowers fused
     /// kernels.
     NotFused,
-    /// The kernel body is vectorized (`lanes > 1`); its chunked bytecode
-    /// loop is already SIMD and per-lane native emission is not modeled.
-    Vectorized,
+    /// The kernel is vectorized wider than the packed emitter unrolls
+    /// (`MAX_JIT_LANES` lanes).
+    LanesTooWide,
     /// The body needs more float registers than `xmm0..xmm13`.
     TooManyRegs,
     /// More live memory accesses than the pointer registers `r8..r15`.
     TooManyAccesses,
     /// An instruction outside the emitted SSE2 subset (e.g. `pow`,
-    /// `min`/`max`, transcendentals).
+    /// transcendentals).
     UnsupportedOp,
     /// A write-conflict-resolution combiner without an exact SSE2
-    /// equivalent (`min`/`max` differ from Rust on NaN and signed zero).
+    /// lowering (a `min`/`max` combiner fed from a bool register — the
+    /// blend needs the stored value live in a register).
     UnsupportedWcr,
     /// Runtime-only: this run records interleaved per-element coverage
     /// (select branches or multi-tasklet pipelines under a coverage
     /// map), which only the bytecode loops reproduce exactly.
     CoverageInterleave,
+    /// Runtime-only: this run spreads a vectorized kernel's lanes at a
+    /// stride other than the unit stride the packed loads assume, so it
+    /// falls back to the chunked bytecode loop.
+    NonUnitStrideLanes,
     /// Runtime-only: the OS refused executable pages.
     MmapFailed,
 }
+
+/// Renders `{prefix}{n}{suffix}` into a fixed byte array at compile
+/// time, so reject messages quoting a register budget are derived from
+/// the budget constant itself and cannot drift from the encoder. The
+/// internal `assert!` fails the build when `LEN` disagrees with the
+/// rendered length.
+const fn budget_msg<const LEN: usize>(prefix: &str, n: usize, suffix: &str) -> [u8; LEN] {
+    let mut out = [0u8; LEN];
+    let mut i = 0;
+    let p = prefix.as_bytes();
+    let mut j = 0;
+    while j < p.len() {
+        out[i] = p[j];
+        i += 1;
+        j += 1;
+    }
+    let mut div = 1usize;
+    while n / div >= 10 {
+        div *= 10;
+    }
+    while div > 0 {
+        out[i] = b'0' + (n / div % 10) as u8;
+        i += 1;
+        div /= 10;
+    }
+    let s = suffix.as_bytes();
+    j = 0;
+    while j < s.len() {
+        out[i] = s[j];
+        i += 1;
+        j += 1;
+    }
+    assert!(i == LEN, "budget message length mismatch");
+    out
+}
+
+const fn msg_str(bytes: &[u8]) -> &str {
+    match std::str::from_utf8(bytes) {
+        Ok(s) => s,
+        Err(_) => panic!("budget messages are ASCII"),
+    }
+}
+
+const TOO_MANY_REGS_BYTES: [u8; 39] = budget_msg(
+    "body needs more than ",
+    lower::MAX_FLOAT_REGS,
+    " float registers",
+);
+const TOO_MANY_REGS_MSG: &str = msg_str(&TOO_MANY_REGS_BYTES);
+const TOO_MANY_ACCESSES_BYTES: [u8; 32] =
+    budget_msg("more than ", lower::MAX_PTRS, " live memory accesses");
+const TOO_MANY_ACCESSES_MSG: &str = msg_str(&TOO_MANY_ACCESSES_BYTES);
+const LANES_TOO_WIDE_BYTES: [u8; 25] =
+    budget_msg("more than ", lower::MAX_JIT_LANES, " vector lanes");
+const LANES_TOO_WIDE_MSG: &str = msg_str(&LANES_TOO_WIDE_BYTES);
 
 impl JitReject {
     /// Stable human-readable message (also the aggregation key in
@@ -96,29 +185,46 @@ impl JitReject {
             JitReject::Disabled => "jit disabled",
             JitReject::UnsupportedArch => "host is not x86_64",
             JitReject::NotFused => "map not fused",
-            JitReject::Vectorized => "vectorized kernel body",
-            JitReject::TooManyRegs => "body needs more than 14 float registers",
-            JitReject::TooManyAccesses => "more than 8 live memory accesses",
+            JitReject::LanesTooWide => LANES_TOO_WIDE_MSG,
+            JitReject::TooManyRegs => TOO_MANY_REGS_MSG,
+            JitReject::TooManyAccesses => TOO_MANY_ACCESSES_MSG,
             JitReject::UnsupportedOp => "instruction outside the emitted SSE2 subset",
             JitReject::UnsupportedWcr => "write-conflict combiner without exact SSE2 equivalent",
             JitReject::CoverageInterleave => "run records interleaved per-element coverage",
+            JitReject::NonUnitStrideLanes => "vector lanes not unit-stride at runtime",
             JitReject::MmapFailed => "executable pages unavailable",
         }
     }
 }
 
 /// Counts kernel entries that actually executed native code, process
-/// wide. Tests and benches use the delta to assert the JIT engaged.
-static NATIVE_RUNS: AtomicU64 = AtomicU64::new(0);
+/// wide, split by emission kind. Tests and benches use the deltas to
+/// assert the JIT engaged; campaign reports surface both as cache-tally
+/// deltas.
+static NATIVE_RUNS_SCALAR: AtomicU64 = AtomicU64::new(0);
+static NATIVE_RUNS_PACKED: AtomicU64 = AtomicU64::new(0);
 
 /// Number of fused-kernel executions that ran native code so far in this
-/// process.
+/// process (scalar and packed emission combined).
 pub fn jit_native_runs() -> u64 {
-    NATIVE_RUNS.load(Ordering::Relaxed)
+    NATIVE_RUNS_SCALAR.load(Ordering::Relaxed) + NATIVE_RUNS_PACKED.load(Ordering::Relaxed)
 }
 
-pub(crate) fn count_native_run() {
-    NATIVE_RUNS.fetch_add(1, Ordering::Relaxed);
+/// `(scalar, packed)` native-run counters — the per-emission-kind split
+/// of [`jit_native_runs`].
+pub fn jit_native_runs_split() -> (u64, u64) {
+    (
+        NATIVE_RUNS_SCALAR.load(Ordering::Relaxed),
+        NATIVE_RUNS_PACKED.load(Ordering::Relaxed),
+    )
+}
+
+pub(crate) fn count_native_run(packed: bool) {
+    if packed {
+        NATIVE_RUNS_PACKED.fetch_add(1, Ordering::Relaxed);
+    } else {
+        NATIVE_RUNS_SCALAR.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Process-unique key generator for kernels' code-cache entries (clones

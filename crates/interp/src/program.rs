@@ -614,6 +614,15 @@ pub(crate) struct FusedAccess {
     pub(crate) wcr: Option<Wcr>,
 }
 
+impl FusedAccess {
+    /// Every dimension addresses a single point (no lane range). In a
+    /// `lanes > 1` kernel such a read has volume 1 at every runtime
+    /// shape — the packed JIT broadcasts its value across the lanes.
+    pub(crate) fn is_pointwise(&self) -> bool {
+        self.dims.iter().all(|d| d.span.is_none())
+    }
+}
+
 /// Structural subset equality of two fused accesses — same container and
 /// textually identical dimension/check expressions, so both denote the
 /// same element set at every point of the iteration box. The test that
@@ -646,8 +655,9 @@ pub(crate) struct FusedKernel {
     /// Whether the body contains select control flow: if so the kernel
     /// runs the scalar per-element loop (which records per-select branch
     /// coverage bit-identically to the generic engine); otherwise the
-    /// lane-chunked loop.
-    has_select: bool,
+    /// lane-chunked loop. The JIT lowerer reads this to pick packed vs
+    /// unrolled-scalar lane emission.
+    pub(crate) has_select: bool,
     /// External reads, in tasklet-then-memlet order.
     pub(crate) inputs: Vec<FusedAccess>,
     /// Destination register per input, aligned with `inputs`; `None` when
@@ -3438,30 +3448,41 @@ impl<'p> Executor<'p> {
                 .collect();
             // Native tier: a statically eligible kernel runs emitted
             // machine code whenever this execution records no coverage
-            // inside the body (entry coverage was batched above). Step
-            // accounting is already arithmetic, and the precheck's
-            // no-error proof covers the native loop exactly as it covers
-            // the bytecode loops. Failure to obtain executable pages
-            // falls back down the ladder.
+            // inside the body (entry coverage was batched above) and —
+            // for vectorized kernels — this run's concrete lane strides
+            // are the unit strides the packed loads assume
+            // (`JitReject::NonUnitStrideLanes` otherwise; the fallback
+            // is always per-kernel). Step accounting is already
+            // arithmetic, and the precheck's no-error proof covers the
+            // native loop exactly as it covers the bytecode loops.
+            // Failure to obtain executable pages falls back down the
+            // ladder.
             let mut ran_native = false;
             if ctx.jit && !interleave {
                 if let Ok(lay) = &fk.jit {
-                    if let Some(code) = jit_code_for(fk, lay) {
-                        run_fused_jit(
-                            fk,
-                            lay,
-                            &code,
-                            &dims,
-                            &bases,
-                            &strides,
-                            &self.a.syms,
-                            &in_slices,
-                            &mut out_slices,
-                            &mut jframe,
-                            &mut odo,
-                        );
-                        crate::jit::count_native_run();
-                        ran_native = true;
+                    if jit_lane_strides_ok(fk, lay, &strides, dims.len()) {
+                        if let Some(code) = jit_code_for(fk, lay) {
+                            // Packed blobs unroll the synthetic lane dim
+                            // internally; the driver's row is the
+                            // innermost real dim.
+                            let inner = dims.len() - 1 - usize::from(lay.lanes > 1);
+                            run_fused_jit(
+                                fk,
+                                lay,
+                                &code,
+                                inner,
+                                &dims,
+                                &bases,
+                                &strides,
+                                &self.a.syms,
+                                &in_slices,
+                                &mut out_slices,
+                                &mut jframe,
+                                &mut odo,
+                            );
+                            crate::jit::count_native_run(lay.lanes > 1);
+                            ran_native = true;
+                        }
                     }
                 }
             }
@@ -4764,18 +4785,52 @@ fn jit_code_for(
     Some(crate::jit::cache::insert(fk.jit_key, code))
 }
 
+/// Runtime half of packed-JIT eligibility: the emitted lane-pair loads
+/// and stores assume the synthetic lane dimension is walked at unit
+/// stride (broadcast inputs at stride 0). A run whose concrete subsets
+/// spread the lanes any other way — including a statically spanned read
+/// that collapses to volume 1 at this shape — falls back per-kernel to
+/// the bytecode loops (`JitReject::NonUnitStrideLanes`). Scalar blobs
+/// have no lane dimension and always pass.
+fn jit_lane_strides_ok(
+    fk: &FusedKernel,
+    lay: &crate::jit::lower::JitLayout,
+    strides: &[i64],
+    n_dims: usize,
+) -> bool {
+    if lay.lanes == 1 {
+        return true;
+    }
+    let lane = n_dims - 1;
+    let n_in = fk.inputs.len();
+    for (ii, slot) in lay.in_ptr.iter().enumerate() {
+        if slot.is_none() {
+            continue;
+        }
+        let st = strides[ii * n_dims + lane];
+        if st != if lay.in_bcast[ii] { 0 } else { 1 } {
+            return false;
+        }
+    }
+    (0..fk.outputs.len()).all(|oi| strides[(n_in + oi) * n_dims + lane] == 1)
+}
+
 /// Drives a natively compiled kernel over the iteration box: the Rust
 /// side walks the outer odometer exactly like [`run_fused_loop`] and the
 /// emitted code executes one inner row per call, reading pointers,
 /// strides and parameter values from the frame (see
-/// [`crate::jit::lower::JitLayout`]). Bit-identical to the bytecode
-/// loops by the lowering's construction; the precheck's no-error proof
-/// is what makes handing raw row pointers to machine code sound.
+/// [`crate::jit::lower::JitLayout`]). `inner` is the row dimension —
+/// the innermost dim for scalar blobs, the innermost *real* dim for
+/// packed blobs (which unroll the synthetic lane dim internally).
+/// Bit-identical to the bytecode loops by the lowering's construction;
+/// the precheck's no-error proof is what makes handing raw row pointers
+/// to machine code sound.
 #[allow(clippy::too_many_arguments)]
 fn run_fused_jit(
     fk: &FusedKernel,
     lay: &crate::jit::lower::JitLayout,
     code: &crate::jit::JitCode,
+    inner: usize,
     dims: &[ConcreteRange],
     bases: &[i64],
     strides: &[i64],
@@ -4786,7 +4841,6 @@ fn run_fused_jit(
     k: &mut [i64],
 ) {
     let n_dims = dims.len();
-    let inner = n_dims - 1;
     let inner_r = dims[inner];
     let n_in = fk.inputs.len();
     frame.clear();

@@ -12,12 +12,12 @@
 use fuzzyflow_interp::coverage::MAP_SIZE;
 use fuzzyflow_interp::value::GARBAGE_BITS;
 use fuzzyflow_interp::{
-    jit_native_runs, run_with_tree_walk, ArrayValue, CompileOptions, CoverageMap, ExecError,
-    ExecOptions, ExecState, Program, ResetPolicy,
+    jit_native_runs, jit_native_runs_split, run_with_tree_walk, ArrayValue, CompileOptions,
+    CoverageMap, ExecError, ExecOptions, ExecState, Program, ResetPolicy,
 };
 use fuzzyflow_ir::{
-    sym, CmpOp, DType, LibraryOp, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, Storage, Subset,
-    SymExpr, SymRange, Tasklet, TaskletStmt, UnOp, Wcr,
+    sym, BinOp, CmpOp, DType, LibraryOp, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, Storage,
+    Subset, SymExpr, SymRange, Tasklet, TaskletStmt, UnOp, Wcr,
 };
 use proptest::prelude::*;
 
@@ -341,6 +341,21 @@ fn assert_engines_agree(p: &Sdfg, input: &ExecState, max_steps: u64) -> Result<(
     let nj_res = prog.run_with(&mut nj_state, &nojit_opts, None, Some(&mut nj_cov));
     assert_eq!(tree_res, nj_res, "jit-off fused engine diverges");
     assert_states_bit_identical(&tree_state, &nj_state);
+
+    // Seventh axis: the same jit-on/jit-off pair *without* coverage.
+    // Coverage interleaves per-branch records for select bodies and
+    // blocks the native tier there, so this pair is where select
+    // kernels — scalar `jcc` bodies and the packed tier's unrolled
+    // lane-scalar mode — actually execute native code. Both runs must
+    // stay bit-identical to the tree walk.
+    let mut nc_state = input.clone();
+    let nc_res = prog.run_with(&mut nc_state, &opts, None, None);
+    assert_eq!(tree_res, nc_res, "no-coverage jit run diverges");
+    assert_states_bit_identical(&tree_state, &nc_state);
+    let mut nc_off_state = input.clone();
+    let nc_off_res = prog.run_with(&mut nc_off_state, &nojit_opts, None, None);
+    assert_eq!(tree_res, nc_off_res, "no-coverage jit-off run diverges");
+    assert_states_bit_identical(&tree_state, &nc_off_state);
 
     let mut tree_virgin = [0u8; MAP_SIZE];
     let mut comp_virgin = [0u8; MAP_SIZE];
@@ -1597,10 +1612,25 @@ fn jit_nan_and_signed_zero_parity() {
 }
 
 /// Statically rejected bodies report their reason, keep their fused
-/// kernel, and still agree across every engine axis.
+/// kernel, and still agree across every engine axis — while the reject
+/// classes the packed-SIMD tier closed (`min`/`max` bodies, Min/Max WCR
+/// combiners) are now eligible and actually run native.
 #[test]
 fn jit_rejects_fall_back_and_agree() {
-    // min/max have no exact SSE2 equivalent (NaN/−0.0 differ).
+    // Pow has no SSE2 lowering and stays rejected.
+    let pow = jit_case(
+        ScalarExpr::Bin(
+            BinOp::Pow,
+            Box::new(ScalarExpr::r("x")),
+            Box::new(ScalarExpr::f64(2.0)),
+        ),
+        None,
+    );
+    let (jit, reason) = jit_verdict(&pow);
+    assert!(!jit);
+    assert_eq!(reason, Some("instruction outside the emitted SSE2 subset"));
+    // min/max lower NaN- and signed-zero-exactly since the packed-SIMD
+    // tier — both as body instructions and as WCR combiners.
     let minmax = jit_case(
         ScalarExpr::r("x")
             .max(ScalarExpr::f64(0.0))
@@ -1608,11 +1638,14 @@ fn jit_rejects_fall_back_and_agree() {
         None,
     );
     let (jit, reason) = jit_verdict(&minmax);
-    assert!(!jit);
-    assert_eq!(reason, Some("instruction outside the emitted SSE2 subset"));
-    // A WCR Max combiner is rejected for the same reason, statically.
+    assert!(jit, "min/max body should be eligible: {reason:?}");
     let wcr_max = jit_case(ScalarExpr::r("x"), Some(Wcr::Max));
     let (jit, reason) = jit_verdict(&wcr_max);
+    assert!(jit, "WCR Max should be eligible: {reason:?}");
+    // ...except a Min/Max combiner gathered from the bool register file:
+    // the blend needs the stored value live in a float register.
+    let wcr_bool = jit_case(ScalarExpr::r("x").lt(ScalarExpr::f64(0.0)), Some(Wcr::Min));
+    let (jit, reason) = jit_verdict(&wcr_bool);
     assert!(!jit);
     assert_eq!(
         reason,
@@ -1623,7 +1656,283 @@ fn jit_rejects_fall_back_and_agree() {
     let (jit, reason) = jit_verdict(&wcr_sum);
     assert!(jit, "WCR Sum should stay eligible: {reason:?}");
     let input = jit_input(&[f64::NAN, -0.0, 3.5, -1.25]);
-    for p in [&minmax, &wcr_max, &wcr_sum] {
+    let before = jit_native_runs();
+    for p in [&pow, &minmax, &wcr_max, &wcr_bool, &wcr_sum] {
         assert_engines_agree(p, &input, 1_000_000).unwrap();
+    }
+    if cfg!(all(unix, target_arch = "x86_64")) {
+        assert!(
+            jit_native_runs() > before,
+            "eligible min/max kernels did not run native"
+        );
+    }
+}
+
+// ----- packed JIT tier: lane-parallel native code ------------------------
+
+/// The adversarial f64 pool every packed test samples from: NaN, both
+/// zero signs, both infinities and ordinary values (`bits_eq` rule: NaN
+/// sign-insensitive, payloads and zero signs distinguish).
+const SPECIALS: [f64; 8] = [
+    f64::NAN,
+    -0.0,
+    0.0,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    1.5,
+    -2.5,
+    1e-300,
+];
+
+/// One lane-blocked map `B[w·i : w·i+w : stride] = expr(x = A[...], i)`
+/// with `w = lanes · stride` — the minimal vectorized shape that fuses
+/// into a `lanes > 1` kernel. `stride > 1` spreads the lanes apart,
+/// forcing the packed blob's runtime unit-stride fallback; `wcr`
+/// applies a combiner on the write.
+fn lane_case(lanes: u32, stride: i64, expr: ScalarExpr, wcr: Option<Wcr>) -> Sdfg {
+    let mut b = SdfgBuilder::new("lane_case");
+    b.symbol("N");
+    b.symbol("M");
+    b.array("A", DType::F64, &["M"]);
+    b.array("B", DType::F64, &["M"]);
+    let st = b.start();
+    b.in_state(st, move |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let m = df.map(
+            &["i"],
+            vec![SymRange::full(sym("N"))],
+            Schedule::Parallel,
+            move |mb| {
+                let sub = || {
+                    let w = lanes as i64 * stride;
+                    let base = SymExpr::Int(w) * sym("i");
+                    let end = base.clone() + SymExpr::Int(w);
+                    Subset::new(vec![SymRange::strided(base, end, SymExpr::Int(stride))])
+                };
+                let a = mb.access("A");
+                let o = mb.access("B");
+                let mut t = Tasklet::simple("t", vec!["x"], "y", expr.clone());
+                t.lanes = lanes;
+                let t = mb.tasklet(t);
+                mb.read(a, t, Memlet::new("A", sub()).to_conn("x"));
+                let mut w = Memlet::new("B", sub()).from_conn("y");
+                if let Some(op) = wcr {
+                    w = w.with_wcr(op);
+                }
+                mb.write(t, o, w);
+            },
+        );
+        df.auto_wire(m, &[a], &[o]);
+    });
+    b.build()
+}
+
+fn lane_input(lanes: u32, stride: i64, blocks: i64, vals: &[f64]) -> ExecState {
+    let m = blocks * lanes as i64 * stride;
+    let mut st = ExecState::new();
+    st.bind("N", blocks).bind("M", m);
+    let data: Vec<f64> = (0..m).map(|i| vals[i as usize % vals.len()]).collect();
+    st.set_array("A", ArrayValue::from_f64(vec![m], &data));
+    st
+}
+
+/// Vectorized straight-line kernels are statically eligible and execute
+/// *packed* native code at every supported lane width — odd widths
+/// exercise the scalar remainder element after the pairs.
+#[test]
+fn packed_jit_engages_across_lane_widths() {
+    for lanes in [2u32, 3, 4, 5, 8] {
+        let expr = ScalarExpr::r("x")
+            .mul(ScalarExpr::f64(1.5))
+            .add(ScalarExpr::r("i"))
+            .sqrt();
+        let p = lane_case(lanes, 1, expr, None);
+        let (jit, reason) = jit_verdict(&p);
+        assert!(jit, "lanes={lanes} kernel should be eligible: {reason:?}");
+        let input = lane_input(lanes, 1, 3, &[0.5, 2.25, 9.0, -1.0, 1e300, 0.0, -0.0, 7.5]);
+        let before = jit_native_runs_split().1;
+        assert_engines_agree(&p, &input, 1_000_000).unwrap();
+        if cfg!(all(unix, target_arch = "x86_64")) {
+            assert!(
+                jit_native_runs_split().1 > before,
+                "packed tier did not engage at lanes={lanes}"
+            );
+        }
+    }
+}
+
+/// min/max bodies and Min/Max WCR combiners on vectorized kernels —
+/// previously `Vectorized`/`UnsupportedOp` rejects — run packed native
+/// code and stay bit-identical on NaN, signed zero and infinities.
+#[test]
+fn packed_jit_minmax_wcr_nan_signed_zero_parity() {
+    let body = ScalarExpr::r("x")
+        .max(ScalarExpr::f64(0.0))
+        .min(ScalarExpr::r("i"));
+    for lanes in [2u32, 4, 5] {
+        for wcr in [None, Some(Wcr::Min), Some(Wcr::Max)] {
+            let p = lane_case(lanes, 1, body.clone(), wcr);
+            let (jit, reason) = jit_verdict(&p);
+            assert!(
+                jit,
+                "lanes={lanes} min/max kernel (wcr {wcr:?}) should be eligible: {reason:?}"
+            );
+            let input = lane_input(lanes, 1, 2, &SPECIALS);
+            let before = jit_native_runs_split().1;
+            assert_engines_agree(&p, &input, 1_000_000).unwrap();
+            if cfg!(all(unix, target_arch = "x86_64")) {
+                assert!(
+                    jit_native_runs_split().1 > before,
+                    "packed tier did not engage (lanes={lanes}, wcr {wcr:?})"
+                );
+            }
+        }
+    }
+}
+
+/// Select bodies on vectorized kernels run native in the unrolled
+/// lane-scalar mode (per-element branches, no packed predication) and
+/// stay bit-identical to the tree walk.
+#[test]
+fn packed_jit_select_bodies_run_native() {
+    let expr = ScalarExpr::r("x")
+        .lt(ScalarExpr::f64(0.0))
+        .select(ScalarExpr::r("x").neg(), ScalarExpr::r("x").sqrt());
+    let p = lane_case(4, 1, expr, None);
+    let (jit, reason) = jit_verdict(&p);
+    assert!(jit, "vector select kernel should be eligible: {reason:?}");
+    let input = lane_input(4, 1, 3, &SPECIALS);
+    assert_engines_agree(&p, &input, 1_000_000).unwrap();
+    // Without coverage the select body runs natively; compare that run
+    // against the tree walk directly.
+    let prog = Program::compile(&p);
+    let opts = ExecOptions::default();
+    let before = jit_native_runs_split().1;
+    let mut jstate = input.clone();
+    let jres = prog.run_with(&mut jstate, &opts, None, None);
+    if cfg!(all(unix, target_arch = "x86_64")) {
+        assert!(
+            jit_native_runs_split().1 > before,
+            "native lane-scalar select did not engage"
+        );
+    }
+    let mut tstate = input.clone();
+    let tres = run_with_tree_walk(&p, &mut tstate, &opts, None, None);
+    assert_eq!(tres, jres);
+    assert_states_bit_identical(&tstate, &jstate);
+}
+
+/// A statically pointwise second read in a vectorized kernel broadcasts
+/// one value — including NaN — across the lanes.
+#[test]
+fn packed_jit_broadcast_inputs_parity() {
+    let mut b = SdfgBuilder::new("lane_bcast");
+    b.symbol("N");
+    b.symbol("M");
+    b.array("A", DType::F64, &["M"]);
+    b.array("C", DType::F64, &["N"]);
+    b.array("B", DType::F64, &["M"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let c = df.access("C");
+        let o = df.access("B");
+        let m = df.map(
+            &["i"],
+            vec![SymRange::full(sym("N"))],
+            Schedule::Parallel,
+            |mb| {
+                let lane_sub = || {
+                    let base = SymExpr::Int(4) * sym("i");
+                    Subset::new(vec![SymRange::span(base.clone(), base + SymExpr::Int(4))])
+                };
+                let a = mb.access("A");
+                let c = mb.access("C");
+                let o = mb.access("B");
+                let mut t = Tasklet::simple(
+                    "t",
+                    vec!["x", "b"],
+                    "y",
+                    ScalarExpr::r("x")
+                        .mul(ScalarExpr::r("b"))
+                        .max(ScalarExpr::r("b")),
+                );
+                t.lanes = 4;
+                let t = mb.tasklet(t);
+                mb.read(a, t, Memlet::new("A", lane_sub()).to_conn("x"));
+                mb.read(
+                    c,
+                    t,
+                    Memlet::new("C", Subset::at(vec![sym("i")])).to_conn("b"),
+                );
+                mb.write(t, o, Memlet::new("B", lane_sub()).from_conn("y"));
+            },
+        );
+        df.auto_wire(m, &[a, c], &[o]);
+    });
+    let p = b.build();
+    let (jit, reason) = jit_verdict(&p);
+    assert!(jit, "broadcast-input kernel should be eligible: {reason:?}");
+    let mut input = lane_input(4, 1, 3, &SPECIALS);
+    input.set_array("C", ArrayValue::from_f64(vec![3], &[2.0, f64::NAN, -0.0]));
+    let before = jit_native_runs_split().1;
+    assert_engines_agree(&p, &input, 1_000_000).unwrap();
+    if cfg!(all(unix, target_arch = "x86_64")) {
+        assert!(
+            jit_native_runs_split().1 > before,
+            "packed tier did not engage on broadcast input"
+        );
+    }
+}
+
+/// A run that spreads the lanes at stride 2 cannot use the packed
+/// blob's unit-stride loads: the static verdict stays eligible (blobs
+/// are shape-independent), the run falls back per-kernel
+/// (`NonUnitStrideLanes`) and every engine still agrees bit-exactly.
+#[test]
+fn packed_jit_non_unit_stride_falls_back_and_agrees() {
+    let expr = ScalarExpr::r("x").mul(ScalarExpr::f64(2.0));
+    let p = lane_case(4, 2, expr, None);
+    let (jit, reason) = jit_verdict(&p);
+    assert!(jit, "static verdict is shape-independent: {reason:?}");
+    let input = lane_input(4, 2, 3, &SPECIALS);
+    assert_engines_agree(&p, &input, 1_000_000).unwrap();
+}
+
+proptest! {
+    /// Packed-JIT acceptance sweep: arbitrary lane widths (odd ones
+    /// exercise the remainder element), plain / min-max / select
+    /// bodies, WCR combiners and special-value inputs stay
+    /// bit-identical across all seven engine axes.
+    #[test]
+    fn packed_jit_parity(
+        lanes in 2u32..9,
+        blocks in 1i64..4,
+        body in 0u8..3,
+        wcr in 0u8..4,
+        idx in proptest::collection::vec(0usize..8, 8..9),
+    ) {
+        let expr = match body {
+            0 => ScalarExpr::r("x")
+                .mul(ScalarExpr::f64(1.5))
+                .add(ScalarExpr::r("i")),
+            1 => ScalarExpr::r("x")
+                .max(ScalarExpr::f64(0.0))
+                .min(ScalarExpr::r("i")),
+            _ => ScalarExpr::r("x").lt(ScalarExpr::f64(0.0)).select(
+                ScalarExpr::r("x").neg(),
+                ScalarExpr::r("x").mul(ScalarExpr::f64(3.0)),
+            ),
+        };
+        let wcr = match wcr {
+            0 | 1 => None,
+            2 => Some(Wcr::Sum),
+            _ => Some(Wcr::Max),
+        };
+        let p = lane_case(lanes, 1, expr, wcr);
+        let vals: Vec<f64> = idx.iter().map(|&i| SPECIALS[i]).collect();
+        let input = lane_input(lanes, 1, blocks, &vals);
+        assert_engines_agree(&p, &input, 1_000_000).unwrap();
     }
 }

@@ -4,9 +4,9 @@
 //! is also the only place the emitter targets in CI.
 #![cfg(all(target_os = "linux", target_arch = "x86_64"))]
 
-use fuzzyflow_interp::{jit_native_runs, ArrayValue, ExecState, Program};
+use fuzzyflow_interp::{jit_native_runs, jit_native_runs_split, ArrayValue, ExecState, Program};
 use fuzzyflow_ir::{
-    sym, DType, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, Subset, SymRange, Tasklet,
+    sym, DType, Memlet, ScalarExpr, Schedule, Sdfg, SdfgBuilder, Subset, SymExpr, SymRange, Tasklet,
 };
 
 fn eligible_map() -> Sdfg {
@@ -48,19 +48,49 @@ fn eligible_map() -> Sdfg {
     b.build()
 }
 
-#[test]
-fn emitted_pages_are_never_writable_and_executable() {
-    // Force an emission + native execution so at least one RX code
-    // mapping exists while we scan.
-    let p = eligible_map();
-    let prog = Program::compile(&p);
-    let mut st = ExecState::new();
-    st.bind("N", 64);
-    st.set_array("A", ArrayValue::from_f64(vec![64], &vec![1.25; 64]));
-    let before = jit_native_runs();
-    prog.run(&mut st).unwrap();
-    assert!(jit_native_runs() > before, "native tier did not engage");
+/// A lanes-8 vectorized kernel (4 packed pairs, min/max body) for the
+/// packed-emission smoke test.
+fn eligible_packed_map() -> Sdfg {
+    let mut b = SdfgBuilder::new("wx_probe_packed");
+    b.symbol("N");
+    b.symbol("M");
+    b.array("A", DType::F64, &["M"]);
+    b.array("B", DType::F64, &["M"]);
+    let st = b.start();
+    b.in_state(st, |df| {
+        let a = df.access("A");
+        let o = df.access("B");
+        let m = df.map(
+            &["i"],
+            vec![SymRange::full(sym("N"))],
+            Schedule::Parallel,
+            |body| {
+                let sub = || {
+                    let base = SymExpr::Int(8) * sym("i");
+                    Subset::new(vec![SymRange::span(base.clone(), base + SymExpr::Int(8))])
+                };
+                let a = body.access("A");
+                let o = body.access("B");
+                let mut t = Tasklet::simple(
+                    "t",
+                    vec!["x"],
+                    "y",
+                    ScalarExpr::r("x")
+                        .max(ScalarExpr::f64(0.0))
+                        .min(ScalarExpr::f64(100.0)),
+                );
+                t.lanes = 8;
+                let t = body.tasklet(t);
+                body.read(a, t, Memlet::new("A", sub()).to_conn("x"));
+                body.write(t, o, Memlet::new("B", sub()).from_conn("y"));
+            },
+        );
+        df.auto_wire(m, &[a], &[o]);
+    });
+    b.build()
+}
 
+fn assert_no_wx_mappings() {
     let maps = std::fs::read_to_string("/proc/self/maps").expect("readable /proc/self/maps");
     let wx: Vec<&str> = maps
         .lines()
@@ -76,4 +106,38 @@ fn emitted_pages_are_never_writable_and_executable() {
         "simultaneously writable+executable mappings found:\n{}",
         wx.join("\n")
     );
+}
+
+#[test]
+fn emitted_pages_are_never_writable_and_executable() {
+    // Force an emission + native execution so at least one RX code
+    // mapping exists while we scan.
+    let p = eligible_map();
+    let prog = Program::compile(&p);
+    let mut st = ExecState::new();
+    st.bind("N", 64);
+    st.set_array("A", ArrayValue::from_f64(vec![64], &vec![1.25; 64]));
+    let before = jit_native_runs();
+    prog.run(&mut st).unwrap();
+    assert!(jit_native_runs() > before, "native tier did not engage");
+    assert_no_wx_mappings();
+}
+
+/// Same invariant for packed (lane-parallel) emission: a lanes-8 kernel
+/// runs through the *packed* counter and leaves no W+X mapping behind.
+#[test]
+fn packed_emitted_pages_are_never_writable_and_executable() {
+    let p = eligible_packed_map();
+    let prog = Program::compile(&p);
+    let mut st = ExecState::new();
+    st.bind("N", 16).bind("M", 128);
+    let data: Vec<f64> = (0..128).map(|i| (i as f64) - 64.0).collect();
+    st.set_array("A", ArrayValue::from_f64(vec![128], &data));
+    let before = jit_native_runs_split().1;
+    prog.run(&mut st).unwrap();
+    assert!(
+        jit_native_runs_split().1 > before,
+        "packed native tier did not engage"
+    );
+    assert_no_wx_mappings();
 }

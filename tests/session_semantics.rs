@@ -435,3 +435,38 @@ fn replayed_fault_from_serialized_report_reproduces_the_verdict() {
         other => panic!("expected a semantic change, got {other:?}"),
     }
 }
+
+/// Tentpole acceptance: a `lanes > 1` min/max workload — rejected by the
+/// scalar JIT tier as `Vectorized`/`UnsupportedOp` before packed
+/// emission — now runs packed native code during a campaign (the report
+/// tallies the split), and warm re-runs stay byte-identical modulo the
+/// live cache/jit tallies with zero native recompilation.
+#[test]
+fn vectorized_minmax_campaign_runs_packed_native() {
+    let session = Campaign::new("packed_minmax")
+        .with_workload(
+            "cloudsc_like",
+            fuzzyflow::workloads::cloudsc_like(),
+            fuzzyflow::workloads::cloudsc::default_bindings(),
+        )
+        .with_transformation(Box::new(Vectorization::new(4)))
+        .with_verify(VerifyConfig::new().with_trials(10).with_size_max(8))
+        .session();
+    let cold = session.run(&NullSink);
+    assert!(cold.completed() > 0, "vectorization found no instances");
+    if cfg!(all(unix, target_arch = "x86_64")) {
+        assert!(
+            cold.caches.jit_packed_runs > 0,
+            "no packed native runs recorded: {:?}",
+            cold.caches
+        );
+    }
+    let warm = session.run(&NullSink);
+    assert_eq!(
+        format!("{:?}", sans_caches(&warm)),
+        format!("{:?}", sans_caches(&cold)),
+        "warm report differs beyond cache tallies"
+    );
+    assert_eq!(warm.caches.code_compiles, 0, "{:?}", warm.caches);
+    assert_eq!(warm.caches.code_bytes, 0, "{:?}", warm.caches);
+}
