@@ -76,13 +76,18 @@ pub mod session;
 pub mod sweep;
 pub mod verify;
 
-pub use session::{Campaign, CampaignReport, CancelToken, Event, EventSink, Session};
-pub use sweep::{format_sweep_table, sweep, sweep_on, InstanceResult, SweepConfig, SweepRow};
+pub use session::{
+    Campaign, CampaignReport, CancelToken, Event, EventSink, EvolveConfig, Session, TriageReport,
+};
+pub use sweep::{
+    format_sweep_table, sweep, sweep_on, EvolutionSummary, InstanceResult, SweepConfig, SweepRow,
+};
 pub use verify::{verify_instance, VerificationReport, VerifyConfig, VerifyError};
 
 // Re-export the component crates under stable names.
 pub use fuzzyflow_cutout as cutout;
 pub use fuzzyflow_dist as dist;
+pub use fuzzyflow_evo as evo;
 pub use fuzzyflow_fuzz as fuzz;
 pub use fuzzyflow_graph as graph;
 pub use fuzzyflow_interp as interp;
@@ -96,7 +101,8 @@ pub use fuzzyflow_workloads as workloads;
 /// Common imports for examples and downstream users.
 pub mod prelude {
     pub use crate::session::{
-        Campaign, CampaignReport, CancelToken, Event, EventSink, Session, SessionBudget, StopReason,
+        Campaign, CampaignReport, CancelToken, Event, EventSink, EvolveConfig, Session,
+        SessionBudget, StopReason, TriageReport,
     };
     pub use crate::verify::{verify_instance, VerificationReport, VerifyConfig};
     pub use fuzzyflow_cutout::{extract_cutout, Cutout, SideEffectContext};

@@ -53,6 +53,37 @@ pub enum Event {
     },
     /// The pipeline failed before a verdict could be produced.
     PipelineError { index: usize, error: VerifyError },
+    /// Evolution mode: an execution of instance `index` discovered
+    /// coverage the instance's campaign had never seen.
+    Novelty {
+        index: usize,
+        /// 1-based evolution trial that found the new coverage.
+        trial: usize,
+        /// Distinct coverage-map entries discovered so far.
+        edges_seen: usize,
+    },
+    /// Evolution mode: a novel, passing input joined instance `index`'s
+    /// corpus.
+    CorpusGrowth {
+        index: usize,
+        /// 1-based evolution trial that produced the input.
+        trial: usize,
+        /// Corpus size after admission.
+        corpus_size: usize,
+    },
+    /// Evolution mode: a deduplicated fault class of instance `index`,
+    /// emitted after bisection triage.
+    FaultBucket {
+        index: usize,
+        /// Bisected culprit (`"<op kind> <target>"`, or `"seed"`).
+        culprit: String,
+        /// Structured error-class tag ("out-of-bounds", …).
+        kind: String,
+        /// Faulting container or diverging symbol (may be empty).
+        container: String,
+        /// Faults collapsed into this bucket.
+        duplicates: usize,
+    },
     /// Instance `index` finished (with a verdict or a pipeline error).
     InstanceFinished {
         index: usize,

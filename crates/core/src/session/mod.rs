@@ -65,16 +65,19 @@ mod event;
 mod report;
 
 pub use event::{CollectingSink, Event, EventSink, NullSink};
+pub use fuzzyflow_evo::EvolveConfig;
 pub use fuzzyflow_session::{CancelToken, SessionBudget, StopReason};
 pub use report::{
-    CacheTally, CampaignReport, ErrorRecord, FaultRecord, FusionTally, InstanceReport,
-    ReportConfig, ReportParseError,
+    BucketRecord, CacheTally, CampaignReport, ErrorRecord, FaultRecord, FusionTally,
+    InstanceReport, ReportConfig, ReportParseError, TriageReport,
 };
 
-use crate::sweep::InstanceResult;
+use crate::sweep::{EvolutionSummary, InstanceResult};
 use crate::verify::{
     prepare_instance, run_prepared, PreparedInstance, VerificationReport, VerifyConfig, VerifyError,
 };
+use fuzzyflow_evo::{rng_split, EvoEvent, EvolutionFuzzer};
+use fuzzyflow_fuzz::{CaseOutcome, TestCase, Verdict};
 use fuzzyflow_ir::{Bindings, Sdfg};
 use fuzzyflow_pool::{resolve_threads, WorkerPool};
 use fuzzyflow_transforms::{Transformation, TransformationMatch};
@@ -103,6 +106,7 @@ pub struct Campaign {
     transformations: Vec<Box<dyn Transformation>>,
     filter: Option<InstanceFilter>,
     verify: VerifyConfig,
+    evolve: Option<EvolveConfig>,
     threads: usize,
     budget: SessionBudget,
 }
@@ -116,6 +120,7 @@ impl Campaign {
             transformations: Vec::new(),
             filter: None,
             verify: VerifyConfig::default(),
+            evolve: None,
             threads: 0,
             budget: SessionBudget::unlimited(),
         }
@@ -159,6 +164,20 @@ impl Campaign {
     /// Sets the per-instance verification configuration.
     pub fn with_verify(mut self, verify: VerifyConfig) -> Campaign {
         self.verify = verify;
+        self
+    }
+
+    /// Switches the campaign to evolution mode: instead of independent
+    /// one-shot sampling, each instance runs a coverage-guided
+    /// evolutionary loop (corpus + mutators + bisection triage). The run
+    /// streams [`Event::Novelty`], [`Event::CorpusGrowth`] and
+    /// [`Event::FaultBucket`] in addition to the usual lifecycle events,
+    /// and the report carries a [`TriageReport`] of deduplicated fault
+    /// classes. [`VerifyConfig`] still supplies tolerance, size ceiling
+    /// and concretization; `evolve` supplies the trial budget, fault cap
+    /// and evolution seed.
+    pub fn with_evolve(mut self, evolve: EvolveConfig) -> Campaign {
+        self.evolve = Some(evolve);
         self
     }
 
@@ -345,6 +364,7 @@ impl Session {
                 sink,
                 cache: Some(&self.cache),
                 prepares: Some(&self.prepares),
+                evolve: self.campaign.evolve.as_ref(),
             },
         );
         // Fusion eligibility over the completed prefix, folded from the
@@ -386,6 +406,28 @@ impl Session {
             jit_scalar_runs: jit1.0 - jit0.0,
             jit_packed_runs: jit1.1 - jit0.1,
         };
+        // Evolution mode: fold every instance's triage buckets, in
+        // index order, into the report's campaign-wide triage object.
+        let triage = self.campaign.evolve.as_ref().map(|_| {
+            let mut t = TriageReport::default();
+            for r in &results {
+                let Some(evo) = &r.evolution else { continue };
+                t.faults_found += evo.faults_found;
+                for b in &evo.buckets {
+                    t.buckets.push(BucketRecord {
+                        instance: r.index,
+                        culprit: b.culprit.clone(),
+                        kind: b.kind.clone(),
+                        container: b.container.clone(),
+                        label: b.label.clone(),
+                        trial: b.trial,
+                        duplicates: b.duplicates,
+                        representative: b.representative.clone(),
+                    });
+                }
+            }
+            t
+        });
         CampaignReport {
             campaign: self.campaign.name.clone(),
             status: stop,
@@ -394,6 +436,7 @@ impl Session {
             config: ReportConfig::from_verify(&self.campaign.verify, self.campaign.threads),
             fusion,
             caches,
+            triage,
             instances: results.iter().map(InstanceReport::from_result).collect(),
         }
     }
@@ -419,6 +462,9 @@ pub(crate) struct Exec<'a> {
     pub sink: &'a dyn EventSink,
     pub cache: Option<&'a SessionCache>,
     pub prepares: Option<&'a AtomicUsize>,
+    /// When set, instances run the evolutionary loop instead of one-shot
+    /// sampling.
+    pub evolve: Option<&'a EvolveConfig>,
 }
 
 /// Fetches (or computes and caches) the prepared artifacts of instance
@@ -445,6 +491,140 @@ fn prepared_entry(
             .insert(index, Arc::clone(&entry));
     }
     (entry, false)
+}
+
+/// Runs one prepared instance in evolution mode: a coverage-guided
+/// mutation loop with bisection triage, in place of the one-shot trial
+/// batch. Each instance derives its own evolution seed from the
+/// campaign's evolve+verify seeds and its work-list index, and the loop
+/// itself is sequential and deterministic — so reports stay
+/// byte-identical for every thread count, exactly like the one-shot
+/// path. Arenas come from the instance's stash on cached sessions (warm
+/// evolution runs construct zero fresh arenas), and the streamed
+/// [`EvoEvent`]s are re-emitted as session [`Event`]s tagged with the
+/// instance index.
+fn run_evolved(
+    prepared: &PreparedInstance,
+    ecfg: &EvolveConfig,
+    vcfg: &VerifyConfig,
+    exec: &Exec<'_>,
+    index: usize,
+) -> (VerificationReport, EvolutionSummary) {
+    let (orig, trans) = prepared
+        .programs
+        .as_ref()
+        .expect("valid instances always compile");
+    let fuzzer = EvolutionFuzzer {
+        trials: ecfg.trials,
+        max_faults: ecfg.max_faults,
+        seed: rng_split(ecfg.seed ^ vcfg.seed, index as u64),
+        tolerance: vcfg.tolerance,
+        size_max: vcfg.size_max,
+        ..EvolutionFuzzer::default()
+    };
+    let seed_bindings = vcfg.concretization.clone().unwrap_or_default();
+    let mut observe = |e: &EvoEvent| match e {
+        EvoEvent::Novelty { trial, edges_seen } => exec.sink.on_event(&Event::Novelty {
+            index,
+            trial: *trial,
+            edges_seen: *edges_seen,
+        }),
+        EvoEvent::CorpusGrowth { trial, corpus_size } => exec.sink.on_event(&Event::CorpusGrowth {
+            index,
+            trial: *trial,
+            corpus_size: *corpus_size,
+        }),
+        EvoEvent::FaultBucket {
+            culprit,
+            kind,
+            container,
+            duplicates,
+        } => exec.sink.on_event(&Event::FaultBucket {
+            index,
+            culprit: culprit.clone(),
+            kind: kind.clone(),
+            container: container.clone(),
+            duplicates: *duplicates,
+        }),
+        _ => {}
+    };
+    let out = fuzzer.evolve(
+        &prepared.cutout,
+        orig.as_ref(),
+        trans.as_ref(),
+        &prepared.constraints,
+        &seed_bindings,
+        exec.cache.is_some().then_some(&prepared.arenas),
+        &mut observe,
+    );
+
+    // Project the evolution outcome onto the one-shot verdict classes,
+    // with the first (earliest-trial) fault as the instance verdict —
+    // the triage buckets carry the rest.
+    let name = &prepared.cutout.sdfg.name;
+    let verdict = if out.seed_rejected {
+        Verdict::Inconclusive {
+            reason: "original cutout rejected the seed input".to_string(),
+        }
+    } else if let Some(f) = &out.first_fault {
+        let case = TestCase::capture(name, &fuzzyflow_evo::failure_text(&f.outcome), &f.state);
+        match &f.outcome {
+            CaseOutcome::Hang(e) => Verdict::Hang {
+                trial: f.trial,
+                error: e.to_string(),
+                case,
+            },
+            CaseOutcome::Crash(e) => Verdict::Crash {
+                trial: f.trial,
+                error: e.to_string(),
+                case,
+            },
+            CaseOutcome::Invalid(e) => Verdict::InvalidCode {
+                errors: vec![e.to_string()],
+            },
+            CaseOutcome::SymbolChange {
+                symbol,
+                original,
+                transformed,
+            } => Verdict::SemanticChange {
+                trial: f.trial,
+                mismatch: format!("symbol '{symbol}' differs: {original:?} vs {transformed:?}"),
+                case,
+            },
+            CaseOutcome::SemanticChange(m) => Verdict::SemanticChange {
+                trial: f.trial,
+                mismatch: m.to_string(),
+                case,
+            },
+            CaseOutcome::OriginalFailed(_) | CaseOutcome::Pass => {
+                unreachable!("collected faults are faults")
+            }
+        }
+    } else {
+        Verdict::Equivalent {
+            trials: out.trials_run,
+        }
+    };
+
+    let report = VerificationReport {
+        transformation: prepared.transformation.clone(),
+        match_description: prepared.match_description.clone(),
+        verdict,
+        cutout_stats: prepared.cutout.stats.clone(),
+        program_nodes: prepared.program_nodes,
+        mincut: prepared.mincut.clone(),
+        trials_run: out.trials_run,
+        trials_to_detection: out.first_fault.as_ref().map(|f| f.trial),
+        system_state: prepared.cutout.system_state.clone(),
+        input_config: prepared.cutout.input_config.clone(),
+    };
+    let summary = EvolutionSummary {
+        corpus_size: out.corpus_size,
+        edges_seen: out.edges_seen,
+        faults_found: out.faults_found,
+        buckets: out.buckets,
+    };
+    (report, summary)
 }
 
 /// The one execution path of the verification stack: runs `specs` under
@@ -474,8 +654,18 @@ pub(crate) fn run_specs(
         }
 
         let (entry, cached) = prepared_entry(spec, &vcfg, exec, i);
+        let mut evolution = None;
         let outcome: Result<VerificationReport, VerifyError> = match entry.as_ref() {
             Err(e) => Err(e.clone()),
+            // Evolution mode replaces the one-shot trial batch; invalid
+            // instances still fall through so they classify as
+            // "generates invalid code" exactly as before.
+            Ok(prepared) if exec.evolve.is_some() && prepared.invalid.is_none() => {
+                let ecfg = exec.evolve.expect("checked above");
+                let (report, summary) = run_evolved(prepared, ecfg, &vcfg, exec, i);
+                evolution = Some(summary);
+                Ok(report)
+            }
             Ok(prepared) => {
                 let total = vcfg.trials;
                 let chunk = (total / 4).max(1);
@@ -515,6 +705,7 @@ pub(crate) fn run_specs(
                     match_description: spec.m.description.clone(),
                     report: Some(report),
                     error: None,
+                    evolution,
                 }
             }
             Err(error) => {
@@ -529,6 +720,7 @@ pub(crate) fn run_specs(
                     match_description: spec.m.description.clone(),
                     report: None,
                     error: Some(error),
+                    evolution: None,
                 }
             }
         };
@@ -576,6 +768,7 @@ pub(crate) fn verify_single_shot(
             sink: &NullSink,
             cache: None,
             prepares: None,
+            evolve: None,
         },
     );
     let result = results.pop().expect("single instance completes");

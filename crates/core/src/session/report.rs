@@ -233,6 +233,50 @@ pub struct CacheTally {
     pub jit_packed_runs: u64,
 }
 
+/// One deduplicated fault class of an evolutionary campaign: the
+/// serializable form of a triage bucket
+/// ([`FaultBucket`](fuzzyflow_evo::FaultBucket)), tagged with the
+/// instance it came from. The representative is the bucket's *minimal*
+/// failing input (the bisected prefix), bit-exact and replayable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BucketRecord {
+    /// Work-list index of the instance that produced the bucket.
+    pub instance: usize,
+    /// Bisected culprit (`"<op kind> <target>"`, or `"seed"`).
+    pub culprit: String,
+    /// Structured error-class tag ("out-of-bounds", "semantic-change", …).
+    pub kind: String,
+    /// Faulting container or diverging symbol (may be empty).
+    pub container: String,
+    /// Verdict-style label of the fault class ("crash", "hang", …).
+    pub label: String,
+    /// 1-based trial of the earliest fault in the bucket.
+    pub trial: usize,
+    /// Faults collapsed into this bucket.
+    pub duplicates: usize,
+    /// Replayable capture of the bucket's minimal failing input.
+    pub representative: TestCase,
+}
+
+/// Campaign-wide fault triage: every instance's deduplicated fault
+/// classes, folded in instance-index order. Present only on evolution
+/// runs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TriageReport {
+    /// Faults collected across instances before deduplication.
+    pub faults_found: usize,
+    /// Deduplicated fault classes with duplicate counts and replayable
+    /// representatives.
+    pub buckets: Vec<BucketRecord>,
+}
+
+impl TriageReport {
+    /// Number of deduplicated fault classes.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
 /// The serializable outcome of one session run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CampaignReport {
@@ -250,6 +294,9 @@ pub struct CampaignReport {
     pub fusion: FusionTally,
     /// Program/code cache activity observed during this run.
     pub caches: CacheTally,
+    /// Deduplicated fault classes (evolution runs only; `None` keeps
+    /// one-shot reports byte-identical to earlier versions).
+    pub triage: Option<TriageReport>,
     /// The completed prefix, in index order (`instances.len()` is the
     /// prefix length; `instances[i].index == i`).
     pub instances: Vec<InstanceReport>,
@@ -359,6 +406,34 @@ impl CampaignReport {
             ca.jit_scalar_runs,
             ca.jit_packed_runs
         ));
+        if let Some(t) = &self.triage {
+            out.push_str(&format!(
+                "  \"triage\": {{\"faults_found\": {}, \"buckets\": [",
+                t.faults_found
+            ));
+            for (k, b) in t.buckets.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    ");
+                out.push_str(&format!(
+                    "{{\"instance\": {}, \"culprit\": {}, \"kind\": {}, \"container\": {}, \
+                     \"label\": {}, \"trial\": {}, \"duplicates\": {}, \"representative\": {}}}",
+                    b.instance,
+                    quote(&b.culprit),
+                    quote(&b.kind),
+                    quote(&b.container),
+                    quote(&b.label),
+                    b.trial,
+                    b.duplicates,
+                    b.representative.to_json()
+                ));
+            }
+            if !t.buckets.is_empty() {
+                out.push_str("\n  ");
+            }
+            out.push_str("]},\n");
+        }
         out.push_str("  \"instances\": [");
         for (k, inst) in self.instances.iter().enumerate() {
             if k > 0 {
@@ -513,6 +588,40 @@ impl CampaignReport {
             caches.jit_packed_runs = counter("jit", "packed_runs");
         }
 
+        // Lenient: the triage object only exists on evolution-mode
+        // reports (and on none written before it was introduced).
+        let triage = match v.get("triage") {
+            None | Some(Json::Null) => None,
+            Some(t) => {
+                let mut buckets = Vec::new();
+                for b in t
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ReportParseError("'triage.buckets' is not a list".into()))?
+                {
+                    buckets.push(BucketRecord {
+                        instance: req_usize(b, "instance")?,
+                        culprit: req_str(b, "culprit")?,
+                        kind: req_str(b, "kind")?,
+                        container: req_str(b, "container")?,
+                        label: req_str(b, "label")?,
+                        trial: req_usize(b, "trial")?,
+                        duplicates: req_usize(b, "duplicates")?,
+                        representative: TestCase::from_json_value(
+                            b.get("representative").ok_or_else(|| {
+                                ReportParseError("bucket missing 'representative'".into())
+                            })?,
+                        )
+                        .map_err(|e| ReportParseError(e.to_string()))?,
+                    });
+                }
+                Some(TriageReport {
+                    faults_found: req_usize(t, "faults_found")?,
+                    buckets,
+                })
+            }
+        };
+
         let mut instances = Vec::new();
         for inst in field("instances")?
             .as_arr()
@@ -580,6 +689,7 @@ impl CampaignReport {
             config,
             fusion,
             caches,
+            triage,
             instances,
         })
     }

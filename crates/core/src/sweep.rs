@@ -44,6 +44,22 @@ impl SweepConfig {
     }
 }
 
+/// Evolution-mode outcome of one instance: what the coverage-guided
+/// loop retained and what triage concluded. Present only when the
+/// campaign ran with an
+/// [`EvolveConfig`](crate::session::EvolveConfig).
+#[derive(Clone, Debug)]
+pub struct EvolutionSummary {
+    /// Corpus entries retained at the end of the loop.
+    pub corpus_size: usize,
+    /// Distinct coverage-map entries discovered.
+    pub edges_seen: usize,
+    /// Faults collected before deduplication.
+    pub faults_found: usize,
+    /// Deduplicated fault classes, in deterministic bucket-key order.
+    pub buckets: Vec<fuzzyflow_evo::FaultBucket>,
+}
+
 /// Outcome of one transformation instance.
 #[derive(Clone, Debug)]
 pub struct InstanceResult {
@@ -56,6 +72,9 @@ pub struct InstanceResult {
     pub report: Option<VerificationReport>,
     /// Structured pipeline error, if the instance could not be verified.
     pub error: Option<VerifyError>,
+    /// Evolution-mode summary (campaigns run with
+    /// [`Campaign::with_evolve`](crate::session::Campaign::with_evolve)).
+    pub evolution: Option<EvolutionSummary>,
 }
 
 impl InstanceResult {
@@ -153,6 +172,7 @@ pub fn sweep_on(
             sink: &NullSink,
             cache: None,
             prepares: None,
+            evolve: None,
         },
     );
 

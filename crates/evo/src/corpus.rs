@@ -1,0 +1,145 @@
+//! The evolving corpus: retained test cases scheduled by coverage
+//! novelty.
+//!
+//! Inputs that discover a new `(edge, bucket)` pair in the AFL-style
+//! virgin map are *admitted*; each entry remembers its full mutation
+//! lineage (for triage bisection) and the set of edges its execution
+//! touched. Scheduling is energy-weighted: an entry's energy is the sum
+//! of rarity scores of its edges under the *global* per-edge hit totals,
+//! so entries exercising paths the campaign rarely sees are mutated
+//! more often — sfuzz-style rare-edge seed scheduling.
+
+use crate::mutate::MutOp;
+use fuzzyflow_fuzz::Xoshiro256;
+use fuzzyflow_interp::coverage::MAP_SIZE;
+use fuzzyflow_interp::{CoverageMap, ExecState};
+
+/// One retained corpus member.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// The materialized input state (seed state + lineage applied).
+    pub state: ExecState,
+    /// Mutation ops from the instance seed to this state, in order.
+    pub lineage: Vec<MutOp>,
+    /// Edges the admitting execution touched, in edge-id order.
+    pub edges: Vec<u32>,
+}
+
+/// The corpus plus the campaign-global coverage bookkeeping.
+#[derive(Debug)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+    /// AFL virgin map: discovered `(edge, bucket)` bits.
+    virgin: Vec<u8>,
+    /// Cumulative per-edge hit totals over every instrumented run.
+    hits: Vec<u64>,
+    edges_seen: usize,
+}
+
+/// Rarity scale: an edge the campaign has hit only once contributes
+/// `1 + SCALE`, a saturated edge contributes ~1.
+const SCALE: u64 = 1024;
+
+impl Default for Corpus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Corpus {
+            entries: Vec::new(),
+            virgin: vec![0u8; MAP_SIZE],
+            hits: vec![0u64; MAP_SIZE],
+            edges_seen: 0,
+        }
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True before any entry is admitted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The retained entries, in admission order.
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Distinct virgin-map bytes touched so far.
+    pub fn edges_seen(&self) -> usize {
+        self.edges_seen
+    }
+
+    /// Nonzero cumulative per-edge hit totals, in edge-id order.
+    pub fn edge_hits(&self) -> Vec<(u32, u64)> {
+        self.hits
+            .iter()
+            .enumerate()
+            .filter(|(_, &h)| h > 0)
+            .map(|(i, &h)| (i as u32, h))
+            .collect()
+    }
+
+    /// Folds one instrumented execution into the global bookkeeping:
+    /// accumulates per-edge hit totals and merges the virgin map.
+    /// Returns `true` when the execution discovered new coverage (the
+    /// admission signal).
+    pub fn record_execution(&mut self, cov: &CoverageMap) -> bool {
+        for (edge, count) in cov.hits() {
+            self.hits[edge] += count as u64;
+        }
+        let virgin: &mut [u8; MAP_SIZE] = (&mut self.virgin[..]).try_into().expect("MAP_SIZE");
+        let novel = cov.merge_into(virgin);
+        if novel {
+            self.edges_seen = self.virgin.iter().filter(|&&b| b != 0).count();
+        }
+        novel
+    }
+
+    /// Admits an entry (caller decides — typically: novel coverage, the
+    /// original cutout accepted the input, and the pair did not fault).
+    pub fn admit(&mut self, state: ExecState, lineage: Vec<MutOp>, cov: &CoverageMap) {
+        let edges = cov.hits().map(|(e, _)| e as u32).collect();
+        self.entries.push(CorpusEntry {
+            state,
+            lineage,
+            edges,
+        });
+    }
+
+    /// Energy of entry `i`: summed rarity of its edges under the global
+    /// hit totals. Deterministic integer arithmetic — scheduling is
+    /// byte-reproducible across platforms.
+    pub fn energy(&self, i: usize) -> u64 {
+        let e: u64 = self.entries[i]
+            .edges
+            .iter()
+            .map(|&edge| 1 + SCALE / self.hits[edge as usize].max(1))
+            .sum();
+        e.max(1)
+    }
+
+    /// Draws an entry index, weighted by [`Corpus::energy`]. Entries
+    /// touching rare edges are favored; as an edge's global hit total
+    /// grows, the entries covering it cool down.
+    pub fn select(&self, rng: &mut Xoshiro256) -> usize {
+        debug_assert!(!self.entries.is_empty());
+        let weights: Vec<u64> = (0..self.entries.len()).map(|i| self.energy(i)).collect();
+        let total: u64 = weights.iter().sum();
+        let mut r = rng.next_u64() % total.max(1);
+        for (i, w) in weights.iter().enumerate() {
+            if r < *w {
+                return i;
+            }
+            r -= w;
+        }
+        self.entries.len() - 1
+    }
+}

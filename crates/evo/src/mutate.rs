@@ -1,0 +1,364 @@
+//! The mutator suite: deterministic, self-contained transformations of
+//! serialized test cases.
+//!
+//! Every [`MutOp`] carries *all* of its parameters (absolute symbol
+//! values, raw element bits, recorded fill seeds), so a lineage — the
+//! sequence of ops that produced a corpus entry from the instance seed —
+//! replays to the exact same [`ExecState`] without consulting the
+//! campaign PRNG. That property is what makes bisection over lineage
+//! prefixes (triage) and resumed campaigns byte-exact.
+//!
+//! Ops are *total*: applied to a state where their target is missing or
+//! out of range they degrade to a no-op instead of failing, so any
+//! prefix of any lineage is a valid state-producing program.
+
+use crate::rng_split;
+use fuzzyflow_cutout::Cutout;
+use fuzzyflow_fuzz::{Constraints, SymbolRole, Xoshiro256};
+use fuzzyflow_interp::{ArrayValue, ExecState};
+use fuzzyflow_ir::{Bindings, DType, Scalar};
+
+/// One self-contained mutation of a test case.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MutOp {
+    /// Element perturbation: overwrite one element of an input container
+    /// with the given raw bit pattern.
+    Perturb {
+        array: String,
+        index: usize,
+        bits: u64,
+    },
+    /// Dimension resize: rebind a symbol to a fresh value drawn within
+    /// its constraints; containers whose shape changes are
+    /// re-materialized (overlapping linear prefix preserved, new
+    /// elements filled deterministically from `fill`).
+    Resize {
+        symbol: String,
+        value: i64,
+        fill: u64,
+    },
+    /// Symbol nudge: a small clamped step on a symbol. Shape
+    /// reconciliation as for [`MutOp::Resize`].
+    Nudge {
+        symbol: String,
+        value: i64,
+        fill: u64,
+    },
+    /// Splice/crossover: copy a run of elements (recorded as raw bits at
+    /// generation time) from a donor corpus member into a container.
+    Splice {
+        array: String,
+        start: usize,
+        bits: Vec<u64>,
+    },
+}
+
+impl MutOp {
+    /// The op class, for triage culprit descriptions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MutOp::Perturb { .. } => "perturb",
+            MutOp::Resize { .. } => "resize",
+            MutOp::Nudge { .. } => "nudge",
+            MutOp::Splice { .. } => "splice",
+        }
+    }
+
+    /// The container or symbol the op targets.
+    pub fn target(&self) -> &str {
+        match self {
+            MutOp::Perturb { array, .. } | MutOp::Splice { array, .. } => array,
+            MutOp::Resize { symbol, .. } | MutOp::Nudge { symbol, .. } => symbol,
+        }
+    }
+
+    /// `"<kind> <target>"` — the culprit key triage buckets on. Two
+    /// faults whose bisected culprits mutate the same thing the same way
+    /// land in the same bucket, regardless of the concrete values.
+    pub fn describe(&self) -> String {
+        format!("{} {}", self.kind(), self.target())
+    }
+
+    /// Applies the op to `state` (total: out-of-range targets no-op).
+    pub fn apply(&self, cutout: &Cutout, state: &mut ExecState) {
+        match self {
+            MutOp::Perturb { array, index, bits } => {
+                let Some(desc) = cutout.sdfg.array(array) else {
+                    return;
+                };
+                let dtype = desc.dtype;
+                if let Some(arr) = state.arrays.get_mut(array) {
+                    if *index < arr.len() {
+                        arr.set(*index, scalar_from_bits(dtype, *bits));
+                    }
+                }
+            }
+            MutOp::Resize {
+                symbol,
+                value,
+                fill,
+            }
+            | MutOp::Nudge {
+                symbol,
+                value,
+                fill,
+            } => {
+                state.symbols.set(symbol.clone(), *value);
+                reconcile_shapes(cutout, state, *fill);
+            }
+            MutOp::Splice { array, start, bits } => {
+                let Some(desc) = cutout.sdfg.array(array) else {
+                    return;
+                };
+                let dtype = desc.dtype;
+                if let Some(arr) = state.arrays.get_mut(array) {
+                    for (k, &b) in bits.iter().enumerate() {
+                        let i = start + k;
+                        if i >= arr.len() {
+                            break;
+                        }
+                        arr.set(i, scalar_from_bits(dtype, b));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Raw bits of a scalar value, the serialized element representation
+/// mutation ops record (bit-exact, NaN payloads and negative zero
+/// included).
+pub fn scalar_bits(v: Scalar) -> u64 {
+    match v {
+        Scalar::F64(x) => x.to_bits(),
+        Scalar::F32(x) => x.to_bits() as u64,
+        Scalar::I64(x) => x as u64,
+        Scalar::I32(x) => x as u32 as u64,
+        Scalar::Bool(x) => x as u64,
+    }
+}
+
+/// Inverse of [`scalar_bits`].
+pub fn scalar_from_bits(dtype: DType, bits: u64) -> Scalar {
+    match dtype {
+        DType::F64 => Scalar::F64(f64::from_bits(bits)),
+        DType::F32 => Scalar::F32(f32::from_bits(bits as u32)),
+        DType::I64 => Scalar::I64(bits as i64),
+        DType::I32 => Scalar::I32(bits as i32),
+        DType::Bool => Scalar::Bool(bits & 1 == 1),
+    }
+}
+
+/// Inclusive sampling bounds of `symbol` under the cutout's constraints
+/// — custom engineer overrides first, then the derived role, evaluated
+/// against the currently bound symbols.
+pub fn symbol_bounds(
+    constraints: &Constraints,
+    symbols: &Bindings,
+    size_max: i64,
+    symbol: &str,
+) -> (i64, i64) {
+    if let Some(&(lo, hi)) = constraints.custom.get(symbol) {
+        return (lo, hi);
+    }
+    match constraints.roles.get(symbol) {
+        Some(SymbolRole::Size) => (1, size_max.max(1)),
+        Some(SymbolRole::Index { dim_size }) => match dim_size.eval(symbols) {
+            Ok(d) if d > 0 => (0, d - 1),
+            _ => (0, size_max.max(0)),
+        },
+        Some(SymbolRole::LoopVar { lo, hi }) => match (lo.eval(symbols), hi.eval(symbols)) {
+            (Ok(l), Ok(h)) if l <= h => (l, h),
+            _ => (0, size_max.max(0)),
+        },
+        Some(SymbolRole::Free) => (0, size_max.max(0)),
+        None => (1, size_max.max(1)),
+    }
+}
+
+/// Re-materializes input containers whose concrete shape no longer
+/// matches the bound symbols: the overlapping linear prefix of elements
+/// is preserved, new elements are filled from a PRNG stream seeded with
+/// `fill` (recorded in the op, so replay is exact). Containers whose
+/// shape fails to evaluate keep their old allocation — the op stays
+/// total.
+fn reconcile_shapes(cutout: &Cutout, state: &mut ExecState, fill: u64) {
+    let mut rng = Xoshiro256::seed_from(rng_split(fill, 0x005A_1CE5));
+    for name in &cutout.input_config {
+        let Some(desc) = cutout.sdfg.array(name) else {
+            continue;
+        };
+        let Ok(shape) = desc.concrete_shape(&state.symbols) else {
+            continue;
+        };
+        if shape.iter().any(|&d| d < 0) {
+            continue;
+        }
+        let same = state
+            .array(name)
+            .is_some_and(|arr| arr.shape() == shape.as_slice());
+        if same {
+            continue;
+        }
+        let mut fresh = ArrayValue::zeros(desc.dtype, shape);
+        let keep = state
+            .array(name)
+            .map_or(0, |old| old.len().min(fresh.len()));
+        for i in 0..keep {
+            let v = state.array(name).expect("checked above").get(i);
+            fresh.set(i, v);
+        }
+        for i in keep..fresh.len() {
+            fresh.set(i, Scalar::F64(rng.range_f64(-10.0, 10.0)).cast(desc.dtype));
+        }
+        state.arrays.insert(name.clone(), fresh);
+    }
+}
+
+/// Generates [`MutOp`]s from the campaign PRNG, a base state and an
+/// optional donor (splice source).
+#[derive(Clone, Debug)]
+pub struct Mutator {
+    /// Ceiling used for symbols without a tighter derived bound.
+    pub size_max: i64,
+}
+
+impl Mutator {
+    /// Draws the next mutation for `base`. The choice, targets and
+    /// values all come from `rng`, but the returned op is self-contained
+    /// — replaying it later never consults the PRNG again.
+    pub fn generate(
+        &self,
+        rng: &mut Xoshiro256,
+        cutout: &Cutout,
+        constraints: &Constraints,
+        base: &ExecState,
+        donor: Option<&ExecState>,
+    ) -> MutOp {
+        // Weighted op choice; strategies that lack a target fall through
+        // to a symbol nudge (always available when there are symbols)
+        // or an element perturbation.
+        let roll = rng.index(10);
+        if roll < 4 {
+            if let Some(op) = self.perturb(rng, cutout, base) {
+                return op;
+            }
+        } else if roll < 6 {
+            if let Some(op) = self.nudge(rng, cutout, constraints, base) {
+                return op;
+            }
+        } else if roll < 8 {
+            if let Some(op) = self.resize(rng, cutout, constraints, base) {
+                return op;
+            }
+        } else if let Some(op) = self.splice(rng, cutout, base, donor) {
+            return op;
+        }
+        self.nudge(rng, cutout, constraints, base)
+            .or_else(|| self.perturb(rng, cutout, base))
+            .unwrap_or(MutOp::Perturb {
+                array: String::new(),
+                index: 0,
+                bits: 0,
+            })
+    }
+
+    fn pick_array<'a>(
+        &self,
+        rng: &mut Xoshiro256,
+        cutout: &'a Cutout,
+        base: &ExecState,
+    ) -> Option<(&'a str, usize)> {
+        let candidates: Vec<(&str, usize)> = cutout
+            .input_config
+            .iter()
+            .filter_map(|n| {
+                let len = base.array(n)?.len();
+                (len > 0).then_some((n.as_str(), len))
+            })
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(candidates[rng.index(candidates.len())])
+    }
+
+    fn perturb(&self, rng: &mut Xoshiro256, cutout: &Cutout, base: &ExecState) -> Option<MutOp> {
+        let (name, len) = self.pick_array(rng, cutout, base)?;
+        let dtype = cutout.sdfg.array(name)?.dtype;
+        let value = Scalar::F64(rng.range_f64(-100.0, 100.0)).cast(dtype);
+        Some(MutOp::Perturb {
+            array: name.to_string(),
+            index: rng.index(len),
+            bits: scalar_bits(value),
+        })
+    }
+
+    fn nudge(
+        &self,
+        rng: &mut Xoshiro256,
+        cutout: &Cutout,
+        constraints: &Constraints,
+        base: &ExecState,
+    ) -> Option<MutOp> {
+        if cutout.input_symbols.is_empty() {
+            return None;
+        }
+        let symbol = &cutout.input_symbols[rng.index(cutout.input_symbols.len())];
+        let (lo, hi) = symbol_bounds(constraints, &base.symbols, self.size_max, symbol);
+        let cur = base.symbols.get(symbol).unwrap_or(lo);
+        let mut delta = rng.range_i64(-3, 3);
+        if delta == 0 {
+            delta = 1;
+        }
+        Some(MutOp::Nudge {
+            symbol: symbol.clone(),
+            value: cur.saturating_add(delta).clamp(lo, hi),
+            fill: rng.next_u64(),
+        })
+    }
+
+    fn resize(
+        &self,
+        rng: &mut Xoshiro256,
+        cutout: &Cutout,
+        constraints: &Constraints,
+        base: &ExecState,
+    ) -> Option<MutOp> {
+        if cutout.input_symbols.is_empty() {
+            return None;
+        }
+        let symbol = &cutout.input_symbols[rng.index(cutout.input_symbols.len())];
+        let (lo, hi) = symbol_bounds(constraints, &base.symbols, self.size_max, symbol);
+        Some(MutOp::Resize {
+            symbol: symbol.clone(),
+            value: rng.range_i64(lo, hi),
+            fill: rng.next_u64(),
+        })
+    }
+
+    fn splice(
+        &self,
+        rng: &mut Xoshiro256,
+        cutout: &Cutout,
+        base: &ExecState,
+        donor: Option<&ExecState>,
+    ) -> Option<MutOp> {
+        let donor = donor?;
+        let (name, len) = self.pick_array(rng, cutout, base)?;
+        let donor_arr = donor.array(name)?;
+        let start = rng.index(len);
+        let run = 1 + rng.index(8);
+        let bits: Vec<u64> = (start..(start + run).min(len).min(donor_arr.len()))
+            .map(|i| scalar_bits(donor_arr.get(i)))
+            .collect();
+        if bits.is_empty() {
+            return None;
+        }
+        Some(MutOp::Splice {
+            array: name.to_string(),
+            start,
+            bits,
+        })
+    }
+}

@@ -39,6 +39,11 @@ pub struct CoverageReport {
     pub corpus_size: usize,
     /// Distinct virgin-map bits set over the campaign.
     pub edges_seen: usize,
+    /// Cumulative per-edge hit counts over every instrumented execution,
+    /// as `(edge id, total hits)` pairs in edge-id order — the raw
+    /// material for novelty scoring (rare-edge weighting), exposed here
+    /// so schedulers don't need a side channel next to the covered set.
+    pub edge_hits: Vec<(u32, u64)>,
 }
 
 /// Coverage-guided fuzzer configuration.
@@ -230,6 +235,7 @@ impl CoverageFuzzer {
                 trials_to_detection: Some(0),
                 corpus_size: 0,
                 edges_seen: 0,
+                edge_hits: Vec::new(),
             };
         }
 
@@ -303,6 +309,7 @@ impl CoverageFuzzer {
         let virgin: &mut [u8; MAP_SIZE] =
             (&mut virgin_store[..]).try_into().expect("MAP_SIZE slice");
         let mut edges_seen = 0usize;
+        let mut hits = vec![0u64; MAP_SIZE];
 
         // AFL-style deterministic stage: single-bit flips walking the seed
         // buffer from the front (this is how AFL++ quickly perturbs header
@@ -329,6 +336,9 @@ impl CoverageFuzzer {
             // Original run, instrumented.
             let mut cov = CoverageMap::new();
             let orig_result = orig_exec.execute(&sample, &opts, None, Some(&mut cov));
+            for (edge, count) in cov.hits() {
+                hits[edge] += count as u64;
+            }
             if orig_result.is_err() {
                 // Uninteresting crash (both sides fail) — but still feed
                 // coverage so the fuzzer learns path-triggering inputs.
@@ -350,6 +360,7 @@ impl CoverageFuzzer {
                         trial,
                         corpus.len(),
                         edges_seen,
+                        &hits,
                     );
                 }
                 Err(e) if e.is_crash() => {
@@ -362,6 +373,7 @@ impl CoverageFuzzer {
                         trial,
                         corpus.len(),
                         edges_seen,
+                        &hits,
                     );
                 }
                 Err(e) => {
@@ -372,6 +384,7 @@ impl CoverageFuzzer {
                         trial,
                         corpus.len(),
                         edges_seen,
+                        &hits,
                     );
                 }
                 Ok(()) => {}
@@ -393,6 +406,7 @@ impl CoverageFuzzer {
                     trial,
                     corpus.len(),
                     edges_seen,
+                    &hits,
                 );
             }
 
@@ -411,6 +425,7 @@ impl CoverageFuzzer {
             trials_to_detection: None,
             corpus_size: corpus.len(),
             edges_seen,
+            edge_hits: compress_hits(&hits),
         }
     }
 
@@ -457,6 +472,7 @@ impl CoverageFuzzer {
         trial: usize,
         corpus_size: usize,
         edges_seen: usize,
+        hits: &[u64],
     ) -> CoverageReport {
         CoverageReport {
             verdict,
@@ -464,8 +480,19 @@ impl CoverageFuzzer {
             trials_to_detection: Some(trial),
             corpus_size,
             edges_seen,
+            edge_hits: compress_hits(hits),
         }
     }
+}
+
+/// Compresses a dense per-edge hit-count table into the nonzero
+/// `(edge id, total hits)` pairs, in edge-id order.
+fn compress_hits(hits: &[u64]) -> Vec<(u32, u64)> {
+    hits.iter()
+        .enumerate()
+        .filter(|(_, &h)| h > 0)
+        .map(|(i, &h)| (i as u32, h))
+        .collect()
 }
 
 #[cfg(test)]

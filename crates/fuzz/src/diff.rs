@@ -70,11 +70,14 @@ impl ArenaStash {
         self.len() == 0
     }
 
-    fn take(&self) -> Option<(ExecutorArena, ExecutorArena)> {
+    /// Checks a parked arena pair out of the stash, if any.
+    pub fn take(&self) -> Option<(ExecutorArena, ExecutorArena)> {
         self.pairs.lock().expect("arena stash poisoned").pop()
     }
 
-    fn put(&self, pair: (ExecutorArena, ExecutorArena)) {
+    /// Parks an arena pair back into the stash (bounded by the
+    /// process-wide cache-capacity knob; surplus pairs are dropped).
+    pub fn put(&self, pair: (ExecutorArena, ExecutorArena)) {
         let mut pairs = self.pairs.lock().expect("arena stash poisoned");
         // Bounded by the same process-wide capacity knob as the
         // program/code caches: a surplus pair (wide one-off batch,
@@ -142,6 +145,82 @@ impl Verdict {
             Verdict::Hang { .. } => "hang",
             Verdict::InvalidCode { .. } => "invalid code",
             Verdict::Inconclusive { .. } => "inconclusive",
+        }
+    }
+}
+
+/// Outcome of replaying one concrete input through a compiled cutout
+/// pair ([`DiffTester::replay_case`]).
+///
+/// Unlike [`Verdict`], whose fault variants carry rendered strings for
+/// reporting, these carry the *structured* [`ExecError`](fuzzyflow_interp::ExecError) /
+/// [`StateMismatch`](fuzzyflow_interp::StateMismatch) so triage can
+/// bucket faults by error class and faulting container without parsing
+/// messages back apart.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CaseOutcome {
+    /// Both sides ran and the compared state matched.
+    Pass,
+    /// The *original* cutout rejected the input — nothing can be
+    /// concluded about the transformation from this case.
+    OriginalFailed(fuzzyflow_interp::ExecError),
+    /// The transformed cutout exceeded the step budget.
+    Hang(fuzzyflow_interp::ExecError),
+    /// The transformed cutout crashed (OOB, guard plane, division, …).
+    Crash(fuzzyflow_interp::ExecError),
+    /// The transformed cutout failed structurally at runtime.
+    Invalid(fuzzyflow_interp::ExecError),
+    /// A scalar side-effect symbol diverged between the two runs.
+    SymbolChange {
+        symbol: String,
+        original: Option<i64>,
+        transformed: Option<i64>,
+    },
+    /// System-state contents diverged between the two runs.
+    SemanticChange(fuzzyflow_interp::StateMismatch),
+}
+
+impl CaseOutcome {
+    /// True when the case demonstrates a transformation fault.
+    pub fn is_fault(&self) -> bool {
+        !matches!(self, CaseOutcome::Pass | CaseOutcome::OriginalFailed(_))
+    }
+
+    /// Short label matching [`Verdict::label`] for the same fault class.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CaseOutcome::Pass => "ok",
+            CaseOutcome::OriginalFailed(_) => "original failed",
+            CaseOutcome::Hang(_) => "hang",
+            CaseOutcome::Crash(_) => "crash",
+            CaseOutcome::Invalid(_) => "invalid code",
+            CaseOutcome::SymbolChange { .. } | CaseOutcome::SemanticChange(_) => "semantic change",
+        }
+    }
+
+    /// Stable error-class tag for triage bucketing (the
+    /// [`ExecError::kind`](fuzzyflow_interp::ExecError::kind) of the
+    /// carried error, or a class tag of its own for state divergences).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CaseOutcome::Pass => "pass",
+            CaseOutcome::OriginalFailed(e) => e.kind(),
+            CaseOutcome::Hang(e) | CaseOutcome::Crash(e) | CaseOutcome::Invalid(e) => e.kind(),
+            CaseOutcome::SymbolChange { .. } => "symbol-change",
+            CaseOutcome::SemanticChange(_) => "semantic-change",
+        }
+    }
+
+    /// The faulting container (or diverging symbol), when there is one.
+    pub fn container(&self) -> Option<&str> {
+        match self {
+            CaseOutcome::Pass => None,
+            CaseOutcome::OriginalFailed(e)
+            | CaseOutcome::Hang(e)
+            | CaseOutcome::Crash(e)
+            | CaseOutcome::Invalid(e) => e.container(),
+            CaseOutcome::SymbolChange { symbol, .. } => Some(symbol),
+            CaseOutcome::SemanticChange(m) => Some(&m.data),
         }
     }
 }
@@ -539,6 +618,87 @@ impl DiffTester {
             };
         }
         TrialOutcome::Passed { resamples }
+    }
+
+    /// Replays one concrete input through a compiled cutout pair and
+    /// classifies the outcome — the single-case entry behind test-case
+    /// replay and triage bisection probes. Reuses the caller's compiled
+    /// [`Program`]s and parks its executor arenas back into `stash` (or
+    /// the per-worker cache), so a bisection running dozens of probes
+    /// compiles nothing and constructs no fresh arenas after the first.
+    ///
+    /// The comparison sequence is exactly [`DiffTester::test`]'s per-trial
+    /// one — transformed hang/crash/structural failure, then scalar
+    /// side-effect symbols, then system state under
+    /// [`DiffTester::tolerance`] — so a fault case captured by a trial
+    /// replays to the same class here.
+    pub fn replay_case(
+        &self,
+        cutout: &Cutout,
+        orig_prog: &Program,
+        trans_prog: &Program,
+        state: &ExecState,
+        stash: Option<&ArenaStash>,
+    ) -> CaseOutcome {
+        let key = pair_key(orig_prog, trans_prog);
+        let (oa, ta) = match stash {
+            Some(stash) => stash
+                .take()
+                .unwrap_or_else(|| (ExecutorArena::new(), ExecutorArena::new())),
+            None => {
+                exec_arena_cache().checkout_or(key, || (ExecutorArena::new(), ExecutorArena::new()))
+            }
+        };
+        let mut orig_exec = orig_prog.executor_with(oa);
+        let mut trans_exec = trans_prog.executor_with(ta);
+        let outcome = self.replay_on(cutout, state, &mut orig_exec, &mut trans_exec);
+        let pair = (orig_exec.into_arena(), trans_exec.into_arena());
+        match stash {
+            Some(stash) => stash.put(pair),
+            None => exec_arena_cache().store(key, pair),
+        }
+        outcome
+    }
+
+    /// [`DiffTester::replay_case`] on executors the caller already holds
+    /// — the inner comparison sequence, arena-management-free.
+    pub fn replay_on(
+        &self,
+        cutout: &Cutout,
+        state: &ExecState,
+        orig_exec: &mut fuzzyflow_interp::Executor<'_>,
+        trans_exec: &mut fuzzyflow_interp::Executor<'_>,
+    ) -> CaseOutcome {
+        let opts = ExecOptions {
+            max_steps: self.max_steps,
+            reset: self.reset,
+            oob_slop: self.oob_slop,
+            ..ExecOptions::default()
+        };
+        if let Err(e) = orig_exec.execute(state, &opts, None, None) {
+            return CaseOutcome::OriginalFailed(e);
+        }
+        match trans_exec.execute(state, &opts, None, None) {
+            Err(e) if e.is_hang() => return CaseOutcome::Hang(e),
+            Err(e) if e.is_crash() => return CaseOutcome::Crash(e),
+            Err(e) => return CaseOutcome::Invalid(e),
+            Ok(()) => {}
+        }
+        for s in &cutout.symbol_state {
+            if orig_exec.symbol(s) != trans_exec.symbol(s) {
+                return CaseOutcome::SymbolChange {
+                    symbol: s.clone(),
+                    original: orig_exec.symbol(s),
+                    transformed: trans_exec.symbol(s),
+                };
+            }
+        }
+        if let Some(mismatch) =
+            orig_exec.compare_on(trans_exec, &cutout.system_state, self.tolerance)
+        {
+            return CaseOutcome::SemanticChange(mismatch);
+        }
+        CaseOutcome::Pass
     }
 
     /// Scans trial outcomes in order and reproduces the sequential

@@ -1,0 +1,199 @@
+//! Property-based tests for the test-case serialization formats.
+//!
+//! The replayability story of the whole stack rests on these encodings
+//! being lossless: a fault's captured input must replay bit-exactly
+//! from either the text format or the JSON embedded in campaign
+//! reports. The properties below drive both codecs with arbitrary
+//! states — NaN payloads, negative zeros, subnormals and extreme
+//! integers included — and feed both parsers arbitrary garbage to
+//! check that malformed input always yields a
+//! [`TestCaseParseError`], never a panic.
+
+use fuzzyflow_fuzz::{TestCase, TestCaseParseError};
+use fuzzyflow_interp::{ArrayValue, ExecState};
+use fuzzyflow_ir::{DType, Scalar};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// Raw bits of a scalar — the lossless comparison key (derived
+/// `PartialEq` would treat NaN as unequal to itself).
+fn bits_of(s: Scalar) -> u64 {
+    match s {
+        Scalar::F64(v) => v.to_bits(),
+        Scalar::F32(v) => v.to_bits() as u64,
+        Scalar::I64(v) => v as u64,
+        Scalar::I32(v) => v as u32 as u64,
+        Scalar::Bool(v) => v as u64,
+    }
+}
+
+fn scalar_from(dtype: DType, bits: u64) -> Scalar {
+    match dtype {
+        DType::F64 => Scalar::F64(f64::from_bits(bits)),
+        DType::F32 => Scalar::F32(f32::from_bits(bits as u32)),
+        DType::I64 => Scalar::I64(bits as i64),
+        DType::I32 => Scalar::I32(bits as i32),
+        DType::Bool => Scalar::Bool(bits & 1 == 1),
+    }
+}
+
+/// Bit patterns biased toward the values that break naive float
+/// codecs: NaNs with payloads, signed zeros, infinities, subnormals.
+fn arb_bits() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..u64::MAX,
+        Just(f64::NAN.to_bits()),
+        Just(0x7FF8_0000_DEAD_BEEFu64), // NaN with payload
+        Just((-0.0f64).to_bits()),
+        Just(f64::INFINITY.to_bits()),
+        Just(f64::NEG_INFINITY.to_bits()),
+        Just(1u64), // smallest f64 subnormal
+        Just(u64::MAX),
+    ]
+}
+
+fn arb_dtype() -> impl Strategy<Value = DType> {
+    prop_oneof![
+        Just(DType::F64),
+        Just(DType::F32),
+        Just(DType::I64),
+        Just(DType::I32),
+        Just(DType::Bool),
+    ]
+}
+
+/// Identifier-shaped names (symbols and containers).
+fn arb_name() -> impl Strategy<Value = String> {
+    const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    (0usize..HEAD.len(), pvec(0usize..TAIL.len(), 0..7)).prop_map(|(h, t)| {
+        let mut s = String::new();
+        s.push(HEAD[h] as char);
+        for i in t {
+            s.push(TAIL[i] as char);
+        }
+        s
+    })
+}
+
+/// Free text without newlines or trailing whitespace — the text
+/// format's `program`/`failure` lines are line-oriented and
+/// right-trimmed, so that's the loss-free domain for both codecs.
+/// Words of printable ASCII (quotes and backslashes included, to
+/// exercise JSON escaping) joined by single spaces.
+fn arb_text() -> impl Strategy<Value = String> {
+    let word = pvec(0x21u8..0x7F, 1..10)
+        .prop_map(|bytes| bytes.into_iter().map(|b| b as char).collect::<String>());
+    pvec(word, 1..5).prop_map(|words| words.join(" "))
+}
+
+fn arb_array() -> impl Strategy<Value = ArrayValue> {
+    (arb_dtype(), pvec(0i64..4, 0..3)).prop_flat_map(|(dtype, shape)| {
+        let n: i64 = shape.iter().product();
+        pvec(arb_bits(), n as usize..n as usize + 1).prop_map(move |bits| {
+            let mut arr = ArrayValue::zeros(dtype, shape.clone());
+            for (i, b) in bits.into_iter().enumerate() {
+                arr.set(i, scalar_from(dtype, b));
+            }
+            arr
+        })
+    })
+}
+
+fn arb_case() -> impl Strategy<Value = TestCase> {
+    let symbols = pvec((arb_name(), i64::MIN..i64::MAX), 0..4);
+    let arrays = pvec((arb_name(), arb_array()), 0..4);
+    (arb_text(), arb_text(), symbols, arrays).prop_map(|(program, failure, symbols, arrays)| {
+        let mut st = ExecState::new();
+        for (name, value) in symbols {
+            st.bind(&name, value);
+        }
+        for (name, arr) in arrays {
+            st.set_array(&name, arr);
+        }
+        TestCase::capture(&program, &failure, &st)
+    })
+}
+
+/// Field-by-field lossless comparison, with values compared by raw
+/// bits. Returns a description of the first divergence.
+fn lossless_diff(back: &TestCase, tc: &TestCase) -> Option<String> {
+    if back.program != tc.program {
+        return Some(format!("program: {:?} vs {:?}", back.program, tc.program));
+    }
+    if back.failure != tc.failure {
+        return Some(format!("failure: {:?} vs {:?}", back.failure, tc.failure));
+    }
+    for (name, value) in tc.state.symbols.iter() {
+        if back.state.symbols.get(name) != Some(value) {
+            return Some(format!("symbol '{name}'"));
+        }
+    }
+    for (name, arr) in &tc.state.arrays {
+        let Some(b) = back.state.array(name) else {
+            return Some(format!("array '{name}' missing"));
+        };
+        if b.dtype() != arr.dtype() || b.shape() != arr.shape() {
+            return Some(format!("array '{name}' metadata"));
+        }
+        for i in 0..arr.len() {
+            if bits_of(b.get(i)) != bits_of(arr.get(i)) {
+                return Some(format!("array '{name}' element {i} bits"));
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    /// Text round trip is lossless and canonical: parse(to_text())
+    /// reproduces every field bit-exactly, and re-serializing is
+    /// byte-identical.
+    #[test]
+    fn text_roundtrip_is_lossless(tc in arb_case()) {
+        let text = tc.to_text();
+        let back = TestCase::from_text(&text).unwrap();
+        prop_assert_eq!(lossless_diff(&back, &tc), None);
+        prop_assert_eq!(back.to_text(), text, "canonical text encoding");
+    }
+
+    /// JSON round trip is lossless and canonical.
+    #[test]
+    fn json_roundtrip_is_lossless(tc in arb_case()) {
+        let json = tc.to_json();
+        let back = TestCase::from_json(&json).unwrap();
+        prop_assert_eq!(lossless_diff(&back, &tc), None);
+        prop_assert_eq!(back.to_json(), json, "canonical JSON encoding");
+    }
+
+    /// The two codecs agree: a case serialized as text and re-encoded
+    /// as JSON equals the direct JSON encoding.
+    #[test]
+    fn codecs_agree(tc in arb_case()) {
+        let via_text = TestCase::from_text(&tc.to_text()).unwrap();
+        prop_assert_eq!(via_text.to_json(), tc.to_json());
+    }
+
+    /// Arbitrary garbage never panics either parser — it returns a
+    /// structured [`TestCaseParseError`].
+    #[test]
+    fn malformed_input_errors_instead_of_panicking(bytes in pvec(0u8..=255, 0..200)) {
+        let s = String::from_utf8_lossy(&bytes);
+        let _: Result<TestCase, TestCaseParseError> = TestCase::from_text(&s);
+        let _: Result<TestCase, TestCaseParseError> = TestCase::from_json(&s);
+    }
+
+    /// Truncating a valid document at any byte boundary never panics:
+    /// every prefix either parses or errors cleanly.
+    #[test]
+    fn truncated_documents_error_cleanly(tc in arb_case(), permille in 0usize..1000) {
+        for doc in [tc.to_text(), tc.to_json()] {
+            let mut cut = doc.len() * permille / 1000;
+            while cut < doc.len() && !doc.is_char_boundary(cut) {
+                cut += 1;
+            }
+            let _ = TestCase::from_text(&doc[..cut]);
+            let _ = TestCase::from_json(&doc[..cut]);
+        }
+    }
+}

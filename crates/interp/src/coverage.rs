@@ -58,6 +58,24 @@ impl CoverageMap {
         self.map.iter().filter(|&&b| b > 0).count()
     }
 
+    /// The raw per-edge hit counters (saturating `u8`, indexed by edge
+    /// id). Coverage consumers — corpus schedulers weighting rare edges,
+    /// per-edge reporting — read counts from here instead of keeping a
+    /// side channel next to the map.
+    pub fn hit_counts(&self) -> &[u8] {
+        &self.map
+    }
+
+    /// Iterates the `(edge id, hit count)` pairs of every edge this
+    /// execution touched, in edge-id order.
+    pub fn hits(&self) -> impl Iterator<Item = (usize, u8)> + '_ {
+        self.map
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
     /// AFL-style bucketing of a raw hit count into a power-of-two class.
     fn bucket(count: u8) -> u8 {
         match count {

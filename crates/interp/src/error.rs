@@ -132,6 +132,36 @@ impl ExecError {
     pub fn is_hang(&self) -> bool {
         matches!(self, ExecError::StepLimitExceeded { .. })
     }
+
+    /// Stable, machine-readable tag for the error class — the key fault
+    /// triage buckets on. Unlike [`Display`](fmt::Display) output these
+    /// never embed instance data, so two faults of the same class
+    /// compare equal regardless of the faulting index or container.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExecError::OutOfBounds { .. } => "out-of-bounds",
+            ExecError::GuardViolation { .. } => "guard-violation",
+            ExecError::UnknownData(_) => "unknown-data",
+            ExecError::Sym(_) => "symbolic-error",
+            ExecError::StepLimitExceeded { .. } => "step-limit",
+            ExecError::IntegerDivisionByZero => "integer-division-by-zero",
+            ExecError::VolumeMismatch { .. } => "volume-mismatch",
+            ExecError::UndefinedRef { .. } => "undefined-ref",
+            ExecError::ShapeError { .. } => "shape-error",
+            ExecError::NoCommHandler { .. } => "no-comm-handler",
+            ExecError::Malformed(_) => "malformed",
+        }
+    }
+
+    /// The data container the error faulted on, when the class has one.
+    pub fn container(&self) -> Option<&str> {
+        match self {
+            ExecError::OutOfBounds { data, .. }
+            | ExecError::GuardViolation { data, .. }
+            | ExecError::UnknownData(data) => Some(data),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

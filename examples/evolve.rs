@@ -1,0 +1,108 @@
+//! Evolutionary campaigns end to end: run a fig. 2 + fig. 6 shaped
+//! sweep in evolve mode, stream the corpus-growth / novelty /
+//! fault-bucket events while the loop runs, and print the bisection
+//! triage summary from the final report.
+//!
+//! Instead of one-shot blind sampling, each instance evolves a corpus
+//! of test cases scheduled by coverage novelty; every collected fault's
+//! mutation lineage is bisected to its minimal failure-inducing prefix,
+//! and faults with the same (culprit, error kind, container) collapse
+//! into one bucket with a replayable representative.
+//!
+//! Run with: `cargo run --release --example evolve`
+
+use fuzzyflow::prelude::*;
+use fuzzyflow::session::Campaign;
+
+fn evolving_campaign() -> Campaign {
+    // Fig. 2: the matmul chain under the off-by-one tiling. Fig. 6:
+    // vanilla attention, whose SDDMM kernel the no-remainder tiling
+    // crashes.
+    Campaign::new("fig2+fig6-evolved")
+        .with_workload(
+            "matmul_chain",
+            fuzzyflow::workloads::matmul_chain(),
+            fuzzyflow::workloads::matmul_chain::default_bindings(),
+        )
+        .with_workload(
+            "vanilla_attention",
+            fuzzyflow::workloads::vanilla_attention(),
+            fuzzyflow::workloads::attention::default_bindings(),
+        )
+        .with_transformations(vec![
+            Box::new(MapTilingOffByOne::new(4)),
+            Box::new(MapTilingNoRemainder::new(4)),
+        ])
+        .with_verify(VerifyConfig::new().with_size_max(8).with_seed(0xF162))
+        .with_evolve(EvolveConfig::new().with_trials(150).with_max_faults(8))
+}
+
+fn main() {
+    let session = evolving_campaign().session();
+    println!(
+        "evolutionary campaign '{}': {} instances\n",
+        session.campaign_name(),
+        session.instance_count()
+    );
+
+    let report = session.run(&|e: &Event| match e {
+        Event::InstanceStarted {
+            index,
+            workload,
+            transformation,
+            ..
+        } => println!("[{index:2}] {workload} / {transformation}: evolving"),
+        Event::Novelty {
+            index,
+            trial,
+            edges_seen,
+        } => println!("[{index:2}]   trial {trial}: novel coverage ({edges_seen} sites seen)"),
+        Event::CorpusGrowth {
+            index,
+            trial,
+            corpus_size,
+        } => println!("[{index:2}]   trial {trial}: corpus grew to {corpus_size}"),
+        Event::FaultBucket {
+            index,
+            culprit,
+            kind,
+            container,
+            duplicates,
+        } => println!(
+            "[{index:2}]   bucket: {culprit} -> {kind} on '{container}' ({duplicates} duplicates)"
+        ),
+        Event::InstanceFinished { index, label, .. } => {
+            println!("[{index:2}] finished: {label}")
+        }
+        Event::SessionFinished {
+            completed, total, ..
+        } => println!("\nsession: {completed}/{total} instances"),
+        _ => {}
+    });
+
+    // --- The triage summary: deduplicated fault classes. ---
+    let triage = report.triage.as_ref().expect("evolve mode fills triage");
+    println!(
+        "\n=== triage: {} fault(s) collapsed into {} bucket(s) ===",
+        triage.faults_found,
+        triage.bucket_count()
+    );
+    for b in &triage.buckets {
+        println!(
+            "  instance {:2}  {:<12}  {:<16}  '{}'  x{}  (trial {}, {})",
+            b.instance, b.culprit, b.kind, b.container, b.duplicates, b.trial, b.label
+        );
+    }
+    assert!(triage.faults_found >= 1, "the seeded tilings are buggy");
+    assert!(triage.bucket_count() <= triage.faults_found);
+
+    // Every bucket ships a replayable representative test case; the
+    // JSON report round-trips them bit-exactly.
+    let json = report.to_json();
+    let parsed = CampaignReport::from_json(&json).expect("round-trips");
+    assert_eq!(parsed, report);
+    println!(
+        "\nreport round-trips ({} bytes); bucket representatives are bit-exact test cases",
+        json.len()
+    );
+}
